@@ -1,0 +1,63 @@
+//! Database-simulator benchmarks: plan costing throughput (the unit of
+//! what-if work) and full advisor runs at the Fig 3 budget extremes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use querc_dbsim::{plan_query, Advisor, AdvisorConfig, Catalog, Index};
+use querc_sql::{parse_query, Dialect};
+use querc_workloads::TpchWorkload;
+use std::hint::black_box;
+
+fn bench_plan_query(c: &mut Criterion) {
+    let w = TpchWorkload::generate(2, 7);
+    let catalog = Catalog::tpch_sf1();
+    let shapes: Vec<_> = w
+        .queries
+        .iter()
+        .map(|q| parse_query(&q.sql, Dialect::Generic))
+        .collect();
+    let indexes = [
+        Index::new("lineitem", &["l_shipdate"]),
+        Index::new("orders", &["o_orderdate"]),
+        Index::new("lineitem", &["l_orderkey"]),
+    ];
+    let mut g = c.benchmark_group("optimizer");
+    g.throughput(Throughput::Elements(shapes.len() as u64));
+    g.bench_function("plan_no_indexes", |b| {
+        b.iter(|| {
+            for s in &shapes {
+                black_box(plan_query(s, &catalog, &[]));
+            }
+        })
+    });
+    g.bench_function("plan_with_indexes", |b| {
+        b.iter(|| {
+            for s in &shapes {
+                black_box(plan_query(s, &catalog, &indexes));
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_advisor(c: &mut Criterion) {
+    let catalog = Catalog::tpch_sf1();
+    let advisor = Advisor::new(&catalog, AdvisorConfig::default());
+    let w = TpchWorkload::generate(10, 13);
+    let sqls: Vec<String> = w.queries.into_iter().map(|q| q.sql).collect();
+    let refs: Vec<&str> = sqls.iter().map(String::as_str).collect();
+    let mut g = c.benchmark_group("advisor_recommend");
+    g.sample_size(10);
+    for (label, budget) in [("3min", 180.0f64), ("10min", 600.0)] {
+        g.bench_with_input(BenchmarkId::from_parameter(label), &budget, |b, &budget| {
+            b.iter(|| black_box(advisor.recommend(&refs, budget)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_plan_query, bench_advisor
+}
+criterion_main!(benches);

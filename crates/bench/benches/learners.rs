@@ -1,0 +1,92 @@
+//! Labeler benchmarks: fit/predict costs for the classifiers behind the
+//! Table 1/2 experiments, plus K-means on embedding-sized inputs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use querc_cluster::{kmeans, KMeansConfig};
+use querc_learn::{Classifier, ForestConfig, RandomForest, SoftmaxRegression};
+use querc_linalg::Pcg32;
+use std::hint::black_box;
+
+fn dataset(n: usize, d: usize, classes: u32, seed: u64) -> (Vec<Vec<f32>>, Vec<u32>) {
+    let mut rng = Pcg32::new(seed);
+    let mut x = Vec::with_capacity(n);
+    let mut y = Vec::with_capacity(n);
+    for _ in 0..n {
+        let c = rng.below(classes);
+        let mut v = vec![0.0f32; d];
+        for (j, vj) in v.iter_mut().enumerate() {
+            *vj = rng.normal() * 0.5 + if j as u32 % classes == c { 2.0 } else { 0.0 };
+        }
+        x.push(v);
+        y.push(c);
+    }
+    (x, y)
+}
+
+fn bench_fit(c: &mut Criterion) {
+    let mut g = c.benchmark_group("labeler_fit");
+    g.sample_size(10);
+    for n in [500usize, 2000] {
+        let (x, y) = dataset(n, 48, 13, 1);
+        g.bench_with_input(BenchmarkId::new("extra_trees_40", n), &n, |b, _| {
+            b.iter(|| {
+                let mut f = RandomForest::new(ForestConfig::extra_trees(40));
+                f.fit(&x, &y, 13, &mut Pcg32::new(2));
+                black_box(f)
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("softmax", n), &n, |b, _| {
+            b.iter(|| {
+                let mut m = SoftmaxRegression::default();
+                m.fit(&x, &y, 13, &mut Pcg32::new(3));
+                black_box(m)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_predict(c: &mut Criterion) {
+    let (x, y) = dataset(2000, 48, 13, 4);
+    let mut forest = RandomForest::new(ForestConfig::extra_trees(40));
+    forest.fit(&x, &y, 13, &mut Pcg32::new(5));
+    let probes = &x[..500];
+    let mut g = c.benchmark_group("labeler_predict");
+    g.throughput(Throughput::Elements(probes.len() as u64));
+    g.bench_function("extra_trees_40", |b| {
+        b.iter(|| {
+            for p in probes {
+                black_box(forest.predict(p));
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_kmeans(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kmeans_embeddings");
+    g.sample_size(10);
+    for n in [500usize, 2000] {
+        let (x, _) = dataset(n, 48, 8, 6);
+        g.bench_with_input(BenchmarkId::new("k20", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(kmeans(
+                    &x,
+                    &KMeansConfig {
+                        k: 20,
+                        ..Default::default()
+                    },
+                    &mut Pcg32::new(7),
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fit, bench_predict, bench_kmeans
+}
+criterion_main!(benches);

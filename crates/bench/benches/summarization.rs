@@ -1,0 +1,86 @@
+//! Summarization benchmarks (the Fig 3 pipeline's offline half) and the
+//! ablation the paper's §5.1 implies: embedding + K-means versus the
+//! classical syntactic K-medoids, across workload sizes. K-medoids is
+//! O(k·n²) per swap pass — the crossover against embed-everything+K-means
+//! is the practical argument for the Querc design at cloud scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use querc::apps::summarize::{summarize_workload, SummaryConfig, SummaryMethod};
+use querc_embed::BagOfTokens;
+use querc_workloads::TpchWorkload;
+use std::hint::black_box;
+
+fn bench_summary_methods(c: &mut Criterion) {
+    let embedder = BagOfTokens::new(128, true);
+    let mut g = c.benchmark_group("summarize");
+    g.sample_size(10);
+    for per_template in [2usize, 6, 12] {
+        let w = TpchWorkload::generate(per_template, 9);
+        let sqls: Vec<String> = w.queries.into_iter().map(|q| q.sql).collect();
+        let refs: Vec<&str> = sqls.iter().map(String::as_str).collect();
+        let cfg = SummaryConfig {
+            k: Some(20),
+            ..Default::default()
+        };
+        g.bench_with_input(
+            BenchmarkId::new("embedding_kmeans", refs.len()),
+            &refs,
+            |b, refs| {
+                b.iter(|| {
+                    black_box(summarize_workload(
+                        refs,
+                        &SummaryMethod::Embedding(&embedder),
+                        &cfg,
+                    ))
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("syntactic_kmedoids", refs.len()),
+            &refs,
+            |b, refs| {
+                b.iter(|| {
+                    black_box(summarize_workload(
+                        refs,
+                        &SummaryMethod::SyntacticKMedoids,
+                        &cfg,
+                    ))
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_elbow(c: &mut Criterion) {
+    let w = TpchWorkload::generate(4, 11);
+    let sqls: Vec<String> = w.queries.into_iter().map(|q| q.sql).collect();
+    let refs: Vec<&str> = sqls.iter().map(String::as_str).collect();
+    let embedder = BagOfTokens::new(128, true);
+    let mut g = c.benchmark_group("summarize_k_selection");
+    g.sample_size(10);
+    g.bench_function("elbow_scan_4_to_26", |b| {
+        let cfg = SummaryConfig {
+            k: None,
+            k_min: 4,
+            k_max: 26,
+            plateau: 0.01,
+            seed: 5,
+        };
+        b.iter(|| {
+            black_box(summarize_workload(
+                &refs,
+                &SummaryMethod::Embedding(&embedder),
+                &cfg,
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_summary_methods, bench_elbow
+}
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! **Ablation** — summarization method and embedder-variant comparison.
+//!
+//! Beyond the paper's figures: holds the §5.1 pipeline fixed and swaps
+//! the summarization method (learned embeddings vs the hand-engineered
+//! syntactic K-medoids baseline vs random sampling) and the Doc2Vec
+//! variant (PV-DM vs PV-DBOW), measuring the end metric that matters —
+//! full-workload runtime under the advisor's recommendation from each
+//! summary, at the paper's 6-minute budget.
+
+use querc::apps::summarize::{summarize_workload, SummaryConfig, SummaryMethod};
+use querc_bench::harness;
+use querc_dbsim::{workload_runtime, Advisor, AdvisorConfig, Catalog};
+use querc_embed::{Doc2Vec, Doc2VecMode};
+
+fn main() {
+    println!("== Ablation: summary methods and embedder variants ==");
+    println!("seed = {:#x}", harness::SEED);
+
+    let workload = harness::tpch_workload();
+    let sqls = workload.sql();
+    let catalog = Catalog::tpch_sf1();
+    let advisor = Advisor::new(&catalog, AdvisorConfig::default());
+    let baseline = workload_runtime(&sqls, &catalog, &[]);
+    println!("no-index runtime: {baseline:.0} s\n");
+
+    let corpus = harness::tpch_training_corpus();
+    eprintln!("training PV-DM…");
+    let dm = Doc2Vec::train(&corpus, harness::doc2vec_config());
+    eprintln!("training PV-DBOW…");
+    let dbow = Doc2Vec::train(&corpus, {
+        let mut cfg = harness::doc2vec_config();
+        cfg.mode = Doc2VecMode::Dbow;
+        cfg
+    });
+
+    let cfg = SummaryConfig {
+        k: Some(20),
+        ..Default::default()
+    };
+    let budget = 360.0;
+
+    let variants: Vec<(&str, Vec<usize>)> = vec![
+        (
+            "doc2vec PV-DM + kmeans",
+            summarize_workload(&sqls, &SummaryMethod::Embedding(&dm), &cfg),
+        ),
+        (
+            "doc2vec PV-DBOW + kmeans",
+            summarize_workload(&sqls, &SummaryMethod::Embedding(&dbow), &cfg),
+        ),
+        (
+            "syntactic features + kmedoids",
+            summarize_workload(&sqls, &SummaryMethod::SyntacticKMedoids, &cfg),
+        ),
+        (
+            "uniform random sample",
+            summarize_workload(&sqls, &SummaryMethod::RandomSample, &cfg),
+        ),
+    ];
+
+    println!(
+        "{:>32} {:>9} {:>10} {:>12} {:>9}",
+        "method", "witnesses", "templates", "runtime_s", "vs_base"
+    );
+    let mut results = Vec::new();
+    for (name, witnesses) in &variants {
+        let covered: std::collections::BTreeSet<u8> = witnesses
+            .iter()
+            .map(|&i| workload.queries[i].template)
+            .collect();
+        let summary: Vec<&str> = witnesses.iter().map(|&i| sqls[i]).collect();
+        let report = advisor.recommend(&summary, budget);
+        let runtime = workload_runtime(&sqls, &catalog, &report.indexes);
+        println!(
+            "{:>32} {:>9} {:>8}/22 {:>12.0} {:>+8.1}%",
+            name,
+            witnesses.len(),
+            covered.len(),
+            runtime,
+            100.0 * (runtime - baseline) / baseline
+        );
+        results.push((name.to_string(), runtime));
+    }
+
+    println!("\nshape checks:");
+    let mut ok = true;
+    let get = |n: &str| results.iter().find(|(name, _)| name.contains(n)).map(|(_, r)| *r).unwrap();
+    let dm_rt = get("PV-DM");
+    let random_rt = get("random");
+    ok &= harness::check(
+        "every summarization method improves on no-index at this budget",
+        results.iter().all(|(_, r)| *r < baseline),
+        format!("runtimes {:?}", results.iter().map(|(_, r)| *r as i64).collect::<Vec<_>>()),
+    );
+    ok &= harness::check(
+        "learned embeddings are at least as good as random sampling",
+        dm_rt <= random_rt * 1.02,
+        format!("{dm_rt:.0} vs {random_rt:.0}"),
+    );
+    harness::finish(ok);
+}

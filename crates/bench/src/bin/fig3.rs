@@ -1,0 +1,170 @@
+//! **Figure 3** — workload runtime under indexes recommended at various
+//! advisor time budgets.
+//!
+//! Reproduces the paper's §5.1 headline: the x-axis sweeps the tuning
+//! advisor's time budget, the y-axis is the full TPC-H workload's runtime
+//! after applying the recommended indexes. Five series: the full workload
+//! fed to the advisor directly, and four embedding-based summaries
+//! (Doc2Vec / LSTM autoencoder × trained-on-TPC-H / trained-on-SnowCloud
+//! — the latter pair demonstrating *transfer learning* from an unrelated
+//! workload in a different dialect mix).
+//!
+//! Expected shape (checked programmatically at the end):
+//!   * below the advisor's fixed overhead no series gets recommendations
+//!     (flat at the no-index runtime);
+//!   * the full workload needs a much larger budget and **gets worse
+//!     before it gets better** (unvalidated low-budget index picks);
+//!   * all summarized series converge to near-optimal right above the
+//!     overhead and stay flat;
+//!   * summaries beat the native full-workload path for most budgets,
+//!     including the transfer-learned embedders.
+
+use querc::apps::summarize::{summarize_workload, SummaryConfig, SummaryMethod};
+use querc_bench::harness;
+use querc_dbsim::{Advisor, AdvisorConfig, Catalog};
+
+fn main() {
+    println!("== Figure 3: workload runtime vs advisor time budget ==");
+    println!("seed = {:#x}, scale = {}", harness::SEED, harness::scale());
+
+    let workload = harness::tpch_workload();
+    let sqls = workload.sql();
+    let catalog = Catalog::tpch_sf1();
+    let advisor = Advisor::new(&catalog, AdvisorConfig::default());
+
+    let no_index = querc_dbsim::workload_runtime(&sqls, &catalog, &[]);
+    println!(
+        "workload: {} queries; no-index runtime = {:.0} s",
+        sqls.len(),
+        no_index
+    );
+
+    // Train the four embedders and build their summaries.
+    let embedders = harness::train_fig3_embedders();
+    let summary_cfg = SummaryConfig {
+        k: None,
+        k_min: 8,
+        k_max: 30,
+        plateau: 0.01,
+        seed: harness::SEED ^ 0xf13,
+    };
+    let mut series: Vec<(String, Vec<String>)> = Vec::new();
+    series.push((
+        "full".to_string(),
+        sqls.iter().map(|s| s.to_string()).collect(),
+    ));
+    for (name, embedder) in &embedders {
+        let witnesses = summarize_workload(
+            &sqls,
+            &SummaryMethod::Embedding(embedder.as_ref()),
+            &summary_cfg,
+        );
+        // Which templates does the summary cover? (diagnostic)
+        let covered: std::collections::BTreeSet<u8> = witnesses
+            .iter()
+            .map(|&i| workload.queries[i].template)
+            .collect();
+        eprintln!(
+            "  summary[{name}]: {} witnesses covering {}/22 templates",
+            witnesses.len(),
+            covered.len()
+        );
+        series.push((
+            name.clone(),
+            witnesses.iter().map(|&i| sqls[i].to_string()).collect(),
+        ));
+    }
+
+    // Budget sweep: 1..=10 minutes.
+    let budgets: Vec<f64> = (1..=10).map(|m| m as f64 * 60.0).collect();
+    let names: Vec<&str> = series.iter().map(|(n, _)| n.as_str()).collect();
+    let widths = vec![10usize, 9, 9, 9, 9, 9, 9];
+    let mut header = vec!["budget_min".to_string(), "no_index".to_string()];
+    header.extend(names.iter().map(|n| truncate(n, 9)));
+    println!("\n{}", harness::row(&header, &widths));
+
+    // results[series][budget] = runtime of the FULL workload.
+    let mut results: Vec<Vec<f64>> = vec![Vec::new(); series.len()];
+    for &budget in &budgets {
+        let mut cells = vec![
+            format!("{:.0}", budget / 60.0),
+            format!("{no_index:.0}"),
+        ];
+        for (si, (_, advisor_input)) in series.iter().enumerate() {
+            let refs: Vec<&str> = advisor_input.iter().map(String::as_str).collect();
+            let report = advisor.recommend(&refs, budget);
+            let runtime = querc_dbsim::workload_runtime(&sqls, &catalog, &report.indexes);
+            results[si].push(runtime);
+            cells.push(format!("{runtime:.0}"));
+        }
+        println!("{}", harness::row(&cells, &widths));
+    }
+
+    // ---- shape checks ----------------------------------------------------
+    println!("\nshape checks:");
+    let mut ok = true;
+    let full = &results[0];
+
+    // 1. Minute-1 budgets are below the advisor overhead: flat everywhere.
+    let flat = results.iter().all(|r| (r[0] - no_index).abs() < 1e-6);
+    ok &= harness::check(
+        "below-overhead budgets give no recommendations",
+        flat,
+        format!("runtime at 1 min = {:.0} s for every series", full[0]),
+    );
+
+    // 2. Full workload gets WORSE than no-index somewhere mid-sweep.
+    let worst_full = full.iter().cloned().fold(f64::MIN, f64::max);
+    ok &= harness::check(
+        "full workload gets worse before it gets better",
+        worst_full > no_index * 1.02,
+        format!("worst full-workload runtime {worst_full:.0} vs baseline {no_index:.0}"),
+    );
+
+    // 3. Full workload eventually improves on no-index.
+    let best_full = full.iter().cloned().fold(f64::MAX, f64::min);
+    ok &= harness::check(
+        "full workload eventually beats no-index",
+        best_full < no_index * 0.98,
+        format!("best full-workload runtime {best_full:.0}"),
+    );
+
+    // 4. Every summarized series converges by minute 4 and stays flat.
+    for (si, (name, _)) in series.iter().enumerate().skip(1) {
+        let r = &results[si];
+        let tail = &r[3..]; // minutes 4..=10
+        let spread = tail.iter().cloned().fold(f64::MIN, f64::max)
+            - tail.iter().cloned().fold(f64::MAX, f64::min);
+        ok &= harness::check(
+            &format!("{name} summary is flat after convergence"),
+            spread <= no_index * 0.05,
+            format!("minute-4..10 spread = {spread:.0} s"),
+        );
+        ok &= harness::check(
+            &format!("{name} summary beats no-index after convergence"),
+            tail.iter().all(|&t| t < no_index),
+            format!("tail runtimes {:?}", tail.iter().map(|t| *t as i64).collect::<Vec<_>>()),
+        );
+    }
+
+    // 5. Summaries beat the full workload for most budgets past overhead.
+    for (si, (name, _)) in series.iter().enumerate().skip(1) {
+        let r = &results[si];
+        let wins = (2..budgets.len()).filter(|&b| r[b] <= full[b] * 1.05).count();
+        ok &= harness::check(
+            &format!("{name} summary within 5% of full workload for most budgets"),
+            wins * 2 >= budgets.len() - 2,
+            format!("{wins}/{} budgets", budgets.len() - 2),
+        );
+    }
+
+    harness::finish(ok);
+}
+
+fn truncate(s: &str, n: usize) -> String {
+    if s.len() <= n {
+        s.to_string()
+    } else {
+        s[..n].to_string()
+    }
+}

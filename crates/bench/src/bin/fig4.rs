@@ -1,0 +1,108 @@
+//! **Figure 4** — per-query runtime with no indexes vs the indexes
+//! recommended to the full workload under a three-minute budget.
+//!
+//! The paper's observation: the low-budget recommendation makes a few
+//! specific queries dramatically *slower* than running with no indexes at
+//! all, because the optimizer picks a bad plan for them — all instances
+//! of TPC-H Q18 (a contiguous block of query ids) regress by several ×,
+//! while most other queries are barely affected.
+
+use querc_bench::harness;
+use querc_dbsim::{run_workload, Advisor, AdvisorConfig, Catalog};
+
+fn main() {
+    println!("== Figure 4: per-query runtime, no indexes vs 3-minute-budget indexes ==");
+    println!("seed = {:#x}", harness::SEED);
+
+    let workload = harness::tpch_workload();
+    let sqls = workload.sql();
+    let catalog = Catalog::tpch_sf1();
+    let advisor = Advisor::new(&catalog, AdvisorConfig::default());
+
+    // The paper's 3-minute budget on the full workload.
+    let report = advisor.recommend(&sqls, 180.0);
+    println!(
+        "advisor@3min recommended {} indexes ({} validated): {}",
+        report.indexes.len(),
+        report.validated,
+        report
+            .indexes
+            .iter()
+            .map(|i| i.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+
+    let base = run_workload(&sqls, &catalog, &[]);
+    let with = run_workload(&sqls, &catalog, &report.indexes);
+
+    // Per-template aggregate view (the full per-query series is long).
+    println!(
+        "\n{:>9} {:>12} {:>12} {:>12} {:>8}",
+        "template", "queries", "no_index_s", "with_idx_s", "ratio"
+    );
+    let mut q18_ratio = 0.0;
+    let mut other_ratios: Vec<f64> = Vec::new();
+    for t in 1..=22u8 {
+        let (s, e) = workload.template_range(t);
+        let b: f64 = base.per_query_secs[s..e].iter().sum::<f64>() / (e - s) as f64;
+        let w: f64 = with.per_query_secs[s..e].iter().sum::<f64>() / (e - s) as f64;
+        let ratio = w / b;
+        println!(
+            "{:>9} {:>12} {:>12.2} {:>12.2} {:>8.2}",
+            format!("q{t:02}"),
+            format!("{s}..{e}"),
+            b,
+            w,
+            ratio
+        );
+        if t == 18 {
+            q18_ratio = ratio;
+        } else {
+            other_ratios.push(ratio);
+        }
+    }
+
+    // The per-query series around the Q18 block, like the paper's plot.
+    let (q18s, q18e) = workload.template_range(18);
+    println!("\nper-query sample around the Q18 block (ids {q18s}..{q18e}):");
+    for i in (q18s.saturating_sub(4)..(q18e + 4).min(sqls.len())).step_by(4) {
+        println!(
+            "  query {:>4} (q{:02}): no_index {:>6.2} s  with_idx {:>6.2} s",
+            i,
+            workload.queries[i].template,
+            base.per_query_secs[i],
+            with.per_query_secs[i]
+        );
+    }
+
+    println!("\ntotals: no_index {:.0} s, with 3-min indexes {:.0} s", base.total_secs, with.total_secs);
+
+    // ---- shape checks ----------------------------------------------------
+    println!("\nshape checks:");
+    let mut ok = true;
+    ok &= harness::check(
+        "Q18 instances regress by several ×",
+        q18_ratio > 2.0,
+        format!("Q18 with/without ratio = {q18_ratio:.2}"),
+    );
+    let hurt_others = other_ratios.iter().filter(|&&r| r > 1.5).count();
+    ok &= harness::check(
+        "most other templates are not badly hurt",
+        hurt_others <= 3,
+        format!("{hurt_others}/21 other templates regress >1.5×"),
+    );
+    let q18_abs = with.per_query_secs[q18s];
+    let q18_base = base.per_query_secs[q18s];
+    ok &= harness::check(
+        "per-query Q18 spike is visible in absolute terms",
+        q18_abs > q18_base + 2.0,
+        format!("one Q18 instance: {q18_base:.2} s → {q18_abs:.2} s"),
+    );
+    ok &= harness::check(
+        "the 3-minute recommendation is net-worse than no indexes",
+        with.total_secs > base.total_secs,
+        format!("{:.0} s vs {:.0} s", with.total_secs, base.total_secs),
+    );
+    harness::finish(ok);
+}

@@ -1,0 +1,109 @@
+//! **Table 1** — account- and user-labeling accuracy (10-fold CV) for the
+//! two embedders over the SnowCloud workload.
+//!
+//! Paper numbers for orientation (absolute values are testbed-specific):
+//!
+//! |                  | account | user  |
+//! |------------------|---------|-------|
+//! | Doc2Vec          | 78.8%   | 39.0% |
+//! | LSTM autoencoder | 99.1%   | 55.4% |
+//!
+//! Expected shape: LSTM beats Doc2Vec on both tasks; account labeling is
+//! near-perfect for the LSTM (schema vocabulary leaks the tenant); user
+//! labeling is much harder everywhere (shared verbatim queries make many
+//! users indistinguishable — see Table 2).
+
+use querc_bench::harness;
+use querc_learn::{cross_val_accuracy, ForestConfig, RandomForest};
+use querc_linalg::Pcg32;
+
+fn main() {
+    println!("== Table 1: query labeling accuracy (10-fold CV) ==");
+    println!("seed = {:#x}, scale = {}", harness::SEED, harness::scale());
+
+    // Embedders pre-trained on the separate pre-training workload
+    // (the paper's "pre-trained on 500000 Snowflake queries").
+    let pretrain = harness::snowcloud_pretrain_corpus();
+    eprintln!("pretraining corpus: {} queries", pretrain.len());
+    eprintln!("training doc2vec…");
+    let doc2vec = querc_embed::Doc2Vec::train(&pretrain, harness::doc2vec_config());
+    eprintln!("training lstm autoencoder…");
+    let lstm = querc_embed::LstmAutoencoder::train(&pretrain, harness::lstm_config());
+
+    // The labeled evaluation workload (the paper's separate 200k labeled
+    // queries; Table 2's account mix at reproduction scale).
+    let labeled = harness::snowcloud_labeled(0.025);
+    let records = &labeled.records;
+    eprintln!(
+        "labeled workload: {} queries, {} accounts, {} users",
+        records.len(),
+        distinct(records.iter().map(|r| r.account.as_str())),
+        distinct(records.iter().map(|r| r.user.as_str())),
+    );
+
+    let tokenized: Vec<Vec<String>> = records.iter().map(|r| r.tokens()).collect();
+    let account_labels: Vec<&str> = records.iter().map(|r| r.account.as_str()).collect();
+    let user_labels: Vec<&str> = records.iter().map(|r| r.user.as_str()).collect();
+
+    let embedders: Vec<(&str, &dyn querc_embed::Embedder)> =
+        vec![("Doc2Vec", &doc2vec), ("LSTMAutoencoder", &lstm)];
+
+    println!(
+        "\n{:>18} {:>16} {:>14}",
+        "", "account labeling", "user labeling"
+    );
+    let mut scores = std::collections::HashMap::new();
+    for (name, embedder) in &embedders {
+        eprintln!("embedding {} queries with {name}…", tokenized.len());
+        let vectors = querc_embed::embed_corpus(*embedder, &tokenized);
+        let acc_account = cv_score(&vectors, &account_labels, 0x7b1);
+        let acc_user = cv_score(&vectors, &user_labels, 0x7b2);
+        println!("{name:>18} {acc_account:>15.1}% {acc_user:>13.1}%");
+        scores.insert((*name, "account"), acc_account);
+        scores.insert((*name, "user"), acc_user);
+    }
+
+    // ---- shape checks ----------------------------------------------------
+    println!("\nshape checks:");
+    let mut ok = true;
+    let d2v_a = scores[&("Doc2Vec", "account")];
+    let d2v_u = scores[&("Doc2Vec", "user")];
+    let lstm_a = scores[&("LSTMAutoencoder", "account")];
+    let lstm_u = scores[&("LSTMAutoencoder", "user")];
+    ok &= harness::check(
+        "LSTM beats Doc2Vec on account labeling",
+        lstm_a > d2v_a,
+        format!("{lstm_a:.1}% vs {d2v_a:.1}%"),
+    );
+    ok &= harness::check(
+        "LSTM beats Doc2Vec on user labeling",
+        lstm_u > d2v_u,
+        format!("{lstm_u:.1}% vs {d2v_u:.1}%"),
+    );
+    ok &= harness::check(
+        "LSTM account labeling is near-perfect",
+        lstm_a > 90.0,
+        format!("{lstm_a:.1}%"),
+    );
+    ok &= harness::check(
+        "user labeling is much harder than account labeling",
+        lstm_u < lstm_a - 20.0 && d2v_u < d2v_a - 15.0,
+        format!("gaps: lstm {:.1} pts, doc2vec {:.1} pts", lstm_a - lstm_u, d2v_a - d2v_u),
+    );
+    harness::finish(ok);
+}
+
+/// Pooled 10-fold CV accuracy (%) with the paper's randomized-tree
+/// classifier.
+fn cv_score(vectors: &[Vec<f32>], labels: &[&str], salt: u64) -> f64 {
+    let (map, ids) = querc::LabelMap::from_labels(labels.iter().copied());
+    let mut rng = Pcg32::with_stream(harness::SEED ^ salt, 0x7ab1);
+    let (score, _) = cross_val_accuracy(vectors, &ids, map.len(), 10, &mut rng, || {
+        RandomForest::new(ForestConfig::extra_trees(80))
+    });
+    score * 100.0
+}
+
+fn distinct<'a, I: Iterator<Item = &'a str>>(it: I) -> usize {
+    it.collect::<std::collections::HashSet<_>>().len()
+}

@@ -1,0 +1,168 @@
+//! Shared configuration and helpers for the experiment binaries.
+//!
+//! Every binary (`fig3`, `fig4`, `table1`, `table2`) reproduces one
+//! artifact of the paper's evaluation. The knobs here are sized so each
+//! binary finishes in minutes on a laptop while preserving the paper's
+//! *shapes* (who wins, by roughly what factor, where crossovers fall);
+//! scale can be raised via the `QUERC_SCALE` environment variable.
+
+use querc_embed::{Doc2VecConfig, Doc2VecMode, Embedder, LstmConfig, VocabConfig};
+use querc_workloads::{SnowCloud, SnowCloudConfig, TpchWorkload};
+use std::sync::Arc;
+
+/// Master seed for all experiments (printed in every header).
+pub const SEED: u64 = 0x2019_c1d4;
+
+/// Scale multiplier from the environment (default 1.0).
+pub fn scale() -> f64 {
+    std::env::var("QUERC_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0)
+}
+
+/// The §5.1 TPC-H workload: ~840 queries (22 templates × 38).
+pub fn tpch_workload() -> TpchWorkload {
+    TpchWorkload::generate(38, SEED)
+}
+
+/// Extra TPC-H instances used only for embedder training (denser corpus
+/// than the evaluation workload itself).
+pub fn tpch_training_corpus() -> Vec<Vec<String>> {
+    let extra = TpchWorkload::generate((80.0 * scale()) as usize, SEED ^ 0x71);
+    extra
+        .queries
+        .iter()
+        .map(|q| querc_embed::sql_tokens(&q.sql))
+        .collect()
+}
+
+/// The stand-in for the paper's 500k-query Snowflake pre-training corpus.
+///
+/// Mirrors the paper's setting: the pre-training stream and the labeled
+/// evaluation workload come from the *same service*, so the evaluated
+/// tenants appear (with fresh, unlabeled traffic) alongside a broad
+/// multi-tenant mix. Schema vocabulary for the evaluated tenants is
+/// therefore partly in-vocabulary — the signal that makes the LSTM's
+/// account labeling near-perfect — while plenty of unseen-identifier mass
+/// keeps the task non-trivial for OOV-dropping Doc2Vec inference.
+pub fn snowcloud_pretrain_corpus() -> Vec<Vec<String>> {
+    let flat = SnowCloudConfig::pretrain(24, (60.0 * scale()) as usize, SEED ^ 0x5c);
+    let mut corpus = SnowCloud::generate(&flat).token_corpus();
+    let tenants = SnowCloudConfig::paper_table2(0.012 * scale(), SEED ^ 0x5d);
+    corpus.extend(SnowCloud::generate(&tenants).token_corpus());
+    corpus
+}
+
+/// The labeled SnowCloud workload mirroring Table 2's account mix.
+pub fn snowcloud_labeled(scale_override: f64) -> SnowCloud {
+    let cfg = SnowCloudConfig::paper_table2(scale_override * scale(), SEED ^ 0x2b);
+    SnowCloud::generate(&cfg)
+}
+
+/// Doc2Vec configuration used by the experiments.
+pub fn doc2vec_config() -> Doc2VecConfig {
+    Doc2VecConfig {
+        dim: 48,
+        window: 5,
+        negative: 5,
+        epochs: 12,
+        initial_lr: 0.05,
+        min_lr: 1e-4,
+        subsample: 1e-3,
+        mode: Doc2VecMode::DistributedMemory,
+        // 2018-era gensim inferred unseen documents with only a handful of
+        // gradient steps (its historical default); the paper's Doc2Vec
+        // numbers reflect that inference regime, as does dropping OOV
+        // tokens instead of hashing them into buckets.
+        infer_epochs: 5,
+        drop_oov: true,
+        vocab: VocabConfig {
+            min_count: 2,
+            max_size: 20_000,
+            hash_buckets: 512,
+        },
+        seed: SEED ^ 0xd2,
+    }
+}
+
+/// LSTM autoencoder configuration used by the experiments.
+pub fn lstm_config() -> LstmConfig {
+    LstmConfig {
+        embed_dim: 40,
+        hidden: 64,
+        max_len: 72,
+        negative: 5,
+        epochs: 6,
+        lr: 0.01,
+        clip: 5.0,
+        vocab: VocabConfig {
+            min_count: 2,
+            max_size: 20_000,
+            hash_buckets: 512,
+        },
+        seed: SEED ^ 0x15,
+    }
+}
+
+/// Train the experiment's four embedders: (doc2vecTPCH, lstmTPCH,
+/// doc2vecSnowflake, lstmSnowflake), in that order.
+pub fn train_fig3_embedders() -> Vec<(String, Arc<dyn Embedder>)> {
+    let tpch = tpch_training_corpus();
+    let snow = snowcloud_pretrain_corpus();
+    eprintln!(
+        "  training corpora: tpch={} queries, snowcloud={} queries",
+        tpch.len(),
+        snow.len()
+    );
+    let mut out: Vec<(String, Arc<dyn Embedder>)> = Vec::new();
+    eprintln!("  training doc2vecTPCH…");
+    out.push((
+        "doc2vecTPCH".into(),
+        Arc::new(querc_embed::Doc2Vec::train(&tpch, doc2vec_config())),
+    ));
+    eprintln!("  training lstmTPCH…");
+    out.push((
+        "lstmTPCH".into(),
+        Arc::new(querc_embed::LstmAutoencoder::train(&tpch, lstm_config())),
+    ));
+    eprintln!("  training doc2vecSnowflake…");
+    out.push((
+        "doc2vecSnowflake".into(),
+        Arc::new(querc_embed::Doc2Vec::train(&snow, doc2vec_config())),
+    ));
+    eprintln!("  training lstmSnowflake…");
+    out.push((
+        "lstmSnowflake".into(),
+        Arc::new(querc_embed::LstmAutoencoder::train(&snow, lstm_config())),
+    ));
+    out
+}
+
+/// Print a fixed-width table row.
+pub fn row(cells: &[String], widths: &[usize]) -> String {
+    cells
+        .iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{c:>w$}", w = w))
+        .collect::<Vec<_>>()
+        .join("  ")
+}
+
+/// A PASS/FAIL shape check with a message; returns whether it passed.
+pub fn check(name: &str, ok: bool, detail: String) -> bool {
+    println!("  [{}] {name}: {detail}", if ok { "PASS" } else { "FAIL" });
+    ok
+}
+
+/// Exit non-zero when any shape check failed, so CI catches regressions
+/// in the reproduced figures.
+pub fn finish(all_ok: bool) -> ! {
+    if all_ok {
+        println!("\nall shape checks passed");
+        std::process::exit(0)
+    } else {
+        println!("\nSOME SHAPE CHECKS FAILED");
+        std::process::exit(1)
+    }
+}

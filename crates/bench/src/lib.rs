@@ -1,0 +1,19 @@
+//! # querc-bench
+//!
+//! The experiment harness regenerating **every table and figure** of the
+//! paper's evaluation, plus criterion micro-benchmarks of the building
+//! blocks. See DESIGN.md §4 for the experiment index.
+//!
+//! | artifact | binary | what it shows |
+//! |---|---|---|
+//! | Figure 3 | `cargo run --release -p querc-bench --bin fig3` | workload runtime vs advisor budget, 5 series |
+//! | Figure 4 | `cargo run --release -p querc-bench --bin fig4` | per-query regression under low-budget indexes |
+//! | Table 1 | `cargo run --release -p querc-bench --bin table1` | account/user labeling CV accuracy, Doc2Vec vs LSTM |
+//! | Table 2 | `cargo run --release -p querc-bench --bin table2` | per-account user-labeling accuracy |
+//! | ablation | `cargo run --release -p querc-bench --bin ablation` | summary methods & embedder variants |
+//!
+//! Each binary prints the paper-shaped rows/series, runs executable shape
+//! checks (who wins, where crossovers fall), and exits non-zero when a
+//! check fails — EXPERIMENTS.md records the outcomes.
+
+pub mod harness;

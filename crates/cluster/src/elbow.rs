@@ -1,0 +1,149 @@
+//! The elbow method for choosing K.
+//!
+//! The paper deliberately uses "an intentionally simple method": run
+//! K-means for increasing K until the rate of change of the SSE plateaus.
+//! `choose_k_elbow` reproduces that — it scans K over a range, computes
+//! the SSE curve, and stops at the K where the relative improvement falls
+//! below a threshold (or where curvature peaks as a fallback).
+
+use crate::kmeans::{kmeans, KMeansConfig};
+use querc_linalg::Pcg32;
+
+/// Restarts per K inside [`sse_curve`]; the best (lowest) SSE is kept so
+/// local optima do not distort the curve's shape.
+const RESTARTS: usize = 4;
+
+/// Compute the SSE for each K in `ks` (best of several K-means restarts).
+pub fn sse_curve(points: &[Vec<f32>], ks: &[usize], rng: &mut Pcg32) -> Vec<f64> {
+    ks.iter()
+        .map(|&k| {
+            (0..RESTARTS)
+                .map(|r| {
+                    let mut run_rng = rng.split(k as u64 * 131 + r as u64);
+                    kmeans(
+                        points,
+                        &KMeansConfig {
+                            k,
+                            ..Default::default()
+                        },
+                        &mut run_rng,
+                    )
+                    .sse
+                })
+                .fold(f64::INFINITY, f64::min)
+        })
+        .collect()
+}
+
+/// Choose K by the elbow criterion.
+///
+/// Scans `k = k_min..=k_max`; returns the first K whose relative SSE
+/// improvement over K−1 drops below `plateau` (default caller value
+/// ~0.1), i.e. where the curve has flattened. Falls back to the K of
+/// maximum discrete curvature if no plateau is hit.
+pub fn choose_k_elbow(
+    points: &[Vec<f32>],
+    k_min: usize,
+    k_max: usize,
+    plateau: f64,
+    rng: &mut Pcg32,
+) -> usize {
+    assert!(k_min >= 1 && k_max >= k_min);
+    let k_max = k_max.min(points.len().max(1));
+    let k_min = k_min.min(k_max);
+    let ks: Vec<usize> = (k_min..=k_max).collect();
+    if ks.len() == 1 {
+        return ks[0];
+    }
+    let sse = sse_curve(points, &ks, rng);
+    // Plateau rule: first K whose improvement, measured against the
+    // *initial* SSE, fades. Normalizing by sse[0] rather than the previous
+    // point matters: once the curve reaches its noise floor, successive
+    // ratios stay large even though the absolute gains are negligible.
+    let scale = sse[0].max(1e-12);
+    for i in 1..sse.len() {
+        if sse[i - 1] <= 1e-12 {
+            return ks[i - 1];
+        }
+        let gain = (sse[i - 1] - sse[i]) / scale;
+        if gain < plateau {
+            return ks[i - 1];
+        }
+    }
+    // Fallback: maximum curvature (largest second difference).
+    if sse.len() >= 3 {
+        let mut best_i = 1;
+        let mut best_curv = f64::NEG_INFINITY;
+        for i in 1..sse.len() - 1 {
+            let curv = sse[i - 1] - 2.0 * sse[i] + sse[i + 1];
+            if curv > best_curv {
+                best_curv = curv;
+                best_i = i;
+            }
+        }
+        return ks[best_i];
+    }
+    *ks.last().expect("non-empty ks")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs(rng: &mut Pcg32, centers: &[(f32, f32)], n_per: usize, noise: f32) -> Vec<Vec<f32>> {
+        let mut pts = Vec::new();
+        for &(cx, cy) in centers {
+            for _ in 0..n_per {
+                pts.push(vec![cx + rng.normal() * noise, cy + rng.normal() * noise]);
+            }
+        }
+        pts
+    }
+
+    #[test]
+    fn finds_the_true_cluster_count_on_clean_blobs() {
+        let mut rng = Pcg32::new(1);
+        let pts = blobs(
+            &mut rng,
+            &[(0.0, 0.0), (20.0, 0.0), (0.0, 20.0), (20.0, 20.0)],
+            40,
+            0.5,
+        );
+        let k = choose_k_elbow(&pts, 1, 10, 0.1, &mut Pcg32::new(2));
+        assert_eq!(k, 4, "four well-separated blobs");
+    }
+
+    #[test]
+    fn single_blob_yields_small_k() {
+        let mut rng = Pcg32::new(3);
+        let pts = blobs(&mut rng, &[(0.0, 0.0)], 100, 1.0);
+        // Gains on a single Gaussian decay like 1/k, so a plateau
+        // threshold of 0.3 stops almost immediately.
+        let k = choose_k_elbow(&pts, 1, 8, 0.3, &mut Pcg32::new(4));
+        assert!(k <= 3, "one blob should not need many clusters, got {k}");
+    }
+
+    #[test]
+    fn sse_curve_is_monotone_nonincreasing_modulo_noise() {
+        let mut rng = Pcg32::new(5);
+        let pts = blobs(&mut rng, &[(0.0, 0.0), (10.0, 10.0)], 50, 1.0);
+        let curve = sse_curve(&pts, &[1, 2, 3, 4, 5, 6], &mut Pcg32::new(6));
+        for w in curve.windows(2) {
+            assert!(w[1] <= w[0] * 1.05, "curve {curve:?}");
+        }
+    }
+
+    #[test]
+    fn k_bounds_respected() {
+        let pts = vec![vec![0.0], vec![1.0], vec![2.0]];
+        let k = choose_k_elbow(&pts, 2, 10, 0.1, &mut Pcg32::new(7));
+        assert!((2..=3).contains(&k), "k clamped to n points, got {k}");
+    }
+
+    #[test]
+    fn duplicate_points_pick_k_min() {
+        let pts = vec![vec![1.0, 1.0]; 30];
+        let k = choose_k_elbow(&pts, 1, 6, 0.1, &mut Pcg32::new(8));
+        assert_eq!(k, 1);
+    }
+}

@@ -1,0 +1,286 @@
+//! Lloyd's K-means with k-means++ seeding and empty-cluster repair.
+
+use querc_linalg::{ops, Pcg32};
+
+/// K-means parameters.
+#[derive(Debug, Clone)]
+pub struct KMeansConfig {
+    pub k: usize,
+    /// Maximum Lloyd iterations.
+    pub max_iters: usize,
+    /// Stop when the relative SSE improvement drops below this.
+    pub tol: f64,
+}
+
+impl Default for KMeansConfig {
+    fn default() -> Self {
+        KMeansConfig {
+            k: 8,
+            max_iters: 100,
+            tol: 1e-4,
+        }
+    }
+}
+
+/// Result of a K-means run.
+#[derive(Debug, Clone)]
+pub struct KMeansResult {
+    /// Cluster index per input point.
+    pub assignments: Vec<usize>,
+    /// `k` centroids.
+    pub centroids: Vec<Vec<f32>>,
+    /// Final within-cluster sum of squared distances.
+    pub sse: f64,
+    /// Lloyd iterations executed.
+    pub iterations: usize,
+}
+
+impl KMeansResult {
+    /// Index of the input point nearest each centroid — the "witness"
+    /// queries used as the workload summary.
+    pub fn witnesses(&self, points: &[Vec<f32>]) -> Vec<usize> {
+        self.centroids
+            .iter()
+            .map(|c| {
+                let mut best = 0usize;
+                let mut best_d = f32::INFINITY;
+                for (i, p) in points.iter().enumerate() {
+                    let d = ops::sq_dist(p, c);
+                    if d < best_d {
+                        best_d = d;
+                        best = i;
+                    }
+                }
+                best
+            })
+            .collect()
+    }
+
+    /// Number of points in each cluster.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.centroids.len()];
+        for &a in &self.assignments {
+            sizes[a] += 1;
+        }
+        sizes
+    }
+}
+
+/// Run K-means over `points`. Panics if `points` is empty or `k == 0`;
+/// `k` larger than the number of points is clamped.
+pub fn kmeans(points: &[Vec<f32>], cfg: &KMeansConfig, rng: &mut Pcg32) -> KMeansResult {
+    assert!(!points.is_empty(), "kmeans on empty input");
+    assert!(cfg.k > 0, "k must be positive");
+    let k = cfg.k.min(points.len());
+    let mut centroids = plus_plus_init(points, k, rng);
+    let mut assignments = vec![0usize; points.len()];
+    let mut prev_sse = f64::INFINITY;
+    let mut iterations = 0;
+    for iter in 0..cfg.max_iters {
+        iterations = iter + 1;
+        // Assign.
+        let mut sse = 0.0f64;
+        for (i, p) in points.iter().enumerate() {
+            let (best, d) = nearest(p, &centroids);
+            assignments[i] = best;
+            sse += d as f64;
+        }
+        // Update.
+        let dim = points[0].len();
+        let mut sums = vec![vec![0.0f32; dim]; k];
+        let mut counts = vec![0usize; k];
+        for (i, p) in points.iter().enumerate() {
+            ops::axpy(1.0, p, &mut sums[assignments[i]]);
+            counts[assignments[i]] += 1;
+        }
+        for c in 0..k {
+            if counts[c] == 0 {
+                // Empty cluster: reseed at the point farthest from its
+                // centroid (standard repair).
+                let far = points
+                    .iter()
+                    .enumerate()
+                    .max_by(|(_, a), (_, b)| {
+                        let da = ops::sq_dist(a, &centroids[assignments_of(a, &centroids)]);
+                        let db = ops::sq_dist(b, &centroids[assignments_of(b, &centroids)]);
+                        da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+                    })
+                    .map(|(i, _)| i)
+                    .unwrap_or(0);
+                centroids[c] = points[far].clone();
+            } else {
+                let inv = 1.0 / counts[c] as f32;
+                for (dst, s) in centroids[c].iter_mut().zip(&sums[c]) {
+                    *dst = s * inv;
+                }
+            }
+        }
+        // Converged?
+        let converged =
+            prev_sse.is_finite() && (prev_sse - sse).abs() / prev_sse.max(1e-12) < cfg.tol;
+        prev_sse = sse;
+        if converged {
+            break;
+        }
+    }
+    // Final assignment + SSE against the last centroids.
+    let mut sse = 0.0f64;
+    for (i, p) in points.iter().enumerate() {
+        let (best, d) = nearest(p, &centroids);
+        assignments[i] = best;
+        sse += d as f64;
+    }
+    KMeansResult {
+        assignments,
+        centroids,
+        sse,
+        iterations,
+    }
+}
+
+fn assignments_of(p: &[f32], centroids: &[Vec<f32>]) -> usize {
+    nearest(p, centroids).0
+}
+
+fn nearest(p: &[f32], centroids: &[Vec<f32>]) -> (usize, f32) {
+    let mut best = 0usize;
+    let mut best_d = f32::INFINITY;
+    for (c, cent) in centroids.iter().enumerate() {
+        let d = ops::sq_dist(p, cent);
+        if d < best_d {
+            best_d = d;
+            best = c;
+        }
+    }
+    (best, best_d)
+}
+
+/// k-means++ seeding: first centroid uniform, then proportional to the
+/// squared distance to the nearest chosen centroid.
+fn plus_plus_init(points: &[Vec<f32>], k: usize, rng: &mut Pcg32) -> Vec<Vec<f32>> {
+    let mut centroids = Vec::with_capacity(k);
+    centroids.push(points[rng.below_usize(points.len())].clone());
+    let mut d2: Vec<f64> = points
+        .iter()
+        .map(|p| ops::sq_dist(p, &centroids[0]) as f64)
+        .collect();
+    while centroids.len() < k {
+        let total: f64 = d2.iter().sum();
+        let next = if total <= 0.0 {
+            // All points coincide with chosen centroids; pick uniformly.
+            rng.below_usize(points.len())
+        } else {
+            rng.weighted(&d2)
+        };
+        centroids.push(points[next].clone());
+        for (i, p) in points.iter().enumerate() {
+            let d = ops::sq_dist(p, centroids.last().expect("just pushed")) as f64;
+            if d < d2[i] {
+                d2[i] = d;
+            }
+        }
+    }
+    centroids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs(rng: &mut Pcg32, centers: &[(f32, f32)], n_per: usize, noise: f32) -> Vec<Vec<f32>> {
+        let mut pts = Vec::new();
+        for &(cx, cy) in centers {
+            for _ in 0..n_per {
+                pts.push(vec![cx + rng.normal() * noise, cy + rng.normal() * noise]);
+            }
+        }
+        pts
+    }
+
+    #[test]
+    fn recovers_well_separated_blobs() {
+        let mut rng = Pcg32::new(1);
+        let pts = blobs(&mut rng, &[(0.0, 0.0), (10.0, 10.0), (0.0, 10.0)], 40, 0.5);
+        let res = kmeans(&pts, &KMeansConfig { k: 3, ..Default::default() }, &mut rng);
+        // Each blob should be internally consistent.
+        for blob in 0..3 {
+            let first = res.assignments[blob * 40];
+            let same = (0..40)
+                .filter(|i| res.assignments[blob * 40 + i] == first)
+                .count();
+            assert!(same >= 39, "blob {blob} split: {same}/40");
+        }
+        assert_eq!(res.sizes().iter().sum::<usize>(), pts.len());
+    }
+
+    #[test]
+    fn sse_decreases_with_k() {
+        let mut rng = Pcg32::new(2);
+        let pts = blobs(&mut rng, &[(0.0, 0.0), (5.0, 5.0), (9.0, 0.0), (0.0, 9.0)], 30, 0.8);
+        let mut last = f64::INFINITY;
+        for k in [1usize, 2, 4, 8] {
+            let res = kmeans(&pts, &KMeansConfig { k, ..Default::default() }, &mut Pcg32::new(3));
+            assert!(
+                res.sse <= last * 1.02,
+                "sse should be (weakly) decreasing in k: k={k} sse={} last={last}",
+                res.sse
+            );
+            last = res.sse;
+        }
+    }
+
+    #[test]
+    fn k1_centroid_is_the_mean() {
+        let pts = vec![vec![0.0, 0.0], vec![2.0, 0.0], vec![0.0, 2.0], vec![2.0, 2.0]];
+        let res = kmeans(&pts, &KMeansConfig { k: 1, ..Default::default() }, &mut Pcg32::new(4));
+        assert!((res.centroids[0][0] - 1.0).abs() < 1e-5);
+        assert!((res.centroids[0][1] - 1.0).abs() < 1e-5);
+        assert!((res.sse - 8.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn k_clamped_to_n_points() {
+        let pts = vec![vec![0.0], vec![1.0]];
+        let res = kmeans(&pts, &KMeansConfig { k: 10, ..Default::default() }, &mut Pcg32::new(5));
+        assert_eq!(res.centroids.len(), 2);
+        assert!(res.sse < 1e-9);
+    }
+
+    #[test]
+    fn witnesses_are_valid_and_near_centroids() {
+        let mut rng = Pcg32::new(6);
+        let pts = blobs(&mut rng, &[(0.0, 0.0), (8.0, 8.0)], 25, 0.5);
+        let res = kmeans(&pts, &KMeansConfig { k: 2, ..Default::default() }, &mut rng);
+        let w = res.witnesses(&pts);
+        assert_eq!(w.len(), 2);
+        for (c, &wi) in w.iter().enumerate() {
+            assert!(wi < pts.len());
+            // The witness's own assignment is its centroid's cluster.
+            assert_eq!(res.assignments[wi], c);
+        }
+    }
+
+    #[test]
+    fn identical_points_do_not_diverge() {
+        let pts = vec![vec![3.0, 3.0]; 20];
+        let res = kmeans(&pts, &KMeansConfig { k: 4, ..Default::default() }, &mut Pcg32::new(7));
+        assert!(res.sse < 1e-9);
+        assert!(res.centroids.iter().all(|c| c[0] == 3.0 && c[1] == 3.0));
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut rng = Pcg32::new(8);
+        let pts = blobs(&mut rng, &[(0.0, 0.0), (6.0, 6.0)], 30, 1.0);
+        let r1 = kmeans(&pts, &KMeansConfig { k: 2, ..Default::default() }, &mut Pcg32::new(9));
+        let r2 = kmeans(&pts, &KMeansConfig { k: 2, ..Default::default() }, &mut Pcg32::new(9));
+        assert_eq!(r1.assignments, r2.assignments);
+        assert_eq!(r1.sse, r2.sse);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty input")]
+    fn empty_input_panics() {
+        kmeans(&[], &KMeansConfig::default(), &mut Pcg32::new(10));
+    }
+}

@@ -1,0 +1,209 @@
+//! K-medoids (PAM) with a pluggable distance — the classical comparator.
+//!
+//! Chaudhuri et al. summarize workloads by clustering with *custom,
+//! per-application distance functions* and keeping a witness query per
+//! cluster. This module implements that strategy generically: callers
+//! supply any pairwise distance over their query representation (syntactic
+//! features, edit distance over templates, …). The paper's claim is that
+//! K-means over learned embeddings makes this distance engineering
+//! unnecessary — benchmarked head-to-head in the summarization ablation.
+
+use querc_linalg::Pcg32;
+
+/// Result of a K-medoids run.
+#[derive(Debug, Clone)]
+pub struct KMedoidsResult {
+    /// Indices of the chosen medoids (these ARE the summary).
+    pub medoids: Vec<usize>,
+    /// Medoid-slot assignment per input point.
+    pub assignments: Vec<usize>,
+    /// Total distance of points to their medoids.
+    pub cost: f64,
+}
+
+/// PAM-style K-medoids over an arbitrary distance function.
+///
+/// Uses BUILD (greedy) initialization followed by SWAP passes until no
+/// single medoid↔non-medoid exchange improves the cost. `O(k·n²)` per
+/// pass — fine at workload-summarization scale (hundreds of queries).
+pub fn kmedoids<D>(n: usize, k: usize, dist: D, rng: &mut Pcg32) -> KMedoidsResult
+where
+    D: Fn(usize, usize) -> f32,
+{
+    assert!(n > 0, "kmedoids on empty input");
+    assert!(k > 0, "k must be positive");
+    let k = k.min(n);
+    let _ = rng; // deterministic BUILD needs no randomness; kept for API parity
+
+    // BUILD: first medoid minimizes total distance; each next greedily
+    // maximizes cost reduction.
+    let mut medoids: Vec<usize> = Vec::with_capacity(k);
+    let first = (0..n)
+        .min_by(|&a, &b| {
+            let ca: f64 = (0..n).map(|j| dist(a, j) as f64).sum();
+            let cb: f64 = (0..n).map(|j| dist(b, j) as f64).sum();
+            ca.partial_cmp(&cb).unwrap_or(std::cmp::Ordering::Equal)
+        })
+        .unwrap_or(0);
+    medoids.push(first);
+    let mut nearest: Vec<f32> = (0..n).map(|j| dist(first, j)).collect();
+    while medoids.len() < k {
+        let mut best_gain = f64::NEG_INFINITY;
+        let mut best = None;
+        for cand in 0..n {
+            if medoids.contains(&cand) {
+                continue;
+            }
+            let gain: f64 = (0..n)
+                .map(|j| (nearest[j] - dist(cand, j)).max(0.0) as f64)
+                .sum();
+            if gain > best_gain {
+                best_gain = gain;
+                best = Some(cand);
+            }
+        }
+        let Some(m) = best else { break };
+        medoids.push(m);
+        for j in 0..n {
+            nearest[j] = nearest[j].min(dist(m, j));
+        }
+    }
+
+    // SWAP: steepest-descent exchanges.
+    let mut improved = true;
+    let mut guard = 0;
+    while improved && guard < 50 {
+        improved = false;
+        guard += 1;
+        let current_cost = total_cost(n, &medoids, &dist);
+        let mut best_cost = current_cost;
+        let mut best_swap: Option<(usize, usize)> = None;
+        for mi in 0..medoids.len() {
+            for cand in 0..n {
+                if medoids.contains(&cand) {
+                    continue;
+                }
+                let mut trial = medoids.clone();
+                trial[mi] = cand;
+                let c = total_cost(n, &trial, &dist);
+                if c < best_cost - 1e-9 {
+                    best_cost = c;
+                    best_swap = Some((mi, cand));
+                }
+            }
+        }
+        if let Some((mi, cand)) = best_swap {
+            medoids[mi] = cand;
+            improved = true;
+        }
+    }
+
+    // Final assignment.
+    let mut assignments = vec![0usize; n];
+    let mut cost = 0.0f64;
+    for j in 0..n {
+        let (slot, d) = medoids
+            .iter()
+            .enumerate()
+            .map(|(s, &m)| (s, dist(m, j)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .expect("k >= 1");
+        assignments[j] = slot;
+        cost += d as f64;
+    }
+    KMedoidsResult {
+        medoids,
+        assignments,
+        cost,
+    }
+}
+
+fn total_cost<D: Fn(usize, usize) -> f32>(n: usize, medoids: &[usize], dist: &D) -> f64 {
+    (0..n)
+        .map(|j| {
+            medoids
+                .iter()
+                .map(|&m| dist(m, j))
+                .fold(f32::INFINITY, f32::min) as f64
+        })
+        .sum()
+}
+
+/// Convenience: K-medoids over points with Euclidean distance.
+pub fn kmedoids_euclidean(
+    points: &[Vec<f32>],
+    k: usize,
+    rng: &mut Pcg32,
+) -> KMedoidsResult {
+    kmedoids(
+        points.len(),
+        k,
+        |a, b| querc_linalg::ops::dist(&points[a], &points[b]),
+        rng,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn separates_two_line_clusters() {
+        // Points on a line: {0,1,2} and {10,11,12}.
+        let xs = [0.0f32, 1.0, 2.0, 10.0, 11.0, 12.0];
+        let res = kmedoids(6, 2, |a, b| (xs[a] - xs[b]).abs(), &mut Pcg32::new(1));
+        assert_eq!(res.medoids.len(), 2);
+        // Medoids are the middles of each cluster.
+        let mut ms: Vec<f32> = res.medoids.iter().map(|&m| xs[m]).collect();
+        ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(ms, vec![1.0, 11.0]);
+        // Assignments split 3/3.
+        assert_eq!(res.assignments[0], res.assignments[2]);
+        assert_eq!(res.assignments[3], res.assignments[5]);
+        assert_ne!(res.assignments[0], res.assignments[3]);
+    }
+
+    #[test]
+    fn medoids_are_actual_points() {
+        let pts: Vec<Vec<f32>> = (0..20).map(|i| vec![i as f32, (i * i % 7) as f32]).collect();
+        let res = kmedoids_euclidean(&pts, 4, &mut Pcg32::new(2));
+        for &m in &res.medoids {
+            assert!(m < pts.len());
+        }
+        // Medoids are distinct.
+        let set: std::collections::HashSet<_> = res.medoids.iter().collect();
+        assert_eq!(set.len(), res.medoids.len());
+    }
+
+    #[test]
+    fn cost_zero_when_k_equals_n() {
+        let xs = [3.0f32, 7.0, 9.0];
+        let res = kmedoids(3, 3, |a, b| (xs[a] - xs[b]).abs(), &mut Pcg32::new(3));
+        assert!(res.cost < 1e-9);
+    }
+
+    #[test]
+    fn custom_distance_is_respected() {
+        // A distance that makes index parity the only structure.
+        let res = kmedoids(
+            10,
+            2,
+            |a, b| if (a % 2) == (b % 2) { 0.0 } else { 1.0 },
+            &mut Pcg32::new(4),
+        );
+        assert!(res.cost < 1e-9, "parity clusters have zero cost");
+        let m0 = res.medoids[0] % 2;
+        let m1 = res.medoids[1] % 2;
+        assert_ne!(m0, m1, "one medoid per parity class");
+    }
+
+    #[test]
+    fn swap_improves_over_bad_build() {
+        // Regardless of init, final cost must be within 5% of optimum for
+        // this simple instance (brute-force check).
+        let xs = [0.0f32, 0.5, 1.0, 5.0, 5.5, 6.0, 20.0];
+        let res = kmedoids(7, 3, |a, b| (xs[a] - xs[b]).abs(), &mut Pcg32::new(5));
+        // Optimal: medoids at 0.5, 5.5, 20 → cost = 1 + 1 + 0 = 2.
+        assert!(res.cost <= 2.0 + 1e-6, "cost {}", res.cost);
+    }
+}

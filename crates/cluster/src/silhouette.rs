@@ -1,0 +1,104 @@
+//! Silhouette scores — a clustering-quality diagnostic.
+//!
+//! Not used for K selection in the headline experiment (the paper insists
+//! on the simple elbow method) but provided for the ablation comparing K
+//! selectors and for sanity-checking the embedding space.
+
+use querc_linalg::ops;
+
+/// Mean silhouette coefficient over all points, in `[-1, 1]`.
+///
+/// For each point: `s = (b - a) / max(a, b)` where `a` is the mean
+/// intra-cluster distance and `b` the mean distance to the nearest other
+/// cluster. Points in singleton clusters score 0 by convention. Returns 0
+/// if fewer than 2 clusters are populated.
+pub fn mean_silhouette(points: &[Vec<f32>], assignments: &[usize]) -> f64 {
+    assert_eq!(points.len(), assignments.len());
+    let n = points.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let k = assignments.iter().copied().max().map_or(0, |m| m + 1);
+    let mut sizes = vec![0usize; k];
+    for &a in assignments {
+        sizes[a] += 1;
+    }
+    if sizes.iter().filter(|&&s| s > 0).count() < 2 {
+        return 0.0;
+    }
+    let mut total = 0.0f64;
+    for i in 0..n {
+        let ci = assignments[i];
+        if sizes[ci] <= 1 {
+            continue; // singleton: s = 0
+        }
+        // Mean distance to every cluster.
+        let mut dist_sum = vec![0.0f64; k];
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            dist_sum[assignments[j]] += ops::dist(&points[i], &points[j]) as f64;
+        }
+        let a = dist_sum[ci] / (sizes[ci] - 1) as f64;
+        let b = (0..k)
+            .filter(|&c| c != ci && sizes[c] > 0)
+            .map(|c| dist_sum[c] / sizes[c] as f64)
+            .fold(f64::INFINITY, f64::min);
+        let denom = a.max(b);
+        if denom > 0.0 {
+            total += (b - a) / denom;
+        }
+    }
+    total / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use querc_linalg::Pcg32;
+
+    #[test]
+    fn perfect_separation_scores_near_one() {
+        let mut rng = Pcg32::new(1);
+        let mut pts = Vec::new();
+        let mut asg = Vec::new();
+        for (c, &(cx, cy)) in [(0.0f32, 0.0f32), (100.0, 100.0)].iter().enumerate() {
+            for _ in 0..20 {
+                pts.push(vec![cx + rng.normal(), cy + rng.normal()]);
+                asg.push(c);
+            }
+        }
+        let s = mean_silhouette(&pts, &asg);
+        assert!(s > 0.9, "silhouette {s}");
+    }
+
+    #[test]
+    fn random_assignment_scores_near_zero_or_negative() {
+        let mut rng = Pcg32::new(2);
+        let pts: Vec<Vec<f32>> = (0..60).map(|_| vec![rng.f32(), rng.f32()]).collect();
+        let asg: Vec<usize> = (0..60).map(|_| rng.below_usize(3)).collect();
+        let s = mean_silhouette(&pts, &asg);
+        assert!(s < 0.2, "silhouette of random labels {s}");
+    }
+
+    #[test]
+    fn wrong_split_of_one_blob_scores_low() {
+        let mut rng = Pcg32::new(3);
+        let pts: Vec<Vec<f32>> = (0..40).map(|_| vec![rng.normal(), rng.normal()]).collect();
+        let asg: Vec<usize> = (0..40).map(|i| i % 2).collect();
+        let s = mean_silhouette(&pts, &asg);
+        assert!(s < 0.15, "splitting one blob should score poorly, got {s}");
+    }
+
+    #[test]
+    fn single_cluster_returns_zero() {
+        let pts = vec![vec![0.0], vec![1.0], vec![2.0]];
+        assert_eq!(mean_silhouette(&pts, &[0, 0, 0]), 0.0);
+    }
+
+    #[test]
+    fn empty_input_returns_zero() {
+        assert_eq!(mean_silhouette(&[], &[]), 0.0);
+    }
+}

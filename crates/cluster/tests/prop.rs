@@ -1,0 +1,53 @@
+//! Property tests: clustering invariants on arbitrary point clouds.
+
+use proptest::prelude::*;
+use querc_cluster::{kmeans, mean_silhouette, KMeansConfig};
+use querc_linalg::Pcg32;
+
+fn points_strategy() -> impl Strategy<Value = Vec<Vec<f32>>> {
+    prop::collection::vec(prop::collection::vec(-100.0f32..100.0, 2..5), 2..60)
+        .prop_filter("uniform dims", |pts| {
+            let d = pts[0].len();
+            pts.iter().all(|p| p.len() == d)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// K-means always yields valid assignments, k centroids, and SSE that
+    /// cannot beat zero or lose to the trivial upper bound.
+    #[test]
+    fn kmeans_wellformed(pts in points_strategy(), k in 1usize..8, seed in any::<u64>()) {
+        let res = kmeans(&pts, &KMeansConfig { k, ..Default::default() }, &mut Pcg32::new(seed));
+        prop_assert_eq!(res.assignments.len(), pts.len());
+        let kk = res.centroids.len();
+        prop_assert!(kk <= k.min(pts.len()) && kk >= 1);
+        prop_assert!(res.assignments.iter().all(|&a| a < kk));
+        prop_assert!(res.sse >= 0.0 && res.sse.is_finite());
+    }
+
+    /// More clusters never makes the best-of-two-seeds SSE dramatically
+    /// worse (weak monotonicity modulo local optima).
+    #[test]
+    fn kmeans_sse_weakly_improves(pts in points_strategy(), seed in any::<u64>()) {
+        let run = |k: usize| {
+            (0..2)
+                .map(|r| {
+                    kmeans(&pts, &KMeansConfig { k, ..Default::default() },
+                           &mut Pcg32::new(seed ^ r)).sse
+                })
+                .fold(f64::INFINITY, f64::min)
+        };
+        prop_assert!(run(4) <= run(1) * 1.001 + 1e-6);
+    }
+
+    /// Silhouette is bounded in [-1, 1] for any assignment.
+    #[test]
+    fn silhouette_bounded(pts in points_strategy(), seed in any::<u64>()) {
+        let mut rng = Pcg32::new(seed);
+        let asg: Vec<usize> = (0..pts.len()).map(|_| rng.below_usize(3)).collect();
+        let s = mean_silhouette(&pts, &asg);
+        prop_assert!((-1.0..=1.0).contains(&s), "{s}");
+    }
+}

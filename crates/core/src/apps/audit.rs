@@ -1,0 +1,228 @@
+//! Security auditing by user/account prediction (paper §5.2).
+//!
+//! Train a classifier `V → user` from query syntax alone; at serving time
+//! a query whose *predicted* user differs from the *actual* submitting
+//! user is flagged for audit (a possibly compromised account). The same
+//! machinery with `account` labels powers Table 1's account-labeling task
+//! and misrouting detection.
+
+use crate::classifier::TrainedLabeler;
+use querc_embed::Embedder;
+use querc_learn::{ForestConfig, RandomForest};
+use querc_linalg::Pcg32;
+use querc_workloads::QueryRecord;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Verdict for one audited query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditVerdict {
+    pub actual_user: String,
+    pub predicted_user: String,
+    /// True when prediction and reality disagree — flag for review.
+    pub flagged: bool,
+}
+
+/// Per-account labeling accuracy (Table 2's rows).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccountAccuracy {
+    pub account: String,
+    pub queries: usize,
+    pub users: usize,
+    pub accuracy: f64,
+}
+
+/// A trained security auditor.
+pub struct SecurityAuditor {
+    embedder: Arc<dyn Embedder>,
+    user_model: TrainedLabeler,
+}
+
+impl SecurityAuditor {
+    /// Train the user predictor from labeled log records.
+    pub fn train(
+        records: &[QueryRecord],
+        embedder: Arc<dyn Embedder>,
+        n_trees: usize,
+        seed: u64,
+    ) -> SecurityAuditor {
+        let vectors: Vec<Vec<f32>> = records
+            .iter()
+            .map(|r| embedder.embed(&r.tokens()))
+            .collect();
+        let names: Vec<&str> = records.iter().map(|r| r.user.as_str()).collect();
+        let mut rng = Pcg32::with_stream(seed, 0xa0d1);
+        let user_model = TrainedLabeler::train(
+            RandomForest::new(ForestConfig::extra_trees(n_trees)),
+            &vectors,
+            &names,
+            &mut rng,
+        );
+        SecurityAuditor {
+            embedder,
+            user_model,
+        }
+    }
+
+    /// Audit one query submission.
+    pub fn audit(&self, sql: &str, actual_user: &str) -> AuditVerdict {
+        let v = self.embedder.embed_sql(sql);
+        let predicted = self.user_model.predict(&v).to_string();
+        AuditVerdict {
+            flagged: predicted != actual_user,
+            actual_user: actual_user.to_string(),
+            predicted_user: predicted,
+        }
+    }
+
+    /// Audit a batch; returns only flagged verdicts with their indices.
+    pub fn audit_batch(&self, records: &[QueryRecord]) -> Vec<(usize, AuditVerdict)> {
+        records
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| {
+                let verdict = self.audit(&r.sql, &r.user);
+                verdict.flagged.then_some((i, verdict))
+            })
+            .collect()
+    }
+}
+
+/// Per-account user-prediction accuracy over held-out records, sorted by
+/// query volume descending — exactly the layout of the paper's Table 2.
+pub fn per_account_accuracy(
+    auditor: &SecurityAuditor,
+    records: &[QueryRecord],
+) -> Vec<AccountAccuracy> {
+    #[derive(Default)]
+    struct Acc {
+        hits: usize,
+        total: usize,
+        users: std::collections::HashSet<String>,
+    }
+    let mut by_account: BTreeMap<&str, Acc> = BTreeMap::new();
+    for r in records {
+        let verdict = auditor.audit(&r.sql, &r.user);
+        let acc = by_account.entry(r.account.as_str()).or_default();
+        acc.total += 1;
+        acc.users.insert(r.user.clone());
+        if !verdict.flagged {
+            acc.hits += 1;
+        }
+    }
+    let mut rows: Vec<AccountAccuracy> = by_account
+        .into_iter()
+        .map(|(account, acc)| AccountAccuracy {
+            account: account.to_string(),
+            queries: acc.total,
+            users: acc.users.len(),
+            accuracy: acc.hits as f64 / acc.total.max(1) as f64,
+        })
+        .collect();
+    rows.sort_by(|a, b| b.queries.cmp(&a.queries));
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use querc_embed::BagOfTokens;
+
+    fn records() -> Vec<QueryRecord> {
+        // Two users with sharply distinct habits.
+        (0..40)
+            .map(|i| {
+                let (user, sql) = if i % 2 == 0 {
+                    (
+                        "acct/alice",
+                        format!("select revenue from finance_reports where q = {i}"),
+                    )
+                } else {
+                    (
+                        "acct/bob",
+                        format!("insert into sensor_stream values ({i}, {i})"),
+                    )
+                };
+                QueryRecord {
+                    sql,
+                    user: user.into(),
+                    account: "acct".into(),
+                    cluster: "c0".into(),
+                    dialect: "generic".into(),
+                    runtime_ms: 1.0,
+                    mem_mb: 1.0,
+                    error_code: None,
+                    timestamp: i,
+                }
+            })
+            .collect()
+    }
+
+    fn auditor() -> SecurityAuditor {
+        SecurityAuditor::train(&records(), Arc::new(BagOfTokens::new(64, true)), 15, 7)
+    }
+
+    #[test]
+    fn normal_queries_pass_audit() {
+        let a = auditor();
+        let v = a.audit("select revenue from finance_reports where q = 99", "acct/alice");
+        assert!(!v.flagged, "{v:?}");
+    }
+
+    #[test]
+    fn out_of_character_query_is_flagged() {
+        let a = auditor();
+        // Alice's account suddenly issues Bob-style ingest traffic.
+        let v = a.audit("insert into sensor_stream values (1, 2)", "acct/alice");
+        assert!(v.flagged);
+        assert_eq!(v.predicted_user, "acct/bob");
+    }
+
+    #[test]
+    fn audit_batch_returns_only_flags() {
+        let a = auditor();
+        let mut recs = records();
+        // Corrupt one record: bob's query under alice's name.
+        recs[1].user = "acct/alice".into();
+        let flags = a.audit_batch(&recs);
+        assert!(flags.iter().any(|(i, _)| *i == 1));
+        // Mostly unflagged.
+        assert!(flags.len() < recs.len() / 4);
+    }
+
+    #[test]
+    fn per_account_accuracy_shape() {
+        let a = auditor();
+        let rows = per_account_accuracy(&a, &records());
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].users, 2);
+        assert_eq!(rows[0].queries, 40);
+        assert!(rows[0].accuracy > 0.9, "separable users: {}", rows[0].accuracy);
+    }
+
+    #[test]
+    fn indistinguishable_users_cap_accuracy() {
+        // All users run the SAME verbatim query — the paper's Table 2
+        // failure mode. Accuracy cannot exceed the majority share.
+        let shared: Vec<QueryRecord> = (0..30)
+            .map(|i| QueryRecord {
+                sql: "select * from shared_dashboard".into(),
+                user: format!("acct/u{}", i % 3),
+                account: "acct".into(),
+                cluster: "c0".into(),
+                dialect: "generic".into(),
+                runtime_ms: 1.0,
+                mem_mb: 1.0,
+                error_code: None,
+                timestamp: i,
+            })
+            .collect();
+        let a = SecurityAuditor::train(&shared, Arc::new(BagOfTokens::new(64, true)), 15, 3);
+        let rows = per_account_accuracy(&a, &shared);
+        assert!(
+            rows[0].accuracy < 0.5,
+            "verbatim-identical queries must be nearly unpredictable, got {}",
+            rows[0].accuracy
+        );
+    }
+}

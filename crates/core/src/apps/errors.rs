@@ -1,0 +1,150 @@
+//! Error prediction from query syntax (paper §4, "Error prediction").
+//!
+//! Syntax patterns correlate with resource errors and engine bugs; with
+//! learned features "a classifier to predict errors from syntax is
+//! trivial to engineer". Predicted-risky queries can be routed to an
+//! instrumented or higher-memory runtime before they fail.
+
+use querc_embed::Embedder;
+use querc_learn::{Classifier, ForestConfig, RandomForest};
+use querc_linalg::Pcg32;
+use querc_workloads::QueryRecord;
+use std::sync::Arc;
+
+/// Risk assessment for one query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ErrorRisk {
+    /// Probability the query fails (forest vote share).
+    pub probability: f64,
+    /// True when above the predictor's threshold.
+    pub risky: bool,
+}
+
+/// A trained error predictor (binary: fails / succeeds).
+pub struct ErrorPredictor {
+    embedder: Arc<dyn Embedder>,
+    model: RandomForest,
+    /// Queries with failure probability ≥ this are flagged.
+    pub threshold: f64,
+}
+
+impl ErrorPredictor {
+    /// Train from log records (the error label ships in the log itself —
+    /// "training data is readily available from the query logs").
+    pub fn train(
+        records: &[QueryRecord],
+        embedder: Arc<dyn Embedder>,
+        threshold: f64,
+        seed: u64,
+    ) -> ErrorPredictor {
+        let vectors: Vec<Vec<f32>> = records
+            .iter()
+            .map(|r| embedder.embed(&r.tokens()))
+            .collect();
+        let labels: Vec<u32> = records.iter().map(|r| u32::from(r.is_error())).collect();
+        let mut model = RandomForest::new(ForestConfig::extra_trees(40));
+        let mut rng = Pcg32::with_stream(seed, 0xe440);
+        model.fit(&vectors, &labels, 2, &mut rng);
+        ErrorPredictor {
+            embedder,
+            model,
+            threshold,
+        }
+    }
+
+    /// Assess one query.
+    pub fn assess(&self, sql: &str) -> ErrorRisk {
+        let v = self.embedder.embed_sql(sql);
+        let proba = self.model.predict_proba(&v, 2);
+        let probability = proba.get(1).copied().unwrap_or(0.0) as f64;
+        ErrorRisk {
+            probability,
+            risky: probability >= self.threshold,
+        }
+    }
+
+    /// Fraction of held-out records classified correctly (diagnostic).
+    pub fn holdout_accuracy(&self, records: &[QueryRecord]) -> f64 {
+        if records.is_empty() {
+            return 0.0;
+        }
+        let hits = records
+            .iter()
+            .filter(|r| self.assess(&r.sql).risky == r.is_error())
+            .count();
+        hits as f64 / records.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A workload where one query shape reliably blows memory.
+    fn records(seed_off: u64) -> Vec<QueryRecord> {
+        (0..80)
+            .map(|i| {
+                let i = i + seed_off * 1000;
+                let flaky = i % 4 == 0;
+                let sql = if flaky {
+                    format!(
+                        "select a.*, b.* from giant_facts a join giant_facts b on a.k = b.k where a.x > {i}"
+                    )
+                } else {
+                    format!("select c from small_dim where id = {i}")
+                };
+                QueryRecord {
+                    sql,
+                    user: "u".into(),
+                    account: "a".into(),
+                    cluster: "c".into(),
+                    dialect: "generic".into(),
+                    runtime_ms: 1.0,
+                    mem_mb: 1.0,
+                    // The flaky shape fails most of the time.
+                    error_code: (flaky && i % 8 != 4).then_some(604),
+                    timestamp: i,
+                }
+            })
+            .collect()
+    }
+
+    fn predictor() -> ErrorPredictor {
+        ErrorPredictor::train(
+            &records(0),
+            Arc::new(querc_embed::BagOfTokens::new(64, true)),
+            0.5,
+            1,
+        )
+    }
+
+    #[test]
+    fn flaky_shape_is_risky_safe_shape_is_not() {
+        let p = predictor();
+        let risky = p.assess(
+            "select a.*, b.* from giant_facts a join giant_facts b on a.k = b.k where a.x > 999",
+        );
+        let safe = p.assess("select c from small_dim where id = 999");
+        assert!(risky.probability > safe.probability);
+        assert!(risky.risky, "{risky:?}");
+        assert!(!safe.risky, "{safe:?}");
+    }
+
+    #[test]
+    fn holdout_accuracy_beats_base_rate() {
+        let p = predictor();
+        let held = records(7);
+        let acc = p.holdout_accuracy(&held);
+        // Base rate of the majority class ("no error") is ~81%.
+        assert!(acc > 0.85, "accuracy {acc}");
+    }
+
+    #[test]
+    fn probabilities_in_unit_interval() {
+        let p = predictor();
+        for sql in ["select 1", "drop table x", ""] {
+            let r = p.assess(sql);
+            assert!((0.0..=1.0).contains(&r.probability));
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! Applications — each a thin adapter from the generic labeling machinery
+//! to one of the paper's §4 use cases.
+//!
+//! * [`summarize`] — workload summarization for index recommendation
+//!   (§5.1's headline experiment);
+//! * [`audit`] — user/account prediction for security auditing (§5.2);
+//! * [`routing`] — query-routing policy misconfiguration detection;
+//! * [`errors`] — error prediction from query syntax;
+//! * [`resources`] — coarse resource-class prediction for speculative
+//!   allocation;
+//! * [`recommend`] — next-query recommendation over embedding clusters.
+
+pub mod audit;
+pub mod errors;
+pub mod recommend;
+pub mod resources;
+pub mod routing;
+pub mod summarize;

@@ -1,0 +1,199 @@
+//! Resource-class prediction for speculative allocation (paper §4,
+//! "Resource allocation").
+//!
+//! Syntax cannot predict exact runtimes, but coarse classes (short /
+//! medium / long; memory-light / memory-heavy) are learnable and already
+//! useful for load balancing and admission control. Labels come straight
+//! from the log's measured runtime/memory columns.
+
+use querc_embed::Embedder;
+use querc_learn::{Classifier, ForestConfig, RandomForest};
+use querc_linalg::Pcg32;
+use querc_workloads::QueryRecord;
+use std::sync::Arc;
+
+/// Coarse resource classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ResourceClass {
+    Short,
+    Medium,
+    Long,
+}
+
+impl ResourceClass {
+    pub fn name(&self) -> &'static str {
+        match self {
+            ResourceClass::Short => "short",
+            ResourceClass::Medium => "medium",
+            ResourceClass::Long => "long",
+        }
+    }
+
+    fn from_id(id: u32) -> ResourceClass {
+        match id {
+            0 => ResourceClass::Short,
+            1 => ResourceClass::Medium,
+            _ => ResourceClass::Long,
+        }
+    }
+}
+
+/// Thresholds (milliseconds) splitting the three classes.
+#[derive(Debug, Clone, Copy)]
+pub struct ResourceBuckets {
+    pub short_below_ms: f64,
+    pub long_above_ms: f64,
+}
+
+impl Default for ResourceBuckets {
+    fn default() -> Self {
+        ResourceBuckets {
+            short_below_ms: 100.0,
+            long_above_ms: 600.0,
+        }
+    }
+}
+
+impl ResourceBuckets {
+    /// Bucket a measured runtime.
+    pub fn classify(&self, runtime_ms: f64) -> ResourceClass {
+        if runtime_ms < self.short_below_ms {
+            ResourceClass::Short
+        } else if runtime_ms >= self.long_above_ms {
+            ResourceClass::Long
+        } else {
+            ResourceClass::Medium
+        }
+    }
+}
+
+/// A trained resource-class predictor.
+pub struct ResourcePredictor {
+    embedder: Arc<dyn Embedder>,
+    model: RandomForest,
+    pub buckets: ResourceBuckets,
+}
+
+impl ResourcePredictor {
+    pub fn train(
+        records: &[QueryRecord],
+        embedder: Arc<dyn Embedder>,
+        buckets: ResourceBuckets,
+        seed: u64,
+    ) -> ResourcePredictor {
+        let vectors: Vec<Vec<f32>> = records
+            .iter()
+            .map(|r| embedder.embed(&r.tokens()))
+            .collect();
+        let labels: Vec<u32> = records
+            .iter()
+            .map(|r| buckets.classify(r.runtime_ms) as u32)
+            .collect();
+        let mut model = RandomForest::new(ForestConfig::extra_trees(40));
+        let mut rng = Pcg32::with_stream(seed, 0x4e50);
+        model.fit(&vectors, &labels, 3, &mut rng);
+        ResourcePredictor {
+            embedder,
+            model,
+            buckets,
+        }
+    }
+
+    /// Predict the class of an incoming query before running it.
+    pub fn predict(&self, sql: &str) -> ResourceClass {
+        let v = self.embedder.embed_sql(sql);
+        ResourceClass::from_id(self.model.predict(&v))
+    }
+
+    /// Held-out accuracy against measured runtimes.
+    pub fn holdout_accuracy(&self, records: &[QueryRecord]) -> f64 {
+        if records.is_empty() {
+            return 0.0;
+        }
+        let hits = records
+            .iter()
+            .filter(|r| self.predict(&r.sql) == self.buckets.classify(r.runtime_ms))
+            .count();
+        hits as f64 / records.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn records(offset: u64) -> Vec<QueryRecord> {
+        (0..90)
+            .map(|i| {
+                let i = i + offset * 917;
+                let (sql, ms) = match i % 3 {
+                    0 => (format!("select v from kv_store where k = {i}"), 5.0),
+                    1 => (
+                        format!("select g, count(*) from mid_table where t > {i} group by g"),
+                        300.0,
+                    ),
+                    _ => (
+                        format!(
+                            "select a.g, sum(b.v) from big_facts a join big_facts b on a.k = b.k group by a.g"
+                        ),
+                        2000.0,
+                    ),
+                };
+                QueryRecord {
+                    sql,
+                    user: "u".into(),
+                    account: "a".into(),
+                    cluster: "c".into(),
+                    dialect: "generic".into(),
+                    runtime_ms: ms,
+                    mem_mb: ms / 2.0,
+                    error_code: None,
+                    timestamp: i,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn buckets_classify_correctly() {
+        let b = ResourceBuckets::default();
+        assert_eq!(b.classify(1.0), ResourceClass::Short);
+        assert_eq!(b.classify(100.0), ResourceClass::Medium);
+        assert_eq!(b.classify(599.9), ResourceClass::Medium);
+        assert_eq!(b.classify(600.0), ResourceClass::Long);
+    }
+
+    #[test]
+    fn predicts_classes_from_syntax() {
+        let p = ResourcePredictor::train(
+            &records(0),
+            Arc::new(querc_embed::BagOfTokens::new(64, true)),
+            ResourceBuckets::default(),
+            1,
+        );
+        assert_eq!(p.predict("select v from kv_store where k = 999"), ResourceClass::Short);
+        assert_eq!(
+            p.predict("select a.g, sum(b.v) from big_facts a join big_facts b on a.k = b.k group by a.g"),
+            ResourceClass::Long
+        );
+    }
+
+    #[test]
+    fn holdout_accuracy_is_high_on_separable_shapes() {
+        let p = ResourcePredictor::train(
+            &records(0),
+            Arc::new(querc_embed::BagOfTokens::new(64, true)),
+            ResourceBuckets::default(),
+            2,
+        );
+        let acc = p.holdout_accuracy(&records(5));
+        assert!(acc > 0.9, "accuracy {acc}");
+    }
+
+    #[test]
+    fn class_names() {
+        assert_eq!(ResourceClass::Short.name(), "short");
+        assert_eq!(ResourceClass::from_id(2), ResourceClass::Long);
+        assert_eq!(ResourceClass::from_id(99), ResourceClass::Long);
+    }
+}

@@ -1,0 +1,201 @@
+//! Query-routing policy checking (paper §4, "Enforcing query routing
+//! policies").
+//!
+//! Routing policies (SLAs, isolation, audit requirements) assign queries
+//! to clusters; in practice they are hand-maintained and drift. Under the
+//! paper's hypothesis that queries governed by one policy look alike,
+//! a classifier trained on historical (query → cluster) assignments can
+//! flag queries whose predicted cluster disagrees with the assigned one —
+//! surfacing policy misconfigurations without parsing a single rule.
+
+use crate::classifier::TrainedLabeler;
+use querc_embed::Embedder;
+use querc_learn::{Classifier, ForestConfig, RandomForest};
+use querc_linalg::Pcg32;
+use querc_workloads::QueryRecord;
+use std::sync::Arc;
+
+/// One suspected misrouting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoutingAnomaly {
+    /// Index into the checked batch.
+    pub index: usize,
+    pub assigned_cluster: String,
+    pub predicted_cluster: String,
+    /// Classifier confidence in the predicted cluster (mean tree vote).
+    pub confidence: f64,
+}
+
+/// A trained routing-policy checker.
+pub struct RoutingChecker {
+    embedder: Arc<dyn Embedder>,
+    model: RandomForest,
+    labels: crate::classifier::LabelMap,
+    /// Only disagreements at or above this confidence are reported.
+    pub min_confidence: f64,
+}
+
+impl RoutingChecker {
+    /// Learn historical routing from labeled records.
+    pub fn train(
+        records: &[QueryRecord],
+        embedder: Arc<dyn Embedder>,
+        min_confidence: f64,
+        seed: u64,
+    ) -> RoutingChecker {
+        let vectors: Vec<Vec<f32>> = records
+            .iter()
+            .map(|r| embedder.embed(&r.tokens()))
+            .collect();
+        let (labels, ids) = crate::classifier::LabelMap::from_labels(
+            records.iter().map(|r| r.cluster.as_str()),
+        );
+        let mut model = RandomForest::new(ForestConfig::extra_trees(40));
+        let mut rng = Pcg32::with_stream(seed, 0x4072);
+        model.fit(&vectors, &ids, labels.len().max(1), &mut rng);
+        RoutingChecker {
+            embedder,
+            model,
+            labels,
+            min_confidence,
+        }
+    }
+
+    /// Check a batch of assignments; returns suspected misroutings.
+    pub fn check(&self, records: &[QueryRecord]) -> Vec<RoutingAnomaly> {
+        records
+            .iter()
+            .enumerate()
+            .filter_map(|(index, r)| {
+                let v = self.embedder.embed(&r.tokens());
+                let proba = self.model.proba(&v);
+                let best = querc_linalg::stats::argmax(&proba)? as u32;
+                let predicted = self.labels.name(best)?.to_string();
+                let confidence = proba[best as usize] as f64;
+                (predicted != r.cluster && confidence >= self.min_confidence).then_some(
+                    RoutingAnomaly {
+                        index,
+                        assigned_cluster: r.cluster.clone(),
+                        predicted_cluster: predicted,
+                        confidence,
+                    },
+                )
+            })
+            .collect()
+    }
+
+    /// Predict the policy cluster for a brand-new query.
+    pub fn predict(&self, sql: &str) -> String {
+        let v = self.embedder.embed_sql(sql);
+        self.labels
+            .name(self.model.predict(&v))
+            .unwrap_or("<unknown>")
+            .to_string()
+    }
+}
+
+/// Convenience: a plain (embedder, labeler) cluster classifier for use in
+/// the generic labeling pipeline.
+pub fn train_cluster_labeler(
+    records: &[QueryRecord],
+    embedder: &Arc<dyn Embedder>,
+    seed: u64,
+) -> TrainedLabeler {
+    let vectors: Vec<Vec<f32>> = records
+        .iter()
+        .map(|r| embedder.embed(&r.tokens()))
+        .collect();
+    let names: Vec<&str> = records.iter().map(|r| r.cluster.as_str()).collect();
+    let mut rng = Pcg32::with_stream(seed, 0x4073);
+    TrainedLabeler::train(
+        RandomForest::new(ForestConfig::extra_trees(40)),
+        &vectors,
+        &names,
+        &mut rng,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use querc_embed::BagOfTokens;
+
+    fn records() -> Vec<QueryRecord> {
+        (0..60)
+            .map(|i| {
+                let (cluster, sql) = if i % 2 == 0 {
+                    ("etl-cluster", format!("insert into lake_events select * from staging_{}", i % 3))
+                } else {
+                    ("bi-cluster", format!("select sum(x) from finance_cube group by dim{}", i % 4))
+                };
+                QueryRecord {
+                    sql,
+                    user: "u".into(),
+                    account: "a".into(),
+                    cluster: cluster.into(),
+                    dialect: "generic".into(),
+                    runtime_ms: 1.0,
+                    mem_mb: 1.0,
+                    error_code: None,
+                    timestamp: i,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn consistent_routing_raises_no_anomalies() {
+        let recs = records();
+        let checker =
+            RoutingChecker::train(&recs, Arc::new(BagOfTokens::new(64, true)), 0.6, 1);
+        let anomalies = checker.check(&recs);
+        assert!(
+            anomalies.len() <= recs.len() / 10,
+            "clean assignments flagged: {anomalies:?}"
+        );
+    }
+
+    #[test]
+    fn misrouted_query_is_detected() {
+        let mut recs = records();
+        // A BI query somehow routed to the ETL cluster.
+        recs[1].cluster = "etl-cluster".into();
+        let checker = RoutingChecker::train(
+            &records(), // train on CLEAN history
+            Arc::new(BagOfTokens::new(64, true)),
+            0.6,
+            2,
+        );
+        let anomalies = checker.check(&recs);
+        assert!(anomalies.iter().any(|a| a.index == 1), "{anomalies:?}");
+        let a = anomalies.iter().find(|a| a.index == 1).unwrap();
+        assert_eq!(a.predicted_cluster, "bi-cluster");
+        assert_eq!(a.assigned_cluster, "etl-cluster");
+    }
+
+    #[test]
+    fn confidence_threshold_suppresses_weak_flags() {
+        let recs = records();
+        let strict = RoutingChecker::train(
+            &recs,
+            Arc::new(BagOfTokens::new(64, true)),
+            1.01, // impossible confidence
+            3,
+        );
+        assert!(strict.check(&recs).is_empty());
+    }
+
+    #[test]
+    fn predict_routes_new_queries() {
+        let checker =
+            RoutingChecker::train(&records(), Arc::new(BagOfTokens::new(64, true)), 0.5, 4);
+        assert_eq!(
+            checker.predict("select sum(y) from finance_cube group by dim9"),
+            "bi-cluster"
+        );
+        assert_eq!(
+            checker.predict("insert into lake_events select * from staging_9"),
+            "etl-cluster"
+        );
+    }
+}

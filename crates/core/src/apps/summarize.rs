@@ -1,0 +1,228 @@
+//! Workload summarization for index recommendation (paper §5.1).
+//!
+//! The Querc pipeline: embed every query, pick K with the elbow method,
+//! run K-means, and keep the query nearest each centroid ("witnesses") as
+//! the compressed workload handed to the tuning advisor.
+//!
+//! Two classical comparators are provided for the ablation benches:
+//! K-medoids over hand-engineered syntactic features (the Chaudhuri-style
+//! approach the paper argues requires per-workload distance engineering)
+//! and uniform random sampling (what a tuning advisor's native compressor
+//! does).
+
+use querc_cluster::{choose_k_elbow, kmeans, KMeansConfig};
+use querc_embed::Embedder;
+use querc_linalg::Pcg32;
+use querc_sql::features::feature_vector;
+use querc_sql::Dialect;
+
+/// How to compress the workload.
+pub enum SummaryMethod<'a> {
+    /// Learned embeddings + K-means + elbow (the paper's method).
+    Embedding(&'a dyn Embedder),
+    /// K-medoids over fixed syntactic features (classical baseline).
+    SyntacticKMedoids,
+    /// Uniform random sample (native-advisor strawman).
+    RandomSample,
+}
+
+/// Summarization knobs.
+pub struct SummaryConfig {
+    /// Fix K instead of running the elbow scan.
+    pub k: Option<usize>,
+    /// Elbow scan bounds (used when `k` is None).
+    pub k_min: usize,
+    pub k_max: usize,
+    /// Elbow plateau threshold (relative gain vs initial SSE).
+    pub plateau: f64,
+    pub seed: u64,
+}
+
+impl Default for SummaryConfig {
+    fn default() -> Self {
+        SummaryConfig {
+            k: None,
+            k_min: 4,
+            k_max: 40,
+            plateau: 0.01,
+            seed: 0x5a11,
+        }
+    }
+}
+
+/// Compress `sqls` to a witness subset; returns indices into `sqls`.
+pub fn summarize_workload(
+    sqls: &[&str],
+    method: &SummaryMethod<'_>,
+    cfg: &SummaryConfig,
+) -> Vec<usize> {
+    if sqls.is_empty() {
+        return Vec::new();
+    }
+    let mut rng = Pcg32::with_stream(cfg.seed, 0x5a12);
+    match method {
+        SummaryMethod::Embedding(embedder) => {
+            let points: Vec<Vec<f32>> = sqls.iter().map(|s| embedder.embed_sql(s)).collect();
+            let k = effective_k(cfg, &points, &mut rng);
+            let result = kmeans(
+                &points,
+                &KMeansConfig {
+                    k,
+                    ..Default::default()
+                },
+                &mut rng,
+            );
+            dedup_witnesses(result.witnesses(&points))
+        }
+        SummaryMethod::SyntacticKMedoids => {
+            let points: Vec<Vec<f32>> = sqls
+                .iter()
+                .map(|s| feature_vector(s, Dialect::Generic))
+                .collect();
+            let k = effective_k(cfg, &points, &mut rng);
+            let res = querc_cluster::kmedoids::kmedoids_euclidean(&points, k, &mut rng);
+            dedup_witnesses(res.medoids)
+        }
+        SummaryMethod::RandomSample => {
+            let k = cfg.k.unwrap_or(cfg.k_max).min(sqls.len());
+            rng.sample_indices(sqls.len(), k)
+        }
+    }
+}
+
+fn effective_k(cfg: &SummaryConfig, points: &[Vec<f32>], rng: &mut Pcg32) -> usize {
+    match cfg.k {
+        Some(k) => k.min(points.len()),
+        None => choose_k_elbow(
+            points,
+            cfg.k_min.min(points.len().max(1)),
+            cfg.k_max.min(points.len()),
+            cfg.plateau,
+            rng,
+        ),
+    }
+}
+
+fn dedup_witnesses(mut w: Vec<usize>) -> Vec<usize> {
+    w.sort_unstable();
+    w.dedup();
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use querc_embed::BagOfTokens;
+
+    fn mixed_workload() -> Vec<String> {
+        let mut sqls = Vec::new();
+        for i in 0..25 {
+            sqls.push(format!(
+                "select c{}, sum(v) from sales_orders where d > {} group by c{}",
+                i % 3,
+                i,
+                i % 3
+            ));
+            sqls.push(format!("insert into raw_events values ({i}, 'x')"));
+            sqls.push(format!("select * from users where user_id = {i}"));
+        }
+        sqls
+    }
+
+    #[test]
+    fn embedding_summary_covers_query_families() {
+        let sqls = mixed_workload();
+        let refs: Vec<&str> = sqls.iter().map(String::as_str).collect();
+        let embedder = BagOfTokens::new(128, true);
+        let cfg = SummaryConfig {
+            k: Some(6),
+            ..Default::default()
+        };
+        let witnesses = summarize_workload(&refs, &SummaryMethod::Embedding(&embedder), &cfg);
+        assert!(!witnesses.is_empty() && witnesses.len() <= 6);
+        // The witnesses must span all three families.
+        let kinds: std::collections::HashSet<&str> = witnesses
+            .iter()
+            .map(|&i| {
+                if refs[i].starts_with("insert") {
+                    "insert"
+                } else if refs[i].contains("group by") {
+                    "agg"
+                } else {
+                    "lookup"
+                }
+            })
+            .collect();
+        assert_eq!(kinds.len(), 3, "summary misses a family: {witnesses:?}");
+    }
+
+    #[test]
+    fn syntactic_kmedoids_also_covers_families() {
+        let sqls = mixed_workload();
+        let refs: Vec<&str> = sqls.iter().map(String::as_str).collect();
+        let cfg = SummaryConfig {
+            k: Some(6),
+            ..Default::default()
+        };
+        let witnesses = summarize_workload(&refs, &SummaryMethod::SyntacticKMedoids, &cfg);
+        assert!(!witnesses.is_empty() && witnesses.len() <= 6);
+    }
+
+    #[test]
+    fn random_sample_has_requested_size() {
+        let sqls = mixed_workload();
+        let refs: Vec<&str> = sqls.iter().map(String::as_str).collect();
+        let cfg = SummaryConfig {
+            k: Some(10),
+            ..Default::default()
+        };
+        let w = summarize_workload(&refs, &SummaryMethod::RandomSample, &cfg);
+        assert_eq!(w.len(), 10);
+        assert!(w.iter().all(|&i| i < refs.len()));
+    }
+
+    #[test]
+    fn elbow_mode_picks_small_k_for_three_families() {
+        let sqls = mixed_workload();
+        let refs: Vec<&str> = sqls.iter().map(String::as_str).collect();
+        let embedder = BagOfTokens::new(128, true);
+        let cfg = SummaryConfig {
+            k: None,
+            k_min: 2,
+            k_max: 15,
+            plateau: 0.05,
+            ..Default::default()
+        };
+        let w = summarize_workload(&refs, &SummaryMethod::Embedding(&embedder), &cfg);
+        assert!(
+            (2..=15).contains(&w.len()),
+            "elbow K out of range: {}",
+            w.len()
+        );
+    }
+
+    #[test]
+    fn empty_workload() {
+        let embedder = BagOfTokens::new(16, false);
+        let w = summarize_workload(
+            &[],
+            &SummaryMethod::Embedding(&embedder),
+            &SummaryConfig::default(),
+        );
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let sqls = mixed_workload();
+        let refs: Vec<&str> = sqls.iter().map(String::as_str).collect();
+        let embedder = BagOfTokens::new(64, true);
+        let cfg = SummaryConfig {
+            k: Some(5),
+            ..Default::default()
+        };
+        let a = summarize_workload(&refs, &SummaryMethod::Embedding(&embedder), &cfg);
+        let b = summarize_workload(&refs, &SummaryMethod::Embedding(&embedder), &cfg);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,198 @@
+//! Classifiers: pre-trained (embedder, labeler) pairs.
+//!
+//! The split is the architectural point of the paper (§2): one embedder —
+//! trained once on a large combined workload — can serve many labelers,
+//! each trained on a small application-specific labeled set. Labelers map
+//! vectors to *string* labels through a [`LabelMap`], because everything
+//! downstream (audit verdicts, routing decisions) speaks in names, not
+//! class ids.
+
+use querc_embed::Embedder;
+use querc_learn::Classifier;
+use querc_linalg::Pcg32;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Bidirectional label-name ↔ class-id mapping.
+#[derive(Debug, Clone, Default)]
+pub struct LabelMap {
+    to_id: HashMap<String, u32>,
+    names: Vec<String>,
+}
+
+impl LabelMap {
+    /// Build from a label column, assigning ids in first-seen order.
+    pub fn from_labels<'a, I: IntoIterator<Item = &'a str>>(labels: I) -> (LabelMap, Vec<u32>) {
+        let mut map = LabelMap::default();
+        let ids = labels.into_iter().map(|l| map.intern(l)).collect();
+        (map, ids)
+    }
+
+    /// Get or create the id for a name.
+    pub fn intern(&mut self, name: &str) -> u32 {
+        if let Some(&id) = self.to_id.get(name) {
+            return id;
+        }
+        let id = self.names.len() as u32;
+        self.to_id.insert(name.to_string(), id);
+        self.names.push(name.to_string());
+        id
+    }
+
+    /// Id of a known name.
+    pub fn id(&self, name: &str) -> Option<u32> {
+        self.to_id.get(name).copied()
+    }
+
+    /// Name of an id.
+    pub fn name(&self, id: u32) -> Option<&str> {
+        self.names.get(id as usize).map(String::as_str)
+    }
+
+    /// Number of classes.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+/// A trained labeler: a `querc-learn` model plus its label vocabulary.
+pub struct TrainedLabeler {
+    model: Box<dyn Classifier>,
+    labels: LabelMap,
+}
+
+impl TrainedLabeler {
+    /// Train `model` to map `vectors[i]` to `label_names[i]`.
+    pub fn train<C: Classifier + 'static>(
+        mut model: C,
+        vectors: &[Vec<f32>],
+        label_names: &[&str],
+        rng: &mut Pcg32,
+    ) -> TrainedLabeler {
+        assert_eq!(vectors.len(), label_names.len());
+        let (labels, ids) = LabelMap::from_labels(label_names.iter().copied());
+        model.fit(vectors, &ids, labels.len().max(1), rng);
+        TrainedLabeler {
+            model: Box::new(model),
+            labels,
+        }
+    }
+
+    /// Predict the label name for a vector.
+    pub fn predict(&self, v: &[f32]) -> &str {
+        let id = self.model.predict(v);
+        self.labels.name(id).unwrap_or("<unknown>")
+    }
+
+    /// The label vocabulary.
+    pub fn labels(&self) -> &LabelMap {
+        &self.labels
+    }
+}
+
+/// A deployable classifier: (embedder, labeler) with the label name it
+/// attaches (e.g. `user`, `cluster`, `resource_class`).
+pub struct QueryClassifier {
+    /// The label this classifier attaches to queries.
+    pub label_name: String,
+    embedder: Arc<dyn Embedder>,
+    labeler: TrainedLabeler,
+}
+
+impl QueryClassifier {
+    pub fn new(
+        label_name: impl Into<String>,
+        embedder: Arc<dyn Embedder>,
+        labeler: TrainedLabeler,
+    ) -> Self {
+        QueryClassifier {
+            label_name: label_name.into(),
+            embedder,
+            labeler,
+        }
+    }
+
+    /// Label one SQL text.
+    pub fn label_sql(&self, sql: &str) -> String {
+        let v = self.embedder.embed_sql(sql);
+        self.labeler.predict(&v).to_string()
+    }
+
+    /// Label pre-tokenized input (when the caller already normalized).
+    pub fn label_tokens(&self, tokens: &[String]) -> String {
+        let v = self.embedder.embed(tokens);
+        self.labeler.predict(&v).to_string()
+    }
+
+    /// The embedder half (shared across classifiers).
+    pub fn embedder(&self) -> &Arc<dyn Embedder> {
+        &self.embedder
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use querc_embed::BagOfTokens;
+    use querc_learn::{ForestConfig, RandomForest};
+
+    #[test]
+    fn label_map_roundtrip() {
+        let (map, ids) = LabelMap::from_labels(["a", "b", "a", "c"]);
+        assert_eq!(ids, vec![0, 1, 0, 2]);
+        assert_eq!(map.len(), 3);
+        assert_eq!(map.name(1), Some("b"));
+        assert_eq!(map.id("c"), Some(2));
+        assert_eq!(map.id("zzz"), None);
+    }
+
+    fn train_demo_classifier() -> QueryClassifier {
+        let embedder: Arc<dyn Embedder> = Arc::new(BagOfTokens::new(64, true));
+        // Train: "select from sales_*" → team-a, "insert into logs" → team-b.
+        let sqls: Vec<String> = (0..30)
+            .map(|i| {
+                if i % 2 == 0 {
+                    format!("select col{} from sales_orders where x = {}", i % 5, i)
+                } else {
+                    format!("insert into app_logs values ({i}, 'event')")
+                }
+            })
+            .collect();
+        let labels: Vec<&str> = (0..30)
+            .map(|i| if i % 2 == 0 { "team-a" } else { "team-b" })
+            .collect();
+        let vectors: Vec<Vec<f32>> = sqls.iter().map(|s| embedder.embed_sql(s)).collect();
+        let labeler = TrainedLabeler::train(
+            RandomForest::new(ForestConfig::extra_trees(15)),
+            &vectors,
+            &labels,
+            &mut Pcg32::new(1),
+        );
+        QueryClassifier::new("team", embedder, labeler)
+    }
+
+    #[test]
+    fn classifier_labels_unseen_queries() {
+        let clf = train_demo_classifier();
+        assert_eq!(
+            clf.label_sql("select col9 from sales_orders where x = 999"),
+            "team-a"
+        );
+        assert_eq!(
+            clf.label_sql("insert into app_logs values (77, 'other')"),
+            "team-b"
+        );
+    }
+
+    #[test]
+    fn label_sql_and_label_tokens_agree() {
+        let clf = train_demo_classifier();
+        let sql = "select col1 from sales_orders where x = 5";
+        let tokens = querc_embed::sql_tokens(sql);
+        assert_eq!(clf.label_sql(sql), clf.label_tokens(&tokens));
+    }
+}

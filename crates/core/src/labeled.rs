@@ -1,0 +1,107 @@
+//! The labeled-query message — Querc's single inter-component data model.
+//!
+//! Paper §2: "The only messages passed between components are labeled
+//! queries. A labeled query is a tuple (Q, c1, c2, c3, …) where ci is a
+//! label." Labels are named here (`user=alice`) so multiple classifiers
+//! can attach labels without positional coordination.
+
+use serde::{Deserialize, Serialize};
+
+/// A query plus an ordered list of named labels.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LabeledQuery {
+    pub sql: String,
+    /// `(label name, value)` pairs in attachment order.
+    pub labels: Vec<(String, String)>,
+}
+
+impl LabeledQuery {
+    /// A fresh, unlabeled query.
+    pub fn new(sql: impl Into<String>) -> Self {
+        LabeledQuery {
+            sql: sql.into(),
+            labels: Vec::new(),
+        }
+    }
+
+    /// Build from a workload log record, importing its metadata labels.
+    pub fn from_record(r: &querc_workloads::QueryRecord) -> Self {
+        let mut lq = LabeledQuery::new(r.sql.clone());
+        lq.set("user", &r.user);
+        lq.set("account", &r.account);
+        lq.set("cluster", &r.cluster);
+        lq.set("timestamp", r.timestamp.to_string());
+        if let Some(code) = r.error_code {
+            lq.set("error", code.to_string());
+        }
+        lq
+    }
+
+    /// First value of a label, if attached.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Attach or replace a label.
+    pub fn set(&mut self, name: impl Into<String>, value: impl Into<String>) {
+        let name = name.into();
+        let value = value.into();
+        match self.labels.iter_mut().find(|(n, _)| *n == name) {
+            Some(slot) => slot.1 = value,
+            None => self.labels.push((name, value)),
+        }
+    }
+
+    /// Normalized token stream of the SQL (embedder input).
+    pub fn tokens(&self) -> Vec<String> {
+        querc_embed::sql_tokens(&self.sql)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_replace() {
+        let mut lq = LabeledQuery::new("select 1");
+        assert_eq!(lq.get("user"), None);
+        lq.set("user", "alice");
+        lq.set("cluster", "c1");
+        assert_eq!(lq.get("user"), Some("alice"));
+        lq.set("user", "bob");
+        assert_eq!(lq.get("user"), Some("bob"));
+        assert_eq!(lq.labels.len(), 2, "replace must not duplicate");
+    }
+
+    #[test]
+    fn from_record_imports_metadata() {
+        let r = querc_workloads::QueryRecord {
+            sql: "select 1".into(),
+            user: "a/u1".into(),
+            account: "a".into(),
+            cluster: "c2".into(),
+            dialect: "generic".into(),
+            runtime_ms: 5.0,
+            mem_mb: 10.0,
+            error_code: Some(604),
+            timestamp: 99,
+        };
+        let lq = LabeledQuery::from_record(&r);
+        assert_eq!(lq.get("user"), Some("a/u1"));
+        assert_eq!(lq.get("error"), Some("604"));
+        assert_eq!(lq.get("timestamp"), Some("99"));
+    }
+
+    #[test]
+    fn tokens_are_normalized() {
+        let lq = LabeledQuery::new("SELECT X FROM T WHERE y = 5");
+        assert_eq!(
+            lq.tokens(),
+            vec!["select", "x", "from", "t", "where", "y", "=", "<num>"]
+        );
+    }
+}

@@ -1,0 +1,38 @@
+//! # querc — database-agnostic workload management
+//!
+//! A from-scratch reproduction of the system described in *Database-
+//! Agnostic Workload Management* (Jain, Yan, Cruanes, Howe — CIDR 2019).
+//!
+//! Querc models every workload-management task as **query labeling**:
+//!
+//! * a [`classifier::QueryClassifier`] is a pre-trained *(embedder,
+//!   labeler)* pair — the embedder maps SQL text to a vector
+//!   (`querc-embed`), the labeler maps vectors to string labels
+//!   (`querc-learn`);
+//! * [`qworker::Qworker`]s consume per-application query streams, attach
+//!   labels, and forward the labeled queries to the database and/or the
+//!   training module (paper Fig 1);
+//! * the [`training::TrainingModule`] accumulates labeled queries,
+//!   periodically (re)trains embedders and labelers as batch jobs, and
+//!   deploys them through the versioned [`registry::ModelRegistry`];
+//! * offline tasks and applications live under [`apps`]: workload
+//!   summarization for index recommendation (§5.1), security auditing
+//!   (§5.2), query-routing policy checks, error prediction, resource
+//!   allocation hints, and next-query recommendation (§4).
+//!
+//! The only message type between components is a query plus labels —
+//! [`labeled::LabeledQuery`], the `(Q, c1, c2, …)` tuple of the paper's
+//! data model.
+
+pub mod apps;
+pub mod classifier;
+pub mod labeled;
+pub mod qworker;
+pub mod registry;
+pub mod training;
+
+pub use classifier::{LabelMap, QueryClassifier, TrainedLabeler};
+pub use labeled::LabeledQuery;
+pub use qworker::{Qworker, QworkerMode};
+pub use registry::ModelRegistry;
+pub use training::{EmbedderKind, TrainingConfig, TrainingModule};

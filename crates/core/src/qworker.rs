@@ -1,0 +1,199 @@
+//! Qworkers — the per-application serving processes of Fig 1.
+//!
+//! A Qworker consumes a stream of queries, runs its classifiers to attach
+//! labels, and forwards the labeled query onward: to the database sink,
+//! to the central training module, or both. In *forked* mode (paper §2:
+//! "Querc may not be in the critical path") queries are only mirrored to
+//! training and never forwarded to the database.
+//!
+//! Qworkers hold no heavyweight state — classifiers are `Arc`s resolved
+//! from the registry — so they can be replicated and load-balanced.
+
+use crate::classifier::QueryClassifier;
+use crate::labeled::LabeledQuery;
+use crossbeam::channel::{Receiver, Sender};
+use std::sync::Arc;
+
+/// Where the Qworker forwards labeled queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QworkerMode {
+    /// In the critical path: forward to the database AND the trainer.
+    Inline,
+    /// Off the critical path: mirror to the trainer only.
+    Forked,
+}
+
+/// A per-application worker applying (embedder, labeler) classifiers.
+pub struct Qworker {
+    /// Application name (e.g. `app-X`), attached as a label.
+    pub application: String,
+    classifiers: Vec<Arc<QueryClassifier>>,
+    mode: QworkerMode,
+}
+
+impl Qworker {
+    pub fn new(
+        application: impl Into<String>,
+        classifiers: Vec<Arc<QueryClassifier>>,
+        mode: QworkerMode,
+    ) -> Self {
+        Qworker {
+            application: application.into(),
+            classifiers,
+            mode,
+        }
+    }
+
+    /// Label one query with every classifier.
+    pub fn process(&self, mut lq: LabeledQuery) -> LabeledQuery {
+        lq.set("application", &self.application);
+        // Tokenize once; every classifier shares the normalized stream.
+        let tokens = lq.tokens();
+        for clf in &self.classifiers {
+            let value = clf.label_tokens(&tokens);
+            lq.set(format!("predicted_{}", clf.label_name), value);
+        }
+        lq
+    }
+
+    /// Drain a stream until it closes, forwarding per the mode. Returns
+    /// the number of queries processed. Run this on a thread per
+    /// application; all channels are crossbeam MPMC so workers can be
+    /// replicated on the same stream.
+    pub fn run(
+        &self,
+        input: Receiver<LabeledQuery>,
+        database: Sender<LabeledQuery>,
+        trainer: Sender<LabeledQuery>,
+    ) -> usize {
+        let mut processed = 0usize;
+        for lq in input.iter() {
+            let labeled = self.process(lq);
+            if self.mode == QworkerMode::Inline {
+                // The sink may have hung up (tests, shutdown); labeling
+                // continues because the training mirror matters more.
+                let _ = database.send(labeled.clone());
+            }
+            let _ = trainer.send(labeled);
+            processed += 1;
+        }
+        processed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classifier::TrainedLabeler;
+    use crossbeam::channel::unbounded;
+    use querc_embed::{BagOfTokens, Embedder};
+    use querc_learn::{ForestConfig, RandomForest};
+    use querc_linalg::Pcg32;
+
+    fn team_classifier() -> Arc<QueryClassifier> {
+        let embedder: Arc<dyn Embedder> = Arc::new(BagOfTokens::new(64, true));
+        let sqls: Vec<String> = (0..20)
+            .map(|i| {
+                if i % 2 == 0 {
+                    format!("select a{} from warehouse_facts", i)
+                } else {
+                    format!("insert into event_log values ({i})")
+                }
+            })
+            .collect();
+        let labels: Vec<&str> = (0..20)
+            .map(|i| if i % 2 == 0 { "analytics" } else { "ingest" })
+            .collect();
+        let vectors: Vec<Vec<f32>> = sqls.iter().map(|s| embedder.embed_sql(s)).collect();
+        let labeler = TrainedLabeler::train(
+            RandomForest::new(ForestConfig::extra_trees(10)),
+            &vectors,
+            &labels,
+            &mut Pcg32::new(5),
+        );
+        Arc::new(QueryClassifier::new("workload_class", embedder, labeler))
+    }
+
+    #[test]
+    fn process_attaches_application_and_predictions() {
+        let worker = Qworker::new("app-X", vec![team_classifier()], QworkerMode::Inline);
+        let out = worker.process(LabeledQuery::new("select a2 from warehouse_facts"));
+        assert_eq!(out.get("application"), Some("app-X"));
+        assert_eq!(out.get("predicted_workload_class"), Some("analytics"));
+    }
+
+    #[test]
+    fn inline_mode_forwards_to_database_and_trainer() {
+        let (in_tx, in_rx) = unbounded();
+        let (db_tx, db_rx) = unbounded();
+        let (tr_tx, tr_rx) = unbounded();
+        let worker = Qworker::new("app-X", vec![team_classifier()], QworkerMode::Inline);
+        for i in 0..5 {
+            in_tx
+                .send(LabeledQuery::new(format!("insert into event_log values ({i})")))
+                .unwrap();
+        }
+        drop(in_tx);
+        let n = worker.run(in_rx, db_tx, tr_tx);
+        assert_eq!(n, 5);
+        assert_eq!(db_rx.iter().count(), 5);
+        assert_eq!(tr_rx.iter().count(), 5);
+    }
+
+    #[test]
+    fn forked_mode_skips_database() {
+        let (in_tx, in_rx) = unbounded();
+        let (db_tx, db_rx) = unbounded();
+        let (tr_tx, tr_rx) = unbounded();
+        let worker = Qworker::new("app-Y", vec![team_classifier()], QworkerMode::Forked);
+        in_tx.send(LabeledQuery::new("select 1")).unwrap();
+        drop(in_tx);
+        worker.run(in_rx, db_tx, tr_tx);
+        assert_eq!(db_rx.iter().count(), 0, "forked mode mirrors only");
+        assert_eq!(tr_rx.iter().count(), 1);
+    }
+
+    #[test]
+    fn replicated_workers_share_a_stream() {
+        let (in_tx, in_rx) = unbounded();
+        let (db_tx, _db_rx) = unbounded();
+        let (tr_tx, tr_rx) = unbounded();
+        let mut handles = Vec::new();
+        for w in 0..3 {
+            let rx = in_rx.clone();
+            let db = db_tx.clone();
+            let tr = tr_tx.clone();
+            let clf = team_classifier();
+            handles.push(std::thread::spawn(move || {
+                let worker =
+                    Qworker::new(format!("app-{w}"), vec![clf], QworkerMode::Forked);
+                worker.run(rx, db, tr)
+            }));
+        }
+        drop(db_tx);
+        drop(tr_tx);
+        for i in 0..60 {
+            in_tx
+                .send(LabeledQuery::new(format!("select {i} from warehouse_facts")))
+                .unwrap();
+        }
+        drop(in_tx);
+        let total: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(total, 60, "every query processed exactly once");
+        assert_eq!(tr_rx.iter().count(), 60);
+    }
+
+    #[test]
+    fn hung_up_database_does_not_stop_labeling() {
+        let (in_tx, in_rx) = unbounded();
+        let (db_tx, db_rx) = unbounded();
+        drop(db_rx); // database sink gone
+        let (tr_tx, tr_rx) = unbounded();
+        let worker = Qworker::new("app-X", vec![team_classifier()], QworkerMode::Inline);
+        in_tx.send(LabeledQuery::new("select 1")).unwrap();
+        drop(in_tx);
+        let n = worker.run(in_rx, db_tx, tr_tx);
+        assert_eq!(n, 1);
+        assert_eq!(tr_rx.iter().count(), 1);
+    }
+}

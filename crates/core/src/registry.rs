@@ -1,0 +1,130 @@
+//! Versioned model registry — the "Model Deployment" arrow of Fig 1.
+//!
+//! The training module deploys classifiers here; Qworkers resolve them by
+//! name on each batch. Deployments are atomic swaps of `Arc`s behind a
+//! `parking_lot` RwLock, so serving threads never block on retrains.
+
+use crate::classifier::QueryClassifier;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A named, versioned store of deployed classifiers.
+#[derive(Default)]
+pub struct ModelRegistry {
+    inner: RwLock<HashMap<String, (u64, Arc<QueryClassifier>)>>,
+}
+
+impl ModelRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Deploy (or replace) a classifier under `name`; returns the new
+    /// version number (1 for first deployment).
+    pub fn deploy(&self, name: &str, classifier: QueryClassifier) -> u64 {
+        let mut inner = self.inner.write();
+        let version = inner.get(name).map(|(v, _)| v + 1).unwrap_or(1);
+        inner.insert(name.to_string(), (version, Arc::new(classifier)));
+        version
+    }
+
+    /// Resolve the current classifier for `name`.
+    pub fn get(&self, name: &str) -> Option<Arc<QueryClassifier>> {
+        self.inner.read().get(name).map(|(_, c)| Arc::clone(c))
+    }
+
+    /// Current version of `name`, if deployed.
+    pub fn version(&self, name: &str) -> Option<u64> {
+        self.inner.read().get(name).map(|(v, _)| *v)
+    }
+
+    /// Names of all deployed classifiers, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.inner.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Remove a deployment.
+    pub fn undeploy(&self, name: &str) -> bool {
+        self.inner.write().remove(name).is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classifier::TrainedLabeler;
+    use querc_embed::{BagOfTokens, Embedder};
+    use querc_learn::{ForestConfig, RandomForest};
+    use querc_linalg::Pcg32;
+
+    fn dummy_classifier(tag: &str) -> QueryClassifier {
+        let embedder: Arc<dyn Embedder> = Arc::new(BagOfTokens::new(16, false));
+        let vectors = vec![vec![0.0; 16], vec![1.0; 16]];
+        let labels = vec![tag, tag];
+        let labeler = TrainedLabeler::train(
+            RandomForest::new(ForestConfig::extra_trees(2)),
+            &vectors,
+            &labels,
+            &mut Pcg32::new(1),
+        );
+        QueryClassifier::new("tag", embedder, labeler)
+    }
+
+    #[test]
+    fn deploy_bumps_versions() {
+        let reg = ModelRegistry::new();
+        assert_eq!(reg.deploy("user", dummy_classifier("a")), 1);
+        assert_eq!(reg.deploy("user", dummy_classifier("b")), 2);
+        assert_eq!(reg.version("user"), Some(2));
+        assert_eq!(reg.version("other"), None);
+    }
+
+    #[test]
+    fn get_returns_latest() {
+        let reg = ModelRegistry::new();
+        reg.deploy("user", dummy_classifier("a"));
+        let before = reg.get("user").unwrap();
+        reg.deploy("user", dummy_classifier("b"));
+        let after = reg.get("user").unwrap();
+        // Old Arc still usable (serving threads mid-batch), new one served.
+        assert_eq!(before.label_sql("select 1"), "a");
+        assert_eq!(after.label_sql("select 1"), "b");
+    }
+
+    #[test]
+    fn names_and_undeploy() {
+        let reg = ModelRegistry::new();
+        reg.deploy("b", dummy_classifier("x"));
+        reg.deploy("a", dummy_classifier("y"));
+        assert_eq!(reg.names(), vec!["a".to_string(), "b".to_string()]);
+        assert!(reg.undeploy("a"));
+        assert!(!reg.undeploy("a"));
+        assert!(reg.get("a").is_none());
+    }
+
+    #[test]
+    fn concurrent_reads_during_deploys() {
+        let reg = Arc::new(ModelRegistry::new());
+        reg.deploy("user", dummy_classifier("a"));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let r = Arc::clone(&reg);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..200 {
+                    let c = r.get("user").expect("always deployed");
+                    let _ = c.label_sql("select 1");
+                }
+            }));
+        }
+        for i in 0..20 {
+            reg.deploy("user", dummy_classifier(if i % 2 == 0 { "a" } else { "b" }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(reg.version("user"), Some(21));
+    }
+}

@@ -1,0 +1,279 @@
+//! Table and column statistics, including the built-in TPC-H SF1 catalog.
+
+use std::collections::HashMap;
+
+/// Statistics for one column.
+#[derive(Debug, Clone)]
+pub struct ColumnStats {
+    /// Number of distinct values.
+    pub ndv: u64,
+    /// Numeric domain (dates stored as days since 1970-01-01).
+    pub min: f64,
+    pub max: f64,
+    /// Multiplier from *estimated* to *true* selectivity for range/equality
+    /// predicates on this column. 1.0 = stats are accurate; >1 = the
+    /// optimizer underestimates (skew/correlation the uniformity assumption
+    /// misses).
+    pub skew: f64,
+}
+
+impl ColumnStats {
+    pub fn new(ndv: u64, min: f64, max: f64) -> Self {
+        ColumnStats {
+            ndv: ndv.max(1),
+            min,
+            max,
+            skew: 1.0,
+        }
+    }
+
+    pub fn with_skew(mut self, skew: f64) -> Self {
+        self.skew = skew;
+        self
+    }
+}
+
+/// Statistics for one table.
+#[derive(Debug, Clone)]
+pub struct TableStats {
+    pub rows: u64,
+    /// Average row width in bytes (drives scan cost).
+    pub row_bytes: u64,
+    pub columns: HashMap<String, ColumnStats>,
+}
+
+/// A database catalog: per-table statistics plus cross-cutting knowledge
+/// the simulator needs (HAVING-aggregate selectivity truths).
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    tables: HashMap<String, TableStats>,
+    /// True selectivity overrides for HAVING `func(column) op value`
+    /// predicates, keyed by `(func, column)`. The optimizer always *guesses*
+    /// [`crate::selectivity::HAVING_EST_SEL`] for these — this map is what
+    /// reality does instead.
+    having_truth: HashMap<(String, String), f64>,
+}
+
+impl Catalog {
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Register a table.
+    pub fn add_table(&mut self, name: &str, rows: u64, row_bytes: u64) -> &mut Self {
+        self.tables.insert(
+            name.to_ascii_lowercase(),
+            TableStats {
+                rows,
+                row_bytes,
+                columns: HashMap::new(),
+            },
+        );
+        self
+    }
+
+    /// Register a column on an existing table.
+    pub fn add_column(&mut self, table: &str, column: &str, stats: ColumnStats) -> &mut Self {
+        if let Some(t) = self.tables.get_mut(&table.to_ascii_lowercase()) {
+            t.columns.insert(column.to_ascii_lowercase(), stats);
+        }
+        self
+    }
+
+    /// Declare the *true* selectivity of a HAVING aggregate predicate.
+    pub fn set_having_truth(&mut self, func: &str, column: &str, true_sel: f64) -> &mut Self {
+        self.having_truth.insert(
+            (func.to_ascii_lowercase(), column.to_ascii_lowercase()),
+            true_sel,
+        );
+        self
+    }
+
+    /// Look up a table (case-insensitive).
+    pub fn table(&self, name: &str) -> Option<&TableStats> {
+        self.tables.get(&name.to_ascii_lowercase())
+    }
+
+    /// Look up a column on a table.
+    pub fn column(&self, table: &str, column: &str) -> Option<&ColumnStats> {
+        self.table(table)?.columns.get(&column.to_ascii_lowercase())
+    }
+
+    /// Find which table owns a column name (TPC-H columns are uniquely
+    /// prefixed, so unqualified references resolve unambiguously).
+    pub fn table_of_column(&self, column: &str) -> Option<&str> {
+        let c = column.to_ascii_lowercase();
+        let mut found: Option<&str> = None;
+        // Deterministic scan order (BTreeSet of names) to avoid HashMap
+        // iteration-order nondeterminism on ambiguous schemas.
+        let mut names: Vec<&String> = self.tables.keys().collect();
+        names.sort();
+        for name in names {
+            if self.tables[name.as_str()].columns.contains_key(&c) {
+                if found.is_some() {
+                    return None; // ambiguous
+                }
+                found = Some(name.as_str());
+            }
+        }
+        found
+    }
+
+    /// True HAVING selectivity if declared.
+    pub fn having_truth(&self, func: &str, column: &str) -> Option<f64> {
+        self.having_truth
+            .get(&(func.to_ascii_lowercase(), column.to_ascii_lowercase()))
+            .copied()
+    }
+
+    /// All table names, sorted (for deterministic iteration).
+    pub fn table_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.tables.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// The TPC-H catalog at scale factor 1.
+    pub fn tpch_sf1() -> Catalog {
+        let mut c = Catalog::new();
+        let d = |s: &str| querc_sql::ast::date_to_days(s).expect("valid date");
+        let date_lo = d("1992-01-01");
+        let date_hi = d("1998-12-31");
+
+        c.add_table("region", 5, 120);
+        c.add_column("region", "r_regionkey", ColumnStats::new(5, 0.0, 4.0));
+        c.add_column("region", "r_name", ColumnStats::new(5, 0.0, 4.0));
+
+        c.add_table("nation", 25, 130);
+        c.add_column("nation", "n_nationkey", ColumnStats::new(25, 0.0, 24.0));
+        c.add_column("nation", "n_name", ColumnStats::new(25, 0.0, 24.0));
+        c.add_column("nation", "n_regionkey", ColumnStats::new(5, 0.0, 4.0));
+
+        c.add_table("supplier", 10_000, 160);
+        c.add_column("supplier", "s_suppkey", ColumnStats::new(10_000, 1.0, 10_000.0));
+        c.add_column("supplier", "s_nationkey", ColumnStats::new(25, 0.0, 24.0));
+        c.add_column("supplier", "s_acctbal", ColumnStats::new(9_000, -999.0, 9_999.0));
+        c.add_column("supplier", "s_name", ColumnStats::new(10_000, 0.0, 10_000.0));
+        c.add_column("supplier", "s_comment", ColumnStats::new(10_000, 0.0, 1.0));
+
+        c.add_table("customer", 150_000, 180);
+        c.add_column("customer", "c_custkey", ColumnStats::new(150_000, 1.0, 150_000.0));
+        c.add_column("customer", "c_nationkey", ColumnStats::new(25, 0.0, 24.0));
+        c.add_column("customer", "c_mktsegment", ColumnStats::new(5, 0.0, 4.0));
+        c.add_column("customer", "c_acctbal", ColumnStats::new(140_000, -999.0, 9_999.0));
+        c.add_column("customer", "c_phone", ColumnStats::new(150_000, 0.0, 1.0));
+        c.add_column("customer", "c_name", ColumnStats::new(150_000, 0.0, 1.0));
+
+        c.add_table("part", 200_000, 160);
+        c.add_column("part", "p_partkey", ColumnStats::new(200_000, 1.0, 200_000.0));
+        c.add_column("part", "p_size", ColumnStats::new(50, 1.0, 50.0));
+        c.add_column("part", "p_brand", ColumnStats::new(25, 0.0, 24.0));
+        c.add_column("part", "p_type", ColumnStats::new(150, 0.0, 149.0));
+        c.add_column("part", "p_container", ColumnStats::new(40, 0.0, 39.0));
+        c.add_column("part", "p_name", ColumnStats::new(200_000, 0.0, 1.0));
+        c.add_column("part", "p_mfgr", ColumnStats::new(5, 0.0, 4.0));
+
+        c.add_table("partsupp", 800_000, 150);
+        c.add_column("partsupp", "ps_partkey", ColumnStats::new(200_000, 1.0, 200_000.0));
+        c.add_column("partsupp", "ps_suppkey", ColumnStats::new(10_000, 1.0, 10_000.0));
+        c.add_column("partsupp", "ps_supplycost", ColumnStats::new(100_000, 1.0, 1_000.0));
+        c.add_column("partsupp", "ps_availqty", ColumnStats::new(10_000, 1.0, 9_999.0));
+
+        c.add_table("orders", 1_500_000, 120);
+        c.add_column("orders", "o_orderkey", ColumnStats::new(1_500_000, 1.0, 6_000_000.0));
+        c.add_column("orders", "o_custkey", ColumnStats::new(100_000, 1.0, 150_000.0));
+        c.add_column("orders", "o_orderdate", ColumnStats::new(2_400, date_lo, date_hi));
+        c.add_column("orders", "o_totalprice", ColumnStats::new(1_400_000, 850.0, 560_000.0));
+        c.add_column("orders", "o_orderpriority", ColumnStats::new(5, 0.0, 4.0));
+        c.add_column("orders", "o_orderstatus", ColumnStats::new(3, 0.0, 2.0));
+        c.add_column("orders", "o_shippriority", ColumnStats::new(1, 0.0, 0.0));
+        c.add_column("orders", "o_comment", ColumnStats::new(1_500_000, 0.0, 1.0));
+
+        c.add_table("lineitem", 6_000_000, 130);
+        c.add_column("lineitem", "l_orderkey", ColumnStats::new(1_500_000, 1.0, 6_000_000.0));
+        c.add_column("lineitem", "l_partkey", ColumnStats::new(200_000, 1.0, 200_000.0));
+        c.add_column("lineitem", "l_suppkey", ColumnStats::new(10_000, 1.0, 10_000.0));
+        c.add_column("lineitem", "l_quantity", ColumnStats::new(50, 1.0, 50.0));
+        c.add_column("lineitem", "l_extendedprice", ColumnStats::new(1_000_000, 900.0, 105_000.0));
+        c.add_column("lineitem", "l_discount", ColumnStats::new(11, 0.0, 0.10));
+        c.add_column("lineitem", "l_tax", ColumnStats::new(9, 0.0, 0.08));
+        c.add_column("lineitem", "l_shipdate", ColumnStats::new(2_500, date_lo, date_hi));
+        c.add_column("lineitem", "l_commitdate", ColumnStats::new(2_500, date_lo, date_hi));
+        c.add_column("lineitem", "l_receiptdate", ColumnStats::new(2_500, date_lo, date_hi));
+        c.add_column("lineitem", "l_returnflag", ColumnStats::new(3, 0.0, 2.0));
+        c.add_column("lineitem", "l_linestatus", ColumnStats::new(2, 0.0, 1.0));
+        c.add_column("lineitem", "l_shipmode", ColumnStats::new(7, 0.0, 6.0));
+        c.add_column("lineitem", "l_shipinstruct", ColumnStats::new(4, 0.0, 3.0));
+
+        // The Q18 wedge: optimizers guess a HAVING `sum(...) > K` keeps a
+        // tiny fraction of groups; on TPC-H's lineitem the quantity sums
+        // concentrate so the predicate keeps far more orders than the
+        // guess. The runtime uses this truth; the optimizer never sees it.
+        c.set_having_truth("sum", "l_quantity", 0.50);
+
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tpch_tables_present_with_spec_cardinalities() {
+        let c = Catalog::tpch_sf1();
+        assert_eq!(c.table("lineitem").unwrap().rows, 6_000_000);
+        assert_eq!(c.table("orders").unwrap().rows, 1_500_000);
+        assert_eq!(c.table("region").unwrap().rows, 5);
+        assert_eq!(c.table_names().len(), 8);
+    }
+
+    #[test]
+    fn lookups_are_case_insensitive() {
+        let c = Catalog::tpch_sf1();
+        assert!(c.table("LINEITEM").is_some());
+        assert!(c.column("Orders", "O_ORDERDATE").is_some());
+    }
+
+    #[test]
+    fn column_ownership_resolves_unambiguously() {
+        let c = Catalog::tpch_sf1();
+        assert_eq!(c.table_of_column("l_shipdate"), Some("lineitem"));
+        assert_eq!(c.table_of_column("o_custkey"), Some("orders"));
+        assert_eq!(c.table_of_column("nonexistent_col"), None);
+    }
+
+    #[test]
+    fn ambiguous_columns_resolve_to_none() {
+        let mut c = Catalog::new();
+        c.add_table("a", 10, 10);
+        c.add_table("b", 10, 10);
+        c.add_column("a", "x", ColumnStats::new(5, 0.0, 1.0));
+        c.add_column("b", "x", ColumnStats::new(5, 0.0, 1.0));
+        assert_eq!(c.table_of_column("x"), None);
+    }
+
+    #[test]
+    fn having_truth_registered_for_q18() {
+        let c = Catalog::tpch_sf1();
+        let t = c.having_truth("sum", "l_quantity").unwrap();
+        assert!(t > 0.1, "Q18's HAVING keeps a large fraction in truth");
+        assert!(c.having_truth("sum", "o_totalprice").is_none());
+    }
+
+    #[test]
+    fn date_domains_in_days() {
+        let c = Catalog::tpch_sf1();
+        let ship = c.column("lineitem", "l_shipdate").unwrap();
+        assert!(ship.max - ship.min > 2000.0 && ship.max - ship.min < 3000.0);
+    }
+
+    #[test]
+    fn builder_api() {
+        let mut c = Catalog::new();
+        c.add_table("t", 100, 64);
+        c.add_column("t", "x", ColumnStats::new(10, 0.0, 9.0).with_skew(5.0));
+        assert_eq!(c.column("t", "x").unwrap().skew, 5.0);
+        assert_eq!(c.table("t").unwrap().rows, 100);
+    }
+}

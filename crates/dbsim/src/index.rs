@@ -1,0 +1,71 @@
+//! Secondary index definitions.
+
+use std::fmt;
+
+/// A (simulated) secondary B-tree index.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Index {
+    /// Table the index is built on (lowercase).
+    pub table: String,
+    /// Key columns in order; the *leading* column decides seek
+    /// applicability in this simulator.
+    pub columns: Vec<String>,
+}
+
+impl Index {
+    pub fn new(table: &str, columns: &[&str]) -> Self {
+        Index {
+            table: table.to_ascii_lowercase(),
+            columns: columns.iter().map(|c| c.to_ascii_lowercase()).collect(),
+        }
+    }
+
+    /// Leading key column.
+    pub fn leading(&self) -> &str {
+        self.columns.first().map(String::as_str).unwrap_or("")
+    }
+
+    /// Can this index serve a seek on `column` of `table`?
+    pub fn serves(&self, table: &str, column: &str) -> bool {
+        self.table.eq_ignore_ascii_case(table) && self.leading().eq_ignore_ascii_case(column)
+    }
+
+    /// Estimated size in bytes (keys + row pointers).
+    pub fn size_bytes(&self, table_rows: u64) -> u64 {
+        table_rows * (8 + 12 * self.columns.len() as u64)
+    }
+}
+
+impl fmt::Display for Index {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "idx_{}({})", self.table, self.columns.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_normalizes_case() {
+        let idx = Index::new("LineItem", &["L_ShipDate", "L_Quantity"]);
+        assert_eq!(idx.table, "lineitem");
+        assert_eq!(idx.leading(), "l_shipdate");
+    }
+
+    #[test]
+    fn serves_leading_column_only() {
+        let idx = Index::new("lineitem", &["l_shipdate", "l_quantity"]);
+        assert!(idx.serves("lineitem", "l_shipdate"));
+        assert!(idx.serves("LINEITEM", "L_SHIPDATE"));
+        assert!(!idx.serves("lineitem", "l_quantity"));
+        assert!(!idx.serves("orders", "l_shipdate"));
+    }
+
+    #[test]
+    fn display_and_size() {
+        let idx = Index::new("orders", &["o_orderdate"]);
+        assert_eq!(idx.to_string(), "idx_orders(o_orderdate)");
+        assert_eq!(idx.size_bytes(1000), 1000 * 20);
+    }
+}

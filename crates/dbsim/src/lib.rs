@@ -1,0 +1,36 @@
+//! # querc-dbsim
+//!
+//! A what-if cost-based relational engine simulator: the substitute for
+//! the SQL Server 2016 + Database Engine Tuning Advisor testbed of the
+//! paper's §5.1 (which is proprietary and unavailable offline).
+//!
+//! The simulator is *mechanistic*, not a lookup table of paper numbers:
+//!
+//! * [`catalog`] holds table/column statistics (TPC-H SF1 ships built in);
+//! * [`selectivity`] estimates predicate selectivities twice — once the
+//!   way an optimizer would (uniformity + independence + magic constants)
+//!   and once "true" (with the skew/correlation the real data has);
+//! * [`optimizer`] picks the cheapest plan *by estimated cost* (access
+//!   paths, hash vs index-nested-loop joins, aggregation/sort) while the
+//!   runtime charges *true* cost — that wedge is exactly what makes a
+//!   half-built index set actively harmful, reproducing Figure 4's Q18
+//!   regression from first principles;
+//! * [`advisor`] emulates a tuning advisor: candidate enumeration, greedy
+//!   what-if selection and a validation pass, all metered against a time
+//!   budget (the x-axis of Figure 3), with a native workload subsampler
+//!   for oversized inputs (the paper's "performs its own summarization");
+//! * [`runtime`] executes a workload under an index configuration and
+//!   reports per-query seconds.
+
+pub mod advisor;
+pub mod catalog;
+pub mod index;
+pub mod optimizer;
+pub mod runtime;
+pub mod selectivity;
+
+pub use advisor::{Advisor, AdvisorConfig, AdvisorReport};
+pub use catalog::{Catalog, ColumnStats, TableStats};
+pub use index::Index;
+pub use optimizer::{plan_query, PlanSummary};
+pub use runtime::{run_workload, workload_runtime, WorkloadRun};

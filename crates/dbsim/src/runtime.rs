@@ -1,0 +1,102 @@
+//! Workload execution simulation.
+//!
+//! Replays a workload of SQL texts under an index configuration: each
+//! query is parsed, planned (by estimated cost) and charged its *true*
+//! cost. Returns per-query seconds — the data behind Figures 3 and 4.
+
+use crate::catalog::Catalog;
+use crate::index::Index;
+use crate::optimizer::plan_query;
+use querc_sql::{parse_query, Dialect};
+
+/// Result of replaying one workload.
+#[derive(Debug, Clone)]
+pub struct WorkloadRun {
+    /// True execution seconds per query, in input order.
+    pub per_query_secs: Vec<f64>,
+    /// Sum of `per_query_secs`.
+    pub total_secs: f64,
+}
+
+/// Replay `sqls` under `indexes`.
+pub fn run_workload(sqls: &[&str], catalog: &Catalog, indexes: &[Index]) -> WorkloadRun {
+    let per_query_secs: Vec<f64> = sqls
+        .iter()
+        .map(|sql| {
+            let shape = parse_query(sql, Dialect::Generic);
+            plan_query(&shape, catalog, indexes).true_cost
+        })
+        .collect();
+    let total_secs = per_query_secs.iter().sum();
+    WorkloadRun {
+        per_query_secs,
+        total_secs,
+    }
+}
+
+/// Total workload runtime only.
+pub fn workload_runtime(sqls: &[&str], catalog: &Catalog, indexes: &[Index]) -> f64 {
+    run_workload(sqls, catalog, indexes).total_secs
+}
+
+/// Estimated (optimizer-believed) total cost — what the advisor optimizes.
+pub fn workload_estimate(sqls: &[&str], catalog: &Catalog, indexes: &[Index]) -> f64 {
+    sqls.iter()
+        .map(|sql| {
+            let shape = parse_query(sql, Dialect::Generic);
+            plan_query(&shape, catalog, indexes).est_cost
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use querc_workloads::TpchWorkload;
+
+    #[test]
+    fn per_query_matches_total() {
+        let w = TpchWorkload::generate(2, 1);
+        let cat = Catalog::tpch_sf1();
+        let run = run_workload(&w.sql(), &cat, &[]);
+        assert_eq!(run.per_query_secs.len(), 44);
+        let sum: f64 = run.per_query_secs.iter().sum();
+        assert!((sum - run.total_secs).abs() < 1e-9);
+        assert!(run.per_query_secs.iter().all(|&t| t > 0.0));
+    }
+
+    #[test]
+    fn baseline_tpch_runtime_is_in_paper_ballpark() {
+        // The paper's no-index plateau is ~1200 s for ~840 queries. We only
+        // need the right order of magnitude for the shape to carry over.
+        let w = TpchWorkload::generate(38, 7);
+        let cat = Catalog::tpch_sf1();
+        let total = workload_runtime(&w.sql(), &cat, &[]);
+        assert!(
+            (300.0..4000.0).contains(&total),
+            "no-index total {total} out of range"
+        );
+    }
+
+    #[test]
+    fn good_indexes_reduce_total_runtime() {
+        let w = TpchWorkload::generate(8, 3);
+        let cat = Catalog::tpch_sf1();
+        let base = workload_runtime(&w.sql(), &cat, &[]);
+        let good = [
+            Index::new("lineitem", &["l_shipdate"]),
+            Index::new("orders", &["o_orderdate"]),
+        ];
+        let with = workload_runtime(&w.sql(), &cat, &good);
+        assert!(with < base, "date indexes should help: {with} vs {base}");
+    }
+
+    #[test]
+    fn estimate_and_truth_agree_without_wedge_queries() {
+        let sqls = ["select * from region", "select * from nation where n_name = 'FRANCE'"];
+        let cat = Catalog::tpch_sf1();
+        let est = workload_estimate(&sqls, &cat, &[]);
+        let tru = workload_runtime(&sqls, &cat, &[]);
+        assert!((est - tru).abs() / tru < 0.01);
+    }
+}

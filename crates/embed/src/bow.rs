@@ -1,0 +1,115 @@
+//! Hashed bag-of-tokens embedder — the non-neural baseline.
+//!
+//! The paper's §6 cites bag-of-words among the non-neural representations
+//! known to underperform learned embeddings; we keep one as a fast,
+//! training-free baseline for ablation benches. Tokens (and, optionally,
+//! bigrams) are hashed into a fixed number of dimensions with a signed
+//! hashing trick, then L2-normalized.
+
+use crate::embedder::Embedder;
+use serde::{Deserialize, Serialize};
+
+/// Training-free hashed bag-of-tokens representation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BagOfTokens {
+    dim: usize,
+    /// Include adjacent-token bigrams for a little word-order signal.
+    bigrams: bool,
+}
+
+impl BagOfTokens {
+    /// `dim` must be positive; 256 is a reasonable default.
+    pub fn new(dim: usize, bigrams: bool) -> Self {
+        assert!(dim > 0);
+        BagOfTokens { dim, bigrams }
+    }
+
+    fn add_feature(&self, out: &mut [f32], feature: &str) {
+        let h = fnv1a(feature);
+        let idx = (h >> 1) as usize % self.dim;
+        // One hash bit decides the sign: keeps collisions unbiased.
+        let sign = if h & 1 == 0 { 1.0 } else { -1.0 };
+        out[idx] += sign;
+    }
+}
+
+impl Embedder for BagOfTokens {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn embed(&self, tokens: &[String]) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.dim];
+        for t in tokens {
+            self.add_feature(&mut out, t);
+        }
+        if self.bigrams {
+            for pair in tokens.windows(2) {
+                let joined = format!("{}\u{1}{}", pair[0], pair[1]);
+                self.add_feature(&mut out, &joined);
+            }
+        }
+        querc_linalg::ops::normalize(&mut out);
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        "bow"
+    }
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in s.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use querc_linalg::ops::{cosine, norm};
+
+    fn toks(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn deterministic_and_unit_norm() {
+        let e = BagOfTokens::new(64, true);
+        let a = e.embed(&toks("select a from t"));
+        let b = e.embed(&toks("select a from t"));
+        assert_eq!(a, b);
+        assert!((norm(&a) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn word_overlap_drives_similarity() {
+        let e = BagOfTokens::new(128, false);
+        let q1 = e.embed(&toks("select a from orders where x = <num>"));
+        let q2 = e.embed(&toks("select b from orders where x = <num>"));
+        let q3 = e.embed(&toks("insert into logs values <str>"));
+        assert!(cosine(&q1, &q2) > cosine(&q1, &q3));
+    }
+
+    #[test]
+    fn bigrams_add_order_sensitivity() {
+        let no_bi = BagOfTokens::new(128, false);
+        let bi = BagOfTokens::new(128, true);
+        let fwd = toks("a b c");
+        let rev = toks("c b a");
+        // Without bigrams a permutation embeds identically…
+        assert_eq!(no_bi.embed(&fwd), no_bi.embed(&rev));
+        // …with bigrams it does not.
+        assert_ne!(bi.embed(&fwd), bi.embed(&rev));
+    }
+
+    #[test]
+    fn empty_input_is_zero_vector() {
+        let e = BagOfTokens::new(32, true);
+        let z = e.embed(&[]);
+        assert_eq!(z, vec![0.0; 32]);
+    }
+}

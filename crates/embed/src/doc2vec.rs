@@ -1,0 +1,563 @@
+//! Doc2Vec — paragraph vectors by context prediction (Le & Mikolov).
+//!
+//! The paper's first embedder (§3, "Context prediction models"): a vector
+//! is learned for every query ("document") by treating it as a virtual
+//! context word that participates in predicting the query's tokens.
+//! Both classical variants are implemented:
+//!
+//! * **PV-DM** (distributed memory): the document vector plus the mean of
+//!   a sliding context window predicts the center token;
+//! * **PV-DBOW**: the document vector alone predicts each token.
+//!
+//! Training uses negative sampling against the unigram^0.75 noise
+//! distribution, the standard word2vec trick, on the shared vocabulary of
+//! `crate::vocab`. Unseen queries are embedded by *inference*: gradient
+//! steps on a fresh document vector with all token vectors frozen — seeded
+//! from a hash of the tokens so [`Embedder::embed`] is deterministic.
+
+use crate::embedder::Embedder;
+use crate::vocab::{Vocab, VocabConfig};
+use querc_linalg::{ops, AliasTable, Matrix, Pcg32};
+use serde::{Deserialize, Serialize};
+
+/// Which paragraph-vector variant to train.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Doc2VecMode {
+    /// PV-DM: doc vector + context mean predicts the center token.
+    DistributedMemory,
+    /// PV-DBOW: doc vector predicts every token independently.
+    Dbow,
+}
+
+/// Doc2Vec hyperparameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Doc2VecConfig {
+    /// Embedding dimensionality.
+    pub dim: usize,
+    /// Maximum context window radius (PV-DM); the effective radius is
+    /// resampled uniformly in `1..=window` per position, as in word2vec.
+    pub window: usize,
+    /// Negative samples per positive pair.
+    pub negative: usize,
+    /// Passes over the corpus.
+    pub epochs: usize,
+    /// Starting learning rate, decayed linearly to `min_lr`.
+    pub initial_lr: f32,
+    pub min_lr: f32,
+    /// Frequent-token subsampling threshold (word2vec `sample`); 0 = off.
+    pub subsample: f64,
+    pub mode: Doc2VecMode,
+    /// Gradient steps (epochs) used when inferring vectors for unseen
+    /// queries.
+    pub infer_epochs: usize,
+    /// Drop out-of-vocabulary tokens instead of hashing them into fallback
+    /// buckets. `true` mirrors the classical gensim behaviour the paper's
+    /// Doc2Vec numbers come from; `false` enables the OOV buckets shared
+    /// with the LSTM embedder.
+    pub drop_oov: bool,
+    pub vocab: VocabConfig,
+    pub seed: u64,
+}
+
+impl Default for Doc2VecConfig {
+    fn default() -> Self {
+        Doc2VecConfig {
+            dim: 64,
+            window: 5,
+            negative: 5,
+            epochs: 10,
+            initial_lr: 0.05,
+            min_lr: 1e-4,
+            subsample: 1e-3,
+            mode: Doc2VecMode::DistributedMemory,
+            infer_epochs: 25,
+            drop_oov: true,
+            vocab: VocabConfig::default(),
+            seed: 0x5eed,
+        }
+    }
+}
+
+/// A trained Doc2Vec model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Doc2Vec {
+    cfg: Doc2VecConfig,
+    vocab: Vocab,
+    /// Input (projection) token vectors, `vocab.size()` × `dim`.
+    w_in: Matrix,
+    /// Output (context) token vectors, `vocab.size()` × `dim`.
+    w_out: Matrix,
+    /// Vectors of the training documents, kept for offline analysis.
+    doc_vecs: Matrix,
+}
+
+impl Doc2Vec {
+    /// Train a model over a corpus of normalized token sequences.
+    pub fn train(corpus: &[Vec<String>], cfg: Doc2VecConfig) -> Doc2Vec {
+        assert!(cfg.dim > 0 && cfg.epochs > 0);
+        let vocab = Vocab::build(corpus.iter().map(|d| d.as_slice()), &cfg.vocab);
+        let mut rng = Pcg32::with_stream(cfg.seed, 0xd0c2);
+        let mut w_in = querc_linalg::init::embedding(vocab.size(), cfg.dim, &mut rng);
+        let mut w_out = Matrix::zeros(vocab.size(), cfg.dim);
+        let mut doc_vecs = querc_linalg::init::embedding(corpus.len().max(1), cfg.dim, &mut rng);
+
+        let noise = AliasTable::from_counts_pow(&vocab.noise_counts(), 0.75);
+        let encoded: Vec<Vec<usize>> = corpus
+            .iter()
+            .map(|d| {
+                if cfg.drop_oov {
+                    vocab.encode_drop_oov(d)
+                } else {
+                    vocab.encode(d)
+                }
+            })
+            .collect();
+        let total_tokens: usize = encoded.iter().map(Vec::len).sum();
+        let total_steps = (cfg.epochs * total_tokens).max(1) as f32;
+        let total_count = vocab.total_count().max(1) as f64;
+
+        let mut order: Vec<usize> = (0..encoded.len()).collect();
+        let mut step = 0usize;
+        for _epoch in 0..cfg.epochs {
+            rng.shuffle(&mut order);
+            for &doc_id in &order {
+                let ids = &encoded[doc_id];
+                if ids.is_empty() {
+                    continue;
+                }
+                // Frequent-token subsampling decides which positions train.
+                let kept: Vec<usize> = ids
+                    .iter()
+                    .copied()
+                    .filter(|&w| keep_token(&vocab, w, cfg.subsample, total_count, &mut rng))
+                    .collect();
+                step += ids.len();
+                if kept.is_empty() {
+                    continue;
+                }
+                let lr = (cfg.initial_lr * (1.0 - step as f32 / total_steps))
+                    .max(cfg.min_lr);
+                match cfg.mode {
+                    Doc2VecMode::DistributedMemory => train_dm_doc(
+                        &kept, doc_id, &mut w_in, &mut w_out, &mut doc_vecs, &noise, &cfg,
+                        lr, &mut rng,
+                    ),
+                    Doc2VecMode::Dbow => train_dbow_doc(
+                        &kept, doc_id, &mut w_out, &mut doc_vecs, &noise, &cfg, lr, &mut rng,
+                    ),
+                }
+            }
+        }
+        Doc2Vec {
+            cfg,
+            vocab,
+            w_in,
+            w_out,
+            doc_vecs,
+        }
+    }
+
+    /// Vector of training document `i` (for offline clustering of the
+    /// training workload itself).
+    pub fn doc_vector(&self, i: usize) -> &[f32] {
+        self.doc_vecs.row(i)
+    }
+
+    /// Number of training documents.
+    pub fn num_docs(&self) -> usize {
+        self.doc_vecs.rows()
+    }
+
+    /// The model's vocabulary.
+    pub fn vocab(&self) -> &Vocab {
+        &self.vocab
+    }
+
+    /// Infer a vector for an unseen token sequence with frozen token
+    /// vectors, using the provided RNG (exposed for tests; `embed` wraps
+    /// this deterministically).
+    pub fn infer(&self, tokens: &[String], rng: &mut Pcg32) -> Vec<f32> {
+        let ids = if self.cfg.drop_oov {
+            self.vocab.encode_drop_oov(tokens)
+        } else {
+            self.vocab.encode(tokens)
+        };
+        let mut doc = vec![0.0f32; self.cfg.dim];
+        for v in doc.iter_mut() {
+            *v = rng.range_f32(-0.5, 0.5) / self.cfg.dim as f32;
+        }
+        if ids.is_empty() {
+            return doc;
+        }
+        let noise = AliasTable::from_counts_pow(&self.vocab.noise_counts(), 0.75);
+        let epochs = self.cfg.infer_epochs.max(1);
+        for e in 0..epochs {
+            let lr = (self.cfg.initial_lr * (1.0 - e as f32 / epochs as f32))
+                .max(self.cfg.min_lr);
+            match self.cfg.mode {
+                Doc2VecMode::DistributedMemory => {
+                    self.infer_dm_pass(&ids, &mut doc, &noise, lr, rng)
+                }
+                Doc2VecMode::Dbow => self.infer_dbow_pass(&ids, &mut doc, &noise, lr, rng),
+            }
+        }
+        doc
+    }
+
+    fn infer_dm_pass(
+        &self,
+        ids: &[usize],
+        doc: &mut [f32],
+        noise: &AliasTable,
+        lr: f32,
+        rng: &mut Pcg32,
+    ) {
+        let dim = self.cfg.dim;
+        let mut h = vec![0.0f32; dim];
+        for t in 0..ids.len() {
+            let b = 1 + rng.below_usize(self.cfg.window.max(1));
+            let lo = t.saturating_sub(b);
+            let hi = (t + b).min(ids.len() - 1);
+            h.copy_from_slice(doc);
+            let mut n_ctx = 1.0f32;
+            for c in lo..=hi {
+                if c == t {
+                    continue;
+                }
+                ops::axpy(1.0, self.w_in.row(ids[c]), &mut h);
+                n_ctx += 1.0;
+            }
+            ops::scale(1.0 / n_ctx, &mut h);
+            let mut neu1e = vec![0.0f32; dim];
+            self.neg_sample_frozen(ids[t], &h, &mut neu1e, noise, lr, rng);
+            // Only the document vector learns during inference.
+            ops::axpy(1.0 / n_ctx, &neu1e, doc);
+        }
+    }
+
+    fn infer_dbow_pass(
+        &self,
+        ids: &[usize],
+        doc: &mut [f32],
+        noise: &AliasTable,
+        lr: f32,
+        rng: &mut Pcg32,
+    ) {
+        let mut neu1e = vec![0.0f32; self.cfg.dim];
+        for &target in ids {
+            neu1e.iter_mut().for_each(|v| *v = 0.0);
+            let h = doc.to_vec();
+            self.neg_sample_frozen(target, &h, &mut neu1e, noise, lr, rng);
+            ops::axpy(1.0, &neu1e, doc);
+        }
+    }
+
+    /// Negative-sampling gradient with frozen output vectors: accumulates
+    /// the input-side gradient into `neu1e` without touching `w_out`.
+    fn neg_sample_frozen(
+        &self,
+        target: usize,
+        h: &[f32],
+        neu1e: &mut [f32],
+        noise: &AliasTable,
+        lr: f32,
+        rng: &mut Pcg32,
+    ) {
+        for k in 0..=self.cfg.negative {
+            let (label, j) = if k == 0 {
+                (1.0, target)
+            } else {
+                let mut j = noise.sample(rng);
+                let mut tries = 0;
+                while j == target && tries < 4 {
+                    j = noise.sample(rng);
+                    tries += 1;
+                }
+                if j == target {
+                    continue;
+                }
+                (0.0, j)
+            };
+            let f = ops::sigmoid(ops::dot(h, self.w_out.row(j)));
+            let g = (label - f) * lr;
+            ops::axpy(g, self.w_out.row(j), neu1e);
+        }
+    }
+}
+
+/// word2vec subsampling: keep token with probability
+/// `sqrt(thresh/f) + thresh/f` (clipped to 1).
+fn keep_token(vocab: &Vocab, id: usize, subsample: f64, total: f64, rng: &mut Pcg32) -> bool {
+    if subsample <= 0.0 {
+        return true;
+    }
+    let f = vocab.count(id) as f64 / total;
+    if f <= subsample {
+        return true;
+    }
+    let p = (subsample / f).sqrt() + subsample / f;
+    rng.chance(p.min(1.0))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn train_dm_doc(
+    ids: &[usize],
+    doc_id: usize,
+    w_in: &mut Matrix,
+    w_out: &mut Matrix,
+    doc_vecs: &mut Matrix,
+    noise: &AliasTable,
+    cfg: &Doc2VecConfig,
+    lr: f32,
+    rng: &mut Pcg32,
+) {
+    let dim = cfg.dim;
+    let mut h = vec![0.0f32; dim];
+    let mut neu1e = vec![0.0f32; dim];
+    for t in 0..ids.len() {
+        let b = 1 + rng.below_usize(cfg.window.max(1));
+        let lo = t.saturating_sub(b);
+        let hi = (t + b).min(ids.len() - 1);
+        h.copy_from_slice(doc_vecs.row(doc_id));
+        let mut n_ctx = 1.0f32;
+        for c in lo..=hi {
+            if c == t {
+                continue;
+            }
+            ops::axpy(1.0, w_in.row(ids[c]), &mut h);
+            n_ctx += 1.0;
+        }
+        ops::scale(1.0 / n_ctx, &mut h);
+        neu1e.iter_mut().for_each(|v| *v = 0.0);
+        neg_sample_update(ids[t], &h, &mut neu1e, w_out, noise, cfg.negative, lr, rng);
+        // Distribute the projection gradient to every contributor of the
+        // mean: ∂h/∂v = 1/n_ctx for each input vector.
+        let share = 1.0 / n_ctx;
+        ops::axpy(share, &neu1e, doc_vecs.row_mut(doc_id));
+        for c in lo..=hi {
+            if c == t {
+                continue;
+            }
+            ops::axpy(share, &neu1e, w_in.row_mut(ids[c]));
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn train_dbow_doc(
+    ids: &[usize],
+    doc_id: usize,
+    w_out: &mut Matrix,
+    doc_vecs: &mut Matrix,
+    noise: &AliasTable,
+    cfg: &Doc2VecConfig,
+    lr: f32,
+    rng: &mut Pcg32,
+) {
+    let mut neu1e = vec![0.0f32; cfg.dim];
+    for &target in ids {
+        neu1e.iter_mut().for_each(|v| *v = 0.0);
+        let h = doc_vecs.row(doc_id).to_vec();
+        neg_sample_update(target, &h, &mut neu1e, w_out, noise, cfg.negative, lr, rng);
+        ops::axpy(1.0, &neu1e, doc_vecs.row_mut(doc_id));
+    }
+}
+
+/// One negative-sampling update: adjusts `w_out` rows and accumulates the
+/// input-side gradient into `neu1e`.
+#[allow(clippy::too_many_arguments)]
+fn neg_sample_update(
+    target: usize,
+    h: &[f32],
+    neu1e: &mut [f32],
+    w_out: &mut Matrix,
+    noise: &AliasTable,
+    negative: usize,
+    lr: f32,
+    rng: &mut Pcg32,
+) {
+    for k in 0..=negative {
+        let (label, j) = if k == 0 {
+            (1.0, target)
+        } else {
+            let mut j = noise.sample(rng);
+            let mut tries = 0;
+            while j == target && tries < 4 {
+                j = noise.sample(rng);
+                tries += 1;
+            }
+            if j == target {
+                continue;
+            }
+            (0.0, j)
+        };
+        let out_row = w_out.row(j);
+        let f = ops::sigmoid(ops::dot(h, out_row));
+        let g = (label - f) * lr;
+        ops::axpy(g, out_row, neu1e);
+        ops::axpy(g, h, w_out.row_mut(j));
+    }
+}
+
+impl Embedder for Doc2Vec {
+    fn dim(&self) -> usize {
+        self.cfg.dim
+    }
+
+    /// Deterministic inference: the RNG is seeded from the token content,
+    /// so equal queries embed equally across calls and threads.
+    fn embed(&self, tokens: &[String]) -> Vec<f32> {
+        let mut hash: u64 = 0xcbf29ce484222325;
+        for t in tokens {
+            for b in t.as_bytes() {
+                hash ^= *b as u64;
+                hash = hash.wrapping_mul(0x100000001b3);
+            }
+            hash ^= 0xff;
+            hash = hash.wrapping_mul(0x100000001b3);
+        }
+        let mut rng = Pcg32::with_stream(hash ^ self.cfg.seed, 0x1fe2);
+        self.infer(tokens, &mut rng)
+    }
+
+    fn name(&self) -> &'static str {
+        "doc2vec"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use querc_linalg::ops::cosine;
+
+    fn toks(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    /// Two clearly separable "languages" of queries.
+    fn two_cluster_corpus() -> Vec<Vec<String>> {
+        let mut corpus = Vec::new();
+        for i in 0..30 {
+            corpus.push(toks(&format!(
+                "select col{} from orders where o_total > <num> group by col{}",
+                i % 5,
+                i % 3
+            )));
+            corpus.push(toks(&format!(
+                "insert into audit_log values <str> <num> event{}",
+                i % 4
+            )));
+        }
+        corpus
+    }
+
+    fn small_cfg(mode: Doc2VecMode) -> Doc2VecConfig {
+        Doc2VecConfig {
+            dim: 24,
+            window: 4,
+            negative: 5,
+            epochs: 30,
+            initial_lr: 0.05,
+            min_lr: 1e-4,
+            subsample: 0.0,
+            mode,
+            infer_epochs: 30,
+            drop_oov: false,
+            vocab: VocabConfig {
+                min_count: 1,
+                max_size: 1000,
+                hash_buckets: 64,
+            },
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn dm_separates_query_families() {
+        let corpus = two_cluster_corpus();
+        let model = Doc2Vec::train(&corpus, small_cfg(Doc2VecMode::DistributedMemory));
+        let sel = model.embed(&toks(
+            "select col1 from orders where o_total > <num> group by col1",
+        ));
+        let sel2 = model.embed(&toks(
+            "select col2 from orders where o_total > <num> group by col2",
+        ));
+        let ins = model.embed(&toks("insert into audit_log values <str> <num> event1"));
+        let within = cosine(&sel, &sel2);
+        let across = cosine(&sel, &ins);
+        assert!(
+            within > across,
+            "within-family {within} should exceed cross-family {across}"
+        );
+    }
+
+    #[test]
+    fn dbow_separates_query_families() {
+        let corpus = two_cluster_corpus();
+        let model = Doc2Vec::train(&corpus, small_cfg(Doc2VecMode::Dbow));
+        let sel = model.embed(&toks(
+            "select col1 from orders where o_total > <num> group by col1",
+        ));
+        let sel2 = model.embed(&toks(
+            "select col0 from orders where o_total > <num> group by col2",
+        ));
+        let ins = model.embed(&toks("insert into audit_log values <str> <num> event2"));
+        assert!(cosine(&sel, &sel2) > cosine(&sel, &ins));
+    }
+
+    #[test]
+    fn embed_is_deterministic() {
+        let corpus = two_cluster_corpus();
+        let model = Doc2Vec::train(&corpus, small_cfg(Doc2VecMode::DistributedMemory));
+        let q = toks("select col1 from orders where o_total > <num>");
+        assert_eq!(model.embed(&q), model.embed(&q));
+    }
+
+    #[test]
+    fn training_is_deterministic_under_seed() {
+        let corpus = two_cluster_corpus();
+        let m1 = Doc2Vec::train(&corpus, small_cfg(Doc2VecMode::DistributedMemory));
+        let m2 = Doc2Vec::train(&corpus, small_cfg(Doc2VecMode::DistributedMemory));
+        assert_eq!(m1.doc_vector(0), m2.doc_vector(0));
+        assert_eq!(m1.doc_vector(10), m2.doc_vector(10));
+    }
+
+    #[test]
+    fn unseen_tokens_do_not_panic() {
+        let corpus = two_cluster_corpus();
+        let model = Doc2Vec::train(&corpus, small_cfg(Doc2VecMode::DistributedMemory));
+        let v = model.embed(&toks("completely unseen tokens zzz qqq"));
+        assert_eq!(v.len(), model.dim());
+        assert!(v.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn empty_input_embeds_finite() {
+        let corpus = two_cluster_corpus();
+        let model = Doc2Vec::train(&corpus, small_cfg(Doc2VecMode::DistributedMemory));
+        let v = model.embed(&[]);
+        assert_eq!(v.len(), model.dim());
+        assert!(v.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn doc_vectors_available_for_training_docs() {
+        let corpus = two_cluster_corpus();
+        let model = Doc2Vec::train(&corpus, small_cfg(Doc2VecMode::DistributedMemory));
+        assert_eq!(model.num_docs(), corpus.len());
+        // Trained doc vectors of the two families separate too.
+        let a = model.doc_vector(0); // select-family (even indices)
+        let b = model.doc_vector(2);
+        let c = model.doc_vector(1); // insert-family (odd indices)
+        assert!(cosine(a, b) > cosine(a, c));
+    }
+
+    #[test]
+    fn all_embeddings_finite_after_training() {
+        let corpus = two_cluster_corpus();
+        let model = Doc2Vec::train(&corpus, small_cfg(Doc2VecMode::DistributedMemory));
+        for i in 0..model.num_docs() {
+            assert!(model.doc_vector(i).iter().all(|x| x.is_finite()));
+        }
+    }
+}

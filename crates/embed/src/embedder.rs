@@ -1,0 +1,81 @@
+//! The `Embedder` abstraction — Querc's replacement for feature engineering.
+//!
+//! A classifier in Querc is a pre-trained *(embedder, labeler)* pair; the
+//! embedder half is anything that maps a normalized token sequence to a
+//! fixed-dimension vector. Embedders are immutable once trained (training
+//! happens in the offline training module), so `embed` takes `&self` and
+//! implementations must be deterministic for a given input — Qworkers
+//! replicate them freely across threads.
+
+/// Maps token sequences to fixed-size dense vectors.
+pub trait Embedder: Send + Sync {
+    /// Output dimensionality; every returned vector has exactly this length.
+    fn dim(&self) -> usize;
+
+    /// Embed one tokenized (normalized) query.
+    ///
+    /// Must be deterministic: equal token sequences produce equal vectors.
+    fn embed(&self, tokens: &[String]) -> Vec<f32>;
+
+    /// Short identifier used in logs and experiment tables
+    /// (e.g. `"doc2vec"`, `"lstm"`).
+    fn name(&self) -> &'static str;
+
+    /// Convenience: normalize SQL text and embed it.
+    fn embed_sql(&self, sql: &str) -> Vec<f32> {
+        self.embed(&crate::sql_tokens(sql))
+    }
+}
+
+/// Embed a whole corpus row-by-row into a feature matrix
+/// (`corpus.len()` × `embedder.dim()`), as consumed by `querc-learn`
+/// classifiers and `querc-cluster`.
+pub fn embed_corpus<E: Embedder + ?Sized>(embedder: &E, corpus: &[Vec<String>]) -> Vec<Vec<f32>> {
+    corpus.iter().map(|doc| embedder.embed(doc)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A trivial embedder for exercising the trait's defaults.
+    struct LengthEmbedder;
+
+    impl Embedder for LengthEmbedder {
+        fn dim(&self) -> usize {
+            2
+        }
+        fn embed(&self, tokens: &[String]) -> Vec<f32> {
+            vec![
+                tokens.len() as f32,
+                tokens.iter().map(|t| t.len()).sum::<usize>() as f32,
+            ]
+        }
+        fn name(&self) -> &'static str {
+            "length"
+        }
+    }
+
+    #[test]
+    fn embed_sql_normalizes_first() {
+        let e = LengthEmbedder;
+        // Literal values are placeholders after normalization, so these two
+        // must embed identically.
+        let a = e.embed_sql("SELECT * FROM t WHERE x = 12345");
+        let b = e.embed_sql("select * from t where x = 9");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn embed_corpus_shape() {
+        let e = LengthEmbedder;
+        let corpus = vec![
+            vec!["a".to_string()],
+            vec!["b".to_string(), "cc".to_string()],
+        ];
+        let m = embed_corpus(&e, &corpus);
+        assert_eq!(m.len(), 2);
+        assert!(m.iter().all(|r| r.len() == e.dim()));
+        assert_eq!(m[1], vec![2.0, 3.0]);
+    }
+}

@@ -1,0 +1,155 @@
+//! Model persistence.
+//!
+//! Querc's architecture separates training (offline, central) from serving
+//! (Qworkers): trained embedders are serialized by the training module and
+//! shipped to workers. JSON via serde keeps the format debuggable; the
+//! models here are small (a few MB at experiment scale).
+
+use crate::{BagOfTokens, Doc2Vec, LstmAutoencoder};
+use serde::{de::DeserializeOwned, Serialize};
+use std::io;
+use std::path::Path;
+
+/// Error type for model (de)serialization.
+#[derive(Debug)]
+pub enum ModelIoError {
+    Io(io::Error),
+    Format(serde_json::Error),
+}
+
+impl std::fmt::Display for ModelIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelIoError::Io(e) => write!(f, "model io error: {e}"),
+            ModelIoError::Format(e) => write!(f, "model format error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelIoError {}
+
+impl From<io::Error> for ModelIoError {
+    fn from(e: io::Error) -> Self {
+        ModelIoError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for ModelIoError {
+    fn from(e: serde_json::Error) -> Self {
+        ModelIoError::Format(e)
+    }
+}
+
+/// Serialize any serde-able model to a JSON string.
+pub fn to_json<M: Serialize>(model: &M) -> Result<String, ModelIoError> {
+    Ok(serde_json::to_string(model)?)
+}
+
+/// Deserialize a model from a JSON string.
+pub fn from_json<M: DeserializeOwned>(json: &str) -> Result<M, ModelIoError> {
+    Ok(serde_json::from_str(json)?)
+}
+
+/// Write a model to a file.
+pub fn save<M: Serialize>(model: &M, path: &Path) -> Result<(), ModelIoError> {
+    let json = to_json(model)?;
+    std::fs::write(path, json)?;
+    Ok(())
+}
+
+/// Read a model from a file.
+pub fn load<M: DeserializeOwned>(path: &Path) -> Result<M, ModelIoError> {
+    let json = std::fs::read_to_string(path)?;
+    from_json(&json)
+}
+
+// Marker impl checks: these types must stay serializable.
+const _: fn() = || {
+    fn assert_roundtrip<T: Serialize + DeserializeOwned>() {}
+    assert_roundtrip::<Doc2Vec>();
+    assert_roundtrip::<LstmAutoencoder>();
+    assert_roundtrip::<BagOfTokens>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::embedder::Embedder;
+    use crate::{Doc2VecConfig, Doc2VecMode, LstmConfig, VocabConfig};
+
+    fn toks(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    fn corpus() -> Vec<Vec<String>> {
+        (0..10)
+            .map(|i| toks(&format!("select c{} from t where x = <num>", i % 3)))
+            .collect()
+    }
+
+    #[test]
+    fn doc2vec_roundtrips_through_json() {
+        let cfg = Doc2VecConfig {
+            dim: 8,
+            epochs: 2,
+            mode: Doc2VecMode::DistributedMemory,
+            vocab: VocabConfig {
+                min_count: 1,
+                max_size: 64,
+                hash_buckets: 8,
+            },
+            ..Default::default()
+        };
+        let model = crate::Doc2Vec::train(&corpus(), cfg);
+        let json = to_json(&model).unwrap();
+        let back: crate::Doc2Vec = from_json(&json).unwrap();
+        let q = toks("select c1 from t");
+        assert_eq!(model.embed(&q), back.embed(&q));
+    }
+
+    #[test]
+    fn lstm_roundtrips_through_json() {
+        let cfg = LstmConfig {
+            embed_dim: 6,
+            hidden: 7,
+            epochs: 1,
+            vocab: VocabConfig {
+                min_count: 1,
+                max_size: 64,
+                hash_buckets: 8,
+            },
+            ..Default::default()
+        };
+        let model = crate::LstmAutoencoder::train(&corpus(), cfg);
+        let json = to_json(&model).unwrap();
+        let back: crate::LstmAutoencoder = from_json(&json).unwrap();
+        let q = toks("select c2 from t where x = <num>");
+        assert_eq!(model.embed(&q), back.embed(&q));
+    }
+
+    #[test]
+    fn save_and_load_file() {
+        let model = crate::BagOfTokens::new(16, true);
+        let dir = std::env::temp_dir().join("querc_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bow.json");
+        save(&model, &path).unwrap();
+        let back: crate::BagOfTokens = load(&path).unwrap();
+        let q = toks("select a from b");
+        assert_eq!(model.embed(&q), back.embed(&q));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_missing_file_errors() {
+        let r: Result<crate::BagOfTokens, _> =
+            load(Path::new("/nonexistent/definitely/missing.json"));
+        assert!(matches!(r, Err(ModelIoError::Io(_))));
+    }
+
+    #[test]
+    fn malformed_json_errors() {
+        let r: Result<crate::BagOfTokens, _> = from_json("{not json");
+        assert!(matches!(r, Err(ModelIoError::Format(_))));
+    }
+}

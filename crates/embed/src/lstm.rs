@@ -1,0 +1,793 @@
+//! LSTM autoencoder embedder (paper §3, Figure 2).
+//!
+//! A single-layer LSTM encoder reads the normalized token sequence; its
+//! final hidden state initializes a single-layer LSTM decoder trained to
+//! reproduce the sequence (teacher forcing, sampled-softmax reconstruction
+//! loss). Once trained, **the final encoder hidden state is the query
+//! embedding** — exactly the construction in the paper.
+//!
+//! Everything is implemented from scratch: the LSTM cell forward pass,
+//! backpropagation through time across both halves of the autoencoder,
+//! sampled softmax against the unigram^0.75 noise distribution, sparse
+//! SGD on the (large) embedding/output tables and Adam on the (small)
+//! recurrent weights. A finite-difference gradient check in the test
+//! module pins the backward pass to the forward pass.
+
+use crate::embedder::Embedder;
+use crate::vocab::{Vocab, VocabConfig};
+use querc_linalg::{ops, AliasTable, Matrix, Optimizer, Pcg32};
+use serde::{Deserialize, Serialize};
+
+/// LSTM autoencoder hyperparameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LstmConfig {
+    /// Token embedding width fed to the LSTMs.
+    pub embed_dim: usize,
+    /// Hidden-state width — also the output embedding dimensionality.
+    pub hidden: usize,
+    /// Sequences are truncated to this many tokens.
+    pub max_len: usize,
+    /// Negative samples per reconstruction step (sampled softmax).
+    pub negative: usize,
+    /// Passes over the corpus.
+    pub epochs: usize,
+    /// Adam learning rate for recurrent weights; embedding/output tables
+    /// use plain SGD at the same rate.
+    pub lr: f32,
+    /// Per-tensor gradient L2-norm clip.
+    pub clip: f32,
+    pub vocab: VocabConfig,
+    pub seed: u64,
+}
+
+impl Default for LstmConfig {
+    fn default() -> Self {
+        LstmConfig {
+            embed_dim: 32,
+            hidden: 64,
+            max_len: 96,
+            negative: 5,
+            epochs: 3,
+            lr: 0.01,
+            clip: 5.0,
+            vocab: VocabConfig::default(),
+            seed: 0x15f3,
+        }
+    }
+}
+
+/// One LSTM cell's parameters. Gate order inside the stacked `4H` axis:
+/// input `i`, forget `f`, candidate `g`, output `o`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct LstmCell {
+    /// Input weights, `4H × E`.
+    pub(crate) wx: Matrix,
+    /// Recurrent weights, `4H × H`.
+    pub(crate) wh: Matrix,
+    /// Bias, `4H` (forget-gate slice initialized to 1).
+    pub(crate) b: Vec<f32>,
+}
+
+impl LstmCell {
+    fn new(embed_dim: usize, hidden: usize, rng: &mut Pcg32) -> Self {
+        let mut b = vec![0.0f32; 4 * hidden];
+        // Standard trick: positive forget bias keeps early gradients alive.
+        for v in &mut b[hidden..2 * hidden] {
+            *v = 1.0;
+        }
+        LstmCell {
+            wx: querc_linalg::init::xavier(4 * hidden, embed_dim, rng),
+            wh: querc_linalg::init::xavier(4 * hidden, hidden, rng),
+            b,
+        }
+    }
+}
+
+/// Per-timestep forward cache needed by the backward pass.
+struct StepCache {
+    /// Gate activations, each of width H.
+    i: Vec<f32>,
+    f: Vec<f32>,
+    g: Vec<f32>,
+    o: Vec<f32>,
+    c: Vec<f32>,
+    tanh_c: Vec<f32>,
+    h: Vec<f32>,
+    h_prev: Vec<f32>,
+    c_prev: Vec<f32>,
+}
+
+/// Gradients for one cell.
+#[derive(Debug, Clone)]
+struct CellGrads {
+    wx: Matrix,
+    wh: Matrix,
+    b: Vec<f32>,
+}
+
+impl CellGrads {
+    fn zeros(embed_dim: usize, hidden: usize) -> Self {
+        CellGrads {
+            wx: Matrix::zeros(4 * hidden, embed_dim),
+            wh: Matrix::zeros(4 * hidden, hidden),
+            b: vec![0.0; 4 * hidden],
+        }
+    }
+}
+
+/// All gradients produced by one training sequence.
+struct SeqGrads {
+    enc: CellGrads,
+    dec: CellGrads,
+    /// Sparse embedding-table gradients: (row, grad).
+    emb: Vec<(usize, Vec<f32>)>,
+    /// Sparse output-table gradients: (row, grad).
+    out: Vec<(usize, Vec<f32>)>,
+}
+
+/// A trained LSTM autoencoder.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LstmAutoencoder {
+    cfg: LstmConfig,
+    vocab: Vocab,
+    /// Token embeddings, `(vocab.size() + 1) × E`; the extra row is the
+    /// beginning-of-sequence symbol fed to the decoder at step 0.
+    emb: Matrix,
+    enc: LstmCell,
+    dec: LstmCell,
+    /// Output projection rows, `vocab.size() × H` (sampled softmax).
+    out: Matrix,
+}
+
+impl LstmAutoencoder {
+    /// Train an autoencoder over a corpus of normalized token sequences.
+    pub fn train(corpus: &[Vec<String>], cfg: LstmConfig) -> LstmAutoencoder {
+        assert!(cfg.hidden > 0 && cfg.embed_dim > 0 && cfg.max_len > 0);
+        let vocab = Vocab::build(corpus.iter().map(|d| d.as_slice()), &cfg.vocab);
+        let mut rng = Pcg32::with_stream(cfg.seed, 0x157a);
+        let mut model = LstmAutoencoder {
+            emb: querc_linalg::init::embedding(vocab.size() + 1, cfg.embed_dim, &mut rng),
+            enc: LstmCell::new(cfg.embed_dim, cfg.hidden, &mut rng),
+            dec: LstmCell::new(cfg.embed_dim, cfg.hidden, &mut rng),
+            out: Matrix::zeros(vocab.size(), cfg.hidden),
+            vocab,
+            cfg,
+        };
+        model.fit(corpus, &mut rng);
+        model
+    }
+
+    /// Continue training on (more) data — used by the training module for
+    /// periodic refreshes.
+    pub fn fit(&mut self, corpus: &[Vec<String>], rng: &mut Pcg32) {
+        let cfg = self.cfg.clone();
+        let noise = AliasTable::from_counts_pow(&self.vocab.noise_counts(), 0.75);
+        let encoded: Vec<Vec<usize>> = corpus
+            .iter()
+            .map(|d| {
+                let mut ids = self.vocab.encode(d);
+                ids.truncate(cfg.max_len);
+                ids
+            })
+            .collect();
+
+        // Adam over the recurrent tensors; sparse SGD over the tables.
+        let mut adam = querc_linalg::Adam::new(cfg.lr);
+        let s_enc_wx = adam.register(self.enc.wx.as_slice().len());
+        let s_enc_wh = adam.register(self.enc.wh.as_slice().len());
+        let s_enc_b = adam.register(self.enc.b.len());
+        let s_dec_wx = adam.register(self.dec.wx.as_slice().len());
+        let s_dec_wh = adam.register(self.dec.wh.as_slice().len());
+        let s_dec_b = adam.register(self.dec.b.len());
+
+        let mut order: Vec<usize> = (0..encoded.len()).collect();
+        for _epoch in 0..cfg.epochs {
+            rng.shuffle(&mut order);
+            for &idx in &order {
+                let ids = &encoded[idx];
+                if ids.is_empty() {
+                    continue;
+                }
+                let negs = sample_negatives(ids, cfg.negative, &noise, rng);
+                let (_loss, mut grads) = self.sequence_grads(ids, &negs);
+                // Clip and apply.
+                ops::clip_norm(grads.enc.wx.as_mut_slice(), cfg.clip);
+                ops::clip_norm(grads.enc.wh.as_mut_slice(), cfg.clip);
+                ops::clip_norm(&mut grads.enc.b, cfg.clip);
+                ops::clip_norm(grads.dec.wx.as_mut_slice(), cfg.clip);
+                ops::clip_norm(grads.dec.wh.as_mut_slice(), cfg.clip);
+                ops::clip_norm(&mut grads.dec.b, cfg.clip);
+                adam.step(s_enc_wx, self.enc.wx.as_mut_slice(), grads.enc.wx.as_slice());
+                adam.step(s_enc_wh, self.enc.wh.as_mut_slice(), grads.enc.wh.as_slice());
+                adam.step(s_enc_b, &mut self.enc.b, &grads.enc.b);
+                adam.step(s_dec_wx, self.dec.wx.as_mut_slice(), grads.dec.wx.as_slice());
+                adam.step(s_dec_wh, self.dec.wh.as_mut_slice(), grads.dec.wh.as_slice());
+                adam.step(s_dec_b, &mut self.dec.b, &grads.dec.b);
+                for (row, mut g) in grads.emb {
+                    ops::clip_norm(&mut g, cfg.clip);
+                    ops::axpy(-cfg.lr, &g, self.emb.row_mut(row));
+                }
+                for (row, mut g) in grads.out {
+                    ops::clip_norm(&mut g, cfg.clip);
+                    ops::axpy(-cfg.lr, &g, self.out.row_mut(row));
+                }
+            }
+        }
+    }
+
+    /// The model's vocabulary.
+    pub fn vocab(&self) -> &Vocab {
+        &self.vocab
+    }
+
+    /// Id of the decoder's beginning-of-sequence pseudo-token.
+    fn bos(&self) -> usize {
+        self.vocab.size()
+    }
+
+    /// Encoder-only forward pass; returns the full per-step caches plus
+    /// the final (h, c).
+    ///
+    /// The encoder reads the sequence REVERSED (Sutskever et al. 2014's
+    /// standard seq2seq trick): the tokens that open a SQL statement —
+    /// verb, projection, FROM tables — end up adjacent to the final state
+    /// instead of 50 decay steps away from it.
+    fn encode_steps(&self, ids: &[usize]) -> (Vec<StepCache>, Vec<f32>, Vec<f32>) {
+        let hdim = self.cfg.hidden;
+        let mut h = vec![0.0f32; hdim];
+        let mut c = vec![0.0f32; hdim];
+        let mut caches = Vec::with_capacity(ids.len());
+        for &id in ids.iter().rev() {
+            let cache = cell_forward(&self.enc, self.emb.row(id), &h, &c);
+            h = cache.h.clone();
+            c = cache.c.clone();
+            caches.push(cache);
+        }
+        (caches, h, c)
+    }
+
+    /// Forward + backward over one sequence with externally-chosen
+    /// negatives (one `Vec<usize>` per decoder step). Pure in the model
+    /// parameters; returns (total loss, gradients).
+    fn sequence_grads(&self, ids: &[usize], negs: &[Vec<usize>]) -> (f32, SeqGrads) {
+        let hdim = self.cfg.hidden;
+        let n = ids.len();
+        debug_assert_eq!(negs.len(), n);
+
+        // ---- forward ----
+        let (enc_caches, h_t, c_t) = self.encode_steps(ids);
+        // Decoder inputs: BOS then the shifted target sequence.
+        let dec_inputs: Vec<usize> = std::iter::once(self.bos())
+            .chain(ids[..n - 1].iter().copied())
+            .collect();
+        let mut dec_caches = Vec::with_capacity(n);
+        let mut h = h_t.clone();
+        let mut c = c_t.clone();
+        for &id in &dec_inputs {
+            let cache = cell_forward(&self.dec, self.emb.row(id), &h, &c);
+            h = cache.h.clone();
+            c = cache.c.clone();
+            dec_caches.push(cache);
+        }
+
+        // ---- loss + output-side gradients ----
+        let mut loss = 0.0f32;
+        let mut grads = SeqGrads {
+            enc: CellGrads::zeros(self.cfg.embed_dim, hdim),
+            dec: CellGrads::zeros(self.cfg.embed_dim, hdim),
+            emb: Vec::new(),
+            out: Vec::new(),
+        };
+        // dh per decoder step from the sampled softmax.
+        let mut dh_steps: Vec<Vec<f32>> = vec![vec![0.0; hdim]; n];
+        for t in 0..n {
+            let h_t = &dec_caches[t].h;
+            let target = ids[t];
+            let f_pos = ops::sigmoid(ops::dot(h_t, self.out.row(target)));
+            loss -= (f_pos.max(1e-7)).ln();
+            let g_pos = f_pos - 1.0; // d loss / d (o_target · h)
+            ops::axpy(g_pos, self.out.row(target), &mut dh_steps[t]);
+            let mut d_out_row = vec![0.0f32; hdim];
+            ops::axpy(g_pos, h_t, &mut d_out_row);
+            grads.out.push((target, d_out_row));
+            for &neg in &negs[t] {
+                if neg == target {
+                    continue;
+                }
+                let f_neg = ops::sigmoid(ops::dot(h_t, self.out.row(neg)));
+                loss -= (1.0 - f_neg).max(1e-7).ln();
+                let g_neg = f_neg; // label 0
+                ops::axpy(g_neg, self.out.row(neg), &mut dh_steps[t]);
+                let mut d_out_row = vec![0.0f32; hdim];
+                ops::axpy(g_neg, h_t, &mut d_out_row);
+                grads.out.push((neg, d_out_row));
+            }
+        }
+
+        // ---- decoder BPTT ----
+        let mut dh = vec![0.0f32; hdim];
+        let mut dc = vec![0.0f32; hdim];
+        for t in (0..n).rev() {
+            ops::axpy(1.0, &dh_steps[t], &mut dh);
+            let (dx, dh_prev, dc_prev) =
+                cell_backward(&self.dec, &dec_caches[t], &dh, &dc, &mut grads.dec, self.emb.row(dec_inputs[t]));
+            grads.emb.push((dec_inputs[t], dx));
+            dh = dh_prev;
+            dc = dc_prev;
+        }
+
+        // ---- encoder BPTT (seeded by the decoder's initial-state grads) --
+        // Cache k was produced from ids[n-1-k] (reversed read), so walk the
+        // caches backwards and index ids accordingly.
+        for k in (0..n).rev() {
+            let id = ids[n - 1 - k];
+            let (dx, dh_prev, dc_prev) =
+                cell_backward(&self.enc, &enc_caches[k], &dh, &dc, &mut grads.enc, self.emb.row(id));
+            grads.emb.push((id, dx));
+            dh = dh_prev;
+            dc = dc_prev;
+        }
+
+        (loss, grads)
+    }
+
+    /// Reconstruction loss of a sequence under fixed negatives (forward
+    /// only) — used by the gradient-check tests and by perplexity-style
+    /// diagnostics.
+    fn sequence_loss(&self, ids: &[usize], negs: &[Vec<usize>]) -> f32 {
+        self.sequence_grads(ids, negs).0
+    }
+
+    /// Average reconstruction loss per token over a corpus, with
+    /// deterministic negatives. Lower = better fit.
+    pub fn avg_loss(&self, corpus: &[Vec<String>], seed: u64) -> f32 {
+        let noise = AliasTable::from_counts_pow(&self.vocab.noise_counts(), 0.75);
+        let mut rng = Pcg32::with_stream(seed, 0x70ce);
+        let mut total = 0.0f64;
+        let mut tokens = 0usize;
+        for doc in corpus {
+            let mut ids = self.vocab.encode(doc);
+            ids.truncate(self.cfg.max_len);
+            if ids.is_empty() {
+                continue;
+            }
+            let negs = sample_negatives(&ids, self.cfg.negative, &noise, &mut rng);
+            total += self.sequence_loss(&ids, &negs) as f64;
+            tokens += ids.len();
+        }
+        if tokens == 0 {
+            0.0
+        } else {
+            (total / tokens as f64) as f32
+        }
+    }
+}
+
+/// One LSTM cell step.
+fn cell_forward(cell: &LstmCell, x: &[f32], h_prev: &[f32], c_prev: &[f32]) -> StepCache {
+    let hdim = h_prev.len();
+    let mut z = cell.wx.matvec(x);
+    let zh = cell.wh.matvec(h_prev);
+    for k in 0..z.len() {
+        z[k] += zh[k] + cell.b[k];
+    }
+    let mut i = vec![0.0f32; hdim];
+    let mut f = vec![0.0f32; hdim];
+    let mut g = vec![0.0f32; hdim];
+    let mut o = vec![0.0f32; hdim];
+    for k in 0..hdim {
+        i[k] = ops::sigmoid(z[k]);
+        f[k] = ops::sigmoid(z[hdim + k]);
+        g[k] = z[2 * hdim + k].tanh();
+        o[k] = ops::sigmoid(z[3 * hdim + k]);
+    }
+    let mut c = vec![0.0f32; hdim];
+    let mut tanh_c = vec![0.0f32; hdim];
+    let mut h = vec![0.0f32; hdim];
+    for k in 0..hdim {
+        c[k] = f[k] * c_prev[k] + i[k] * g[k];
+        tanh_c[k] = c[k].tanh();
+        h[k] = o[k] * tanh_c[k];
+    }
+    StepCache {
+        i,
+        f,
+        g,
+        o,
+        c,
+        tanh_c,
+        h,
+        h_prev: h_prev.to_vec(),
+        c_prev: c_prev.to_vec(),
+    }
+}
+
+/// One LSTM cell backward step. Accumulates parameter grads into `grads`
+/// and returns `(dx, dh_prev, dc_prev)`.
+fn cell_backward(
+    cell: &LstmCell,
+    cache: &StepCache,
+    dh: &[f32],
+    dc_in: &[f32],
+    grads: &mut CellGrads,
+    x: &[f32],
+) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
+    let hdim = dh.len();
+    let mut dz = vec![0.0f32; 4 * hdim];
+    let mut dc_prev = vec![0.0f32; hdim];
+    for k in 0..hdim {
+        let do_ = dh[k] * cache.tanh_c[k];
+        let dc = dc_in[k] + dh[k] * cache.o[k] * (1.0 - cache.tanh_c[k] * cache.tanh_c[k]);
+        let di = dc * cache.g[k];
+        let df = dc * cache.c_prev[k];
+        let dg = dc * cache.i[k];
+        dc_prev[k] = dc * cache.f[k];
+        dz[k] = di * cache.i[k] * (1.0 - cache.i[k]);
+        dz[hdim + k] = df * cache.f[k] * (1.0 - cache.f[k]);
+        dz[2 * hdim + k] = dg * (1.0 - cache.g[k] * cache.g[k]);
+        dz[3 * hdim + k] = do_ * cache.o[k] * (1.0 - cache.o[k]);
+    }
+    // Parameter gradients: dWx += dz ⊗ x, dWh += dz ⊗ h_prev, db += dz.
+    for r in 0..4 * hdim {
+        let dzr = dz[r];
+        if dzr != 0.0 {
+            ops::axpy(dzr, x, grads.wx.row_mut(r));
+            ops::axpy(dzr, &cache.h_prev, grads.wh.row_mut(r));
+        }
+        grads.b[r] += dzr;
+    }
+    let dx = cell.wx.matvec_t(&dz);
+    let dh_prev = cell.wh.matvec_t(&dz);
+    (dx, dh_prev, dc_prev)
+}
+
+/// Draw `negative` noise tokens per step, avoiding the step's target.
+fn sample_negatives(
+    ids: &[usize],
+    negative: usize,
+    noise: &AliasTable,
+    rng: &mut Pcg32,
+) -> Vec<Vec<usize>> {
+    ids.iter()
+        .map(|&target| {
+            (0..negative)
+                .filter_map(|_| {
+                    let mut j = noise.sample(rng);
+                    let mut tries = 0;
+                    while j == target && tries < 4 {
+                        j = noise.sample(rng);
+                        tries += 1;
+                    }
+                    (j != target).then_some(j)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+impl Embedder for LstmAutoencoder {
+    fn dim(&self) -> usize {
+        2 * self.cfg.hidden
+    }
+
+    /// The state of the final encoder LSTM cell — the output gate's hidden
+    /// vector concatenated with the cell state — from a pure forward pass,
+    /// hence deterministic. Including the cell state matters: it is where
+    /// the LSTM retains long-range information (schema tokens early in the
+    /// query), while `h` is dominated by the sequence tail.
+    fn embed(&self, tokens: &[String]) -> Vec<f32> {
+        let mut ids = self.vocab.encode(tokens);
+        ids.truncate(self.cfg.max_len);
+        if ids.is_empty() {
+            return vec![0.0; 2 * self.cfg.hidden];
+        }
+        let hdim = self.cfg.hidden;
+        let mut h = vec![0.0f32; hdim];
+        let mut c = vec![0.0f32; hdim];
+        for &id in ids.iter().rev() {
+            let cache = cell_forward(&self.enc, self.emb.row(id), &h, &c);
+            h = cache.h;
+            c = cache.c;
+        }
+        h.extend_from_slice(&c);
+        h
+    }
+
+    fn name(&self) -> &'static str {
+        "lstm"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use querc_linalg::ops::cosine;
+
+    fn toks(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    fn tiny_cfg() -> LstmConfig {
+        LstmConfig {
+            embed_dim: 8,
+            hidden: 10,
+            max_len: 16,
+            negative: 3,
+            epochs: 20,
+            lr: 0.02,
+            clip: 5.0,
+            vocab: VocabConfig {
+                min_count: 1,
+                max_size: 100,
+                hash_buckets: 8,
+            },
+            seed: 3,
+        }
+    }
+
+    fn tiny_corpus() -> Vec<Vec<String>> {
+        let mut corpus = Vec::new();
+        for i in 0..20 {
+            corpus.push(toks(&format!(
+                "select col{} from orders where total > <num>",
+                i % 4
+            )));
+            corpus.push(toks(&format!("insert into logs values <str> ev{}", i % 3)));
+        }
+        corpus
+    }
+
+    #[test]
+    fn gradient_check_against_finite_differences() {
+        // Tiny model, fixed negatives → the analytic gradient must match
+        // central finite differences on every parameter tensor we probe.
+        let corpus = vec![toks("a b c d"), toks("c d e f")];
+        let cfg = LstmConfig {
+            embed_dim: 5,
+            hidden: 6,
+            max_len: 8,
+            negative: 2,
+            epochs: 1,
+            lr: 0.0,
+            clip: 1e9,
+            vocab: VocabConfig {
+                min_count: 1,
+                max_size: 50,
+                hash_buckets: 4,
+            },
+            seed: 11,
+        };
+        let mut model = LstmAutoencoder::train(&corpus, cfg);
+        let ids = model.vocab.encode(&toks("a b c d e"));
+        let negs: Vec<Vec<usize>> = ids
+            .iter()
+            .enumerate()
+            .map(|(t, _)| vec![(t + 1) % model.vocab.size(), (t + 3) % model.vocab.size()])
+            .collect();
+        let (_, grads) = model.sequence_grads(&ids, &negs);
+
+        let eps = 1e-3f32;
+        // Probe several coordinates in each dense tensor.
+        let probes: Vec<(&str, usize)> = vec![
+            ("enc_wx", 3),
+            ("enc_wx", 17),
+            ("enc_wh", 5),
+            ("enc_b", 2),
+            ("dec_wx", 7),
+            ("dec_wh", 11),
+            ("dec_b", 9),
+        ];
+        for (tensor, idx) in probes {
+            let analytic = match tensor {
+                "enc_wx" => grads.enc.wx.as_slice()[idx],
+                "enc_wh" => grads.enc.wh.as_slice()[idx],
+                "enc_b" => grads.enc.b[idx],
+                "dec_wx" => grads.dec.wx.as_slice()[idx],
+                "dec_wh" => grads.dec.wh.as_slice()[idx],
+                "dec_b" => grads.dec.b[idx],
+                _ => unreachable!(),
+            };
+            let slot: &mut f32 = match tensor {
+                "enc_wx" => &mut model.enc.wx.as_mut_slice()[idx],
+                "enc_wh" => &mut model.enc.wh.as_mut_slice()[idx],
+                "enc_b" => &mut model.enc.b[idx],
+                "dec_wx" => &mut model.dec.wx.as_mut_slice()[idx],
+                "dec_wh" => &mut model.dec.wh.as_mut_slice()[idx],
+                "dec_b" => &mut model.dec.b[idx],
+                _ => unreachable!(),
+            };
+            let orig = *slot;
+            *slot = orig + eps;
+            let up = model.sequence_loss(&ids, &negs);
+            // Re-borrow after the immutable call.
+            let slot: &mut f32 = match tensor {
+                "enc_wx" => &mut model.enc.wx.as_mut_slice()[idx],
+                "enc_wh" => &mut model.enc.wh.as_mut_slice()[idx],
+                "enc_b" => &mut model.enc.b[idx],
+                "dec_wx" => &mut model.dec.wx.as_mut_slice()[idx],
+                "dec_wh" => &mut model.dec.wh.as_mut_slice()[idx],
+                "dec_b" => &mut model.dec.b[idx],
+                _ => unreachable!(),
+            };
+            *slot = orig - eps;
+            let down = model.sequence_loss(&ids, &negs);
+            let slot: &mut f32 = match tensor {
+                "enc_wx" => &mut model.enc.wx.as_mut_slice()[idx],
+                "enc_wh" => &mut model.enc.wh.as_mut_slice()[idx],
+                "enc_b" => &mut model.enc.b[idx],
+                "dec_wx" => &mut model.dec.wx.as_mut_slice()[idx],
+                "dec_wh" => &mut model.dec.wh.as_mut_slice()[idx],
+                "dec_b" => &mut model.dec.b[idx],
+                _ => unreachable!(),
+            };
+            *slot = orig;
+            let numeric = (up - down) / (2.0 * eps);
+            let denom = analytic.abs().max(numeric.abs()).max(1e-4);
+            assert!(
+                (analytic - numeric).abs() / denom < 0.05,
+                "{tensor}[{idx}]: analytic {analytic} vs numeric {numeric}"
+            );
+        }
+    }
+
+    #[test]
+    fn embedding_gradient_check() {
+        let corpus = vec![toks("a b c"), toks("b c d")];
+        let cfg = LstmConfig {
+            embed_dim: 4,
+            hidden: 5,
+            max_len: 8,
+            negative: 2,
+            epochs: 1,
+            lr: 0.0,
+            clip: 1e9,
+            vocab: VocabConfig {
+                min_count: 1,
+                max_size: 20,
+                hash_buckets: 4,
+            },
+            seed: 5,
+        };
+        let mut model = LstmAutoencoder::train(&corpus, cfg);
+        let ids = model.vocab.encode(&toks("a b c d"));
+        let negs: Vec<Vec<usize>> = ids.iter().map(|_| vec![0, 1]).collect();
+        let (_, grads) = model.sequence_grads(&ids, &negs);
+
+        // Sum all sparse contributions to one embedding coordinate.
+        let probe_row = ids[1];
+        let probe_col = 2usize;
+        let analytic: f32 = grads
+            .emb
+            .iter()
+            .filter(|(r, _)| *r == probe_row)
+            .map(|(_, g)| g[probe_col])
+            .sum();
+        let eps = 1e-3f32;
+        let e = model.cfg.embed_dim;
+        let flat = probe_row * e + probe_col;
+        let orig = model.emb.as_slice()[flat];
+        model.emb.as_mut_slice()[flat] = orig + eps;
+        let up = model.sequence_loss(&ids, &negs);
+        model.emb.as_mut_slice()[flat] = orig - eps;
+        let down = model.sequence_loss(&ids, &negs);
+        model.emb.as_mut_slice()[flat] = orig;
+        let numeric = (up - down) / (2.0 * eps);
+        let denom = analytic.abs().max(numeric.abs()).max(1e-4);
+        assert!(
+            (analytic - numeric).abs() / denom < 0.05,
+            "emb[{probe_row},{probe_col}]: analytic {analytic} vs numeric {numeric}"
+        );
+    }
+
+    #[test]
+    fn output_table_gradient_check() {
+        let corpus = vec![toks("a b c"), toks("b c d")];
+        let cfg = LstmConfig {
+            embed_dim: 4,
+            hidden: 5,
+            max_len: 8,
+            negative: 1,
+            epochs: 2,
+            lr: 0.01,
+            clip: 1e9,
+            vocab: VocabConfig {
+                min_count: 1,
+                max_size: 20,
+                hash_buckets: 4,
+            },
+            seed: 9,
+        };
+        let mut model = LstmAutoencoder::train(&corpus, cfg);
+        let ids = model.vocab.encode(&toks("a b c"));
+        let negs: Vec<Vec<usize>> = ids.iter().map(|_| vec![3]).collect();
+        let (_, grads) = model.sequence_grads(&ids, &negs);
+        let probe_row = ids[0];
+        let probe_col = 1usize;
+        let analytic: f32 = grads
+            .out
+            .iter()
+            .filter(|(r, _)| *r == probe_row)
+            .map(|(_, g)| g[probe_col])
+            .sum();
+        let eps = 1e-3f32;
+        let h = model.cfg.hidden;
+        let flat = probe_row * h + probe_col;
+        let orig = model.out.as_slice()[flat];
+        model.out.as_mut_slice()[flat] = orig + eps;
+        let up = model.sequence_loss(&ids, &negs);
+        model.out.as_mut_slice()[flat] = orig - eps;
+        let down = model.sequence_loss(&ids, &negs);
+        model.out.as_mut_slice()[flat] = orig;
+        let numeric = (up - down) / (2.0 * eps);
+        let denom = analytic.abs().max(numeric.abs()).max(1e-4);
+        assert!(
+            (analytic - numeric).abs() / denom < 0.05,
+            "out[{probe_row},{probe_col}]: analytic {analytic} vs numeric {numeric}"
+        );
+    }
+
+    #[test]
+    fn training_reduces_reconstruction_loss() {
+        let corpus = tiny_corpus();
+        let mut cfg = tiny_cfg();
+        cfg.epochs = 1;
+        let barely = LstmAutoencoder::train(&corpus, cfg.clone());
+        cfg.epochs = 25;
+        let trained = LstmAutoencoder::train(&corpus, cfg);
+        let l_barely = barely.avg_loss(&corpus, 42);
+        let l_trained = trained.avg_loss(&corpus, 42);
+        assert!(
+            l_trained < l_barely,
+            "training should reduce loss: {l_trained} vs {l_barely}"
+        );
+    }
+
+    #[test]
+    fn embeddings_separate_query_families() {
+        let corpus = tiny_corpus();
+        let model = LstmAutoencoder::train(&corpus, tiny_cfg());
+        let sel1 = model.embed(&toks("select col1 from orders where total > <num>"));
+        let sel2 = model.embed(&toks("select col2 from orders where total > <num>"));
+        let ins = model.embed(&toks("insert into logs values <str> ev1"));
+        assert!(cosine(&sel1, &sel2) > cosine(&sel1, &ins));
+    }
+
+    #[test]
+    fn embed_is_deterministic_and_correct_dim() {
+        let corpus = tiny_corpus();
+        let model = LstmAutoencoder::train(&corpus, tiny_cfg());
+        let q = toks("select col1 from orders");
+        let a = model.embed(&q);
+        let b = model.embed(&q);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), model.dim());
+        assert!(a.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn empty_and_oov_inputs() {
+        let corpus = tiny_corpus();
+        let model = LstmAutoencoder::train(&corpus, tiny_cfg());
+        assert_eq!(model.embed(&[]), vec![0.0; model.dim()]);
+        let v = model.embed(&toks("zzz yyy xxx never seen"));
+        assert!(v.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn long_sequences_truncated_not_crashed() {
+        let corpus = tiny_corpus();
+        let model = LstmAutoencoder::train(&corpus, tiny_cfg());
+        let long: Vec<String> = (0..500).map(|i| format!("tok{i}")).collect();
+        let v = model.embed(&long);
+        assert_eq!(v.len(), model.dim());
+    }
+
+    #[test]
+    fn training_is_deterministic_under_seed() {
+        let corpus = tiny_corpus();
+        let m1 = LstmAutoencoder::train(&corpus, tiny_cfg());
+        let m2 = LstmAutoencoder::train(&corpus, tiny_cfg());
+        let q = toks("select col1 from orders where total > <num>");
+        assert_eq!(m1.embed(&q), m2.embed(&q));
+    }
+}

@@ -1,0 +1,282 @@
+//! Token vocabulary with out-of-vocabulary hash buckets.
+//!
+//! Multi-tenant workloads have unbounded identifier vocabularies (every
+//! tenant brings its own schema), so the vocabulary keeps the most frequent
+//! tokens exactly and maps everything else into a fixed number of hash
+//! buckets. OOV tokens therefore still carry (collision-shared) signal —
+//! important for the account-labeling task where rare schema identifiers
+//! are the discriminative tokens.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Vocabulary construction parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct VocabConfig {
+    /// Tokens seen fewer than this many times go to hash buckets.
+    pub min_count: u64,
+    /// At most this many exact tokens are kept (most frequent first).
+    pub max_size: usize,
+    /// Number of OOV hash buckets appended after the exact tokens.
+    pub hash_buckets: usize,
+}
+
+impl Default for VocabConfig {
+    fn default() -> Self {
+        VocabConfig {
+            min_count: 2,
+            max_size: 20_000,
+            hash_buckets: 1024,
+        }
+    }
+}
+
+/// A frozen vocabulary: exact ids for frequent tokens, hashed ids for the
+/// long tail.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Vocab {
+    token_to_id: HashMap<String, u32>,
+    tokens: Vec<String>,
+    counts: Vec<u64>,
+    bucket_counts: Vec<u64>,
+}
+
+impl Vocab {
+    /// Build a vocabulary from a corpus of token sequences.
+    pub fn build<'a, I>(corpus: I, cfg: &VocabConfig) -> Vocab
+    where
+        I: IntoIterator<Item = &'a [String]>,
+    {
+        let mut freq: HashMap<&str, u64> = HashMap::new();
+        let mut order: Vec<&str> = Vec::new();
+        for doc in corpus {
+            for tok in doc {
+                let e = freq.entry(tok.as_str()).or_insert(0);
+                if *e == 0 {
+                    order.push(tok.as_str());
+                }
+                *e += 1;
+            }
+        }
+        // Most frequent first; ties broken by first-seen order for
+        // determinism (HashMap iteration order must not leak in).
+        let first_seen: HashMap<&str, usize> =
+            order.iter().enumerate().map(|(i, t)| (*t, i)).collect();
+        let mut entries: Vec<(&str, u64)> = freq
+            .iter()
+            .filter(|(_, &c)| c >= cfg.min_count)
+            .map(|(t, c)| (*t, *c))
+            .collect();
+        entries.sort_by(|a, b| b.1.cmp(&a.1).then(first_seen[a.0].cmp(&first_seen[b.0])));
+        entries.truncate(cfg.max_size);
+
+        let mut token_to_id = HashMap::with_capacity(entries.len());
+        let mut tokens = Vec::with_capacity(entries.len());
+        let mut counts = Vec::with_capacity(entries.len());
+        for (i, (t, c)) in entries.iter().enumerate() {
+            token_to_id.insert((*t).to_string(), i as u32);
+            tokens.push((*t).to_string());
+            counts.push(*c);
+        }
+        // Everything that fell below the threshold contributes to its
+        // bucket's noise count.
+        let mut bucket_counts = vec![0u64; cfg.hash_buckets.max(1)];
+        for (t, c) in freq {
+            if !token_to_id.contains_key(t) {
+                let b = fnv1a(t) as usize % bucket_counts.len();
+                bucket_counts[b] += c;
+            }
+        }
+        Vocab {
+            token_to_id,
+            tokens,
+            counts,
+            bucket_counts,
+        }
+    }
+
+    /// Total id space: exact tokens + hash buckets.
+    pub fn size(&self) -> usize {
+        self.tokens.len() + self.bucket_counts.len()
+    }
+
+    /// Number of exactly-represented tokens.
+    pub fn exact_len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// Map a token to its exact id, or `None` when out-of-vocabulary.
+    pub fn exact_id(&self, token: &str) -> Option<usize> {
+        self.token_to_id.get(token).map(|&i| i as usize)
+    }
+
+    /// Map a token to its id. Never fails — OOV tokens hash into buckets.
+    pub fn id(&self, token: &str) -> usize {
+        match self.token_to_id.get(token) {
+            Some(&i) => i as usize,
+            None => self.tokens.len() + fnv1a(token) as usize % self.bucket_counts.len(),
+        }
+    }
+
+    /// Map a full token sequence to ids.
+    pub fn encode(&self, tokens: &[String]) -> Vec<usize> {
+        tokens.iter().map(|t| self.id(t)).collect()
+    }
+
+    /// Map a token sequence to ids, silently dropping out-of-vocabulary
+    /// tokens — the classical word2vec/gensim behaviour.
+    pub fn encode_drop_oov(&self, tokens: &[String]) -> Vec<usize> {
+        tokens.iter().filter_map(|t| self.exact_id(t)).collect()
+    }
+
+    /// The token string for an exact id, or `None` for bucket ids.
+    pub fn token(&self, id: usize) -> Option<&str> {
+        self.tokens.get(id).map(String::as_str)
+    }
+
+    /// Occurrence count of a token id (bucket ids return the bucket mass).
+    pub fn count(&self, id: usize) -> u64 {
+        if id < self.counts.len() {
+            self.counts[id]
+        } else {
+            self.bucket_counts
+                .get(id - self.counts.len())
+                .copied()
+                .unwrap_or(0)
+        }
+    }
+
+    /// Noise-distribution counts over the whole id space for negative
+    /// sampling; zero-count buckets get 1 so the alias table is total.
+    pub fn noise_counts(&self) -> Vec<u64> {
+        self.counts
+            .iter()
+            .copied()
+            .chain(self.bucket_counts.iter().map(|&c| c.max(1)))
+            .collect()
+    }
+
+    /// Total token occurrences in the training corpus.
+    pub fn total_count(&self) -> u64 {
+        self.counts.iter().sum::<u64>() + self.bucket_counts.iter().sum::<u64>()
+    }
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in s.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn docs(texts: &[&str]) -> Vec<Vec<String>> {
+        texts
+            .iter()
+            .map(|t| t.split_whitespace().map(String::from).collect())
+            .collect()
+    }
+
+    fn build(texts: &[&str], cfg: &VocabConfig) -> Vocab {
+        let d = docs(texts);
+        Vocab::build(d.iter().map(|v| v.as_slice()), cfg)
+    }
+
+    #[test]
+    fn frequent_tokens_get_exact_ids() {
+        let v = build(
+            &["select a from t", "select b from t", "select a from u"],
+            &VocabConfig {
+                min_count: 2,
+                max_size: 100,
+                hash_buckets: 16,
+            },
+        );
+        assert!(v.token(v.id("select")).is_some());
+        assert!(v.token(v.id("from")).is_some());
+        assert!(v.token(v.id("a")).is_some());
+        // "b" and "u" appear once → bucketed.
+        assert!(v.id("b") >= v.exact_len());
+        assert!(v.id("u") >= v.exact_len());
+    }
+
+    #[test]
+    fn ids_are_stable_and_in_range() {
+        let v = build(&["x y z x y x"], &VocabConfig::default());
+        for tok in ["x", "y", "z", "never-seen", "🙂"] {
+            let id = v.id(tok);
+            assert!(id < v.size());
+            assert_eq!(id, v.id(tok), "id must be deterministic");
+        }
+    }
+
+    #[test]
+    fn most_frequent_token_is_id_zero() {
+        let v = build(
+            &["select select select from from t"],
+            &VocabConfig {
+                min_count: 1,
+                max_size: 100,
+                hash_buckets: 4,
+            },
+        );
+        assert_eq!(v.id("select"), 0);
+        assert_eq!(v.token(0), Some("select"));
+        assert_eq!(v.count(0), 3);
+    }
+
+    #[test]
+    fn max_size_truncates() {
+        let v = build(
+            &["a a a b b c"],
+            &VocabConfig {
+                min_count: 1,
+                max_size: 2,
+                hash_buckets: 8,
+            },
+        );
+        assert_eq!(v.exact_len(), 2);
+        assert!(v.id("c") >= 2);
+        assert_eq!(v.size(), 10);
+    }
+
+    #[test]
+    fn noise_counts_cover_full_space_and_are_positive() {
+        let v = build(&["a a b"], &VocabConfig {
+            min_count: 1,
+            max_size: 10,
+            hash_buckets: 4,
+        });
+        let n = v.noise_counts();
+        assert_eq!(n.len(), v.size());
+        assert!(n.iter().all(|&c| c > 0));
+    }
+
+    #[test]
+    fn determinism_across_builds() {
+        let texts = ["select a from t where b = 1", "select b from t", "select c from u"];
+        let v1 = build(&texts, &VocabConfig::default());
+        let v2 = build(&texts, &VocabConfig::default());
+        for tok in ["select", "a", "b", "t", "u", "zzz"] {
+            assert_eq!(v1.id(tok), v2.id(tok));
+        }
+    }
+
+    #[test]
+    fn bucket_mass_counts_oov() {
+        let v = build(&["rare1 rare2 common common"], &VocabConfig {
+            min_count: 2,
+            max_size: 10,
+            hash_buckets: 1,
+        });
+        assert_eq!(v.exact_len(), 1);
+        // Both rare tokens landed in the single bucket.
+        assert_eq!(v.count(1), 2);
+        assert_eq!(v.total_count(), 4);
+    }
+}

@@ -1,0 +1,143 @@
+//! Stratified k-fold cross-validation.
+//!
+//! The paper's Table 1 reports "10-fold cross validation score"; this
+//! module reproduces that protocol: folds preserve per-class proportions,
+//! each fold serves once as the test set, and the reported score is the
+//! pooled accuracy over all held-out predictions.
+
+use crate::metrics::accuracy;
+use crate::Classifier;
+use querc_linalg::Pcg32;
+
+/// Split `0..labels.len()` into `k` folds whose class proportions match
+/// the full set (round-robin within each shuffled class bucket).
+pub fn stratified_folds(labels: &[u32], k: usize, rng: &mut Pcg32) -> Vec<Vec<usize>> {
+    assert!(k >= 2, "need at least 2 folds");
+    let mut by_class: std::collections::BTreeMap<u32, Vec<usize>> = Default::default();
+    for (i, &y) in labels.iter().enumerate() {
+        by_class.entry(y).or_default().push(i);
+    }
+    let mut folds = vec![Vec::new(); k];
+    for (_, mut idxs) in by_class {
+        rng.shuffle(&mut idxs);
+        for (j, i) in idxs.into_iter().enumerate() {
+            folds[j % k].push(i);
+        }
+    }
+    folds
+}
+
+/// Run k-fold CV with a classifier factory; returns the pooled held-out
+/// accuracy (the paper's "cross validation score") and per-fold accuracies.
+pub fn cross_val_accuracy<C, F>(
+    x: &[Vec<f32>],
+    y: &[u32],
+    n_classes: usize,
+    k: usize,
+    rng: &mut Pcg32,
+    make: F,
+) -> (f64, Vec<f64>)
+where
+    C: Classifier,
+    F: Fn() -> C,
+{
+    assert_eq!(x.len(), y.len());
+    let folds = stratified_folds(y, k, rng);
+    let mut all_pred = Vec::with_capacity(y.len());
+    let mut all_true = Vec::with_capacity(y.len());
+    let mut per_fold = Vec::with_capacity(k);
+    for (f, test_idx) in folds.iter().enumerate() {
+        if test_idx.is_empty() {
+            continue;
+        }
+        let test_set: std::collections::HashSet<usize> = test_idx.iter().copied().collect();
+        let mut train_x = Vec::with_capacity(x.len() - test_idx.len());
+        let mut train_y = Vec::with_capacity(x.len() - test_idx.len());
+        for i in 0..x.len() {
+            if !test_set.contains(&i) {
+                train_x.push(x[i].clone());
+                train_y.push(y[i]);
+            }
+        }
+        let mut model = make();
+        let mut fold_rng = rng.split(f as u64 + 100);
+        model.fit(&train_x, &train_y, n_classes, &mut fold_rng);
+        let mut fold_pred = Vec::with_capacity(test_idx.len());
+        let mut fold_true = Vec::with_capacity(test_idx.len());
+        for &i in test_idx {
+            fold_pred.push(model.predict(&x[i]));
+            fold_true.push(y[i]);
+        }
+        per_fold.push(accuracy(&fold_pred, &fold_true));
+        all_pred.extend(fold_pred);
+        all_true.extend(fold_true);
+    }
+    (accuracy(&all_pred, &all_true), per_fold)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forest::{ForestConfig, RandomForest};
+
+    #[test]
+    fn folds_partition_all_indices() {
+        let labels: Vec<u32> = (0..100).map(|i| (i % 3) as u32).collect();
+        let folds = stratified_folds(&labels, 10, &mut Pcg32::new(1));
+        assert_eq!(folds.len(), 10);
+        let mut seen: Vec<usize> = folds.concat();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn folds_are_stratified() {
+        // 80 of class 0, 20 of class 1 → every fold of 10 should hold 8/2.
+        let labels: Vec<u32> = (0..100).map(|i| u32::from(i >= 80)).collect();
+        let folds = stratified_folds(&labels, 10, &mut Pcg32::new(2));
+        for f in &folds {
+            let ones = f.iter().filter(|&&i| labels[i] == 1).count();
+            assert_eq!(ones, 2, "fold should carry 2 of the minority class");
+        }
+    }
+
+    #[test]
+    fn cv_on_separable_data_scores_high() {
+        let mut rng = Pcg32::new(3);
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..120 {
+            let a = rng.range_f32(-1.0, 1.0);
+            let b = rng.range_f32(-1.0, 1.0);
+            x.push(vec![a, b]);
+            y.push(u32::from(a > 0.0));
+        }
+        let (score, per_fold) = cross_val_accuracy(
+            &x,
+            &y,
+            2,
+            10,
+            &mut Pcg32::new(4),
+            || RandomForest::new(ForestConfig::extra_trees(15)),
+        );
+        assert_eq!(per_fold.len(), 10);
+        assert!(score > 0.9, "cv score {score}");
+    }
+
+    #[test]
+    fn cv_on_random_labels_is_near_chance() {
+        let mut rng = Pcg32::new(5);
+        let x: Vec<Vec<f32>> = (0..200).map(|_| vec![rng.f32(), rng.f32()]).collect();
+        let y: Vec<u32> = (0..200).map(|_| rng.below(4)).collect();
+        let (score, _) = cross_val_accuracy(&x, &y, 4, 5, &mut Pcg32::new(6), || {
+            RandomForest::new(ForestConfig::extra_trees(10))
+        });
+        assert!(score < 0.45, "chance-level data scored {score}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 folds")]
+    fn k1_is_rejected() {
+        stratified_folds(&[0, 1], 1, &mut Pcg32::new(7));
+    }
+}

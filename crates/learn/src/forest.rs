@@ -1,0 +1,239 @@
+//! Ensembles of randomized decision trees.
+//!
+//! `RandomForest` covers both classical random forests (bootstrap + best
+//! splits on feature subsets) and extremely-randomized trees (full sample,
+//! random thresholds) via [`ForestConfig`]. The paper's §5.2 classifier
+//! ("randomized decision trees") corresponds to [`ForestConfig::extra_trees`].
+
+use crate::tree::{DecisionTree, SplitStrategy, TreeConfig};
+use crate::Classifier;
+use querc_linalg::Pcg32;
+
+/// Forest hyperparameters.
+#[derive(Debug, Clone)]
+pub struct ForestConfig {
+    pub n_trees: usize,
+    pub tree: TreeConfig,
+    /// Sample each tree's training set with replacement.
+    pub bootstrap: bool,
+}
+
+impl Default for ForestConfig {
+    fn default() -> Self {
+        ForestConfig {
+            n_trees: 50,
+            tree: TreeConfig {
+                max_features: None, // set per-fit to sqrt(d) when None
+                ..Default::default()
+            },
+            bootstrap: true,
+        }
+    }
+}
+
+impl ForestConfig {
+    /// Extremely-randomized trees: random thresholds, no bootstrap — the
+    /// configuration used by the labeling experiments.
+    pub fn extra_trees(n_trees: usize) -> Self {
+        ForestConfig {
+            n_trees,
+            tree: TreeConfig {
+                strategy: SplitStrategy::Random,
+                max_features: None,
+                ..Default::default()
+            },
+            bootstrap: false,
+        }
+    }
+}
+
+/// A trained forest.
+#[derive(Debug, Clone)]
+pub struct RandomForest {
+    cfg: ForestConfig,
+    trees: Vec<DecisionTree>,
+    n_classes: usize,
+}
+
+impl RandomForest {
+    pub fn new(cfg: ForestConfig) -> Self {
+        RandomForest {
+            cfg,
+            trees: Vec::new(),
+            n_classes: 0,
+        }
+    }
+
+    /// Number of trained trees.
+    pub fn len(&self) -> usize {
+        self.trees.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.trees.is_empty()
+    }
+
+    /// Mean class-probability vector across trees.
+    pub fn proba(&self, x: &[f32]) -> Vec<f32> {
+        let mut acc = vec![0.0f32; self.n_classes.max(1)];
+        for t in &self.trees {
+            let p = t.predict_proba(x, self.n_classes);
+            for (a, v) in acc.iter_mut().zip(p) {
+                *a += v;
+            }
+        }
+        if !self.trees.is_empty() {
+            let inv = 1.0 / self.trees.len() as f32;
+            for a in &mut acc {
+                *a *= inv;
+            }
+        }
+        acc
+    }
+}
+
+impl Classifier for RandomForest {
+    fn fit(&mut self, x: &[Vec<f32>], y: &[u32], n_classes: usize, rng: &mut Pcg32) {
+        assert_eq!(x.len(), y.len());
+        self.trees.clear();
+        self.n_classes = n_classes;
+        if x.is_empty() {
+            return;
+        }
+        let d = x[0].len();
+        // Default feature subset: √d, the standard forest heuristic.
+        let mut tree_cfg = self.cfg.tree.clone();
+        if tree_cfg.max_features.is_none() {
+            tree_cfg.max_features = Some(((d as f32).sqrt().ceil() as usize).max(1));
+        }
+        for t in 0..self.cfg.n_trees {
+            let mut tree_rng = rng.split(t as u64 + 1);
+            let mut tree = DecisionTree::new(tree_cfg.clone());
+            if self.cfg.bootstrap {
+                let idx: Vec<usize> = (0..x.len())
+                    .map(|_| tree_rng.below_usize(x.len()))
+                    .collect();
+                let bx: Vec<Vec<f32>> = idx.iter().map(|&i| x[i].clone()).collect();
+                let by: Vec<u32> = idx.iter().map(|&i| y[i]).collect();
+                tree.fit(&bx, &by, n_classes, &mut tree_rng);
+            } else {
+                tree.fit(x, y, n_classes, &mut tree_rng);
+            }
+            self.trees.push(tree);
+        }
+    }
+
+    fn predict(&self, x: &[f32]) -> u32 {
+        let p = self.proba(x);
+        querc_linalg::stats::argmax(&p).unwrap_or(0) as u32
+    }
+
+    fn predict_proba(&self, x: &[f32], n_classes: usize) -> Vec<f32> {
+        let mut p = self.proba(x);
+        p.resize(n_classes, 0.0);
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noisy_blobs(seed: u64, n_per: usize) -> (Vec<Vec<f32>>, Vec<u32>) {
+        let mut rng = Pcg32::new(seed);
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        let centers = [(0.0f32, 0.0f32), (4.0, 4.0), (0.0, 4.0), (4.0, 0.0)];
+        for (c, &(cx, cy)) in centers.iter().enumerate() {
+            for _ in 0..n_per {
+                x.push(vec![cx + rng.normal(), cy + rng.normal()]);
+                y.push(c as u32);
+            }
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn forest_beats_chance_strongly_on_blobs() {
+        let (x, y) = noisy_blobs(1, 60);
+        let (tx, ty) = noisy_blobs(2, 25);
+        let mut forest = RandomForest::new(ForestConfig::extra_trees(30));
+        forest.fit(&x, &y, 4, &mut Pcg32::new(3));
+        let acc = forest
+            .predict_batch(&tx)
+            .iter()
+            .zip(&ty)
+            .filter(|(p, t)| p == t)
+            .count() as f32
+            / ty.len() as f32;
+        assert!(acc > 0.85, "held-out accuracy {acc}");
+    }
+
+    #[test]
+    fn bootstrap_forest_works_too() {
+        let (x, y) = noisy_blobs(4, 60);
+        let mut forest = RandomForest::new(ForestConfig {
+            n_trees: 20,
+            bootstrap: true,
+            ..Default::default()
+        });
+        forest.fit(&x, &y, 4, &mut Pcg32::new(5));
+        let acc = forest
+            .predict_batch(&x)
+            .iter()
+            .zip(&y)
+            .filter(|(p, t)| p == t)
+            .count() as f32
+            / y.len() as f32;
+        assert!(acc > 0.9, "training accuracy {acc}");
+    }
+
+    #[test]
+    fn proba_is_a_distribution() {
+        let (x, y) = noisy_blobs(6, 30);
+        let mut forest = RandomForest::new(ForestConfig::extra_trees(10));
+        forest.fit(&x, &y, 4, &mut Pcg32::new(7));
+        let p = forest.proba(&[1.5, 1.5]);
+        assert_eq!(p.len(), 4);
+        assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-4);
+        assert!(p.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let (x, y) = noisy_blobs(8, 40);
+        let mut f1 = RandomForest::new(ForestConfig::extra_trees(15));
+        let mut f2 = RandomForest::new(ForestConfig::extra_trees(15));
+        f1.fit(&x, &y, 4, &mut Pcg32::new(9));
+        f2.fit(&x, &y, 4, &mut Pcg32::new(9));
+        for probe in [[0.5f32, 0.5], [2.5, 2.5], [0.0, 3.0]] {
+            assert_eq!(f1.predict(&probe), f2.predict(&probe));
+        }
+    }
+
+    #[test]
+    fn more_trees_do_not_hurt() {
+        let (x, y) = noisy_blobs(10, 50);
+        let (tx, ty) = noisy_blobs(11, 30);
+        let acc = |n: usize| {
+            let mut f = RandomForest::new(ForestConfig::extra_trees(n));
+            f.fit(&x, &y, 4, &mut Pcg32::new(12));
+            f.predict_batch(&tx)
+                .iter()
+                .zip(&ty)
+                .filter(|(p, t)| p == t)
+                .count() as f32
+                / ty.len() as f32
+        };
+        // Allow noise, but a 40-tree forest must not collapse vs 3 trees.
+        assert!(acc(40) + 0.05 >= acc(3));
+    }
+
+    #[test]
+    fn empty_training_set_is_harmless() {
+        let mut forest = RandomForest::new(ForestConfig::extra_trees(5));
+        forest.fit(&[], &[], 3, &mut Pcg32::new(13));
+        assert!(forest.is_empty());
+        assert_eq!(forest.predict(&[1.0, 2.0]), 0);
+    }
+}

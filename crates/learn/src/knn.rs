@@ -1,0 +1,139 @@
+//! k-nearest-neighbours — the nonparametric sanity-check labeler.
+//!
+//! Brute force with either Euclidean or cosine distance; fine at the
+//! experiment scales here and useful as a model-free probe of embedding
+//! quality (if kNN over embeddings can't label users, no classifier can).
+
+use crate::Classifier;
+use querc_linalg::{ops, Pcg32};
+
+/// Distance metric for [`Knn`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KnnMetric {
+    Euclidean,
+    /// 1 − cosine similarity.
+    Cosine,
+}
+
+/// Brute-force k-nearest-neighbours classifier.
+#[derive(Debug, Clone)]
+pub struct Knn {
+    k: usize,
+    metric: KnnMetric,
+    x: Vec<Vec<f32>>,
+    y: Vec<u32>,
+    n_classes: usize,
+}
+
+impl Knn {
+    pub fn new(k: usize, metric: KnnMetric) -> Self {
+        assert!(k > 0);
+        Knn {
+            k,
+            metric,
+            x: Vec::new(),
+            y: Vec::new(),
+            n_classes: 0,
+        }
+    }
+
+    fn distance(&self, a: &[f32], b: &[f32]) -> f32 {
+        match self.metric {
+            KnnMetric::Euclidean => ops::sq_dist(a, b),
+            KnnMetric::Cosine => 1.0 - ops::cosine(a, b),
+        }
+    }
+}
+
+impl Classifier for Knn {
+    fn fit(&mut self, x: &[Vec<f32>], y: &[u32], n_classes: usize, _rng: &mut Pcg32) {
+        assert_eq!(x.len(), y.len());
+        self.x = x.to_vec();
+        self.y = y.to_vec();
+        self.n_classes = n_classes;
+    }
+
+    fn predict(&self, q: &[f32]) -> u32 {
+        if self.x.is_empty() {
+            return 0;
+        }
+        // Partial selection of the k smallest distances.
+        let mut dists: Vec<(f32, u32)> = self
+            .x
+            .iter()
+            .zip(&self.y)
+            .map(|(xi, &yi)| (self.distance(q, xi), yi))
+            .collect();
+        let k = self.k.min(dists.len());
+        dists.select_nth_unstable_by(k - 1, |a, b| {
+            a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let mut votes = vec![0u32; self.n_classes.max(1)];
+        for &(_, label) in &dists[..k] {
+            votes[label as usize] += 1;
+        }
+        votes
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &v)| v)
+            .map(|(i, _)| i as u32)
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_nn_memorizes() {
+        let x = vec![vec![0.0, 0.0], vec![1.0, 1.0], vec![2.0, 2.0]];
+        let y = vec![0, 1, 2];
+        let mut knn = Knn::new(1, KnnMetric::Euclidean);
+        knn.fit(&x, &y, 3, &mut Pcg32::new(1));
+        assert_eq!(knn.predict(&[0.1, 0.0]), 0);
+        assert_eq!(knn.predict(&[0.9, 1.1]), 1);
+        assert_eq!(knn.predict(&[5.0, 5.0]), 2);
+    }
+
+    #[test]
+    fn majority_vote_smooths_noise() {
+        // One mislabeled point among many correct ones.
+        let mut x = vec![vec![0.0f32]; 9];
+        for (i, v) in x.iter_mut().enumerate() {
+            v[0] = i as f32 * 0.01;
+        }
+        let mut y = vec![0u32; 9];
+        y[4] = 1; // noise
+        let mut knn = Knn::new(5, KnnMetric::Euclidean);
+        knn.fit(&x, &y, 2, &mut Pcg32::new(2));
+        assert_eq!(knn.predict(&[0.04]), 0);
+    }
+
+    #[test]
+    fn cosine_metric_ignores_magnitude() {
+        let x = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        let y = vec![0, 1];
+        let mut knn = Knn::new(1, KnnMetric::Cosine);
+        knn.fit(&x, &y, 2, &mut Pcg32::new(3));
+        // A large vector along axis 0 is still class 0 under cosine.
+        assert_eq!(knn.predict(&[100.0, 1.0]), 0);
+        assert_eq!(knn.predict(&[0.5, 60.0]), 1);
+    }
+
+    #[test]
+    fn empty_training_set() {
+        let knn = Knn::new(3, KnnMetric::Euclidean);
+        assert_eq!(knn.predict(&[1.0]), 0);
+    }
+
+    #[test]
+    fn k_larger_than_dataset_is_clamped() {
+        let x = vec![vec![0.0], vec![1.0]];
+        let y = vec![0, 1];
+        let mut knn = Knn::new(10, KnnMetric::Euclidean);
+        knn.fit(&x, &y, 2, &mut Pcg32::new(4));
+        // Should not panic; ties resolve to the lower class id.
+        let _ = knn.predict(&[0.4]);
+    }
+}

@@ -1,0 +1,56 @@
+//! # querc-learn
+//!
+//! Off-the-shelf classifiers over dense feature vectors — the "labeler"
+//! half of Querc's (embedder, labeler) classifier pairs.
+//!
+//! The paper's point is that once queries are numeric vectors, *simple*
+//! machine learning suffices: its §5.2 uses randomized decision trees.
+//! This crate provides that ([`forest::RandomForest`] with extra-trees
+//! splits) plus a linear softmax baseline, k-nearest-neighbours, the usual
+//! classification metrics, and stratified k-fold cross-validation used by
+//! the Table 1/2 experiments.
+//!
+//! Everything is deterministic under a caller-supplied [`querc_linalg::Pcg32`].
+
+pub mod cv;
+pub mod forest;
+pub mod knn;
+pub mod linear;
+pub mod metrics;
+pub mod tree;
+
+pub use cv::{cross_val_accuracy, stratified_folds};
+pub use forest::{ForestConfig, RandomForest};
+pub use knn::Knn;
+pub use linear::SoftmaxRegression;
+pub use metrics::{accuracy, confusion_matrix, macro_f1, ClassMetrics};
+pub use tree::{DecisionTree, SplitStrategy, TreeConfig};
+
+use querc_linalg::Pcg32;
+
+/// A trainable multi-class classifier over dense `f32` features.
+///
+/// `fit` receives the full training matrix; `predict` classifies one row.
+/// Implementations must be deterministic given the RNG passed to `fit`.
+pub trait Classifier: Send + Sync {
+    /// Train on `x[i]` → `y[i]`, with labels in `0..n_classes`.
+    fn fit(&mut self, x: &[Vec<f32>], y: &[u32], n_classes: usize, rng: &mut Pcg32);
+
+    /// Predict the label of one feature vector.
+    fn predict(&self, x: &[f32]) -> u32;
+
+    /// Predict class probabilities (default: one-hot of `predict`).
+    fn predict_proba(&self, x: &[f32], n_classes: usize) -> Vec<f32> {
+        let mut p = vec![0.0; n_classes];
+        let c = self.predict(x) as usize;
+        if c < n_classes {
+            p[c] = 1.0;
+        }
+        p
+    }
+
+    /// Predict labels for many rows.
+    fn predict_batch(&self, xs: &[Vec<f32>]) -> Vec<u32> {
+        xs.iter().map(|x| self.predict(x)).collect()
+    }
+}

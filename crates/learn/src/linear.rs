@@ -1,0 +1,167 @@
+//! Multinomial logistic (softmax) regression — the linear baseline.
+//!
+//! A deliberately simple labeler: if learned embeddings are good features,
+//! even a linear model over them should perform respectably, which is part
+//! of the paper's argument that Querc "admits simpler classification
+//! algorithms".
+
+use crate::Classifier;
+use querc_linalg::{ops, Matrix, Pcg32};
+
+/// Softmax regression trained by mini-batch SGD with L2 regularization.
+#[derive(Debug, Clone)]
+pub struct SoftmaxRegression {
+    /// Weights, `n_classes × (d + 1)` — last column is the bias.
+    w: Matrix,
+    epochs: usize,
+    lr: f32,
+    l2: f32,
+}
+
+impl SoftmaxRegression {
+    pub fn new(epochs: usize, lr: f32, l2: f32) -> Self {
+        SoftmaxRegression {
+            w: Matrix::zeros(0, 0),
+            epochs,
+            lr,
+            l2,
+        }
+    }
+
+    /// Class scores (pre-softmax logits).
+    fn logits(&self, x: &[f32]) -> Vec<f32> {
+        let d = self.w.cols().saturating_sub(1);
+        (0..self.w.rows())
+            .map(|c| {
+                let row = self.w.row(c);
+                ops::dot(&row[..d.min(x.len())], &x[..d.min(x.len())]) + row[d]
+            })
+            .collect()
+    }
+
+    /// Predicted class distribution.
+    pub fn proba(&self, x: &[f32]) -> Vec<f32> {
+        let mut z = self.logits(x);
+        ops::softmax(&mut z);
+        z
+    }
+}
+
+impl Default for SoftmaxRegression {
+    fn default() -> Self {
+        SoftmaxRegression::new(60, 0.1, 1e-4)
+    }
+}
+
+impl Classifier for SoftmaxRegression {
+    fn fit(&mut self, x: &[Vec<f32>], y: &[u32], n_classes: usize, rng: &mut Pcg32) {
+        assert_eq!(x.len(), y.len());
+        if x.is_empty() {
+            self.w = Matrix::zeros(n_classes, 1);
+            return;
+        }
+        let d = x[0].len();
+        self.w = Matrix::zeros(n_classes, d + 1);
+        let mut order: Vec<usize> = (0..x.len()).collect();
+        for epoch in 0..self.epochs {
+            rng.shuffle(&mut order);
+            let lr = self.lr / (1.0 + 0.05 * epoch as f32);
+            for &i in &order {
+                let mut p = self.logits(&x[i]);
+                ops::softmax(&mut p);
+                for c in 0..n_classes {
+                    let err = p[c] - if y[i] as usize == c { 1.0 } else { 0.0 };
+                    let row = self.w.row_mut(c);
+                    for j in 0..d {
+                        row[j] -= lr * (err * x[i][j] + self.l2 * row[j]);
+                    }
+                    row[d] -= lr * err; // bias, unregularized
+                }
+            }
+        }
+    }
+
+    fn predict(&self, x: &[f32]) -> u32 {
+        let z = self.logits(x);
+        querc_linalg::stats::argmax(&z).unwrap_or(0) as u32
+    }
+
+    fn predict_proba(&self, x: &[f32], n_classes: usize) -> Vec<f32> {
+        let mut p = self.proba(x);
+        p.resize(n_classes, 0.0);
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linearly_separable(seed: u64, n: usize) -> (Vec<Vec<f32>>, Vec<u32>) {
+        let mut rng = Pcg32::new(seed);
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..n {
+            let a = rng.range_f32(-2.0, 2.0);
+            let b = rng.range_f32(-2.0, 2.0);
+            x.push(vec![a, b]);
+            y.push(if a + b > 0.0 { 1 } else { 0 });
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn learns_linear_boundary() {
+        let (x, y) = linearly_separable(1, 300);
+        let mut model = SoftmaxRegression::default();
+        model.fit(&x, &y, 2, &mut Pcg32::new(2));
+        let acc = model
+            .predict_batch(&x)
+            .iter()
+            .zip(&y)
+            .filter(|(p, t)| p == t)
+            .count() as f32
+            / y.len() as f32;
+        assert!(acc > 0.95, "training accuracy {acc}");
+    }
+
+    #[test]
+    fn three_class_one_hot_regions() {
+        // Three classes keyed on the argmax coordinate — linearly separable.
+        let mut rng = Pcg32::new(3);
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..300 {
+            let v = vec![rng.f32(), rng.f32(), rng.f32()];
+            y.push(querc_linalg::stats::argmax(&v).unwrap() as u32);
+            x.push(v);
+        }
+        let mut model = SoftmaxRegression::new(120, 0.2, 1e-5);
+        model.fit(&x, &y, 3, &mut Pcg32::new(4));
+        let acc = model
+            .predict_batch(&x)
+            .iter()
+            .zip(&y)
+            .filter(|(p, t)| p == t)
+            .count() as f32
+            / y.len() as f32;
+        assert!(acc > 0.85, "training accuracy {acc}");
+    }
+
+    #[test]
+    fn proba_is_a_distribution() {
+        let (x, y) = linearly_separable(5, 100);
+        let mut model = SoftmaxRegression::default();
+        model.fit(&x, &y, 2, &mut Pcg32::new(6));
+        let p = model.proba(&[0.3, -0.1]);
+        assert_eq!(p.len(), 2);
+        assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn empty_fit_predicts_class_zero() {
+        let mut model = SoftmaxRegression::default();
+        model.fit(&[], &[], 3, &mut Pcg32::new(7));
+        assert_eq!(model.predict(&[1.0, 2.0]), 0);
+    }
+}

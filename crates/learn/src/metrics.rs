@@ -1,0 +1,134 @@
+//! Classification metrics: accuracy, confusion matrices, per-class
+//! precision/recall/F1 — the numbers the Table 1/2 experiments report.
+
+/// Fraction of exact label matches; 0 on empty input.
+pub fn accuracy(predicted: &[u32], actual: &[u32]) -> f64 {
+    assert_eq!(predicted.len(), actual.len());
+    if predicted.is_empty() {
+        return 0.0;
+    }
+    let hits = predicted.iter().zip(actual).filter(|(p, a)| p == a).count();
+    hits as f64 / predicted.len() as f64
+}
+
+/// `matrix[actual][predicted]` counts.
+pub fn confusion_matrix(predicted: &[u32], actual: &[u32], n_classes: usize) -> Vec<Vec<u32>> {
+    assert_eq!(predicted.len(), actual.len());
+    let mut m = vec![vec![0u32; n_classes]; n_classes];
+    for (&p, &a) in predicted.iter().zip(actual) {
+        if (a as usize) < n_classes && (p as usize) < n_classes {
+            m[a as usize][p as usize] += 1;
+        }
+    }
+    m
+}
+
+/// Per-class precision/recall/F1 computed from a confusion matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassMetrics {
+    pub precision: f64,
+    pub recall: f64,
+    pub f1: f64,
+    /// Number of true instances of the class.
+    pub support: u32,
+}
+
+/// Compute [`ClassMetrics`] for every class.
+pub fn per_class(confusion: &[Vec<u32>]) -> Vec<ClassMetrics> {
+    let n = confusion.len();
+    (0..n)
+        .map(|c| {
+            let tp = confusion[c][c] as f64;
+            let fn_: f64 = (0..n).filter(|&j| j != c).map(|j| confusion[c][j] as f64).sum();
+            let fp: f64 = (0..n).filter(|&i| i != c).map(|i| confusion[i][c] as f64).sum();
+            let precision = if tp + fp > 0.0 { tp / (tp + fp) } else { 0.0 };
+            let recall = if tp + fn_ > 0.0 { tp / (tp + fn_) } else { 0.0 };
+            let f1 = if precision + recall > 0.0 {
+                2.0 * precision * recall / (precision + recall)
+            } else {
+                0.0
+            };
+            ClassMetrics {
+                precision,
+                recall,
+                f1,
+                support: confusion[c].iter().sum(),
+            }
+        })
+        .collect()
+}
+
+/// Unweighted mean of per-class F1 scores (classes with zero support are
+/// skipped).
+pub fn macro_f1(predicted: &[u32], actual: &[u32], n_classes: usize) -> f64 {
+    let cm = confusion_matrix(predicted, actual, n_classes);
+    let per = per_class(&cm);
+    let present: Vec<&ClassMetrics> = per.iter().filter(|m| m.support > 0).collect();
+    if present.is_empty() {
+        return 0.0;
+    }
+    present.iter().map(|m| m.f1).sum::<f64>() / present.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_basics() {
+        assert_eq!(accuracy(&[1, 2, 3], &[1, 2, 3]), 1.0);
+        assert_eq!(accuracy(&[1, 2, 3], &[3, 2, 1]), 1.0 / 3.0);
+        assert_eq!(accuracy(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn confusion_matrix_layout() {
+        // actual=0 predicted=1 twice, actual=1 predicted=1 once.
+        let m = confusion_matrix(&[1, 1, 1], &[0, 0, 1], 2);
+        assert_eq!(m[0][1], 2);
+        assert_eq!(m[1][1], 1);
+        assert_eq!(m[0][0], 0);
+    }
+
+    #[test]
+    fn perfect_classifier_metrics() {
+        let cm = confusion_matrix(&[0, 1, 2, 0], &[0, 1, 2, 0], 3);
+        for m in per_class(&cm) {
+            if m.support > 0 {
+                assert_eq!(m.precision, 1.0);
+                assert_eq!(m.recall, 1.0);
+                assert_eq!(m.f1, 1.0);
+            }
+        }
+        assert_eq!(macro_f1(&[0, 1, 2, 0], &[0, 1, 2, 0], 3), 1.0);
+    }
+
+    #[test]
+    fn precision_recall_asymmetry() {
+        // Predict class 1 always; actual is half 0, half 1.
+        let pred = vec![1u32; 10];
+        let actual: Vec<u32> = (0..10).map(|i| (i % 2) as u32).collect();
+        let cm = confusion_matrix(&pred, &actual, 2);
+        let per = per_class(&cm);
+        assert_eq!(per[1].recall, 1.0);
+        assert!((per[1].precision - 0.5).abs() < 1e-9);
+        assert_eq!(per[0].recall, 0.0);
+    }
+
+    #[test]
+    fn macro_f1_skips_absent_classes() {
+        // Class 2 never occurs; it must not drag the macro average down.
+        let pred = vec![0, 1, 0, 1];
+        let actual = vec![0, 1, 0, 1];
+        let with_absent = macro_f1(&pred, &actual, 3);
+        assert_eq!(with_absent, 1.0);
+    }
+
+    #[test]
+    fn support_counts_actual_instances() {
+        let cm = confusion_matrix(&[0, 0, 0], &[0, 1, 1], 2);
+        let per = per_class(&cm);
+        assert_eq!(per[0].support, 1);
+        assert_eq!(per[1].support, 2);
+    }
+}

@@ -1,0 +1,65 @@
+//! Property tests: classifier outputs are always well-formed.
+
+use proptest::prelude::*;
+use querc_learn::{Classifier, ForestConfig, RandomForest, SoftmaxRegression};
+use querc_linalg::Pcg32;
+
+fn dataset_strategy() -> impl Strategy<Value = (Vec<Vec<f32>>, Vec<u32>)> {
+    (2usize..40, 1usize..6, 2u32..5).prop_flat_map(|(n, d, classes)| {
+        (
+            prop::collection::vec(prop::collection::vec(-10.0f32..10.0, d..=d), n..=n),
+            prop::collection::vec(0u32..classes, n..=n),
+            Just(classes),
+        )
+            .prop_map(|(x, mut y, classes)| {
+                // Ensure every label < classes and at least class 0 occurs.
+                y[0] = 0;
+                let _ = classes;
+                (x, y)
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Forest predictions always land inside the label space and proba is
+    /// a distribution, for arbitrary data.
+    #[test]
+    fn forest_outputs_wellformed((x, y) in dataset_strategy(), seed in any::<u64>()) {
+        let n_classes = (*y.iter().max().unwrap() + 1) as usize;
+        let mut f = RandomForest::new(ForestConfig::extra_trees(5));
+        f.fit(&x, &y, n_classes, &mut Pcg32::new(seed));
+        for probe in x.iter().take(8) {
+            let c = f.predict(probe);
+            prop_assert!((c as usize) < n_classes);
+            let p = f.predict_proba(probe, n_classes);
+            let sum: f32 = p.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-3, "proba sum {sum}");
+        }
+    }
+
+    /// Training twice with one seed gives identical predictions.
+    #[test]
+    fn forest_deterministic((x, y) in dataset_strategy(), seed in any::<u64>()) {
+        let n_classes = (*y.iter().max().unwrap() + 1) as usize;
+        let mut a = RandomForest::new(ForestConfig::extra_trees(5));
+        let mut b = RandomForest::new(ForestConfig::extra_trees(5));
+        a.fit(&x, &y, n_classes, &mut Pcg32::new(seed));
+        b.fit(&x, &y, n_classes, &mut Pcg32::new(seed));
+        for probe in x.iter().take(8) {
+            prop_assert_eq!(a.predict(probe), b.predict(probe));
+        }
+    }
+
+    /// Softmax regression's proba is a distribution on arbitrary inputs.
+    #[test]
+    fn softmax_regression_wellformed((x, y) in dataset_strategy(), seed in any::<u64>()) {
+        let n_classes = (*y.iter().max().unwrap() + 1) as usize;
+        let mut m = SoftmaxRegression::new(5, 0.1, 1e-4);
+        m.fit(&x, &y, n_classes, &mut Pcg32::new(seed));
+        let p = m.proba(&x[0]);
+        let sum: f32 = p.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-3);
+    }
+}

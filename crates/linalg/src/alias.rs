@@ -1,0 +1,173 @@
+//! Walker alias method for O(1) sampling from discrete distributions.
+//!
+//! Negative sampling in Doc2Vec and the sampled-softmax loss of the LSTM
+//! autoencoder both need millions of draws from the unigram^0.75 noise
+//! distribution; the alias table makes each draw two random numbers and one
+//! table lookup.
+
+use crate::rng::Pcg32;
+
+/// Precomputed alias table over `n` outcomes.
+#[derive(Debug, Clone)]
+pub struct AliasTable {
+    prob: Vec<f64>,
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    /// Build a table from non-negative weights (not necessarily normalized).
+    ///
+    /// Panics if `weights` is empty or sums to zero.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "alias table needs at least one outcome");
+        let n = weights.len();
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "weights must not all be zero");
+        assert!(
+            weights.iter().all(|&w| w >= 0.0 && w.is_finite()),
+            "weights must be finite and non-negative"
+        );
+
+        // Scaled probabilities; each cell targets mass 1.
+        let mut scaled: Vec<f64> = weights.iter().map(|w| w * n as f64 / total).collect();
+        let mut prob = vec![0.0; n];
+        let mut alias = vec![0u32; n];
+        let mut small: Vec<u32> = Vec::new();
+        let mut large: Vec<u32> = Vec::new();
+        for (i, &s) in scaled.iter().enumerate() {
+            if s < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            prob[s as usize] = scaled[s as usize];
+            alias[s as usize] = l;
+            scaled[l as usize] -= 1.0 - scaled[s as usize];
+            if scaled[l as usize] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        // Numerical leftovers: everything remaining gets probability 1.
+        for &i in small.iter().chain(large.iter()) {
+            prob[i as usize] = 1.0;
+        }
+        AliasTable { prob, alias }
+    }
+
+    /// Build from raw counts raised to `power` — the word2vec noise
+    /// distribution uses `power = 0.75`.
+    pub fn from_counts_pow(counts: &[u64], power: f64) -> Self {
+        let weights: Vec<f64> = counts.iter().map(|&c| (c as f64).powf(power)).collect();
+        AliasTable::new(&weights)
+    }
+
+    /// Number of outcomes.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// True if the table has no outcomes (cannot happen post-construction).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draw one outcome index.
+    #[inline]
+    pub fn sample(&self, rng: &mut Pcg32) -> usize {
+        let i = rng.below_usize(self.prob.len());
+        if rng.f64() < self.prob[i] {
+            i
+        } else {
+            self.alias[i] as usize
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn empirical(weights: &[f64], draws: usize, seed: u64) -> Vec<f64> {
+        let table = AliasTable::new(weights);
+        let mut rng = Pcg32::new(seed);
+        let mut counts = vec![0usize; weights.len()];
+        for _ in 0..draws {
+            counts[table.sample(&mut rng)] += 1;
+        }
+        counts.iter().map(|&c| c as f64 / draws as f64).collect()
+    }
+
+    #[test]
+    fn matches_uniform_weights() {
+        let freq = empirical(&[1.0, 1.0, 1.0, 1.0], 100_000, 7);
+        for f in freq {
+            assert!((f - 0.25).abs() < 0.01, "{f}");
+        }
+    }
+
+    #[test]
+    fn matches_skewed_weights() {
+        let w = [8.0, 1.0, 1.0];
+        let freq = empirical(&w, 200_000, 11);
+        assert!((freq[0] - 0.8).abs() < 0.01);
+        assert!((freq[1] - 0.1).abs() < 0.01);
+        assert!((freq[2] - 0.1).abs() < 0.01);
+    }
+
+    #[test]
+    fn zero_weight_entries_never_sampled() {
+        let freq = empirical(&[0.0, 1.0, 0.0, 3.0], 50_000, 13);
+        assert_eq!(freq[0], 0.0);
+        assert_eq!(freq[2], 0.0);
+    }
+
+    #[test]
+    fn single_outcome() {
+        let table = AliasTable::new(&[5.0]);
+        let mut rng = Pcg32::new(17);
+        for _ in 0..100 {
+            assert_eq!(table.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn counts_pow_flattens_distribution() {
+        // With power < 1 the head should lose relative mass vs raw counts.
+        let counts = [1000u64, 10];
+        let raw = empirical(&[1000.0, 10.0], 100_000, 19);
+        let table = AliasTable::from_counts_pow(&counts, 0.75);
+        let mut rng = Pcg32::new(19);
+        let mut c = [0usize; 2];
+        for _ in 0..100_000 {
+            c[table.sample(&mut rng)] += 1;
+        }
+        let flat_head = c[0] as f64 / 100_000.0;
+        assert!(flat_head < raw[0], "pow 0.75 should shrink the head");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one outcome")]
+    fn empty_weights_panic() {
+        AliasTable::new(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not all be zero")]
+    fn all_zero_weights_panic() {
+        AliasTable::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    fn large_table_is_consistent() {
+        let weights: Vec<f64> = (1..=500).map(|i| i as f64).collect();
+        let freq = empirical(&weights, 500_000, 23);
+        let total: f64 = weights.iter().sum();
+        // Spot-check head and tail.
+        assert!((freq[499] - 500.0 / total).abs() < 0.002);
+        assert!((freq[0] - 1.0 / total).abs() < 0.002);
+    }
+}

@@ -1,0 +1,73 @@
+//! Parameter initialization schemes.
+//!
+//! Embedding tables use the word2vec convention (uniform in
+//! `[-0.5/dim, 0.5/dim]`); recurrent and dense layers use Xavier/Glorot or
+//! He initialization depending on the following nonlinearity.
+
+use crate::matrix::Matrix;
+use crate::rng::Pcg32;
+
+/// Xavier/Glorot uniform: `U[-sqrt(6/(fan_in+fan_out)), +...]`.
+///
+/// Appropriate before tanh/sigmoid nonlinearities (LSTM gates).
+pub fn xavier(rows: usize, cols: usize, rng: &mut Pcg32) -> Matrix {
+    let bound = (6.0 / (rows + cols) as f32).sqrt();
+    Matrix::uniform(rows, cols, -bound, bound, rng)
+}
+
+/// He/Kaiming uniform: `U[-sqrt(6/fan_in), +sqrt(6/fan_in)]`.
+///
+/// Appropriate before ReLU nonlinearities.
+pub fn he(rows: usize, cols: usize, rng: &mut Pcg32) -> Matrix {
+    let bound = (6.0 / cols as f32).sqrt();
+    Matrix::uniform(rows, cols, -bound, bound, rng)
+}
+
+/// word2vec-style embedding init: `U[-0.5/dim, 0.5/dim]`.
+pub fn embedding(vocab: usize, dim: usize, rng: &mut Pcg32) -> Matrix {
+    let bound = 0.5 / dim as f32;
+    Matrix::uniform(vocab, dim, -bound, bound, rng)
+}
+
+/// All-zero matrix — output-side embedding tables in word2vec start at zero.
+pub fn zeros(rows: usize, cols: usize) -> Matrix {
+    Matrix::zeros(rows, cols)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xavier_within_bound() {
+        let mut rng = Pcg32::new(1);
+        let m = xavier(16, 48, &mut rng);
+        let bound = (6.0 / 64.0f32).sqrt();
+        assert!(m.as_slice().iter().all(|v| v.abs() <= bound));
+        // Not degenerate.
+        assert!(m.frobenius() > 0.0);
+    }
+
+    #[test]
+    fn he_within_bound() {
+        let mut rng = Pcg32::new(2);
+        let m = he(10, 24, &mut rng);
+        let bound = (6.0 / 24.0f32).sqrt();
+        assert!(m.as_slice().iter().all(|v| v.abs() <= bound));
+    }
+
+    #[test]
+    fn embedding_bound_scales_with_dim() {
+        let mut rng = Pcg32::new(3);
+        let m = embedding(100, 50, &mut rng);
+        assert!(m.as_slice().iter().all(|v| v.abs() <= 0.01));
+    }
+
+    #[test]
+    fn init_mean_near_zero() {
+        let mut rng = Pcg32::new(4);
+        let m = xavier(64, 64, &mut rng);
+        let mean: f32 = m.as_slice().iter().sum::<f32>() / (64.0 * 64.0);
+        assert!(mean.abs() < 0.01);
+    }
+}

@@ -1,0 +1,38 @@
+//! # querc-linalg
+//!
+//! Dense linear algebra, deterministic random number generation, weighted
+//! sampling and gradient-descent optimizers for the Querc reproduction.
+//!
+//! Everything in this crate is written from scratch on safe Rust: the
+//! embedding models in `querc-embed` (Doc2Vec, LSTM autoencoder) and the
+//! classifiers in `querc-learn` are built exclusively on these primitives,
+//! so the whole ML stack is dependency-free and bit-reproducible under a
+//! fixed seed.
+//!
+//! ## Modules
+//!
+//! * [`rng`] — a PCG-32 generator with independent streams, plus shuffle /
+//!   choice / Gaussian helpers. All randomized code in the workspace takes a
+//!   `Pcg32` explicitly; nothing reads ambient entropy.
+//! * [`matrix`] — row-major `f32` matrices with GEMV/GEMM kernels sized for
+//!   the small dense models used here.
+//! * [`ops`] — vector kernels (dot, axpy, softmax, …) shared by the models.
+//! * [`init`] — Xavier/He/uniform parameter initialization.
+//! * [`alias`] — Walker alias tables for O(1) draws from discrete
+//!   distributions (negative sampling, sampled softmax).
+//! * [`optim`] — SGD (+momentum), Adagrad and Adam over named parameter
+//!   slots.
+//! * [`stats`] — small statistics helpers (mean, variance, argmax, …).
+
+pub mod alias;
+pub mod init;
+pub mod matrix;
+pub mod ops;
+pub mod optim;
+pub mod rng;
+pub mod stats;
+
+pub use alias::AliasTable;
+pub use matrix::Matrix;
+pub use optim::{Adagrad, Adam, Optimizer, Sgd};
+pub use rng::Pcg32;

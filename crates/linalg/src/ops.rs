@@ -1,0 +1,240 @@
+//! Vector kernels shared by the embedding models and classifiers.
+//!
+//! These are deliberately plain loops over slices: at the sizes used in
+//! this workspace (dims 32–256) they auto-vectorize well and profiling the
+//! training loops shows the bottleneck is elsewhere (sampling and memory
+//! traffic), matching the perf-book advice to measure before optimizing.
+
+/// Dot product. Panics in debug builds if lengths differ.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = 0.0;
+    for i in 0..a.len() {
+        acc += a[i] * b[i];
+    }
+    acc
+}
+
+/// `y += alpha * x`.
+#[inline]
+pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+    debug_assert_eq!(x.len(), y.len());
+    for i in 0..x.len() {
+        y[i] += alpha * x[i];
+    }
+}
+
+/// Elementwise in-place scale: `x *= alpha`.
+#[inline]
+pub fn scale(alpha: f32, x: &mut [f32]) {
+    for v in x {
+        *v *= alpha;
+    }
+}
+
+/// Euclidean (L2) norm.
+#[inline]
+pub fn norm(x: &[f32]) -> f32 {
+    dot(x, x).sqrt()
+}
+
+/// Squared Euclidean distance between two vectors.
+#[inline]
+pub fn sq_dist(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = 0.0;
+    for i in 0..a.len() {
+        let d = a[i] - b[i];
+        acc += d * d;
+    }
+    acc
+}
+
+/// Euclidean distance.
+#[inline]
+pub fn dist(a: &[f32], b: &[f32]) -> f32 {
+    sq_dist(a, b).sqrt()
+}
+
+/// Cosine similarity in `[-1, 1]`; zero vectors are treated as orthogonal.
+pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    let na = norm(a);
+    let nb = norm(b);
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    (dot(a, b) / (na * nb)).clamp(-1.0, 1.0)
+}
+
+/// Normalize `x` to unit L2 norm in place; leaves zero vectors untouched.
+pub fn normalize(x: &mut [f32]) {
+    let n = norm(x);
+    if n > 0.0 {
+        scale(1.0 / n, x);
+    }
+}
+
+/// Numerically stable logistic sigmoid.
+#[inline]
+pub fn sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        let e = (-x).exp();
+        1.0 / (1.0 + e)
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Hyperbolic tangent (thin wrapper so models read uniformly).
+#[inline]
+pub fn tanh(x: f32) -> f32 {
+    x.tanh()
+}
+
+/// In-place numerically stable softmax. No-op on empty input.
+pub fn softmax(x: &mut [f32]) {
+    if x.is_empty() {
+        return;
+    }
+    let max = x.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0;
+    for v in x.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    if sum > 0.0 {
+        scale(1.0 / sum, x);
+    }
+}
+
+/// Log-sum-exp of a slice, stable.
+pub fn log_sum_exp(x: &[f32]) -> f32 {
+    let max = x.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    if max.is_infinite() {
+        return max;
+    }
+    max + x.iter().map(|v| (v - max).exp()).sum::<f32>().ln()
+}
+
+/// Clip every component of `x` into `[-c, c]` (gradient clipping).
+pub fn clip(x: &mut [f32], c: f32) {
+    debug_assert!(c > 0.0);
+    for v in x {
+        *v = v.clamp(-c, c);
+    }
+}
+
+/// Rescale `x` so its global L2 norm is at most `max_norm`.
+pub fn clip_norm(x: &mut [f32], max_norm: f32) {
+    let n = norm(x);
+    if n > max_norm && n > 0.0 {
+        scale(max_norm / n, x);
+    }
+}
+
+/// Elementwise mean of several equal-length vectors.
+///
+/// Panics on empty input or ragged rows.
+pub fn mean_of(vecs: &[&[f32]]) -> Vec<f32> {
+    assert!(!vecs.is_empty());
+    let dim = vecs[0].len();
+    let mut out = vec![0.0; dim];
+    for v in vecs {
+        axpy(1.0, v, &mut out);
+    }
+    scale(1.0 / vecs.len() as f32, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_axpy() {
+        let a = [1.0, 2.0, 3.0];
+        let mut y = [1.0, 1.0, 1.0];
+        assert_eq!(dot(&a, &y), 6.0);
+        axpy(2.0, &a, &mut y);
+        assert_eq!(y, [3.0, 5.0, 7.0]);
+    }
+
+    #[test]
+    fn cosine_of_parallel_and_orthogonal() {
+        assert!((cosine(&[1.0, 0.0], &[2.0, 0.0]) - 1.0).abs() < 1e-6);
+        assert!(cosine(&[1.0, 0.0], &[0.0, 5.0]).abs() < 1e-6);
+        assert!((cosine(&[1.0, 0.0], &[-3.0, 0.0]) + 1.0).abs() < 1e-6);
+        assert_eq!(cosine(&[0.0, 0.0], &[1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn normalize_gives_unit_norm() {
+        let mut x = [3.0, 4.0];
+        normalize(&mut x);
+        assert!((norm(&x) - 1.0).abs() < 1e-6);
+        let mut z = [0.0, 0.0];
+        normalize(&mut z);
+        assert_eq!(z, [0.0, 0.0]);
+    }
+
+    #[test]
+    fn sigmoid_properties() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-6);
+        assert!(sigmoid(100.0) > 0.999_999);
+        assert!(sigmoid(-100.0) < 1e-6);
+        // Symmetry: sigma(-x) = 1 - sigma(x)
+        for x in [-3.0f32, -0.5, 0.7, 2.0] {
+            assert!((sigmoid(-x) - (1.0 - sigmoid(x))).abs() < 1e-6);
+        }
+        // No NaN at extremes.
+        assert!(sigmoid(1e10).is_finite());
+        assert!(sigmoid(-1e10).is_finite());
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_is_shift_invariant() {
+        let mut a = [1.0, 2.0, 3.0];
+        let mut b = [1001.0, 1002.0, 1003.0];
+        softmax(&mut a);
+        softmax(&mut b);
+        assert!((a.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-5);
+        }
+        assert!(a[2] > a[1] && a[1] > a[0]);
+    }
+
+    #[test]
+    fn log_sum_exp_stable() {
+        let x = [1000.0f32, 1000.0];
+        let lse = log_sum_exp(&x);
+        assert!((lse - (1000.0 + 2.0f32.ln())).abs() < 1e-3);
+    }
+
+    #[test]
+    fn clip_norm_caps_but_preserves_direction() {
+        let mut x = [3.0, 4.0];
+        clip_norm(&mut x, 1.0);
+        assert!((norm(&x) - 1.0).abs() < 1e-6);
+        assert!((x[1] / x[0] - 4.0 / 3.0).abs() < 1e-5);
+        let mut small = [0.1, 0.1];
+        let before = small;
+        clip_norm(&mut small, 1.0);
+        assert_eq!(small, before);
+    }
+
+    #[test]
+    fn mean_of_vectors() {
+        let a = [1.0, 2.0];
+        let b = [3.0, 4.0];
+        assert_eq!(mean_of(&[&a, &b]), vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn distances() {
+        assert_eq!(sq_dist(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+        assert_eq!(dist(&[0.0, 0.0], &[3.0, 4.0]), 5.0);
+    }
+}

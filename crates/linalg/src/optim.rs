@@ -1,0 +1,277 @@
+//! First-order optimizers over flat parameter slices.
+//!
+//! Models register each parameter tensor as a *slot* (an index returned by
+//! [`Optimizer::register`]); every training step then calls
+//! [`Optimizer::step`] with the slot, the parameter slice and its gradient.
+//! Keeping optimizer state keyed by slot keeps the models free of any
+//! optimizer-specific bookkeeping and makes swapping SGD↔Adam a one-line
+//! change in the trainer.
+
+/// Common interface for the optimizers in this crate.
+pub trait Optimizer {
+    /// Register a parameter tensor of `len` scalars, returning its slot id.
+    fn register(&mut self, len: usize) -> usize;
+
+    /// Apply one update: `params -= f(grad)` for the optimizer's rule.
+    ///
+    /// `params` and `grad` must both have the length the slot was
+    /// registered with.
+    fn step(&mut self, slot: usize, params: &mut [f32], grad: &[f32]);
+
+    /// Current base learning rate.
+    fn learning_rate(&self) -> f32;
+
+    /// Replace the base learning rate (for schedules / linear decay).
+    fn set_learning_rate(&mut self, lr: f32);
+}
+
+/// Plain SGD with optional classical momentum.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    velocity: Vec<Vec<f32>>,
+}
+
+impl Sgd {
+    /// Momentum-free SGD.
+    pub fn new(lr: f32) -> Self {
+        Sgd {
+            lr,
+            momentum: 0.0,
+            velocity: Vec::new(),
+        }
+    }
+
+    /// SGD with momentum coefficient `momentum` (typically 0.9).
+    pub fn with_momentum(lr: f32, momentum: f32) -> Self {
+        assert!((0.0..1.0).contains(&momentum));
+        Sgd {
+            lr,
+            momentum,
+            velocity: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn register(&mut self, len: usize) -> usize {
+        self.velocity.push(vec![0.0; len]);
+        self.velocity.len() - 1
+    }
+
+    fn step(&mut self, slot: usize, params: &mut [f32], grad: &[f32]) {
+        assert_eq!(params.len(), grad.len());
+        if self.momentum == 0.0 {
+            crate::ops::axpy(-self.lr, grad, params);
+            return;
+        }
+        let v = &mut self.velocity[slot];
+        assert_eq!(v.len(), params.len(), "slot registered with a different length");
+        for i in 0..params.len() {
+            v[i] = self.momentum * v[i] - self.lr * grad[i];
+            params[i] += v[i];
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Adagrad: per-coordinate learning rates from accumulated squared grads.
+#[derive(Debug, Clone)]
+pub struct Adagrad {
+    lr: f32,
+    eps: f32,
+    accum: Vec<Vec<f32>>,
+}
+
+impl Adagrad {
+    pub fn new(lr: f32) -> Self {
+        Adagrad {
+            lr,
+            eps: 1e-8,
+            accum: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for Adagrad {
+    fn register(&mut self, len: usize) -> usize {
+        self.accum.push(vec![0.0; len]);
+        self.accum.len() - 1
+    }
+
+    fn step(&mut self, slot: usize, params: &mut [f32], grad: &[f32]) {
+        assert_eq!(params.len(), grad.len());
+        let acc = &mut self.accum[slot];
+        for i in 0..params.len() {
+            acc[i] += grad[i] * grad[i];
+            params[i] -= self.lr * grad[i] / (acc[i].sqrt() + self.eps);
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Adam (Kingma & Ba 2015) with bias correction.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: Vec<u64>,
+    m: Vec<Vec<f32>>,
+    v: Vec<Vec<f32>>,
+}
+
+impl Adam {
+    /// Adam with the standard betas (0.9, 0.999).
+    pub fn new(lr: f32) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: Vec::new(),
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn register(&mut self, len: usize) -> usize {
+        self.m.push(vec![0.0; len]);
+        self.v.push(vec![0.0; len]);
+        self.t.push(0);
+        self.m.len() - 1
+    }
+
+    fn step(&mut self, slot: usize, params: &mut [f32], grad: &[f32]) {
+        assert_eq!(params.len(), grad.len());
+        self.t[slot] += 1;
+        let t = self.t[slot] as f32;
+        let (m, v) = (&mut self.m[slot], &mut self.v[slot]);
+        let bc1 = 1.0 - self.beta1.powf(t);
+        let bc2 = 1.0 - self.beta2.powf(t);
+        for i in 0..params.len() {
+            m[i] = self.beta1 * m[i] + (1.0 - self.beta1) * grad[i];
+            v[i] = self.beta2 * v[i] + (1.0 - self.beta2) * grad[i] * grad[i];
+            let mhat = m[i] / bc1;
+            let vhat = v[i] / bc2;
+            params[i] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimize f(x) = (x - 3)^2 from x = 0 and require convergence.
+    fn converges<O: Optimizer>(mut opt: O, iters: usize, tol: f32) {
+        let slot = opt.register(1);
+        let mut x = [0.0f32];
+        for _ in 0..iters {
+            let grad = [2.0 * (x[0] - 3.0)];
+            opt.step(slot, &mut x, &grad);
+        }
+        assert!((x[0] - 3.0).abs() < tol, "converged to {}", x[0]);
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        converges(Sgd::new(0.1), 200, 1e-3);
+    }
+
+    #[test]
+    fn sgd_momentum_converges_on_quadratic() {
+        converges(Sgd::with_momentum(0.05, 0.9), 400, 1e-2);
+    }
+
+    #[test]
+    fn adagrad_converges_on_quadratic() {
+        converges(Adagrad::new(0.5), 2000, 1e-2);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        converges(Adam::new(0.1), 1000, 1e-2);
+    }
+
+    #[test]
+    fn adam_converges_on_rosenbrock_ish() {
+        // Coupled 2-D objective: f = (1-a)^2 + 5 (b - a^2)^2.
+        let mut opt = Adam::new(0.02);
+        let slot = opt.register(2);
+        let mut p = [0.0f32, 0.0];
+        for _ in 0..8000 {
+            let (a, b) = (p[0], p[1]);
+            let grad = [
+                -2.0 * (1.0 - a) - 20.0 * a * (b - a * a),
+                10.0 * (b - a * a),
+            ];
+            opt.step(slot, &mut p, &grad);
+        }
+        assert!((p[0] - 1.0).abs() < 0.05, "a = {}", p[0]);
+        assert!((p[1] - 1.0).abs() < 0.1, "b = {}", p[1]);
+    }
+
+    #[test]
+    fn slots_are_independent() {
+        let mut opt = Adam::new(0.1);
+        let s1 = opt.register(1);
+        let s2 = opt.register(1);
+        let mut x1 = [0.0f32];
+        let mut x2 = [0.0f32];
+        for _ in 0..500 {
+            let g1 = [2.0 * (x1[0] - 1.0)];
+            let g2 = [2.0 * (x2[0] + 1.0)];
+            opt.step(s1, &mut x1, &g1);
+            opt.step(s2, &mut x2, &g2);
+        }
+        assert!((x1[0] - 1.0).abs() < 0.05);
+        assert!((x2[0] + 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn learning_rate_is_settable() {
+        let mut opt = Sgd::new(0.5);
+        assert_eq!(opt.learning_rate(), 0.5);
+        opt.set_learning_rate(0.25);
+        assert_eq!(opt.learning_rate(), 0.25);
+    }
+
+    #[test]
+    fn zero_gradient_is_fixed_point() {
+        let mut opt = Adam::new(0.1);
+        let slot = opt.register(3);
+        let mut x = [1.0f32, -2.0, 0.5];
+        let before = x;
+        opt.step(slot, &mut x, &[0.0, 0.0, 0.0]);
+        for (a, b) in x.iter().zip(&before) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Small statistics helpers used across the workspace.
+
+/// Arithmetic mean; 0 for empty input.
+pub fn mean(xs: &[f32]) -> f32 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f32>() / xs.len() as f32
+}
+
+/// Population variance; 0 for inputs shorter than 2.
+pub fn variance(xs: &[f32]) -> f32 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m).powi(2)).sum::<f32>() / xs.len() as f32
+}
+
+/// Standard deviation (population).
+pub fn std_dev(xs: &[f32]) -> f32 {
+    variance(xs).sqrt()
+}
+
+/// Index of the maximum element; `None` for empty input. Ties go to the
+/// first maximum, NaNs are skipped.
+pub fn argmax(xs: &[f32]) -> Option<usize> {
+    let mut best: Option<(usize, f32)> = None;
+    for (i, &x) in xs.iter().enumerate() {
+        if x.is_nan() {
+            continue;
+        }
+        match best {
+            Some((_, b)) if x <= b => {}
+            _ => best = Some((i, x)),
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+/// Index of the minimum element; `None` for empty input.
+pub fn argmin(xs: &[f32]) -> Option<usize> {
+    argmax(&xs.iter().map(|x| -x).collect::<Vec<_>>())
+}
+
+/// p-th percentile (0..=100) by linear interpolation on the sorted data.
+/// Returns 0 for empty input.
+pub fn percentile(xs: &[f32], p: f32) -> f32 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<f32> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let rank = (p.clamp(0.0, 100.0) / 100.0) * (sorted.len() - 1) as f32;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f32;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+/// Median (50th percentile).
+pub fn median(xs: &[f32]) -> f32 {
+    percentile(xs, 50.0)
+}
+
+/// Pearson correlation of two equal-length slices; 0 when degenerate.
+pub fn pearson(xs: &[f32], ys: &[f32]) -> f32 {
+    assert_eq!(xs.len(), ys.len());
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let mx = mean(xs);
+    let my = mean(ys);
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for i in 0..xs.len() {
+        let dx = xs[i] - mx;
+        let dy = ys[i] - my;
+        cov += dx * dy;
+        vx += dx * dx;
+        vy += dy * dy;
+    }
+    if vx == 0.0 || vy == 0.0 {
+        return 0.0;
+    }
+    cov / (vx.sqrt() * vy.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_variance_std() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-6);
+        assert!((variance(&xs) - 4.0).abs() < 1e-6);
+        assert!((std_dev(&xs) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_and_singleton_edge_cases() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[1.0]), 0.0);
+        assert_eq!(argmax(&[]), None);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn argmax_argmin() {
+        let xs = [1.0, 5.0, 3.0, 5.0];
+        assert_eq!(argmax(&xs), Some(1)); // first of the tie
+        assert_eq!(argmin(&xs), Some(0));
+        assert_eq!(argmax(&[f32::NAN, 2.0]), Some(1)); // NaN skipped
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert!((percentile(&xs, 0.0) - 1.0).abs() < 1e-6);
+        assert!((percentile(&xs, 100.0) - 4.0).abs() < 1e-6);
+        assert!((median(&xs) - 2.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pearson_perfect_and_anti() {
+        let xs = [1.0, 2.0, 3.0];
+        assert!((pearson(&xs, &[2.0, 4.0, 6.0]) - 1.0).abs() < 1e-5);
+        assert!((pearson(&xs, &[3.0, 2.0, 1.0]) + 1.0).abs() < 1e-5);
+        assert_eq!(pearson(&xs, &[5.0, 5.0, 5.0]), 0.0);
+    }
+}

@@ -1,0 +1,76 @@
+//! Property tests for the numeric substrate.
+
+use proptest::prelude::*;
+use querc_linalg::{ops, AliasTable, Matrix, Pcg32};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// below(n) is always < n, for any seed.
+    #[test]
+    fn below_in_range(seed in any::<u64>(), n in 1u32..10_000) {
+        let mut rng = Pcg32::new(seed);
+        for _ in 0..16 {
+            prop_assert!(rng.below(n) < n);
+        }
+    }
+
+    /// f32() stays in [0, 1).
+    #[test]
+    fn unit_interval(seed in any::<u64>()) {
+        let mut rng = Pcg32::new(seed);
+        for _ in 0..32 {
+            let x = rng.f32();
+            prop_assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    /// shuffle preserves multisets.
+    #[test]
+    fn shuffle_permutes(seed in any::<u64>(), mut v in prop::collection::vec(0u32..100, 0..40)) {
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        Pcg32::new(seed).shuffle(&mut v);
+        v.sort_unstable();
+        prop_assert_eq!(v, sorted);
+    }
+
+    /// softmax outputs a distribution for any finite input.
+    #[test]
+    fn softmax_distribution(mut xs in prop::collection::vec(-50.0f32..50.0, 1..32)) {
+        ops::softmax(&mut xs);
+        let sum: f32 = xs.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-4, "sum {sum}");
+        prop_assert!(xs.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    /// transpose is an involution for arbitrary shapes.
+    #[test]
+    fn transpose_involution(r in 1usize..12, c in 1usize..12, seed in any::<u64>()) {
+        let mut rng = Pcg32::new(seed);
+        let m = Matrix::uniform(r, c, -10.0, 10.0, &mut rng);
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    /// alias table sampling always returns valid indices and never picks
+    /// zero-weight outcomes.
+    #[test]
+    fn alias_valid(weights in prop::collection::vec(0.0f64..10.0, 1..50), seed in any::<u64>()) {
+        prop_assume!(weights.iter().sum::<f64>() > 0.0);
+        let table = AliasTable::new(&weights);
+        let mut rng = Pcg32::new(seed);
+        for _ in 0..32 {
+            let i = table.sample(&mut rng);
+            prop_assert!(i < weights.len());
+            prop_assert!(weights[i] > 0.0, "sampled zero-weight outcome {i}");
+        }
+    }
+
+    /// cosine similarity stays within [-1, 1].
+    #[test]
+    fn cosine_bounded(a in prop::collection::vec(-100.0f32..100.0, 1..16)) {
+        let b: Vec<f32> = a.iter().rev().copied().collect();
+        let c = ops::cosine(&a, &b);
+        prop_assert!((-1.0..=1.0).contains(&c));
+    }
+}

@@ -1,0 +1,312 @@
+//! The lightweight query-shape model extracted by [`crate::parser`].
+//!
+//! `QueryShape` is intentionally *not* a full AST: Querc only needs the
+//! structural facts that drive the database simulator's optimizer (tables,
+//! join graph, sargable predicates, grouping) and the baseline feature
+//! extractor. Anything the parser cannot interpret is skipped, never fatal.
+
+/// Top-level statement class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StatementKind {
+    Select,
+    Insert,
+    Update,
+    Delete,
+    CreateTable,
+    CreateView,
+    Drop,
+    Copy,
+    Show,
+    Set,
+    Other,
+}
+
+/// A table reference in FROM, with its optional alias.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableRef {
+    /// Unqualified lowercase table name (last path component).
+    pub name: String,
+    /// Full dotted path as written, lowercase (e.g. `tpch.public.orders`).
+    pub path: String,
+    pub alias: Option<String>,
+}
+
+/// A possibly-qualified column reference, lowercase.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ColumnRef {
+    /// Table name or alias qualifier if written.
+    pub qualifier: Option<String>,
+    pub column: String,
+}
+
+impl ColumnRef {
+    pub fn new(qualifier: Option<&str>, column: &str) -> Self {
+        ColumnRef {
+            qualifier: qualifier.map(|q| q.to_ascii_lowercase()),
+            column: column.to_ascii_lowercase(),
+        }
+    }
+
+    /// `q.c` or bare `c`.
+    pub fn to_string_qualified(&self) -> String {
+        match &self.qualifier {
+            Some(q) => format!("{q}.{}", self.column),
+            None => self.column.clone(),
+        }
+    }
+}
+
+/// Comparison operator of a predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Like,
+    In,
+    Between,
+    IsNull,
+    IsNotNull,
+    Exists,
+}
+
+/// Right-hand side of a predicate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Rhs {
+    /// Numeric literal value.
+    Number(f64),
+    /// String literal (quotes stripped). Dates arrive here.
+    Str(String),
+    /// Bind parameter.
+    Param,
+    /// An IN-list with this many members (literal lists only).
+    List(usize),
+    /// A scalar or relational subquery.
+    Subquery,
+    /// No RHS (IS NULL / EXISTS).
+    None,
+}
+
+impl Rhs {
+    /// Best-effort numeric interpretation: numbers pass through and ISO
+    /// dates (`yyyy-mm-dd`) become days since 1970-01-01, so range
+    /// selectivities on date columns work from parsed text alone.
+    pub fn numeric(&self) -> Option<f64> {
+        match self {
+            Rhs::Number(n) => Some(*n),
+            Rhs::Str(s) => date_to_days(s),
+            _ => None,
+        }
+    }
+}
+
+/// Convert an ISO `yyyy-mm-dd` date to days since the Unix epoch.
+/// Returns `None` for anything that does not look like a date.
+pub fn date_to_days(s: &str) -> Option<f64> {
+    let bytes = s.as_bytes();
+    if bytes.len() < 10 || bytes[4] != b'-' || bytes[7] != b'-' {
+        return None;
+    }
+    let year: i64 = s.get(0..4)?.parse().ok()?;
+    let month: i64 = s.get(5..7)?.parse().ok()?;
+    let day: i64 = s.get(8..10)?.parse().ok()?;
+    if !(1..=12).contains(&month) || !(1..=31).contains(&day) {
+        return None;
+    }
+    // Civil-from-days algorithm (Howard Hinnant), inverted.
+    let y = if month <= 2 { year - 1 } else { year };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400;
+    let mp = (month + 9) % 12;
+    let doy = (153 * mp + 2) / 5 + day - 1;
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+    Some((era * 146097 + doe - 719468) as f64)
+}
+
+/// What the predicate's left-hand side refers to.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Lhs {
+    Column(ColumnRef),
+    /// An aggregate call, e.g. HAVING sum(l_quantity) > 300.
+    Agg { func: String, column: Option<ColumnRef> },
+}
+
+/// One atomic filter condition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Predicate {
+    pub lhs: Lhs,
+    pub op: CmpOp,
+    pub rhs: Rhs,
+    /// Second bound for BETWEEN.
+    pub rhs2: Option<Rhs>,
+    /// Preceded by NOT.
+    pub negated: bool,
+    /// True if this condition sits under an OR somewhere — the optimizer
+    /// treats such predicates as non-sargable.
+    pub in_or: bool,
+}
+
+impl Predicate {
+    /// The column this predicate constrains, when the LHS is a plain column.
+    pub fn column(&self) -> Option<&ColumnRef> {
+        match &self.lhs {
+            Lhs::Column(c) => Some(c),
+            Lhs::Agg { column, .. } => column.as_ref(),
+        }
+    }
+
+    /// Sargable = usable for an index seek: plain column, not under OR,
+    /// not negated, and a comparison against a literal/param.
+    pub fn sargable(&self) -> bool {
+        matches!(self.lhs, Lhs::Column(_))
+            && !self.in_or
+            && !self.negated
+            && matches!(
+                self.op,
+                CmpOp::Eq | CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge | CmpOp::Between | CmpOp::In
+            )
+            && !matches!(self.rhs, Rhs::Subquery | Rhs::None)
+    }
+}
+
+/// An equi-join edge between two column references.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct JoinEdge {
+    pub left: ColumnRef,
+    pub right: ColumnRef,
+}
+
+/// Aggregate call observed in the select list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AggCall {
+    /// Lowercase function name (`sum`, `count`, `avg`, `min`, `max`).
+    pub func: String,
+    pub column: Option<ColumnRef>,
+    pub distinct: bool,
+}
+
+/// Structural summary of one SQL statement.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct QueryShape {
+    pub kind: Option<StatementKind>,
+    pub tables: Vec<TableRef>,
+    pub joins: Vec<JoinEdge>,
+    /// WHERE-clause conditions (conjunction members, OR members flagged).
+    pub predicates: Vec<Predicate>,
+    /// HAVING-clause conditions.
+    pub having: Vec<Predicate>,
+    pub group_by: Vec<ColumnRef>,
+    pub order_by: Vec<ColumnRef>,
+    pub aggregates: Vec<AggCall>,
+    /// Number of select-list items (0 for `*`-only lists counts as 1).
+    pub projections: usize,
+    pub distinct: bool,
+    pub limit: Option<u64>,
+    /// Count of UNION/INTERSECT/EXCEPT operators at the top level.
+    pub set_ops: usize,
+    /// Maximum subquery nesting depth below this statement.
+    pub subquery_depth: usize,
+    /// Total token count of the statement (cheap length signal).
+    pub token_count: usize,
+}
+
+impl QueryShape {
+    /// Resolve an alias or table name to the canonical table name.
+    pub fn resolve_table(&self, qualifier: &str) -> Option<&str> {
+        let q = qualifier.to_ascii_lowercase();
+        for t in &self.tables {
+            if t.name == q || t.alias.as_deref() == Some(q.as_str()) {
+                return Some(&t.name);
+            }
+        }
+        None
+    }
+
+    /// All distinct table names, sorted.
+    pub fn table_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.tables.iter().map(|t| t.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        names
+    }
+
+    /// Does the statement mention this keyword-level feature (convenience
+    /// for the baseline feature extractor)?
+    pub fn is_select(&self) -> bool {
+        self.kind == Some(StatementKind::Select)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn date_to_days_known_values() {
+        assert_eq!(date_to_days("1970-01-01"), Some(0.0));
+        assert_eq!(date_to_days("1970-01-02"), Some(1.0));
+        assert_eq!(date_to_days("1971-01-01"), Some(365.0));
+        assert_eq!(date_to_days("2000-01-01"), Some(10957.0));
+        // TPC-H date domain endpoints.
+        let lo = date_to_days("1992-01-01").unwrap();
+        let hi = date_to_days("1998-12-31").unwrap();
+        assert!((hi - lo - 2556.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn date_to_days_rejects_non_dates() {
+        assert_eq!(date_to_days("hello"), None);
+        assert_eq!(date_to_days("1995-13-01"), None);
+        assert_eq!(date_to_days("1995-00-10"), None);
+        assert_eq!(date_to_days(""), None);
+        assert_eq!(date_to_days("19950101"), None);
+    }
+
+    #[test]
+    fn rhs_numeric_handles_dates_and_numbers() {
+        assert_eq!(Rhs::Number(5.0).numeric(), Some(5.0));
+        assert_eq!(Rhs::Str("1970-01-02".into()).numeric(), Some(1.0));
+        assert_eq!(Rhs::Str("FURNITURE".into()).numeric(), None);
+        assert_eq!(Rhs::Param.numeric(), None);
+    }
+
+    #[test]
+    fn sargability_rules() {
+        let col = |op, rhs| Predicate {
+            lhs: Lhs::Column(ColumnRef::new(None, "a")),
+            op,
+            rhs,
+            rhs2: None,
+            negated: false,
+            in_or: false,
+        };
+        assert!(col(CmpOp::Eq, Rhs::Number(1.0)).sargable());
+        assert!(col(CmpOp::Between, Rhs::Number(1.0)).sargable());
+        assert!(!col(CmpOp::Like, Rhs::Str("x%".into())).sargable());
+        assert!(!col(CmpOp::Eq, Rhs::Subquery).sargable());
+        let mut p = col(CmpOp::Eq, Rhs::Number(1.0));
+        p.in_or = true;
+        assert!(!p.sargable());
+        let mut n = col(CmpOp::Eq, Rhs::Number(1.0));
+        n.negated = true;
+        assert!(!n.sargable());
+    }
+
+    #[test]
+    fn resolve_table_by_name_and_alias() {
+        let shape = QueryShape {
+            tables: vec![TableRef {
+                name: "lineitem".into(),
+                path: "lineitem".into(),
+                alias: Some("l".into()),
+            }],
+            ..Default::default()
+        };
+        assert_eq!(shape.resolve_table("l"), Some("lineitem"));
+        assert_eq!(shape.resolve_table("LINEITEM"), Some("lineitem"));
+        assert_eq!(shape.resolve_table("x"), None);
+    }
+}

@@ -1,0 +1,220 @@
+//! Hand-engineered syntactic features — the classical baseline.
+//!
+//! This is the approach the paper argues *against*: a fixed-width feature
+//! vector built from counts of syntactic constructs (joins, group-by width,
+//! aggregates, predicate classes), in the spirit of Chaudhuri et al.'s
+//! workload-compression distance functions. Querc keeps it as an ablation
+//! baseline so the experiments can compare learned embeddings against
+//! specialized feature engineering on equal footing.
+
+use crate::ast::{CmpOp, QueryShape, StatementKind};
+use crate::dialect::Dialect;
+use crate::parser::parse_query;
+
+/// Dimensionality of [`feature_vector`]'s output.
+pub const FEATURE_DIM: usize = 32;
+
+/// Number of hash buckets used for table-name features.
+const TABLE_BUCKETS: usize = 8;
+
+/// Extract the fixed-width syntactic feature vector from SQL text.
+///
+/// Layout (all counts lightly log-compressed so large queries do not
+/// dominate Euclidean distances):
+///
+/// | idx     | feature                                     |
+/// |---------|---------------------------------------------|
+/// | 0       | statement kind ordinal / 10                 |
+/// | 1       | number of tables                            |
+/// | 2       | number of join edges                        |
+/// | 3       | number of WHERE predicates                  |
+/// | 4       | equality predicates                         |
+/// | 5       | range predicates (<, <=, >, >=, between)    |
+/// | 6       | LIKE predicates                             |
+/// | 7       | IN predicates                               |
+/// | 8       | NULL tests                                  |
+/// | 9       | group-by width                              |
+/// | 10      | order-by width                              |
+/// | 11      | aggregate calls                             |
+/// | 12      | HAVING predicates                           |
+/// | 13      | projections                                 |
+/// | 14      | DISTINCT flag                               |
+/// | 15      | has LIMIT flag                              |
+/// | 16      | set operations                              |
+/// | 17      | subquery depth                              |
+/// | 18      | token count (log scale)                     |
+/// | 19      | predicates under OR                         |
+/// | 20..23  | reserved aggregate kinds (sum/count/avg/minmax) |
+/// | 24..31  | table-name hash buckets                     |
+pub fn feature_vector(sql: &str, dialect: Dialect) -> Vec<f32> {
+    let shape = parse_query(sql, dialect);
+    features_from_shape(&shape)
+}
+
+/// Build the feature vector from an already-parsed shape.
+pub fn features_from_shape(shape: &QueryShape) -> Vec<f32> {
+    let mut f = vec![0.0f32; FEATURE_DIM];
+    f[0] = kind_ordinal(shape.kind) as f32 / 10.0;
+    f[1] = ln1p(shape.tables.len());
+    f[2] = ln1p(shape.joins.len());
+    f[3] = ln1p(shape.predicates.len());
+    let mut eq = 0;
+    let mut range = 0;
+    let mut like = 0;
+    let mut inn = 0;
+    let mut nulls = 0;
+    let mut in_or = 0;
+    for p in &shape.predicates {
+        match p.op {
+            CmpOp::Eq | CmpOp::Ne => eq += 1,
+            CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge | CmpOp::Between => range += 1,
+            CmpOp::Like => like += 1,
+            CmpOp::In => inn += 1,
+            CmpOp::IsNull | CmpOp::IsNotNull => nulls += 1,
+            CmpOp::Exists => {}
+        }
+        if p.in_or {
+            in_or += 1;
+        }
+    }
+    f[4] = ln1p(eq);
+    f[5] = ln1p(range);
+    f[6] = ln1p(like);
+    f[7] = ln1p(inn);
+    f[8] = ln1p(nulls);
+    f[9] = ln1p(shape.group_by.len());
+    f[10] = ln1p(shape.order_by.len());
+    f[11] = ln1p(shape.aggregates.len());
+    f[12] = ln1p(shape.having.len());
+    f[13] = ln1p(shape.projections);
+    f[14] = if shape.distinct { 1.0 } else { 0.0 };
+    f[15] = if shape.limit.is_some() { 1.0 } else { 0.0 };
+    f[16] = ln1p(shape.set_ops);
+    f[17] = ln1p(shape.subquery_depth);
+    f[18] = ln1p(shape.token_count);
+    f[19] = ln1p(in_or);
+    for a in &shape.aggregates {
+        match a.func.as_str() {
+            "sum" => f[20] += 1.0,
+            "count" => f[21] += 1.0,
+            "avg" => f[22] += 1.0,
+            "min" | "max" => f[23] += 1.0,
+            _ => {}
+        }
+    }
+    for i in 20..24 {
+        f[i] = (1.0 + f[i]).ln();
+    }
+    for t in &shape.tables {
+        let b = 24 + (fnv1a(&t.name) as usize % TABLE_BUCKETS);
+        f[b] += 1.0;
+    }
+    for i in 24..24 + TABLE_BUCKETS {
+        f[i] = (1.0 + f[i]).ln();
+    }
+    f
+}
+
+fn ln1p(n: usize) -> f32 {
+    (1.0 + n as f32).ln()
+}
+
+fn kind_ordinal(kind: Option<StatementKind>) -> u8 {
+    match kind {
+        Some(StatementKind::Select) => 1,
+        Some(StatementKind::Insert) => 2,
+        Some(StatementKind::Update) => 3,
+        Some(StatementKind::Delete) => 4,
+        Some(StatementKind::CreateTable) => 5,
+        Some(StatementKind::CreateView) => 6,
+        Some(StatementKind::Drop) => 7,
+        Some(StatementKind::Copy) => 8,
+        Some(StatementKind::Show) => 9,
+        Some(StatementKind::Set) => 10,
+        Some(StatementKind::Other) | None => 0,
+    }
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in s.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dimension_is_fixed() {
+        assert_eq!(feature_vector("SELECT 1", Dialect::Generic).len(), FEATURE_DIM);
+        assert_eq!(feature_vector("", Dialect::Generic).len(), FEATURE_DIM);
+    }
+
+    #[test]
+    fn join_count_reflected() {
+        let no_join = feature_vector("SELECT * FROM a WHERE x = 1", Dialect::Generic);
+        let join = feature_vector(
+            "SELECT * FROM a, b WHERE a.k = b.k AND a.x = 1",
+            Dialect::Generic,
+        );
+        assert!(join[2] > no_join[2]);
+        assert!(join[1] > no_join[1]);
+    }
+
+    #[test]
+    fn similar_queries_are_close_different_far() {
+        use std::cmp::Ordering;
+        fn d(a: &[f32], b: &[f32]) -> f32 {
+            a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum::<f32>().sqrt()
+        }
+        let a = feature_vector(
+            "SELECT c1 FROM orders WHERE o_totalprice > 100",
+            Dialect::Generic,
+        );
+        let b = feature_vector(
+            "SELECT c2 FROM orders WHERE o_totalprice > 555",
+            Dialect::Generic,
+        );
+        let c = feature_vector(
+            "SELECT a, sum(b) FROM x, y, z WHERE x.k = y.k AND y.j = z.j GROUP BY a ORDER BY a LIMIT 5",
+            Dialect::Generic,
+        );
+        assert_eq!(
+            d(&a, &b).partial_cmp(&d(&a, &c)),
+            Some(Ordering::Less),
+            "same-shape queries should be closer than different-shape"
+        );
+    }
+
+    #[test]
+    fn literal_values_do_not_change_features() {
+        let a = feature_vector("SELECT * FROM t WHERE x = 1", Dialect::Generic);
+        let b = feature_vector("SELECT * FROM t WHERE x = 999999", Dialect::Generic);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn table_bucket_features_differ_for_different_tables() {
+        let a = feature_vector("SELECT * FROM lineitem", Dialect::Generic);
+        let b = feature_vector("SELECT * FROM customer", Dialect::Generic);
+        // Not guaranteed for adversarial names, but these two hash apart.
+        assert_ne!(a[24..32], b[24..32]);
+    }
+
+    #[test]
+    fn all_features_finite() {
+        for sql in [
+            "SELECT * FROM t",
+            "INSERT INTO t VALUES (1)",
+            "totally not sql ((((",
+            "",
+        ] {
+            let f = feature_vector(sql, Dialect::Generic);
+            assert!(f.iter().all(|v| v.is_finite()), "{sql}");
+        }
+    }
+}

@@ -1,0 +1,1631 @@
+//! A best-effort, total, lightweight SQL parser.
+//!
+//! The parser extracts a [`QueryShape`] — tables, join edges, predicates,
+//! grouping — from arbitrary SQL text. It is *not* a validating parser: the
+//! goal is to recover as much structure as possible from any input and skip
+//! what it cannot interpret, because (a) Querc must ingest every dialect,
+//! and (b) the simulator's optimizer only consumes the recovered facts.
+//!
+//! The grammar subset understood precisely covers the TPC-H templates and
+//! the synthetic SnowCloud workloads: SELECT with joined/comma FROM lists,
+//! WHERE conjunctions (ORs detected and flagged), BETWEEN/IN/LIKE/IS NULL,
+//! date and interval arithmetic on literals, GROUP BY / HAVING with
+//! aggregate comparisons, ORDER BY, LIMIT/TOP/FETCH, set operations, CTEs,
+//! and the DML/DDL statement kinds.
+
+use crate::ast::{
+    AggCall, CmpOp, ColumnRef, JoinEdge, Lhs, Predicate, QueryShape, Rhs, StatementKind, TableRef,
+};
+use crate::dialect::Dialect;
+use crate::lexer::tokenize;
+use crate::token::{Token, TokenKind};
+
+/// Parse one SQL statement into its structural shape. Never fails.
+pub fn parse_query(sql: &str, dialect: Dialect) -> QueryShape {
+    let tokens = tokenize(sql, dialect);
+    let mut shape = QueryShape {
+        token_count: tokens.len(),
+        ..Default::default()
+    };
+    let mut p = Parser {
+        toks: &tokens,
+        pos: 0,
+    };
+    p.parse_statement(&mut shape, 0);
+    shape
+}
+
+const AGG_FUNCS: &[&str] = &["avg", "count", "max", "min", "stddev", "sum", "variance"];
+
+fn is_agg(name: &str) -> bool {
+    AGG_FUNCS.contains(&name.to_ascii_lowercase().as_str())
+}
+
+/// Keywords that terminate a clause at paren depth 0.
+const CLAUSE_STARTERS: &[&str] = &[
+    "group", "having", "order", "limit", "offset", "fetch", "union", "intersect", "except",
+    "window", "qualify", "where", "from",
+];
+
+struct Parser<'a> {
+    toks: &'a [Token],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<&Token> {
+        self.toks.get(self.pos)
+    }
+
+    fn peek_at(&self, n: usize) -> Option<&Token> {
+        self.toks.get(self.pos + n)
+    }
+
+    fn bump(&mut self) -> Option<&Token> {
+        let t = self.toks.get(self.pos);
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek().is_some_and(|t| t.is_kw(kw)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_punct(&mut self, c: char) -> bool {
+        if self.peek().is_some_and(|t| t.is_punct(c)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn at_clause_boundary(&self) -> bool {
+        match self.peek() {
+            None => true,
+            Some(t) => {
+                t.is_punct(';')
+                    || t.is_punct(')')
+                    || (t.kind == TokenKind::Keyword
+                        && CLAUSE_STARTERS
+                            .iter()
+                            .any(|k| t.text.eq_ignore_ascii_case(k)))
+            }
+        }
+    }
+
+    /// Skip a balanced parenthesized group; assumes current token is `(`.
+    fn skip_balanced(&mut self) {
+        let mut depth = 0usize;
+        while let Some(t) = self.bump() {
+            if t.is_punct('(') {
+                depth += 1;
+            } else if t.is_punct(')') {
+                depth -= 1;
+                if depth == 0 {
+                    return;
+                }
+            }
+        }
+    }
+
+    fn parse_statement(&mut self, shape: &mut QueryShape, depth: usize) {
+        // Leading parens around the whole statement.
+        while self.eat_punct('(') {}
+        let Some(first) = self.peek() else {
+            return;
+        };
+        if first.kind != TokenKind::Keyword {
+            shape.kind = Some(StatementKind::Other);
+            return;
+        }
+        let word = first.text.to_ascii_lowercase();
+        match word.as_str() {
+            "with" => {
+                self.pos += 1;
+                self.parse_ctes(shape, depth);
+                self.parse_statement(shape, depth);
+            }
+            "select" => {
+                shape.kind = Some(StatementKind::Select);
+                self.parse_select_body(shape, depth);
+            }
+            "insert" => {
+                shape.kind = Some(StatementKind::Insert);
+                self.pos += 1;
+                self.eat_kw("into");
+                if let Some(tref) = self.parse_table_ref() {
+                    shape.tables.push(tref);
+                }
+                // INSERT ... SELECT captures the select's structure too.
+                self.skip_until_kw_depth0(&["select", "values"]);
+                if self.peek().is_some_and(|t| t.is_kw("select")) {
+                    self.parse_select_body(shape, depth);
+                    shape.kind = Some(StatementKind::Insert);
+                }
+            }
+            "update" => {
+                shape.kind = Some(StatementKind::Update);
+                self.pos += 1;
+                if let Some(tref) = self.parse_table_ref() {
+                    shape.tables.push(tref);
+                }
+                self.skip_until_kw_depth0(&["where"]);
+                if self.eat_kw("where") {
+                    let mut ctx = CondCtx::default();
+                    self.parse_or(shape, &mut ctx, depth);
+                    shape.predicates.extend(ctx.predicates);
+                }
+            }
+            "delete" => {
+                shape.kind = Some(StatementKind::Delete);
+                self.pos += 1;
+                self.eat_kw("from");
+                if let Some(tref) = self.parse_table_ref() {
+                    shape.tables.push(tref);
+                }
+                self.skip_until_kw_depth0(&["where"]);
+                if self.eat_kw("where") {
+                    let mut ctx = CondCtx::default();
+                    self.parse_or(shape, &mut ctx, depth);
+                    shape.predicates.extend(ctx.predicates);
+                }
+            }
+            "create" => {
+                self.pos += 1;
+                // Skip OR REPLACE / TEMPORARY etc.
+                while self
+                    .peek()
+                    .is_some_and(|t| t.kind == TokenKind::Keyword || t.kind == TokenKind::Ident)
+                {
+                    if self.peek().is_some_and(|t| t.is_kw("table")) {
+                        shape.kind = Some(StatementKind::CreateTable);
+                        self.pos += 1;
+                        break;
+                    }
+                    if self.peek().is_some_and(|t| t.is_kw("view")) {
+                        shape.kind = Some(StatementKind::CreateView);
+                        self.pos += 1;
+                        break;
+                    }
+                    if self.peek().is_some_and(|t| t.is_kw("index")) {
+                        shape.kind = Some(StatementKind::Other);
+                        self.pos += 1;
+                        break;
+                    }
+                    self.pos += 1;
+                }
+                if shape.kind.is_none() {
+                    shape.kind = Some(StatementKind::Other);
+                }
+                if let Some(tref) = self.parse_table_ref() {
+                    shape.tables.push(tref);
+                }
+                // CREATE TABLE ... AS SELECT keeps the inner structure.
+                self.skip_until_kw_depth0(&["select"]);
+                if self.peek().is_some_and(|t| t.is_kw("select")) {
+                    let kind = shape.kind;
+                    self.parse_select_body(shape, depth);
+                    shape.kind = kind;
+                }
+            }
+            "drop" => {
+                shape.kind = Some(StatementKind::Drop);
+                self.pos += 1;
+                self.bump(); // object class
+                if let Some(tref) = self.parse_table_ref() {
+                    shape.tables.push(tref);
+                }
+            }
+            "copy" => {
+                shape.kind = Some(StatementKind::Copy);
+                self.pos += 1;
+                if let Some(tref) = self.parse_table_ref() {
+                    shape.tables.push(tref);
+                }
+            }
+            "show" => {
+                shape.kind = Some(StatementKind::Show);
+            }
+            "set" | "use" => {
+                shape.kind = Some(StatementKind::Set);
+            }
+            _ => {
+                shape.kind = Some(StatementKind::Other);
+            }
+        }
+    }
+
+    fn parse_ctes(&mut self, shape: &mut QueryShape, depth: usize) {
+        self.eat_kw("recursive");
+        loop {
+            // name [ (cols) ] AS ( select )
+            if self
+                .peek()
+                .is_none_or(|t| !matches!(t.kind, TokenKind::Ident | TokenKind::QuotedIdent))
+            {
+                break;
+            }
+            self.pos += 1;
+            if self.peek().is_some_and(|t| t.is_punct('(')) {
+                self.skip_balanced();
+            }
+            if !self.eat_kw("as") {
+                break;
+            }
+            if self.peek().is_some_and(|t| t.is_punct('(')) {
+                // Parse the CTE body as a subquery for structure.
+                self.pos += 1;
+                let mut inner = QueryShape::default();
+                self.parse_statement(&mut inner, depth + 1);
+                merge_subquery(shape, inner, depth + 1);
+                // Consume up to the matching close paren.
+                let mut d = 1usize;
+                while let Some(t) = self.bump() {
+                    if t.is_punct('(') {
+                        d += 1;
+                    } else if t.is_punct(')') {
+                        d -= 1;
+                        if d == 0 {
+                            break;
+                        }
+                    }
+                }
+            }
+            if !self.eat_punct(',') {
+                break;
+            }
+        }
+    }
+
+    fn skip_until_kw_depth0(&mut self, kws: &[&str]) {
+        let mut depth = 0usize;
+        while let Some(t) = self.peek() {
+            if depth == 0
+                && t.kind == TokenKind::Keyword
+                && kws.iter().any(|k| t.text.eq_ignore_ascii_case(k))
+            {
+                return;
+            }
+            if t.is_punct('(') {
+                depth += 1;
+            } else if t.is_punct(')') {
+                if depth == 0 {
+                    return;
+                }
+                depth -= 1;
+            } else if t.is_punct(';') && depth == 0 {
+                return;
+            }
+            self.pos += 1;
+        }
+    }
+
+    fn parse_select_body(&mut self, shape: &mut QueryShape, depth: usize) {
+        if !self.eat_kw("select") {
+            return;
+        }
+        if self.eat_kw("distinct") {
+            shape.distinct = true;
+        } else {
+            self.eat_kw("all");
+        }
+        if self.eat_kw("top") {
+            if let Some(t) = self.peek() {
+                if t.kind == TokenKind::Number {
+                    shape.limit = t.text.parse().ok();
+                    self.pos += 1;
+                }
+            }
+        }
+        self.parse_select_list(shape, depth);
+        if self.eat_kw("from") {
+            self.parse_from(shape, depth);
+        }
+        if self.eat_kw("where") {
+            let mut ctx = CondCtx::default();
+            self.parse_or(shape, &mut ctx, depth);
+            shape.predicates.extend(ctx.predicates);
+        }
+        if self.eat_kw("group") {
+            self.eat_kw("by");
+            self.parse_column_list(&mut shape.group_by);
+        }
+        if self.eat_kw("having") {
+            let mut ctx = CondCtx::default();
+            self.parse_or(shape, &mut ctx, depth);
+            shape.having.extend(ctx.predicates);
+        }
+        if self.eat_kw("order") {
+            self.eat_kw("by");
+            self.parse_column_list(&mut shape.order_by);
+            // ASC/DESC/NULLS handled inside parse_column_list skips.
+        }
+        loop {
+            if self.eat_kw("limit") {
+                if let Some(t) = self.peek() {
+                    if t.kind == TokenKind::Number {
+                        shape.limit = t.text.parse().ok();
+                        self.pos += 1;
+                    }
+                }
+            } else if self.eat_kw("offset") {
+                if self.peek().is_some_and(|t| t.kind == TokenKind::Number) {
+                    self.pos += 1;
+                }
+                self.eat_kw("rows");
+                self.eat_kw("row");
+            } else if self.eat_kw("fetch") {
+                // FETCH FIRST n ROWS ONLY
+                self.eat_kw("first");
+                self.eat_kw("next");
+                if let Some(t) = self.peek() {
+                    if t.kind == TokenKind::Number {
+                        shape.limit = t.text.parse().ok();
+                        self.pos += 1;
+                    }
+                }
+                self.eat_kw("rows");
+                self.eat_kw("row");
+                // ONLY is lexed as Ident (not in keyword list); skip it.
+                if self
+                    .peek()
+                    .is_some_and(|t| t.text.eq_ignore_ascii_case("only"))
+                {
+                    self.pos += 1;
+                }
+            } else {
+                break;
+            }
+        }
+        // Set operations chain further SELECTs.
+        while self
+            .peek()
+            .is_some_and(|t| t.is_kw("union") || t.is_kw("intersect") || t.is_kw("except"))
+        {
+            self.pos += 1;
+            self.eat_kw("all");
+            self.eat_kw("distinct");
+            shape.set_ops += 1;
+            while self.eat_punct('(') {}
+            if self.peek().is_some_and(|t| t.is_kw("select")) {
+                let mut rhs = QueryShape::default();
+                rhs.kind = Some(StatementKind::Select);
+                self.parse_select_body(&mut rhs, depth);
+                let rhs_set_ops = rhs.set_ops;
+                merge_subquery(shape, rhs, depth); // same depth: siblings
+                shape.set_ops += rhs_set_ops;
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Count select-list items and record aggregate calls.
+    fn parse_select_list(&mut self, shape: &mut QueryShape, depth: usize) {
+        let mut items = 0usize;
+        let mut depth_parens = 0usize;
+        let mut saw_any = false;
+        while let Some(t) = self.peek() {
+            if depth_parens == 0 {
+                if t.is_kw("from") || t.is_punct(';') {
+                    break;
+                }
+                if t.is_punct(',') {
+                    items += 1;
+                    self.pos += 1;
+                    continue;
+                }
+            }
+            saw_any = true;
+            if t.is_punct('(') {
+                // Could be a scalar subquery in the select list.
+                if self.peek_at(1).is_some_and(|n| n.is_kw("select")) {
+                    self.pos += 1;
+                    let mut inner = QueryShape::default();
+                    self.parse_statement(&mut inner, depth + 1);
+                    merge_subquery(shape, inner, depth + 1);
+                    let mut d = 1usize;
+                    while let Some(t) = self.bump() {
+                        if t.is_punct('(') {
+                            d += 1;
+                        } else if t.is_punct(')') {
+                            d -= 1;
+                            if d == 0 {
+                                break;
+                            }
+                        }
+                    }
+                    continue;
+                }
+                depth_parens += 1;
+                self.pos += 1;
+                continue;
+            }
+            if t.is_punct(')') {
+                depth_parens = depth_parens.saturating_sub(1);
+                self.pos += 1;
+                continue;
+            }
+            // Aggregate call?
+            if (t.kind == TokenKind::Ident || t.kind == TokenKind::Keyword)
+                && is_agg(&t.text)
+                && self.peek_at(1).is_some_and(|n| n.is_punct('('))
+            {
+                let func = t.text.to_ascii_lowercase();
+                self.pos += 2; // func (
+                let distinct = self.eat_kw("distinct");
+                let column = self.try_column_ref();
+                shape.aggregates.push(AggCall {
+                    func,
+                    column,
+                    distinct,
+                });
+                // Consume the rest of the call.
+                let mut d = 1usize;
+                while let Some(t) = self.peek() {
+                    if t.is_punct('(') {
+                        d += 1;
+                    } else if t.is_punct(')') {
+                        d -= 1;
+                        if d == 0 {
+                            self.pos += 1;
+                            break;
+                        }
+                    }
+                    self.pos += 1;
+                }
+                continue;
+            }
+            self.pos += 1;
+        }
+        if saw_any {
+            items += 1;
+        }
+        shape.projections = items;
+    }
+
+    /// Parse a dotted table name with optional alias.
+    fn parse_table_ref(&mut self) -> Option<TableRef> {
+        let t = self.peek()?;
+        if !matches!(t.kind, TokenKind::Ident | TokenKind::QuotedIdent) {
+            return None;
+        }
+        let mut parts = vec![t.ident_name().to_ascii_lowercase()];
+        self.pos += 1;
+        while self.peek().is_some_and(|t| t.is_punct('.')) {
+            if let Some(next) = self.peek_at(1) {
+                if matches!(next.kind, TokenKind::Ident | TokenKind::QuotedIdent) {
+                    parts.push(next.ident_name().to_ascii_lowercase());
+                    self.pos += 2;
+                    continue;
+                }
+            }
+            break;
+        }
+        let name = parts.last().cloned().unwrap_or_default();
+        let path = parts.join(".");
+        // Optional alias: AS ident, or a bare identifier that is not a
+        // clause keyword.
+        let mut alias = None;
+        if self.eat_kw("as") {
+            if let Some(a) = self.peek() {
+                if matches!(a.kind, TokenKind::Ident | TokenKind::QuotedIdent) {
+                    alias = Some(a.ident_name().to_ascii_lowercase());
+                    self.pos += 1;
+                }
+            }
+        } else if let Some(a) = self.peek() {
+            if a.kind == TokenKind::Ident {
+                alias = Some(a.ident_name().to_ascii_lowercase());
+                self.pos += 1;
+            }
+        }
+        Some(TableRef { name, path, alias })
+    }
+
+    fn parse_from(&mut self, shape: &mut QueryShape, depth: usize) {
+        loop {
+            // One table factor.
+            if self.peek().is_some_and(|t| t.is_punct('(')) {
+                if self.peek_at(1).is_some_and(|n| n.is_kw("select") || n.is_kw("with")) {
+                    // Derived table.
+                    self.pos += 1;
+                    let mut inner = QueryShape::default();
+                    self.parse_statement(&mut inner, depth + 1);
+                    merge_subquery(shape, inner, depth + 1);
+                    let mut d = 1usize;
+                    while let Some(t) = self.bump() {
+                        if t.is_punct('(') {
+                            d += 1;
+                        } else if t.is_punct(')') {
+                            d -= 1;
+                            if d == 0 {
+                                break;
+                            }
+                        }
+                    }
+                    // Optional alias.
+                    self.eat_kw("as");
+                    if self
+                        .peek()
+                        .is_some_and(|t| t.kind == TokenKind::Ident)
+                    {
+                        self.pos += 1;
+                    }
+                } else {
+                    self.skip_balanced();
+                }
+            } else if let Some(tref) = self.parse_table_ref() {
+                shape.tables.push(tref);
+            } else {
+                break;
+            }
+
+            // Continuations: comma, or JOIN chains.
+            if self.eat_punct(',') {
+                continue;
+            }
+            let mut joined = false;
+            loop {
+                let save = self.pos;
+                self.eat_kw("natural");
+                self.eat_kw("inner");
+                let outerish = self.eat_kw("left") | self.eat_kw("right") | self.eat_kw("full");
+                if outerish {
+                    self.eat_kw("outer");
+                }
+                let cross = self.eat_kw("cross");
+                if !self.eat_kw("join") {
+                    self.pos = save;
+                    break;
+                }
+                joined = true;
+                let _ = cross;
+                // Join target.
+                if self.peek().is_some_and(|t| t.is_punct('(')) {
+                    if self.peek_at(1).is_some_and(|n| n.is_kw("select")) {
+                        self.pos += 1;
+                        let mut inner = QueryShape::default();
+                        self.parse_statement(&mut inner, depth + 1);
+                        merge_subquery(shape, inner, depth + 1);
+                        let mut d = 1usize;
+                        while let Some(t) = self.bump() {
+                            if t.is_punct('(') {
+                                d += 1;
+                            } else if t.is_punct(')') {
+                                d -= 1;
+                                if d == 0 {
+                                    break;
+                                }
+                            }
+                        }
+                        self.eat_kw("as");
+                        if self.peek().is_some_and(|t| t.kind == TokenKind::Ident) {
+                            self.pos += 1;
+                        }
+                    } else {
+                        self.skip_balanced();
+                    }
+                } else if let Some(tref) = self.parse_table_ref() {
+                    shape.tables.push(tref);
+                }
+                if self.eat_kw("on") {
+                    let mut ctx = CondCtx::default();
+                    self.parse_or(shape, &mut ctx, depth);
+                    // ON-clause column=column conditions became join edges
+                    // already; residual filters belong to predicates.
+                    shape.predicates.extend(ctx.predicates);
+                } else if self.eat_kw("using") {
+                    if self.peek().is_some_and(|t| t.is_punct('(')) {
+                        self.pos += 1;
+                        while let Some(t) = self.peek() {
+                            if t.is_punct(')') {
+                                self.pos += 1;
+                                break;
+                            }
+                            if t.kind == TokenKind::Ident {
+                                let col = t.text.to_ascii_lowercase();
+                                shape.joins.push(JoinEdge {
+                                    left: ColumnRef::new(None, &col),
+                                    right: ColumnRef::new(None, &col),
+                                });
+                            }
+                            self.pos += 1;
+                        }
+                    }
+                }
+            }
+            if joined && self.eat_punct(',') {
+                continue;
+            }
+            if !joined {
+                break;
+            }
+            if self.at_clause_boundary() {
+                break;
+            }
+        }
+    }
+
+    fn parse_column_list(&mut self, out: &mut Vec<ColumnRef>) {
+        // Count of ROLLUP(/CUBE( wrappers we descended into, so we only eat
+        // the close parens we opened (never a subquery's).
+        let mut wrapped = 0usize;
+        loop {
+            // Skip ROLLUP( / CUBE( / GROUPING SETS( wrappers.
+            if self.peek().is_some_and(|t| t.is_kw("rollup") || t.is_kw("cube")) {
+                self.pos += 1;
+                if self.peek().is_some_and(|t| t.is_punct('(')) {
+                    self.pos += 1; // descend into the list
+                    wrapped += 1;
+                }
+            }
+            if let Some(col) = self.try_column_ref() {
+                out.push(col);
+            } else if self.peek().is_some_and(|t| t.kind == TokenKind::Number) {
+                // ORDER BY ordinal — skip.
+                self.pos += 1;
+            } else {
+                // Unparseable list item (expression): skip to , or boundary.
+                let mut depth = 0usize;
+                while let Some(t) = self.peek() {
+                    if depth == 0 && (t.is_punct(',') || self.at_clause_boundary()) {
+                        break;
+                    }
+                    if t.is_punct('(') {
+                        depth += 1;
+                    } else if t.is_punct(')') {
+                        if depth == 0 {
+                            break;
+                        }
+                        depth -= 1;
+                    }
+                    self.pos += 1;
+                }
+            }
+            // Skip ASC / DESC / NULLS FIRST|LAST.
+            loop {
+                if self.eat_kw("asc") || self.eat_kw("desc") || self.eat_kw("nulls")
+                    || self.eat_kw("first") || self.eat_kw("last")
+                {
+                    continue;
+                }
+                break;
+            }
+            if wrapped > 0 && self.peek().is_some_and(|t| t.is_punct(')')) {
+                // Close of a rollup/cube wrapper we opened.
+                self.pos += 1;
+                wrapped -= 1;
+                if !self.eat_punct(',') {
+                    break;
+                }
+                continue;
+            }
+            if !self.eat_punct(',') {
+                break;
+            }
+        }
+    }
+
+    /// Try to read `ident` or `ident.ident` (column ref). Does not consume
+    /// on failure. Refuses function calls (ident followed by `(`).
+    fn try_column_ref(&mut self) -> Option<ColumnRef> {
+        let t = self.peek()?;
+        if !matches!(t.kind, TokenKind::Ident | TokenKind::QuotedIdent) {
+            return None;
+        }
+        let first = t.ident_name().to_ascii_lowercase();
+        // Function call → not a column ref.
+        if self.peek_at(1).is_some_and(|n| n.is_punct('(')) {
+            return None;
+        }
+        if self.peek_at(1).is_some_and(|n| n.is_punct('.')) {
+            if let Some(second) = self.peek_at(2) {
+                if matches!(second.kind, TokenKind::Ident | TokenKind::QuotedIdent)
+                    && !self.peek_at(3).is_some_and(|n| n.is_punct('('))
+                {
+                    let col = second.ident_name().to_ascii_lowercase();
+                    // Possibly a longer path a.b.c — take last two parts.
+                    if self.peek_at(3).is_some_and(|n| n.is_punct('.')) {
+                        if let Some(third) = self.peek_at(4) {
+                            if matches!(third.kind, TokenKind::Ident | TokenKind::QuotedIdent) {
+                                let col2 = third.ident_name().to_ascii_lowercase();
+                                self.pos += 5;
+                                return Some(ColumnRef::new(Some(&col), &col2));
+                            }
+                        }
+                    }
+                    self.pos += 3;
+                    return Some(ColumnRef::new(Some(&first), &col));
+                }
+            }
+        }
+        self.pos += 1;
+        Some(ColumnRef::new(None, &first))
+    }
+
+    // ----- condition parsing -------------------------------------------
+
+    fn parse_or(&mut self, shape: &mut QueryShape, ctx: &mut CondCtx, depth: usize) {
+        let start_preds = ctx.predicates.len();
+        self.parse_and(shape, ctx, depth);
+        let mut branches = 1;
+        while self.eat_kw("or") {
+            branches += 1;
+            self.parse_and(shape, ctx, depth);
+        }
+        if branches > 1 {
+            for p in &mut ctx.predicates[start_preds..] {
+                p.in_or = true;
+            }
+        }
+    }
+
+    fn parse_and(&mut self, shape: &mut QueryShape, ctx: &mut CondCtx, depth: usize) {
+        self.parse_condition_atom(shape, ctx, depth);
+        while self.eat_kw("and") {
+            self.parse_condition_atom(shape, ctx, depth);
+        }
+    }
+
+    fn parse_condition_atom(&mut self, shape: &mut QueryShape, ctx: &mut CondCtx, depth: usize) {
+        let negated = self.eat_kw("not");
+        // EXISTS (subquery)
+        if self.eat_kw("exists") {
+            if self.peek().is_some_and(|t| t.is_punct('(')) {
+                self.parse_subquery_parens(shape, depth);
+            }
+            ctx.predicates.push(Predicate {
+                lhs: Lhs::Column(ColumnRef::new(None, "<exists>")),
+                op: CmpOp::Exists,
+                rhs: Rhs::Subquery,
+                rhs2: None,
+                negated,
+                in_or: false,
+            });
+            return;
+        }
+        // Parenthesized group.
+        if self.peek().is_some_and(|t| t.is_punct('(')) {
+            if self.peek_at(1).is_some_and(|n| n.is_kw("select")) {
+                // Scalar subquery as a bare condition LHS — rare; record it.
+                self.parse_subquery_parens(shape, depth);
+            } else {
+                self.pos += 1;
+                self.parse_or(shape, ctx, depth);
+                self.eat_punct(')');
+                if negated {
+                    // NOT over a group: conservatively mark members non-sargable.
+                    for p in &mut ctx.predicates {
+                        p.in_or = true;
+                    }
+                }
+                return;
+            }
+        }
+
+        // LHS term.
+        let lhs = match self.parse_term(shape, depth) {
+            Some(t) => t,
+            None => {
+                self.recover_condition();
+                return;
+            }
+        };
+
+        // IS [NOT] NULL
+        if self.eat_kw("is") {
+            let is_not = self.eat_kw("not");
+            self.eat_kw("null");
+            if let Term::Col(c) = lhs {
+                ctx.predicates.push(Predicate {
+                    lhs: Lhs::Column(c),
+                    op: if is_not { CmpOp::IsNotNull } else { CmpOp::IsNull },
+                    rhs: Rhs::None,
+                    rhs2: None,
+                    negated,
+                    in_or: false,
+                });
+            }
+            return;
+        }
+
+        let not2 = self.eat_kw("not");
+        let negated = negated || not2;
+
+        // BETWEEN a AND b
+        if self.eat_kw("between") {
+            let lo = self.parse_value_expr(shape, depth);
+            self.eat_kw("and");
+            let hi = self.parse_value_expr(shape, depth);
+            if let Some(l) = term_to_lhs(&lhs) {
+                ctx.predicates.push(Predicate {
+                    lhs: l,
+                    op: CmpOp::Between,
+                    rhs: lo.unwrap_or(Rhs::None),
+                    rhs2: hi,
+                    negated,
+                    in_or: false,
+                });
+            }
+            return;
+        }
+
+        // IN (list | subquery)
+        if self.eat_kw("in") {
+            let rhs = if self.peek().is_some_and(|t| t.is_punct('(')) {
+                if self.peek_at(1).is_some_and(|n| n.is_kw("select")) {
+                    self.parse_subquery_parens(shape, depth);
+                    Rhs::Subquery
+                } else {
+                    // Count commas at depth 1.
+                    let mut count = 1usize;
+                    let mut d = 0usize;
+                    let mut empty = true;
+                    while let Some(t) = self.bump() {
+                        if t.is_punct('(') {
+                            d += 1;
+                        } else if t.is_punct(')') {
+                            d -= 1;
+                            if d == 0 {
+                                break;
+                            }
+                        } else {
+                            empty = false;
+                            if d == 1 && t.is_punct(',') {
+                                count += 1;
+                            }
+                        }
+                    }
+                    Rhs::List(if empty { 0 } else { count })
+                }
+            } else {
+                Rhs::None
+            };
+            if let Some(l) = term_to_lhs(&lhs) {
+                ctx.predicates.push(Predicate {
+                    lhs: l,
+                    op: CmpOp::In,
+                    rhs,
+                    rhs2: None,
+                    negated,
+                    in_or: false,
+                });
+            }
+            return;
+        }
+
+        // LIKE / ILIKE
+        if self.eat_kw("like") || self.eat_kw("ilike") {
+            let rhs = self.parse_value_expr(shape, depth).unwrap_or(Rhs::None);
+            // Optional ESCAPE 'c'.
+            if self.eat_kw("escape") {
+                self.bump();
+            }
+            if let Some(l) = term_to_lhs(&lhs) {
+                ctx.predicates.push(Predicate {
+                    lhs: l,
+                    op: CmpOp::Like,
+                    rhs,
+                    rhs2: None,
+                    negated,
+                    in_or: false,
+                });
+            }
+            return;
+        }
+
+        // Comparison operator.
+        let op = match self.peek() {
+            Some(t) if t.kind == TokenKind::Operator => match t.text.as_str() {
+                "=" => Some(CmpOp::Eq),
+                "<" => Some(CmpOp::Lt),
+                "<=" => Some(CmpOp::Le),
+                ">" => Some(CmpOp::Gt),
+                ">=" => Some(CmpOp::Ge),
+                "<>" | "!=" => Some(CmpOp::Ne),
+                _ => None,
+            },
+            _ => None,
+        };
+        let Some(op) = op else {
+            self.recover_condition();
+            return;
+        };
+        self.pos += 1;
+
+        // RHS: column (join edge) or value.
+        let rhs_term = self.parse_term(shape, depth);
+        match (lhs, rhs_term) {
+            (Term::Col(l), Some(Term::Col(r))) if op == CmpOp::Eq && !negated => {
+                // Join edges only make sense when two relations are involved;
+                // a col=col within one table is recorded as a join edge too —
+                // the optimizer resolves qualifiers later and discards
+                // self-edges.
+                shape.joins.push(JoinEdge { left: l, right: r });
+            }
+            (lhs_t, Some(Term::Col(r))) => {
+                // value-op-column (e.g. 5 < x): flip where possible.
+                if let Term::Lit(v) = lhs_t {
+                    ctx.predicates.push(Predicate {
+                        lhs: Lhs::Column(r),
+                        op: flip(op),
+                        rhs: v,
+                        rhs2: None,
+                        negated,
+                        in_or: false,
+                    });
+                } else if let Some(l) = term_to_lhs(&lhs_t) {
+                    // agg = column — record against the agg LHS.
+                    ctx.predicates.push(Predicate {
+                        lhs: l,
+                        op,
+                        rhs: Rhs::None,
+                        rhs2: None,
+                        negated,
+                        in_or: false,
+                    });
+                }
+            }
+            (lhs_t, Some(Term::Lit(v))) => {
+                if let Some(l) = term_to_lhs(&lhs_t) {
+                    ctx.predicates.push(Predicate {
+                        lhs: l,
+                        op,
+                        rhs: v,
+                        rhs2: None,
+                        negated,
+                        in_or: false,
+                    });
+                }
+            }
+            (lhs_t, Some(Term::Subquery)) => {
+                if let Some(l) = term_to_lhs(&lhs_t) {
+                    ctx.predicates.push(Predicate {
+                        lhs: l,
+                        op,
+                        rhs: Rhs::Subquery,
+                        rhs2: None,
+                        negated,
+                        in_or: false,
+                    });
+                }
+            }
+            (lhs_t, _) => {
+                if let Some(l) = term_to_lhs(&lhs_t) {
+                    ctx.predicates.push(Predicate {
+                        lhs: l,
+                        op,
+                        rhs: Rhs::None,
+                        rhs2: None,
+                        negated,
+                        in_or: false,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Parse a value-position expression (BETWEEN bounds, LIKE patterns)
+    /// into an [`Rhs`], when the term is a literal.
+    fn parse_value_expr(&mut self, shape: &mut QueryShape, depth: usize) -> Option<Rhs> {
+        match self.parse_term(shape, depth)? {
+            Term::Lit(v) => Some(v),
+            Term::Subquery => Some(Rhs::Subquery),
+            Term::Col(_) | Term::Agg { .. } | Term::Expr => Some(Rhs::None),
+        }
+    }
+
+    /// Skip an unparseable condition up to AND/OR or a clause boundary.
+    fn recover_condition(&mut self) {
+        let mut depth = 0usize;
+        while let Some(t) = self.peek() {
+            if depth == 0
+                && (t.is_kw("and") || t.is_kw("or") || self.at_clause_boundary())
+            {
+                return;
+            }
+            if t.is_punct('(') {
+                depth += 1;
+            } else if t.is_punct(')') {
+                if depth == 0 {
+                    return;
+                }
+                depth -= 1;
+            }
+            self.pos += 1;
+        }
+    }
+
+    fn parse_subquery_parens(&mut self, shape: &mut QueryShape, depth: usize) {
+        // Assumes next token is '('.
+        self.pos += 1;
+        let mut inner = QueryShape::default();
+        self.parse_statement(&mut inner, depth + 1);
+        merge_subquery(shape, inner, depth + 1);
+        let mut d = 1usize;
+        while let Some(t) = self.bump() {
+            if t.is_punct('(') {
+                d += 1;
+            } else if t.is_punct(')') {
+                d -= 1;
+                if d == 0 {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// A term on either side of a comparison.
+    fn parse_term(&mut self, shape: &mut QueryShape, depth: usize) -> Option<Term> {
+        let t = self.peek()?;
+        // Subquery.
+        if t.is_punct('(') {
+            if self.peek_at(1).is_some_and(|n| n.is_kw("select")) {
+                self.parse_subquery_parens(shape, depth);
+                return Some(Term::Subquery);
+            }
+            // Parenthesized expression — treat as opaque.
+            self.skip_balanced();
+            return Some(Term::Expr);
+        }
+        // Aggregate call (HAVING).
+        if (t.kind == TokenKind::Ident || t.kind == TokenKind::Keyword)
+            && is_agg(&t.text)
+            && self.peek_at(1).is_some_and(|n| n.is_punct('('))
+        {
+            let func = t.text.to_ascii_lowercase();
+            self.pos += 2;
+            self.eat_kw("distinct");
+            let column = self.try_column_ref();
+            let mut d = 1usize;
+            while let Some(t) = self.peek() {
+                if t.is_punct('(') {
+                    d += 1;
+                } else if t.is_punct(')') {
+                    d -= 1;
+                    if d == 0 {
+                        self.pos += 1;
+                        break;
+                    }
+                }
+                self.pos += 1;
+            }
+            return Some(Term::Agg { func, column });
+        }
+        // `date '1995-01-01'` / `timestamp '...'` style typed literal, plus
+        // optional +/- `interval 'n' unit` arithmetic.
+        if t.kind == TokenKind::Ident
+            && matches!(t.text.to_ascii_lowercase().as_str(), "date" | "timestamp")
+            && self.peek_at(1).is_some_and(|n| n.kind == TokenKind::StringLit)
+        {
+            self.pos += 1;
+            let lit = self.bump().expect("peeked");
+            let inner = strip_str(&lit.text);
+            let mut value = Rhs::Str(inner);
+            // date arithmetic: +/- interval 'n' unit.
+            value = self.maybe_interval_arith(value);
+            return Some(Term::Lit(value));
+        }
+        // interval literal itself.
+        if t.kind == TokenKind::Keyword && t.is_kw("interval") {
+            self.pos += 1;
+            if let Some(n) = self.peek() {
+                if n.kind == TokenKind::StringLit || n.kind == TokenKind::Number {
+                    let days = interval_days(&n.text, self.peek_at(1).map(|u| u.text.as_str()));
+                    self.pos += 1;
+                    // unit word
+                    if self.peek().is_some_and(|t| t.kind == TokenKind::Ident) {
+                        self.pos += 1;
+                    }
+                    return Some(Term::Lit(Rhs::Number(days)));
+                }
+            }
+            return Some(Term::Expr);
+        }
+        match t.kind {
+            TokenKind::Number => {
+                let v: f64 = t.text.parse().unwrap_or(0.0);
+                self.pos += 1;
+                // Tolerate simple literal arithmetic (e.g. 0.06 - 0.01).
+                let v = self.fold_numeric_arith(v);
+                Some(Term::Lit(Rhs::Number(v)))
+            }
+            TokenKind::Operator if t.text == "-" => {
+                // negative literal
+                if let Some(n) = self.peek_at(1) {
+                    if n.kind == TokenKind::Number {
+                        let v: f64 = n.text.parse().unwrap_or(0.0);
+                        self.pos += 2;
+                        return Some(Term::Lit(Rhs::Number(-v)));
+                    }
+                }
+                self.pos += 1;
+                Some(Term::Expr)
+            }
+            TokenKind::StringLit => {
+                let s = strip_str(&t.text);
+                self.pos += 1;
+                Some(Term::Lit(Rhs::Str(s)))
+            }
+            TokenKind::Param => {
+                self.pos += 1;
+                Some(Term::Lit(Rhs::Param))
+            }
+            TokenKind::Ident | TokenKind::QuotedIdent => {
+                // Function call that is not an aggregate → opaque expr.
+                if self.peek_at(1).is_some_and(|n| n.is_punct('(')) {
+                    self.pos += 1;
+                    self.skip_balanced();
+                    return Some(Term::Expr);
+                }
+                let col = self.try_column_ref()?;
+                Some(Term::Col(col))
+            }
+            TokenKind::Keyword if t.is_kw("null") => {
+                self.pos += 1;
+                Some(Term::Lit(Rhs::None))
+            }
+            TokenKind::Keyword if t.is_kw("true") || t.is_kw("false") => {
+                let v = if t.is_kw("true") { 1.0 } else { 0.0 };
+                self.pos += 1;
+                Some(Term::Lit(Rhs::Number(v)))
+            }
+            TokenKind::Keyword if t.is_kw("case") => {
+                // Skip to END.
+                while let Some(t) = self.bump() {
+                    if t.is_kw("end") {
+                        break;
+                    }
+                }
+                Some(Term::Expr)
+            }
+            TokenKind::Keyword if t.is_kw("cast") || t.is_kw("extract") => {
+                self.pos += 1;
+                if self.peek().is_some_and(|t| t.is_punct('(')) {
+                    self.skip_balanced();
+                }
+                Some(Term::Expr)
+            }
+            _ => None,
+        }
+    }
+
+    /// After a date literal: handle `+ interval 'n' unit` / `- interval ...`.
+    fn maybe_interval_arith(&mut self, base: Rhs) -> Rhs {
+        let sign = match self.peek() {
+            Some(t) if t.is_op("+") => 1.0,
+            Some(t) if t.is_op("-") => -1.0,
+            _ => return base,
+        };
+        if !self.peek_at(1).is_some_and(|t| t.is_kw("interval")) {
+            return base;
+        }
+        self.pos += 2; // sign, interval
+        let mut days = 0.0;
+        if let Some(n) = self.peek() {
+            if n.kind == TokenKind::StringLit || n.kind == TokenKind::Number {
+                days = interval_days(&n.text, self.peek_at(1).map(|u| u.text.as_str()));
+                self.pos += 1;
+                if self.peek().is_some_and(|t| t.kind == TokenKind::Ident) {
+                    self.pos += 1;
+                }
+            }
+        }
+        match &base {
+            Rhs::Str(s) => match crate::ast::date_to_days(s) {
+                Some(d) => Rhs::Number(d + sign * days),
+                None => base,
+            },
+            Rhs::Number(v) => Rhs::Number(v + sign * days),
+            _ => base,
+        }
+    }
+
+    /// Fold `lit (+|-|*|/) lit` chains into one number.
+    fn fold_numeric_arith(&mut self, mut acc: f64) -> f64 {
+        loop {
+            let op = match self.peek() {
+                Some(t) if t.kind == TokenKind::Operator => match t.text.as_str() {
+                    "+" | "-" | "*" | "/" => t.text.clone(),
+                    _ => break,
+                },
+                _ => break,
+            };
+            let Some(n) = self.peek_at(1) else { break };
+            if n.kind != TokenKind::Number {
+                break;
+            }
+            let v: f64 = n.text.parse().unwrap_or(0.0);
+            self.pos += 2;
+            acc = match op.as_str() {
+                "+" => acc + v,
+                "-" => acc - v,
+                "*" => acc * v,
+                _ => {
+                    if v != 0.0 {
+                        acc / v
+                    } else {
+                        acc
+                    }
+                }
+            };
+        }
+        acc
+    }
+}
+
+#[derive(Debug)]
+enum Term {
+    Col(ColumnRef),
+    Agg { func: String, column: Option<ColumnRef> },
+    Lit(Rhs),
+    Subquery,
+    Expr,
+}
+
+fn term_to_lhs(t: &Term) -> Option<Lhs> {
+    match t {
+        Term::Col(c) => Some(Lhs::Column(c.clone())),
+        Term::Agg { func, column } => Some(Lhs::Agg {
+            func: func.clone(),
+            column: column.clone(),
+        }),
+        _ => None,
+    }
+}
+
+fn flip(op: CmpOp) -> CmpOp {
+    match op {
+        CmpOp::Lt => CmpOp::Gt,
+        CmpOp::Le => CmpOp::Ge,
+        CmpOp::Gt => CmpOp::Lt,
+        CmpOp::Ge => CmpOp::Le,
+        other => other,
+    }
+}
+
+fn strip_str(raw: &str) -> String {
+    let inner = raw
+        .strip_prefix('\'')
+        .map(|s| s.strip_suffix('\'').unwrap_or(s))
+        .unwrap_or(raw);
+    inner.replace("''", "'")
+}
+
+/// Interpret an interval magnitude + unit as days.
+fn interval_days(magnitude: &str, unit: Option<&str>) -> f64 {
+    let m: f64 = strip_str(magnitude).parse().unwrap_or(0.0);
+    let factor = match unit.map(|u| u.to_ascii_lowercase()) {
+        Some(u) if u.starts_with("year") => 365.0,
+        Some(u) if u.starts_with("month") => 30.0,
+        Some(u) if u.starts_with("week") => 7.0,
+        Some(u) if u.starts_with("day") => 1.0,
+        Some(u) if u.starts_with("hour") => 1.0 / 24.0,
+        _ => 1.0,
+    };
+    m * factor
+}
+
+#[derive(Default)]
+struct CondCtx {
+    predicates: Vec<Predicate>,
+}
+
+/// Fold a subquery's discovered structure into the parent shape.
+fn merge_subquery(parent: &mut QueryShape, child: QueryShape, _child_depth: usize) {
+    // A direct subquery adds one level plus whatever the child nested.
+    parent.subquery_depth = parent.subquery_depth.max(1 + child.subquery_depth);
+    parent.tables.extend(child.tables);
+    parent.joins.extend(child.joins);
+    parent.predicates.extend(child.predicates);
+    parent.having.extend(child.having);
+    parent.aggregates.extend(child.aggregates);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(sql: &str) -> QueryShape {
+        parse_query(sql, Dialect::Generic)
+    }
+
+    #[test]
+    fn simple_select_shape() {
+        let s = parse("SELECT a, b FROM t WHERE a = 1 AND b > 2.5");
+        assert_eq!(s.kind, Some(StatementKind::Select));
+        assert_eq!(s.tables.len(), 1);
+        assert_eq!(s.tables[0].name, "t");
+        assert_eq!(s.projections, 2);
+        assert_eq!(s.predicates.len(), 2);
+        assert_eq!(s.predicates[0].op, CmpOp::Eq);
+        assert_eq!(s.predicates[0].rhs, Rhs::Number(1.0));
+        assert_eq!(s.predicates[1].op, CmpOp::Gt);
+    }
+
+    #[test]
+    fn aliases_resolve() {
+        let s = parse("SELECT l.l_quantity FROM lineitem l WHERE l.l_tax < 0.05");
+        assert_eq!(s.tables[0].alias.as_deref(), Some("l"));
+        assert_eq!(s.resolve_table("l"), Some("lineitem"));
+        let p = &s.predicates[0];
+        assert_eq!(p.column().unwrap().qualifier.as_deref(), Some("l"));
+    }
+
+    #[test]
+    fn implicit_join_in_where() {
+        let s = parse(
+            "SELECT * FROM customer c, orders o WHERE c.c_custkey = o.o_custkey AND o.o_totalprice > 100",
+        );
+        assert_eq!(s.tables.len(), 2);
+        assert_eq!(s.joins.len(), 1);
+        assert_eq!(s.joins[0].left.column, "c_custkey");
+        assert_eq!(s.joins[0].right.column, "o_custkey");
+        assert_eq!(s.predicates.len(), 1);
+    }
+
+    #[test]
+    fn explicit_join_on() {
+        let s = parse(
+            "SELECT * FROM customer c JOIN orders o ON c.c_custkey = o.o_custkey LEFT OUTER JOIN nation n ON c.c_nationkey = n.n_nationkey WHERE n.n_name = 'FRANCE'",
+        );
+        assert_eq!(s.tables.len(), 3);
+        assert_eq!(s.joins.len(), 2);
+        assert_eq!(s.predicates.len(), 1);
+        assert_eq!(s.predicates[0].rhs, Rhs::Str("FRANCE".into()));
+    }
+
+    #[test]
+    fn join_using() {
+        let s = parse("SELECT * FROM a JOIN b USING (k)");
+        assert_eq!(s.joins.len(), 1);
+        assert_eq!(s.joins[0].left.column, "k");
+    }
+
+    #[test]
+    fn between_and_in_and_like() {
+        let s = parse(
+            "SELECT * FROM t WHERE a BETWEEN 5 AND 10 AND b IN (1, 2, 3) AND c LIKE '%x%' AND d NOT IN (4,5)",
+        );
+        assert_eq!(s.predicates.len(), 4);
+        assert_eq!(s.predicates[0].op, CmpOp::Between);
+        assert_eq!(s.predicates[0].rhs, Rhs::Number(5.0));
+        assert_eq!(s.predicates[0].rhs2, Some(Rhs::Number(10.0)));
+        assert_eq!(s.predicates[1].op, CmpOp::In);
+        assert_eq!(s.predicates[1].rhs, Rhs::List(3));
+        assert_eq!(s.predicates[2].op, CmpOp::Like);
+        assert!(s.predicates[3].negated);
+    }
+
+    #[test]
+    fn or_marks_non_sargable() {
+        let s = parse("SELECT * FROM t WHERE a = 1 OR b = 2");
+        assert_eq!(s.predicates.len(), 2);
+        assert!(s.predicates.iter().all(|p| p.in_or));
+        assert!(s.predicates.iter().all(|p| !p.sargable()));
+        let s2 = parse("SELECT * FROM t WHERE (a = 1 OR b = 2) AND c = 3");
+        let c_pred = s2
+            .predicates
+            .iter()
+            .find(|p| p.column().unwrap().column == "c")
+            .unwrap();
+        assert!(!c_pred.in_or);
+        assert!(c_pred.sargable());
+    }
+
+    #[test]
+    fn group_by_having_order_by() {
+        let s = parse(
+            "SELECT l_returnflag, sum(l_quantity) FROM lineitem GROUP BY l_returnflag HAVING sum(l_quantity) > 300 ORDER BY l_returnflag DESC",
+        );
+        assert_eq!(s.group_by.len(), 1);
+        assert_eq!(s.group_by[0].column, "l_returnflag");
+        assert_eq!(s.having.len(), 1);
+        match &s.having[0].lhs {
+            Lhs::Agg { func, column } => {
+                assert_eq!(func, "sum");
+                assert_eq!(column.as_ref().unwrap().column, "l_quantity");
+            }
+            other => panic!("expected agg lhs, got {other:?}"),
+        }
+        assert_eq!(s.having[0].rhs, Rhs::Number(300.0));
+        assert_eq!(s.order_by.len(), 1);
+        assert_eq!(s.aggregates.len(), 1);
+    }
+
+    #[test]
+    fn date_arithmetic_folds_to_days() {
+        let s = parse("SELECT * FROM lineitem WHERE l_shipdate <= date '1998-12-01' - interval '90' day");
+        assert_eq!(s.predicates.len(), 1);
+        let expected = crate::ast::date_to_days("1998-12-01").unwrap() - 90.0;
+        assert_eq!(s.predicates[0].rhs, Rhs::Number(expected));
+    }
+
+    #[test]
+    fn plain_date_literal_stays_string_but_numeric_works() {
+        let s = parse("SELECT * FROM orders WHERE o_orderdate >= date '1995-01-01'");
+        let rhs = &s.predicates[0].rhs;
+        assert_eq!(rhs.numeric(), crate::ast::date_to_days("1995-01-01"));
+    }
+
+    #[test]
+    fn subquery_depth_and_tables() {
+        let s = parse(
+            "SELECT * FROM orders WHERE o_orderkey IN (SELECT l_orderkey FROM lineitem GROUP BY l_orderkey HAVING sum(l_quantity) > 300)",
+        );
+        assert_eq!(s.subquery_depth, 1);
+        assert!(s.table_names().contains(&"lineitem"));
+        assert!(s.table_names().contains(&"orders"));
+        let inp = s
+            .predicates
+            .iter()
+            .find(|p| p.op == CmpOp::In)
+            .expect("IN predicate");
+        assert_eq!(inp.rhs, Rhs::Subquery);
+        // The subquery's HAVING is merged.
+        assert_eq!(s.having.len(), 1);
+    }
+
+    #[test]
+    fn nested_subqueries_deepen() {
+        let s = parse(
+            "SELECT * FROM a WHERE x IN (SELECT y FROM b WHERE z IN (SELECT w FROM c))",
+        );
+        assert_eq!(s.subquery_depth, 2);
+        assert_eq!(s.table_names(), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn exists_predicate() {
+        let s = parse("SELECT * FROM a WHERE EXISTS (SELECT 1 FROM b WHERE b.k = a.k)");
+        assert!(s.predicates.iter().any(|p| p.op == CmpOp::Exists));
+        assert!(s.joins.iter().any(|j| j.left.column == "k"));
+    }
+
+    #[test]
+    fn set_operations_counted() {
+        let s = parse("SELECT a FROM t UNION ALL SELECT a FROM u UNION SELECT a FROM v");
+        assert_eq!(s.set_ops, 2);
+        assert_eq!(s.table_names(), vec!["t", "u", "v"]);
+    }
+
+    #[test]
+    fn cte_structure_merged() {
+        let s = parse(
+            "WITH r AS (SELECT o_custkey, count(*) c FROM orders GROUP BY o_custkey) SELECT * FROM r WHERE c > 5",
+        );
+        assert_eq!(s.kind, Some(StatementKind::Select));
+        assert!(s.table_names().contains(&"orders"));
+        assert!(s.aggregates.iter().any(|a| a.func == "count"));
+    }
+
+    #[test]
+    fn dml_kinds() {
+        assert_eq!(parse("INSERT INTO t VALUES (1, 2)").kind, Some(StatementKind::Insert));
+        let u = parse("UPDATE t SET a = 1 WHERE b = 2");
+        assert_eq!(u.kind, Some(StatementKind::Update));
+        assert_eq!(u.predicates.len(), 1);
+        let d = parse("DELETE FROM t WHERE a < 10");
+        assert_eq!(d.kind, Some(StatementKind::Delete));
+        assert_eq!(d.predicates.len(), 1);
+        assert_eq!(parse("DROP TABLE t").kind, Some(StatementKind::Drop));
+        assert_eq!(
+            parse("CREATE TABLE t (a int, b text)").kind,
+            Some(StatementKind::CreateTable)
+        );
+        assert_eq!(parse("SHOW TABLES").kind, Some(StatementKind::Show));
+    }
+
+    #[test]
+    fn limit_variants() {
+        assert_eq!(parse("SELECT a FROM t LIMIT 10").limit, Some(10));
+        assert_eq!(parse("SELECT TOP 5 a FROM t").limit, Some(5));
+        assert_eq!(
+            parse("SELECT a FROM t ORDER BY a FETCH FIRST 7 ROWS ONLY").limit,
+            Some(7)
+        );
+    }
+
+    #[test]
+    fn distinct_flag() {
+        assert!(parse("SELECT DISTINCT a FROM t").distinct);
+        assert!(!parse("SELECT a FROM t").distinct);
+    }
+
+    #[test]
+    fn qualified_table_paths() {
+        let s = parse("SELECT * FROM tpch.public.orders o");
+        assert_eq!(s.tables[0].name, "orders");
+        assert_eq!(s.tables[0].path, "tpch.public.orders");
+        assert_eq!(s.tables[0].alias.as_deref(), Some("o"));
+    }
+
+    #[test]
+    fn tpch_q3_full_shape() {
+        let q3 = "select l_orderkey, sum(l_extendedprice * (1 - l_discount)) as revenue, \
+                  o_orderdate, o_shippriority \
+                  from customer, orders, lineitem \
+                  where c_mktsegment = 'BUILDING' and c_custkey = o_custkey \
+                  and l_orderkey = o_orderkey and o_orderdate < date '1995-03-15' \
+                  and l_shipdate > date '1995-03-15' \
+                  group by l_orderkey, o_orderdate, o_shippriority \
+                  order by revenue desc, o_orderdate limit 10";
+        let s = parse(q3);
+        assert_eq!(s.table_names(), vec!["customer", "lineitem", "orders"]);
+        assert_eq!(s.joins.len(), 2);
+        assert_eq!(s.predicates.len(), 3);
+        assert_eq!(s.group_by.len(), 3);
+        assert_eq!(s.limit, Some(10));
+        assert!(s.aggregates.iter().any(|a| a.func == "sum"));
+    }
+
+    #[test]
+    fn tpch_q18_having_shape() {
+        let q18 = "select c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice, sum(l_quantity) \
+                   from customer, orders, lineitem \
+                   where o_orderkey in (select l_orderkey from lineitem group by l_orderkey having sum(l_quantity) > 300) \
+                   and c_custkey = o_custkey and o_orderkey = l_orderkey \
+                   group by c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice \
+                   order by o_totalprice desc, o_orderdate limit 100";
+        let s = parse(q18);
+        assert_eq!(s.subquery_depth, 1);
+        assert_eq!(s.joins.len(), 2);
+        assert!(s
+            .having
+            .iter()
+            .any(|h| matches!(&h.lhs, Lhs::Agg { func, .. } if func == "sum")));
+        assert_eq!(s.limit, Some(100));
+    }
+
+    #[test]
+    fn never_panics_on_garbage() {
+        for garbage in [
+            "",
+            ";;;",
+            "SELECT",
+            "SELECT FROM WHERE",
+            "FROM t SELECT a",
+            ")(",
+            "select * from",
+            "where x = 1",
+            "🙂 select 🙂 from 🙂",
+            "select a from t where (((",
+            "select case when then end from t",
+        ] {
+            let _ = parse(garbage);
+        }
+    }
+
+    #[test]
+    fn is_null_predicates() {
+        let s = parse("SELECT * FROM t WHERE a IS NULL AND b IS NOT NULL");
+        assert_eq!(s.predicates.len(), 2);
+        assert_eq!(s.predicates[0].op, CmpOp::IsNull);
+        assert_eq!(s.predicates[1].op, CmpOp::IsNotNull);
+    }
+
+    #[test]
+    fn flipped_comparison() {
+        let s = parse("SELECT * FROM t WHERE 5 < x");
+        assert_eq!(s.predicates.len(), 1);
+        assert_eq!(s.predicates[0].op, CmpOp::Gt);
+        assert_eq!(s.predicates[0].column().unwrap().column, "x");
+    }
+
+    #[test]
+    fn params_as_rhs() {
+        let s = parse("SELECT * FROM t WHERE a = ? AND b > :lim");
+        assert_eq!(s.predicates.len(), 2);
+        assert_eq!(s.predicates[0].rhs, Rhs::Param);
+        assert!(s.predicates[0].sargable());
+    }
+}

@@ -1,0 +1,57 @@
+//! Property tests: the SQL front end is total and deterministic.
+
+use proptest::prelude::*;
+use querc_sql::{normalize::normalized_text, parse_query, tokenize, Dialect};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The lexer accepts ANY string without panicking, in every dialect.
+    #[test]
+    fn tokenize_never_panics(s in ".{0,200}") {
+        for d in Dialect::all() {
+            let _ = tokenize(&s, d);
+        }
+    }
+
+    /// The parser accepts any string without panicking.
+    #[test]
+    fn parse_never_panics(s in ".{0,200}") {
+        let _ = parse_query(&s, Dialect::Generic);
+    }
+
+    /// Lexing is deterministic.
+    #[test]
+    fn tokenize_deterministic(s in ".{0,200}") {
+        prop_assert_eq!(tokenize(&s, Dialect::Generic), tokenize(&s, Dialect::Generic));
+    }
+
+    /// Normalization is case-insensitive on keywords/identifiers.
+    #[test]
+    fn normalization_case_insensitive(s in "[a-zA-Z_ ]{0,80}") {
+        prop_assert_eq!(
+            normalized_text(&s.to_ascii_uppercase(), Dialect::Generic),
+            normalized_text(&s.to_ascii_lowercase(), Dialect::Generic)
+        );
+    }
+
+    /// Numeric literals always normalize to the same placeholder, so two
+    /// queries differing only in numbers normalize identically.
+    #[test]
+    fn literal_blindness(a in 0u32..1_000_000, b in 0u32..1_000_000) {
+        let qa = format!("select x from t where v = {a}");
+        let qb = format!("select x from t where v = {b}");
+        prop_assert_eq!(
+            normalized_text(&qa, Dialect::Generic),
+            normalized_text(&qb, Dialect::Generic)
+        );
+    }
+
+    /// Every token's text is a substring of the input (no invention).
+    #[test]
+    fn tokens_come_from_input(s in "[ -~]{0,120}") {
+        for t in tokenize(&s, Dialect::Generic) {
+            prop_assert!(s.contains(&t.text), "token {:?} not in {:?}", t.text, s);
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! The labeled-query data model.
+//!
+//! Querc's only inter-component message is "a query plus labels"
+//! (`(Q, c1, c2, c3, …)` in the paper's §2). `QueryRecord` is that tuple
+//! for log-shaped data: the SQL text plus the typical metadata labels the
+//! training module consumes (user, account, routing cluster, runtime,
+//! memory, error code, arrival time).
+
+use serde::{Deserialize, Serialize};
+
+/// One labeled query drawn from a (real or synthetic) query log.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryRecord {
+    pub sql: String,
+    /// Issuing user, unique across accounts (e.g. `acct03/u07`).
+    pub user: String,
+    /// Customer account (tenant).
+    pub account: String,
+    /// Cluster the query was routed to.
+    pub cluster: String,
+    /// SQL dialect family the tenant speaks.
+    pub dialect: String,
+    /// Observed execution time.
+    pub runtime_ms: f64,
+    /// Peak memory.
+    pub mem_mb: f64,
+    /// Error code if the query failed (`None` = success).
+    pub error_code: Option<u16>,
+    /// Arrival time (seconds since the log epoch).
+    pub timestamp: u64,
+}
+
+impl QueryRecord {
+    /// Normalized token stream of the SQL text (embedder input).
+    pub fn tokens(&self) -> Vec<String> {
+        querc_sql::normalize::normalize_sql(&self.sql, querc_sql::Dialect::Generic)
+    }
+
+    /// Canonical normalized text — equal for verbatim-identical queries
+    /// regardless of whitespace/case (used to detect shared query pools).
+    pub fn normalized_text(&self) -> String {
+        querc_sql::normalize::normalized_text(&self.sql, querc_sql::Dialect::Generic)
+    }
+
+    /// True when the query failed.
+    pub fn is_error(&self) -> bool {
+        self.error_code.is_some()
+    }
+}
+
+/// Train/test split by index parity of a shuffled order — a simple,
+/// deterministic holdout used by examples and tests.
+pub fn split_holdout<T: Clone>(
+    items: &[T],
+    test_fraction: f64,
+    rng: &mut querc_linalg::Pcg32,
+) -> (Vec<T>, Vec<T>) {
+    assert!((0.0..1.0).contains(&test_fraction));
+    let mut idx: Vec<usize> = (0..items.len()).collect();
+    rng.shuffle(&mut idx);
+    let n_test = ((items.len() as f64) * test_fraction).round() as usize;
+    let test: Vec<T> = idx[..n_test].iter().map(|&i| items[i].clone()).collect();
+    let train: Vec<T> = idx[n_test..].iter().map(|&i| items[i].clone()).collect();
+    (train, test)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(sql: &str) -> QueryRecord {
+        QueryRecord {
+            sql: sql.to_string(),
+            user: "a/u1".into(),
+            account: "a".into(),
+            cluster: "c1".into(),
+            dialect: "generic".into(),
+            runtime_ms: 10.0,
+            mem_mb: 64.0,
+            error_code: None,
+            timestamp: 0,
+        }
+    }
+
+    #[test]
+    fn tokens_are_normalized() {
+        let r = rec("SELECT A FROM T WHERE x = 99");
+        assert_eq!(r.tokens(), vec!["select", "a", "from", "t", "where", "x", "=", "<num>"]);
+    }
+
+    #[test]
+    fn normalized_text_unifies_case_and_literals() {
+        let a = rec("SELECT a FROM t WHERE x = 1").normalized_text();
+        let b = rec("select  a  from t where x = 42").normalized_text();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn error_flag() {
+        let mut r = rec("select 1");
+        assert!(!r.is_error());
+        r.error_code = Some(604);
+        assert!(r.is_error());
+    }
+
+    #[test]
+    fn holdout_partitions() {
+        let items: Vec<u32> = (0..100).collect();
+        let (train, test) = split_holdout(&items, 0.3, &mut querc_linalg::Pcg32::new(1));
+        assert_eq!(test.len(), 30);
+        assert_eq!(train.len(), 70);
+        let mut all: Vec<u32> = train.iter().chain(test.iter()).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, items);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let r = rec("select 1");
+        let json = serde_json::to_string(&r).unwrap();
+        let back: QueryRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(r, back);
+    }
+}

@@ -1,0 +1,621 @@
+//! TPC-H query workload generator.
+//!
+//! All 22 TPC-H templates with parameter substitution following the spec's
+//! ranges (dates, segments, regions, brands, quantities …), emitting plain
+//! SQL text. The §5.1 experiment runs on ~800 queries — the default of 38
+//! instances per template reproduces that scale.
+//!
+//! The generated SQL is deliberately *textual*: the simulator re-parses it
+//! with `querc-sql`, exactly as Querc would receive it from a client, so
+//! the whole pipeline (text → shape → cost) is exercised end to end.
+
+use querc_linalg::Pcg32;
+
+/// One generated TPC-H query instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TpchQuery {
+    /// Template number, 1–22.
+    pub template: u8,
+    pub sql: String,
+}
+
+/// A generated TPC-H workload.
+#[derive(Debug, Clone)]
+pub struct TpchWorkload {
+    pub queries: Vec<TpchQuery>,
+}
+
+impl TpchWorkload {
+    /// Generate `per_template` instances of every template, interleaved in
+    /// template order (q1 block, then q2 block, …) like the paper's Fig 4
+    /// x-axis (Q18 instances occupy a contiguous range).
+    pub fn generate(per_template: usize, seed: u64) -> TpchWorkload {
+        let mut queries = Vec::with_capacity(22 * per_template);
+        for template in 1..=22u8 {
+            let mut rng = Pcg32::with_stream(seed, 0x7c00 + template as u64);
+            for _ in 0..per_template {
+                queries.push(TpchQuery {
+                    template,
+                    sql: instantiate(template, &mut rng),
+                });
+            }
+        }
+        TpchWorkload { queries }
+    }
+
+    /// SQL texts only.
+    pub fn sql(&self) -> Vec<&str> {
+        self.queries.iter().map(|q| q.sql.as_str()).collect()
+    }
+
+    /// Index range (start, end-exclusive) of a template's block.
+    pub fn template_range(&self, template: u8) -> (usize, usize) {
+        let start = self.queries.iter().position(|q| q.template == template);
+        match start {
+            Some(s) => {
+                let e = self.queries[s..]
+                    .iter()
+                    .position(|q| q.template != template)
+                    .map(|off| s + off)
+                    .unwrap_or(self.queries.len());
+                (s, e)
+            }
+            None => (0, 0),
+        }
+    }
+}
+
+// ---- parameter domains (TPC-H spec §2.4.x, abbreviated) -----------------
+
+const SEGMENTS: &[&str] = &["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+const REGIONS: &[&str] = &["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+const NATIONS: &[&str] = &[
+    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA", "FRANCE", "GERMANY",
+    "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN", "JORDAN", "KENYA", "MOROCCO", "MOZAMBIQUE",
+    "PERU", "CHINA", "ROMANIA", "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM",
+    "UNITED STATES",
+];
+const SHIP_MODES: &[&str] = &["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
+const CONTAINERS_1: &[&str] = &["SM", "LG", "MED", "JUMBO", "WRAP"];
+const CONTAINERS_2: &[&str] = &["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"];
+const TYPES_1: &[&str] = &["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"];
+const TYPES_2: &[&str] = &["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"];
+const TYPES_3: &[&str] = &["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"];
+const COLORS: &[&str] = &[
+    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black", "blanched", "blue",
+    "blush", "brown", "burlywood", "burnished", "chartreuse", "chiffon", "chocolate", "coral",
+    "cornflower", "cornsilk", "cream", "cyan", "dark", "deep", "dim", "dodger", "drab", "firebrick",
+    "floral", "forest", "frosted", "gainsboro", "ghost", "goldenrod", "green", "grey", "honeydew",
+    "hot", "hotpink", "indian", "ivory", "khaki", "lace", "lavender", "lawn", "lemon", "light",
+    "lime", "linen", "magenta", "maroon", "medium", "metallic", "midnight", "mint", "misty",
+    "moccasin", "navajo", "navy", "olive", "orange", "orchid", "pale", "papaya", "peach", "peru",
+    "pink", "plum", "powder", "puff", "purple", "red", "rose", "rosy", "royal", "saddle", "salmon",
+    "sandy", "seashell", "sienna", "sky", "slate", "smoke", "snow", "spring", "steel", "tan",
+    "thistle", "tomato", "turquoise", "violet", "wheat", "white", "yellow",
+];
+
+fn date(y: i64, m: i64, d: i64) -> String {
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+fn brand(rng: &mut Pcg32) -> String {
+    format!("Brand#{}{}", 1 + rng.below(5), 1 + rng.below(5))
+}
+
+fn ptype(rng: &mut Pcg32) -> String {
+    format!(
+        "{} {} {}",
+        rng.choose(TYPES_1),
+        rng.choose(TYPES_2),
+        rng.choose(TYPES_3)
+    )
+}
+
+/// Instantiate one template with spec-range parameters.
+pub fn instantiate(template: u8, rng: &mut Pcg32) -> String {
+    match template {
+        1 => q1(rng),
+        2 => q2(rng),
+        3 => q3(rng),
+        4 => q4(rng),
+        5 => q5(rng),
+        6 => q6(rng),
+        7 => q7(rng),
+        8 => q8(rng),
+        9 => q9(rng),
+        10 => q10(rng),
+        11 => q11(rng),
+        12 => q12(rng),
+        13 => q13(rng),
+        14 => q14(rng),
+        15 => q15(rng),
+        16 => q16(rng),
+        17 => q17(rng),
+        18 => q18(rng),
+        19 => q19(rng),
+        20 => q20(rng),
+        21 => q21(rng),
+        22 => q22(rng),
+        other => panic!("TPC-H has 22 templates, got {other}"),
+    }
+}
+
+fn q1(rng: &mut Pcg32) -> String {
+    let delta = rng.range_i64(60, 120);
+    format!(
+        "select l_returnflag, l_linestatus, sum(l_quantity) as sum_qty, \
+         sum(l_extendedprice) as sum_base_price, \
+         sum(l_extendedprice * (1 - l_discount)) as sum_disc_price, \
+         sum(l_extendedprice * (1 - l_discount) * (1 + l_tax)) as sum_charge, \
+         avg(l_quantity) as avg_qty, avg(l_extendedprice) as avg_price, \
+         avg(l_discount) as avg_disc, count(*) as count_order \
+         from lineitem \
+         where l_shipdate <= date '1998-12-01' - interval '{delta}' day \
+         group by l_returnflag, l_linestatus \
+         order by l_returnflag, l_linestatus"
+    )
+}
+
+fn q2(rng: &mut Pcg32) -> String {
+    let size = rng.range_i64(1, 50);
+    let t3 = rng.choose(TYPES_3);
+    let region = rng.choose(REGIONS);
+    format!(
+        "select s_acctbal, s_name, n_name, p_partkey, p_mfgr, s_address, s_phone, s_comment \
+         from part, supplier, partsupp, nation, region \
+         where p_partkey = ps_partkey and s_suppkey = ps_suppkey and p_size = {size} \
+         and p_type like '%{t3}' and s_nationkey = n_nationkey \
+         and n_regionkey = r_regionkey and r_name = '{region}' \
+         and ps_supplycost = (select min(ps_supplycost) from partsupp, supplier, nation, region \
+           where p_partkey = ps_partkey and s_suppkey = ps_suppkey and s_nationkey = n_nationkey \
+           and n_regionkey = r_regionkey and r_name = '{region}') \
+         order by s_acctbal desc, n_name, s_name, p_partkey limit 100"
+    )
+}
+
+fn q3(rng: &mut Pcg32) -> String {
+    let segment = rng.choose(SEGMENTS);
+    let d = date(1995, 3, rng.range_i64(1, 31));
+    format!(
+        "select l_orderkey, sum(l_extendedprice * (1 - l_discount)) as revenue, \
+         o_orderdate, o_shippriority \
+         from customer, orders, lineitem \
+         where c_mktsegment = '{segment}' and c_custkey = o_custkey \
+         and l_orderkey = o_orderkey and o_orderdate < date '{d}' \
+         and l_shipdate > date '{d}' \
+         group by l_orderkey, o_orderdate, o_shippriority \
+         order by revenue desc, o_orderdate limit 10"
+    )
+}
+
+fn q4(rng: &mut Pcg32) -> String {
+    let y = rng.range_i64(1993, 1997);
+    let m = rng.range_i64(1, 10);
+    let d0 = date(y, m, 1);
+    let (y2, m2) = if m + 3 > 12 { (y + 1, m + 3 - 12) } else { (y, m + 3) };
+    let d1 = date(y2, m2, 1);
+    format!(
+        "select o_orderpriority, count(*) as order_count from orders \
+         where o_orderdate >= date '{d0}' and o_orderdate < date '{d1}' \
+         and exists (select * from lineitem where l_orderkey = o_orderkey \
+         and l_commitdate < l_receiptdate) \
+         group by o_orderpriority order by o_orderpriority"
+    )
+}
+
+fn q5(rng: &mut Pcg32) -> String {
+    let region = rng.choose(REGIONS);
+    let y = rng.range_i64(1993, 1997);
+    format!(
+        "select n_name, sum(l_extendedprice * (1 - l_discount)) as revenue \
+         from customer, orders, lineitem, supplier, nation, region \
+         where c_custkey = o_custkey and l_orderkey = o_orderkey \
+         and l_suppkey = s_suppkey and c_nationkey = s_nationkey \
+         and s_nationkey = n_nationkey and n_regionkey = r_regionkey \
+         and r_name = '{region}' and o_orderdate >= date '{}' \
+         and o_orderdate < date '{}' \
+         group by n_name order by revenue desc",
+        date(y, 1, 1),
+        date(y + 1, 1, 1)
+    )
+}
+
+fn q6(rng: &mut Pcg32) -> String {
+    let y = rng.range_i64(1993, 1997);
+    let discount = rng.range_i64(2, 9) as f64 / 100.0;
+    let quantity = rng.range_i64(24, 25);
+    format!(
+        "select sum(l_extendedprice * l_discount) as revenue from lineitem \
+         where l_shipdate >= date '{}' and l_shipdate < date '{}' \
+         and l_discount between {:.2} - 0.01 and {:.2} + 0.01 and l_quantity < {quantity}",
+        date(y, 1, 1),
+        date(y + 1, 1, 1),
+        discount,
+        discount
+    )
+}
+
+fn q7(rng: &mut Pcg32) -> String {
+    let n1 = rng.choose(NATIONS);
+    let mut n2 = rng.choose(NATIONS);
+    while n2 == n1 {
+        n2 = rng.choose(NATIONS);
+    }
+    format!(
+        "select supp_nation, cust_nation, l_year, sum(volume) as revenue from \
+         (select n1.n_name as supp_nation, n2.n_name as cust_nation, \
+          l_extendedprice * (1 - l_discount) as volume, l_shipdate as l_year \
+          from supplier, lineitem, orders, customer, nation n1, nation n2 \
+          where s_suppkey = l_suppkey and o_orderkey = l_orderkey \
+          and c_custkey = o_custkey and s_nationkey = n1.n_nationkey \
+          and c_nationkey = n2.n_nationkey \
+          and n1.n_name = '{n1}' and n2.n_name = '{n2}' \
+          and l_shipdate between date '1995-01-01' and date '1996-12-31') as shipping \
+         group by supp_nation, cust_nation, l_year \
+         order by supp_nation, cust_nation, l_year"
+    )
+}
+
+fn q8(rng: &mut Pcg32) -> String {
+    let nation = rng.choose(NATIONS);
+    let region = rng.choose(REGIONS);
+    let t = ptype(rng);
+    format!(
+        "select o_orderdate, sum(l_extendedprice * (1 - l_discount)) as volume, n2.n_name \
+         from part, supplier, lineitem, orders, customer, nation n1, nation n2, region \
+         where p_partkey = l_partkey and s_suppkey = l_suppkey \
+         and l_orderkey = o_orderkey and o_custkey = c_custkey \
+         and c_nationkey = n1.n_nationkey and n1.n_regionkey = r_regionkey \
+         and r_name = '{region}' and s_nationkey = n2.n_nationkey \
+         and o_orderdate between date '1995-01-01' and date '1996-12-31' \
+         and p_type = '{t}' and n2.n_name = '{nation}' \
+         group by o_orderdate, n2.n_name order by o_orderdate"
+    )
+}
+
+fn q9(rng: &mut Pcg32) -> String {
+    let color = rng.choose(COLORS);
+    format!(
+        "select n_name, o_orderdate, \
+         sum(l_extendedprice * (1 - l_discount) - ps_supplycost * l_quantity) as amount \
+         from part, supplier, lineitem, partsupp, orders, nation \
+         where s_suppkey = l_suppkey and ps_suppkey = l_suppkey \
+         and ps_partkey = l_partkey and p_partkey = l_partkey \
+         and o_orderkey = l_orderkey and s_nationkey = n_nationkey \
+         and p_name like '%{color}%' \
+         group by n_name, o_orderdate order by n_name, o_orderdate desc"
+    )
+}
+
+fn q10(rng: &mut Pcg32) -> String {
+    let y = rng.range_i64(1993, 1994);
+    let m = rng.range_i64(1, 12);
+    let (y2, m2) = if m + 3 > 12 { (y + 1, m + 3 - 12) } else { (y, m + 3) };
+    format!(
+        "select c_custkey, c_name, sum(l_extendedprice * (1 - l_discount)) as revenue, \
+         c_acctbal, n_name, c_address, c_phone, c_comment \
+         from customer, orders, lineitem, nation \
+         where c_custkey = o_custkey and l_orderkey = o_orderkey \
+         and o_orderdate >= date '{}' and o_orderdate < date '{}' \
+         and l_returnflag = 'R' and c_nationkey = n_nationkey \
+         group by c_custkey, c_name, c_acctbal, c_phone, n_name, c_address, c_comment \
+         order by revenue desc limit 20",
+        date(y, m, 1),
+        date(y2, m2, 1)
+    )
+}
+
+fn q11(rng: &mut Pcg32) -> String {
+    let nation = rng.choose(NATIONS);
+    format!(
+        "select ps_partkey, sum(ps_supplycost * ps_availqty) as value \
+         from partsupp, supplier, nation \
+         where ps_suppkey = s_suppkey and s_nationkey = n_nationkey and n_name = '{nation}' \
+         group by ps_partkey \
+         having sum(ps_supplycost * ps_availqty) > \
+         (select sum(ps_supplycost * ps_availqty) * 0.0001 from partsupp, supplier, nation \
+          where ps_suppkey = s_suppkey and s_nationkey = n_nationkey and n_name = '{nation}') \
+         order by value desc"
+    )
+}
+
+fn q12(rng: &mut Pcg32) -> String {
+    let m1 = rng.choose(SHIP_MODES);
+    let mut m2 = rng.choose(SHIP_MODES);
+    while m2 == m1 {
+        m2 = rng.choose(SHIP_MODES);
+    }
+    let y = rng.range_i64(1993, 1997);
+    format!(
+        "select l_shipmode, count(*) as line_count from orders, lineitem \
+         where o_orderkey = l_orderkey and l_shipmode in ('{m1}', '{m2}') \
+         and l_commitdate < l_receiptdate and l_shipdate < l_commitdate \
+         and l_receiptdate >= date '{}' and l_receiptdate < date '{}' \
+         group by l_shipmode order by l_shipmode",
+        date(y, 1, 1),
+        date(y + 1, 1, 1)
+    )
+}
+
+fn q13(rng: &mut Pcg32) -> String {
+    let w1 = rng.choose(&["special", "pending", "unusual", "express"]);
+    let w2 = rng.choose(&["packages", "requests", "accounts", "deposits"]);
+    format!(
+        "select c_count, count(*) as custdist from \
+         (select c_custkey, count(o_orderkey) as c_count from customer \
+          left outer join orders on c_custkey = o_custkey \
+          and o_comment not like '%{w1}%{w2}%' group by c_custkey) as c_orders \
+         group by c_count order by custdist desc, c_count desc"
+    )
+}
+
+fn q14(rng: &mut Pcg32) -> String {
+    let y = rng.range_i64(1993, 1997);
+    let m = rng.range_i64(1, 12);
+    let (y2, m2) = if m == 12 { (y + 1, 1) } else { (y, m + 1) };
+    format!(
+        "select sum(l_extendedprice * (1 - l_discount)) as promo_revenue \
+         from lineitem, part where l_partkey = p_partkey \
+         and l_shipdate >= date '{}' and l_shipdate < date '{}'",
+        date(y, m, 1),
+        date(y2, m2, 1)
+    )
+}
+
+fn q15(rng: &mut Pcg32) -> String {
+    let y = rng.range_i64(1993, 1997);
+    let m = rng.range_i64(1, 10);
+    let (y2, m2) = if m + 3 > 12 { (y + 1, m + 3 - 12) } else { (y, m + 3) };
+    format!(
+        "with revenue as (select l_suppkey as supplier_no, \
+         sum(l_extendedprice * (1 - l_discount)) as total_revenue from lineitem \
+         where l_shipdate >= date '{}' and l_shipdate < date '{}' group by l_suppkey) \
+         select s_suppkey, s_name, s_address, s_phone, total_revenue \
+         from supplier, revenue where s_suppkey = supplier_no \
+         and total_revenue = (select max(total_revenue) from revenue) order by s_suppkey",
+        date(y, m, 1),
+        date(y2, m2, 1)
+    )
+}
+
+fn q16(rng: &mut Pcg32) -> String {
+    let b = brand(rng);
+    let t1 = rng.choose(TYPES_1);
+    let t2 = rng.choose(TYPES_2);
+    let sizes: Vec<String> = (0..8).map(|_| (1 + rng.below(50)).to_string()).collect();
+    format!(
+        "select p_brand, p_type, p_size, count(distinct ps_suppkey) as supplier_cnt \
+         from partsupp, part where p_partkey = ps_partkey and p_brand <> '{b}' \
+         and p_type not like '{t1} {t2}%' and p_size in ({}) \
+         and ps_suppkey not in (select s_suppkey from supplier \
+         where s_comment like '%Customer%Complaints%') \
+         group by p_brand, p_type, p_size \
+         order by supplier_cnt desc, p_brand, p_type, p_size",
+        sizes.join(", ")
+    )
+}
+
+fn q17(rng: &mut Pcg32) -> String {
+    let b = brand(rng);
+    let container = format!("{} {}", rng.choose(CONTAINERS_1), rng.choose(CONTAINERS_2));
+    format!(
+        "select sum(l_extendedprice) / 7.0 as avg_yearly from lineitem, part \
+         where p_partkey = l_partkey and p_brand = '{b}' and p_container = '{container}' \
+         and l_quantity < (select 0.2 * avg(l_quantity) from lineitem \
+         where l_partkey = p_partkey)"
+    )
+}
+
+fn q18(rng: &mut Pcg32) -> String {
+    let quantity = rng.range_i64(312, 315);
+    format!(
+        "select c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice, sum(l_quantity) \
+         from customer, orders, lineitem \
+         where o_orderkey in (select l_orderkey from lineitem group by l_orderkey \
+         having sum(l_quantity) > {quantity}) \
+         and c_custkey = o_custkey and o_orderkey = l_orderkey \
+         group by c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice \
+         order by o_totalprice desc, o_orderdate limit 100"
+    )
+}
+
+fn q19(rng: &mut Pcg32) -> String {
+    let b1 = brand(rng);
+    let b2 = brand(rng);
+    let b3 = brand(rng);
+    let q1 = rng.range_i64(1, 10);
+    let q2 = rng.range_i64(10, 20);
+    let q3 = rng.range_i64(20, 30);
+    format!(
+        "select sum(l_extendedprice * (1 - l_discount)) as revenue from lineitem, part \
+         where (p_partkey = l_partkey and p_brand = '{b1}' \
+         and p_container in ('SM CASE', 'SM BOX', 'SM PACK', 'SM PKG') \
+         and l_quantity >= {q1} and l_quantity <= {q1} + 10 and p_size between 1 and 5 \
+         and l_shipmode in ('AIR', 'AIR REG') and l_shipinstruct = 'DELIVER IN PERSON') \
+         or (p_partkey = l_partkey and p_brand = '{b2}' \
+         and p_container in ('MED BAG', 'MED BOX', 'MED PKG', 'MED PACK') \
+         and l_quantity >= {q2} and l_quantity <= {q2} + 10 and p_size between 1 and 10 \
+         and l_shipmode in ('AIR', 'AIR REG') and l_shipinstruct = 'DELIVER IN PERSON') \
+         or (p_partkey = l_partkey and p_brand = '{b3}' \
+         and p_container in ('LG CASE', 'LG BOX', 'LG PACK', 'LG PKG') \
+         and l_quantity >= {q3} and l_quantity <= {q3} + 10 and p_size between 1 and 15 \
+         and l_shipmode in ('AIR', 'AIR REG') and l_shipinstruct = 'DELIVER IN PERSON')"
+    )
+}
+
+fn q20(rng: &mut Pcg32) -> String {
+    let color = rng.choose(COLORS);
+    let y = rng.range_i64(1993, 1997);
+    let nation = rng.choose(NATIONS);
+    format!(
+        "select s_name, s_address from supplier, nation \
+         where s_suppkey in (select ps_suppkey from partsupp \
+         where ps_partkey in (select p_partkey from part where p_name like '{color}%') \
+         and ps_availqty > (select 0.5 * sum(l_quantity) from lineitem \
+         where l_partkey = ps_partkey and l_suppkey = ps_suppkey \
+         and l_shipdate >= date '{}' and l_shipdate < date '{}')) \
+         and s_nationkey = n_nationkey and n_name = '{nation}' order by s_name",
+        date(y, 1, 1),
+        date(y + 1, 1, 1)
+    )
+}
+
+fn q21(rng: &mut Pcg32) -> String {
+    let nation = rng.choose(NATIONS);
+    format!(
+        "select s_name, count(*) as numwait from supplier, lineitem l1, orders, nation \
+         where s_suppkey = l1.l_suppkey and o_orderkey = l1.l_orderkey \
+         and o_orderstatus = 'F' and l1.l_receiptdate > l1.l_commitdate \
+         and exists (select * from lineitem l2 where l2.l_orderkey = l1.l_orderkey \
+         and l2.l_suppkey <> l1.l_suppkey) \
+         and not exists (select * from lineitem l3 where l3.l_orderkey = l1.l_orderkey \
+         and l3.l_suppkey <> l1.l_suppkey and l3.l_receiptdate > l3.l_commitdate) \
+         and s_nationkey = n_nationkey and n_name = '{nation}' \
+         group by s_name order by numwait desc, s_name limit 100"
+    )
+}
+
+fn q22(rng: &mut Pcg32) -> String {
+    let codes: Vec<String> = {
+        let mut set = std::collections::BTreeSet::new();
+        while set.len() < 7 {
+            set.insert((10 + rng.below(25)).to_string());
+        }
+        set.into_iter().collect()
+    };
+    let list = codes
+        .iter()
+        .map(|c| format!("'{c}'"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!(
+        "select cntrycode, count(*) as numcust, sum(c_acctbal) as totacctbal from \
+         (select substring(c_phone from 1 for 2) as cntrycode, c_acctbal from customer \
+          where substring(c_phone from 1 for 2) in ({list}) \
+          and c_acctbal > (select avg(c_acctbal) from customer where c_acctbal > 0.00 \
+          and substring(c_phone from 1 for 2) in ({list})) \
+          and not exists (select * from orders where o_custkey = c_custkey)) as custsale \
+         group by cntrycode order by cntrycode"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use querc_sql::{parse_query, Dialect, StatementKind};
+
+    #[test]
+    fn default_workload_size_matches_paper_scale() {
+        let w = TpchWorkload::generate(38, 42);
+        assert_eq!(w.queries.len(), 22 * 38); // 836 ≈ the paper's ~800
+    }
+
+    #[test]
+    fn all_templates_generate_and_parse() {
+        let mut rng = Pcg32::new(1);
+        for t in 1..=22u8 {
+            let sql = instantiate(t, &mut rng);
+            assert!(!sql.is_empty());
+            let shape = parse_query(&sql, Dialect::Generic);
+            assert_eq!(
+                shape.kind,
+                Some(StatementKind::Select),
+                "template {t} should parse as SELECT: {sql}"
+            );
+            assert!(
+                !shape.tables.is_empty(),
+                "template {t} should reference tables"
+            );
+        }
+    }
+
+    #[test]
+    fn q1_touches_only_lineitem() {
+        let mut rng = Pcg32::new(2);
+        let shape = parse_query(&q1(&mut rng), Dialect::Generic);
+        assert_eq!(shape.table_names(), vec!["lineitem"]);
+        assert_eq!(shape.group_by.len(), 2);
+        assert!(shape.aggregates.len() >= 8);
+    }
+
+    #[test]
+    fn q3_has_two_join_edges_and_limit() {
+        let mut rng = Pcg32::new(3);
+        let shape = parse_query(&q3(&mut rng), Dialect::Generic);
+        assert_eq!(shape.joins.len(), 2);
+        assert_eq!(shape.limit, Some(10));
+        assert!(shape.table_names().contains(&"customer"));
+    }
+
+    #[test]
+    fn q18_has_having_subquery() {
+        let mut rng = Pcg32::new(4);
+        let shape = parse_query(&q18(&mut rng), Dialect::Generic);
+        assert_eq!(shape.subquery_depth, 1);
+        assert!(!shape.having.is_empty(), "Q18's HAVING must be extracted");
+        assert_eq!(shape.limit, Some(100));
+    }
+
+    #[test]
+    fn q6_predicates_are_sargable_ranges() {
+        let mut rng = Pcg32::new(5);
+        let shape = parse_query(&q6(&mut rng), Dialect::Generic);
+        let sargable = shape.predicates.iter().filter(|p| p.sargable()).count();
+        assert!(sargable >= 3, "Q6 should expose range predicates, got {sargable}");
+    }
+
+    #[test]
+    fn parameters_vary_between_instances() {
+        let w = TpchWorkload::generate(10, 7);
+        let (s, e) = w.template_range(3);
+        let distinct: std::collections::HashSet<_> =
+            w.queries[s..e].iter().map(|q| q.sql.as_str()).collect();
+        assert!(distinct.len() > 1, "Q3 instances should differ");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = TpchWorkload::generate(5, 99);
+        let b = TpchWorkload::generate(5, 99);
+        assert_eq!(a.queries, b.queries);
+        let c = TpchWorkload::generate(5, 100);
+        assert_ne!(a.queries, c.queries);
+    }
+
+    #[test]
+    fn template_ranges_are_contiguous_blocks() {
+        let w = TpchWorkload::generate(4, 11);
+        let (s, e) = w.template_range(18);
+        assert_eq!(e - s, 4);
+        assert!(w.queries[s..e].iter().all(|q| q.template == 18));
+        // Q18's block sits deep in the workload, like Fig 4's 640-680 range.
+        assert_eq!(s, 17 * 4);
+    }
+
+    #[test]
+    fn q19_or_structure_detected() {
+        let mut rng = Pcg32::new(8);
+        let shape = parse_query(&q19(&mut rng), Dialect::Generic);
+        assert!(
+            shape.predicates.iter().any(|p| p.in_or),
+            "Q19's OR-of-conjunctions should flag predicates as in_or"
+        );
+    }
+
+    #[test]
+    fn dates_are_well_formed() {
+        for _ in 0..50 {
+            let mut rng = Pcg32::new(13);
+            for t in [1u8, 3, 4, 5, 6, 10, 12, 14, 15, 20] {
+                let sql = instantiate(t, &mut rng);
+                for part in sql.split("date '").skip(1) {
+                    let lit: String = part.chars().take_while(|&c| c != '\'').collect();
+                    assert!(
+                        querc_sql::ast::date_to_days(&lit).is_some(),
+                        "template {t} produced bad date {lit}"
+                    );
+                }
+            }
+        }
+    }
+}

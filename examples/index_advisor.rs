@@ -1,0 +1,88 @@
+//! Workload summarization for index recommendation (paper §5.1) on the
+//! simulated TPC-H testbed.
+//!
+//! Compares three paths into the tuning advisor under the same time
+//! budget: the full workload, an embedding-based summary (the paper's
+//! method), and the classical syntactic K-medoids baseline.
+//!
+//! Run with: `cargo run --release --example index_advisor`
+
+use querc::apps::summarize::{summarize_workload, SummaryConfig, SummaryMethod};
+use querc_dbsim::{workload_runtime, Advisor, AdvisorConfig, Catalog};
+use querc_embed::{Doc2Vec, Doc2VecConfig, VocabConfig};
+use querc_workloads::TpchWorkload;
+
+fn main() {
+    // A TPC-H-style workload: 22 templates × 12 instances.
+    let workload = TpchWorkload::generate(12, 42);
+    let sqls = workload.sql();
+    let catalog = Catalog::tpch_sf1();
+    let advisor = Advisor::new(&catalog, AdvisorConfig::default());
+
+    let baseline = workload_runtime(&sqls, &catalog, &[]);
+    println!("workload: {} queries, no-index runtime {baseline:.0} s (simulated)", sqls.len());
+
+    // Train an embedder on the workload text itself.
+    let corpus: Vec<Vec<String>> = sqls.iter().map(|s| querc_embed::sql_tokens(s)).collect();
+    let embedder = Doc2Vec::train(
+        &corpus,
+        Doc2VecConfig {
+            dim: 32,
+            epochs: 15,
+            vocab: VocabConfig {
+                min_count: 1,
+                max_size: 5000,
+                hash_buckets: 128,
+            },
+            ..Default::default()
+        },
+    );
+
+    let cfg = SummaryConfig {
+        k: None,
+        k_min: 8,
+        k_max: 30,
+        plateau: 0.01,
+        seed: 7,
+    };
+    let budget = 360.0; // a generous six-minute budget for every method
+
+    for (name, input_indices) in [
+        ("full workload", (0..sqls.len()).collect::<Vec<_>>()),
+        (
+            "embedding summary (Querc)",
+            summarize_workload(&sqls, &SummaryMethod::Embedding(&embedder), &cfg),
+        ),
+        (
+            "syntactic K-medoids baseline",
+            summarize_workload(&sqls, &SummaryMethod::SyntacticKMedoids, &SummaryConfig {
+                k: Some(20),
+                ..SummaryConfig::default()
+            }),
+        ),
+    ] {
+        let input: Vec<&str> = input_indices.iter().map(|&i| sqls[i]).collect();
+        let report = advisor.recommend(&input, budget);
+        let runtime = workload_runtime(&sqls, &catalog, &report.indexes);
+        println!(
+            "\n{name}: {} queries to advisor, consumed {:.0} s of budget",
+            input.len(),
+            report.consumed_secs
+        );
+        println!(
+            "  {} indexes ({} dropped by validation): {}",
+            report.indexes.len(),
+            report.dropped.len(),
+            report
+                .indexes
+                .iter()
+                .map(|i| i.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        println!(
+            "  full-workload runtime with these indexes: {runtime:.0} s ({:+.1}% vs no index)",
+            100.0 * (runtime - baseline) / baseline
+        );
+    }
+}

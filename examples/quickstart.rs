@@ -1,0 +1,60 @@
+//! Quickstart: train an embedder, build a classifier, label queries.
+//!
+//! The minimal Querc loop from the paper's §2: pool a workload, learn a
+//! representation once, then train a tiny labeler on top of it and serve
+//! (embedder, labeler) as a classifier.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use querc::{EmbedderKind, LabeledQuery, ModelRegistry, TrainingConfig, TrainingModule};
+use querc_embed::{Doc2VecConfig, VocabConfig};
+
+fn main() {
+    // 1. A toy query log: two applications with distinct habits. In
+    //    production these arrive over Qworker streams; here we ingest
+    //    directly.
+    let mut trainer = TrainingModule::new(TrainingConfig::default());
+    for i in 0..60 {
+        let mut lq = if i % 2 == 0 {
+            LabeledQuery::new(format!(
+                "select region, sum(amount) from sales_facts where day >= '2024-01-{:02}' group by region",
+                1 + i % 28
+            ))
+        } else {
+            LabeledQuery::new(format!("insert into clickstream values ({i}, 'pageview', {i})"))
+        };
+        lq.set("app", if i % 2 == 0 { "dashboards" } else { "ingest" });
+        trainer.ingest(lq);
+    }
+
+    // 2. Learn a representation from the pooled corpus (Doc2Vec here; use
+    //    EmbedderKind::Lstm for the autoencoder).
+    let embedder = trainer.train_embedder(&EmbedderKind::Doc2Vec(Doc2VecConfig {
+        dim: 32,
+        epochs: 20,
+        vocab: VocabConfig {
+            min_count: 1,
+            max_size: 1000,
+            hash_buckets: 64,
+        },
+        ..Default::default()
+    }));
+    println!("trained {} embedder, dim = {}", embedder.name(), embedder.dim());
+
+    // 3. Train a labeler for the `app` label and deploy the (embedder,
+    //    labeler) pair through the registry.
+    let registry = ModelRegistry::new();
+    let version = trainer
+        .train_and_deploy(&registry, &embedder, "app")
+        .expect("training data carries the label");
+    println!("deployed classifier `app` v{version}");
+
+    // 4. Serve: label unseen queries.
+    let clf = registry.get("app").expect("deployed");
+    for sql in [
+        "select region, sum(amount) from sales_facts where day >= '2024-03-01' group by region",
+        "insert into clickstream values (999, 'click', 42)",
+    ] {
+        println!("  {:<95} -> {}", sql, clf.label_sql(sql));
+    }
+}

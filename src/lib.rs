@@ -1,0 +1,14 @@
+//! Umbrella package for the Querc reproduction workspace.
+//!
+//! This package exists to host the runnable `examples/` and cross-crate
+//! integration `tests/` at the repository root. The library surface simply
+//! re-exports the workspace crates so examples can use one import root.
+
+pub use querc;
+pub use querc_cluster as cluster;
+pub use querc_dbsim as dbsim;
+pub use querc_embed as embed;
+pub use querc_learn as learn;
+pub use querc_linalg as linalg;
+pub use querc_sql as sql;
+pub use querc_workloads as workloads;

@@ -1,0 +1,95 @@
+//! Integration: SQL text → parser → optimizer → advisor invariants on
+//! generated workloads (cross-crate properties the unit tests can't see).
+
+use querc_dbsim::{run_workload, workload_runtime, Advisor, AdvisorConfig, Catalog, Index};
+use querc_workloads::TpchWorkload;
+
+#[test]
+fn every_generated_query_plans_with_finite_positive_cost() {
+    let w = TpchWorkload::generate(3, 5);
+    let catalog = Catalog::tpch_sf1();
+    let run = run_workload(&w.sql(), &catalog, &[]);
+    assert_eq!(run.per_query_secs.len(), 66);
+    for (i, &t) in run.per_query_secs.iter().enumerate() {
+        assert!(
+            t.is_finite() && t > 0.0 && t < 120.0,
+            "query {i} (template {}) has implausible cost {t}",
+            w.queries[i].template
+        );
+    }
+}
+
+#[test]
+fn indexes_never_change_noindex_baseline_queries() {
+    // Templates that cannot use any candidate index (pure lineitem scans
+    // like Q1) must cost the same under any configuration.
+    let w = TpchWorkload::generate(2, 6);
+    let catalog = Catalog::tpch_sf1();
+    let (s, e) = w.template_range(1);
+    let sqls = w.sql();
+    let base = run_workload(&sqls, &catalog, &[]);
+    let idx = [
+        Index::new("orders", &["o_orderdate"]),
+        Index::new("customer", &["c_mktsegment"]),
+    ];
+    let with = run_workload(&sqls, &catalog, &idx);
+    for i in s..e {
+        assert!(
+            (base.per_query_secs[i] - with.per_query_secs[i]).abs() < 1e-9,
+            "Q1 instance {i} should ignore irrelevant indexes"
+        );
+    }
+}
+
+#[test]
+fn advisor_budget_sweep_is_wellformed() {
+    let w = TpchWorkload::generate(10, 8);
+    let sqls = w.sql();
+    let catalog = Catalog::tpch_sf1();
+    let advisor = Advisor::new(&catalog, AdvisorConfig::default());
+    let mut consumed_last = 0.0;
+    for budget in [30.0, 170.0, 300.0, 900.0] {
+        let report = advisor.recommend(&sqls, budget);
+        assert!(report.consumed_secs <= budget + 1e-9);
+        assert!(report.consumed_secs >= consumed_last - 1e-9);
+        consumed_last = report.consumed_secs;
+        // Index set sizes stay within the advisor's declared cap.
+        assert!(report.indexes.len() <= AdvisorConfig::default().max_indexes);
+        // Every recommended index names a real table/column.
+        for ix in &report.indexes {
+            assert!(catalog.table(&ix.table).is_some(), "unknown table {ix}");
+            assert!(
+                catalog.column(&ix.table, ix.leading()).is_some(),
+                "unknown column {ix}"
+            );
+        }
+    }
+}
+
+#[test]
+fn fully_validated_recommendations_never_regress() {
+    let w = TpchWorkload::generate(12, 13);
+    let sqls = w.sql();
+    let catalog = Catalog::tpch_sf1();
+    let advisor = Advisor::new(&catalog, AdvisorConfig::default());
+    let report = advisor.recommend(&sqls, 7200.0); // unlimited in practice
+    let base = workload_runtime(&sqls, &catalog, &[]);
+    let with = workload_runtime(&sqls, &catalog, &report.indexes);
+    assert!(
+        with <= base,
+        "validated configuration must not lose to no-index: {with:.0} vs {base:.0}"
+    );
+}
+
+#[test]
+fn snowcloud_queries_also_flow_through_the_simulator() {
+    // Unknown-schema queries must still plan (default table stats), since
+    // Querc routes heterogeneous tenants through one analytics path.
+    let wl = querc_workloads::SnowCloud::generate(
+        &querc_workloads::SnowCloudConfig::pretrain(4, 25, 3),
+    );
+    let catalog = Catalog::tpch_sf1();
+    let sqls: Vec<&str> = wl.records.iter().map(|r| r.sql.as_str()).collect();
+    let run = run_workload(&sqls, &catalog, &[]);
+    assert!(run.per_query_secs.iter().all(|&t| t.is_finite() && t >= 0.0));
+}

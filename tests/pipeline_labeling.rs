@@ -1,0 +1,147 @@
+//! Integration: the §5.2 labeling pipeline across crates.
+//!
+//! SnowCloud generation → embedding → classifier training → audits,
+//! plus the streaming path: Qworker labeling into the training module and
+//! a deploy/serve round-trip through the registry.
+
+use crossbeam::channel::unbounded;
+use querc::apps::audit::{per_account_accuracy, SecurityAuditor};
+use querc::{EmbedderKind, LabeledQuery, ModelRegistry, Qworker, QworkerMode, TrainingConfig, TrainingModule};
+use querc_embed::{LstmAutoencoder, LstmConfig, VocabConfig};
+use querc_linalg::Pcg32;
+use querc_workloads::record::split_holdout;
+use querc_workloads::{SnowCloud, SnowCloudConfig};
+use std::sync::Arc;
+
+fn small_lstm(corpus: &[Vec<String>]) -> LstmAutoencoder {
+    LstmAutoencoder::train(
+        corpus,
+        LstmConfig {
+            embed_dim: 20,
+            hidden: 28,
+            max_len: 64,
+            epochs: 2,
+            vocab: VocabConfig {
+                min_count: 2,
+                max_size: 8000,
+                hash_buckets: 256,
+            },
+            ..Default::default()
+        },
+    )
+}
+
+#[test]
+fn account_labeling_is_strong_and_repetitive_users_are_hard() {
+    // Enough volume that tail accounts hold several training queries per
+    // user (the same scale sensitivity Table 2 documents).
+    let wl = SnowCloud::generate(&SnowCloudConfig::paper_table2(0.06, 4242));
+    let mut rng = Pcg32::new(8);
+    let (train, test) = split_holdout(&wl.records, 0.3, &mut rng);
+    let corpus: Vec<Vec<String>> = train.iter().map(|r| r.tokens()).collect();
+    let embedder: Arc<dyn querc_embed::Embedder> = Arc::new(small_lstm(&corpus));
+
+    // Account prediction via a relabeled auditor (account as the "user").
+    let mut account_records = train.clone();
+    for r in &mut account_records {
+        r.user = r.account.clone();
+    }
+    let account_clf = SecurityAuditor::train(&account_records, Arc::clone(&embedder), 30, 5);
+    let mut hits = 0;
+    for r in &test {
+        if !account_clf.audit(&r.sql, &r.account).flagged {
+            hits += 1;
+        }
+    }
+    let account_acc = hits as f64 / test.len() as f64;
+    assert!(
+        account_acc > 0.75,
+        "account labeling should be strong, got {account_acc:.2}"
+    );
+
+    // User prediction: repetitive accounts must sit clearly below the
+    // clean tail accounts.
+    let auditor = SecurityAuditor::train(&train, Arc::clone(&embedder), 30, 6);
+    let rows = per_account_accuracy(&auditor, &test);
+    let rep: Vec<f64> = rows
+        .iter()
+        .filter(|r| matches!(r.account.as_str(), "acct00" | "acct01"))
+        .map(|r| r.accuracy)
+        .collect();
+    let tail: Vec<f64> = rows
+        .iter()
+        .filter(|r| !matches!(r.account.as_str(), "acct00" | "acct01" | "acct02"))
+        .map(|r| r.accuracy)
+        .collect();
+    let rep_mean = rep.iter().sum::<f64>() / rep.len().max(1) as f64;
+    let tail_mean = tail.iter().sum::<f64>() / tail.len().max(1) as f64;
+    assert!(
+        tail_mean > rep_mean,
+        "clean accounts ({tail_mean:.2}) must beat repetitive ones ({rep_mean:.2})"
+    );
+}
+
+#[test]
+fn stream_label_train_deploy_roundtrip() {
+    // Queries stream through a Qworker into the training module; a
+    // classifier is trained, deployed and then used by a fresh Qworker.
+    let (in_tx, in_rx) = unbounded();
+    let (db_tx, _db_keep) = unbounded();
+    let (tr_tx, tr_rx) = unbounded();
+
+    for i in 0..40 {
+        let mut lq = if i % 2 == 0 {
+            LabeledQuery::new(format!("select spend from marketing_roi where week = {i}"))
+        } else {
+            LabeledQuery::new(format!("insert into iot_readings values ({i}, {i})"))
+        };
+        lq.set("pipeline", if i % 2 == 0 { "reporting" } else { "telemetry" });
+        in_tx.send(lq).unwrap();
+    }
+    drop(in_tx);
+
+    let ingest_worker = Qworker::new("app-A", vec![], QworkerMode::Forked);
+    let n = ingest_worker.run(in_rx, db_tx, tr_tx);
+    assert_eq!(n, 40);
+
+    let mut trainer = TrainingModule::new(TrainingConfig::default());
+    assert_eq!(trainer.ingest_stream(&tr_rx), 40);
+    let embedder = trainer.train_embedder(&EmbedderKind::BagOfTokens { dim: 64 });
+    let registry = ModelRegistry::new();
+    trainer
+        .train_and_deploy(&registry, &embedder, "pipeline")
+        .expect("label present");
+
+    let clf = registry.get("pipeline").expect("deployed");
+    let serving = Qworker::new("app-A", vec![clf], QworkerMode::Inline);
+    let labeled = serving.process(LabeledQuery::new(
+        "select spend from marketing_roi where week = 99",
+    ));
+    assert_eq!(labeled.get("predicted_pipeline"), Some("reporting"));
+}
+
+#[test]
+fn transfer_embedder_labels_a_different_workload() {
+    // Train the embedder on one service's workload, use it for labeling
+    // on an entirely different tenant mix (the paper's transfer story).
+    let pretrain = SnowCloud::generate(&SnowCloudConfig::pretrain(8, 60, 71));
+    let embedder: Arc<dyn querc_embed::Embedder> =
+        Arc::new(small_lstm(&pretrain.token_corpus()));
+
+    let target = SnowCloud::generate(&SnowCloudConfig::paper_table2(0.01, 99));
+    let mut rng = Pcg32::new(12);
+    let (train, test) = split_holdout(&target.records, 0.3, &mut rng);
+    let mut account_records = train.clone();
+    for r in &mut account_records {
+        r.user = r.account.clone();
+    }
+    let clf = SecurityAuditor::train(&account_records, embedder, 30, 13);
+    let hits = test
+        .iter()
+        .filter(|r| !clf.audit(&r.sql, &r.account).flagged)
+        .count();
+    let acc = hits as f64 / test.len() as f64;
+    // 13 accounts → chance ≈ 18% by majority class; transfer must do far
+    // better even though no target-tenant query was seen in pre-training.
+    assert!(acc > 0.5, "transfer account labeling {acc:.2}");
+}

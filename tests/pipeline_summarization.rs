@@ -1,0 +1,113 @@
+//! Integration: the full §5.1 pipeline across crates.
+//!
+//! workload generation (querc-workloads) → tokenization (querc-sql) →
+//! embedding (querc-embed) → clustering (querc-cluster) → summarization
+//! (querc) → advisor + runtime (querc-dbsim).
+
+use querc::apps::summarize::{summarize_workload, SummaryConfig, SummaryMethod};
+use querc_dbsim::{workload_runtime, Advisor, AdvisorConfig, Catalog};
+use querc_embed::{Doc2Vec, Doc2VecConfig, VocabConfig};
+use querc_workloads::TpchWorkload;
+
+fn small_doc2vec(corpus: &[Vec<String>]) -> Doc2Vec {
+    Doc2Vec::train(
+        corpus,
+        Doc2VecConfig {
+            dim: 24,
+            epochs: 10,
+            vocab: VocabConfig {
+                min_count: 1,
+                max_size: 4000,
+                hash_buckets: 128,
+            },
+            ..Default::default()
+        },
+    )
+}
+
+#[test]
+fn summarized_workload_recommends_helpful_indexes() {
+    let workload = TpchWorkload::generate(8, 1234);
+    let sqls = workload.sql();
+    let catalog = Catalog::tpch_sf1();
+    let advisor = Advisor::new(&catalog, AdvisorConfig::default());
+    let baseline = workload_runtime(&sqls, &catalog, &[]);
+
+    let corpus: Vec<Vec<String>> = sqls.iter().map(|s| querc_embed::sql_tokens(s)).collect();
+    let embedder = small_doc2vec(&corpus);
+    let witnesses = summarize_workload(
+        &sqls,
+        &SummaryMethod::Embedding(&embedder),
+        &SummaryConfig {
+            k: None,
+            k_min: 8,
+            k_max: 26,
+            plateau: 0.01,
+            seed: 3,
+        },
+    );
+    assert!(
+        witnesses.len() >= 8 && witnesses.len() <= 26,
+        "summary size {} out of range",
+        witnesses.len()
+    );
+
+    let summary: Vec<&str> = witnesses.iter().map(|&i| sqls[i]).collect();
+    let report = advisor.recommend(&summary, 600.0);
+    assert!(!report.indexes.is_empty(), "advisor must recommend something");
+
+    let with = workload_runtime(&sqls, &catalog, &report.indexes);
+    assert!(
+        with < baseline,
+        "summary-derived indexes must help the FULL workload: {with:.0} vs {baseline:.0}"
+    );
+}
+
+#[test]
+fn summary_beats_equal_budget_full_workload_under_tight_budget() {
+    let workload = TpchWorkload::generate(38, 77);
+    let sqls = workload.sql();
+    let catalog = Catalog::tpch_sf1();
+    let advisor = Advisor::new(&catalog, AdvisorConfig::default());
+
+    let corpus: Vec<Vec<String>> = sqls.iter().map(|s| querc_embed::sql_tokens(s)).collect();
+    let embedder = small_doc2vec(&corpus);
+    let witnesses = summarize_workload(
+        &sqls,
+        &SummaryMethod::Embedding(&embedder),
+        &SummaryConfig {
+            k: Some(20),
+            ..Default::default()
+        },
+    );
+    let summary: Vec<&str> = witnesses.iter().map(|&i| sqls[i]).collect();
+
+    // Tight budget just above the advisor overhead: the paper's 3-minute
+    // point.
+    let budget = 185.0;
+    let from_summary = advisor.recommend(&summary, budget);
+    let from_full = advisor.recommend(&sqls, budget);
+    let rt_summary = workload_runtime(&sqls, &catalog, &from_summary.indexes);
+    let rt_full = workload_runtime(&sqls, &catalog, &from_full.indexes);
+    assert!(
+        rt_summary < rt_full,
+        "at tight budgets the summary must win: {rt_summary:.0} vs {rt_full:.0}"
+    );
+}
+
+#[test]
+fn syntactic_baseline_also_produces_usable_summaries() {
+    let workload = TpchWorkload::generate(6, 9);
+    let sqls = workload.sql();
+    let witnesses = summarize_workload(
+        &sqls,
+        &SummaryMethod::SyntacticKMedoids,
+        &SummaryConfig {
+            k: Some(15),
+            ..Default::default()
+        },
+    );
+    assert!(!witnesses.is_empty() && witnesses.len() <= 15);
+    // Medoid summaries are actual workload members.
+    assert!(witnesses.iter().all(|&i| i < sqls.len()));
+}
