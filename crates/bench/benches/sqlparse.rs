@@ -3,7 +3,9 @@
 //! query text. These are the per-query serving costs every Qworker pays.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use querc_sql::{features::feature_vector, normalize::normalized_text, parse_query, tokenize, Dialect};
+use querc_sql::{
+    features::feature_vector, normalize::normalized_text, parse_query, tokenize, Dialect,
+};
 use querc_workloads::{SnowCloud, SnowCloudConfig, TpchWorkload};
 use std::hint::black_box;
 

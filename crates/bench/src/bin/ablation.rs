@@ -84,13 +84,22 @@ fn main() {
 
     println!("\nshape checks:");
     let mut ok = true;
-    let get = |n: &str| results.iter().find(|(name, _)| name.contains(n)).map(|(_, r)| *r).unwrap();
+    let get = |n: &str| {
+        results
+            .iter()
+            .find(|(name, _)| name.contains(n))
+            .map(|(_, r)| *r)
+            .unwrap()
+    };
     let dm_rt = get("PV-DM");
     let random_rt = get("random");
     ok &= harness::check(
         "every summarization method improves on no-index at this budget",
         results.iter().all(|(_, r)| *r < baseline),
-        format!("runtimes {:?}", results.iter().map(|(_, r)| *r as i64).collect::<Vec<_>>()),
+        format!(
+            "runtimes {:?}",
+            results.iter().map(|(_, r)| *r as i64).collect::<Vec<_>>()
+        ),
     );
     ok &= harness::check(
         "learned embeddings are at least as good as random sampling",

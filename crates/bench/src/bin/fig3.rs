@@ -86,10 +86,7 @@ fn main() {
     // results[series][budget] = runtime of the FULL workload.
     let mut results: Vec<Vec<f64>> = vec![Vec::new(); series.len()];
     for &budget in &budgets {
-        let mut cells = vec![
-            format!("{:.0}", budget / 60.0),
-            format!("{no_index:.0}"),
-        ];
+        let mut cells = vec![format!("{:.0}", budget / 60.0), format!("{no_index:.0}")];
         for (si, (_, advisor_input)) in series.iter().enumerate() {
             let refs: Vec<&str> = advisor_input.iter().map(String::as_str).collect();
             let report = advisor.recommend(&refs, budget);
@@ -143,14 +140,19 @@ fn main() {
         ok &= harness::check(
             &format!("{name} summary beats no-index after convergence"),
             tail.iter().all(|&t| t < no_index),
-            format!("tail runtimes {:?}", tail.iter().map(|t| *t as i64).collect::<Vec<_>>()),
+            format!(
+                "tail runtimes {:?}",
+                tail.iter().map(|t| *t as i64).collect::<Vec<_>>()
+            ),
         );
     }
 
     // 5. Summaries beat the full workload for most budgets past overhead.
     for (si, (name, _)) in series.iter().enumerate().skip(1) {
         let r = &results[si];
-        let wins = (2..budgets.len()).filter(|&b| r[b] <= full[b] * 1.05).count();
+        let wins = (2..budgets.len())
+            .filter(|&b| r[b] <= full[b] * 1.05)
+            .count();
         ok &= harness::check(
             &format!("{name} summary within 5% of full workload for most budgets"),
             wins * 2 >= budgets.len() - 2,

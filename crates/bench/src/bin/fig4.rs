@@ -69,14 +69,14 @@ fn main() {
     for i in (q18s.saturating_sub(4)..(q18e + 4).min(sqls.len())).step_by(4) {
         println!(
             "  query {:>4} (q{:02}): no_index {:>6.2} s  with_idx {:>6.2} s",
-            i,
-            workload.queries[i].template,
-            base.per_query_secs[i],
-            with.per_query_secs[i]
+            i, workload.queries[i].template, base.per_query_secs[i], with.per_query_secs[i]
         );
     }
 
-    println!("\ntotals: no_index {:.0} s, with 3-min indexes {:.0} s", base.total_secs, with.total_secs);
+    println!(
+        "\ntotals: no_index {:.0} s, with 3-min indexes {:.0} s",
+        base.total_secs, with.total_secs
+    );
 
     // ---- shape checks ----------------------------------------------------
     println!("\nshape checks:");

@@ -88,7 +88,11 @@ fn main() {
     ok &= harness::check(
         "user labeling is much harder than account labeling",
         lstm_u < lstm_a - 20.0 && d2v_u < d2v_a - 15.0,
-        format!("gaps: lstm {:.1} pts, doc2vec {:.1} pts", lstm_a - lstm_u, d2v_a - d2v_u),
+        format!(
+            "gaps: lstm {:.1} pts, doc2vec {:.1} pts",
+            lstm_a - lstm_u,
+            d2v_a - d2v_u
+        ),
     );
     harness::finish(ok);
 }

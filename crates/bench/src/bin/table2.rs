@@ -44,7 +44,10 @@ fn main() {
     let auditor = SecurityAuditor::train(&train, Arc::clone(&lstm), 40, harness::SEED ^ 0x7ab3);
     let rows = per_account_accuracy(&auditor, &test);
 
-    println!("\n{:>10} {:>9} {:>7} {:>9}", "account", "#queries", "#users", "accuracy");
+    println!(
+        "\n{:>10} {:>9} {:>7} {:>9}",
+        "account", "#queries", "#users", "accuracy"
+    );
     for r in &rows {
         println!(
             "{:>10} {:>9} {:>7} {:>8.1}%",
@@ -55,8 +58,11 @@ fn main() {
         );
     }
     let total: usize = rows.iter().map(|r| r.queries).sum();
-    let overall: f64 =
-        rows.iter().map(|r| r.accuracy * r.queries as f64).sum::<f64>() / total as f64;
+    let overall: f64 = rows
+        .iter()
+        .map(|r| r.accuracy * r.queries as f64)
+        .sum::<f64>()
+        / total as f64;
     println!("\noverall held-out user accuracy: {:.1}%", overall * 100.0);
 
     // ---- shape checks ----------------------------------------------------

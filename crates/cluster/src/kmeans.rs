@@ -2,6 +2,22 @@
 
 use querc_linalg::{ops, Pcg32};
 
+/// Index of the centroid nearest `point` (squared Euclidean distance) —
+/// the assignment step shared by every serving path that maps a fresh
+/// query onto a trained clustering. Returns 0 when `centroids` is empty.
+pub fn nearest_centroid(point: &[f32], centroids: &[Vec<f32>]) -> usize {
+    let mut best = 0usize;
+    let mut best_d = f32::INFINITY;
+    for (c, centroid) in centroids.iter().enumerate() {
+        let d = ops::sq_dist(point, centroid);
+        if d < best_d {
+            best_d = d;
+            best = c;
+        }
+    }
+    best
+}
+
 /// K-means parameters.
 #[derive(Debug, Clone)]
 pub struct KMeansConfig {
@@ -201,7 +217,14 @@ mod tests {
     fn recovers_well_separated_blobs() {
         let mut rng = Pcg32::new(1);
         let pts = blobs(&mut rng, &[(0.0, 0.0), (10.0, 10.0), (0.0, 10.0)], 40, 0.5);
-        let res = kmeans(&pts, &KMeansConfig { k: 3, ..Default::default() }, &mut rng);
+        let res = kmeans(
+            &pts,
+            &KMeansConfig {
+                k: 3,
+                ..Default::default()
+            },
+            &mut rng,
+        );
         // Each blob should be internally consistent.
         for blob in 0..3 {
             let first = res.assignments[blob * 40];
@@ -216,10 +239,22 @@ mod tests {
     #[test]
     fn sse_decreases_with_k() {
         let mut rng = Pcg32::new(2);
-        let pts = blobs(&mut rng, &[(0.0, 0.0), (5.0, 5.0), (9.0, 0.0), (0.0, 9.0)], 30, 0.8);
+        let pts = blobs(
+            &mut rng,
+            &[(0.0, 0.0), (5.0, 5.0), (9.0, 0.0), (0.0, 9.0)],
+            30,
+            0.8,
+        );
         let mut last = f64::INFINITY;
         for k in [1usize, 2, 4, 8] {
-            let res = kmeans(&pts, &KMeansConfig { k, ..Default::default() }, &mut Pcg32::new(3));
+            let res = kmeans(
+                &pts,
+                &KMeansConfig {
+                    k,
+                    ..Default::default()
+                },
+                &mut Pcg32::new(3),
+            );
             assert!(
                 res.sse <= last * 1.02,
                 "sse should be (weakly) decreasing in k: k={k} sse={} last={last}",
@@ -231,8 +266,20 @@ mod tests {
 
     #[test]
     fn k1_centroid_is_the_mean() {
-        let pts = vec![vec![0.0, 0.0], vec![2.0, 0.0], vec![0.0, 2.0], vec![2.0, 2.0]];
-        let res = kmeans(&pts, &KMeansConfig { k: 1, ..Default::default() }, &mut Pcg32::new(4));
+        let pts = vec![
+            vec![0.0, 0.0],
+            vec![2.0, 0.0],
+            vec![0.0, 2.0],
+            vec![2.0, 2.0],
+        ];
+        let res = kmeans(
+            &pts,
+            &KMeansConfig {
+                k: 1,
+                ..Default::default()
+            },
+            &mut Pcg32::new(4),
+        );
         assert!((res.centroids[0][0] - 1.0).abs() < 1e-5);
         assert!((res.centroids[0][1] - 1.0).abs() < 1e-5);
         assert!((res.sse - 8.0).abs() < 1e-4);
@@ -241,7 +288,14 @@ mod tests {
     #[test]
     fn k_clamped_to_n_points() {
         let pts = vec![vec![0.0], vec![1.0]];
-        let res = kmeans(&pts, &KMeansConfig { k: 10, ..Default::default() }, &mut Pcg32::new(5));
+        let res = kmeans(
+            &pts,
+            &KMeansConfig {
+                k: 10,
+                ..Default::default()
+            },
+            &mut Pcg32::new(5),
+        );
         assert_eq!(res.centroids.len(), 2);
         assert!(res.sse < 1e-9);
     }
@@ -250,7 +304,14 @@ mod tests {
     fn witnesses_are_valid_and_near_centroids() {
         let mut rng = Pcg32::new(6);
         let pts = blobs(&mut rng, &[(0.0, 0.0), (8.0, 8.0)], 25, 0.5);
-        let res = kmeans(&pts, &KMeansConfig { k: 2, ..Default::default() }, &mut rng);
+        let res = kmeans(
+            &pts,
+            &KMeansConfig {
+                k: 2,
+                ..Default::default()
+            },
+            &mut rng,
+        );
         let w = res.witnesses(&pts);
         assert_eq!(w.len(), 2);
         for (c, &wi) in w.iter().enumerate() {
@@ -263,7 +324,14 @@ mod tests {
     #[test]
     fn identical_points_do_not_diverge() {
         let pts = vec![vec![3.0, 3.0]; 20];
-        let res = kmeans(&pts, &KMeansConfig { k: 4, ..Default::default() }, &mut Pcg32::new(7));
+        let res = kmeans(
+            &pts,
+            &KMeansConfig {
+                k: 4,
+                ..Default::default()
+            },
+            &mut Pcg32::new(7),
+        );
         assert!(res.sse < 1e-9);
         assert!(res.centroids.iter().all(|c| c[0] == 3.0 && c[1] == 3.0));
     }
@@ -272,8 +340,22 @@ mod tests {
     fn deterministic_under_seed() {
         let mut rng = Pcg32::new(8);
         let pts = blobs(&mut rng, &[(0.0, 0.0), (6.0, 6.0)], 30, 1.0);
-        let r1 = kmeans(&pts, &KMeansConfig { k: 2, ..Default::default() }, &mut Pcg32::new(9));
-        let r2 = kmeans(&pts, &KMeansConfig { k: 2, ..Default::default() }, &mut Pcg32::new(9));
+        let r1 = kmeans(
+            &pts,
+            &KMeansConfig {
+                k: 2,
+                ..Default::default()
+            },
+            &mut Pcg32::new(9),
+        );
+        let r2 = kmeans(
+            &pts,
+            &KMeansConfig {
+                k: 2,
+                ..Default::default()
+            },
+            &mut Pcg32::new(9),
+        );
         assert_eq!(r1.assignments, r2.assignments);
         assert_eq!(r1.sse, r2.sse);
     }

@@ -64,8 +64,8 @@ where
         }
         let Some(m) = best else { break };
         medoids.push(m);
-        for j in 0..n {
-            nearest[j] = nearest[j].min(dist(m, j));
+        for (j, near) in nearest.iter_mut().enumerate() {
+            *near = near.min(dist(m, j));
         }
     }
 
@@ -101,14 +101,14 @@ where
     // Final assignment.
     let mut assignments = vec![0usize; n];
     let mut cost = 0.0f64;
-    for j in 0..n {
+    for (j, assignment) in assignments.iter_mut().enumerate() {
         let (slot, d) = medoids
             .iter()
             .enumerate()
             .map(|(s, &m)| (s, dist(m, j)))
             .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
             .expect("k >= 1");
-        assignments[j] = slot;
+        *assignment = slot;
         cost += d as f64;
     }
     KMedoidsResult {
@@ -130,11 +130,7 @@ fn total_cost<D: Fn(usize, usize) -> f32>(n: usize, medoids: &[usize], dist: &D)
 }
 
 /// Convenience: K-medoids over points with Euclidean distance.
-pub fn kmedoids_euclidean(
-    points: &[Vec<f32>],
-    k: usize,
-    rng: &mut Pcg32,
-) -> KMedoidsResult {
+pub fn kmedoids_euclidean(points: &[Vec<f32>], k: usize, rng: &mut Pcg32) -> KMedoidsResult {
     kmedoids(
         points.len(),
         k,
@@ -165,7 +161,9 @@ mod tests {
 
     #[test]
     fn medoids_are_actual_points() {
-        let pts: Vec<Vec<f32>> = (0..20).map(|i| vec![i as f32, (i * i % 7) as f32]).collect();
+        let pts: Vec<Vec<f32>> = (0..20)
+            .map(|i| vec![i as f32, (i * i % 7) as f32])
+            .collect();
         let res = kmedoids_euclidean(&pts, 4, &mut Pcg32::new(2));
         for &m in &res.medoids {
             assert!(m < pts.len());

@@ -5,11 +5,13 @@ use querc_cluster::{kmeans, mean_silhouette, KMeansConfig};
 use querc_linalg::Pcg32;
 
 fn points_strategy() -> impl Strategy<Value = Vec<Vec<f32>>> {
-    prop::collection::vec(prop::collection::vec(-100.0f32..100.0, 2..5), 2..60)
-        .prop_filter("uniform dims", |pts| {
+    prop::collection::vec(prop::collection::vec(-100.0f32..100.0, 2..5), 2..60).prop_filter(
+        "uniform dims",
+        |pts| {
             let d = pts[0].len();
             pts.iter().all(|p| p.len() == d)
-        })
+        },
+    )
 }
 
 proptest! {

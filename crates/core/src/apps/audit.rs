@@ -6,7 +6,10 @@
 //! machinery with `account` labels powers Table 1's account-labeling task
 //! and misrouting detection.
 
+use super::{AppOutput, AppReport, TrainCorpus, WorkloadApp};
 use crate::classifier::TrainedLabeler;
+use crate::error::Result;
+use crate::labeled::LabeledQuery;
 use querc_embed::Embedder;
 use querc_learn::{ForestConfig, RandomForest};
 use querc_linalg::Pcg32;
@@ -36,6 +39,8 @@ pub struct AccountAccuracy {
 pub struct SecurityAuditor {
     embedder: Arc<dyn Embedder>,
     user_model: TrainedLabeler,
+    /// Number of records the user model was fitted on.
+    pub trained_queries: usize,
 }
 
 impl SecurityAuditor {
@@ -46,10 +51,8 @@ impl SecurityAuditor {
         n_trees: usize,
         seed: u64,
     ) -> SecurityAuditor {
-        let vectors: Vec<Vec<f32>> = records
-            .iter()
-            .map(|r| embedder.embed(&r.tokens()))
-            .collect();
+        let docs: Vec<Vec<String>> = records.iter().map(|r| r.tokens()).collect();
+        let vectors = embedder.embed_batch(&docs);
         let names: Vec<&str> = records.iter().map(|r| r.user.as_str()).collect();
         let mut rng = Pcg32::with_stream(seed, 0xa0d1);
         let user_model = TrainedLabeler::train(
@@ -61,6 +64,7 @@ impl SecurityAuditor {
         SecurityAuditor {
             embedder,
             user_model,
+            trained_queries: records.len(),
         }
     }
 
@@ -76,15 +80,120 @@ impl SecurityAuditor {
     }
 
     /// Audit a batch; returns only flagged verdicts with their indices.
+    /// Embeds through the batched path.
     pub fn audit_batch(&self, records: &[QueryRecord]) -> Vec<(usize, AuditVerdict)> {
-        records
-            .iter()
+        let docs: Vec<Vec<String>> = records.iter().map(|r| r.tokens()).collect();
+        self.predict_users_batch(&docs)
+            .into_iter()
+            .zip(records)
             .enumerate()
-            .filter_map(|(i, r)| {
-                let verdict = self.audit(&r.sql, &r.user);
-                verdict.flagged.then_some((i, verdict))
+            .filter_map(|(i, (predicted, r))| {
+                (predicted != r.user).then_some((
+                    i,
+                    AuditVerdict {
+                        flagged: true,
+                        actual_user: r.user.clone(),
+                        predicted_user: predicted,
+                    },
+                ))
             })
             .collect()
+    }
+
+    /// Predict the submitting user for a chunk of pre-tokenized queries
+    /// through the embedder's batched path — the serving hot loop.
+    pub fn predict_users_batch(&self, docs: &[Vec<String>]) -> Vec<String> {
+        self.embedder
+            .embed_batch(docs)
+            .iter()
+            .map(|v| self.user_model.predict(v).to_string())
+            .collect()
+    }
+
+    /// Distinct users seen at training time.
+    pub fn known_users(&self) -> usize {
+        self.user_model.labels().len()
+    }
+}
+
+/// [`SecurityAuditor`] behind the uniform [`WorkloadApp`] interface.
+///
+/// Labels attached per query: `predicted_user`, plus `audit_flag=true`
+/// when the query carries a `user` label that disagrees with the
+/// prediction (§5.2's compromised-account signal).
+pub struct AuditApp {
+    embedder: Arc<dyn Embedder>,
+    /// Trees in the user-prediction forest.
+    pub n_trees: usize,
+}
+
+impl AuditApp {
+    pub fn new(embedder: Arc<dyn Embedder>) -> AuditApp {
+        AuditApp {
+            embedder,
+            n_trees: 40,
+        }
+    }
+
+    pub fn with_trees(mut self, n_trees: usize) -> AuditApp {
+        self.n_trees = n_trees;
+        self
+    }
+}
+
+impl WorkloadApp for AuditApp {
+    type Model = SecurityAuditor;
+
+    fn name(&self) -> &'static str {
+        "audit"
+    }
+
+    fn task(&self) -> &'static str {
+        "predict the submitting user from syntax; flag out-of-character queries"
+    }
+
+    fn fit(&self, corpus: &TrainCorpus) -> Result<SecurityAuditor> {
+        corpus.require_records("audit.fit")?;
+        Ok(SecurityAuditor::train(
+            &corpus.records,
+            Arc::clone(&self.embedder),
+            self.n_trees,
+            corpus.seed ^ 0xa0d1,
+        ))
+    }
+
+    fn label_batch(
+        &self,
+        model: &SecurityAuditor,
+        batch: &[LabeledQuery],
+    ) -> Result<Vec<AppOutput>> {
+        let docs: Vec<Vec<String>> = batch.iter().map(LabeledQuery::tokens).collect();
+        let predicted = model.predict_users_batch(&docs);
+        Ok(batch
+            .iter()
+            .zip(predicted)
+            .map(|(lq, user)| {
+                let mut out = AppOutput::new();
+                if let Some(actual) = lq.get("user") {
+                    out.set("audit_flag", (actual != user).to_string());
+                }
+                out.set("predicted_user", user);
+                out
+            })
+            .collect())
+    }
+
+    fn report(&self, model: &SecurityAuditor) -> AppReport {
+        AppReport {
+            app: self.name().to_string(),
+            task: self.task().to_string(),
+            trained_queries: model.trained_queries,
+            detail: vec![
+                ("embedder".to_string(), model.embedder.name().to_string()),
+                ("users".to_string(), model.known_users().to_string()),
+                ("trees".to_string(), self.n_trees.to_string()),
+            ],
+        }
     }
 }
 
@@ -119,7 +228,7 @@ pub fn per_account_accuracy(
             accuracy: acc.hits as f64 / acc.total.max(1) as f64,
         })
         .collect();
-    rows.sort_by(|a, b| b.queries.cmp(&a.queries));
+    rows.sort_by_key(|row| std::cmp::Reverse(row.queries));
     rows
 }
 
@@ -165,7 +274,10 @@ mod tests {
     #[test]
     fn normal_queries_pass_audit() {
         let a = auditor();
-        let v = a.audit("select revenue from finance_reports where q = 99", "acct/alice");
+        let v = a.audit(
+            "select revenue from finance_reports where q = 99",
+            "acct/alice",
+        );
         assert!(!v.flagged, "{v:?}");
     }
 
@@ -197,7 +309,31 @@ mod tests {
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0].users, 2);
         assert_eq!(rows[0].queries, 40);
-        assert!(rows[0].accuracy > 0.9, "separable users: {}", rows[0].accuracy);
+        assert!(
+            rows[0].accuracy > 0.9,
+            "separable users: {}",
+            rows[0].accuracy
+        );
+    }
+
+    #[test]
+    fn audit_app_implements_workload_app() {
+        let corpus = TrainCorpus::from_records(records(), 7);
+        let app = AuditApp::new(Arc::new(BagOfTokens::new(64, true))).with_trees(15);
+        let model = app.fit(&corpus).unwrap();
+        let mut suspicious = LabeledQuery::new("insert into sensor_stream values (1, 2)");
+        suspicious.set("user", "acct/alice");
+        let unlabeled = LabeledQuery::new("select revenue from finance_reports where q = 3");
+        let out = app.label_batch(&model, &[suspicious, unlabeled]).unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].get("predicted_user"), Some("acct/bob"));
+        assert_eq!(out[0].get("audit_flag"), Some("true"));
+        assert_eq!(out[1].get("predicted_user"), Some("acct/alice"));
+        assert_eq!(out[1].get("audit_flag"), None, "no actual user to compare");
+        let report = app.report(&model);
+        assert_eq!(report.app, "audit");
+        assert_eq!(report.trained_queries, 40);
+        assert!(app.fit(&TrainCorpus::default()).is_err(), "empty corpus");
     }
 
     #[test]

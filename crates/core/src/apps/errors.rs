@@ -5,6 +5,9 @@
 //! trivial to engineer". Predicted-risky queries can be routed to an
 //! instrumented or higher-memory runtime before they fail.
 
+use super::{AppOutput, AppReport, TrainCorpus, WorkloadApp};
+use crate::error::Result;
+use crate::labeled::LabeledQuery;
 use querc_embed::Embedder;
 use querc_learn::{Classifier, ForestConfig, RandomForest};
 use querc_linalg::Pcg32;
@@ -37,10 +40,8 @@ impl ErrorPredictor {
         threshold: f64,
         seed: u64,
     ) -> ErrorPredictor {
-        let vectors: Vec<Vec<f32>> = records
-            .iter()
-            .map(|r| embedder.embed(&r.tokens()))
-            .collect();
+        let docs: Vec<Vec<String>> = records.iter().map(|r| r.tokens()).collect();
+        let vectors = embedder.embed_batch(&docs);
         let labels: Vec<u32> = records.iter().map(|r| u32::from(r.is_error())).collect();
         let mut model = RandomForest::new(ForestConfig::extra_trees(40));
         let mut rng = Pcg32::with_stream(seed, 0xe440);
@@ -74,6 +75,111 @@ impl ErrorPredictor {
             .count();
         hits as f64 / records.len() as f64
     }
+
+    /// Assess a chunk of pre-tokenized queries through the embedder's
+    /// batched path.
+    pub fn assess_batch(&self, docs: &[Vec<String>]) -> Vec<ErrorRisk> {
+        self.embedder
+            .embed_batch(docs)
+            .iter()
+            .map(|v| {
+                let proba = self.model.predict_proba(v, 2);
+                let probability = proba.get(1).copied().unwrap_or(0.0) as f64;
+                ErrorRisk {
+                    probability,
+                    risky: probability >= self.threshold,
+                }
+            })
+            .collect()
+    }
+}
+
+/// [`ErrorPredictor`] behind the uniform [`WorkloadApp`] interface.
+///
+/// Labels attached per query: `error_probability` and `error_risky` —
+/// routable to an instrumented runtime before the query fails.
+pub struct ErrorsApp {
+    embedder: Arc<dyn Embedder>,
+    /// Queries with failure probability ≥ this are flagged.
+    pub threshold: f64,
+}
+
+impl ErrorsApp {
+    pub fn new(embedder: Arc<dyn Embedder>) -> ErrorsApp {
+        ErrorsApp {
+            embedder,
+            threshold: 0.5,
+        }
+    }
+
+    pub fn with_threshold(mut self, threshold: f64) -> ErrorsApp {
+        self.threshold = threshold;
+        self
+    }
+}
+
+/// A fitted error model plus its training size.
+pub struct ErrorsModel {
+    pub predictor: ErrorPredictor,
+    trained_queries: usize,
+}
+
+impl WorkloadApp for ErrorsApp {
+    type Model = ErrorsModel;
+
+    fn name(&self) -> &'static str {
+        "errors"
+    }
+
+    fn task(&self) -> &'static str {
+        "predict failure probability from query syntax"
+    }
+
+    fn fit(&self, corpus: &TrainCorpus) -> Result<ErrorsModel> {
+        corpus.require_records("errors.fit")?;
+        Ok(ErrorsModel {
+            predictor: ErrorPredictor::train(
+                &corpus.records,
+                Arc::clone(&self.embedder),
+                self.threshold,
+                corpus.seed ^ 0xe440,
+            ),
+            trained_queries: corpus.len(),
+        })
+    }
+
+    fn label_batch(&self, model: &ErrorsModel, batch: &[LabeledQuery]) -> Result<Vec<AppOutput>> {
+        let docs: Vec<Vec<String>> = batch.iter().map(LabeledQuery::tokens).collect();
+        Ok(model
+            .predictor
+            .assess_batch(&docs)
+            .into_iter()
+            .map(|risk| {
+                let mut out = AppOutput::new();
+                out.set("error_probability", format!("{:.3}", risk.probability));
+                out.set("error_risky", risk.risky.to_string());
+                out
+            })
+            .collect())
+    }
+
+    fn report(&self, model: &ErrorsModel) -> AppReport {
+        AppReport {
+            app: self.name().to_string(),
+            task: self.task().to_string(),
+            trained_queries: model.trained_queries,
+            detail: vec![
+                (
+                    "embedder".to_string(),
+                    model.predictor.embedder.name().to_string(),
+                ),
+                (
+                    "threshold".to_string(),
+                    format!("{:.2}", model.predictor.threshold),
+                ),
+            ],
+        }
+    }
 }
 
 #[cfg(test)]
@@ -85,7 +191,7 @@ mod tests {
         (0..80)
             .map(|i| {
                 let i = i + seed_off * 1000;
-                let flaky = i % 4 == 0;
+                let flaky = i.is_multiple_of(4);
                 let sql = if flaky {
                     format!(
                         "select a.*, b.* from giant_facts a join giant_facts b on a.k = b.k where a.x > {i}"
@@ -137,6 +243,25 @@ mod tests {
         let acc = p.holdout_accuracy(&held);
         // Base rate of the majority class ("no error") is ~81%.
         assert!(acc > 0.85, "accuracy {acc}");
+    }
+
+    #[test]
+    fn errors_app_implements_workload_app() {
+        // seed ^ 0xe440 == 1 → the exact forest `predictor()` exercises.
+        let corpus = TrainCorpus::from_records(records(0), 0xe441);
+        let app = ErrorsApp::new(Arc::new(querc_embed::BagOfTokens::new(64, true)));
+        let model = app.fit(&corpus).unwrap();
+        let risky = LabeledQuery::new(
+            "select a.*, b.* from giant_facts a join giant_facts b on a.k = b.k where a.x > 999",
+        );
+        let safe = LabeledQuery::new("select c from small_dim where id = 999");
+        let out = app.label_batch(&model, &[risky, safe]).unwrap();
+        assert_eq!(out[0].get("error_risky"), Some("true"));
+        assert_eq!(out[1].get("error_risky"), Some("false"));
+        let p0: f64 = out[0].get("error_probability").unwrap().parse().unwrap();
+        let p1: f64 = out[1].get("error_probability").unwrap().parse().unwrap();
+        assert!(p0 > p1);
+        assert_eq!(app.report(&model).app, "errors");
     }
 
     #[test]

@@ -1,5 +1,11 @@
-//! Applications — each a thin adapter from the generic labeling machinery
-//! to one of the paper's §4 use cases.
+//! Applications — the paper's §4 use cases behind one uniform trait.
+//!
+//! The paper's core claim is that *every* workload-management task
+//! reduces to query labeling. This module makes that claim the API:
+//! each application implements [`WorkloadApp`] — fit a model from a
+//! [`TrainCorpus`], label query batches into [`AppOutput`]s, describe
+//! itself with an [`AppReport`] — and is served uniformly by the
+//! [`crate::service::WorkloadManager`] (paper Fig 1's Qworker fabric).
 //!
 //! * [`summarize`] — workload summarization for index recommendation
 //!   (§5.1's headline experiment);
@@ -9,6 +15,10 @@
 //! * [`resources`] — coarse resource-class prediction for speculative
 //!   allocation;
 //! * [`recommend`] — next-query recommendation over embedding clusters.
+//!
+//! The pre-existing bespoke entry points (`SecurityAuditor::train`,
+//! `summarize_workload`, …) remain as thin wrappers around the same
+//! logic, so offline/ablation code keeps working unchanged.
 
 pub mod audit;
 pub mod errors;
@@ -16,3 +26,269 @@ pub mod recommend;
 pub mod resources;
 pub mod routing;
 pub mod summarize;
+
+pub use audit::AuditApp;
+pub use errors::ErrorsApp;
+pub use recommend::RecommendApp;
+pub use resources::ResourcesApp;
+pub use routing::RoutingApp;
+pub use summarize::SummarizeApp;
+
+use crate::error::{QuercError, Result};
+use crate::labeled::LabeledQuery;
+use querc_workloads::QueryRecord;
+use std::any::Any;
+use std::collections::BTreeMap;
+
+/// Training input shared by every application: labeled log records plus
+/// per-user session histories (consumed by the recommendation app).
+#[derive(Debug, Clone, Default)]
+pub struct TrainCorpus {
+    /// Labeled log records — the `(Q, c1, c2, …)` tuples of §2.
+    pub records: Vec<QueryRecord>,
+    /// Ordered per-session query texts (for sequence models).
+    pub histories: Vec<Vec<String>>,
+    /// Master seed; each app derives its own stream from it.
+    pub seed: u64,
+}
+
+impl TrainCorpus {
+    /// Build a corpus from log records, deriving session histories by
+    /// grouping on `user` and ordering by `timestamp`.
+    pub fn from_records(records: Vec<QueryRecord>, seed: u64) -> TrainCorpus {
+        let mut by_user: BTreeMap<&str, Vec<(u64, &str)>> = BTreeMap::new();
+        for r in &records {
+            by_user
+                .entry(r.user.as_str())
+                .or_default()
+                .push((r.timestamp, r.sql.as_str()));
+        }
+        let histories = by_user
+            .into_values()
+            .map(|mut h| {
+                h.sort_by_key(|(t, _)| *t);
+                h.into_iter().map(|(_, sql)| sql.to_string()).collect()
+            })
+            .collect();
+        TrainCorpus {
+            records,
+            histories,
+            seed,
+        }
+    }
+
+    /// Number of training records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Normalized token streams of every record (embedder input).
+    pub fn token_corpus(&self) -> Vec<Vec<String>> {
+        self.records.iter().map(|r| r.tokens()).collect()
+    }
+
+    /// Guard used by app `fit` implementations.
+    pub(crate) fn require_records(&self, context: &'static str) -> Result<()> {
+        if self.records.is_empty() {
+            Err(QuercError::EmptyCorpus { context })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// Labels an application attaches to one query — the `ci` components of
+/// the paper's labeled-query tuple, produced app-side.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AppOutput {
+    /// `(label name, value)` pairs in attachment order.
+    pub labels: Vec<(String, String)>,
+}
+
+impl AppOutput {
+    pub fn new() -> AppOutput {
+        AppOutput::default()
+    }
+
+    /// Attach or replace a label.
+    pub fn set(&mut self, name: impl Into<String>, value: impl Into<String>) -> &mut Self {
+        let name = name.into();
+        let value = value.into();
+        match self.labels.iter_mut().find(|(n, _)| *n == name) {
+            Some(slot) => slot.1 = value,
+            None => self.labels.push((name, value)),
+        }
+        self
+    }
+
+    /// First value of a label, if attached.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Merge these labels into a query (serving-path sink).
+    pub fn apply_to(&self, lq: &mut LabeledQuery) {
+        for (name, value) in &self.labels {
+            lq.set(name.clone(), value.clone());
+        }
+    }
+}
+
+/// A fitted model's self-description, surfaced by the manager.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppReport {
+    /// Application name (registration key).
+    pub app: String,
+    /// One-line task description.
+    pub task: String,
+    /// Queries the model was fitted on.
+    pub trained_queries: usize,
+    /// App-specific `(key, value)` diagnostics.
+    pub detail: Vec<(String, String)>,
+}
+
+/// One workload-management task expressed as query labeling.
+///
+/// Implementations are *stateless configurations*: `fit` produces the
+/// trained model as a value, so one app instance can train against many
+/// corpora and replicated Qworkers can share one immutable model behind
+/// an `Arc`. All methods that can fail report [`QuercError`] — no
+/// panicking paths are reachable from the serving fabric.
+pub trait WorkloadApp: Send + Sync {
+    /// The trained-model artifact `fit` produces.
+    type Model: Send + Sync + 'static;
+
+    /// Registration key (e.g. `"audit"`).
+    fn name(&self) -> &'static str;
+
+    /// One-line task description for reports.
+    fn task(&self) -> &'static str;
+
+    /// Train a model from the corpus.
+    fn fit(&self, corpus: &TrainCorpus) -> Result<Self::Model>;
+
+    /// Label a batch of queries. Must return exactly `batch.len()`
+    /// outputs, `outputs[i]` belonging to `batch[i]`. Implementations
+    /// embed through [`querc_embed::Embedder::embed_batch`] so chunked
+    /// serving amortizes embedder setup.
+    fn label_batch(&self, model: &Self::Model, batch: &[LabeledQuery]) -> Result<Vec<AppOutput>>;
+
+    /// Describe a fitted model.
+    fn report(&self, model: &Self::Model) -> AppReport;
+}
+
+/// Object-safe erasure of [`WorkloadApp`] — what the manager stores.
+/// Blanket-implemented for every `WorkloadApp`, so user code only ever
+/// implements the typed trait.
+pub trait DynWorkloadApp: Send + Sync {
+    fn name(&self) -> &'static str;
+    fn fit_dyn(&self, corpus: &TrainCorpus) -> Result<Box<dyn Any + Send + Sync>>;
+    fn label_batch_dyn(
+        &self,
+        model: &(dyn Any + Send + Sync),
+        batch: &[LabeledQuery],
+    ) -> Result<Vec<AppOutput>>;
+    fn report_dyn(&self, model: &(dyn Any + Send + Sync)) -> Result<AppReport>;
+}
+
+impl<A: WorkloadApp> DynWorkloadApp for A {
+    fn name(&self) -> &'static str {
+        WorkloadApp::name(self)
+    }
+
+    fn fit_dyn(&self, corpus: &TrainCorpus) -> Result<Box<dyn Any + Send + Sync>> {
+        Ok(Box::new(self.fit(corpus)?))
+    }
+
+    fn label_batch_dyn(
+        &self,
+        model: &(dyn Any + Send + Sync),
+        batch: &[LabeledQuery],
+    ) -> Result<Vec<AppOutput>> {
+        let model =
+            model
+                .downcast_ref::<A::Model>()
+                .ok_or_else(|| QuercError::ModelTypeMismatch {
+                    app: WorkloadApp::name(self).to_string(),
+                })?;
+        self.label_batch(model, batch)
+    }
+
+    fn report_dyn(&self, model: &(dyn Any + Send + Sync)) -> Result<AppReport> {
+        let model =
+            model
+                .downcast_ref::<A::Model>()
+                .ok_or_else(|| QuercError::ModelTypeMismatch {
+                    app: WorkloadApp::name(self).to_string(),
+                })?;
+        Ok(self.report(model))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(user: &str, sql: &str, ts: u64) -> QueryRecord {
+        QueryRecord {
+            sql: sql.into(),
+            user: user.into(),
+            account: "a".into(),
+            cluster: "c".into(),
+            dialect: "generic".into(),
+            runtime_ms: 1.0,
+            mem_mb: 1.0,
+            error_code: None,
+            timestamp: ts,
+        }
+    }
+
+    #[test]
+    fn from_records_derives_ordered_histories() {
+        let corpus = TrainCorpus::from_records(
+            vec![
+                record("u1", "select 2", 20),
+                record("u2", "select 9", 5),
+                record("u1", "select 1", 10),
+            ],
+            7,
+        );
+        assert_eq!(corpus.len(), 3);
+        assert_eq!(
+            corpus.histories,
+            vec![
+                vec!["select 1".to_string(), "select 2".to_string()],
+                vec!["select 9".to_string()],
+            ]
+        );
+    }
+
+    #[test]
+    fn app_output_set_get_apply() {
+        let mut out = AppOutput::new();
+        out.set("resource_class", "short").set("x", "1");
+        out.set("x", "2");
+        assert_eq!(out.get("x"), Some("2"));
+        assert_eq!(out.labels.len(), 2);
+        let mut lq = LabeledQuery::new("select 1");
+        out.apply_to(&mut lq);
+        assert_eq!(lq.get("resource_class"), Some("short"));
+    }
+
+    #[test]
+    fn empty_corpus_guard() {
+        let corpus = TrainCorpus::default();
+        assert!(corpus.is_empty());
+        assert!(matches!(
+            corpus.require_records("t"),
+            Err(QuercError::EmptyCorpus { context: "t" })
+        ));
+    }
+}

@@ -6,6 +6,9 @@
 //! but exactly the structure SnipSuggest-style systems refine — and built
 //! entirely from generic embeddings, no query-fragment engineering.
 
+use super::{AppOutput, AppReport, TrainCorpus, WorkloadApp};
+use crate::error::{QuercError, Result};
+use crate::labeled::LabeledQuery;
 use querc_cluster::{kmeans, KMeansConfig};
 use querc_embed::Embedder;
 use querc_linalg::Pcg32;
@@ -19,22 +22,43 @@ pub struct QueryRecommender {
     witnesses: Vec<String>,
     /// `transitions[from][to]` = observed count + 1 (Laplace smoothing).
     transitions: Vec<Vec<f64>>,
+    /// Queries across all training histories.
+    pub trained_queries: usize,
 }
 
 impl QueryRecommender {
     /// Train from per-user ordered query histories.
+    ///
+    /// Thin wrapper over [`QueryRecommender::try_train`]; panics with
+    /// the error message on an empty history set.
     pub fn train(
         histories: &[Vec<String>],
         embedder: Arc<dyn Embedder>,
         k: usize,
         seed: u64,
     ) -> QueryRecommender {
+        Self::try_train(histories, embedder, k, seed).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible training: reports an empty history set as
+    /// [`QuercError::EmptyCorpus`] instead of asserting.
+    pub fn try_train(
+        histories: &[Vec<String>],
+        embedder: Arc<dyn Embedder>,
+        k: usize,
+        seed: u64,
+    ) -> Result<QueryRecommender> {
         let all: Vec<&str> = histories
             .iter()
             .flat_map(|h| h.iter().map(String::as_str))
             .collect();
-        assert!(!all.is_empty(), "need at least one query");
-        let points: Vec<Vec<f32>> = all.iter().map(|s| embedder.embed_sql(s)).collect();
+        if all.is_empty() {
+            return Err(QuercError::EmptyCorpus {
+                context: "recommend.fit",
+            });
+        }
+        let docs: Vec<Vec<String>> = all.iter().map(|s| querc_embed::sql_tokens(s)).collect();
+        let points = embedder.embed_batch(&docs);
         let mut rng = Pcg32::with_stream(seed, 0x4ec0);
         let result = kmeans(
             &points,
@@ -54,39 +78,40 @@ impl QueryRecommender {
         // Re-embed per history to track positions.
         let mut cursor = 0usize;
         for h in histories {
-            let assigns: Vec<usize> =
-                (0..h.len()).map(|j| result.assignments[cursor + j]).collect();
+            let assigns: Vec<usize> = (0..h.len())
+                .map(|j| result.assignments[cursor + j])
+                .collect();
             cursor += h.len();
             for w in assigns.windows(2) {
                 transitions[w[0]][w[1]] += 1.0;
             }
         }
-        QueryRecommender {
+        Ok(QueryRecommender {
             embedder,
             centroids: result.centroids,
             witnesses,
             transitions,
-        }
+            trained_queries: all.len(),
+        })
     }
 
     /// Cluster id of a query.
     pub fn cluster_of(&self, sql: &str) -> usize {
-        let v = self.embedder.embed_sql(sql);
-        let mut best = 0;
-        let mut best_d = f32::INFINITY;
-        for (c, cent) in self.centroids.iter().enumerate() {
-            let d = querc_linalg::ops::sq_dist(&v, cent);
-            if d < best_d {
-                best_d = d;
-                best = c;
-            }
-        }
-        best
+        querc_cluster::nearest_centroid(&self.embedder.embed_sql(sql), &self.centroids)
     }
 
-    /// Recommend the most likely next query given the last one.
-    pub fn recommend(&self, last_sql: &str) -> &str {
-        let from = self.cluster_of(last_sql);
+    /// Cluster ids for a chunk of pre-tokenized queries through the
+    /// embedder's batched path.
+    pub fn clusters_of_batch(&self, docs: &[Vec<String>]) -> Vec<usize> {
+        self.embedder
+            .embed_batch(docs)
+            .iter()
+            .map(|v| querc_cluster::nearest_centroid(v, &self.centroids))
+            .collect()
+    }
+
+    /// Witness of the most likely next cluster after cluster `from`.
+    fn next_witness(&self, from: usize) -> (usize, &str) {
         let row = &self.transitions[from];
         let to = row
             .iter()
@@ -94,7 +119,18 @@ impl QueryRecommender {
             .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
             .map(|(i, _)| i)
             .unwrap_or(from);
-        &self.witnesses[to]
+        (to, &self.witnesses[to])
+    }
+
+    /// Number of clusters in the transition model.
+    pub fn num_clusters(&self) -> usize {
+        self.centroids.len()
+    }
+
+    /// Recommend the most likely next query given the last one.
+    pub fn recommend(&self, last_sql: &str) -> &str {
+        let from = self.cluster_of(last_sql);
+        self.next_witness(from).1
     }
 
     /// Top-n next-cluster witnesses, most likely first.
@@ -111,6 +147,11 @@ impl QueryRecommender {
             .take(n)
             .map(|(i, _)| self.witnesses[i].as_str())
             .collect()
+    }
+
+    /// Witness SQL of a cluster.
+    pub fn witness(&self, cluster: usize) -> Option<&str> {
+        self.witnesses.get(cluster).map(String::as_str)
     }
 
     /// Held-out hit rate: fraction of consecutive pairs where the true
@@ -131,6 +172,80 @@ impl QueryRecommender {
             0.0
         } else {
             hits as f64 / total as f64
+        }
+    }
+}
+
+/// [`QueryRecommender`] behind the uniform [`WorkloadApp`] interface.
+///
+/// Labels attached per query: `query_cluster` (embedding-cluster id)
+/// and `next_query` (the witness of the most likely next cluster given
+/// this query — the session-continuation recommendation).
+pub struct RecommendApp {
+    embedder: Arc<dyn Embedder>,
+    /// Number of embedding clusters in the transition model.
+    pub k: usize,
+}
+
+impl RecommendApp {
+    pub fn new(embedder: Arc<dyn Embedder>) -> RecommendApp {
+        RecommendApp { embedder, k: 8 }
+    }
+
+    pub fn with_clusters(mut self, k: usize) -> RecommendApp {
+        self.k = k.max(1);
+        self
+    }
+}
+
+impl WorkloadApp for RecommendApp {
+    type Model = QueryRecommender;
+
+    fn name(&self) -> &'static str {
+        "recommend"
+    }
+
+    fn task(&self) -> &'static str {
+        "recommend the next query from session transition patterns"
+    }
+
+    fn fit(&self, corpus: &TrainCorpus) -> Result<QueryRecommender> {
+        QueryRecommender::try_train(
+            &corpus.histories,
+            Arc::clone(&self.embedder),
+            self.k,
+            corpus.seed ^ 0x4ec0,
+        )
+    }
+
+    fn label_batch(
+        &self,
+        model: &QueryRecommender,
+        batch: &[LabeledQuery],
+    ) -> Result<Vec<AppOutput>> {
+        let docs: Vec<Vec<String>> = batch.iter().map(LabeledQuery::tokens).collect();
+        Ok(model
+            .clusters_of_batch(&docs)
+            .into_iter()
+            .map(|cluster| {
+                let (_, witness) = model.next_witness(cluster);
+                let mut out = AppOutput::new();
+                out.set("query_cluster", cluster.to_string());
+                out.set("next_query", witness);
+                out
+            })
+            .collect())
+    }
+
+    fn report(&self, model: &QueryRecommender) -> AppReport {
+        AppReport {
+            app: self.name().to_string(),
+            task: self.task().to_string(),
+            trained_queries: model.trained_queries,
+            detail: vec![
+                ("embedder".to_string(), model.embedder.name().to_string()),
+                ("clusters".to_string(), model.num_clusters().to_string()),
+            ],
         }
     }
 }
@@ -194,6 +309,32 @@ mod tests {
         let r = recommender();
         let recs = r.recommend_n("select v from point_lookup where k = 1", 5);
         assert!(!recs.is_empty() && recs.len() <= 2, "only 2 clusters exist");
+    }
+
+    #[test]
+    fn recommend_app_implements_workload_app() {
+        let corpus = TrainCorpus {
+            records: Vec::new(),
+            histories: histories(5, 20),
+            seed: 7,
+        };
+        let app = RecommendApp::new(Arc::new(BagOfTokens::new(64, true))).with_clusters(2);
+        let model = app.fit(&corpus).unwrap();
+        let out = app
+            .label_batch(
+                &model,
+                &[LabeledQuery::new(
+                    "select v from point_lookup where k = 999",
+                )],
+            )
+            .unwrap();
+        assert!(out[0].get("next_query").unwrap().contains("group by"));
+        assert!(out[0].get("query_cluster").is_some());
+        let report = app.report(&model);
+        assert_eq!(report.app, "recommend");
+        assert_eq!(report.trained_queries, 100);
+        // No histories at all → EmptyCorpus.
+        assert!(app.fit(&TrainCorpus::default()).is_err());
     }
 
     #[test]

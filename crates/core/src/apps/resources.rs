@@ -6,6 +6,9 @@
 //! useful for load balancing and admission control. Labels come straight
 //! from the log's measured runtime/memory columns.
 
+use super::{AppOutput, AppReport, TrainCorpus, WorkloadApp};
+use crate::error::Result;
+use crate::labeled::LabeledQuery;
 use querc_embed::Embedder;
 use querc_learn::{Classifier, ForestConfig, RandomForest};
 use querc_linalg::Pcg32;
@@ -81,10 +84,8 @@ impl ResourcePredictor {
         buckets: ResourceBuckets,
         seed: u64,
     ) -> ResourcePredictor {
-        let vectors: Vec<Vec<f32>> = records
-            .iter()
-            .map(|r| embedder.embed(&r.tokens()))
-            .collect();
+        let docs: Vec<Vec<String>> = records.iter().map(|r| r.tokens()).collect();
+        let vectors = embedder.embed_batch(&docs);
         let labels: Vec<u32> = records
             .iter()
             .map(|r| buckets.classify(r.runtime_ms) as u32)
@@ -116,6 +117,110 @@ impl ResourcePredictor {
             .count();
         hits as f64 / records.len() as f64
     }
+
+    /// Predict classes for a chunk of pre-tokenized queries through the
+    /// embedder's batched path.
+    pub fn predict_batch(&self, docs: &[Vec<String>]) -> Vec<ResourceClass> {
+        self.embedder
+            .embed_batch(docs)
+            .iter()
+            .map(|v| ResourceClass::from_id(self.model.predict(v)))
+            .collect()
+    }
+}
+
+/// [`ResourcePredictor`] behind the uniform [`WorkloadApp`] interface.
+///
+/// Labels attached per query: `resource_class` — the coarse
+/// short/medium/long bucket for admission control and load balancing.
+pub struct ResourcesApp {
+    embedder: Arc<dyn Embedder>,
+    pub buckets: ResourceBuckets,
+}
+
+impl ResourcesApp {
+    pub fn new(embedder: Arc<dyn Embedder>) -> ResourcesApp {
+        ResourcesApp {
+            embedder,
+            buckets: ResourceBuckets::default(),
+        }
+    }
+
+    pub fn with_buckets(mut self, buckets: ResourceBuckets) -> ResourcesApp {
+        self.buckets = buckets;
+        self
+    }
+}
+
+/// A fitted resource model plus its training size.
+pub struct ResourcesModel {
+    pub predictor: ResourcePredictor,
+    trained_queries: usize,
+}
+
+impl WorkloadApp for ResourcesApp {
+    type Model = ResourcesModel;
+
+    fn name(&self) -> &'static str {
+        "resources"
+    }
+
+    fn task(&self) -> &'static str {
+        "predict coarse runtime class before execution"
+    }
+
+    fn fit(&self, corpus: &TrainCorpus) -> Result<ResourcesModel> {
+        corpus.require_records("resources.fit")?;
+        Ok(ResourcesModel {
+            predictor: ResourcePredictor::train(
+                &corpus.records,
+                Arc::clone(&self.embedder),
+                self.buckets,
+                corpus.seed ^ 0x4e50,
+            ),
+            trained_queries: corpus.len(),
+        })
+    }
+
+    fn label_batch(
+        &self,
+        model: &ResourcesModel,
+        batch: &[LabeledQuery],
+    ) -> Result<Vec<AppOutput>> {
+        let docs: Vec<Vec<String>> = batch.iter().map(LabeledQuery::tokens).collect();
+        Ok(model
+            .predictor
+            .predict_batch(&docs)
+            .into_iter()
+            .map(|class| {
+                let mut out = AppOutput::new();
+                out.set("resource_class", class.name());
+                out
+            })
+            .collect())
+    }
+
+    fn report(&self, model: &ResourcesModel) -> AppReport {
+        AppReport {
+            app: self.name().to_string(),
+            task: self.task().to_string(),
+            trained_queries: model.trained_queries,
+            detail: vec![
+                (
+                    "embedder".to_string(),
+                    model.predictor.embedder.name().to_string(),
+                ),
+                (
+                    "short_below_ms".to_string(),
+                    format!("{:.0}", model.predictor.buckets.short_below_ms),
+                ),
+                (
+                    "long_above_ms".to_string(),
+                    format!("{:.0}", model.predictor.buckets.long_above_ms),
+                ),
+            ],
+        }
+    }
 }
 
 #[cfg(test)]
@@ -133,9 +238,7 @@ mod tests {
                         300.0,
                     ),
                     _ => (
-                        format!(
-                            "select a.g, sum(b.v) from big_facts a join big_facts b on a.k = b.k group by a.g"
-                        ),
+                        "select a.g, sum(b.v) from big_facts a join big_facts b on a.k = b.k group by a.g".to_string(),
                         2000.0,
                     ),
                 };
@@ -171,9 +274,14 @@ mod tests {
             ResourceBuckets::default(),
             1,
         );
-        assert_eq!(p.predict("select v from kv_store where k = 999"), ResourceClass::Short);
         assert_eq!(
-            p.predict("select a.g, sum(b.v) from big_facts a join big_facts b on a.k = b.k group by a.g"),
+            p.predict("select v from kv_store where k = 999"),
+            ResourceClass::Short
+        );
+        assert_eq!(
+            p.predict(
+                "select a.g, sum(b.v) from big_facts a join big_facts b on a.k = b.k group by a.g"
+            ),
             ResourceClass::Long
         );
     }
@@ -188,6 +296,27 @@ mod tests {
         );
         let acc = p.holdout_accuracy(&records(5));
         assert!(acc > 0.9, "accuracy {acc}");
+    }
+
+    #[test]
+    fn resources_app_implements_workload_app() {
+        let corpus = TrainCorpus::from_records(records(0), 1);
+        let app = ResourcesApp::new(Arc::new(querc_embed::BagOfTokens::new(64, true)));
+        let model = app.fit(&corpus).unwrap();
+        let out = app
+            .label_batch(
+                &model,
+                &[
+                    LabeledQuery::new("select v from kv_store where k = 999"),
+                    LabeledQuery::new(
+                        "select a.g, sum(b.v) from big_facts a join big_facts b on a.k = b.k group by a.g",
+                    ),
+                ],
+            )
+            .unwrap();
+        assert_eq!(out[0].get("resource_class"), Some("short"));
+        assert_eq!(out[1].get("resource_class"), Some("long"));
+        assert_eq!(app.report(&model).app, "resources");
     }
 
     #[test]

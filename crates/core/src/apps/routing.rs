@@ -8,7 +8,10 @@
 //! flag queries whose predicted cluster disagrees with the assigned one —
 //! surfacing policy misconfigurations without parsing a single rule.
 
+use super::{AppOutput, AppReport, TrainCorpus, WorkloadApp};
 use crate::classifier::TrainedLabeler;
+use crate::error::Result;
+use crate::labeled::LabeledQuery;
 use querc_embed::Embedder;
 use querc_learn::{Classifier, ForestConfig, RandomForest};
 use querc_linalg::Pcg32;
@@ -43,13 +46,10 @@ impl RoutingChecker {
         min_confidence: f64,
         seed: u64,
     ) -> RoutingChecker {
-        let vectors: Vec<Vec<f32>> = records
-            .iter()
-            .map(|r| embedder.embed(&r.tokens()))
-            .collect();
-        let (labels, ids) = crate::classifier::LabelMap::from_labels(
-            records.iter().map(|r| r.cluster.as_str()),
-        );
+        let docs: Vec<Vec<String>> = records.iter().map(|r| r.tokens()).collect();
+        let vectors = embedder.embed_batch(&docs);
+        let (labels, ids) =
+            crate::classifier::LabelMap::from_labels(records.iter().map(|r| r.cluster.as_str()));
         let mut model = RandomForest::new(ForestConfig::extra_trees(40));
         let mut rng = Pcg32::with_stream(seed, 0x4072);
         model.fit(&vectors, &ids, labels.len().max(1), &mut rng);
@@ -62,16 +62,14 @@ impl RoutingChecker {
     }
 
     /// Check a batch of assignments; returns suspected misroutings.
+    /// Embeds through the batched path.
     pub fn check(&self, records: &[QueryRecord]) -> Vec<RoutingAnomaly> {
-        records
-            .iter()
+        let docs: Vec<Vec<String>> = records.iter().map(|r| r.tokens()).collect();
+        self.predict_batch(&docs)
+            .into_iter()
+            .zip(records)
             .enumerate()
-            .filter_map(|(index, r)| {
-                let v = self.embedder.embed(&r.tokens());
-                let proba = self.model.proba(&v);
-                let best = querc_linalg::stats::argmax(&proba)? as u32;
-                let predicted = self.labels.name(best)?.to_string();
-                let confidence = proba[best as usize] as f64;
+            .filter_map(|(index, ((predicted, confidence), r))| {
                 (predicted != r.cluster && confidence >= self.min_confidence).then_some(
                     RoutingAnomaly {
                         index,
@@ -92,6 +90,132 @@ impl RoutingChecker {
             .unwrap_or("<unknown>")
             .to_string()
     }
+
+    /// Predict `(cluster, confidence)` for a chunk of pre-tokenized
+    /// queries through the embedder's batched path.
+    pub fn predict_batch(&self, docs: &[Vec<String>]) -> Vec<(String, f64)> {
+        self.embedder
+            .embed_batch(docs)
+            .iter()
+            .map(|v| {
+                let proba = self.model.proba(v);
+                match querc_linalg::stats::argmax(&proba) {
+                    Some(best) => (
+                        self.labels
+                            .name(best as u32)
+                            .unwrap_or("<unknown>")
+                            .to_string(),
+                        proba[best] as f64,
+                    ),
+                    None => ("<unknown>".to_string(), 0.0),
+                }
+            })
+            .collect()
+    }
+
+    /// Distinct clusters seen at training time.
+    pub fn known_clusters(&self) -> usize {
+        self.labels.len()
+    }
+}
+
+/// [`RoutingChecker`] behind the uniform [`WorkloadApp`] interface.
+///
+/// Labels attached per query: `predicted_cluster`,
+/// `routing_confidence`, plus `routing_anomaly=true` when the query
+/// carries a `cluster` label that disagrees with a confident
+/// prediction.
+pub struct RoutingApp {
+    embedder: Arc<dyn Embedder>,
+    /// Disagreements below this confidence are not flagged.
+    pub min_confidence: f64,
+}
+
+impl RoutingApp {
+    pub fn new(embedder: Arc<dyn Embedder>) -> RoutingApp {
+        RoutingApp {
+            embedder,
+            min_confidence: 0.6,
+        }
+    }
+
+    pub fn with_min_confidence(mut self, min_confidence: f64) -> RoutingApp {
+        self.min_confidence = min_confidence;
+        self
+    }
+}
+
+/// A fitted routing model plus its training size.
+pub struct RoutingModel {
+    pub checker: RoutingChecker,
+    trained_queries: usize,
+}
+
+impl WorkloadApp for RoutingApp {
+    type Model = RoutingModel;
+
+    fn name(&self) -> &'static str {
+        "routing"
+    }
+
+    fn task(&self) -> &'static str {
+        "learn historical query routing; flag assignments the model contradicts"
+    }
+
+    fn fit(&self, corpus: &TrainCorpus) -> Result<RoutingModel> {
+        corpus.require_records("routing.fit")?;
+        Ok(RoutingModel {
+            checker: RoutingChecker::train(
+                &corpus.records,
+                Arc::clone(&self.embedder),
+                self.min_confidence,
+                corpus.seed ^ 0x4072,
+            ),
+            trained_queries: corpus.len(),
+        })
+    }
+
+    fn label_batch(&self, model: &RoutingModel, batch: &[LabeledQuery]) -> Result<Vec<AppOutput>> {
+        let docs: Vec<Vec<String>> = batch.iter().map(LabeledQuery::tokens).collect();
+        let predicted = model.checker.predict_batch(&docs);
+        Ok(batch
+            .iter()
+            .zip(predicted)
+            .map(|(lq, (cluster, confidence))| {
+                let mut out = AppOutput::new();
+                if let Some(assigned) = lq.get("cluster") {
+                    let anomalous =
+                        assigned != cluster && confidence >= model.checker.min_confidence;
+                    out.set("routing_anomaly", anomalous.to_string());
+                }
+                out.set("predicted_cluster", cluster);
+                out.set("routing_confidence", format!("{confidence:.3}"));
+                out
+            })
+            .collect())
+    }
+
+    fn report(&self, model: &RoutingModel) -> AppReport {
+        AppReport {
+            app: self.name().to_string(),
+            task: self.task().to_string(),
+            trained_queries: model.trained_queries,
+            detail: vec![
+                (
+                    "embedder".to_string(),
+                    model.checker.embedder.name().to_string(),
+                ),
+                (
+                    "clusters".to_string(),
+                    model.checker.known_clusters().to_string(),
+                ),
+                (
+                    "min_confidence".to_string(),
+                    format!("{:.2}", model.checker.min_confidence),
+                ),
+            ],
+        }
+    }
 }
 
 /// Convenience: a plain (embedder, labeler) cluster classifier for use in
@@ -101,10 +225,8 @@ pub fn train_cluster_labeler(
     embedder: &Arc<dyn Embedder>,
     seed: u64,
 ) -> TrainedLabeler {
-    let vectors: Vec<Vec<f32>> = records
-        .iter()
-        .map(|r| embedder.embed(&r.tokens()))
-        .collect();
+    let docs: Vec<Vec<String>> = records.iter().map(|r| r.tokens()).collect();
+    let vectors = embedder.embed_batch(&docs);
     let names: Vec<&str> = records.iter().map(|r| r.cluster.as_str()).collect();
     let mut rng = Pcg32::with_stream(seed, 0x4073);
     TrainedLabeler::train(
@@ -124,9 +246,15 @@ mod tests {
         (0..60)
             .map(|i| {
                 let (cluster, sql) = if i % 2 == 0 {
-                    ("etl-cluster", format!("insert into lake_events select * from staging_{}", i % 3))
+                    (
+                        "etl-cluster",
+                        format!("insert into lake_events select * from staging_{}", i % 3),
+                    )
                 } else {
-                    ("bi-cluster", format!("select sum(x) from finance_cube group by dim{}", i % 4))
+                    (
+                        "bi-cluster",
+                        format!("select sum(x) from finance_cube group by dim{}", i % 4),
+                    )
                 };
                 QueryRecord {
                     sql,
@@ -146,8 +274,7 @@ mod tests {
     #[test]
     fn consistent_routing_raises_no_anomalies() {
         let recs = records();
-        let checker =
-            RoutingChecker::train(&recs, Arc::new(BagOfTokens::new(64, true)), 0.6, 1);
+        let checker = RoutingChecker::train(&recs, Arc::new(BagOfTokens::new(64, true)), 0.6, 1);
         let anomalies = checker.check(&recs);
         assert!(
             anomalies.len() <= recs.len() / 10,
@@ -183,6 +310,25 @@ mod tests {
             3,
         );
         assert!(strict.check(&recs).is_empty());
+    }
+
+    #[test]
+    fn routing_app_implements_workload_app() {
+        let corpus = TrainCorpus::from_records(records(), 2);
+        let app = RoutingApp::new(Arc::new(BagOfTokens::new(64, true))).with_min_confidence(0.6);
+        let model = app.fit(&corpus).unwrap();
+        // A BI query mislabeled as routed to the ETL cluster.
+        let mut misrouted = LabeledQuery::new("select sum(x) from finance_cube group by dim1");
+        misrouted.set("cluster", "etl-cluster");
+        let clean = LabeledQuery::new("insert into lake_events select * from staging_1");
+        let out = app.label_batch(&model, &[misrouted, clean]).unwrap();
+        assert_eq!(out[0].get("predicted_cluster"), Some("bi-cluster"));
+        assert_eq!(out[0].get("routing_anomaly"), Some("true"));
+        assert_eq!(out[1].get("predicted_cluster"), Some("etl-cluster"));
+        assert_eq!(out[1].get("routing_anomaly"), None);
+        let report = app.report(&model);
+        assert_eq!(report.app, "routing");
+        assert_eq!(report.trained_queries, 60);
     }
 
     #[test]

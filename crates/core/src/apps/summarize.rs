@@ -10,11 +10,15 @@
 //! and uniform random sampling (what a tuning advisor's native compressor
 //! does).
 
+use super::{AppOutput, AppReport, TrainCorpus, WorkloadApp};
+use crate::error::Result;
+use crate::labeled::LabeledQuery;
 use querc_cluster::{choose_k_elbow, kmeans, KMeansConfig};
 use querc_embed::Embedder;
 use querc_linalg::Pcg32;
 use querc_sql::features::feature_vector;
 use querc_sql::Dialect;
+use std::sync::Arc;
 
 /// How to compress the workload.
 pub enum SummaryMethod<'a> {
@@ -27,6 +31,7 @@ pub enum SummaryMethod<'a> {
 }
 
 /// Summarization knobs.
+#[derive(Debug, Clone)]
 pub struct SummaryConfig {
     /// Fix K instead of running the elbow scan.
     pub k: Option<usize>,
@@ -107,6 +112,123 @@ fn dedup_witnesses(mut w: Vec<usize>) -> Vec<usize> {
     w.sort_unstable();
     w.dedup();
     w
+}
+
+/// [`summarize_workload`]'s clustering behind the uniform
+/// [`WorkloadApp`] interface: `fit` clusters the training workload and
+/// keeps per-cluster witnesses; `label_batch` assigns each incoming
+/// query to its summary cluster.
+///
+/// Labels attached per query: `summary_cluster` (cluster id) and
+/// `summary_witness` (the cluster's representative query — what the
+/// tuning advisor would see in the compressed workload).
+pub struct SummarizeApp {
+    embedder: Arc<dyn Embedder>,
+    pub cfg: SummaryConfig,
+}
+
+impl SummarizeApp {
+    pub fn new(embedder: Arc<dyn Embedder>) -> SummarizeApp {
+        SummarizeApp {
+            embedder,
+            cfg: SummaryConfig::default(),
+        }
+    }
+
+    pub fn with_config(mut self, cfg: SummaryConfig) -> SummarizeApp {
+        self.cfg = cfg;
+        self
+    }
+}
+
+/// A fitted workload summary: cluster centroids plus their witnesses.
+pub struct SummaryModel {
+    centroids: Vec<Vec<f32>>,
+    /// Witness SQL per centroid (`witnesses[c]` represents cluster `c`).
+    witnesses: Vec<String>,
+    /// Indices of the witness queries in the training corpus.
+    pub witness_indices: Vec<usize>,
+    trained_queries: usize,
+}
+
+impl SummaryModel {
+    /// The compressed workload: one representative SQL per cluster.
+    pub fn witnesses(&self) -> &[String] {
+        &self.witnesses
+    }
+}
+
+impl WorkloadApp for SummarizeApp {
+    type Model = SummaryModel;
+
+    fn name(&self) -> &'static str {
+        "summarize"
+    }
+
+    fn task(&self) -> &'static str {
+        "compress the workload to cluster witnesses for index tuning"
+    }
+
+    fn fit(&self, corpus: &TrainCorpus) -> Result<SummaryModel> {
+        corpus.require_records("summarize.fit")?;
+        let docs = corpus.token_corpus();
+        let points = self.embedder.embed_batch(&docs);
+        let mut rng = Pcg32::with_stream(self.cfg.seed ^ corpus.seed, 0x5a12);
+        let k = effective_k(&self.cfg, &points, &mut rng);
+        let result = kmeans(
+            &points,
+            &KMeansConfig {
+                k,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        // Per-centroid witness: the training query nearest each centroid.
+        let per_cluster = result.witnesses(&points);
+        let witness_indices = dedup_witnesses(per_cluster.clone());
+        let witnesses = per_cluster
+            .iter()
+            .map(|&i| corpus.records[i].sql.clone())
+            .collect();
+        Ok(SummaryModel {
+            centroids: result.centroids,
+            witnesses,
+            witness_indices,
+            trained_queries: corpus.len(),
+        })
+    }
+
+    fn label_batch(&self, model: &SummaryModel, batch: &[LabeledQuery]) -> Result<Vec<AppOutput>> {
+        let docs: Vec<Vec<String>> = batch.iter().map(LabeledQuery::tokens).collect();
+        Ok(self
+            .embedder
+            .embed_batch(&docs)
+            .iter()
+            .map(|v| {
+                let cluster = querc_cluster::nearest_centroid(v, &model.centroids);
+                let mut out = AppOutput::new();
+                out.set("summary_cluster", cluster.to_string());
+                out.set("summary_witness", model.witnesses[cluster].clone());
+                out
+            })
+            .collect())
+    }
+
+    fn report(&self, model: &SummaryModel) -> AppReport {
+        AppReport {
+            app: self.name().to_string(),
+            task: self.task().to_string(),
+            trained_queries: model.trained_queries,
+            detail: vec![
+                ("embedder".to_string(), self.embedder.name().to_string()),
+                ("clusters".to_string(), model.centroids.len().to_string()),
+                (
+                    "witnesses".to_string(),
+                    model.witness_indices.len().to_string(),
+                ),
+            ],
+        }
+    }
 }
 
 #[cfg(test)]
@@ -199,6 +321,53 @@ mod tests {
             "elbow K out of range: {}",
             w.len()
         );
+    }
+
+    #[test]
+    fn summarize_app_implements_workload_app() {
+        use querc_workloads::QueryRecord;
+        let sqls = mixed_workload();
+        let records: Vec<QueryRecord> = sqls
+            .iter()
+            .enumerate()
+            .map(|(i, sql)| QueryRecord {
+                sql: sql.clone(),
+                user: "u".into(),
+                account: "a".into(),
+                cluster: "c".into(),
+                dialect: "generic".into(),
+                runtime_ms: 1.0,
+                mem_mb: 1.0,
+                error_code: None,
+                timestamp: i as u64,
+            })
+            .collect();
+        let corpus = TrainCorpus::from_records(records, 11);
+        let app =
+            SummarizeApp::new(Arc::new(BagOfTokens::new(128, true))).with_config(SummaryConfig {
+                k: Some(6),
+                ..Default::default()
+            });
+        let model = app.fit(&corpus).unwrap();
+        assert!(!model.witnesses().is_empty() && model.witnesses().len() <= 6);
+        let out = app
+            .label_batch(
+                &model,
+                &[
+                    LabeledQuery::new("insert into raw_events values (99, 'x')"),
+                    LabeledQuery::new("select * from users where user_id = 99"),
+                ],
+            )
+            .unwrap();
+        assert!(out[0].get("summary_cluster").is_some());
+        assert!(out[0].get("summary_witness").is_some());
+        // Distinct query families land in distinct summary clusters.
+        assert_ne!(
+            out[0].get("summary_cluster"),
+            out[1].get("summary_cluster"),
+            "insert and lookup should not share a cluster"
+        );
+        assert_eq!(app.report(&model).app, "summarize");
     }
 
     #[test]

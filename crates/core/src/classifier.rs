@@ -7,6 +7,7 @@
 //! downstream (audit verdicts, routing decisions) speaks in names, not
 //! class ids.
 
+use crate::error::{QuercError, Result};
 use querc_embed::Embedder;
 use querc_learn::Classifier;
 use querc_linalg::Pcg32;
@@ -63,29 +64,83 @@ impl LabelMap {
 pub struct TrainedLabeler {
     model: Box<dyn Classifier>,
     labels: LabelMap,
+    /// Input dimensionality seen at training time, guarded on predict.
+    dim: usize,
 }
 
 impl TrainedLabeler {
     /// Train `model` to map `vectors[i]` to `label_names[i]`.
+    ///
+    /// Thin wrapper over [`TrainedLabeler::try_train`] for callers that
+    /// construct their inputs; panics with the underlying
+    /// [`QuercError`] message on malformed data.
     pub fn train<C: Classifier + 'static>(
-        mut model: C,
+        model: C,
         vectors: &[Vec<f32>],
         label_names: &[&str],
         rng: &mut Pcg32,
     ) -> TrainedLabeler {
-        assert_eq!(vectors.len(), label_names.len());
+        Self::try_train(model, vectors, label_names, rng).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible training: reports empty corpora, row/label mismatches,
+    /// and ragged vector dimensions instead of panicking downstream.
+    pub fn try_train<C: Classifier + 'static>(
+        mut model: C,
+        vectors: &[Vec<f32>],
+        label_names: &[&str],
+        rng: &mut Pcg32,
+    ) -> Result<TrainedLabeler> {
+        if vectors.is_empty() {
+            return Err(QuercError::EmptyCorpus {
+                context: "labeler.train",
+            });
+        }
+        if vectors.len() != label_names.len() {
+            return Err(QuercError::LabelMismatch {
+                vectors: vectors.len(),
+                labels: label_names.len(),
+            });
+        }
+        let dim = vectors[0].len();
+        if let Some(bad) = vectors.iter().find(|v| v.len() != dim) {
+            return Err(QuercError::DimensionMismatch {
+                context: "labeler.train",
+                expected: dim,
+                got: bad.len(),
+            });
+        }
         let (labels, ids) = LabelMap::from_labels(label_names.iter().copied());
         model.fit(vectors, &ids, labels.len().max(1), rng);
-        TrainedLabeler {
+        Ok(TrainedLabeler {
             model: Box::new(model),
             labels,
-        }
+            dim,
+        })
     }
 
     /// Predict the label name for a vector.
     pub fn predict(&self, v: &[f32]) -> &str {
+        self.try_predict(v).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible prediction: rejects vectors of the wrong dimensionality
+    /// (the former silent-corruption / index-panic path).
+    pub fn try_predict(&self, v: &[f32]) -> Result<&str> {
+        if v.len() != self.dim {
+            return Err(QuercError::DimensionMismatch {
+                context: "labeler.predict",
+                expected: self.dim,
+                got: v.len(),
+            });
+        }
         let id = self.model.predict(v);
-        self.labels.name(id).unwrap_or("<unknown>")
+        Ok(self.labels.name(id).unwrap_or("<unknown>"))
+    }
+
+    /// Input dimensionality the labeler was trained on.
+    pub fn dim(&self) -> usize {
+        self.dim
     }
 
     /// The label vocabulary.
@@ -126,6 +181,18 @@ impl QueryClassifier {
     pub fn label_tokens(&self, tokens: &[String]) -> String {
         let v = self.embedder.embed(tokens);
         self.labeler.predict(&v).to_string()
+    }
+
+    /// Label a chunk of pre-tokenized queries through the embedder's
+    /// batched path — the Qworker hot loop. Output `i` is the label of
+    /// `docs[i]`, identical to what [`QueryClassifier::label_tokens`]
+    /// would return.
+    pub fn label_tokens_batch(&self, docs: &[Vec<String>]) -> Vec<String> {
+        self.embedder
+            .embed_batch(docs)
+            .iter()
+            .map(|v| self.labeler.predict(v).to_string())
+            .collect()
     }
 
     /// The embedder half (shared across classifiers).
@@ -194,5 +261,79 @@ mod tests {
         let sql = "select col1 from sales_orders where x = 5";
         let tokens = querc_embed::sql_tokens(sql);
         assert_eq!(clf.label_sql(sql), clf.label_tokens(&tokens));
+    }
+
+    #[test]
+    fn label_tokens_batch_matches_single_path() {
+        let clf = train_demo_classifier();
+        let sqls = [
+            "select col1 from sales_orders where x = 5",
+            "insert into app_logs values (9, 'event')",
+            "select col4 from sales_orders where x = 77",
+        ];
+        let docs: Vec<Vec<String>> = sqls.iter().map(|s| querc_embed::sql_tokens(s)).collect();
+        let batch = clf.label_tokens_batch(&docs);
+        for (doc, label) in docs.iter().zip(&batch) {
+            assert_eq!(*label, clf.label_tokens(doc));
+        }
+    }
+
+    #[test]
+    fn try_train_reports_malformed_inputs() {
+        use crate::error::QuercError;
+        use querc_learn::{ForestConfig, RandomForest};
+        let mut rng = Pcg32::new(1);
+        let empty = TrainedLabeler::try_train(
+            RandomForest::new(ForestConfig::extra_trees(2)),
+            &[],
+            &[],
+            &mut rng,
+        );
+        assert!(matches!(empty, Err(QuercError::EmptyCorpus { .. })));
+        let mismatched = TrainedLabeler::try_train(
+            RandomForest::new(ForestConfig::extra_trees(2)),
+            &[vec![0.0; 4]],
+            &["a", "b"],
+            &mut rng,
+        );
+        assert!(matches!(mismatched, Err(QuercError::LabelMismatch { .. })));
+        let ragged = TrainedLabeler::try_train(
+            RandomForest::new(ForestConfig::extra_trees(2)),
+            &[vec![0.0; 4], vec![0.0; 3]],
+            &["a", "b"],
+            &mut rng,
+        );
+        assert!(matches!(
+            ragged,
+            Err(QuercError::DimensionMismatch {
+                expected: 4,
+                got: 3,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn try_predict_rejects_wrong_dimension() {
+        use crate::error::QuercError;
+        use querc_learn::{ForestConfig, RandomForest};
+        let mut rng = Pcg32::new(2);
+        let labeler = TrainedLabeler::try_train(
+            RandomForest::new(ForestConfig::extra_trees(2)),
+            &[vec![0.0; 4], vec![1.0; 4]],
+            &["a", "b"],
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(labeler.dim(), 4);
+        assert!(labeler.try_predict(&[0.0; 4]).is_ok());
+        assert!(matches!(
+            labeler.try_predict(&[0.0; 7]),
+            Err(QuercError::DimensionMismatch {
+                expected: 4,
+                got: 7,
+                ..
+            })
+        ));
     }
 }

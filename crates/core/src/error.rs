@@ -1,0 +1,120 @@
+//! The workspace-wide error type for the labeling pipeline.
+//!
+//! Before this module existed, bad inputs died as `assert!`s deep inside
+//! training code (dimension mismatches, empty corpora) or as index
+//! panics inside `querc-learn`. Everything reachable from the
+//! [`crate::apps::WorkloadApp`] / [`crate::service::WorkloadManager`]
+//! surface now reports a [`QuercError`] instead; the legacy bespoke
+//! entry points keep their panicking signatures but route through the
+//! same checks, so they fail with a named error message rather than an
+//! index out of bounds.
+//!
+//! Hand-rolled in `thiserror` style — the build environment is offline,
+//! so no derive dependency.
+
+use std::fmt;
+
+/// Convenience alias used across `querc`.
+pub type Result<T> = std::result::Result<T, QuercError>;
+
+/// Every failure the labeling pipeline can report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QuercError {
+    /// A training entry point received zero usable queries.
+    EmptyCorpus {
+        /// Which component rejected the corpus (e.g. `"audit.fit"`).
+        context: &'static str,
+    },
+    /// A vector's dimensionality disagrees with the trained model.
+    DimensionMismatch {
+        context: &'static str,
+        expected: usize,
+        got: usize,
+    },
+    /// Training rows and label rows have different lengths.
+    LabelMismatch { vectors: usize, labels: usize },
+    /// No logged query carries the requested label.
+    MissingLabel { label: String },
+    /// `submit`/`report` named an application the manager doesn't know.
+    UnknownApp { app: String },
+    /// A registry lookup missed — the classifier was never deployed (or
+    /// was undeployed).
+    ModelNotDeployed { name: String },
+    /// A serving channel hung up while the manager still needed it.
+    ChannelClosed { context: &'static str },
+    /// An app's `label_batch` was handed a model fitted by a different
+    /// app type (only reachable through the type-erased serving path).
+    ModelTypeMismatch { app: String },
+    /// Catch-all for app-specific training failures.
+    Training {
+        context: &'static str,
+        message: String,
+    },
+}
+
+impl fmt::Display for QuercError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuercError::EmptyCorpus { context } => {
+                write!(f, "{context}: training corpus is empty")
+            }
+            QuercError::DimensionMismatch {
+                context,
+                expected,
+                got,
+            } => write!(
+                f,
+                "{context}: dimension mismatch (expected {expected}, got {got})"
+            ),
+            QuercError::LabelMismatch { vectors, labels } => write!(
+                f,
+                "training rows and labels disagree ({vectors} vectors, {labels} labels)"
+            ),
+            QuercError::MissingLabel { label } => {
+                write!(f, "no logged query carries label `{label}`")
+            }
+            QuercError::UnknownApp { app } => {
+                write!(f, "no application registered under `{app}`")
+            }
+            QuercError::ModelNotDeployed { name } => {
+                write!(f, "no classifier deployed under `{name}`")
+            }
+            QuercError::ChannelClosed { context } => {
+                write!(f, "{context}: serving channel closed")
+            }
+            QuercError::ModelTypeMismatch { app } => {
+                write!(f, "app `{app}` was handed a model of the wrong type")
+            }
+            QuercError::Training { context, message } => {
+                write!(f, "{context}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QuercError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = QuercError::DimensionMismatch {
+            context: "labeler.predict",
+            expected: 64,
+            got: 16,
+        };
+        let s = e.to_string();
+        assert!(s.contains("64") && s.contains("16") && s.contains("labeler.predict"));
+        assert!(QuercError::UnknownApp { app: "x".into() }
+            .to_string()
+            .contains("`x`"));
+    }
+
+    #[test]
+    fn error_trait_object_works() {
+        let e: Box<dyn std::error::Error> = Box::new(QuercError::EmptyCorpus { context: "test" });
+        assert!(e.to_string().contains("empty"));
+    }
+}

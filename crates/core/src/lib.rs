@@ -15,10 +15,17 @@
 //! * the [`training::TrainingModule`] accumulates labeled queries,
 //!   periodically (re)trains embedders and labelers as batch jobs, and
 //!   deploys them through the versioned [`registry::ModelRegistry`];
-//! * offline tasks and applications live under [`apps`]: workload
-//!   summarization for index recommendation (§5.1), security auditing
-//!   (§5.2), query-routing policy checks, error prediction, resource
-//!   allocation hints, and next-query recommendation (§4).
+//! * applications live under [`apps`], every one behind the uniform
+//!   [`apps::WorkloadApp`] trait: workload summarization for index
+//!   recommendation (§5.1), security auditing (§5.2), query-routing
+//!   policy checks, error prediction, resource allocation hints, and
+//!   next-query recommendation (§4);
+//! * the [`service::WorkloadManager`] is the serving façade: it owns the
+//!   registry, fits and registers apps by name, spawns replicated
+//!   Qworkers per app, and batches the hot path end to end
+//!   (`submit`/`submit_batch`/`drain`, per-app throughput counters);
+//! * every fallible surface reports [`error::QuercError`] instead of
+//!   panicking.
 //!
 //! The only message type between components is a query plus labels —
 //! [`labeled::LabeledQuery`], the `(Q, c1, c2, …)` tuple of the paper's
@@ -26,13 +33,18 @@
 
 pub mod apps;
 pub mod classifier;
+pub mod error;
 pub mod labeled;
 pub mod qworker;
 pub mod registry;
+pub mod service;
 pub mod training;
 
+pub use apps::{AppOutput, AppReport, TrainCorpus, WorkloadApp};
 pub use classifier::{LabelMap, QueryClassifier, TrainedLabeler};
+pub use error::{QuercError, Result};
 pub use labeled::LabeledQuery;
 pub use qworker::{Qworker, QworkerMode};
 pub use registry::ModelRegistry;
+pub use service::{AppThroughput, FittedApp, ServiceDrain, WorkloadManager, WorkloadManagerConfig};
 pub use training::{EmbedderKind, TrainingConfig, TrainingModule};

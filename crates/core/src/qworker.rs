@@ -1,18 +1,32 @@
 //! Qworkers — the per-application serving processes of Fig 1.
 //!
-//! A Qworker consumes a stream of queries, runs its classifiers to attach
-//! labels, and forwards the labeled query onward: to the database sink,
-//! to the central training module, or both. In *forked* mode (paper §2:
-//! "Querc may not be in the critical path") queries are only mirrored to
-//! training and never forwarded to the database.
+//! A Qworker consumes a stream of queries, runs its classifiers (and,
+//! when serving for a [`crate::service::WorkloadManager`], its
+//! application's batched labeler) to attach labels, and forwards the
+//! labeled query onward: to the database sink, to the central training
+//! module, or both. In *forked* mode (paper §2: "Querc may not be in
+//! the critical path") queries are only mirrored to training and never
+//! forwarded to the database.
 //!
-//! Qworkers hold no heavyweight state — classifiers are `Arc`s resolved
-//! from the registry — so they can be replicated and load-balanced.
+//! The run loop drains its channel in **chunks**: one blocking `recv`
+//! followed by non-blocking `try_recv` up to the batch size, so a busy
+//! stream is labeled through [`querc_embed::Embedder::embed_batch`]
+//! (amortizing embedder setup) while a trickle still flows query by
+//! query with no added latency.
+//!
+//! Qworkers hold no heavyweight state — classifiers and fitted apps are
+//! `Arc`s — so they can be replicated and load-balanced over one MPMC
+//! stream.
 
 use crate::classifier::QueryClassifier;
 use crate::labeled::LabeledQuery;
+use crate::service::{AppCounters, FittedApp};
 use crossbeam::channel::{Receiver, Sender};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
+
+/// Default maximum chunk a worker drains per iteration.
+pub const DEFAULT_BATCH: usize = 32;
 
 /// Where the Qworker forwards labeled queries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -23,12 +37,16 @@ pub enum QworkerMode {
     Forked,
 }
 
-/// A per-application worker applying (embedder, labeler) classifiers.
+/// A per-application worker applying (embedder, labeler) classifiers
+/// and, optionally, one fitted [`crate::apps::WorkloadApp`].
 pub struct Qworker {
     /// Application name (e.g. `app-X`), attached as a label.
     pub application: String,
     classifiers: Vec<Arc<QueryClassifier>>,
+    app: Option<Arc<FittedApp>>,
     mode: QworkerMode,
+    batch: usize,
+    counters: Option<Arc<AppCounters>>,
 }
 
 impl Qworker {
@@ -40,20 +58,72 @@ impl Qworker {
         Qworker {
             application: application.into(),
             classifiers,
+            app: None,
             mode,
+            batch: DEFAULT_BATCH,
+            counters: None,
         }
     }
 
-    /// Label one query with every classifier.
-    pub fn process(&self, mut lq: LabeledQuery) -> LabeledQuery {
-        lq.set("application", &self.application);
-        // Tokenize once; every classifier shares the normalized stream.
-        let tokens = lq.tokens();
-        for clf in &self.classifiers {
-            let value = clf.label_tokens(&tokens);
-            lq.set(format!("predicted_{}", clf.label_name), value);
+    /// Attach a fitted application whose `label_batch` runs on every
+    /// chunk (the manager's serving path).
+    pub fn with_app(mut self, app: Arc<FittedApp>) -> Self {
+        self.app = Some(app);
+        self
+    }
+
+    /// Maximum chunk size drained per loop iteration (≥ 1).
+    pub fn with_batch(mut self, batch: usize) -> Self {
+        self.batch = batch.max(1);
+        self
+    }
+
+    /// Live throughput counters shared with the manager.
+    pub fn with_counter(mut self, counters: Arc<AppCounters>) -> Self {
+        self.counters = Some(counters);
+        self
+    }
+
+    /// Label one query with every classifier (and the app, if any).
+    pub fn process(&self, lq: LabeledQuery) -> LabeledQuery {
+        self.process_chunk(vec![lq]).pop().expect("one in, one out")
+    }
+
+    /// Label a chunk: tokenize once per query, run every classifier's
+    /// batched path, then the fitted app's `label_batch`. Output `i`
+    /// corresponds to input `i`.
+    pub fn process_chunk(&self, mut chunk: Vec<LabeledQuery>) -> Vec<LabeledQuery> {
+        if chunk.is_empty() {
+            return chunk;
         }
-        lq
+        for lq in &mut chunk {
+            lq.set("application", &self.application);
+        }
+        // Tokenize once; classifiers and the app share the streams.
+        let tokens: Vec<Vec<String>> = chunk.iter().map(LabeledQuery::tokens).collect();
+        for clf in &self.classifiers {
+            let values = clf.label_tokens_batch(&tokens);
+            for (lq, value) in chunk.iter_mut().zip(values) {
+                lq.set(format!("predicted_{}", clf.label_name), value);
+            }
+        }
+        if let Some(app) = &self.app {
+            match app.label_batch(&chunk) {
+                Ok(outputs) => {
+                    for (lq, out) in chunk.iter_mut().zip(outputs) {
+                        out.apply_to(lq);
+                    }
+                }
+                Err(e) => {
+                    // Serving must not die on one bad chunk: surface the
+                    // failure as a label and keep the stream moving.
+                    for lq in &mut chunk {
+                        lq.set("app_error", e.to_string());
+                    }
+                }
+            }
+        }
+        chunk
     }
 
     /// Drain a stream until it closes, forwarding per the mode. Returns
@@ -67,15 +137,29 @@ impl Qworker {
         trainer: Sender<LabeledQuery>,
     ) -> usize {
         let mut processed = 0usize;
-        for lq in input.iter() {
-            let labeled = self.process(lq);
-            if self.mode == QworkerMode::Inline {
-                // The sink may have hung up (tests, shutdown); labeling
-                // continues because the training mirror matters more.
-                let _ = database.send(labeled.clone());
+        // Block for the first query of each chunk, then greedily fill it.
+        while let Ok(first) = input.recv() {
+            let mut chunk = Vec::with_capacity(self.batch);
+            chunk.push(first);
+            while chunk.len() < self.batch {
+                match input.try_recv() {
+                    Ok(lq) => chunk.push(lq),
+                    Err(_) => break,
+                }
             }
-            let _ = trainer.send(labeled);
-            processed += 1;
+            let n = chunk.len();
+            for labeled in self.process_chunk(chunk) {
+                if self.mode == QworkerMode::Inline {
+                    // The sink may have hung up (tests, shutdown); labeling
+                    // continues because the training mirror matters more.
+                    let _ = database.send(labeled.clone());
+                }
+                let _ = trainer.send(labeled);
+            }
+            processed += n;
+            if let Some(counters) = &self.counters {
+                counters.processed.fetch_add(n as u64, Ordering::Relaxed);
+            }
         }
         processed
     }
@@ -123,6 +207,22 @@ mod tests {
     }
 
     #[test]
+    fn process_chunk_matches_query_at_a_time() {
+        let worker = Qworker::new("app-X", vec![team_classifier()], QworkerMode::Inline);
+        let sqls = [
+            "select a4 from warehouse_facts",
+            "insert into event_log values (9)",
+            "select a8 from warehouse_facts",
+        ];
+        let chunk: Vec<LabeledQuery> = sqls.iter().map(|s| LabeledQuery::new(*s)).collect();
+        let batched = worker.process_chunk(chunk);
+        for (sql, out) in sqls.iter().zip(&batched) {
+            let single = worker.process(LabeledQuery::new(*sql));
+            assert_eq!(*out, single, "chunked and single paths must agree");
+        }
+    }
+
+    #[test]
     fn inline_mode_forwards_to_database_and_trainer() {
         let (in_tx, in_rx) = unbounded();
         let (db_tx, db_rx) = unbounded();
@@ -130,7 +230,9 @@ mod tests {
         let worker = Qworker::new("app-X", vec![team_classifier()], QworkerMode::Inline);
         for i in 0..5 {
             in_tx
-                .send(LabeledQuery::new(format!("insert into event_log values ({i})")))
+                .send(LabeledQuery::new(format!(
+                    "insert into event_log values ({i})"
+                )))
                 .unwrap();
         }
         drop(in_tx);
@@ -165,8 +267,7 @@ mod tests {
             let tr = tr_tx.clone();
             let clf = team_classifier();
             handles.push(std::thread::spawn(move || {
-                let worker =
-                    Qworker::new(format!("app-{w}"), vec![clf], QworkerMode::Forked);
+                let worker = Qworker::new(format!("app-{w}"), vec![clf], QworkerMode::Forked);
                 worker.run(rx, db, tr)
             }));
         }
@@ -174,13 +275,35 @@ mod tests {
         drop(tr_tx);
         for i in 0..60 {
             in_tx
-                .send(LabeledQuery::new(format!("select {i} from warehouse_facts")))
+                .send(LabeledQuery::new(format!(
+                    "select {i} from warehouse_facts"
+                )))
                 .unwrap();
         }
         drop(in_tx);
         let total: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
         assert_eq!(total, 60, "every query processed exactly once");
         assert_eq!(tr_rx.iter().count(), 60);
+    }
+
+    #[test]
+    fn tiny_batch_size_still_processes_everything() {
+        let (in_tx, in_rx) = unbounded();
+        let (db_tx, db_rx) = unbounded();
+        let (tr_tx, tr_rx) = unbounded();
+        let worker =
+            Qworker::new("app-X", vec![team_classifier()], QworkerMode::Inline).with_batch(1);
+        for i in 0..7 {
+            in_tx
+                .send(LabeledQuery::new(format!(
+                    "select a{i} from warehouse_facts"
+                )))
+                .unwrap();
+        }
+        drop(in_tx);
+        assert_eq!(worker.run(in_rx, db_tx, tr_tx), 7);
+        assert_eq!(db_rx.iter().count(), 7);
+        assert_eq!(tr_rx.iter().count(), 7);
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! `parking_lot` RwLock, so serving threads never block on retrains.
 
 use crate::classifier::QueryClassifier;
+use crate::error::{QuercError, Result};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -32,6 +33,15 @@ impl ModelRegistry {
     /// Resolve the current classifier for `name`.
     pub fn get(&self, name: &str) -> Option<Arc<QueryClassifier>> {
         self.inner.read().get(name).map(|(_, c)| Arc::clone(c))
+    }
+
+    /// Like [`ModelRegistry::get`] but reports the miss as a
+    /// [`QuercError::ModelNotDeployed`] — for serving paths that treat a
+    /// missing deployment as an error rather than an option.
+    pub fn resolve(&self, name: &str) -> Result<Arc<QueryClassifier>> {
+        self.get(name).ok_or_else(|| QuercError::ModelNotDeployed {
+            name: name.to_string(),
+        })
     }
 
     /// Current version of `name`, if deployed.
@@ -92,6 +102,18 @@ mod tests {
         // Old Arc still usable (serving threads mid-batch), new one served.
         assert_eq!(before.label_sql("select 1"), "a");
         assert_eq!(after.label_sql("select 1"), "b");
+    }
+
+    #[test]
+    fn resolve_reports_missing_deployments() {
+        use crate::error::QuercError;
+        let reg = ModelRegistry::new();
+        assert!(matches!(
+            reg.resolve("ghost"),
+            Err(QuercError::ModelNotDeployed { .. })
+        ));
+        reg.deploy("user", dummy_classifier("a"));
+        assert!(reg.resolve("user").is_ok());
     }
 
     #[test]

@@ -1,0 +1,547 @@
+//! The serving façade — paper Fig 1 as an API.
+//!
+//! A [`WorkloadManager`] owns the versioned [`ModelRegistry`], registers
+//! applications by name, and spawns `replicas` [`Qworker`] threads per
+//! app over crossbeam MPMC channels. Producers call
+//! [`WorkloadManager::submit`] / [`WorkloadManager::submit_batch`];
+//! workers drain their stream in chunks and label through
+//! [`querc_embed::Embedder::embed_batch`], so the hot path is batched
+//! end to end. [`WorkloadManager::drain`] closes the streams, joins the
+//! workers, and hands back every labeled query (plus the training
+//! mirror) with per-app throughput counters.
+//!
+//! ```
+//! use querc::apps::{ResourcesApp, TrainCorpus};
+//! use querc::service::{WorkloadManager, WorkloadManagerConfig};
+//! use querc::LabeledQuery;
+//! use querc_workloads::{SnowCloud, SnowCloudConfig};
+//! use std::sync::Arc;
+//!
+//! let wl = SnowCloud::generate(&SnowCloudConfig::pretrain(2, 30, 7));
+//! let corpus = TrainCorpus::from_records(wl.records.clone(), 7);
+//! let embedder: Arc<dyn querc_embed::Embedder> =
+//!     Arc::new(querc_embed::BagOfTokens::new(64, true));
+//!
+//! let mut mgr = WorkloadManager::new(WorkloadManagerConfig::default());
+//! mgr.register(ResourcesApp::new(embedder), &corpus).unwrap();
+//! mgr.submit("resources", LabeledQuery::new("select 1")).unwrap();
+//! let drained = mgr.drain();
+//! assert_eq!(drained.outputs["resources"].len(), 1);
+//! ```
+
+use crate::apps::{AppReport, DynWorkloadApp, TrainCorpus, WorkloadApp};
+use crate::error::{QuercError, Result};
+use crate::labeled::LabeledQuery;
+use crate::qworker::{Qworker, QworkerMode};
+use crate::registry::ModelRegistry;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::any::Any;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A type-erased application plus the model it was fitted to — the unit
+/// replicated Qworkers share behind an `Arc`.
+pub struct FittedApp {
+    app: Box<dyn DynWorkloadApp>,
+    model: Box<dyn Any + Send + Sync>,
+}
+
+impl FittedApp {
+    /// Fit `app` against `corpus` and package the result for serving.
+    pub fn fit<A: WorkloadApp + 'static>(app: A, corpus: &TrainCorpus) -> Result<FittedApp> {
+        let model = app.fit_dyn(corpus)?;
+        Ok(FittedApp {
+            app: Box::new(app),
+            model,
+        })
+    }
+
+    /// Registration name of the underlying app.
+    pub fn name(&self) -> &'static str {
+        self.app.name()
+    }
+
+    /// Label a batch through the app.
+    pub fn label_batch(&self, batch: &[LabeledQuery]) -> Result<Vec<crate::apps::AppOutput>> {
+        self.app.label_batch_dyn(self.model.as_ref(), batch)
+    }
+
+    /// The fitted model's self-description.
+    pub fn report(&self) -> Result<AppReport> {
+        self.app.report_dyn(self.model.as_ref())
+    }
+}
+
+/// Serving knobs.
+#[derive(Debug, Clone)]
+pub struct WorkloadManagerConfig {
+    /// Qworker threads per registered app.
+    pub replicas: usize,
+    /// Maximum queries a worker drains per chunk (embed_batch size).
+    pub batch: usize,
+    /// Inline (forward to database sink) or Forked (training mirror
+    /// only); the manager's output collection uses the database sink, so
+    /// Inline is the default.
+    pub mode: QworkerMode,
+    /// Registry classifier names every Qworker additionally attaches
+    /// (as `predicted_<label>`), resolved at registration time.
+    pub attach_labels: Vec<String>,
+}
+
+impl Default for WorkloadManagerConfig {
+    fn default() -> Self {
+        WorkloadManagerConfig {
+            replicas: 2,
+            batch: 32,
+            mode: QworkerMode::Inline,
+            attach_labels: Vec::new(),
+        }
+    }
+}
+
+/// Per-app throughput counters (live — readable while serving).
+#[derive(Debug, Default)]
+pub struct AppCounters {
+    pub submitted: AtomicU64,
+    pub processed: AtomicU64,
+}
+
+/// Snapshot of one app's counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AppThroughput {
+    pub app: String,
+    pub submitted: u64,
+    pub processed: u64,
+}
+
+struct AppEntry {
+    fitted: Arc<FittedApp>,
+    input: Sender<LabeledQuery>,
+    output_rx: Receiver<LabeledQuery>,
+    trainer_rx: Receiver<LabeledQuery>,
+    workers: Vec<JoinHandle<usize>>,
+    counters: Arc<AppCounters>,
+}
+
+/// Everything [`WorkloadManager::drain`] returns.
+#[derive(Debug)]
+pub struct ServiceDrain {
+    /// Fully-labeled queries per app, in completion order.
+    pub outputs: BTreeMap<String, Vec<LabeledQuery>>,
+    /// The training mirror: every labeled query, ready for
+    /// [`crate::training::TrainingModule::ingest`].
+    pub training_log: Vec<LabeledQuery>,
+    /// Final per-app counters.
+    pub throughput: Vec<AppThroughput>,
+}
+
+/// Labeled queries and counters recovered from a replaced app's
+/// generation, merged back in at [`WorkloadManager::drain`].
+#[derive(Default)]
+struct Carryover {
+    outputs: Vec<LabeledQuery>,
+    training: Vec<LabeledQuery>,
+    submitted: u64,
+    processed: u64,
+}
+
+/// The batched, replicated serving façade over all registered apps.
+pub struct WorkloadManager {
+    registry: Arc<ModelRegistry>,
+    apps: BTreeMap<String, AppEntry>,
+    carryover: BTreeMap<String, Carryover>,
+    cfg: WorkloadManagerConfig,
+}
+
+impl WorkloadManager {
+    pub fn new(cfg: WorkloadManagerConfig) -> WorkloadManager {
+        WorkloadManager {
+            registry: Arc::new(ModelRegistry::new()),
+            apps: BTreeMap::new(),
+            carryover: BTreeMap::new(),
+            cfg,
+        }
+    }
+
+    /// The registry this manager deploys generic classifiers through.
+    pub fn registry(&self) -> &Arc<ModelRegistry> {
+        &self.registry
+    }
+
+    /// Fit `app` on `corpus`, then spawn its replicated Qworkers. Returns
+    /// the fitted model's report.
+    ///
+    /// Registering a name twice replaces the previous app: its stream is
+    /// closed, its workers drain and join, and everything they already
+    /// labeled (outputs, training mirror, counters) is carried over into
+    /// the eventual [`WorkloadManager::drain`] — queries accepted by
+    /// `submit` are never silently dropped by a redeploy.
+    pub fn register<A: WorkloadApp + 'static>(
+        &mut self,
+        app: A,
+        corpus: &TrainCorpus,
+    ) -> Result<AppReport> {
+        let fitted = Arc::new(FittedApp::fit(app, corpus)?);
+        let name = fitted.name().to_string();
+        let report = fitted.report()?;
+
+        let classifiers = self
+            .cfg
+            .attach_labels
+            .iter()
+            .map(|label| self.registry.resolve(label))
+            .collect::<Result<Vec<_>>>()?;
+
+        // Retire the previous generation (if any) BEFORE spawning the new
+        // one, preserving its in-flight work.
+        if let Some(old) = self.apps.remove(&name) {
+            let retired = Self::shut_down(old);
+            let slot = self.carryover.entry(name.clone()).or_default();
+            slot.outputs.extend(retired.outputs);
+            slot.training.extend(retired.training);
+            slot.submitted += retired.submitted;
+            slot.processed += retired.processed;
+        }
+
+        let (in_tx, in_rx) = unbounded();
+        let (out_tx, out_rx) = unbounded();
+        let (tr_tx, tr_rx) = unbounded();
+        let counters = Arc::new(AppCounters::default());
+        let workers = (0..self.cfg.replicas.max(1))
+            .map(|_| {
+                let worker = Qworker::new(name.clone(), classifiers.clone(), self.cfg.mode)
+                    .with_app(Arc::clone(&fitted))
+                    .with_batch(self.cfg.batch)
+                    .with_counter(Arc::clone(&counters));
+                let rx = in_rx.clone();
+                let db = out_tx.clone();
+                let tr = tr_tx.clone();
+                std::thread::spawn(move || worker.run(rx, db, tr))
+            })
+            .collect();
+
+        self.apps.insert(
+            name,
+            AppEntry {
+                fitted,
+                input: in_tx,
+                output_rx: out_rx,
+                trainer_rx: tr_rx,
+                workers,
+                counters,
+            },
+        );
+        Ok(report)
+    }
+
+    /// Close an entry's stream, join its workers, and collect everything
+    /// they produced.
+    fn shut_down(entry: AppEntry) -> Carryover {
+        drop(entry.input);
+        for w in entry.workers {
+            let _ = w.join();
+        }
+        Carryover {
+            outputs: entry.output_rx.iter().collect(),
+            training: entry.trainer_rx.iter().collect(),
+            submitted: entry.counters.submitted.load(Ordering::Relaxed),
+            processed: entry.counters.processed.load(Ordering::Relaxed),
+        }
+    }
+
+    fn entry(&self, app: &str) -> Result<&AppEntry> {
+        self.apps.get(app).ok_or_else(|| QuercError::UnknownApp {
+            app: app.to_string(),
+        })
+    }
+
+    /// Names of all registered apps, sorted.
+    pub fn app_names(&self) -> Vec<String> {
+        self.apps.keys().cloned().collect()
+    }
+
+    /// Enqueue one query for `app`.
+    pub fn submit(&self, app: &str, query: LabeledQuery) -> Result<()> {
+        let entry = self.entry(app)?;
+        entry
+            .input
+            .send(query)
+            .map_err(|_| QuercError::ChannelClosed {
+                context: "manager.submit",
+            })?;
+        entry.counters.submitted.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Enqueue a batch for `app`; returns how many were accepted.
+    pub fn submit_batch(
+        &self,
+        app: &str,
+        queries: impl IntoIterator<Item = LabeledQuery>,
+    ) -> Result<usize> {
+        let entry = self.entry(app)?;
+        let mut n = 0usize;
+        for q in queries {
+            entry.input.send(q).map_err(|_| QuercError::ChannelClosed {
+                context: "manager.submit_batch",
+            })?;
+            n += 1;
+        }
+        entry
+            .counters
+            .submitted
+            .fetch_add(n as u64, Ordering::Relaxed);
+        Ok(n)
+    }
+
+    /// Live per-app counters (including retired generations after a
+    /// re-registration), sorted by app name.
+    pub fn throughput(&self) -> Vec<AppThroughput> {
+        self.apps
+            .iter()
+            .map(|(name, e)| {
+                let (prev_sub, prev_proc) = self
+                    .carryover
+                    .get(name)
+                    .map(|c| (c.submitted, c.processed))
+                    .unwrap_or((0, 0));
+                AppThroughput {
+                    app: name.clone(),
+                    submitted: prev_sub + e.counters.submitted.load(Ordering::Relaxed),
+                    processed: prev_proc + e.counters.processed.load(Ordering::Relaxed),
+                }
+            })
+            .collect()
+    }
+
+    /// One app's fitted-model report.
+    pub fn report(&self, app: &str) -> Result<AppReport> {
+        self.entry(app)?.fitted.report()
+    }
+
+    /// Reports for every registered app, sorted by app name.
+    pub fn reports(&self) -> Result<Vec<AppReport>> {
+        self.apps.values().map(|e| e.fitted.report()).collect()
+    }
+
+    /// Close every input stream, join all workers, and collect the
+    /// labeled outputs, the training mirror, and final counters —
+    /// including work done by generations retired via re-registration.
+    pub fn drain(self) -> ServiceDrain {
+        let WorkloadManager {
+            apps,
+            mut carryover,
+            ..
+        } = self;
+        let mut outputs = BTreeMap::new();
+        let mut training_log = Vec::new();
+        let mut throughput = Vec::new();
+        for (name, entry) in apps {
+            let mut collected = Self::shut_down(entry);
+            if let Some(prev) = carryover.remove(&name) {
+                let mut merged = prev.outputs;
+                merged.extend(collected.outputs);
+                collected.outputs = merged;
+                training_log.extend(prev.training);
+                collected.submitted += prev.submitted;
+                collected.processed += prev.processed;
+            }
+            training_log.extend(collected.training);
+            outputs.insert(name.clone(), collected.outputs);
+            throughput.push(AppThroughput {
+                app: name,
+                submitted: collected.submitted,
+                processed: collected.processed,
+            });
+        }
+        ServiceDrain {
+            outputs,
+            training_log,
+            throughput,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::{AuditApp, ResourcesApp};
+    use querc_embed::{BagOfTokens, Embedder};
+    use querc_workloads::QueryRecord;
+
+    fn embedder() -> Arc<dyn Embedder> {
+        Arc::new(BagOfTokens::new(64, true))
+    }
+
+    fn corpus() -> TrainCorpus {
+        let records: Vec<QueryRecord> = (0..40)
+            .map(|i| {
+                let (user, sql, ms) = if i % 2 == 0 {
+                    (
+                        "acct/alice",
+                        format!("select revenue from finance_reports where q = {i}"),
+                        5.0,
+                    )
+                } else {
+                    (
+                        "acct/bob",
+                        format!(
+                            "select a.g, sum(b.v) from big_facts a join big_facts b on a.k = b.k group by a.g -- {i}"
+                        ),
+                        2000.0,
+                    )
+                };
+                QueryRecord {
+                    sql,
+                    user: user.into(),
+                    account: "acct".into(),
+                    cluster: "c0".into(),
+                    dialect: "generic".into(),
+                    runtime_ms: ms,
+                    mem_mb: 1.0,
+                    error_code: None,
+                    timestamp: i,
+                }
+            })
+            .collect();
+        TrainCorpus::from_records(records, 0x5eed)
+    }
+
+    #[test]
+    fn register_submit_drain_roundtrip() {
+        let corpus = corpus();
+        let mut mgr = WorkloadManager::new(WorkloadManagerConfig::default());
+        mgr.register(AuditApp::new(embedder()).with_trees(15), &corpus)
+            .unwrap();
+        mgr.register(ResourcesApp::new(embedder()), &corpus)
+            .unwrap();
+        assert_eq!(mgr.app_names(), vec!["audit", "resources"]);
+
+        for i in 0..10 {
+            mgr.submit(
+                "audit",
+                LabeledQuery::new(format!("select revenue from finance_reports where q = {i}")),
+            )
+            .unwrap();
+        }
+        let accepted = mgr
+            .submit_batch(
+                "resources",
+                (0..6).map(|i| LabeledQuery::new(format!("select v from kv_store where k = {i}"))),
+            )
+            .unwrap();
+        assert_eq!(accepted, 6);
+
+        let drained = mgr.drain();
+        assert_eq!(drained.outputs["audit"].len(), 10);
+        assert_eq!(drained.outputs["resources"].len(), 6);
+        for lq in &drained.outputs["audit"] {
+            assert_eq!(lq.get("application"), Some("audit"));
+            assert_eq!(lq.get("predicted_user"), Some("acct/alice"));
+        }
+        for lq in &drained.outputs["resources"] {
+            assert!(lq.get("resource_class").is_some());
+        }
+        // Training mirror saw everything.
+        assert_eq!(drained.training_log.len(), 16);
+        let audit_tp = drained
+            .throughput
+            .iter()
+            .find(|t| t.app == "audit")
+            .unwrap();
+        assert_eq!(audit_tp.submitted, 10);
+        assert_eq!(audit_tp.processed, 10);
+    }
+
+    #[test]
+    fn reregistration_preserves_inflight_work_and_counters() {
+        let corpus = corpus();
+        let mut mgr = WorkloadManager::new(WorkloadManagerConfig::default());
+        mgr.register(ResourcesApp::new(embedder()), &corpus)
+            .unwrap();
+        for i in 0..8 {
+            mgr.submit(
+                "resources",
+                LabeledQuery::new(format!("select v from kv_store where k = {i}")),
+            )
+            .unwrap();
+        }
+        // Redeploy (the periodic-retrain flow) while work is in flight.
+        mgr.register(ResourcesApp::new(embedder()), &corpus)
+            .unwrap();
+        for i in 0..5 {
+            mgr.submit(
+                "resources",
+                LabeledQuery::new(format!("select v from kv_store where k = {}", 100 + i)),
+            )
+            .unwrap();
+        }
+        let tp = mgr.throughput();
+        assert_eq!(tp[0].submitted, 13, "counters span generations");
+        let drained = mgr.drain();
+        assert_eq!(
+            drained.outputs["resources"].len(),
+            13,
+            "pre-redeploy outputs must survive"
+        );
+        assert_eq!(drained.training_log.len(), 13);
+        let tp = &drained.throughput[0];
+        assert_eq!((tp.submitted, tp.processed), (13, 13));
+    }
+
+    #[test]
+    fn unknown_app_is_an_error() {
+        let mgr = WorkloadManager::new(WorkloadManagerConfig::default());
+        let err = mgr
+            .submit("ghost", LabeledQuery::new("select 1"))
+            .unwrap_err();
+        assert!(matches!(err, QuercError::UnknownApp { .. }));
+        assert!(mgr.report("ghost").is_err());
+    }
+
+    #[test]
+    fn attach_labels_requires_deployed_classifier() {
+        let corpus = corpus();
+        let cfg = WorkloadManagerConfig {
+            attach_labels: vec!["team".to_string()],
+            ..Default::default()
+        };
+        let mut mgr = WorkloadManager::new(cfg);
+        let err = mgr
+            .register(ResourcesApp::new(embedder()), &corpus)
+            .unwrap_err();
+        assert!(matches!(err, QuercError::ModelNotDeployed { .. }));
+    }
+
+    #[test]
+    fn attached_registry_classifier_labels_ride_along() {
+        use crate::training::{EmbedderKind, TrainingConfig, TrainingModule};
+
+        let corpus = corpus();
+        let cfg = WorkloadManagerConfig {
+            attach_labels: vec!["user".to_string()],
+            ..Default::default()
+        };
+        let mut mgr = WorkloadManager::new(cfg);
+        // Deploy a generic `user` classifier through the manager's registry.
+        let mut tm = TrainingModule::new(TrainingConfig::default());
+        tm.ingest_records(&corpus.records);
+        let emb = tm.train_embedder(&EmbedderKind::BagOfTokens { dim: 64 });
+        tm.try_train_and_deploy(mgr.registry(), &emb, "user")
+            .unwrap();
+
+        mgr.register(ResourcesApp::new(embedder()), &corpus)
+            .unwrap();
+        mgr.submit(
+            "resources",
+            LabeledQuery::new("select revenue from finance_reports where q = 99"),
+        )
+        .unwrap();
+        let drained = mgr.drain();
+        let lq = &drained.outputs["resources"][0];
+        assert_eq!(lq.get("predicted_user"), Some("acct/alice"));
+        assert!(lq.get("resource_class").is_some());
+    }
+}

@@ -10,6 +10,7 @@
 //! infrequently as a batch job").
 
 use crate::classifier::{QueryClassifier, TrainedLabeler};
+use crate::error::{QuercError, Result};
 use crate::labeled::LabeledQuery;
 use crate::registry::ModelRegistry;
 use crossbeam::channel::Receiver;
@@ -24,7 +25,9 @@ pub enum EmbedderKind {
     Doc2Vec(Doc2VecConfig),
     Lstm(LstmConfig),
     /// Training-free hashed bag of tokens (ablation baseline).
-    BagOfTokens { dim: usize },
+    BagOfTokens {
+        dim: usize,
+    },
 }
 
 /// Training-module configuration.
@@ -107,26 +110,39 @@ impl TrainingModule {
         embedder: &Arc<dyn Embedder>,
         label: &str,
     ) -> Option<TrainedLabeler> {
+        self.try_train_labeler(embedder, label).ok()
+    }
+
+    /// Fallible variant of [`TrainingModule::train_labeler`]: reports
+    /// *why* training was impossible (no query carries the label, or the
+    /// labeled rows were malformed) instead of collapsing to `None`.
+    ///
+    /// Embeds the labeled subset through the embedder's batched path.
+    pub fn try_train_labeler(
+        &self,
+        embedder: &Arc<dyn Embedder>,
+        label: &str,
+    ) -> Result<TrainedLabeler> {
         let labeled: Vec<(&LabeledQuery, &str)> = self
             .log
             .iter()
             .filter_map(|lq| lq.get(label).map(|v| (lq, v)))
             .collect();
         if labeled.is_empty() {
-            return None;
+            return Err(QuercError::MissingLabel {
+                label: label.to_string(),
+            });
         }
-        let vectors: Vec<Vec<f32>> = labeled
-            .iter()
-            .map(|(lq, _)| embedder.embed(&lq.tokens()))
-            .collect();
+        let docs: Vec<Vec<String>> = labeled.iter().map(|(lq, _)| lq.tokens()).collect();
+        let vectors = embedder.embed_batch(&docs);
         let names: Vec<&str> = labeled.iter().map(|(_, v)| *v).collect();
         let mut rng = Pcg32::with_stream(self.cfg.seed, 0x1ab3);
-        Some(TrainedLabeler::train(
+        TrainedLabeler::try_train(
             RandomForest::new(ForestConfig::extra_trees(self.cfg.forest_trees)),
             &vectors,
             &names,
             &mut rng,
-        ))
+        )
     }
 
     /// Train and deploy a classifier for `label` in one step. Returns the
@@ -137,9 +153,19 @@ impl TrainingModule {
         embedder: &Arc<dyn Embedder>,
         label: &str,
     ) -> Option<u64> {
-        let labeler = self.train_labeler(embedder, label)?;
+        self.try_train_and_deploy(registry, embedder, label).ok()
+    }
+
+    /// Fallible variant of [`TrainingModule::train_and_deploy`].
+    pub fn try_train_and_deploy(
+        &self,
+        registry: &ModelRegistry,
+        embedder: &Arc<dyn Embedder>,
+        label: &str,
+    ) -> Result<u64> {
+        let labeler = self.try_train_labeler(embedder, label)?;
         let clf = QueryClassifier::new(label, Arc::clone(embedder), labeler);
-        Some(registry.deploy(label, clf))
+        Ok(registry.deploy(label, clf))
     }
 }
 
@@ -182,8 +208,14 @@ mod tests {
         let v = tm.train_and_deploy(&registry, &embedder, "team").unwrap();
         assert_eq!(v, 1);
         let clf = registry.get("team").unwrap();
-        assert_eq!(clf.label_sql("select c9 from sales_orders where k = 99"), "bi");
-        assert_eq!(clf.label_sql("insert into audit_log values (7)"), "pipeline");
+        assert_eq!(
+            clf.label_sql("select c9 from sales_orders where k = 99"),
+            "bi"
+        );
+        assert_eq!(
+            clf.label_sql("insert into audit_log values (7)"),
+            "pipeline"
+        );
     }
 
     #[test]
@@ -192,6 +224,12 @@ mod tests {
         tm.ingest(LabeledQuery::new("select 1"));
         let embedder = tm.train_embedder(&EmbedderKind::BagOfTokens { dim: 16 });
         assert!(tm.train_labeler(&embedder, "nonexistent").is_none());
+        // The fallible path names the missing label.
+        let err = match tm.try_train_labeler(&embedder, "nonexistent") {
+            Err(e) => e,
+            Ok(_) => panic!("label should be missing"),
+        };
+        assert!(matches!(err, QuercError::MissingLabel { ref label } if label == "nonexistent"));
     }
 
     #[test]

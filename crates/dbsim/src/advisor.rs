@@ -167,11 +167,8 @@ impl<'a> Advisor<'a> {
             clock += validate_cost;
             validated_count += 1;
             let with: f64 = self.true_total(&shapes, &validated_set);
-            let without_set: Vec<Index> = validated_set
-                .iter()
-                .filter(|j| *j != ix)
-                .cloned()
-                .collect();
+            let without_set: Vec<Index> =
+                validated_set.iter().filter(|j| *j != ix).cloned().collect();
             let without = self.true_total(&shapes, &without_set);
             if with > without {
                 validated_set = without_set;
@@ -227,22 +224,14 @@ impl<'a> Advisor<'a> {
                 }
             }
         }
-        let mut ordered: Vec<((String, String), usize, bool)> = join_cols
-            .into_iter()
-            .map(|(k, c)| (k, c, true))
-            .collect();
-        let mut preds: Vec<((String, String), usize, bool)> = pred_cols
-            .into_iter()
-            .map(|(k, c)| (k, c, false))
-            .collect();
+        let mut ordered: Vec<((String, String), usize, bool)> =
+            join_cols.into_iter().map(|(k, c)| (k, c, true)).collect();
+        let mut preds: Vec<((String, String), usize, bool)> =
+            pred_cols.into_iter().map(|(k, c)| (k, c, false)).collect();
         ordered.append(&mut preds);
         // Join candidates first, then by frequency descending, then name
         // for determinism.
-        ordered.sort_by(|a, b| {
-            b.2.cmp(&a.2)
-                .then(b.1.cmp(&a.1))
-                .then(a.0.cmp(&b.0))
-        });
+        ordered.sort_by(|a, b| b.2.cmp(&a.2).then(b.1.cmp(&a.1)).then(a.0.cmp(&b.0)));
         let mut seen = std::collections::HashSet::new();
         let mut out = Vec::new();
         for ((table, column), _, _) in ordered {
@@ -321,7 +310,10 @@ mod tests {
         for budget in [100.0, 200.0, 400.0, 1000.0] {
             let r = advisor.recommend(&refs, budget);
             assert!(r.consumed_secs <= budget + 1e-9);
-            assert!(r.consumed_secs >= last - 1e-9, "consumed time grows with budget");
+            assert!(
+                r.consumed_secs >= last - 1e-9,
+                "consumed time grows with budget"
+            );
             last = r.consumed_secs;
         }
     }
@@ -372,8 +364,14 @@ mod tests {
         let cands = advisor.enumerate_candidates(&shapes);
         let names: Vec<String> = cands.iter().map(|c| c.to_string()).collect();
         assert!(names.iter().any(|n| n.contains("c_custkey")), "{names:?}");
-        assert!(names.iter().any(|n| n.contains("o_totalprice")), "{names:?}");
-        assert!(names.iter().any(|n| n.contains("c_mktsegment")), "{names:?}");
+        assert!(
+            names.iter().any(|n| n.contains("o_totalprice")),
+            "{names:?}"
+        );
+        assert!(
+            names.iter().any(|n| n.contains("c_mktsegment")),
+            "{names:?}"
+        );
         // Join candidates precede predicate candidates.
         let join_pos = names.iter().position(|n| n.contains("o_custkey")).unwrap();
         let pred_pos = names

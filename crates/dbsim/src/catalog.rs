@@ -150,22 +150,46 @@ impl Catalog {
         c.add_column("nation", "n_regionkey", ColumnStats::new(5, 0.0, 4.0));
 
         c.add_table("supplier", 10_000, 160);
-        c.add_column("supplier", "s_suppkey", ColumnStats::new(10_000, 1.0, 10_000.0));
+        c.add_column(
+            "supplier",
+            "s_suppkey",
+            ColumnStats::new(10_000, 1.0, 10_000.0),
+        );
         c.add_column("supplier", "s_nationkey", ColumnStats::new(25, 0.0, 24.0));
-        c.add_column("supplier", "s_acctbal", ColumnStats::new(9_000, -999.0, 9_999.0));
-        c.add_column("supplier", "s_name", ColumnStats::new(10_000, 0.0, 10_000.0));
+        c.add_column(
+            "supplier",
+            "s_acctbal",
+            ColumnStats::new(9_000, -999.0, 9_999.0),
+        );
+        c.add_column(
+            "supplier",
+            "s_name",
+            ColumnStats::new(10_000, 0.0, 10_000.0),
+        );
         c.add_column("supplier", "s_comment", ColumnStats::new(10_000, 0.0, 1.0));
 
         c.add_table("customer", 150_000, 180);
-        c.add_column("customer", "c_custkey", ColumnStats::new(150_000, 1.0, 150_000.0));
+        c.add_column(
+            "customer",
+            "c_custkey",
+            ColumnStats::new(150_000, 1.0, 150_000.0),
+        );
         c.add_column("customer", "c_nationkey", ColumnStats::new(25, 0.0, 24.0));
         c.add_column("customer", "c_mktsegment", ColumnStats::new(5, 0.0, 4.0));
-        c.add_column("customer", "c_acctbal", ColumnStats::new(140_000, -999.0, 9_999.0));
+        c.add_column(
+            "customer",
+            "c_acctbal",
+            ColumnStats::new(140_000, -999.0, 9_999.0),
+        );
         c.add_column("customer", "c_phone", ColumnStats::new(150_000, 0.0, 1.0));
         c.add_column("customer", "c_name", ColumnStats::new(150_000, 0.0, 1.0));
 
         c.add_table("part", 200_000, 160);
-        c.add_column("part", "p_partkey", ColumnStats::new(200_000, 1.0, 200_000.0));
+        c.add_column(
+            "part",
+            "p_partkey",
+            ColumnStats::new(200_000, 1.0, 200_000.0),
+        );
         c.add_column("part", "p_size", ColumnStats::new(50, 1.0, 50.0));
         c.add_column("part", "p_brand", ColumnStats::new(25, 0.0, 24.0));
         c.add_column("part", "p_type", ColumnStats::new(150, 0.0, 149.0));
@@ -174,32 +198,92 @@ impl Catalog {
         c.add_column("part", "p_mfgr", ColumnStats::new(5, 0.0, 4.0));
 
         c.add_table("partsupp", 800_000, 150);
-        c.add_column("partsupp", "ps_partkey", ColumnStats::new(200_000, 1.0, 200_000.0));
-        c.add_column("partsupp", "ps_suppkey", ColumnStats::new(10_000, 1.0, 10_000.0));
-        c.add_column("partsupp", "ps_supplycost", ColumnStats::new(100_000, 1.0, 1_000.0));
-        c.add_column("partsupp", "ps_availqty", ColumnStats::new(10_000, 1.0, 9_999.0));
+        c.add_column(
+            "partsupp",
+            "ps_partkey",
+            ColumnStats::new(200_000, 1.0, 200_000.0),
+        );
+        c.add_column(
+            "partsupp",
+            "ps_suppkey",
+            ColumnStats::new(10_000, 1.0, 10_000.0),
+        );
+        c.add_column(
+            "partsupp",
+            "ps_supplycost",
+            ColumnStats::new(100_000, 1.0, 1_000.0),
+        );
+        c.add_column(
+            "partsupp",
+            "ps_availqty",
+            ColumnStats::new(10_000, 1.0, 9_999.0),
+        );
 
         c.add_table("orders", 1_500_000, 120);
-        c.add_column("orders", "o_orderkey", ColumnStats::new(1_500_000, 1.0, 6_000_000.0));
-        c.add_column("orders", "o_custkey", ColumnStats::new(100_000, 1.0, 150_000.0));
-        c.add_column("orders", "o_orderdate", ColumnStats::new(2_400, date_lo, date_hi));
-        c.add_column("orders", "o_totalprice", ColumnStats::new(1_400_000, 850.0, 560_000.0));
+        c.add_column(
+            "orders",
+            "o_orderkey",
+            ColumnStats::new(1_500_000, 1.0, 6_000_000.0),
+        );
+        c.add_column(
+            "orders",
+            "o_custkey",
+            ColumnStats::new(100_000, 1.0, 150_000.0),
+        );
+        c.add_column(
+            "orders",
+            "o_orderdate",
+            ColumnStats::new(2_400, date_lo, date_hi),
+        );
+        c.add_column(
+            "orders",
+            "o_totalprice",
+            ColumnStats::new(1_400_000, 850.0, 560_000.0),
+        );
         c.add_column("orders", "o_orderpriority", ColumnStats::new(5, 0.0, 4.0));
         c.add_column("orders", "o_orderstatus", ColumnStats::new(3, 0.0, 2.0));
         c.add_column("orders", "o_shippriority", ColumnStats::new(1, 0.0, 0.0));
         c.add_column("orders", "o_comment", ColumnStats::new(1_500_000, 0.0, 1.0));
 
         c.add_table("lineitem", 6_000_000, 130);
-        c.add_column("lineitem", "l_orderkey", ColumnStats::new(1_500_000, 1.0, 6_000_000.0));
-        c.add_column("lineitem", "l_partkey", ColumnStats::new(200_000, 1.0, 200_000.0));
-        c.add_column("lineitem", "l_suppkey", ColumnStats::new(10_000, 1.0, 10_000.0));
+        c.add_column(
+            "lineitem",
+            "l_orderkey",
+            ColumnStats::new(1_500_000, 1.0, 6_000_000.0),
+        );
+        c.add_column(
+            "lineitem",
+            "l_partkey",
+            ColumnStats::new(200_000, 1.0, 200_000.0),
+        );
+        c.add_column(
+            "lineitem",
+            "l_suppkey",
+            ColumnStats::new(10_000, 1.0, 10_000.0),
+        );
         c.add_column("lineitem", "l_quantity", ColumnStats::new(50, 1.0, 50.0));
-        c.add_column("lineitem", "l_extendedprice", ColumnStats::new(1_000_000, 900.0, 105_000.0));
+        c.add_column(
+            "lineitem",
+            "l_extendedprice",
+            ColumnStats::new(1_000_000, 900.0, 105_000.0),
+        );
         c.add_column("lineitem", "l_discount", ColumnStats::new(11, 0.0, 0.10));
         c.add_column("lineitem", "l_tax", ColumnStats::new(9, 0.0, 0.08));
-        c.add_column("lineitem", "l_shipdate", ColumnStats::new(2_500, date_lo, date_hi));
-        c.add_column("lineitem", "l_commitdate", ColumnStats::new(2_500, date_lo, date_hi));
-        c.add_column("lineitem", "l_receiptdate", ColumnStats::new(2_500, date_lo, date_hi));
+        c.add_column(
+            "lineitem",
+            "l_shipdate",
+            ColumnStats::new(2_500, date_lo, date_hi),
+        );
+        c.add_column(
+            "lineitem",
+            "l_commitdate",
+            ColumnStats::new(2_500, date_lo, date_hi),
+        );
+        c.add_column(
+            "lineitem",
+            "l_receiptdate",
+            ColumnStats::new(2_500, date_lo, date_hi),
+        );
         c.add_column("lineitem", "l_returnflag", ColumnStats::new(3, 0.0, 2.0));
         c.add_column("lineitem", "l_linestatus", ColumnStats::new(2, 0.0, 1.0));
         c.add_column("lineitem", "l_shipmode", ColumnStats::new(7, 0.0, 6.0));

@@ -231,12 +231,7 @@ pub fn plan_query(shape: &QueryShape, catalog: &Catalog, indexes: &[Index]) -> P
 }
 
 /// Access-path selection for one table.
-fn plan_access(
-    table: &str,
-    shape: &QueryShape,
-    catalog: &Catalog,
-    indexes: &[Index],
-) -> TableNode {
+fn plan_access(table: &str, shape: &QueryShape, catalog: &Catalog, indexes: &[Index]) -> TableNode {
     let rows = catalog
         .table(table)
         .map(|t| t.rows)
@@ -493,7 +488,8 @@ mod tests {
         // The optimizer underestimates the HAVING semi-join fan-in, so
         // given join indexes it picks an NL plan whose TRUE cost exceeds
         // the no-index plan — Fig 4's regression, from the cost model.
-        let q18 = "select c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice, sum(l_quantity) \
+        let q18 =
+            "select c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice, sum(l_quantity) \
              from customer, orders, lineitem \
              where o_orderkey in (select l_orderkey from lineitem group by l_orderkey \
              having sum(l_quantity) > 313) \
@@ -544,13 +540,22 @@ mod tests {
 
     #[test]
     fn dml_costs_writes_and_index_maintenance() {
-        let no_idx = plan("update orders set o_comment = 'x' where o_orderkey = 5", &[]);
+        let no_idx = plan(
+            "update orders set o_comment = 'x' where o_orderkey = 5",
+            &[],
+        );
         let idx = [
             Index::new("orders", &["o_orderdate"]),
             Index::new("orders", &["o_custkey"]),
         ];
-        let with_idx = plan("update orders set o_comment = 'x' where o_orderkey = 5", &idx);
-        assert!(with_idx.true_cost > no_idx.true_cost, "index maintenance costs");
+        let with_idx = plan(
+            "update orders set o_comment = 'x' where o_orderkey = 5",
+            &idx,
+        );
+        assert!(
+            with_idx.true_cost > no_idx.true_cost,
+            "index maintenance costs"
+        );
     }
 
     #[test]
@@ -572,8 +577,16 @@ mod tests {
         for q in &w.queries {
             let shape = parse_query(&q.sql, Dialect::Generic);
             let p = plan_query(&shape, &cat, &[]);
-            assert!(p.est_cost.is_finite() && p.est_cost > 0.0, "t{}", q.template);
-            assert!(p.true_cost.is_finite() && p.true_cost > 0.0, "t{}", q.template);
+            assert!(
+                p.est_cost.is_finite() && p.est_cost > 0.0,
+                "t{}",
+                q.template
+            );
+            assert!(
+                p.true_cost.is_finite() && p.true_cost > 0.0,
+                "t{}",
+                q.template
+            );
         }
     }
 }

@@ -93,7 +93,10 @@ mod tests {
 
     #[test]
     fn estimate_and_truth_agree_without_wedge_queries() {
-        let sqls = ["select * from region", "select * from nation where n_name = 'FRANCE'"];
+        let sqls = [
+            "select * from region",
+            "select * from nation where n_name = 'FRANCE'",
+        ];
         let cat = Catalog::tpch_sf1();
         let est = workload_estimate(&sqls, &cat, &[]);
         let tru = workload_runtime(&sqls, &cat, &[]);

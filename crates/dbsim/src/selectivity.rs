@@ -294,7 +294,11 @@ mod tests {
     fn skewed_column_inflates_truth() {
         let mut c = Catalog::new();
         c.add_table("t", 1000, 100);
-        c.add_column("t", "x", crate::catalog::ColumnStats::new(100, 0.0, 100.0).with_skew(8.0));
+        c.add_column(
+            "t",
+            "x",
+            crate::catalog::ColumnStats::new(100, 0.0, 100.0).with_skew(8.0),
+        );
         let p = pred("x", CmpOp::Eq, Rhs::Number(5.0));
         assert!((estimate(&c, "t", &p) - 0.01).abs() < 1e-9);
         assert!((truth(&c, "t", &p) - 0.08).abs() < 1e-9);

@@ -31,6 +31,26 @@ impl BagOfTokens {
         let sign = if h & 1 == 0 { 1.0 } else { -1.0 };
         out[idx] += sign;
     }
+
+    /// Fill `out` with the embedding of `tokens`, reusing `joined` as the
+    /// bigram scratch buffer so a batch pays one allocation, not one per
+    /// adjacent token pair.
+    fn embed_into(&self, tokens: &[String], out: &mut [f32], joined: &mut String) {
+        out.fill(0.0);
+        for t in tokens {
+            self.add_feature(out, t);
+        }
+        if self.bigrams {
+            for pair in tokens.windows(2) {
+                joined.clear();
+                joined.push_str(&pair[0]);
+                joined.push('\u{1}');
+                joined.push_str(&pair[1]);
+                self.add_feature(out, joined);
+            }
+        }
+        querc_linalg::ops::normalize(out);
+    }
 }
 
 impl Embedder for BagOfTokens {
@@ -40,21 +60,25 @@ impl Embedder for BagOfTokens {
 
     fn embed(&self, tokens: &[String]) -> Vec<f32> {
         let mut out = vec![0.0f32; self.dim];
-        for t in tokens {
-            self.add_feature(&mut out, t);
-        }
-        if self.bigrams {
-            for pair in tokens.windows(2) {
-                let joined = format!("{}\u{1}{}", pair[0], pair[1]);
-                self.add_feature(&mut out, &joined);
-            }
-        }
-        querc_linalg::ops::normalize(&mut out);
+        let mut joined = String::new();
+        self.embed_into(tokens, &mut out, &mut joined);
         out
     }
 
     fn name(&self) -> &'static str {
         "bow"
+    }
+
+    /// Batched path: one bigram scratch buffer amortized over the chunk.
+    fn embed_batch(&self, docs: &[Vec<String>]) -> Vec<Vec<f32>> {
+        let mut joined = String::new();
+        docs.iter()
+            .map(|doc| {
+                let mut out = vec![0.0f32; self.dim];
+                self.embed_into(doc, &mut out, &mut joined);
+                out
+            })
+            .collect()
     }
 }
 
@@ -104,6 +128,20 @@ mod tests {
         assert_eq!(no_bi.embed(&fwd), no_bi.embed(&rev));
         // …with bigrams it does not.
         assert_ne!(bi.embed(&fwd), bi.embed(&rev));
+    }
+
+    #[test]
+    fn embed_batch_is_bit_identical_to_embed() {
+        let e = BagOfTokens::new(64, true);
+        let docs = vec![
+            toks("select a from t where x = <num>"),
+            toks(""),
+            toks("insert into logs values <str>"),
+        ];
+        let batch = e.embed_batch(&docs);
+        for (doc, v) in docs.iter().zip(&batch) {
+            assert_eq!(*v, e.embed(doc));
+        }
     }
 
     #[test]

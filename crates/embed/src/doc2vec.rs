@@ -135,15 +135,28 @@ impl Doc2Vec {
                 if kept.is_empty() {
                     continue;
                 }
-                let lr = (cfg.initial_lr * (1.0 - step as f32 / total_steps))
-                    .max(cfg.min_lr);
+                let lr = (cfg.initial_lr * (1.0 - step as f32 / total_steps)).max(cfg.min_lr);
                 match cfg.mode {
                     Doc2VecMode::DistributedMemory => train_dm_doc(
-                        &kept, doc_id, &mut w_in, &mut w_out, &mut doc_vecs, &noise, &cfg,
-                        lr, &mut rng,
+                        &kept,
+                        doc_id,
+                        &mut w_in,
+                        &mut w_out,
+                        &mut doc_vecs,
+                        &noise,
+                        &cfg,
+                        lr,
+                        &mut rng,
                     ),
                     Doc2VecMode::Dbow => train_dbow_doc(
-                        &kept, doc_id, &mut w_out, &mut doc_vecs, &noise, &cfg, lr, &mut rng,
+                        &kept,
+                        doc_id,
+                        &mut w_out,
+                        &mut doc_vecs,
+                        &noise,
+                        &cfg,
+                        lr,
+                        &mut rng,
                     ),
                 }
             }
@@ -175,8 +188,41 @@ impl Doc2Vec {
 
     /// Infer a vector for an unseen token sequence with frozen token
     /// vectors, using the provided RNG (exposed for tests; `embed` wraps
-    /// this deterministically).
+    /// this deterministically). The noise table is only built when the
+    /// query has usable tokens — empty/all-OOV input stays O(dim).
     pub fn infer(&self, tokens: &[String], rng: &mut Pcg32) -> Vec<f32> {
+        let (ids, mut doc) = self.init_inference(tokens, rng);
+        if ids.is_empty() {
+            return doc;
+        }
+        let noise = self.noise_table();
+        self.infer_passes(&ids, &mut doc, &noise, rng);
+        doc
+    }
+
+    /// The unigram^0.75 negative-sampling table over the vocabulary.
+    ///
+    /// Building this is the dominant fixed cost of inference — O(vocab)
+    /// — so the batched serving path constructs it once per chunk via
+    /// [`Embedder::embed_batch`] instead of once per query.
+    fn noise_table(&self) -> AliasTable {
+        AliasTable::from_counts_pow(&self.vocab.noise_counts(), 0.75)
+    }
+
+    /// `infer` against a caller-provided noise table. Bit-identical to
+    /// [`Doc2Vec::infer`]: the table's construction consumes no RNG state.
+    fn infer_with_noise(&self, tokens: &[String], noise: &AliasTable, rng: &mut Pcg32) -> Vec<f32> {
+        let (ids, mut doc) = self.init_inference(tokens, rng);
+        if ids.is_empty() {
+            return doc;
+        }
+        self.infer_passes(&ids, &mut doc, noise, rng);
+        doc
+    }
+
+    /// Encode the tokens and draw the random document-vector init (the
+    /// first RNG consumption of inference, shared by both entry points).
+    fn init_inference(&self, tokens: &[String], rng: &mut Pcg32) -> (Vec<usize>, Vec<f32>) {
         let ids = if self.cfg.drop_oov {
             self.vocab.encode_drop_oov(tokens)
         } else {
@@ -186,24 +232,22 @@ impl Doc2Vec {
         for v in doc.iter_mut() {
             *v = rng.range_f32(-0.5, 0.5) / self.cfg.dim as f32;
         }
-        if ids.is_empty() {
-            return doc;
-        }
-        let noise = AliasTable::from_counts_pow(&self.vocab.noise_counts(), 0.75);
-        let epochs = self.cfg.infer_epochs.max(1);
-        for e in 0..epochs {
-            let lr = (self.cfg.initial_lr * (1.0 - e as f32 / epochs as f32))
-                .max(self.cfg.min_lr);
-            match self.cfg.mode {
-                Doc2VecMode::DistributedMemory => {
-                    self.infer_dm_pass(&ids, &mut doc, &noise, lr, rng)
-                }
-                Doc2VecMode::Dbow => self.infer_dbow_pass(&ids, &mut doc, &noise, lr, rng),
-            }
-        }
-        doc
+        (ids, doc)
     }
 
+    /// The gradient epochs of inference.
+    fn infer_passes(&self, ids: &[usize], doc: &mut [f32], noise: &AliasTable, rng: &mut Pcg32) {
+        let epochs = self.cfg.infer_epochs.max(1);
+        for e in 0..epochs {
+            let lr = (self.cfg.initial_lr * (1.0 - e as f32 / epochs as f32)).max(self.cfg.min_lr);
+            match self.cfg.mode {
+                Doc2VecMode::DistributedMemory => self.infer_dm_pass(ids, doc, noise, lr, rng),
+                Doc2VecMode::Dbow => self.infer_dbow_pass(ids, doc, noise, lr, rng),
+            }
+        }
+    }
+
+    #[allow(clippy::needless_range_loop)] // window loop skips position t
     fn infer_dm_pass(
         &self,
         ids: &[usize],
@@ -299,7 +343,7 @@ fn keep_token(vocab: &Vocab, id: usize, subsample: f64, total: f64, rng: &mut Pc
     rng.chance(p.min(1.0))
 }
 
-#[allow(clippy::too_many_arguments)]
+#[allow(clippy::too_many_arguments, clippy::needless_range_loop)] // window loop skips position t
 fn train_dm_doc(
     ids: &[usize],
     doc_id: usize,
@@ -399,6 +443,20 @@ fn neg_sample_update(
     }
 }
 
+/// Content hash seeding deterministic inference.
+fn token_hash(tokens: &[String]) -> u64 {
+    let mut hash: u64 = 0xcbf29ce484222325;
+    for t in tokens {
+        for b in t.as_bytes() {
+            hash ^= *b as u64;
+            hash = hash.wrapping_mul(0x100000001b3);
+        }
+        hash ^= 0xff;
+        hash = hash.wrapping_mul(0x100000001b3);
+    }
+    hash
+}
+
 impl Embedder for Doc2Vec {
     fn dim(&self) -> usize {
         self.cfg.dim
@@ -407,21 +465,28 @@ impl Embedder for Doc2Vec {
     /// Deterministic inference: the RNG is seeded from the token content,
     /// so equal queries embed equally across calls and threads.
     fn embed(&self, tokens: &[String]) -> Vec<f32> {
-        let mut hash: u64 = 0xcbf29ce484222325;
-        for t in tokens {
-            for b in t.as_bytes() {
-                hash ^= *b as u64;
-                hash = hash.wrapping_mul(0x100000001b3);
-            }
-            hash ^= 0xff;
-            hash = hash.wrapping_mul(0x100000001b3);
-        }
-        let mut rng = Pcg32::with_stream(hash ^ self.cfg.seed, 0x1fe2);
+        let mut rng = Pcg32::with_stream(token_hash(tokens) ^ self.cfg.seed, 0x1fe2);
         self.infer(tokens, &mut rng)
     }
 
     fn name(&self) -> &'static str {
         "doc2vec"
+    }
+
+    /// Batched inference: the O(vocab) noise table is built once for the
+    /// whole chunk. Each query still gets its own content-seeded RNG, so
+    /// results are bit-identical to per-query [`Embedder::embed`].
+    fn embed_batch(&self, docs: &[Vec<String>]) -> Vec<Vec<f32>> {
+        if docs.is_empty() {
+            return Vec::new();
+        }
+        let noise = self.noise_table();
+        docs.iter()
+            .map(|tokens| {
+                let mut rng = Pcg32::with_stream(token_hash(tokens) ^ self.cfg.seed, 0x1fe2);
+                self.infer_with_noise(tokens, &noise, &mut rng)
+            })
+            .collect()
     }
 }
 
@@ -503,6 +568,23 @@ mod tests {
         ));
         let ins = model.embed(&toks("insert into audit_log values <str> <num> event2"));
         assert!(cosine(&sel, &sel2) > cosine(&sel, &ins));
+    }
+
+    #[test]
+    fn embed_batch_is_bit_identical_to_embed() {
+        let corpus = two_cluster_corpus();
+        let model = Doc2Vec::train(&corpus, small_cfg(Doc2VecMode::DistributedMemory));
+        let docs = vec![
+            toks("select col1 from orders where o_total > <num>"),
+            toks(""),
+            toks("insert into audit_log values <str> <num> event3"),
+            toks("completely unseen zzz"),
+        ];
+        let batch = model.embed_batch(&docs);
+        assert_eq!(batch.len(), docs.len());
+        for (doc, v) in docs.iter().zip(&batch) {
+            assert_eq!(*v, model.embed(doc), "batch diverged on {doc:?}");
+        }
     }
 
     #[test]

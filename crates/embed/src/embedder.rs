@@ -25,13 +25,25 @@ pub trait Embedder: Send + Sync {
     fn embed_sql(&self, sql: &str) -> Vec<f32> {
         self.embed(&crate::sql_tokens(sql))
     }
+
+    /// Embed a batch of tokenized queries — the serving hot path.
+    ///
+    /// Must return exactly `docs.len()` vectors, and each vector must be
+    /// **identical** to what [`Embedder::embed`] would return for the same
+    /// document: batching is an amortization, never a semantic change.
+    /// The default delegates query-at-a-time; `bow`, `doc2vec`, and
+    /// `lstm` override it to hoist per-call setup (noise tables, scratch
+    /// buffers) out of the loop.
+    fn embed_batch(&self, docs: &[Vec<String>]) -> Vec<Vec<f32>> {
+        docs.iter().map(|d| self.embed(d)).collect()
+    }
 }
 
 /// Embed a whole corpus row-by-row into a feature matrix
 /// (`corpus.len()` × `embedder.dim()`), as consumed by `querc-learn`
 /// classifiers and `querc-cluster`.
 pub fn embed_corpus<E: Embedder + ?Sized>(embedder: &E, corpus: &[Vec<String>]) -> Vec<Vec<f32>> {
-    corpus.iter().map(|doc| embedder.embed(doc)).collect()
+    embedder.embed_batch(corpus)
 }
 
 #[cfg(test)]
@@ -64,6 +76,21 @@ mod tests {
         let a = e.embed_sql("SELECT * FROM t WHERE x = 12345");
         let b = e.embed_sql("select * from t where x = 9");
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn default_embed_batch_matches_embed() {
+        let e = LengthEmbedder;
+        let docs = vec![
+            vec!["select".to_string(), "x".to_string()],
+            vec![],
+            vec!["a".to_string(), "bb".to_string(), "ccc".to_string()],
+        ];
+        let batch = e.embed_batch(&docs);
+        assert_eq!(batch.len(), docs.len());
+        for (doc, v) in docs.iter().zip(&batch) {
+            assert_eq!(*v, e.embed(doc));
+        }
     }
 
     #[test]

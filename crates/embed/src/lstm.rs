@@ -197,11 +197,27 @@ impl LstmAutoencoder {
                 ops::clip_norm(grads.dec.wx.as_mut_slice(), cfg.clip);
                 ops::clip_norm(grads.dec.wh.as_mut_slice(), cfg.clip);
                 ops::clip_norm(&mut grads.dec.b, cfg.clip);
-                adam.step(s_enc_wx, self.enc.wx.as_mut_slice(), grads.enc.wx.as_slice());
-                adam.step(s_enc_wh, self.enc.wh.as_mut_slice(), grads.enc.wh.as_slice());
+                adam.step(
+                    s_enc_wx,
+                    self.enc.wx.as_mut_slice(),
+                    grads.enc.wx.as_slice(),
+                );
+                adam.step(
+                    s_enc_wh,
+                    self.enc.wh.as_mut_slice(),
+                    grads.enc.wh.as_slice(),
+                );
                 adam.step(s_enc_b, &mut self.enc.b, &grads.enc.b);
-                adam.step(s_dec_wx, self.dec.wx.as_mut_slice(), grads.dec.wx.as_slice());
-                adam.step(s_dec_wh, self.dec.wh.as_mut_slice(), grads.dec.wh.as_slice());
+                adam.step(
+                    s_dec_wx,
+                    self.dec.wx.as_mut_slice(),
+                    grads.dec.wx.as_slice(),
+                );
+                adam.step(
+                    s_dec_wh,
+                    self.dec.wh.as_mut_slice(),
+                    grads.dec.wh.as_slice(),
+                );
                 adam.step(s_dec_b, &mut self.dec.b, &grads.dec.b);
                 for (row, mut g) in grads.emb {
                     ops::clip_norm(&mut g, cfg.clip);
@@ -223,6 +239,34 @@ impl LstmAutoencoder {
     /// Id of the decoder's beginning-of-sequence pseudo-token.
     fn bos(&self) -> usize {
         self.vocab.size()
+    }
+
+    /// Inference-only encoder pass into caller-provided buffers.
+    ///
+    /// Computes the same arithmetic as [`cell_forward`] (same operation
+    /// order, so results are bit-identical) but keeps no per-step caches
+    /// and allocates nothing — `scratch` is reused across the queries of
+    /// a batch. On return `scratch.h`/`scratch.c` hold the final state.
+    fn encode_into(&self, ids: &[usize], scratch: &mut EncodeScratch) {
+        let hdim = self.cfg.hidden;
+        scratch.h.iter_mut().for_each(|v| *v = 0.0);
+        scratch.c.iter_mut().for_each(|v| *v = 0.0);
+        for &id in ids.iter().rev() {
+            self.enc.wx.matvec_into(self.emb.row(id), &mut scratch.z);
+            self.enc.wh.matvec_into(&scratch.h, &mut scratch.zh);
+            for k in 0..scratch.z.len() {
+                scratch.z[k] += scratch.zh[k] + self.enc.b[k];
+            }
+            for k in 0..hdim {
+                let i = ops::sigmoid(scratch.z[k]);
+                let f = ops::sigmoid(scratch.z[hdim + k]);
+                let g = scratch.z[2 * hdim + k].tanh();
+                let o = ops::sigmoid(scratch.z[3 * hdim + k]);
+                // In-place state update: each lane only reads its own k.
+                scratch.c[k] = f * scratch.c[k] + i * g;
+                scratch.h[k] = o * scratch.c[k].tanh();
+            }
+        }
     }
 
     /// Encoder-only forward pass; returns the full per-step caches plus
@@ -309,8 +353,14 @@ impl LstmAutoencoder {
         let mut dc = vec![0.0f32; hdim];
         for t in (0..n).rev() {
             ops::axpy(1.0, &dh_steps[t], &mut dh);
-            let (dx, dh_prev, dc_prev) =
-                cell_backward(&self.dec, &dec_caches[t], &dh, &dc, &mut grads.dec, self.emb.row(dec_inputs[t]));
+            let (dx, dh_prev, dc_prev) = cell_backward(
+                &self.dec,
+                &dec_caches[t],
+                &dh,
+                &dc,
+                &mut grads.dec,
+                self.emb.row(dec_inputs[t]),
+            );
             grads.emb.push((dec_inputs[t], dx));
             dh = dh_prev;
             dc = dc_prev;
@@ -321,8 +371,14 @@ impl LstmAutoencoder {
         // caches backwards and index ids accordingly.
         for k in (0..n).rev() {
             let id = ids[n - 1 - k];
-            let (dx, dh_prev, dc_prev) =
-                cell_backward(&self.enc, &enc_caches[k], &dh, &dc, &mut grads.enc, self.emb.row(id));
+            let (dx, dh_prev, dc_prev) = cell_backward(
+                &self.enc,
+                &enc_caches[k],
+                &dh,
+                &dc,
+                &mut grads.enc,
+                self.emb.row(id),
+            );
             grads.emb.push((id, dx));
             dh = dh_prev;
             dc = dc_prev;
@@ -359,6 +415,26 @@ impl LstmAutoencoder {
             0.0
         } else {
             (total / tokens as f64) as f32
+        }
+    }
+}
+
+/// Reusable buffers for the inference-only encoder pass.
+struct EncodeScratch {
+    h: Vec<f32>,
+    c: Vec<f32>,
+    /// Stacked gate pre-activations, `4H`.
+    z: Vec<f32>,
+    zh: Vec<f32>,
+}
+
+impl EncodeScratch {
+    fn new(hidden: usize) -> EncodeScratch {
+        EncodeScratch {
+            h: vec![0.0; hidden],
+            c: vec![0.0; hidden],
+            z: vec![0.0; 4 * hidden],
+            zh: vec![0.0; 4 * hidden],
         }
     }
 }
@@ -428,8 +504,7 @@ fn cell_backward(
         dz[3 * hdim + k] = do_ * cache.o[k] * (1.0 - cache.o[k]);
     }
     // Parameter gradients: dWx += dz ⊗ x, dWh += dz ⊗ h_prev, db += dz.
-    for r in 0..4 * hdim {
-        let dzr = dz[r];
+    for (r, &dzr) in dz.iter().enumerate() {
         if dzr != 0.0 {
             ops::axpy(dzr, x, grads.wx.row_mut(r));
             ops::axpy(dzr, &cache.h_prev, grads.wh.row_mut(r));
@@ -476,25 +551,35 @@ impl Embedder for LstmAutoencoder {
     /// the LSTM retains long-range information (schema tokens early in the
     /// query), while `h` is dominated by the sequence tail.
     fn embed(&self, tokens: &[String]) -> Vec<f32> {
+        let mut scratch = EncodeScratch::new(self.cfg.hidden);
+        self.embed_with_scratch(tokens, &mut scratch)
+    }
+
+    fn name(&self) -> &'static str {
+        "lstm"
+    }
+
+    /// Batched path: gate/state scratch buffers are allocated once for
+    /// the whole chunk instead of per step per query.
+    fn embed_batch(&self, docs: &[Vec<String>]) -> Vec<Vec<f32>> {
+        let mut scratch = EncodeScratch::new(self.cfg.hidden);
+        docs.iter()
+            .map(|doc| self.embed_with_scratch(doc, &mut scratch))
+            .collect()
+    }
+}
+
+impl LstmAutoencoder {
+    fn embed_with_scratch(&self, tokens: &[String], scratch: &mut EncodeScratch) -> Vec<f32> {
         let mut ids = self.vocab.encode(tokens);
         ids.truncate(self.cfg.max_len);
         if ids.is_empty() {
             return vec![0.0; 2 * self.cfg.hidden];
         }
-        let hdim = self.cfg.hidden;
-        let mut h = vec![0.0f32; hdim];
-        let mut c = vec![0.0f32; hdim];
-        for &id in ids.iter().rev() {
-            let cache = cell_forward(&self.enc, self.emb.row(id), &h, &c);
-            h = cache.h;
-            c = cache.c;
-        }
-        h.extend_from_slice(&c);
-        h
-    }
-
-    fn name(&self) -> &'static str {
-        "lstm"
+        self.encode_into(&ids, scratch);
+        let mut out = scratch.h.clone();
+        out.extend_from_slice(&scratch.c);
+        out
     }
 }
 
@@ -762,6 +847,31 @@ mod tests {
         assert_eq!(a, b);
         assert_eq!(a.len(), model.dim());
         assert!(a.iter().all(|v| v.is_finite()));
+    }
+
+    /// The scratch-buffer inference pass must agree bit-for-bit with the
+    /// cache-building training forward ([`cell_forward`]) and with itself
+    /// across batch boundaries.
+    #[test]
+    fn embed_batch_matches_embed_and_cell_forward() {
+        let corpus = tiny_corpus();
+        let model = LstmAutoencoder::train(&corpus, tiny_cfg());
+        let docs = vec![
+            toks("select col1 from orders"),
+            toks(""),
+            toks("insert into audit_log values <num>"),
+        ];
+        let batch = model.embed_batch(&docs);
+        for (doc, v) in docs.iter().zip(&batch) {
+            assert_eq!(*v, model.embed(doc), "batch diverged on {doc:?}");
+        }
+        // Cross-check one query against the cache-building forward pass.
+        let mut ids = model.vocab.encode(&docs[0]);
+        ids.truncate(model.cfg.max_len);
+        let (_caches, h, c) = model.encode_steps(&ids);
+        let mut reference = h;
+        reference.extend_from_slice(&c);
+        assert_eq!(batch[0], reference);
     }
 
     #[test]

@@ -247,11 +247,14 @@ mod tests {
 
     #[test]
     fn noise_counts_cover_full_space_and_are_positive() {
-        let v = build(&["a a b"], &VocabConfig {
-            min_count: 1,
-            max_size: 10,
-            hash_buckets: 4,
-        });
+        let v = build(
+            &["a a b"],
+            &VocabConfig {
+                min_count: 1,
+                max_size: 10,
+                hash_buckets: 4,
+            },
+        );
         let n = v.noise_counts();
         assert_eq!(n.len(), v.size());
         assert!(n.iter().all(|&c| c > 0));
@@ -259,7 +262,11 @@ mod tests {
 
     #[test]
     fn determinism_across_builds() {
-        let texts = ["select a from t where b = 1", "select b from t", "select c from u"];
+        let texts = [
+            "select a from t where b = 1",
+            "select b from t",
+            "select c from u",
+        ];
         let v1 = build(&texts, &VocabConfig::default());
         let v2 = build(&texts, &VocabConfig::default());
         for tok in ["select", "a", "b", "t", "u", "zzz"] {
@@ -269,11 +276,14 @@ mod tests {
 
     #[test]
     fn bucket_mass_counts_oov() {
-        let v = build(&["rare1 rare2 common common"], &VocabConfig {
-            min_count: 2,
-            max_size: 10,
-            hash_buckets: 1,
-        });
+        let v = build(
+            &["rare1 rare2 common common"],
+            &VocabConfig {
+                min_count: 2,
+                max_size: 10,
+                hash_buckets: 1,
+            },
+        );
         assert_eq!(v.exact_len(), 1);
         // Both rare tokens landed in the single bucket.
         assert_eq!(v.count(1), 2);

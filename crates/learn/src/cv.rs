@@ -112,14 +112,9 @@ mod tests {
             x.push(vec![a, b]);
             y.push(u32::from(a > 0.0));
         }
-        let (score, per_fold) = cross_val_accuracy(
-            &x,
-            &y,
-            2,
-            10,
-            &mut Pcg32::new(4),
-            || RandomForest::new(ForestConfig::extra_trees(15)),
-        );
+        let (score, per_fold) = cross_val_accuracy(&x, &y, 2, 10, &mut Pcg32::new(4), || {
+            RandomForest::new(ForestConfig::extra_trees(15))
+        });
         assert_eq!(per_fold.len(), 10);
         assert!(score > 0.9, "cv score {score}");
     }

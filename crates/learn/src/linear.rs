@@ -69,8 +69,8 @@ impl Classifier for SoftmaxRegression {
             for &i in &order {
                 let mut p = self.logits(&x[i]);
                 ops::softmax(&mut p);
-                for c in 0..n_classes {
-                    let err = p[c] - if y[i] as usize == c { 1.0 } else { 0.0 };
+                for (c, &pc) in p.iter().enumerate().take(n_classes) {
+                    let err = pc - if y[i] as usize == c { 1.0 } else { 0.0 };
                     let row = self.w.row_mut(c);
                     for j in 0..d {
                         row[j] -= lr * (err * x[i][j] + self.l2 * row[j]);

@@ -39,8 +39,14 @@ pub fn per_class(confusion: &[Vec<u32>]) -> Vec<ClassMetrics> {
     (0..n)
         .map(|c| {
             let tp = confusion[c][c] as f64;
-            let fn_: f64 = (0..n).filter(|&j| j != c).map(|j| confusion[c][j] as f64).sum();
-            let fp: f64 = (0..n).filter(|&i| i != c).map(|i| confusion[i][c] as f64).sum();
+            let fn_: f64 = (0..n)
+                .filter(|&j| j != c)
+                .map(|j| confusion[c][j] as f64)
+                .sum();
+            let fp: f64 = (0..n)
+                .filter(|&i| i != c)
+                .map(|i| confusion[i][c] as f64)
+                .sum();
             let precision = if tp + fp > 0.0 { tp / (tp + fp) } else { 0.0 };
             let recall = if tp + fn_ > 0.0 { tp / (tp + fn_) } else { 0.0 };
             let f1 = if precision + recall > 0.0 {

@@ -184,9 +184,7 @@ impl DecisionTree {
                 SplitStrategy::Best => best_threshold(x, y, indices, f, self.n_classes),
             };
             if let Some((impurity, thresh)) = split {
-                if impurity < parent_gini - 1e-7
-                    && best.map_or(true, |(bi, _, _)| impurity < bi)
-                {
+                if impurity < parent_gini - 1e-7 && best.is_none_or(|(bi, _, _)| impurity < bi) {
                     best = Some((impurity, f, thresh));
                 }
             }
@@ -252,7 +250,7 @@ fn random_threshold(x: &[Vec<f32>], indices: &[usize], f: usize, rng: &mut Pcg32
         lo = lo.min(v);
         hi = hi.max(v);
     }
-    if !(hi > lo) {
+    if hi <= lo {
         return None;
     }
     Some(rng.range_f32(lo, hi))
@@ -308,10 +306,9 @@ fn best_threshold(
         }
         let nl = (k + 1) as f32;
         let nr = (n - k - 1) as f32;
-        let impurity =
-            (nl / n as f32) * gini(&left, nl) + (nr / n as f32) * gini(&right, nr);
+        let impurity = (nl / n as f32) * gini(&left, nl) + (nr / n as f32) * gini(&right, nr);
         let thresh = 0.5 * (vals[k].0 + vals[k + 1].0);
-        if best.map_or(true, |(bi, _)| impurity < bi) {
+        if best.is_none_or(|(bi, _)| impurity < bi) {
             best = Some((impurity, thresh));
         }
     }

@@ -19,7 +19,10 @@ impl AliasTable {
     ///
     /// Panics if `weights` is empty or sums to zero.
     pub fn new(weights: &[f64]) -> Self {
-        assert!(!weights.is_empty(), "alias table needs at least one outcome");
+        assert!(
+            !weights.is_empty(),
+            "alias table needs at least one outcome"
+        );
         let n = weights.len();
         let total: f64 = weights.iter().sum();
         assert!(total > 0.0, "weights must not all be zero");

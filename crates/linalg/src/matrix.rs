@@ -51,7 +51,11 @@ impl Matrix {
             assert_eq!(row.len(), c, "ragged rows");
             data.extend_from_slice(row);
         }
-        Matrix { rows: r, cols: c, data }
+        Matrix {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Identity matrix.
@@ -122,12 +126,21 @@ impl Matrix {
         y
     }
 
+    /// `y = self * x` into a caller-provided buffer — the allocation-free
+    /// GEMV the batched serving path leans on. `y.len()` must equal `rows`.
+    pub fn matvec_into(&self, x: &[f32], y: &mut [f32]) {
+        assert_eq!(x.len(), self.cols, "gemv shape mismatch");
+        assert_eq!(y.len(), self.rows, "gemv output shape mismatch");
+        for (r, out) in y.iter_mut().enumerate() {
+            *out = crate::ops::dot(self.row(r), x);
+        }
+    }
+
     /// `y = selfᵀ * x` (GEMV with the transpose, without materializing it).
     pub fn matvec_t(&self, x: &[f32]) -> Vec<f32> {
         assert_eq!(x.len(), self.rows, "gemv-t shape mismatch");
         let mut y = vec![0.0; self.cols];
-        for r in 0..self.rows {
-            let xr = x[r];
+        for (r, &xr) in x.iter().enumerate() {
             if xr != 0.0 {
                 crate::ops::axpy(xr, self.row(r), &mut y);
             }

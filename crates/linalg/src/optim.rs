@@ -67,7 +67,11 @@ impl Optimizer for Sgd {
             return;
         }
         let v = &mut self.velocity[slot];
-        assert_eq!(v.len(), params.len(), "slot registered with a different length");
+        assert_eq!(
+            v.len(),
+            params.len(),
+            "slot registered with a different length"
+        );
         for i in 0..params.len() {
             v[i] = self.momentum * v[i] - self.lr * grad[i];
             params[i] += v[i];

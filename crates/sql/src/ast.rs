@@ -131,7 +131,10 @@ pub fn date_to_days(s: &str) -> Option<f64> {
 pub enum Lhs {
     Column(ColumnRef),
     /// An aggregate call, e.g. HAVING sum(l_quantity) > 300.
-    Agg { func: String, column: Option<ColumnRef> },
+    Agg {
+        func: String,
+        column: Option<ColumnRef>,
+    },
 }
 
 /// One atomic filter condition.
@@ -166,7 +169,13 @@ impl Predicate {
             && !self.negated
             && matches!(
                 self.op,
-                CmpOp::Eq | CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge | CmpOp::Between | CmpOp::In
+                CmpOp::Eq
+                    | CmpOp::Lt
+                    | CmpOp::Le
+                    | CmpOp::Gt
+                    | CmpOp::Ge
+                    | CmpOp::Between
+                    | CmpOp::In
             )
             && !matches!(self.rhs, Rhs::Subquery | Rhs::None)
     }

@@ -49,7 +49,10 @@ impl Dialect {
 
     /// Is `$1` / `$name` a bind-parameter marker?
     pub fn dollar_params(&self) -> bool {
-        matches!(self, Dialect::Postgres | Dialect::Snowflake | Dialect::Generic)
+        matches!(
+            self,
+            Dialect::Postgres | Dialect::Snowflake | Dialect::Generic
+        )
     }
 
     /// All dialect values, for exhaustive tests.
@@ -80,18 +83,113 @@ impl Dialect {
 /// Shared SQL keyword list (uppercase). Deliberately broad: a workload
 /// manager sees DDL, DML, session commands and vendor extensions.
 pub const KEYWORDS: &[&str] = &[
-    "ALL", "ALTER", "AND", "ANY", "AS", "ASC", "BEGIN", "BETWEEN", "BY", "CASE", "CAST",
-    "CHECK", "COLUMN", "COMMIT", "COPY", "CREATE", "CROSS", "CUBE", "CURRENT", "DATABASE",
-    "DEFAULT", "DELETE", "DESC", "DISTINCT", "DROP", "ELSE", "END", "ESCAPE", "EXCEPT",
-    "EXISTS", "EXTRACT", "FALSE", "FETCH", "FILTER", "FIRST", "FOLLOWING", "FOR", "FOREIGN",
-    "FROM", "FULL", "GRANT", "GROUP", "GROUPING", "HAVING", "ILIKE", "IN", "INDEX", "INNER",
-    "INSERT", "INTERSECT", "INTERVAL", "INTO", "IS", "JOIN", "KEY", "LAST", "LATERAL",
-    "LEFT", "LIKE", "LIMIT", "MERGE", "NATURAL", "NOT", "NULL", "NULLS", "OFFSET", "ON",
-    "OR", "ORDER", "OUTER", "OVER", "PARTITION", "PRECEDING", "PRIMARY", "QUALIFY", "RANGE",
-    "RECURSIVE", "REFERENCES", "REVOKE", "RIGHT", "ROLLBACK", "ROLLUP", "ROW", "ROWS",
-    "SAMPLE", "SELECT", "SET", "SHOW", "SOME", "TABLE", "TABLESAMPLE", "THEN", "TOP",
-    "TRUE", "TRUNCATE", "UNION", "UNIQUE", "UNNEST", "UPDATE", "USE", "USING", "VALUES",
-    "VIEW", "WHEN", "WHERE", "WINDOW", "WITH",
+    "ALL",
+    "ALTER",
+    "AND",
+    "ANY",
+    "AS",
+    "ASC",
+    "BEGIN",
+    "BETWEEN",
+    "BY",
+    "CASE",
+    "CAST",
+    "CHECK",
+    "COLUMN",
+    "COMMIT",
+    "COPY",
+    "CREATE",
+    "CROSS",
+    "CUBE",
+    "CURRENT",
+    "DATABASE",
+    "DEFAULT",
+    "DELETE",
+    "DESC",
+    "DISTINCT",
+    "DROP",
+    "ELSE",
+    "END",
+    "ESCAPE",
+    "EXCEPT",
+    "EXISTS",
+    "EXTRACT",
+    "FALSE",
+    "FETCH",
+    "FILTER",
+    "FIRST",
+    "FOLLOWING",
+    "FOR",
+    "FOREIGN",
+    "FROM",
+    "FULL",
+    "GRANT",
+    "GROUP",
+    "GROUPING",
+    "HAVING",
+    "ILIKE",
+    "IN",
+    "INDEX",
+    "INNER",
+    "INSERT",
+    "INTERSECT",
+    "INTERVAL",
+    "INTO",
+    "IS",
+    "JOIN",
+    "KEY",
+    "LAST",
+    "LATERAL",
+    "LEFT",
+    "LIKE",
+    "LIMIT",
+    "MERGE",
+    "NATURAL",
+    "NOT",
+    "NULL",
+    "NULLS",
+    "OFFSET",
+    "ON",
+    "OR",
+    "ORDER",
+    "OUTER",
+    "OVER",
+    "PARTITION",
+    "PRECEDING",
+    "PRIMARY",
+    "QUALIFY",
+    "RANGE",
+    "RECURSIVE",
+    "REFERENCES",
+    "REVOKE",
+    "RIGHT",
+    "ROLLBACK",
+    "ROLLUP",
+    "ROW",
+    "ROWS",
+    "SAMPLE",
+    "SELECT",
+    "SET",
+    "SHOW",
+    "SOME",
+    "TABLE",
+    "TABLESAMPLE",
+    "THEN",
+    "TOP",
+    "TRUE",
+    "TRUNCATE",
+    "UNION",
+    "UNIQUE",
+    "UNNEST",
+    "UPDATE",
+    "USE",
+    "USING",
+    "VALUES",
+    "VIEW",
+    "WHEN",
+    "WHERE",
+    "WINDOW",
+    "WITH",
 ];
 
 /// Is `word` a keyword (any dialect)? Case-insensitive.
@@ -133,8 +231,7 @@ mod tests {
 
     #[test]
     fn names_unique() {
-        let names: std::collections::HashSet<_> =
-            Dialect::all().iter().map(|d| d.name()).collect();
+        let names: std::collections::HashSet<_> = Dialect::all().iter().map(|d| d.name()).collect();
         assert_eq!(names.len(), Dialect::all().len());
     }
 }

@@ -102,15 +102,15 @@ pub fn features_from_shape(shape: &QueryShape) -> Vec<f32> {
             _ => {}
         }
     }
-    for i in 20..24 {
-        f[i] = (1.0 + f[i]).ln();
+    for v in &mut f[20..24] {
+        *v = (1.0 + *v).ln();
     }
     for t in &shape.tables {
         let b = 24 + (fnv1a(&t.name) as usize % TABLE_BUCKETS);
         f[b] += 1.0;
     }
-    for i in 24..24 + TABLE_BUCKETS {
-        f[i] = (1.0 + f[i]).ln();
+    for v in &mut f[24..24 + TABLE_BUCKETS] {
+        *v = (1.0 + *v).ln();
     }
     f
 }
@@ -150,7 +150,10 @@ mod tests {
 
     #[test]
     fn dimension_is_fixed() {
-        assert_eq!(feature_vector("SELECT 1", Dialect::Generic).len(), FEATURE_DIM);
+        assert_eq!(
+            feature_vector("SELECT 1", Dialect::Generic).len(),
+            FEATURE_DIM
+        );
         assert_eq!(feature_vector("", Dialect::Generic).len(), FEATURE_DIM);
     }
 
@@ -169,7 +172,11 @@ mod tests {
     fn similar_queries_are_close_different_far() {
         use std::cmp::Ordering;
         fn d(a: &[f32], b: &[f32]) -> f32 {
-            a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum::<f32>().sqrt()
+            a.iter()
+                .zip(b)
+                .map(|(x, y)| (x - y).powi(2))
+                .sum::<f32>()
+                .sqrt()
         }
         let a = feature_vector(
             "SELECT c1 FROM orders WHERE o_totalprice > 100",

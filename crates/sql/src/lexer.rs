@@ -255,8 +255,10 @@ impl<'a> Lexer<'a> {
             }
         }
         match self.bump() {
-            Some(b'=' | b'<' | b'>' | b'+' | b'-' | b'*' | b'/' | b'%' | b'&' | b'|' | b'^'
-            | b'~' | b'!') => {
+            Some(
+                b'=' | b'<' | b'>' | b'+' | b'-' | b'*' | b'/' | b'%' | b'&' | b'|' | b'^' | b'~'
+                | b'!',
+            ) => {
                 out.push(Token::new(TokenKind::Operator, self.text(start)));
             }
             Some(_) => {
@@ -385,7 +387,10 @@ mod tests {
 
     #[test]
     fn params_by_dialect() {
-        let g = tokenize("where a = ? and b = :name and c = $1 and d = @p", Dialect::Generic);
+        let g = tokenize(
+            "where a = ? and b = :name and c = $1 and d = @p",
+            Dialect::Generic,
+        );
         let params: Vec<_> = g
             .iter()
             .filter(|t| t.kind == TokenKind::Param)

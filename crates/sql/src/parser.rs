@@ -43,8 +43,19 @@ fn is_agg(name: &str) -> bool {
 
 /// Keywords that terminate a clause at paren depth 0.
 const CLAUSE_STARTERS: &[&str] = &[
-    "group", "having", "order", "limit", "offset", "fetch", "union", "intersect", "except",
-    "window", "qualify", "where", "from",
+    "group",
+    "having",
+    "order",
+    "limit",
+    "offset",
+    "fetch",
+    "union",
+    "intersect",
+    "except",
+    "window",
+    "qualify",
+    "where",
+    "from",
 ];
 
 struct Parser<'a> {
@@ -396,8 +407,10 @@ impl<'a> Parser<'a> {
             shape.set_ops += 1;
             while self.eat_punct('(') {}
             if self.peek().is_some_and(|t| t.is_kw("select")) {
-                let mut rhs = QueryShape::default();
-                rhs.kind = Some(StatementKind::Select);
+                let mut rhs = QueryShape {
+                    kind: Some(StatementKind::Select),
+                    ..Default::default()
+                };
                 self.parse_select_body(&mut rhs, depth);
                 let rhs_set_ops = rhs.set_ops;
                 merge_subquery(shape, rhs, depth); // same depth: siblings
@@ -535,7 +548,10 @@ impl<'a> Parser<'a> {
         loop {
             // One table factor.
             if self.peek().is_some_and(|t| t.is_punct('(')) {
-                if self.peek_at(1).is_some_and(|n| n.is_kw("select") || n.is_kw("with")) {
+                if self
+                    .peek_at(1)
+                    .is_some_and(|n| n.is_kw("select") || n.is_kw("with"))
+                {
                     // Derived table.
                     self.pos += 1;
                     let mut inner = QueryShape::default();
@@ -554,10 +570,7 @@ impl<'a> Parser<'a> {
                     }
                     // Optional alias.
                     self.eat_kw("as");
-                    if self
-                        .peek()
-                        .is_some_and(|t| t.kind == TokenKind::Ident)
-                    {
+                    if self.peek().is_some_and(|t| t.kind == TokenKind::Ident) {
                         self.pos += 1;
                     }
                 } else {
@@ -623,23 +636,21 @@ impl<'a> Parser<'a> {
                     // ON-clause column=column conditions became join edges
                     // already; residual filters belong to predicates.
                     shape.predicates.extend(ctx.predicates);
-                } else if self.eat_kw("using") {
-                    if self.peek().is_some_and(|t| t.is_punct('(')) {
-                        self.pos += 1;
-                        while let Some(t) = self.peek() {
-                            if t.is_punct(')') {
-                                self.pos += 1;
-                                break;
-                            }
-                            if t.kind == TokenKind::Ident {
-                                let col = t.text.to_ascii_lowercase();
-                                shape.joins.push(JoinEdge {
-                                    left: ColumnRef::new(None, &col),
-                                    right: ColumnRef::new(None, &col),
-                                });
-                            }
+                } else if self.eat_kw("using") && self.peek().is_some_and(|t| t.is_punct('(')) {
+                    self.pos += 1;
+                    while let Some(t) = self.peek() {
+                        if t.is_punct(')') {
                             self.pos += 1;
+                            break;
                         }
+                        if t.kind == TokenKind::Ident {
+                            let col = t.text.to_ascii_lowercase();
+                            shape.joins.push(JoinEdge {
+                                left: ColumnRef::new(None, &col),
+                                right: ColumnRef::new(None, &col),
+                            });
+                        }
+                        self.pos += 1;
                     }
                 }
             }
@@ -661,7 +672,10 @@ impl<'a> Parser<'a> {
         let mut wrapped = 0usize;
         loop {
             // Skip ROLLUP( / CUBE( / GROUPING SETS( wrappers.
-            if self.peek().is_some_and(|t| t.is_kw("rollup") || t.is_kw("cube")) {
+            if self
+                .peek()
+                .is_some_and(|t| t.is_kw("rollup") || t.is_kw("cube"))
+            {
                 self.pos += 1;
                 if self.peek().is_some_and(|t| t.is_punct('(')) {
                     self.pos += 1; // descend into the list
@@ -693,8 +707,11 @@ impl<'a> Parser<'a> {
             }
             // Skip ASC / DESC / NULLS FIRST|LAST.
             loop {
-                if self.eat_kw("asc") || self.eat_kw("desc") || self.eat_kw("nulls")
-                    || self.eat_kw("first") || self.eat_kw("last")
+                if self.eat_kw("asc")
+                    || self.eat_kw("desc")
+                    || self.eat_kw("nulls")
+                    || self.eat_kw("first")
+                    || self.eat_kw("last")
                 {
                     continue;
                 }
@@ -828,7 +845,11 @@ impl<'a> Parser<'a> {
             if let Term::Col(c) = lhs {
                 ctx.predicates.push(Predicate {
                     lhs: Lhs::Column(c),
-                    op: if is_not { CmpOp::IsNotNull } else { CmpOp::IsNull },
+                    op: if is_not {
+                        CmpOp::IsNotNull
+                    } else {
+                        CmpOp::IsNull
+                    },
                     rhs: Rhs::None,
                     rhs2: None,
                     negated,
@@ -1028,9 +1049,7 @@ impl<'a> Parser<'a> {
     fn recover_condition(&mut self) {
         let mut depth = 0usize;
         while let Some(t) = self.peek() {
-            if depth == 0
-                && (t.is_kw("and") || t.is_kw("or") || self.at_clause_boundary())
-            {
+            if depth == 0 && (t.is_kw("and") || t.is_kw("or") || self.at_clause_boundary()) {
                 return;
             }
             if t.is_punct('(') {
@@ -1105,7 +1124,9 @@ impl<'a> Parser<'a> {
         // optional +/- `interval 'n' unit` arithmetic.
         if t.kind == TokenKind::Ident
             && matches!(t.text.to_ascii_lowercase().as_str(), "date" | "timestamp")
-            && self.peek_at(1).is_some_and(|n| n.kind == TokenKind::StringLit)
+            && self
+                .peek_at(1)
+                .is_some_and(|n| n.kind == TokenKind::StringLit)
         {
             self.pos += 1;
             let lit = self.bump().expect("peeked");
@@ -1266,7 +1287,10 @@ impl<'a> Parser<'a> {
 #[derive(Debug)]
 enum Term {
     Col(ColumnRef),
-    Agg { func: String, column: Option<ColumnRef> },
+    Agg {
+        func: String,
+        column: Option<ColumnRef>,
+    },
     Lit(Rhs),
     Subquery,
     Expr,
@@ -1444,7 +1468,9 @@ mod tests {
 
     #[test]
     fn date_arithmetic_folds_to_days() {
-        let s = parse("SELECT * FROM lineitem WHERE l_shipdate <= date '1998-12-01' - interval '90' day");
+        let s = parse(
+            "SELECT * FROM lineitem WHERE l_shipdate <= date '1998-12-01' - interval '90' day",
+        );
         assert_eq!(s.predicates.len(), 1);
         let expected = crate::ast::date_to_days("1998-12-01").unwrap() - 90.0;
         assert_eq!(s.predicates[0].rhs, Rhs::Number(expected));
@@ -1477,9 +1503,7 @@ mod tests {
 
     #[test]
     fn nested_subqueries_deepen() {
-        let s = parse(
-            "SELECT * FROM a WHERE x IN (SELECT y FROM b WHERE z IN (SELECT w FROM c))",
-        );
+        let s = parse("SELECT * FROM a WHERE x IN (SELECT y FROM b WHERE z IN (SELECT w FROM c))");
         assert_eq!(s.subquery_depth, 2);
         assert_eq!(s.table_names(), vec!["a", "b", "c"]);
     }
@@ -1510,7 +1534,10 @@ mod tests {
 
     #[test]
     fn dml_kinds() {
-        assert_eq!(parse("INSERT INTO t VALUES (1, 2)").kind, Some(StatementKind::Insert));
+        assert_eq!(
+            parse("INSERT INTO t VALUES (1, 2)").kind,
+            Some(StatementKind::Insert)
+        );
         let u = parse("UPDATE t SET a = 1 WHERE b = 2");
         assert_eq!(u.kind, Some(StatementKind::Update));
         assert_eq!(u.predicates.len(), 1);

@@ -98,7 +98,10 @@ mod tests {
     #[test]
     fn folded_lowercases_words_only() {
         assert_eq!(Token::new(TokenKind::Keyword, "SELECT").folded(), "select");
-        assert_eq!(Token::new(TokenKind::Ident, "LineItem").folded(), "lineitem");
+        assert_eq!(
+            Token::new(TokenKind::Ident, "LineItem").folded(),
+            "lineitem"
+        );
         assert_eq!(
             Token::new(TokenKind::StringLit, "'ASIA'").folded(),
             "'ASIA'"

@@ -85,7 +85,10 @@ mod tests {
     #[test]
     fn tokens_are_normalized() {
         let r = rec("SELECT A FROM T WHERE x = 99");
-        assert_eq!(r.tokens(), vec!["select", "a", "from", "t", "where", "x", "=", "<num>"]);
+        assert_eq!(
+            r.tokens(),
+            vec!["select", "a", "from", "t", "where", "x", "=", "<num>"]
+        );
     }
 
     #[test]

@@ -77,7 +77,14 @@ impl SnowCloudConfig {
             (1699, 5, 0.0),
             (1108, 12, 0.02),
         ];
-        let dialects = ["snowflake", "generic", "postgres", "tsql", "bigquery", "mysql"];
+        let dialects = [
+            "snowflake",
+            "generic",
+            "postgres",
+            "tsql",
+            "bigquery",
+            "mysql",
+        ];
         let accounts = ROWS
             .iter()
             .enumerate()
@@ -99,7 +106,14 @@ impl SnowCloudConfig {
     /// A broad, flat multi-tenant mix for embedder pre-training (the
     /// paper's separate 500k-query training workload).
     pub fn pretrain(n_accounts: usize, queries_per_account: usize, seed: u64) -> SnowCloudConfig {
-        let dialects = ["snowflake", "generic", "postgres", "tsql", "bigquery", "mysql"];
+        let dialects = [
+            "snowflake",
+            "generic",
+            "postgres",
+            "tsql",
+            "bigquery",
+            "mysql",
+        ];
         let accounts = (0..n_accounts)
             .map(|i| AccountSpec {
                 name: format!("pre{i:02}"),
@@ -146,18 +160,35 @@ impl SnowCloud {
 // ---- schema + template machinery ----------------------------------------
 
 const THEMES: &[&str] = &[
-    "sales", "web", "iot", "fin", "hr", "ads", "game", "med", "edu", "ship", "crm", "dev",
-    "ops", "retail", "energy", "social", "travel", "media", "bank", "sec", "agri", "auto",
-    "chem", "pharma", "tele", "legal", "gov", "sport", "food", "music",
+    "sales", "web", "iot", "fin", "hr", "ads", "game", "med", "edu", "ship", "crm", "dev", "ops",
+    "retail", "energy", "social", "travel", "media", "bank", "sec", "agri", "auto", "chem",
+    "pharma", "tele", "legal", "gov", "sport", "food", "music",
 ];
 const NOUNS: &[&str] = &[
-    "orders", "events", "sessions", "users", "metrics", "logs", "invoices", "payments",
-    "clicks", "devices", "accounts", "products", "shipments", "tickets", "visits", "alerts",
-    "trades", "claims", "courses", "campaigns",
+    "orders",
+    "events",
+    "sessions",
+    "users",
+    "metrics",
+    "logs",
+    "invoices",
+    "payments",
+    "clicks",
+    "devices",
+    "accounts",
+    "products",
+    "shipments",
+    "tickets",
+    "visits",
+    "alerts",
+    "trades",
+    "claims",
+    "courses",
+    "campaigns",
 ];
 const ATTRS: &[&str] = &[
-    "id", "ts", "amount", "status", "kind", "region", "score", "cnt", "label", "value",
-    "price", "qty", "flag", "code", "source", "target", "level", "rate",
+    "id", "ts", "amount", "status", "kind", "region", "score", "cnt", "label", "value", "price",
+    "qty", "flag", "code", "source", "target", "level", "rate",
 ];
 
 /// A table in an account's schema: its name and column names.
@@ -246,11 +277,7 @@ impl AccountGen {
                     archetype: rng.below_usize(N_ARCHETYPES),
                     table: rng.below_usize(tables.len()),
                     table2: rng.below_usize(tables.len()),
-                    cols: vec![
-                        rng.below_usize(tables[0].cols.len().max(1)),
-                        0,
-                        1,
-                    ],
+                    cols: vec![rng.below_usize(tables[0].cols.len().max(1)), 0, 1],
                     flaky: false,
                 };
                 render(&t, &tables, rng)
@@ -288,10 +315,10 @@ impl AccountGen {
             };
             // Runtime/memory model: archetype base cost × noise.
             let (base_ms, base_mb) = match archetype {
-                2 | 3 => (900.0, 800.0), // joins / ETL
-                0 | 7 => (350.0, 300.0), // aggregations
+                2 | 3 => (900.0, 800.0),      // joins / ETL
+                0 | 7 => (350.0, 300.0),      // aggregations
                 usize::MAX => (200.0, 150.0), // dashboards from the pool
-                _ => (60.0, 80.0),       // lookups / top-k
+                _ => (60.0, 80.0),            // lookups / top-k
             };
             let noise = (rng.normal() * 0.4).exp() as f64;
             let error_code = if flaky && rng.chance(0.30) {
@@ -364,7 +391,10 @@ fn render(t: &Template, tables: &[Table], rng: &mut Pcg32) -> String {
         extra_preds.push_str(&format!(" and {c} {op} {}", rng.below(10_000)));
     }
     let suffix = match rng.below(4) {
-        0 => format!(" order by {} desc", tab.cols[rng.below_usize(tab.cols.len())]),
+        0 => format!(
+            " order by {} desc",
+            tab.cols[rng.below_usize(tab.cols.len())]
+        ),
         1 => format!(" limit {}", 10 + rng.below(490)),
         _ => String::new(),
     };
@@ -495,12 +525,20 @@ mod tests {
             for t in &texts {
                 *counts.entry(t.as_str()).or_default() += 1;
             }
-            let dups: usize = counts.values().filter(|&&c| c > 1).map(|&c| c).sum();
+            let dups: usize = counts.values().filter(|&&c| c > 1).copied().sum();
             dups as f64 / texts.len().max(1) as f64
         };
         // acct00/acct01 are the repetitive ones, acct05 is template-only.
-        assert!(dup_fraction("acct00") > 0.5, "acct00 {}", dup_fraction("acct00"));
-        assert!(dup_fraction("acct01") > 0.6, "acct01 {}", dup_fraction("acct01"));
+        assert!(
+            dup_fraction("acct00") > 0.5,
+            "acct00 {}",
+            dup_fraction("acct00")
+        );
+        assert!(
+            dup_fraction("acct01") > 0.6,
+            "acct01 {}",
+            dup_fraction("acct01")
+        );
     }
 
     #[test]
@@ -563,10 +601,13 @@ mod tests {
             .filter(|r| r.error_code == Some(604))
             .collect();
         if e604.len() >= 10 {
-            let shapes: HashSet<String> = e604.iter().map(|r| {
-                // Shape = normalized text with numbers already collapsed.
-                r.normalized_text()
-            }).collect();
+            let shapes: HashSet<String> = e604
+                .iter()
+                .map(|r| {
+                    // Shape = normalized text with numbers already collapsed.
+                    r.normalized_text()
+                })
+                .collect();
             assert!(
                 shapes.len() < e604.len(),
                 "604 errors should concentrate on flaky templates"

@@ -67,12 +67,39 @@ impl TpchWorkload {
 
 // ---- parameter domains (TPC-H spec §2.4.x, abbreviated) -----------------
 
-const SEGMENTS: &[&str] = &["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+const SEGMENTS: &[&str] = &[
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "MACHINERY",
+    "HOUSEHOLD",
+];
 const REGIONS: &[&str] = &["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
 const NATIONS: &[&str] = &[
-    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA", "FRANCE", "GERMANY",
-    "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN", "JORDAN", "KENYA", "MOROCCO", "MOZAMBIQUE",
-    "PERU", "CHINA", "ROMANIA", "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM",
+    "ALGERIA",
+    "ARGENTINA",
+    "BRAZIL",
+    "CANADA",
+    "EGYPT",
+    "ETHIOPIA",
+    "FRANCE",
+    "GERMANY",
+    "INDIA",
+    "INDONESIA",
+    "IRAN",
+    "IRAQ",
+    "JAPAN",
+    "JORDAN",
+    "KENYA",
+    "MOROCCO",
+    "MOZAMBIQUE",
+    "PERU",
+    "CHINA",
+    "ROMANIA",
+    "SAUDI ARABIA",
+    "VIETNAM",
+    "RUSSIA",
+    "UNITED KINGDOM",
     "UNITED STATES",
 ];
 const SHIP_MODES: &[&str] = &["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
@@ -82,16 +109,99 @@ const TYPES_1: &[&str] = &["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "P
 const TYPES_2: &[&str] = &["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"];
 const TYPES_3: &[&str] = &["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"];
 const COLORS: &[&str] = &[
-    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black", "blanched", "blue",
-    "blush", "brown", "burlywood", "burnished", "chartreuse", "chiffon", "chocolate", "coral",
-    "cornflower", "cornsilk", "cream", "cyan", "dark", "deep", "dim", "dodger", "drab", "firebrick",
-    "floral", "forest", "frosted", "gainsboro", "ghost", "goldenrod", "green", "grey", "honeydew",
-    "hot", "hotpink", "indian", "ivory", "khaki", "lace", "lavender", "lawn", "lemon", "light",
-    "lime", "linen", "magenta", "maroon", "medium", "metallic", "midnight", "mint", "misty",
-    "moccasin", "navajo", "navy", "olive", "orange", "orchid", "pale", "papaya", "peach", "peru",
-    "pink", "plum", "powder", "puff", "purple", "red", "rose", "rosy", "royal", "saddle", "salmon",
-    "sandy", "seashell", "sienna", "sky", "slate", "smoke", "snow", "spring", "steel", "tan",
-    "thistle", "tomato", "turquoise", "violet", "wheat", "white", "yellow",
+    "almond",
+    "antique",
+    "aquamarine",
+    "azure",
+    "beige",
+    "bisque",
+    "black",
+    "blanched",
+    "blue",
+    "blush",
+    "brown",
+    "burlywood",
+    "burnished",
+    "chartreuse",
+    "chiffon",
+    "chocolate",
+    "coral",
+    "cornflower",
+    "cornsilk",
+    "cream",
+    "cyan",
+    "dark",
+    "deep",
+    "dim",
+    "dodger",
+    "drab",
+    "firebrick",
+    "floral",
+    "forest",
+    "frosted",
+    "gainsboro",
+    "ghost",
+    "goldenrod",
+    "green",
+    "grey",
+    "honeydew",
+    "hot",
+    "hotpink",
+    "indian",
+    "ivory",
+    "khaki",
+    "lace",
+    "lavender",
+    "lawn",
+    "lemon",
+    "light",
+    "lime",
+    "linen",
+    "magenta",
+    "maroon",
+    "medium",
+    "metallic",
+    "midnight",
+    "mint",
+    "misty",
+    "moccasin",
+    "navajo",
+    "navy",
+    "olive",
+    "orange",
+    "orchid",
+    "pale",
+    "papaya",
+    "peach",
+    "peru",
+    "pink",
+    "plum",
+    "powder",
+    "puff",
+    "purple",
+    "red",
+    "rose",
+    "rosy",
+    "royal",
+    "saddle",
+    "salmon",
+    "sandy",
+    "seashell",
+    "sienna",
+    "sky",
+    "slate",
+    "smoke",
+    "snow",
+    "spring",
+    "steel",
+    "tan",
+    "thistle",
+    "tomato",
+    "turquoise",
+    "violet",
+    "wheat",
+    "white",
+    "yellow",
 ];
 
 fn date(y: i64, m: i64, d: i64) -> String {
@@ -192,7 +302,11 @@ fn q4(rng: &mut Pcg32) -> String {
     let y = rng.range_i64(1993, 1997);
     let m = rng.range_i64(1, 10);
     let d0 = date(y, m, 1);
-    let (y2, m2) = if m + 3 > 12 { (y + 1, m + 3 - 12) } else { (y, m + 3) };
+    let (y2, m2) = if m + 3 > 12 {
+        (y + 1, m + 3 - 12)
+    } else {
+        (y, m + 3)
+    };
     let d1 = date(y2, m2, 1);
     format!(
         "select o_orderpriority, count(*) as order_count from orders \
@@ -290,7 +404,11 @@ fn q9(rng: &mut Pcg32) -> String {
 fn q10(rng: &mut Pcg32) -> String {
     let y = rng.range_i64(1993, 1994);
     let m = rng.range_i64(1, 12);
-    let (y2, m2) = if m + 3 > 12 { (y + 1, m + 3 - 12) } else { (y, m + 3) };
+    let (y2, m2) = if m + 3 > 12 {
+        (y + 1, m + 3 - 12)
+    } else {
+        (y, m + 3)
+    };
     format!(
         "select c_custkey, c_name, sum(l_extendedprice * (1 - l_discount)) as revenue, \
          c_acctbal, n_name, c_address, c_phone, c_comment \
@@ -365,7 +483,11 @@ fn q14(rng: &mut Pcg32) -> String {
 fn q15(rng: &mut Pcg32) -> String {
     let y = rng.range_i64(1993, 1997);
     let m = rng.range_i64(1, 10);
-    let (y2, m2) = if m + 3 > 12 { (y + 1, m + 3 - 12) } else { (y, m + 3) };
+    let (y2, m2) = if m + 3 > 12 {
+        (y + 1, m + 3 - 12)
+    } else {
+        (y, m + 3)
+    };
     format!(
         "with revenue as (select l_suppkey as supplier_no, \
          sum(l_extendedprice * (1 - l_discount)) as total_revenue from lineitem \
@@ -561,7 +683,10 @@ mod tests {
         let mut rng = Pcg32::new(5);
         let shape = parse_query(&q6(&mut rng), Dialect::Generic);
         let sargable = shape.predicates.iter().filter(|p| p.sargable()).count();
-        assert!(sargable >= 3, "Q6 should expose range predicates, got {sargable}");
+        assert!(
+            sargable >= 3,
+            "Q6 should expose range predicates, got {sargable}"
+        );
     }
 
     #[test]

@@ -20,7 +20,10 @@ fn main() {
     let advisor = Advisor::new(&catalog, AdvisorConfig::default());
 
     let baseline = workload_runtime(&sqls, &catalog, &[]);
-    println!("workload: {} queries, no-index runtime {baseline:.0} s (simulated)", sqls.len());
+    println!(
+        "workload: {} queries, no-index runtime {baseline:.0} s (simulated)",
+        sqls.len()
+    );
 
     // Train an embedder on the workload text itself.
     let corpus: Vec<Vec<String>> = sqls.iter().map(|s| querc_embed::sql_tokens(s)).collect();
@@ -55,10 +58,14 @@ fn main() {
         ),
         (
             "syntactic K-medoids baseline",
-            summarize_workload(&sqls, &SummaryMethod::SyntacticKMedoids, &SummaryConfig {
-                k: Some(20),
-                ..SummaryConfig::default()
-            }),
+            summarize_workload(
+                &sqls,
+                &SummaryMethod::SyntacticKMedoids,
+                &SummaryConfig {
+                    k: Some(20),
+                    ..SummaryConfig::default()
+                },
+            ),
         ),
     ] {
         let input: Vec<&str> = input_indices.iter().map(|&i| sqls[i]).collect();

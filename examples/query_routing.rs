@@ -33,7 +33,11 @@ fn main() {
         .map(|i| {
             if i % 2 == 0 {
                 record(
-                    &format!("select dim{}, sum(revenue) from finance_mart group by dim{}", i % 4, i % 4),
+                    &format!(
+                        "select dim{}, sum(revenue) from finance_mart group by dim{}",
+                        i % 4,
+                        i % 4
+                    ),
                     "bi-cluster",
                     i,
                 )
@@ -68,7 +72,11 @@ fn main() {
     ));
 
     let anomalies = checker.check(&live);
-    println!("checked {} routed queries, {} suspected misroutings:", live.len(), anomalies.len());
+    println!(
+        "checked {} routed queries, {} suspected misroutings:",
+        live.len(),
+        anomalies.len()
+    );
     for a in &anomalies {
         println!(
             "  query #{:>3}: assigned `{}` but looks like `{}` traffic (confidence {:.0}%)",

@@ -21,7 +21,9 @@ fn main() {
                 1 + i % 28
             ))
         } else {
-            LabeledQuery::new(format!("insert into clickstream values ({i}, 'pageview', {i})"))
+            LabeledQuery::new(format!(
+                "insert into clickstream values ({i}, 'pageview', {i})"
+            ))
         };
         lq.set("app", if i % 2 == 0 { "dashboards" } else { "ingest" });
         trainer.ingest(lq);
@@ -39,7 +41,11 @@ fn main() {
         },
         ..Default::default()
     }));
-    println!("trained {} embedder, dim = {}", embedder.name(), embedder.dim());
+    println!(
+        "trained {} embedder, dim = {}",
+        embedder.name(),
+        embedder.dim()
+    );
 
     // 3. Train a labeler for the `app` label and deploy the (embedder,
     //    labeler) pair through the registry.

@@ -18,7 +18,11 @@ fn main() {
     let wl = SnowCloud::generate(&SnowCloudConfig::paper_table2(0.02, 99));
     let mut rng = Pcg32::new(5);
     let (train, test) = split_holdout(&wl.records, 0.3, &mut rng);
-    println!("workload: {} train / {} test queries", train.len(), test.len());
+    println!(
+        "workload: {} train / {} test queries",
+        train.len(),
+        test.len()
+    );
 
     // Embedder trained on the same service's traffic.
     let corpus: Vec<Vec<String>> = train.iter().map(|r| r.tokens()).collect();
@@ -66,7 +70,10 @@ fn main() {
 
     println!("\ninjected audit scenario:");
     let verdict = auditor.audit(&foreign_sql, &victim);
-    println!("  user `{victim}` submitted: {}", &foreign_sql[..foreign_sql.len().min(80)]);
+    println!(
+        "  user `{victim}` submitted: {}",
+        &foreign_sql[..foreign_sql.len().min(80)]
+    );
     println!(
         "  predicted author: `{}` — {}",
         verdict.predicted_user,

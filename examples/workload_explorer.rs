@@ -23,16 +23,30 @@ fn main() {
     let embedder: Arc<dyn Embedder> = Arc::new(BagOfTokens::new(128, true));
 
     // --- clustering + elbow + silhouette ---------------------------------
-    let points: Vec<Vec<f32>> = wl.records.iter().map(|r| embedder.embed(&r.tokens())).collect();
+    let points: Vec<Vec<f32>> = wl
+        .records
+        .iter()
+        .map(|r| embedder.embed(&r.tokens()))
+        .collect();
     let mut rng = Pcg32::new(21);
     let k = choose_k_elbow(&points, 2, 16, 0.02, &mut rng);
-    let clustering = kmeans(&points, &KMeansConfig { k, ..Default::default() }, &mut rng);
+    let clustering = kmeans(
+        &points,
+        &KMeansConfig {
+            k,
+            ..Default::default()
+        },
+        &mut rng,
+    );
     let sil = mean_silhouette(&points, &clustering.assignments);
     println!("\nclustering: elbow chose k = {k}, silhouette {sil:.2}");
     let witnesses = clustering.witnesses(&points);
     for (c, (&w, size)) in witnesses.iter().zip(clustering.sizes()).enumerate() {
         let sql = &wl.records[w].sql;
-        println!("  cluster {c} ({size:>3} queries): {}", &sql[..sql.len().min(84)]);
+        println!(
+            "  cluster {c} ({size:>3} queries): {}",
+            &sql[..sql.len().min(84)]
+        );
     }
 
     // --- error prediction -------------------------------------------------
@@ -65,7 +79,10 @@ fn main() {
     // Per-user ordered histories from the log.
     let mut by_user: std::collections::BTreeMap<&str, Vec<String>> = Default::default();
     for r in &wl.records {
-        by_user.entry(r.user.as_str()).or_default().push(r.sql.clone());
+        by_user
+            .entry(r.user.as_str())
+            .or_default()
+            .push(r.sql.clone());
     }
     let histories: Vec<Vec<String>> = by_user.into_values().filter(|h| h.len() >= 3).collect();
     let recommender = QueryRecommender::train(&histories, Arc::clone(&embedder), k, 13);

@@ -1,0 +1,235 @@
+//! Offline stand-in for `serde` (the container has no crates.io access).
+//!
+//! Exposes the same import surface the workspace uses — `Serialize`,
+//! `Deserialize`, `de::DeserializeOwned`, and the two derive macros — but
+//! commits to a single wire format: JSON. `Serialize` writes JSON text
+//! directly; `Deserialize` reads from a parsed [`json::Value`] tree. The
+//! companion `serde_json` shim provides `to_string`/`from_str` on top.
+//!
+//! Floats are printed with Rust's shortest-round-trip `Display`, so
+//! `f32`/`f64` survive a round trip bit-exactly (NaN/∞ are not valid
+//! JSON and are rejected at parse time).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod json;
+
+use std::collections::{BTreeMap, HashMap};
+
+/// Serialize `self` as JSON text appended to `out`.
+pub trait Serialize {
+    fn serialize_json(&self, out: &mut String);
+}
+
+/// Reconstruct `Self` from a parsed JSON value.
+pub trait Deserialize: Sized {
+    fn deserialize_json(v: &json::Value) -> Result<Self, json::Error>;
+}
+
+pub mod de {
+    //! Mirror of `serde::de` for the one bound the workspace imports.
+
+    /// Owned deserialization — in this shim every `Deserialize` is owned.
+    pub trait DeserializeOwned: crate::Deserialize {}
+    impl<T: crate::Deserialize> DeserializeOwned for T {}
+}
+
+macro_rules! impl_integer {
+    ($($t:ty),+) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self, out: &mut String) {
+                out.push_str(&self.to_string());
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_json(v: &json::Value) -> Result<Self, json::Error> {
+                v.as_number()?.parse::<$t>().map_err(|e| {
+                    json::Error::msg(format!("invalid {}: {e}", stringify!($t)))
+                })
+            }
+        }
+    )+};
+}
+
+impl_integer!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),+) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self, out: &mut String) {
+                if self.is_finite() {
+                    out.push_str(&self.to_string());
+                } else {
+                    // JSON has no NaN/∞; null round-trips to NaN.
+                    out.push_str("null");
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_json(v: &json::Value) -> Result<Self, json::Error> {
+                if matches!(v, json::Value::Null) {
+                    return Ok(<$t>::NAN);
+                }
+                v.as_number()?.parse::<$t>().map_err(|e| {
+                    json::Error::msg(format!("invalid {}: {e}", stringify!($t)))
+                })
+            }
+        }
+    )+};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn serialize_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_json(v: &json::Value) -> Result<Self, json::Error> {
+        match v {
+            json::Value::Bool(b) => Ok(*b),
+            _ => Err(json::Error::msg("expected bool")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize_json(&self, out: &mut String) {
+        json::escape_str(self, out);
+    }
+}
+
+impl Serialize for str {
+    fn serialize_json(&self, out: &mut String) {
+        json::escape_str(self, out);
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_json(v: &json::Value) -> Result<Self, json::Error> {
+        v.as_str().map(str::to_string)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_json(&self, out: &mut String) {
+        match self {
+            Some(x) => x.serialize_json(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_json(v: &json::Value) -> Result<Self, json::Error> {
+        match v {
+            json::Value::Null => Ok(None),
+            other => Ok(Some(T::deserialize_json(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('[');
+        for (i, x) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            x.serialize_json(out);
+        }
+        out.push(']');
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_json(v: &json::Value) -> Result<Self, json::Error> {
+        v.as_array()?.iter().map(T::deserialize_json).collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('[');
+        for (i, x) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            x.serialize_json(out);
+        }
+        out.push(']');
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('[');
+        self.0.serialize_json(out);
+        out.push(',');
+        self.1.serialize_json(out);
+        out.push(']');
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn deserialize_json(v: &json::Value) -> Result<Self, json::Error> {
+        let arr = v.as_array()?;
+        if arr.len() != 2 {
+            return Err(json::Error::msg("expected 2-element array"));
+        }
+        Ok((A::deserialize_json(&arr[0])?, B::deserialize_json(&arr[1])?))
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn serialize_json(&self, out: &mut String) {
+        // Deterministic key order keeps serialized models diffable.
+        let mut keys: Vec<&String> = self.keys().collect();
+        keys.sort();
+        out.push('{');
+        for (i, k) in keys.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::escape_str(k, out);
+            out.push(':');
+            self[*k].serialize_json(out);
+        }
+        out.push('}');
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn deserialize_json(v: &json::Value) -> Result<Self, json::Error> {
+        v.as_object()?
+            .iter()
+            .map(|(k, val)| Ok((k.clone(), V::deserialize_json(val)?)))
+            .collect()
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('{');
+        for (i, (k, val)) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::escape_str(k, out);
+            out.push(':');
+            val.serialize_json(out);
+        }
+        out.push('}');
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn deserialize_json(v: &json::Value) -> Result<Self, json::Error> {
+        v.as_object()?
+            .iter()
+            .map(|(k, val)| Ok((k.clone(), V::deserialize_json(val)?)))
+            .collect()
+    }
+}

@@ -1,0 +1,187 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace vendors a minimal `serde` whose wire format is JSON and
+//! whose traits are `Serialize { serialize_json }` / `Deserialize
+//! { deserialize_json }`. These derives cover exactly the shapes the
+//! workspace uses: structs with named fields and enums with unit
+//! variants, no generics. Anything else is rejected with a compile
+//! error so a future use fails loudly instead of mis-serializing.
+//!
+//! No `syn`/`quote`: the container is offline, so the input token stream
+//! is walked by hand and the output is assembled as a string.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    /// Named-field struct: type name + field names in declaration order.
+    Struct(String, Vec<String>),
+    /// Enum of unit variants: type name + variant names.
+    Enum(String, Vec<String>),
+}
+
+fn parse_shape(input: TokenStream) -> Shape {
+    let mut iter = input.into_iter();
+    let is_struct;
+    let name;
+    loop {
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // Outer attribute: consume its bracket group.
+                let _ = iter.next();
+            }
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                if s == "pub" {
+                    continue; // a following `(crate)` group is skipped below
+                } else if s == "struct" || s == "enum" {
+                    is_struct = s == "struct";
+                    match iter.next() {
+                        Some(TokenTree::Ident(n)) => {
+                            name = n.to_string();
+                            break;
+                        }
+                        other => panic!("serde shim derive: expected type name, got {other:?}"),
+                    }
+                } else {
+                    panic!("serde shim derive: unexpected ident `{s}`");
+                }
+            }
+            Some(TokenTree::Group(_)) => {} // `pub(crate)` visibility group
+            other => panic!("serde shim derive: unexpected token {other:?}"),
+        }
+    }
+    let body = match iter.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+        other => panic!(
+            "serde shim derive: only braced (named-field / unit-variant) bodies are supported, got {other:?}"
+        ),
+    };
+    if is_struct {
+        Shape::Struct(name, parse_fields(body.stream()))
+    } else {
+        Shape::Enum(name, parse_variants(body.stream()))
+    }
+}
+
+/// Field names of a named-field struct body, skipping attributes,
+/// visibility, and type tokens (angle-bracket depth tracked so commas in
+/// `HashMap<K, V>` don't split fields).
+fn parse_fields(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        // Field start: attributes, then visibility, then `name : Type ,`
+        let name = loop {
+            match iter.next() {
+                None => return fields,
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    let _ = iter.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    if let Some(TokenTree::Group(_)) = iter.peek() {
+                        let _ = iter.next();
+                    }
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                other => panic!("serde shim derive: unexpected field token {other:?}"),
+            }
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde shim derive: expected `:` after field `{name}`, got {other:?}"),
+        }
+        fields.push(name);
+        // Skip the type until a top-level comma.
+        let mut angle = 0i32;
+        loop {
+            match iter.next() {
+                None => return fields,
+                Some(TokenTree::Punct(p)) => match p.as_char() {
+                    '<' => angle += 1,
+                    '>' => angle -= 1,
+                    ',' if angle == 0 => break,
+                    _ => {}
+                },
+                Some(_) => {}
+            }
+        }
+    }
+}
+
+/// Variant names of a unit-variant enum body.
+fn parse_variants(body: TokenStream) -> Vec<String> {
+    let mut variants = Vec::new();
+    let mut iter = body.into_iter();
+    loop {
+        match iter.next() {
+            None => return variants,
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                let _ = iter.next();
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            Some(TokenTree::Ident(id)) => variants.push(id.to_string()),
+            Some(TokenTree::Group(_)) => {
+                panic!("serde shim derive: only unit enum variants are supported")
+            }
+            other => panic!("serde shim derive: unexpected enum token {other:?}"),
+        }
+    }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let out = match parse_shape(input) {
+        Shape::Struct(name, fields) => {
+            let mut body = String::from("out.push('{');\n");
+            for (i, f) in fields.iter().enumerate() {
+                if i > 0 {
+                    body.push_str("out.push(',');\n");
+                }
+                body.push_str(&format!(
+                    "out.push_str(\"\\\"{f}\\\":\");\n::serde::Serialize::serialize_json(&self.{f}, out);\n"
+                ));
+            }
+            body.push_str("out.push('}');");
+            format!(
+                "impl ::serde::Serialize for {name} {{\n fn serialize_json(&self, out: &mut ::std::string::String) {{\n {body}\n }}\n}}"
+            )
+        }
+        Shape::Enum(name, variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => out.push_str(\"\\\"{v}\\\"\"),\n"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n fn serialize_json(&self, out: &mut ::std::string::String) {{\n match self {{ {arms} }}\n }}\n}}"
+            )
+        }
+    };
+    out.parse().unwrap()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let out = match parse_shape(input) {
+        Shape::Struct(name, fields) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!("{f}: ::serde::Deserialize::deserialize_json(v.field(\"{f}\")?)?,\n")
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n fn deserialize_json(v: &::serde::json::Value) -> ::std::result::Result<Self, ::serde::json::Error> {{\n ::std::result::Result::Ok({name} {{ {inits} }})\n }}\n}}"
+            )
+        }
+        Shape::Enum(name, variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v}),\n"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n fn deserialize_json(v: &::serde::json::Value) -> ::std::result::Result<Self, ::serde::json::Error> {{\n match v.as_str()? {{ {arms} other => ::std::result::Result::Err(::serde::json::Error::msg(format!(\"unknown {name} variant {{other}}\"))) }}\n }}\n}}"
+            )
+        }
+    };
+    out.parse().unwrap()
+}

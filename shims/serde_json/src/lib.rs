@@ -1,0 +1,52 @@
+//! Offline stand-in for `serde_json`, backed by the vendored `serde`
+//! shim's JSON model. Provides exactly the entry points the workspace
+//! uses: `to_string`, `from_str`, and the `Error` type.
+
+pub use serde::json::{Error, Value};
+
+/// Serialize a value to a JSON string.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.serialize_json(&mut out);
+    Ok(out)
+}
+
+/// Deserialize a value from a JSON string.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    let v = serde::json::parse(s)?;
+    T::deserialize_json(&v)
+}
+
+#[cfg(test)]
+mod tests {
+    use serde::{Deserialize, Serialize};
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Demo {
+        name: String,
+        xs: Vec<f32>,
+        flag: Option<u16>,
+        on: bool,
+    }
+
+    #[test]
+    fn derive_roundtrip() {
+        let d = Demo {
+            name: "a\"b".into(),
+            xs: vec![1.5, -0.25, 3.0000002],
+            flag: None,
+            on: true,
+        };
+        let s = super::to_string(&d).unwrap();
+        let back: Demo = super::from_str(&s).unwrap();
+        assert_eq!(d, back);
+    }
+
+    #[test]
+    fn f32_exact_roundtrip() {
+        let xs: Vec<f32> = (0..1000).map(|i| (i as f32 * 0.1).sin() / 3.0).collect();
+        let s = super::to_string(&xs).unwrap();
+        let back: Vec<f32> = super::from_str(&s).unwrap();
+        assert_eq!(xs, back);
+    }
+}

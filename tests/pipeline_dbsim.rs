@@ -85,11 +85,13 @@ fn fully_validated_recommendations_never_regress() {
 fn snowcloud_queries_also_flow_through_the_simulator() {
     // Unknown-schema queries must still plan (default table stats), since
     // Querc routes heterogeneous tenants through one analytics path.
-    let wl = querc_workloads::SnowCloud::generate(
-        &querc_workloads::SnowCloudConfig::pretrain(4, 25, 3),
-    );
+    let wl =
+        querc_workloads::SnowCloud::generate(&querc_workloads::SnowCloudConfig::pretrain(4, 25, 3));
     let catalog = Catalog::tpch_sf1();
     let sqls: Vec<&str> = wl.records.iter().map(|r| r.sql.as_str()).collect();
     let run = run_workload(&sqls, &catalog, &[]);
-    assert!(run.per_query_secs.iter().all(|&t| t.is_finite() && t >= 0.0));
+    assert!(run
+        .per_query_secs
+        .iter()
+        .all(|&t| t.is_finite() && t >= 0.0));
 }

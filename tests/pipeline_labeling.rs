@@ -6,7 +6,9 @@
 
 use crossbeam::channel::unbounded;
 use querc::apps::audit::{per_account_accuracy, SecurityAuditor};
-use querc::{EmbedderKind, LabeledQuery, ModelRegistry, Qworker, QworkerMode, TrainingConfig, TrainingModule};
+use querc::{
+    EmbedderKind, LabeledQuery, ModelRegistry, Qworker, QworkerMode, TrainingConfig, TrainingModule,
+};
 use querc_embed::{LstmAutoencoder, LstmConfig, VocabConfig};
 use querc_linalg::Pcg32;
 use querc_workloads::record::split_holdout;
@@ -95,7 +97,10 @@ fn stream_label_train_deploy_roundtrip() {
         } else {
             LabeledQuery::new(format!("insert into iot_readings values ({i}, {i})"))
         };
-        lq.set("pipeline", if i % 2 == 0 { "reporting" } else { "telemetry" });
+        lq.set(
+            "pipeline",
+            if i % 2 == 0 { "reporting" } else { "telemetry" },
+        );
         in_tx.send(lq).unwrap();
     }
     drop(in_tx);
@@ -125,8 +130,7 @@ fn transfer_embedder_labels_a_different_workload() {
     // Train the embedder on one service's workload, use it for labeling
     // on an entirely different tenant mix (the paper's transfer story).
     let pretrain = SnowCloud::generate(&SnowCloudConfig::pretrain(8, 60, 71));
-    let embedder: Arc<dyn querc_embed::Embedder> =
-        Arc::new(small_lstm(&pretrain.token_corpus()));
+    let embedder: Arc<dyn querc_embed::Embedder> = Arc::new(small_lstm(&pretrain.token_corpus()));
 
     let target = SnowCloud::generate(&SnowCloudConfig::paper_table2(0.01, 99));
     let mut rng = Pcg32::new(12);

@@ -1,0 +1,259 @@
+//! Integration: the unified serving façade end to end.
+//!
+//! All six workload apps register with one `WorkloadManager`, a mixed
+//! 200-query stream is submitted across them, and the drained outputs
+//! are checked for per-app labels and accurate throughput counters —
+//! the paper's Fig 1 exercised as a single API.
+
+use querc::apps::{
+    AuditApp, ErrorsApp, RecommendApp, ResourcesApp, RoutingApp, SummarizeApp, TrainCorpus,
+};
+use querc::{LabeledQuery, QuercError, WorkloadManager, WorkloadManagerConfig};
+use querc_embed::{BagOfTokens, Embedder};
+use querc_workloads::QueryRecord;
+use std::sync::Arc;
+
+/// A synthetic multi-tenant log with enough structure for every app:
+/// two users with distinct habits, two routing clusters, one flaky
+/// query shape, three runtime classes, and alternating session flows.
+fn training_records() -> Vec<QueryRecord> {
+    (0..120u64)
+        .map(|i| {
+            let (user, cluster, sql, ms, err) = match i % 4 {
+                0 => (
+                    "acct/ana",
+                    "bi-cluster",
+                    format!("select revenue, region from finance_cube where q = {i} group by region"),
+                    400.0,
+                    None,
+                ),
+                1 => (
+                    "acct/bo",
+                    "etl-cluster",
+                    format!("insert into lake_events select * from staging_{}", i % 3),
+                    30.0,
+                    None,
+                ),
+                2 => (
+                    "acct/ana",
+                    "bi-cluster",
+                    format!("select v from kv_store where k = {i}"),
+                    5.0,
+                    None,
+                ),
+                _ => (
+                    "acct/bo",
+                    "etl-cluster",
+                    format!(
+                        "select a.*, b.* from giant_facts a join giant_facts b on a.k = b.k where a.x > {i}"
+                    ),
+                    2000.0,
+                    (i % 8 != 3).then_some(604),
+                ),
+            };
+            QueryRecord {
+                sql,
+                user: user.into(),
+                account: "acct".into(),
+                cluster: cluster.into(),
+                dialect: "generic".into(),
+                runtime_ms: ms,
+                mem_mb: ms / 2.0,
+                error_code: err,
+                timestamp: i,
+            }
+        })
+        .collect()
+}
+
+fn embedder() -> Arc<dyn Embedder> {
+    Arc::new(BagOfTokens::new(128, true))
+}
+
+const APPS: [&str; 6] = [
+    "audit",
+    "errors",
+    "recommend",
+    "resources",
+    "routing",
+    "summarize",
+];
+
+#[test]
+fn manager_serves_all_six_apps_over_a_mixed_stream() {
+    let corpus = TrainCorpus::from_records(training_records(), 0x2019);
+    let mut mgr = WorkloadManager::new(WorkloadManagerConfig {
+        replicas: 2,
+        batch: 16,
+        ..Default::default()
+    });
+
+    // Register all six apps; every report reflects the shared corpus.
+    mgr.register(AuditApp::new(embedder()).with_trees(20), &corpus)
+        .unwrap();
+    mgr.register(ErrorsApp::new(embedder()), &corpus).unwrap();
+    mgr.register(RecommendApp::new(embedder()).with_clusters(4), &corpus)
+        .unwrap();
+    mgr.register(ResourcesApp::new(embedder()), &corpus)
+        .unwrap();
+    mgr.register(RoutingApp::new(embedder()), &corpus).unwrap();
+    // Fixed K: the elbow scan is an offline-tuning concern, not a
+    // serving-path one, and it dominates test runtime.
+    let summary_cfg = querc::apps::summarize::SummaryConfig {
+        k: Some(6),
+        ..Default::default()
+    };
+    mgr.register(
+        SummarizeApp::new(embedder()).with_config(summary_cfg),
+        &corpus,
+    )
+    .unwrap();
+    assert_eq!(mgr.app_names(), APPS);
+    for report in mgr.reports().unwrap() {
+        assert_eq!(report.trained_queries, 120, "{}", report.app);
+        assert!(!report.task.is_empty());
+    }
+
+    // A mixed 200-query stream, round-robin across the apps, with the
+    // metadata labels the checking apps compare against.
+    let mut submitted_per_app = [0usize; 6];
+    for i in 0..200u64 {
+        let app = APPS[(i % 6) as usize];
+        let mut lq = match i % 4 {
+            0 => LabeledQuery::new(format!(
+                "select revenue, region from finance_cube where q = {i} group by region"
+            )),
+            1 => LabeledQuery::new(format!(
+                "insert into lake_events select * from staging_{}",
+                i % 3
+            )),
+            2 => LabeledQuery::new(format!("select v from kv_store where k = {i}")),
+            _ => LabeledQuery::new(format!(
+                "select a.*, b.* from giant_facts a join giant_facts b on a.k = b.k where a.x > {i}"
+            )),
+        };
+        // Metadata matching the training pattern: ana runs the BI shapes
+        // (i%4 ∈ {0,2}), bo the ETL/join shapes (i%4 ∈ {1,3}).
+        lq.set(
+            "user",
+            if i % 4 % 2 == 0 {
+                "acct/ana"
+            } else {
+                "acct/bo"
+            },
+        );
+        lq.set(
+            "cluster",
+            if i % 4 % 2 == 0 {
+                "bi-cluster"
+            } else {
+                "etl-cluster"
+            },
+        );
+        if i % 2 == 0 {
+            mgr.submit(app, lq).unwrap();
+        } else {
+            assert_eq!(mgr.submit_batch(app, [lq]).unwrap(), 1);
+        }
+        submitted_per_app[(i % 6) as usize] += 1;
+    }
+
+    let drained = mgr.drain();
+
+    // Counters: every submission processed, per app.
+    assert_eq!(drained.throughput.len(), 6);
+    for tp in &drained.throughput {
+        let expected = submitted_per_app[APPS.iter().position(|a| *a == tp.app).unwrap()];
+        assert_eq!(tp.submitted, expected as u64, "{} submitted", tp.app);
+        assert_eq!(tp.processed, expected as u64, "{} processed", tp.app);
+        assert_eq!(
+            drained.outputs[&tp.app].len(),
+            expected,
+            "{} outputs",
+            tp.app
+        );
+    }
+    let total: usize = drained.outputs.values().map(Vec::len).sum();
+    assert_eq!(total, 200);
+    // The training mirror saw the whole stream.
+    assert_eq!(drained.training_log.len(), 200);
+
+    // Per-app labels: each app attached its own label family, plus the
+    // worker's application tag, and no serving-path errors surfaced.
+    for (app, queries) in &drained.outputs {
+        for lq in queries {
+            assert_eq!(lq.get("application").unwrap(), app);
+            assert_eq!(lq.get("app_error"), None, "{app}: {lq:?}");
+            match app.as_str() {
+                "audit" => {
+                    assert!(lq.get("predicted_user").is_some());
+                    assert!(lq.get("audit_flag").is_some());
+                }
+                "errors" => {
+                    assert!(lq.get("error_probability").is_some());
+                    assert!(lq.get("error_risky").is_some());
+                }
+                "recommend" => {
+                    assert!(lq.get("query_cluster").is_some());
+                    assert!(lq.get("next_query").is_some());
+                }
+                "resources" => {
+                    let class = lq.get("resource_class").unwrap();
+                    assert!(["short", "medium", "long"].contains(&class));
+                }
+                "routing" => {
+                    assert!(lq.get("predicted_cluster").is_some());
+                    assert!(lq.get("routing_anomaly").is_some());
+                }
+                "summarize" => {
+                    assert!(lq.get("summary_cluster").is_some());
+                    assert!(lq.get("summary_witness").is_some());
+                }
+                other => panic!("unexpected app {other}"),
+            }
+        }
+    }
+
+    // Model quality spot checks on the well-separated families.
+    let audited = &drained.outputs["audit"];
+    let correct_users = audited
+        .iter()
+        .filter(|lq| lq.get("predicted_user") == lq.get("user"))
+        .count();
+    assert!(
+        correct_users * 10 >= audited.len() * 8,
+        "user prediction should be strong on separable habits: {correct_users}/{}",
+        audited.len()
+    );
+    let resources = &drained.outputs["resources"];
+    assert!(
+        resources
+            .iter()
+            .filter(|lq| lq.sql.contains("kv_store"))
+            .all(|lq| lq.get("resource_class") == Some("short")),
+        "point lookups must classify short"
+    );
+    let risky_flags = drained.outputs["errors"]
+        .iter()
+        .filter(|lq| lq.sql.contains("giant_facts"))
+        .filter(|lq| lq.get("error_risky") == Some("true"))
+        .count();
+    assert!(risky_flags > 0, "the flaky join shape must be flagged");
+}
+
+#[test]
+fn manager_rejects_unknown_apps_and_empty_corpora() {
+    let mut mgr = WorkloadManager::new(WorkloadManagerConfig::default());
+    assert!(matches!(
+        mgr.submit("nope", LabeledQuery::new("select 1")),
+        Err(QuercError::UnknownApp { .. })
+    ));
+    let err = mgr
+        .register(AuditApp::new(embedder()), &TrainCorpus::default())
+        .unwrap_err();
+    assert!(matches!(err, QuercError::EmptyCorpus { .. }));
+    assert!(
+        mgr.app_names().is_empty(),
+        "failed registration must not leak"
+    );
+}

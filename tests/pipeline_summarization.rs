@@ -54,7 +54,10 @@ fn summarized_workload_recommends_helpful_indexes() {
 
     let summary: Vec<&str> = witnesses.iter().map(|&i| sqls[i]).collect();
     let report = advisor.recommend(&summary, 600.0);
-    assert!(!report.indexes.is_empty(), "advisor must recommend something");
+    assert!(
+        !report.indexes.is_empty(),
+        "advisor must recommend something"
+    );
 
     let with = workload_runtime(&sqls, &catalog, &report.indexes);
     assert!(
