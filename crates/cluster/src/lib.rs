@@ -5,10 +5,10 @@
 //! The paper's workload-summarization pipeline (§5.1) is: embed every
 //! query, run K-means with K chosen by the elbow method, and keep the
 //! query nearest each centroid as the summary. This crate supplies that
-//! ([`kmeans`], [`elbow`]) plus the classical comparator — K-medoids with
-//! a pluggable distance function, the Chaudhuri-et-al.-style approach the
-//! paper argues requires custom per-workload distance engineering
-//! ([`kmedoids`]) — and [`silhouette`] scores for diagnostics.
+//! ([`mod@kmeans`], [`elbow`]) plus the classical comparator — K-medoids
+//! with a pluggable distance function, the Chaudhuri-et-al.-style approach
+//! the paper argues requires custom per-workload distance engineering
+//! ([`mod@kmedoids`]) — and [`silhouette`] scores for diagnostics.
 
 pub mod elbow;
 pub mod kmeans;

@@ -20,7 +20,9 @@ use std::sync::Arc;
 /// Verdict for one audited query.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AuditVerdict {
+    /// The user the query was actually submitted as.
     pub actual_user: String,
+    /// The user the model believes wrote it.
     pub predicted_user: String,
     /// True when prediction and reality disagree — flag for review.
     pub flagged: bool,
@@ -29,9 +31,13 @@ pub struct AuditVerdict {
 /// Per-account labeling accuracy (Table 2's rows).
 #[derive(Debug, Clone, PartialEq)]
 pub struct AccountAccuracy {
+    /// Account (tenant) name.
     pub account: String,
+    /// Held-out queries scored for this account.
     pub queries: usize,
+    /// Distinct users seen in those queries.
     pub users: usize,
+    /// Fraction of queries whose predicted user matched the actual one.
     pub accuracy: f64,
 }
 
@@ -128,6 +134,7 @@ pub struct AuditApp {
 }
 
 impl AuditApp {
+    /// An auditing app over `embedder` with the default forest size.
     pub fn new(embedder: Arc<dyn Embedder>) -> AuditApp {
         AuditApp {
             embedder,
@@ -135,6 +142,7 @@ impl AuditApp {
         }
     }
 
+    /// Override the number of trees in the user-prediction forest.
     pub fn with_trees(mut self, n_trees: usize) -> AuditApp {
         self.n_trees = n_trees;
         self

@@ -105,6 +105,8 @@ pub struct ErrorsApp {
 }
 
 impl ErrorsApp {
+    /// An error-prediction app over `embedder` with the default 0.5
+    /// flagging threshold.
     pub fn new(embedder: Arc<dyn Embedder>) -> ErrorsApp {
         ErrorsApp {
             embedder,
@@ -112,6 +114,7 @@ impl ErrorsApp {
         }
     }
 
+    /// Override the failure-probability flagging threshold.
     pub fn with_threshold(mut self, threshold: f64) -> ErrorsApp {
         self.threshold = threshold;
         self
@@ -120,6 +123,7 @@ impl ErrorsApp {
 
 /// A fitted error model plus its training size.
 pub struct ErrorsModel {
+    /// The underlying trained predictor (bespoke entry point).
     pub predictor: ErrorPredictor,
     trained_queries: usize,
 }

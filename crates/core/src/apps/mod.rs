@@ -19,6 +19,26 @@
 //! The pre-existing bespoke entry points (`SecurityAuditor::train`,
 //! `summarize_workload`, …) remain as thin wrappers around the same
 //! logic, so offline/ablation code keeps working unchanged.
+//!
+//! Every app is fit/label/report — usable directly, without a manager:
+//!
+//! ```
+//! use querc::apps::{ResourcesApp, TrainCorpus, WorkloadApp};
+//! use querc::LabeledQuery;
+//! use querc_workloads::{SnowCloud, SnowCloudConfig};
+//! use std::sync::Arc;
+//!
+//! let wl = SnowCloud::generate(&SnowCloudConfig::pretrain(2, 40, 7));
+//! let corpus = TrainCorpus::from_records(wl.records.clone(), 7);
+//! let app = ResourcesApp::new(Arc::new(querc_embed::BagOfTokens::new(64, true)));
+//!
+//! let model = app.fit(&corpus).unwrap();
+//! let batch = [LabeledQuery::new("select 1")];
+//! let outputs = app.label_batch(&model, &batch).unwrap();
+//! assert_eq!(outputs.len(), 1);
+//! assert!(outputs[0].get("resource_class").is_some());
+//! assert_eq!(app.report(&model).trained_queries, corpus.len());
+//! ```
 
 pub mod audit;
 pub mod errors;
@@ -82,6 +102,7 @@ impl TrainCorpus {
         self.records.len()
     }
 
+    /// True when the corpus holds no records.
     pub fn is_empty(&self) -> bool {
         self.records.is_empty()
     }
@@ -110,6 +131,7 @@ pub struct AppOutput {
 }
 
 impl AppOutput {
+    /// An output with no labels attached yet.
     pub fn new() -> AppOutput {
         AppOutput::default()
     }
@@ -188,13 +210,19 @@ pub trait WorkloadApp: Send + Sync {
 /// Blanket-implemented for every `WorkloadApp`, so user code only ever
 /// implements the typed trait.
 pub trait DynWorkloadApp: Send + Sync {
+    /// Registration key (see [`WorkloadApp::name`]).
     fn name(&self) -> &'static str;
+    /// Type-erased [`WorkloadApp::fit`].
     fn fit_dyn(&self, corpus: &TrainCorpus) -> Result<Box<dyn Any + Send + Sync>>;
+    /// Type-erased [`WorkloadApp::label_batch`]; fails with
+    /// [`QuercError::ModelTypeMismatch`] if `model` was fitted by a
+    /// different app type.
     fn label_batch_dyn(
         &self,
         model: &(dyn Any + Send + Sync),
         batch: &[LabeledQuery],
     ) -> Result<Vec<AppOutput>>;
+    /// Type-erased [`WorkloadApp::report`].
     fn report_dyn(&self, model: &(dyn Any + Send + Sync)) -> Result<AppReport>;
 }
 

@@ -188,10 +188,12 @@ pub struct RecommendApp {
 }
 
 impl RecommendApp {
+    /// A recommendation app over `embedder` with the default cluster count.
     pub fn new(embedder: Arc<dyn Embedder>) -> RecommendApp {
         RecommendApp { embedder, k: 8 }
     }
 
+    /// Override the number of embedding clusters (≥ 1).
     pub fn with_clusters(mut self, k: usize) -> RecommendApp {
         self.k = k.max(1);
         self

@@ -18,12 +18,16 @@ use std::sync::Arc;
 /// Coarse resource classes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ResourceClass {
+    /// Runs in well under the short threshold (point lookups).
     Short,
+    /// Between the two thresholds (typical aggregations).
     Medium,
+    /// At or above the long threshold (joins, ETL).
     Long,
 }
 
 impl ResourceClass {
+    /// Lower-case label value (`short` / `medium` / `long`).
     pub fn name(&self) -> &'static str {
         match self {
             ResourceClass::Short => "short",
@@ -44,7 +48,9 @@ impl ResourceClass {
 /// Thresholds (milliseconds) splitting the three classes.
 #[derive(Debug, Clone, Copy)]
 pub struct ResourceBuckets {
+    /// Runtimes strictly below this are `Short`.
     pub short_below_ms: f64,
+    /// Runtimes at or above this are `Long`.
     pub long_above_ms: f64,
 }
 
@@ -74,10 +80,13 @@ impl ResourceBuckets {
 pub struct ResourcePredictor {
     embedder: Arc<dyn Embedder>,
     model: RandomForest,
+    /// The thresholds the model was trained against.
     pub buckets: ResourceBuckets,
 }
 
 impl ResourcePredictor {
+    /// Train a forest mapping query embeddings to runtime classes
+    /// derived from each record's measured `runtime_ms`.
     pub fn train(
         records: &[QueryRecord],
         embedder: Arc<dyn Embedder>,
@@ -135,10 +144,12 @@ impl ResourcePredictor {
 /// short/medium/long bucket for admission control and load balancing.
 pub struct ResourcesApp {
     embedder: Arc<dyn Embedder>,
+    /// Runtime thresholds defining the three classes.
     pub buckets: ResourceBuckets,
 }
 
 impl ResourcesApp {
+    /// A resource-class app over `embedder` with the default thresholds.
     pub fn new(embedder: Arc<dyn Embedder>) -> ResourcesApp {
         ResourcesApp {
             embedder,
@@ -146,6 +157,7 @@ impl ResourcesApp {
         }
     }
 
+    /// Override the runtime thresholds.
     pub fn with_buckets(mut self, buckets: ResourceBuckets) -> ResourcesApp {
         self.buckets = buckets;
         self
@@ -154,6 +166,7 @@ impl ResourcesApp {
 
 /// A fitted resource model plus its training size.
 pub struct ResourcesModel {
+    /// The underlying trained predictor (bespoke entry point).
     pub predictor: ResourcePredictor,
     trained_queries: usize,
 }

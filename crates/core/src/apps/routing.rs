@@ -23,7 +23,9 @@ use std::sync::Arc;
 pub struct RoutingAnomaly {
     /// Index into the checked batch.
     pub index: usize,
+    /// The cluster the routing policy actually assigned.
     pub assigned_cluster: String,
+    /// The cluster the learned model expected.
     pub predicted_cluster: String,
     /// Classifier confidence in the predicted cluster (mean tree vote).
     pub confidence: f64,
@@ -132,6 +134,8 @@ pub struct RoutingApp {
 }
 
 impl RoutingApp {
+    /// A routing-check app over `embedder` with the default confidence
+    /// threshold.
     pub fn new(embedder: Arc<dyn Embedder>) -> RoutingApp {
         RoutingApp {
             embedder,
@@ -139,6 +143,7 @@ impl RoutingApp {
         }
     }
 
+    /// Override the minimum confidence for flagging a disagreement.
     pub fn with_min_confidence(mut self, min_confidence: f64) -> RoutingApp {
         self.min_confidence = min_confidence;
         self
@@ -147,6 +152,7 @@ impl RoutingApp {
 
 /// A fitted routing model plus its training size.
 pub struct RoutingModel {
+    /// The underlying trained checker (bespoke entry point).
     pub checker: RoutingChecker,
     trained_queries: usize,
 }

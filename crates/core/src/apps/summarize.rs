@@ -35,11 +35,13 @@ pub enum SummaryMethod<'a> {
 pub struct SummaryConfig {
     /// Fix K instead of running the elbow scan.
     pub k: Option<usize>,
-    /// Elbow scan bounds (used when `k` is None).
+    /// Elbow scan lower bound (used when `k` is None).
     pub k_min: usize,
+    /// Elbow scan upper bound (used when `k` is None).
     pub k_max: usize,
     /// Elbow plateau threshold (relative gain vs initial SSE).
     pub plateau: f64,
+    /// RNG seed for k-means initialization and sampling.
     pub seed: u64,
 }
 
@@ -124,10 +126,12 @@ fn dedup_witnesses(mut w: Vec<usize>) -> Vec<usize> {
 /// tuning advisor would see in the compressed workload).
 pub struct SummarizeApp {
     embedder: Arc<dyn Embedder>,
+    /// Clustering configuration used at fit time.
     pub cfg: SummaryConfig,
 }
 
 impl SummarizeApp {
+    /// A summarization app over `embedder` with the default elbow scan.
     pub fn new(embedder: Arc<dyn Embedder>) -> SummarizeApp {
         SummarizeApp {
             embedder,
@@ -135,6 +139,7 @@ impl SummarizeApp {
         }
     }
 
+    /// Override the clustering configuration.
     pub fn with_config(mut self, cfg: SummaryConfig) -> SummarizeApp {
         self.cfg = cfg;
         self

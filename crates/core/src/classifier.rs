@@ -55,6 +55,7 @@ impl LabelMap {
         self.names.len()
     }
 
+    /// True when no classes have been registered.
     pub fn is_empty(&self) -> bool {
         self.names.is_empty()
     }
@@ -159,6 +160,7 @@ pub struct QueryClassifier {
 }
 
 impl QueryClassifier {
+    /// Assemble a classifier from a trained (embedder, labeler) pair.
     pub fn new(
         label_name: impl Into<String>,
         embedder: Arc<dyn Embedder>,

@@ -27,27 +27,52 @@ pub enum QuercError {
     },
     /// A vector's dimensionality disagrees with the trained model.
     DimensionMismatch {
+        /// Which component detected the mismatch.
         context: &'static str,
+        /// Dimensionality the model was trained with.
         expected: usize,
+        /// Dimensionality actually received.
         got: usize,
     },
     /// Training rows and label rows have different lengths.
-    LabelMismatch { vectors: usize, labels: usize },
+    LabelMismatch {
+        /// Number of training vectors.
+        vectors: usize,
+        /// Number of labels.
+        labels: usize,
+    },
     /// No logged query carries the requested label.
-    MissingLabel { label: String },
+    MissingLabel {
+        /// The label name that was requested.
+        label: String,
+    },
     /// `submit`/`report` named an application the manager doesn't know.
-    UnknownApp { app: String },
+    UnknownApp {
+        /// The unregistered application name.
+        app: String,
+    },
     /// A registry lookup missed — the classifier was never deployed (or
     /// was undeployed).
-    ModelNotDeployed { name: String },
+    ModelNotDeployed {
+        /// The classifier name that was looked up.
+        name: String,
+    },
     /// A serving channel hung up while the manager still needed it.
-    ChannelClosed { context: &'static str },
+    ChannelClosed {
+        /// Which operation hit the closed channel.
+        context: &'static str,
+    },
     /// An app's `label_batch` was handed a model fitted by a different
     /// app type (only reachable through the type-erased serving path).
-    ModelTypeMismatch { app: String },
+    ModelTypeMismatch {
+        /// The application whose model downcast failed.
+        app: String,
+    },
     /// Catch-all for app-specific training failures.
     Training {
+        /// Which component failed.
         context: &'static str,
+        /// Human-readable failure description.
         message: String,
     },
 }

@@ -10,6 +10,7 @@ use serde::{Deserialize, Serialize};
 /// A query plus an ordered list of named labels.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct LabeledQuery {
+    /// The raw SQL text as received from the client.
     pub sql: String,
     /// `(label name, value)` pairs in attachment order.
     pub labels: Vec<(String, String)>,

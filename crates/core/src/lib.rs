@@ -21,9 +21,12 @@
 //!   policy checks, error prediction, resource allocation hints, and
 //!   next-query recommendation (§4);
 //! * the [`service::WorkloadManager`] is the serving façade: it owns the
-//!   registry, fits and registers apps by name, spawns replicated
-//!   Qworkers per app, and batches the hot path end to end
-//!   (`submit`/`submit_batch`/`drain`, per-app throughput counters);
+//!   registry, fits and registers apps by name, shards each app's query
+//!   stream across single-consumer Qworker threads (hash-routed by
+//!   tenant so per-tenant order is preserved), applies backpressure
+//!   through bounded shard queues, and batches the hot path end to end
+//!   (`submit`/`submit_batch`/`drain`, per-app throughput counters and
+//!   [`histogram::LatencyHistogram`] p50/p95/p99 latency);
 //! * every fallible surface reports [`error::QuercError`] instead of
 //!   panicking.
 //!
@@ -31,9 +34,12 @@
 //! [`labeled::LabeledQuery`], the `(Q, c1, c2, …)` tuple of the paper's
 //! data model.
 
+#![deny(missing_docs)]
+
 pub mod apps;
 pub mod classifier;
 pub mod error;
+pub mod histogram;
 pub mod labeled;
 pub mod qworker;
 pub mod registry;
@@ -43,8 +49,12 @@ pub mod training;
 pub use apps::{AppOutput, AppReport, TrainCorpus, WorkloadApp};
 pub use classifier::{LabelMap, QueryClassifier, TrainedLabeler};
 pub use error::{QuercError, Result};
+pub use histogram::{LatencyHistogram, LatencySnapshot};
 pub use labeled::LabeledQuery;
-pub use qworker::{Qworker, QworkerMode};
+pub use qworker::{Qworker, QworkerMode, TimedQuery};
 pub use registry::ModelRegistry;
-pub use service::{AppThroughput, FittedApp, ServiceDrain, WorkloadManager, WorkloadManagerConfig};
+pub use service::{
+    routing_key, shard_for, AppThroughput, FittedApp, ServiceDrain, WorkloadManager,
+    WorkloadManagerConfig,
+};
 pub use training::{EmbedderKind, TrainingConfig, TrainingModule};

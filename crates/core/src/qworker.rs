@@ -19,14 +19,41 @@
 //! stream.
 
 use crate::classifier::QueryClassifier;
+use crate::histogram::LatencyHistogram;
 use crate::labeled::LabeledQuery;
 use crate::service::{AppCounters, FittedApp};
 use crossbeam::channel::{Receiver, Sender};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Default maximum chunk a worker drains per iteration.
 pub const DEFAULT_BATCH: usize = 32;
+
+/// A query stamped with its submit time — the message type on sharded
+/// manager streams, letting the consuming worker record client-
+/// perceived submit→labeled latency into the app's
+/// [`LatencyHistogram`].
+#[derive(Debug, Clone)]
+pub struct TimedQuery {
+    /// The query being served.
+    pub query: LabeledQuery,
+    /// When the producer called `submit`/`submit_batch`. Stamped before
+    /// the (possibly blocking) send, so under backpressure the measured
+    /// latency includes the wait for queue space — what a client would
+    /// actually observe, not just time spent inside the queue.
+    pub enqueued_at: Instant,
+}
+
+impl TimedQuery {
+    /// Stamp `query` with the current time.
+    pub fn now(query: LabeledQuery) -> TimedQuery {
+        TimedQuery {
+            query,
+            enqueued_at: Instant::now(),
+        }
+    }
+}
 
 /// Where the Qworker forwards labeled queries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -47,9 +74,11 @@ pub struct Qworker {
     mode: QworkerMode,
     batch: usize,
     counters: Option<Arc<AppCounters>>,
+    histogram: Option<Arc<LatencyHistogram>>,
 }
 
 impl Qworker {
+    /// A worker for `application` applying the given classifiers.
     pub fn new(
         application: impl Into<String>,
         classifiers: Vec<Arc<QueryClassifier>>,
@@ -62,6 +91,7 @@ impl Qworker {
             mode,
             batch: DEFAULT_BATCH,
             counters: None,
+            histogram: None,
         }
     }
 
@@ -81,6 +111,13 @@ impl Qworker {
     /// Live throughput counters shared with the manager.
     pub fn with_counter(mut self, counters: Arc<AppCounters>) -> Self {
         self.counters = Some(counters);
+        self
+    }
+
+    /// Shared latency histogram; [`Qworker::run_timed`] records each
+    /// query's enqueue→labeled latency into it.
+    pub fn with_histogram(mut self, histogram: Arc<LatencyHistogram>) -> Self {
+        self.histogram = Some(histogram);
         self
     }
 
@@ -136,19 +173,59 @@ impl Qworker {
         database: Sender<LabeledQuery>,
         trainer: Sender<LabeledQuery>,
     ) -> usize {
+        self.run_loop(input, |lq| (lq, None), database, trainer)
+    }
+
+    /// [`Qworker::run`] over a stream of [`TimedQuery`]s — the sharded
+    /// manager's per-shard loop. Each query's enqueue→labeled latency is
+    /// recorded into the histogram installed by
+    /// [`Qworker::with_histogram`].
+    pub fn run_timed(
+        &self,
+        input: Receiver<TimedQuery>,
+        database: Sender<LabeledQuery>,
+        trainer: Sender<LabeledQuery>,
+    ) -> usize {
+        self.run_loop(input, |t| (t.query, Some(t.enqueued_at)), database, trainer)
+    }
+
+    /// The chunked drain loop shared by [`Qworker::run`] and
+    /// [`Qworker::run_timed`]: one blocking `recv` per chunk, greedy
+    /// non-blocking fill up to the batch size, one `process_chunk`.
+    fn run_loop<T>(
+        &self,
+        input: Receiver<T>,
+        split: impl Fn(T) -> (LabeledQuery, Option<Instant>),
+        database: Sender<LabeledQuery>,
+        trainer: Sender<LabeledQuery>,
+    ) -> usize {
         let mut processed = 0usize;
         // Block for the first query of each chunk, then greedily fill it.
         while let Ok(first) = input.recv() {
             let mut chunk = Vec::with_capacity(self.batch);
-            chunk.push(first);
+            let mut stamps = Vec::with_capacity(self.batch);
+            let (lq, at) = split(first);
+            chunk.push(lq);
+            stamps.push(at);
             while chunk.len() < self.batch {
                 match input.try_recv() {
-                    Ok(lq) => chunk.push(lq),
+                    Ok(msg) => {
+                        let (lq, at) = split(msg);
+                        chunk.push(lq);
+                        stamps.push(at);
+                    }
                     Err(_) => break,
                 }
             }
             let n = chunk.len();
-            for labeled in self.process_chunk(chunk) {
+            let labeled_chunk = self.process_chunk(chunk);
+            if let Some(histogram) = &self.histogram {
+                let done = Instant::now();
+                for at in stamps.iter().flatten() {
+                    histogram.record(done.duration_since(*at));
+                }
+            }
+            for labeled in labeled_chunk {
                 if self.mode == QworkerMode::Inline {
                     // The sink may have hung up (tests, shutdown); labeling
                     // continues because the training mirror matters more.

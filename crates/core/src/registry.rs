@@ -17,6 +17,7 @@ pub struct ModelRegistry {
 }
 
 impl ModelRegistry {
+    /// An empty registry.
     pub fn new() -> Self {
         Self::default()
     }

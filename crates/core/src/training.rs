@@ -22,10 +22,13 @@ use std::sync::Arc;
 /// Which representation learner to train.
 #[derive(Debug, Clone)]
 pub enum EmbedderKind {
+    /// Paragraph-vector embedder (the paper's primary model).
     Doc2Vec(Doc2VecConfig),
+    /// LSTM-autoencoder embedder (the paper's Fig 2 alternative).
     Lstm(LstmConfig),
     /// Training-free hashed bag of tokens (ablation baseline).
     BagOfTokens {
+        /// Output dimensionality of the hashed vector.
         dim: usize,
     },
 }
@@ -35,6 +38,7 @@ pub enum EmbedderKind {
 pub struct TrainingConfig {
     /// Trees in the default random-forest labeler.
     pub forest_trees: usize,
+    /// Master seed for training jobs.
     pub seed: u64,
 }
 
@@ -54,6 +58,7 @@ pub struct TrainingModule {
 }
 
 impl TrainingModule {
+    /// An empty training module with the given configuration.
     pub fn new(cfg: TrainingConfig) -> Self {
         TrainingModule {
             log: Vec::new(),

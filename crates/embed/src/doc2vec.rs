@@ -43,9 +43,11 @@ pub struct Doc2VecConfig {
     pub epochs: usize,
     /// Starting learning rate, decayed linearly to `min_lr`.
     pub initial_lr: f32,
+    /// Floor of the linear learning-rate decay.
     pub min_lr: f32,
     /// Frequent-token subsampling threshold (word2vec `sample`); 0 = off.
     pub subsample: f64,
+    /// Training objective: PV-DM or PV-DBOW.
     pub mode: Doc2VecMode,
     /// Gradient steps (epochs) used when inferring vectors for unseen
     /// queries.
@@ -55,7 +57,9 @@ pub struct Doc2VecConfig {
     /// Doc2Vec numbers come from; `false` enables the OOV buckets shared
     /// with the LSTM embedder.
     pub drop_oov: bool,
+    /// Vocabulary construction parameters.
     pub vocab: VocabConfig,
+    /// RNG seed for initialization, sampling, and negative draws.
     pub seed: u64,
 }
 

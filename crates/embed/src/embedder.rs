@@ -6,6 +6,21 @@
 //! happens in the offline training module), so `embed` takes `&self` and
 //! implementations must be deterministic for a given input — Qworkers
 //! replicate them freely across threads.
+//!
+//! ```
+//! use querc_embed::{BagOfTokens, Embedder};
+//!
+//! let embedder = BagOfTokens::new(64, true);
+//! // Normalization collapses literals, so these embed identically.
+//! let a = embedder.embed_sql("select * from t where x = 1");
+//! let b = embedder.embed_sql("SELECT * FROM t WHERE x = 99");
+//! assert_eq!(a, b);
+//! assert_eq!(a.len(), embedder.dim());
+//!
+//! // The batched path is an amortization, never a semantic change.
+//! let docs = vec![querc_embed::sql_tokens("select * from t where x = 1")];
+//! assert_eq!(embedder.embed_batch(&docs)[0], a);
+//! ```
 
 /// Maps token sequences to fixed-size dense vectors.
 pub trait Embedder: Send + Sync {

@@ -13,7 +13,9 @@ use std::path::Path;
 /// Error type for model (de)serialization.
 #[derive(Debug)]
 pub enum ModelIoError {
+    /// The underlying file read/write failed.
     Io(io::Error),
+    /// The file's JSON didn't match the expected model schema.
     Format(serde_json::Error),
 }
 

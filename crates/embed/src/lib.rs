@@ -23,6 +23,8 @@
 //! vocabulary (the mechanism behind the paper's near-perfect account
 //! labeling).
 
+#![deny(missing_docs)]
+
 pub mod bow;
 pub mod doc2vec;
 pub mod embedder;

@@ -36,7 +36,9 @@ pub struct LstmConfig {
     pub lr: f32,
     /// Per-tensor gradient L2-norm clip.
     pub clip: f32,
+    /// Vocabulary construction parameters.
     pub vocab: VocabConfig,
+    /// RNG seed for initialization and negative sampling.
     pub seed: u64,
 }
 

@@ -18,11 +18,19 @@
 //! [`record::QueryRecord`] is the labeled-query tuple `(Q, c1, c2, …)` of
 //! the paper's data model, carrying the training labels (user, account,
 //! cluster, runtime, memory, error code) used by the application layer.
+//!
+//! [`replay`] turns either corpus into a timed, deterministic query
+//! stream (configurable QPS and burstiness) for load-testing the
+//! serving layer.
+
+#![deny(missing_docs)]
 
 pub mod record;
+pub mod replay;
 pub mod snowcloud;
 pub mod tpch;
 
 pub use record::QueryRecord;
+pub use replay::{ReplayConfig, ReplayEvent, ReplaySchedule, ReplayStats};
 pub use snowcloud::{AccountSpec, SnowCloud, SnowCloudConfig};
 pub use tpch::{TpchQuery, TpchWorkload};

@@ -11,6 +11,7 @@ use serde::{Deserialize, Serialize};
 /// One labeled query drawn from a (real or synthetic) query log.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct QueryRecord {
+    /// The raw SQL text as logged.
     pub sql: String,
     /// Issuing user, unique across accounts (e.g. `acct03/u07`).
     pub user: String,
@@ -50,15 +51,20 @@ impl QueryRecord {
 
 /// Train/test split by index parity of a shuffled order — a simple,
 /// deterministic holdout used by examples and tests.
+///
+/// `test_fraction` is clamped to `[0, 1]`, so the degenerate corners
+/// are well-defined instead of panicking: an empty corpus yields two
+/// empty halves, a fraction of `1.0` (or a rounded holdout ≥ the
+/// corpus size) puts everything in the test half.
 pub fn split_holdout<T: Clone>(
     items: &[T],
     test_fraction: f64,
     rng: &mut querc_linalg::Pcg32,
 ) -> (Vec<T>, Vec<T>) {
-    assert!((0.0..1.0).contains(&test_fraction));
+    let test_fraction = test_fraction.clamp(0.0, 1.0);
     let mut idx: Vec<usize> = (0..items.len()).collect();
     rng.shuffle(&mut idx);
-    let n_test = ((items.len() as f64) * test_fraction).round() as usize;
+    let n_test = (((items.len() as f64) * test_fraction).round() as usize).min(items.len());
     let test: Vec<T> = idx[..n_test].iter().map(|&i| items[i].clone()).collect();
     let train: Vec<T> = idx[n_test..].iter().map(|&i| items[i].clone()).collect();
     (train, test)
@@ -115,6 +121,42 @@ mod tests {
         let mut all: Vec<u32> = train.iter().chain(test.iter()).copied().collect();
         all.sort_unstable();
         assert_eq!(all, items);
+    }
+
+    #[test]
+    fn holdout_of_empty_corpus_is_two_empty_halves() {
+        let items: Vec<u32> = Vec::new();
+        let (train, test) = split_holdout(&items, 0.3, &mut querc_linalg::Pcg32::new(1));
+        assert!(train.is_empty());
+        assert!(test.is_empty());
+    }
+
+    #[test]
+    fn holdout_of_everything_leaves_no_training_data() {
+        let items: Vec<u32> = (0..10).collect();
+        let (train, test) = split_holdout(&items, 1.0, &mut querc_linalg::Pcg32::new(1));
+        assert!(train.is_empty());
+        assert_eq!(test.len(), 10);
+        let mut sorted = test.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, items);
+    }
+
+    #[test]
+    fn out_of_range_fractions_clamp_instead_of_panicking() {
+        let items: Vec<u32> = (0..10).collect();
+        let (train, test) = split_holdout(&items, 1.5, &mut querc_linalg::Pcg32::new(1));
+        assert_eq!((train.len(), test.len()), (0, 10));
+        let (train, test) = split_holdout(&items, -0.5, &mut querc_linalg::Pcg32::new(1));
+        assert_eq!((train.len(), test.len()), (10, 0));
+    }
+
+    #[test]
+    fn holdout_of_nothing_keeps_everything_for_training() {
+        let items: Vec<u32> = (0..5).collect();
+        let (train, test) = split_holdout(&items, 0.0, &mut querc_linalg::Pcg32::new(9));
+        assert_eq!(train.len(), 5);
+        assert!(test.is_empty());
     }
 
     #[test]

@@ -1,0 +1,316 @@
+//! Trace replay — turning a query corpus into a timed load.
+//!
+//! A [`ReplaySchedule`] rewrites a corpus's log timestamps into wall-
+//! clock offsets at a configurable aggregate QPS with tunable
+//! burstiness, preserving the corpus order (and therefore every
+//! tenant's relative order). [`ReplaySchedule::replay`] then drives a
+//! sink **open-loop**: each query fires at its scheduled offset
+//! regardless of how long the sink takes, which is how real load
+//! arrives — a slow server doesn't slow the clients down, it builds a
+//! queue. When the sink falls behind, events fire back-to-back and the
+//! accumulated schedule slip is reported as [`ReplayStats::max_lag`].
+//!
+//! The schedule is deterministic in [`ReplayConfig::seed`], so a replay
+//! is exactly repeatable — the property load tests need to be
+//! comparable across configurations (1 shard vs 4 shards, etc.).
+//!
+//! ```
+//! use querc_workloads::{ReplayConfig, ReplaySchedule, SnowCloud, SnowCloudConfig};
+//!
+//! let wl = SnowCloud::generate(&SnowCloudConfig::pretrain(3, 40, 7));
+//! let cfg = ReplayConfig {
+//!     qps: 500.0,
+//!     ..Default::default()
+//! };
+//! let schedule = ReplaySchedule::from_records(&wl.records, &cfg);
+//! assert_eq!(schedule.len(), 120);
+//! // 120 queries at 500 q/s ≈ 0.24 s of simulated arrivals.
+//! assert!(schedule.duration().as_secs_f64() < 0.5);
+//! ```
+
+use crate::record::QueryRecord;
+use querc_linalg::Pcg32;
+use std::time::{Duration, Instant};
+
+/// Knobs for rewriting a corpus into a timed arrival process.
+#[derive(Debug, Clone)]
+pub struct ReplayConfig {
+    /// Target aggregate arrival rate, queries per second.
+    pub qps: f64,
+    /// Arrival-process shape in `[0, 1]`: `0.0` is a perfectly paced
+    /// stream (constant gaps), `1.0` is a Poisson process (exponential
+    /// gaps — bursts and lulls). Values between blend the two.
+    pub burstiness: f64,
+    /// Seed for the gap sampler; equal seeds give equal schedules.
+    pub seed: u64,
+    /// Replay at most this many queries (`None` = the whole corpus).
+    pub limit: Option<usize>,
+}
+
+impl Default for ReplayConfig {
+    fn default() -> Self {
+        ReplayConfig {
+            qps: 1000.0,
+            burstiness: 0.5,
+            seed: 0x4e9a,
+            limit: None,
+        }
+    }
+}
+
+/// One scheduled arrival: a record and its offset from replay start.
+#[derive(Debug, Clone)]
+pub struct ReplayEvent {
+    /// When this query arrives, relative to the start of the replay.
+    pub offset: Duration,
+    /// The query (with its original log labels) to submit.
+    pub record: QueryRecord,
+}
+
+/// Outcome of one [`ReplaySchedule::replay`] run.
+#[derive(Debug, Clone, Default)]
+pub struct ReplayStats {
+    /// Queries handed to the sink.
+    pub dispatched: usize,
+    /// Wall-clock time the replay took.
+    pub elapsed: Duration,
+    /// Worst schedule slip observed: how far behind its planned offset
+    /// the most delayed dispatch was. Near zero means the sink kept up;
+    /// growing lag means the sink (or its backpressure) is the
+    /// bottleneck, not the arrival process.
+    pub max_lag: Duration,
+}
+
+/// A corpus rewritten into a deterministic timed arrival sequence.
+#[derive(Debug, Clone)]
+pub struct ReplaySchedule {
+    events: Vec<ReplayEvent>,
+}
+
+impl ReplaySchedule {
+    /// Build a schedule over `records` (in corpus order — per-tenant
+    /// relative order is preserved) with gaps drawn per `cfg`.
+    pub fn from_records(records: &[QueryRecord], cfg: &ReplayConfig) -> ReplaySchedule {
+        let n = cfg.limit.unwrap_or(records.len()).min(records.len());
+        let mean_gap = 1.0 / cfg.qps.max(1e-6);
+        let burst = cfg.burstiness.clamp(0.0, 1.0);
+        let mut rng = Pcg32::with_stream(cfg.seed, 0x4e9b);
+        let mut at = 0.0f64;
+        let events = records[..n]
+            .iter()
+            .map(|r| {
+                // Blend a constant gap with an Exp(1)-distributed one;
+                // both have unit mean, so the aggregate rate stays at
+                // `qps` for every burstiness setting.
+                let u: f64 = (1.0 - rng.f64()).max(1e-12);
+                let exp_gap = -u.ln();
+                let gap = mean_gap * ((1.0 - burst) + burst * exp_gap);
+                let event = ReplayEvent {
+                    offset: Duration::from_secs_f64(at),
+                    record: r.clone(),
+                };
+                at += gap;
+                event
+            })
+            .collect();
+        ReplaySchedule { events }
+    }
+
+    /// Scheduled arrivals, in dispatch order.
+    pub fn events(&self) -> &[ReplayEvent] {
+        &self.events
+    }
+
+    /// Number of scheduled queries.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Offset of the last arrival (zero for an empty schedule).
+    pub fn duration(&self) -> Duration {
+        self.events.last().map(|e| e.offset).unwrap_or_default()
+    }
+
+    /// Drive `sink` open-loop: sleep until each event's offset, then
+    /// dispatch. A sink that falls behind is fed back-to-back (the
+    /// schedule never waits for it) and the slip shows up in
+    /// [`ReplayStats::max_lag`].
+    pub fn replay(&self, mut sink: impl FnMut(&QueryRecord)) -> ReplayStats {
+        let start = Instant::now();
+        let mut stats = ReplayStats::default();
+        for event in &self.events {
+            let now = start.elapsed();
+            if now < event.offset {
+                std::thread::sleep(event.offset - now);
+            } else {
+                stats.max_lag = stats.max_lag.max(now - event.offset);
+            }
+            sink(&event.record);
+            stats.dispatched += 1;
+        }
+        stats.elapsed = start.elapsed();
+        stats
+    }
+
+    /// Dispatch every event to `sink` as fast as it will accept them,
+    /// ignoring offsets — the throughput-measurement mode benches use to
+    /// find the serving ceiling rather than the arrival rate.
+    pub fn replay_unpaced(&self, mut sink: impl FnMut(&QueryRecord)) -> ReplayStats {
+        let start = Instant::now();
+        for event in &self.events {
+            sink(&event.record);
+        }
+        ReplayStats {
+            dispatched: self.events.len(),
+            elapsed: start.elapsed(),
+            max_lag: Duration::ZERO,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn records(n: usize) -> Vec<QueryRecord> {
+        (0..n)
+            .map(|i| QueryRecord {
+                sql: format!("select {i} from t"),
+                user: format!("acct{}/u0", i % 3),
+                account: format!("acct{}", i % 3),
+                cluster: "c0".into(),
+                dialect: "generic".into(),
+                runtime_ms: 1.0,
+                mem_mb: 1.0,
+                error_code: None,
+                timestamp: i as u64,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn schedule_preserves_corpus_order_and_monotone_offsets() {
+        let schedule = ReplaySchedule::from_records(&records(100), &ReplayConfig::default());
+        assert_eq!(schedule.len(), 100);
+        for (i, e) in schedule.events().iter().enumerate() {
+            assert_eq!(e.record.sql, format!("select {i} from t"));
+        }
+        for w in schedule.events().windows(2) {
+            assert!(w[0].offset <= w[1].offset, "offsets must be monotone");
+        }
+    }
+
+    #[test]
+    fn zero_burstiness_is_perfectly_paced() {
+        let cfg = ReplayConfig {
+            qps: 100.0,
+            burstiness: 0.0,
+            ..Default::default()
+        };
+        let schedule = ReplaySchedule::from_records(&records(11), &cfg);
+        let gaps: Vec<f64> = schedule
+            .events()
+            .windows(2)
+            .map(|w| (w[1].offset - w[0].offset).as_secs_f64())
+            .collect();
+        for gap in gaps {
+            assert!((gap - 0.01).abs() < 1e-9, "constant 10ms gaps, got {gap}");
+        }
+    }
+
+    #[test]
+    fn mean_rate_tracks_qps_for_any_burstiness() {
+        for burstiness in [0.0, 0.5, 1.0] {
+            let cfg = ReplayConfig {
+                qps: 1000.0,
+                burstiness,
+                seed: 42,
+                limit: None,
+            };
+            let schedule = ReplaySchedule::from_records(&records(2000), &cfg);
+            let secs = schedule.duration().as_secs_f64();
+            // 2000 arrivals at 1000 q/s ≈ 2s; exponential noise averages out.
+            assert!(
+                (1.6..=2.4).contains(&secs),
+                "burstiness {burstiness}: schedule span {secs}s"
+            );
+        }
+    }
+
+    #[test]
+    fn bursty_schedules_have_spread_gaps() {
+        let cfg = ReplayConfig {
+            qps: 1000.0,
+            burstiness: 1.0,
+            ..Default::default()
+        };
+        let schedule = ReplaySchedule::from_records(&records(500), &cfg);
+        let gaps: Vec<f64> = schedule
+            .events()
+            .windows(2)
+            .map(|w| (w[1].offset - w[0].offset).as_secs_f64())
+            .collect();
+        let short = gaps.iter().filter(|g| **g < 0.0005).count();
+        let long = gaps.iter().filter(|g| **g > 0.002).count();
+        assert!(short > 50, "Poisson arrivals bunch up: {short} short gaps");
+        assert!(long > 20, "and leave lulls: {long} long gaps");
+    }
+
+    #[test]
+    fn deterministic_under_seed_and_limit_respected() {
+        let cfg = ReplayConfig {
+            limit: Some(7),
+            ..Default::default()
+        };
+        let a = ReplaySchedule::from_records(&records(50), &cfg);
+        let b = ReplaySchedule::from_records(&records(50), &cfg);
+        assert_eq!(a.len(), 7);
+        assert_eq!(b.len(), 7);
+        for (x, y) in a.events().iter().zip(b.events()) {
+            assert_eq!(x.offset, y.offset);
+            assert_eq!(x.record, y.record);
+        }
+    }
+
+    #[test]
+    fn empty_corpus_yields_empty_schedule() {
+        let schedule = ReplaySchedule::from_records(&[], &ReplayConfig::default());
+        assert!(schedule.is_empty());
+        assert_eq!(schedule.duration(), Duration::ZERO);
+        let stats = schedule.replay(|_| panic!("no events to dispatch"));
+        assert_eq!(stats.dispatched, 0);
+    }
+
+    #[test]
+    fn replay_dispatches_everything_and_tracks_time() {
+        let cfg = ReplayConfig {
+            qps: 10_000.0,
+            ..Default::default()
+        };
+        let schedule = ReplaySchedule::from_records(&records(100), &cfg);
+        let mut seen = Vec::new();
+        let stats = schedule.replay(|r| seen.push(r.sql.clone()));
+        assert_eq!(stats.dispatched, 100);
+        assert_eq!(seen.len(), 100);
+        assert_eq!(seen[99], "select 99 from t");
+        assert!(stats.elapsed >= schedule.duration());
+    }
+
+    #[test]
+    fn unpaced_replay_ignores_the_clock() {
+        let cfg = ReplayConfig {
+            qps: 1.0, // paced, this would take ~100 seconds
+            ..Default::default()
+        };
+        let schedule = ReplaySchedule::from_records(&records(100), &cfg);
+        let mut n = 0usize;
+        let stats = schedule.replay_unpaced(|_| n += 1);
+        assert_eq!((n, stats.dispatched), (100, 100));
+        assert!(stats.elapsed < Duration::from_secs(5));
+    }
+}

@@ -50,7 +50,9 @@ pub struct AccountSpec {
 /// Whole-workload generation parameters.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SnowCloudConfig {
+    /// Per-account generation specs.
     pub accounts: Vec<AccountSpec>,
+    /// Master seed; each account derives its own RNG stream from it.
     pub seed: u64,
 }
 
@@ -134,6 +136,7 @@ impl SnowCloudConfig {
 /// A generated SnowCloud workload.
 #[derive(Debug, Clone)]
 pub struct SnowCloud {
+    /// Labeled log records, sorted by timestamp across accounts.
     pub records: Vec<QueryRecord>,
 }
 

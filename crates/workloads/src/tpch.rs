@@ -16,12 +16,14 @@ use querc_linalg::Pcg32;
 pub struct TpchQuery {
     /// Template number, 1–22.
     pub template: u8,
+    /// The instantiated SQL text.
     pub sql: String,
 }
 
 /// A generated TPC-H workload.
 #[derive(Debug, Clone)]
 pub struct TpchWorkload {
+    /// Generated query instances, grouped by template in order.
     pub queries: Vec<TpchQuery>,
 }
 

@@ -1,0 +1,120 @@
+//! Load-test the sharded serving layer: all six workload apps under a
+//! timed trace replay, with the per-app latency histogram table.
+//!
+//! Run with: `cargo run --release --example load_test [qps] [shards] [queries]`
+//!
+//! * `qps`     — aggregate arrival rate of the open-loop replay (default 600)
+//! * `shards`  — `shards_per_app` worker threads (default 4)
+//! * `queries` — arrivals to replay (default 600)
+//!
+//! Every arrival fans out to all six registered apps (six labeling
+//! passes per query), so the served rate is 6× the arrival rate. The
+//! replay is open-loop: if the manager can't keep up, arrivals are
+//! dispatched late and the schedule slip is reported as `max lag`.
+
+use querc::apps::summarize::SummaryConfig;
+use querc::apps::{
+    AuditApp, ErrorsApp, RecommendApp, ResourcesApp, RoutingApp, SummarizeApp, TrainCorpus,
+};
+use querc::{LabeledQuery, WorkloadManager, WorkloadManagerConfig};
+use querc_embed::{BagOfTokens, Embedder};
+use querc_workloads::{ReplayConfig, ReplaySchedule, SnowCloud, SnowCloudConfig};
+use std::sync::Arc;
+
+fn arg(n: usize, default: f64) -> f64 {
+    std::env::args()
+        .nth(n)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let qps = arg(1, 600.0);
+    let shards = arg(2, 4.0) as usize;
+    let queries = arg(3, 600.0) as usize;
+
+    // Train on one slice of a multi-tenant trace, replay another.
+    let workload = SnowCloud::generate(&SnowCloudConfig::pretrain(10, 150, 0x10ad));
+    let split = workload.records.len() / 2;
+    let corpus = TrainCorpus::from_records(workload.records[..split].to_vec(), 0x10ad);
+    let schedule = ReplaySchedule::from_records(
+        &workload.records[split..],
+        &ReplayConfig {
+            qps,
+            burstiness: 0.7,
+            seed: 0x10ad,
+            limit: Some(queries),
+        },
+    );
+    println!(
+        "corpus: {} training queries | replay: {} arrivals at {qps:.0} q/s \
+         (bursty), {} shards/app",
+        corpus.len(),
+        schedule.len(),
+        shards
+    );
+
+    let embedder: Arc<dyn Embedder> = Arc::new(BagOfTokens::new(128, true));
+    let mut mgr = WorkloadManager::new(WorkloadManagerConfig {
+        shards_per_app: shards,
+        batch: 32,
+        queue_depth: 2048,
+        ..Default::default()
+    });
+    mgr.register(AuditApp::new(embedder.clone()).with_trees(20), &corpus)
+        .unwrap();
+    mgr.register(ErrorsApp::new(embedder.clone()), &corpus)
+        .unwrap();
+    mgr.register(
+        RecommendApp::new(embedder.clone()).with_clusters(6),
+        &corpus,
+    )
+    .unwrap();
+    mgr.register(ResourcesApp::new(embedder.clone()), &corpus)
+        .unwrap();
+    mgr.register(RoutingApp::new(embedder.clone()), &corpus)
+        .unwrap();
+    mgr.register(
+        SummarizeApp::new(embedder.clone()).with_config(SummaryConfig {
+            k: Some(8),
+            ..Default::default()
+        }),
+        &corpus,
+    )
+    .unwrap();
+
+    // Open-loop replay: every arrival fans out to all six apps.
+    let apps = mgr.app_names();
+    let stats = schedule.replay(|record| {
+        let lq = LabeledQuery::from_record(record);
+        for app in &apps {
+            mgr.submit(app, lq.clone()).expect("serving fabric up");
+        }
+    });
+    println!(
+        "\nreplay done: {} arrivals in {:.2?} (max schedule lag {:.2?})",
+        stats.dispatched, stats.elapsed, stats.max_lag
+    );
+
+    let drained = mgr.drain();
+    let served: u64 = drained.throughput.iter().map(|t| t.processed).sum();
+    println!(
+        "served {served} labeling requests ({:.0} req/s end to end)\n",
+        served as f64 / stats.elapsed.as_secs_f64()
+    );
+    println!(
+        "{:<11} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "app", "processed", "p50 µs", "p95 µs", "p99 µs", "max µs", "mean µs"
+    );
+    for tp in &drained.throughput {
+        let l = &tp.latency;
+        println!(
+            "{:<11} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
+            tp.app, tp.processed, l.p50_us, l.p95_us, l.p99_us, l.max_us, l.mean_us
+        );
+    }
+    println!(
+        "\ntraining mirror captured {} labeled queries",
+        drained.training_log.len()
+    );
+}

@@ -26,7 +26,7 @@ fn main() {
     // 2. One shared embedder, six apps, one manager.
     let embedder: Arc<dyn Embedder> = Arc::new(BagOfTokens::new(128, true));
     let mut mgr = WorkloadManager::new(WorkloadManagerConfig {
-        replicas: 2,
+        shards_per_app: 2,
         batch: 32,
         ..Default::default()
     });
@@ -83,8 +83,11 @@ fn main() {
     println!("\nper-app throughput:");
     for tp in &drained.throughput {
         println!(
-            "  {:<10} submitted {:>3}  processed {:>3}",
-            tp.app, tp.submitted, tp.processed
+            "  {:<10} submitted {:>3}  processed {:>3}  {}",
+            tp.app,
+            tp.submitted,
+            tp.processed,
+            tp.latency.display()
         );
     }
     println!("training mirror: {} queries", drained.training_log.len());

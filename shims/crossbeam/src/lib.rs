@@ -1,13 +1,16 @@
 //! Offline stand-in for the `crossbeam` channel API used by this
-//! workspace: unbounded MPMC channels with hang-up detection, built on
-//! `Mutex<VecDeque>` + `Condvar`. Semantics match crossbeam where the
-//! workspace relies on them:
+//! workspace: unbounded and bounded MPMC channels with hang-up
+//! detection, built on `Mutex<VecDeque>` + `Condvar`. Semantics match
+//! crossbeam where the workspace relies on them:
 //!
 //! * both `Sender` and `Receiver` are `Clone` (MPMC — replicated
 //!   Qworkers pull from one stream);
 //! * `send` fails only when every receiver is gone;
 //! * `recv`/`iter` block until a message arrives or every sender is
-//!   gone and the queue is drained.
+//!   gone and the queue is drained;
+//! * on a [`channel::bounded`] channel, `send` blocks while the queue
+//!   is at capacity (backpressure) and wakes either when space frees
+//!   up or when the last receiver disconnects (then it fails).
 
 pub mod channel {
     use std::collections::VecDeque;
@@ -17,15 +20,21 @@ pub mod channel {
     struct Inner<T> {
         queue: Mutex<VecDeque<T>>,
         ready: Condvar,
+        /// Signalled when a message is consumed (bounded senders wait on
+        /// this for space) and when the last receiver disconnects.
+        space: Condvar,
+        /// `None` = unbounded.
+        capacity: Option<usize>,
         senders: AtomicUsize,
         receivers: AtomicUsize,
     }
 
-    /// Create an unbounded MPMC channel.
-    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    fn make<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
         let inner = Arc::new(Inner {
             queue: Mutex::new(VecDeque::new()),
             ready: Condvar::new(),
+            space: Condvar::new(),
+            capacity,
             senders: AtomicUsize::new(1),
             receivers: AtomicUsize::new(1),
         });
@@ -35,6 +44,17 @@ pub mod channel {
             },
             Receiver { inner },
         )
+    }
+
+    /// Create an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        make(None)
+    }
+
+    /// Create a bounded MPMC channel holding at most `cap` messages
+    /// (at least 1). `send` blocks while the channel is full.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        make(Some(cap.max(1)))
     }
 
     /// Error returned by `send` when all receivers are gone; carries the
@@ -73,7 +93,21 @@ pub mod channel {
             if self.inner.receivers.load(Ordering::Acquire) == 0 {
                 return Err(SendError(msg));
             }
-            self.inner.queue.lock().unwrap().push_back(msg);
+            let mut queue = self.inner.queue.lock().unwrap();
+            if let Some(cap) = self.inner.capacity {
+                while queue.len() >= cap {
+                    if self.inner.receivers.load(Ordering::Acquire) == 0 {
+                        return Err(SendError(msg));
+                    }
+                    queue = self.inner.space.wait(queue).unwrap();
+                }
+                // All receivers may have hung up while we slept.
+                if self.inner.receivers.load(Ordering::Acquire) == 0 {
+                    return Err(SendError(msg));
+                }
+            }
+            queue.push_back(msg);
+            drop(queue);
             self.inner.ready.notify_one();
             Ok(())
         }
@@ -108,6 +142,8 @@ pub mod channel {
             let mut queue = self.inner.queue.lock().unwrap();
             loop {
                 if let Some(msg) = queue.pop_front() {
+                    drop(queue);
+                    self.inner.space.notify_one();
                     return Ok(msg);
                 }
                 if self.inner.senders.load(Ordering::Acquire) == 0 {
@@ -120,7 +156,11 @@ pub mod channel {
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
             let mut queue = self.inner.queue.lock().unwrap();
             match queue.pop_front() {
-                Some(msg) => Ok(msg),
+                Some(msg) => {
+                    drop(queue);
+                    self.inner.space.notify_one();
+                    Ok(msg)
+                }
                 None if self.inner.senders.load(Ordering::Acquire) == 0 => {
                     Err(TryRecvError::Disconnected)
                 }
@@ -154,7 +194,12 @@ pub mod channel {
 
     impl<T> Drop for Receiver<T> {
         fn drop(&mut self) {
-            self.inner.receivers.fetch_sub(1, Ordering::AcqRel);
+            if self.inner.receivers.fetch_sub(1, Ordering::AcqRel) == 1 {
+                // Last receiver gone: wake senders blocked on a full
+                // bounded queue so they observe the disconnect.
+                let _guard = self.inner.queue.lock().unwrap();
+                self.inner.space.notify_all();
+            }
         }
     }
 
@@ -212,5 +257,49 @@ mod tests {
         assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
         drop(tx);
         assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn bounded_send_blocks_until_space_frees_up() {
+        let (tx, rx) = bounded(2);
+        let producer = std::thread::spawn(move || {
+            for i in 0..50 {
+                tx.send(i).unwrap();
+            }
+        });
+        // The producer can be at most capacity ahead of the consumer; a
+        // full drain still sees every message exactly once, in order.
+        let mut got = Vec::new();
+        while let Ok(v) = rx.recv() {
+            got.push(v);
+        }
+        producer.join().unwrap();
+        assert_eq!(got, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bounded_send_fails_when_receiver_hangs_up_mid_block() {
+        let (tx, rx) = bounded(1);
+        tx.send(0).unwrap(); // fill the queue
+        let blocked = std::thread::spawn(move || tx.send(1));
+        // Give the sender time to block on the full queue, then hang up.
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        drop(rx);
+        assert!(
+            blocked.join().unwrap().is_err(),
+            "blocked send must fail once all receivers are gone"
+        );
+    }
+
+    #[test]
+    fn bounded_never_exceeds_capacity() {
+        let (tx, rx) = bounded(3);
+        for i in 0..3 {
+            tx.send(i).unwrap();
+        }
+        assert_eq!(rx.len(), 3);
+        assert_eq!(rx.recv(), Ok(0));
+        tx.send(3).unwrap();
+        assert_eq!(rx.len(), 3);
     }
 }

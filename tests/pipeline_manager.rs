@@ -83,7 +83,7 @@ const APPS: [&str; 6] = [
 fn manager_serves_all_six_apps_over_a_mixed_stream() {
     let corpus = TrainCorpus::from_records(training_records(), 0x2019);
     let mut mgr = WorkloadManager::new(WorkloadManagerConfig {
-        replicas: 2,
+        shards_per_app: 2,
         batch: 16,
         ..Default::default()
     });
@@ -160,7 +160,8 @@ fn manager_serves_all_six_apps_over_a_mixed_stream() {
 
     let drained = mgr.drain();
 
-    // Counters: every submission processed, per app.
+    // Counters: every submission processed, per app, and every query's
+    // enqueue→labeled latency recorded.
     assert_eq!(drained.throughput.len(), 6);
     for tp in &drained.throughput {
         let expected = submitted_per_app[APPS.iter().position(|a| *a == tp.app).unwrap()];
@@ -172,6 +173,8 @@ fn manager_serves_all_six_apps_over_a_mixed_stream() {
             "{} outputs",
             tp.app
         );
+        assert_eq!(tp.latency.count, expected as u64, "{} latency", tp.app);
+        assert!(tp.latency.p50_us <= tp.latency.p99_us);
     }
     let total: usize = drained.outputs.values().map(Vec::len).sum();
     assert_eq!(total, 200);
@@ -239,6 +242,157 @@ fn manager_serves_all_six_apps_over_a_mixed_stream() {
         .filter(|lq| lq.get("error_risky") == Some("true"))
         .count();
     assert!(risky_flags > 0, "the flaky join shape must be flagged");
+}
+
+/// An app whose worker thread dies when it sees the SQL text `poison` —
+/// the regression rig for mid-batch `ChannelClosed` accounting. Panicking
+/// (instead of returning `Err`, which the serving path catches) kills the
+/// consuming shard worker, closing that shard's queue while the app's
+/// other shards keep serving.
+struct PoisonableApp {
+    tripped: Arc<std::sync::atomic::AtomicBool>,
+}
+
+impl querc::WorkloadApp for PoisonableApp {
+    type Model = ();
+
+    fn name(&self) -> &'static str {
+        "poisonable"
+    }
+
+    fn task(&self) -> &'static str {
+        "die on the poison query (test rig)"
+    }
+
+    fn fit(&self, _corpus: &querc::TrainCorpus) -> querc::Result<()> {
+        Ok(())
+    }
+
+    fn label_batch(
+        &self,
+        _model: &(),
+        batch: &[LabeledQuery],
+    ) -> querc::Result<Vec<querc::AppOutput>> {
+        if batch.iter().any(|lq| lq.sql == "poison") {
+            self.tripped
+                .store(true, std::sync::atomic::Ordering::SeqCst);
+            panic!("poison query consumed");
+        }
+        Ok(batch
+            .iter()
+            .map(|_| {
+                let mut out = querc::AppOutput::new();
+                out.set("ok", "true");
+                out
+            })
+            .collect())
+    }
+
+    fn report(&self, _model: &()) -> querc::AppReport {
+        querc::AppReport {
+            app: "poisonable".into(),
+            task: "test rig".into(),
+            trained_queries: 0,
+            detail: Vec::new(),
+        }
+    }
+}
+
+/// Regression test: `submit_batch` must count sends as they happen. With
+/// the pre-fix accounting (bump `submitted` only after the whole batch),
+/// a batch that dies mid-way on a closed shard leaves its already-enqueued
+/// queries uncounted while live shards still process them — `processed`
+/// overtakes `submitted`.
+#[test]
+fn mid_batch_channel_closure_keeps_counters_consistent() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    // Silence the expected worker panic (other panics pass through).
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let msg_is_poison = info
+            .payload()
+            .downcast_ref::<&str>()
+            .map(|s| s.contains("poison"))
+            .unwrap_or(false);
+        if !msg_is_poison {
+            prev_hook(info);
+        }
+    }));
+
+    let tripped = Arc::new(AtomicBool::new(false));
+    let mut mgr = WorkloadManager::new(WorkloadManagerConfig {
+        shards_per_app: 2,
+        batch: 1,
+        queue_depth: 256,
+        ..Default::default()
+    });
+    mgr.register(
+        PoisonableApp {
+            tripped: Arc::clone(&tripped),
+        },
+        &TrainCorpus::from_records(training_records(), 1),
+    )
+    .unwrap();
+
+    // Two tenants pinned to different shards.
+    let shards = 2;
+    let tenant_a = (0..100)
+        .map(|i| format!("tenant{i:02}"))
+        .find(|t| querc::shard_for(t, shards) == 0)
+        .unwrap();
+    let tenant_b = (0..100)
+        .map(|i| format!("tenant{i:02}"))
+        .find(|t| querc::shard_for(t, shards) == 1)
+        .unwrap();
+    let query = |tenant: &str, sql: &str| {
+        let mut lq = LabeledQuery::new(sql);
+        lq.set("account", tenant);
+        lq
+    };
+
+    // Kill tenant B's shard, then wait until its queue is observably
+    // closed (sends start failing).
+    mgr.submit("poisonable", query(&tenant_b, "poison"))
+        .unwrap();
+    let mut b_shard_dead = false;
+    for _ in 0..500 {
+        if tripped.load(Ordering::SeqCst)
+            && mgr
+                .submit("poisonable", query(&tenant_b, "select 1"))
+                .is_err()
+        {
+            b_shard_dead = true;
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    assert!(b_shard_dead, "poisoned shard never went down");
+
+    // A batch that routes 50 queries to the live shard and then one to
+    // the dead shard: the send to the dead shard fails mid-batch.
+    let mut batch: Vec<LabeledQuery> = (0..50)
+        .map(|i| query(&tenant_a, &format!("select {i}")))
+        .collect();
+    batch.push(query(&tenant_b, "select 999"));
+    let err = mgr.submit_batch("poisonable", batch).unwrap_err();
+    assert!(matches!(err, QuercError::ChannelClosed { .. }));
+
+    // The 50 live-shard queries were accepted and will be processed;
+    // the counters must account for them despite the error return.
+    let drained = mgr.drain();
+    let tp = &drained.throughput[0];
+    assert!(
+        tp.processed <= tp.submitted,
+        "processed ({}) must never exceed submitted ({})",
+        tp.processed,
+        tp.submitted
+    );
+    let live_outputs = drained.outputs["poisonable"]
+        .iter()
+        .filter(|lq| lq.get("account") == Some(tenant_a.as_str()))
+        .count();
+    assert_eq!(live_outputs, 50, "live shard processed the partial batch");
 }
 
 #[test]
