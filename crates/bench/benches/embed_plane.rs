@@ -1,0 +1,181 @@
+//! Embed-once ingress plane benchmark: all six apps sharing one
+//! embedder, serving a templated trace with the template→vector cache
+//! on vs. off.
+//!
+//! The uncached path embeds every query once *per app* (6 Doc2Vec
+//! inferences per arrival); the cached path embeds each *template* once
+//! at manager ingress and fans the `Arc<Vec<f32>>` out to every shard.
+//! On a templated trace (the cloud-workload shape) the expected
+//! end-to-end labeled-throughput win is ≥3×, and grows with both the
+//! number of apps and the trace's template repetition. Before timing,
+//! the harness asserts the two configurations produce **bit-identical**
+//! per-app label outputs — caching is an amortization, never a semantic
+//! change.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use querc::apps::summarize::SummaryConfig;
+use querc::apps::{
+    AuditApp, ErrorsApp, RecommendApp, ResourcesApp, RoutingApp, SummarizeApp, TrainCorpus,
+};
+use querc::{FittedApp, LabeledQuery, WorkloadManager, WorkloadManagerConfig};
+use querc_embed::{Doc2Vec, Doc2VecConfig, Embedder, VocabConfig};
+use querc_workloads::QueryRecord;
+use std::collections::BTreeMap;
+use std::hint::black_box;
+use std::sync::Arc;
+
+/// ~16 statement templates; literals vary per instantiation.
+fn templated_sql(template: usize, literal: usize) -> String {
+    match template % 16 {
+        0 => format!("select v from kv_store where k = {literal}"),
+        1 => format!("select revenue, region from finance_cube where q = {literal} group by region"),
+        2 => format!("insert into lake_events select * from staging where batch = {literal}"),
+        3 => format!("select count(*) from web_clicks where day = {literal}"),
+        4 => format!("update user_prefs set theme = 'dark' where uid = {literal}"),
+        5 => format!("select a.g, sum(b.v) from facts a join facts b on a.k = b.k where a.x > {literal} group by a.g"),
+        6 => format!("delete from session_cache where expires < {literal}"),
+        7 => format!("select name from customers where id = {literal}"),
+        8 => format!("select avg(latency_ms) from probes where region = 'r{literal}'"),
+        9 => format!("insert into audit_log values ({literal}, 'event')"),
+        10 => format!("select top_k from leaderboard where season = {literal}"),
+        11 => format!("select * from orders o join lineitem l on o.id = l.oid where o.total > {literal}"),
+        12 => format!("select max(ts) from heartbeats where node = {literal}"),
+        13 => format!("select p50, p99 from latency_rollup where service = 'svc{literal}'"),
+        14 => format!("update inventory set qty = qty - 1 where sku = {literal}"),
+        _ => format!("select sum(amount) from payments where merchant = {literal} group by status"),
+    }
+}
+
+fn training_corpus() -> TrainCorpus {
+    let records: Vec<QueryRecord> = (0..96u64)
+        .map(|i| QueryRecord {
+            sql: templated_sql(i as usize, i as usize),
+            user: format!("acct/u{}", i % 4),
+            account: "acct".into(),
+            cluster: if i % 2 == 0 { "bi" } else { "etl" }.into(),
+            dialect: "generic".into(),
+            runtime_ms: [5.0, 300.0, 2000.0][(i % 3) as usize],
+            mem_mb: 10.0,
+            error_code: (i % 16 == 5).then_some(604),
+            timestamp: i,
+        })
+        .collect();
+    TrainCorpus::from_records(records, 0xe3bd)
+}
+
+/// One shared Doc2Vec across ALL apps — embedding is the dominant
+/// serving cost, which is exactly the regime the ingress cache targets.
+fn shared_embedder(corpus: &TrainCorpus) -> Arc<dyn Embedder> {
+    Arc::new(Doc2Vec::train(
+        &corpus.token_corpus(),
+        Doc2VecConfig {
+            dim: 32,
+            epochs: 2,
+            infer_epochs: 10,
+            vocab: VocabConfig {
+                min_count: 1,
+                max_size: 20_000,
+                hash_buckets: 1024,
+            },
+            ..Default::default()
+        },
+    ))
+}
+
+fn fit_apps(corpus: &TrainCorpus, embedder: &Arc<dyn Embedder>) -> Vec<Arc<FittedApp>> {
+    let summary_cfg = SummaryConfig {
+        k: Some(4),
+        ..Default::default()
+    };
+    vec![
+        Arc::new(FittedApp::fit(AuditApp::new(embedder.clone()).with_trees(10), corpus).unwrap()),
+        Arc::new(FittedApp::fit(ErrorsApp::new(embedder.clone()), corpus).unwrap()),
+        Arc::new(
+            FittedApp::fit(RecommendApp::new(embedder.clone()).with_clusters(4), corpus).unwrap(),
+        ),
+        Arc::new(FittedApp::fit(ResourcesApp::new(embedder.clone()), corpus).unwrap()),
+        Arc::new(FittedApp::fit(RoutingApp::new(embedder.clone()), corpus).unwrap()),
+        Arc::new(
+            FittedApp::fit(
+                SummarizeApp::new(embedder.clone()).with_config(summary_cfg),
+                corpus,
+            )
+            .unwrap(),
+        ),
+    ]
+}
+
+/// A templated serving trace: every template repeats with fresh literals.
+fn serving_trace(n: usize) -> Vec<LabeledQuery> {
+    (0..n)
+        .map(|i| LabeledQuery::new(templated_sql(i, 10_000 + i)))
+        .collect()
+}
+
+/// Serve the whole trace to all six apps; returns per-app outputs
+/// (label vectors sorted for order-independent comparison).
+fn serve(
+    fitted: &[Arc<FittedApp>],
+    trace: &[LabeledQuery],
+    cache_capacity: usize,
+) -> BTreeMap<String, Vec<Vec<(String, String)>>> {
+    let mut mgr = WorkloadManager::new(WorkloadManagerConfig {
+        shards_per_app: 1,
+        batch: 32,
+        embed_cache_capacity: cache_capacity,
+        ..Default::default()
+    });
+    for f in fitted {
+        mgr.register_fitted(Arc::clone(f)).unwrap();
+    }
+    let apps = mgr.app_names();
+    for app in &apps {
+        mgr.submit_batch(app, trace.iter().cloned()).unwrap();
+    }
+    let drained = mgr.drain();
+    drained
+        .outputs
+        .into_iter()
+        .map(|(app, queries)| {
+            let mut labels: Vec<Vec<(String, String)>> =
+                queries.into_iter().map(|lq| lq.labels).collect();
+            labels.sort();
+            (app, labels)
+        })
+        .collect()
+}
+
+fn bench_embed_plane(c: &mut Criterion) {
+    let corpus = training_corpus();
+    let embedder = shared_embedder(&corpus);
+    let fitted = fit_apps(&corpus, &embedder);
+    let trace = serving_trace(192);
+
+    // Correctness gate: cached and uncached serving must label
+    // bit-identically before we time anything.
+    let uncached = serve(&fitted, &trace, 0);
+    let cached = serve(&fitted, &trace, 65_536);
+    assert_eq!(
+        uncached, cached,
+        "cache on/off must produce bit-identical per-app labels"
+    );
+
+    let mut g = c.benchmark_group("embed_plane_6apps");
+    g.sample_size(10);
+    // 6 apps × trace = total labeling requests served per iteration.
+    g.throughput(Throughput::Elements((trace.len() * fitted.len()) as u64));
+    g.bench_function("uncached", |b| {
+        b.iter(|| black_box(serve(&fitted, &trace, 0).len()))
+    });
+    g.bench_function("cached", |b| {
+        b.iter(|| black_box(serve(&fitted, &trace, 65_536).len()))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_embed_plane
+}
+criterion_main!(benches);

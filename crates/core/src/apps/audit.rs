@@ -8,8 +8,8 @@
 
 use super::{AppOutput, AppReport, TrainCorpus, WorkloadApp};
 use crate::classifier::TrainedLabeler;
+use crate::enriched::EnrichedQuery;
 use crate::error::Result;
-use crate::labeled::LabeledQuery;
 use querc_embed::Embedder;
 use querc_learn::{ForestConfig, RandomForest};
 use querc_linalg::Pcg32;
@@ -173,22 +173,28 @@ impl WorkloadApp for AuditApp {
     fn label_batch(
         &self,
         model: &SecurityAuditor,
-        batch: &[LabeledQuery],
+        batch: &[EnrichedQuery],
     ) -> Result<Vec<AppOutput>> {
-        let docs: Vec<Vec<String>> = batch.iter().map(LabeledQuery::tokens).collect();
-        let predicted = model.predict_users_batch(&docs);
+        // Ingress-enriched vectors are reused; anything else embeds in
+        // one batched call from the memoized token streams.
+        let vectors = EnrichedQuery::vectors(batch, model.embedder.as_ref());
         Ok(batch
             .iter()
-            .zip(predicted)
-            .map(|(lq, user)| {
+            .zip(vectors)
+            .map(|(q, v)| {
+                let user = model.user_model.predict(&v).to_string();
                 let mut out = AppOutput::new();
-                if let Some(actual) = lq.get("user") {
+                if let Some(actual) = q.get("user") {
                     out.set("audit_flag", (actual != user).to_string());
                 }
                 out.set("predicted_user", user);
                 out
             })
             .collect())
+    }
+
+    fn embedder(&self) -> Option<Arc<dyn Embedder>> {
+        Some(Arc::clone(&self.embedder))
     }
 
     fn report(&self, model: &SecurityAuditor) -> AppReport {
@@ -329,9 +335,9 @@ mod tests {
         let corpus = TrainCorpus::from_records(records(), 7);
         let app = AuditApp::new(Arc::new(BagOfTokens::new(64, true))).with_trees(15);
         let model = app.fit(&corpus).unwrap();
-        let mut suspicious = LabeledQuery::new("insert into sensor_stream values (1, 2)");
+        let mut suspicious = EnrichedQuery::from_sql("insert into sensor_stream values (1, 2)");
         suspicious.set("user", "acct/alice");
-        let unlabeled = LabeledQuery::new("select revenue from finance_reports where q = 3");
+        let unlabeled = EnrichedQuery::from_sql("select revenue from finance_reports where q = 3");
         let out = app.label_batch(&model, &[suspicious, unlabeled]).unwrap();
         assert_eq!(out.len(), 2);
         assert_eq!(out[0].get("predicted_user"), Some("acct/bob"));

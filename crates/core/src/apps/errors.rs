@@ -6,8 +6,8 @@
 //! instrumented or higher-memory runtime before they fail.
 
 use super::{AppOutput, AppReport, TrainCorpus, WorkloadApp};
+use crate::enriched::EnrichedQuery;
 use crate::error::Result;
-use crate::labeled::LabeledQuery;
 use querc_embed::Embedder;
 use querc_learn::{Classifier, ForestConfig, RandomForest};
 use querc_linalg::Pcg32;
@@ -55,8 +55,13 @@ impl ErrorPredictor {
 
     /// Assess one query.
     pub fn assess(&self, sql: &str) -> ErrorRisk {
-        let v = self.embedder.embed_sql(sql);
-        let proba = self.model.predict_proba(&v, 2);
+        self.assess_vector(&self.embedder.embed_sql(sql))
+    }
+
+    /// Assess a precomputed embedding vector — the single risk rule
+    /// shared by the SQL-level, batched, and serving paths.
+    pub fn assess_vector(&self, v: &[f32]) -> ErrorRisk {
+        let proba = self.model.predict_proba(v, 2);
         let probability = proba.get(1).copied().unwrap_or(0.0) as f64;
         ErrorRisk {
             probability,
@@ -82,14 +87,7 @@ impl ErrorPredictor {
         self.embedder
             .embed_batch(docs)
             .iter()
-            .map(|v| {
-                let proba = self.model.predict_proba(v, 2);
-                let probability = proba.get(1).copied().unwrap_or(0.0) as f64;
-                ErrorRisk {
-                    probability,
-                    risky: probability >= self.threshold,
-                }
-            })
+            .map(|v| self.assess_vector(v))
             .collect()
     }
 }
@@ -152,19 +150,22 @@ impl WorkloadApp for ErrorsApp {
         })
     }
 
-    fn label_batch(&self, model: &ErrorsModel, batch: &[LabeledQuery]) -> Result<Vec<AppOutput>> {
-        let docs: Vec<Vec<String>> = batch.iter().map(LabeledQuery::tokens).collect();
-        Ok(model
-            .predictor
-            .assess_batch(&docs)
-            .into_iter()
-            .map(|risk| {
+    fn label_batch(&self, model: &ErrorsModel, batch: &[EnrichedQuery]) -> Result<Vec<AppOutput>> {
+        let vectors = EnrichedQuery::vectors(batch, model.predictor.embedder.as_ref());
+        Ok(vectors
+            .iter()
+            .map(|v| {
+                let risk = model.predictor.assess_vector(v);
                 let mut out = AppOutput::new();
                 out.set("error_probability", format!("{:.3}", risk.probability));
                 out.set("error_risky", risk.risky.to_string());
                 out
             })
             .collect())
+    }
+
+    fn embedder(&self) -> Option<Arc<dyn Embedder>> {
+        Some(Arc::clone(&self.embedder))
     }
 
     fn report(&self, model: &ErrorsModel) -> AppReport {
@@ -255,10 +256,10 @@ mod tests {
         let corpus = TrainCorpus::from_records(records(0), 0xe441);
         let app = ErrorsApp::new(Arc::new(querc_embed::BagOfTokens::new(64, true)));
         let model = app.fit(&corpus).unwrap();
-        let risky = LabeledQuery::new(
+        let risky = EnrichedQuery::from_sql(
             "select a.*, b.* from giant_facts a join giant_facts b on a.k = b.k where a.x > 999",
         );
-        let safe = LabeledQuery::new("select c from small_dim where id = 999");
+        let safe = EnrichedQuery::from_sql("select c from small_dim where id = 999");
         let out = app.label_batch(&model, &[risky, safe]).unwrap();
         assert_eq!(out[0].get("error_risky"), Some("true"));
         assert_eq!(out[1].get("error_risky"), Some("false"));

@@ -20,11 +20,15 @@
 //! `summarize_workload`, …) remain as thin wrappers around the same
 //! logic, so offline/ablation code keeps working unchanged.
 //!
-//! Every app is fit/label/report — usable directly, without a manager:
+//! Apps label [`crate::EnrichedQuery`] batches: the enriched envelope
+//! carries memoized tokens and (when the query came through the
+//! manager's ingress embed plane) a precomputed embedding vector, so an
+//! app only embeds when no upstream component already did. Every app is
+//! fit/label/report — usable directly, without a manager:
 //!
 //! ```
 //! use querc::apps::{ResourcesApp, TrainCorpus, WorkloadApp};
-//! use querc::LabeledQuery;
+//! use querc::EnrichedQuery;
 //! use querc_workloads::{SnowCloud, SnowCloudConfig};
 //! use std::sync::Arc;
 //!
@@ -33,7 +37,7 @@
 //! let app = ResourcesApp::new(Arc::new(querc_embed::BagOfTokens::new(64, true)));
 //!
 //! let model = app.fit(&corpus).unwrap();
-//! let batch = [LabeledQuery::new("select 1")];
+//! let batch = [EnrichedQuery::from_sql("select 1")];
 //! let outputs = app.label_batch(&model, &batch).unwrap();
 //! assert_eq!(outputs.len(), 1);
 //! assert!(outputs[0].get("resource_class").is_some());
@@ -54,11 +58,14 @@ pub use resources::ResourcesApp;
 pub use routing::RoutingApp;
 pub use summarize::SummarizeApp;
 
+use crate::enriched::EnrichedQuery;
 use crate::error::{QuercError, Result};
 use crate::labeled::LabeledQuery;
+use querc_embed::Embedder;
 use querc_workloads::QueryRecord;
 use std::any::Any;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Training input shared by every application: labeled log records plus
 /// per-user session histories (consumed by the recommendation app).
@@ -197,10 +204,25 @@ pub trait WorkloadApp: Send + Sync {
     fn fit(&self, corpus: &TrainCorpus) -> Result<Self::Model>;
 
     /// Label a batch of queries. Must return exactly `batch.len()`
-    /// outputs, `outputs[i]` belonging to `batch[i]`. Implementations
-    /// embed through [`querc_embed::Embedder::embed_batch`] so chunked
-    /// serving amortizes embedder setup.
-    fn label_batch(&self, model: &Self::Model, batch: &[LabeledQuery]) -> Result<Vec<AppOutput>>;
+    /// outputs, `outputs[i]` belonging to `batch[i]`.
+    ///
+    /// Implementations obtain vectors with [`EnrichedQuery::vectors`]:
+    /// a vector precomputed under the app embedder's cache namespace
+    /// (the manager's ingress embed plane, or an earlier consumer in the
+    /// same worker) is reused as-is, and only the remainder is embedded —
+    /// in one [`querc_embed::Embedder::embed_batch`] call over the
+    /// memoized token streams. Either way the labels are identical:
+    /// caching is an amortization, never a semantic change.
+    fn label_batch(&self, model: &Self::Model, batch: &[EnrichedQuery]) -> Result<Vec<AppOutput>>;
+
+    /// The embedder this app labels through, if it has exactly one. The
+    /// manager embeds through it **at ingress** (batched, via the shared
+    /// vector cache) so that by the time a chunk reaches the app shard
+    /// the vectors are already attached. `None` (the default) opts out
+    /// of ingress embedding; the app then embeds inside `label_batch`.
+    fn embedder(&self) -> Option<Arc<dyn Embedder>> {
+        None
+    }
 
     /// Describe a fitted model.
     fn report(&self, model: &Self::Model) -> AppReport;
@@ -220,8 +242,10 @@ pub trait DynWorkloadApp: Send + Sync {
     fn label_batch_dyn(
         &self,
         model: &(dyn Any + Send + Sync),
-        batch: &[LabeledQuery],
+        batch: &[EnrichedQuery],
     ) -> Result<Vec<AppOutput>>;
+    /// Type-erased [`WorkloadApp::embedder`].
+    fn embedder_dyn(&self) -> Option<Arc<dyn Embedder>>;
     /// Type-erased [`WorkloadApp::report`].
     fn report_dyn(&self, model: &(dyn Any + Send + Sync)) -> Result<AppReport>;
 }
@@ -238,7 +262,7 @@ impl<A: WorkloadApp> DynWorkloadApp for A {
     fn label_batch_dyn(
         &self,
         model: &(dyn Any + Send + Sync),
-        batch: &[LabeledQuery],
+        batch: &[EnrichedQuery],
     ) -> Result<Vec<AppOutput>> {
         let model =
             model
@@ -247,6 +271,10 @@ impl<A: WorkloadApp> DynWorkloadApp for A {
                     app: WorkloadApp::name(self).to_string(),
                 })?;
         self.label_batch(model, batch)
+    }
+
+    fn embedder_dyn(&self) -> Option<Arc<dyn Embedder>> {
+        self.embedder()
     }
 
     fn report_dyn(&self, model: &(dyn Any + Send + Sync)) -> Result<AppReport> {

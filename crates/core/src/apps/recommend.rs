@@ -7,8 +7,8 @@
 //! entirely from generic embeddings, no query-fragment engineering.
 
 use super::{AppOutput, AppReport, TrainCorpus, WorkloadApp};
+use crate::enriched::EnrichedQuery;
 use crate::error::{QuercError, Result};
-use crate::labeled::LabeledQuery;
 use querc_cluster::{kmeans, KMeansConfig};
 use querc_embed::Embedder;
 use querc_linalg::Pcg32;
@@ -97,7 +97,13 @@ impl QueryRecommender {
 
     /// Cluster id of a query.
     pub fn cluster_of(&self, sql: &str) -> usize {
-        querc_cluster::nearest_centroid(&self.embedder.embed_sql(sql), &self.centroids)
+        self.cluster_of_vector(&self.embedder.embed_sql(sql))
+    }
+
+    /// Cluster id of a precomputed embedding vector — shared by the
+    /// SQL-level, batched, and serving paths.
+    pub fn cluster_of_vector(&self, v: &[f32]) -> usize {
+        querc_cluster::nearest_centroid(v, &self.centroids)
     }
 
     /// Cluster ids for a chunk of pre-tokenized queries through the
@@ -106,7 +112,7 @@ impl QueryRecommender {
         self.embedder
             .embed_batch(docs)
             .iter()
-            .map(|v| querc_cluster::nearest_centroid(v, &self.centroids))
+            .map(|v| self.cluster_of_vector(v))
             .collect()
     }
 
@@ -223,13 +229,13 @@ impl WorkloadApp for RecommendApp {
     fn label_batch(
         &self,
         model: &QueryRecommender,
-        batch: &[LabeledQuery],
+        batch: &[EnrichedQuery],
     ) -> Result<Vec<AppOutput>> {
-        let docs: Vec<Vec<String>> = batch.iter().map(LabeledQuery::tokens).collect();
-        Ok(model
-            .clusters_of_batch(&docs)
-            .into_iter()
-            .map(|cluster| {
+        let vectors = EnrichedQuery::vectors(batch, model.embedder.as_ref());
+        Ok(vectors
+            .iter()
+            .map(|v| {
+                let cluster = model.cluster_of_vector(v);
                 let (_, witness) = model.next_witness(cluster);
                 let mut out = AppOutput::new();
                 out.set("query_cluster", cluster.to_string());
@@ -237,6 +243,10 @@ impl WorkloadApp for RecommendApp {
                 out
             })
             .collect())
+    }
+
+    fn embedder(&self) -> Option<Arc<dyn Embedder>> {
+        Some(Arc::clone(&self.embedder))
     }
 
     fn report(&self, model: &QueryRecommender) -> AppReport {
@@ -325,7 +335,7 @@ mod tests {
         let out = app
             .label_batch(
                 &model,
-                &[LabeledQuery::new(
+                &[EnrichedQuery::from_sql(
                     "select v from point_lookup where k = 999",
                 )],
             )

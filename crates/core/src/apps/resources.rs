@@ -7,8 +7,8 @@
 //! from the log's measured runtime/memory columns.
 
 use super::{AppOutput, AppReport, TrainCorpus, WorkloadApp};
+use crate::enriched::EnrichedQuery;
 use crate::error::Result;
-use crate::labeled::LabeledQuery;
 use querc_embed::Embedder;
 use querc_learn::{Classifier, ForestConfig, RandomForest};
 use querc_linalg::Pcg32;
@@ -111,8 +111,13 @@ impl ResourcePredictor {
 
     /// Predict the class of an incoming query before running it.
     pub fn predict(&self, sql: &str) -> ResourceClass {
-        let v = self.embedder.embed_sql(sql);
-        ResourceClass::from_id(self.model.predict(&v))
+        self.predict_vector(&self.embedder.embed_sql(sql))
+    }
+
+    /// Predict the class from a precomputed embedding vector — shared
+    /// by the SQL-level, batched, and serving paths.
+    pub fn predict_vector(&self, v: &[f32]) -> ResourceClass {
+        ResourceClass::from_id(self.model.predict(v))
     }
 
     /// Held-out accuracy against measured runtimes.
@@ -133,7 +138,7 @@ impl ResourcePredictor {
         self.embedder
             .embed_batch(docs)
             .iter()
-            .map(|v| ResourceClass::from_id(self.model.predict(v)))
+            .map(|v| self.predict_vector(v))
             .collect()
     }
 }
@@ -198,19 +203,22 @@ impl WorkloadApp for ResourcesApp {
     fn label_batch(
         &self,
         model: &ResourcesModel,
-        batch: &[LabeledQuery],
+        batch: &[EnrichedQuery],
     ) -> Result<Vec<AppOutput>> {
-        let docs: Vec<Vec<String>> = batch.iter().map(LabeledQuery::tokens).collect();
-        Ok(model
-            .predictor
-            .predict_batch(&docs)
-            .into_iter()
-            .map(|class| {
+        let vectors = EnrichedQuery::vectors(batch, model.predictor.embedder.as_ref());
+        Ok(vectors
+            .iter()
+            .map(|v| {
+                let class = model.predictor.predict_vector(v);
                 let mut out = AppOutput::new();
                 out.set("resource_class", class.name());
                 out
             })
             .collect())
+    }
+
+    fn embedder(&self) -> Option<Arc<dyn Embedder>> {
+        Some(Arc::clone(&self.embedder))
     }
 
     fn report(&self, model: &ResourcesModel) -> AppReport {
@@ -320,8 +328,8 @@ mod tests {
             .label_batch(
                 &model,
                 &[
-                    LabeledQuery::new("select v from kv_store where k = 999"),
-                    LabeledQuery::new(
+                    EnrichedQuery::from_sql("select v from kv_store where k = 999"),
+                    EnrichedQuery::from_sql(
                         "select a.g, sum(b.v) from big_facts a join big_facts b on a.k = b.k group by a.g",
                     ),
                 ],

@@ -10,8 +10,8 @@
 
 use super::{AppOutput, AppReport, TrainCorpus, WorkloadApp};
 use crate::classifier::TrainedLabeler;
+use crate::enriched::EnrichedQuery;
 use crate::error::Result;
-use crate::labeled::LabeledQuery;
 use querc_embed::Embedder;
 use querc_learn::{Classifier, ForestConfig, RandomForest};
 use querc_linalg::Pcg32;
@@ -86,11 +86,24 @@ impl RoutingChecker {
 
     /// Predict the policy cluster for a brand-new query.
     pub fn predict(&self, sql: &str) -> String {
-        let v = self.embedder.embed_sql(sql);
-        self.labels
-            .name(self.model.predict(&v))
-            .unwrap_or("<unknown>")
-            .to_string()
+        self.predict_vector(&self.embedder.embed_sql(sql)).0
+    }
+
+    /// Predict `(cluster, confidence)` from a precomputed embedding
+    /// vector — the single decision rule shared by the SQL-level,
+    /// batched, and serving paths.
+    pub fn predict_vector(&self, v: &[f32]) -> (String, f64) {
+        let proba = self.model.proba(v);
+        match querc_linalg::stats::argmax(&proba) {
+            Some(best) => (
+                self.labels
+                    .name(best as u32)
+                    .unwrap_or("<unknown>")
+                    .to_string(),
+                proba[best] as f64,
+            ),
+            None => ("<unknown>".to_string(), 0.0),
+        }
     }
 
     /// Predict `(cluster, confidence)` for a chunk of pre-tokenized
@@ -99,19 +112,7 @@ impl RoutingChecker {
         self.embedder
             .embed_batch(docs)
             .iter()
-            .map(|v| {
-                let proba = self.model.proba(v);
-                match querc_linalg::stats::argmax(&proba) {
-                    Some(best) => (
-                        self.labels
-                            .name(best as u32)
-                            .unwrap_or("<unknown>")
-                            .to_string(),
-                        proba[best] as f64,
-                    ),
-                    None => ("<unknown>".to_string(), 0.0),
-                }
-            })
+            .map(|v| self.predict_vector(v))
             .collect()
     }
 
@@ -181,15 +182,15 @@ impl WorkloadApp for RoutingApp {
         })
     }
 
-    fn label_batch(&self, model: &RoutingModel, batch: &[LabeledQuery]) -> Result<Vec<AppOutput>> {
-        let docs: Vec<Vec<String>> = batch.iter().map(LabeledQuery::tokens).collect();
-        let predicted = model.checker.predict_batch(&docs);
+    fn label_batch(&self, model: &RoutingModel, batch: &[EnrichedQuery]) -> Result<Vec<AppOutput>> {
+        let vectors = EnrichedQuery::vectors(batch, model.checker.embedder.as_ref());
         Ok(batch
             .iter()
-            .zip(predicted)
-            .map(|(lq, (cluster, confidence))| {
+            .zip(vectors)
+            .map(|(q, v)| {
+                let (cluster, confidence) = model.checker.predict_vector(&v);
                 let mut out = AppOutput::new();
-                if let Some(assigned) = lq.get("cluster") {
+                if let Some(assigned) = q.get("cluster") {
                     let anomalous =
                         assigned != cluster && confidence >= model.checker.min_confidence;
                     out.set("routing_anomaly", anomalous.to_string());
@@ -199,6 +200,10 @@ impl WorkloadApp for RoutingApp {
                 out
             })
             .collect())
+    }
+
+    fn embedder(&self) -> Option<Arc<dyn Embedder>> {
+        Some(Arc::clone(&self.embedder))
     }
 
     fn report(&self, model: &RoutingModel) -> AppReport {
@@ -324,9 +329,10 @@ mod tests {
         let app = RoutingApp::new(Arc::new(BagOfTokens::new(64, true))).with_min_confidence(0.6);
         let model = app.fit(&corpus).unwrap();
         // A BI query mislabeled as routed to the ETL cluster.
-        let mut misrouted = LabeledQuery::new("select sum(x) from finance_cube group by dim1");
+        let mut misrouted =
+            EnrichedQuery::from_sql("select sum(x) from finance_cube group by dim1");
         misrouted.set("cluster", "etl-cluster");
-        let clean = LabeledQuery::new("insert into lake_events select * from staging_1");
+        let clean = EnrichedQuery::from_sql("insert into lake_events select * from staging_1");
         let out = app.label_batch(&model, &[misrouted, clean]).unwrap();
         assert_eq!(out[0].get("predicted_cluster"), Some("bi-cluster"));
         assert_eq!(out[0].get("routing_anomaly"), Some("true"));

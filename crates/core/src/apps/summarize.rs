@@ -11,8 +11,8 @@
 //! does).
 
 use super::{AppOutput, AppReport, TrainCorpus, WorkloadApp};
+use crate::enriched::EnrichedQuery;
 use crate::error::Result;
-use crate::labeled::LabeledQuery;
 use querc_cluster::{choose_k_elbow, kmeans, KMeansConfig};
 use querc_embed::Embedder;
 use querc_linalg::Pcg32;
@@ -203,11 +203,9 @@ impl WorkloadApp for SummarizeApp {
         })
     }
 
-    fn label_batch(&self, model: &SummaryModel, batch: &[LabeledQuery]) -> Result<Vec<AppOutput>> {
-        let docs: Vec<Vec<String>> = batch.iter().map(LabeledQuery::tokens).collect();
-        Ok(self
-            .embedder
-            .embed_batch(&docs)
+    fn label_batch(&self, model: &SummaryModel, batch: &[EnrichedQuery]) -> Result<Vec<AppOutput>> {
+        let vectors = EnrichedQuery::vectors(batch, self.embedder.as_ref());
+        Ok(vectors
             .iter()
             .map(|v| {
                 let cluster = querc_cluster::nearest_centroid(v, &model.centroids);
@@ -217,6 +215,10 @@ impl WorkloadApp for SummarizeApp {
                 out
             })
             .collect())
+    }
+
+    fn embedder(&self) -> Option<Arc<dyn Embedder>> {
+        Some(Arc::clone(&self.embedder))
     }
 
     fn report(&self, model: &SummaryModel) -> AppReport {
@@ -359,8 +361,8 @@ mod tests {
             .label_batch(
                 &model,
                 &[
-                    LabeledQuery::new("insert into raw_events values (99, 'x')"),
-                    LabeledQuery::new("select * from users where user_id = 99"),
+                    EnrichedQuery::from_sql("insert into raw_events values (99, 'x')"),
+                    EnrichedQuery::from_sql("select * from users where user_id = 99"),
                 ],
             )
             .unwrap();

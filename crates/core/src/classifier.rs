@@ -186,12 +186,23 @@ impl QueryClassifier {
     }
 
     /// Label a chunk of pre-tokenized queries through the embedder's
-    /// batched path — the Qworker hot loop. Output `i` is the label of
-    /// `docs[i]`, identical to what [`QueryClassifier::label_tokens`]
-    /// would return.
+    /// batched path. Output `i` is the label of `docs[i]`, identical to
+    /// what [`QueryClassifier::label_tokens`] would return.
     pub fn label_tokens_batch(&self, docs: &[Vec<String>]) -> Vec<String> {
         self.embedder
             .embed_batch(docs)
+            .iter()
+            .map(|v| self.labeler.predict(v).to_string())
+            .collect()
+    }
+
+    /// Label a chunk of **precomputed** vectors — the Qworker hot loop
+    /// on the embed-once ingress plane. `vectors[i]` must come from this
+    /// classifier's embedder (same [`querc_embed::Embedder::cache_namespace`]);
+    /// the output is then identical to embedding and labeling the query
+    /// from scratch.
+    pub fn label_vectors_batch(&self, vectors: &[Arc<Vec<f32>>]) -> Vec<String> {
+        vectors
             .iter()
             .map(|v| self.labeler.predict(v).to_string())
             .collect()
@@ -278,6 +289,26 @@ mod tests {
         for (doc, label) in docs.iter().zip(&batch) {
             assert_eq!(*label, clf.label_tokens(doc));
         }
+    }
+
+    #[test]
+    fn label_vectors_batch_matches_token_path() {
+        let clf = train_demo_classifier();
+        let sqls = [
+            "select col1 from sales_orders where x = 5",
+            "insert into app_logs values (9, 'event')",
+        ];
+        let docs: Vec<Vec<String>> = sqls.iter().map(|s| querc_embed::sql_tokens(s)).collect();
+        let vectors: Vec<Arc<Vec<f32>>> = clf
+            .embedder()
+            .embed_batch(&docs)
+            .into_iter()
+            .map(Arc::new)
+            .collect();
+        assert_eq!(
+            clf.label_vectors_batch(&vectors),
+            clf.label_tokens_batch(&docs)
+        );
     }
 
     #[test]

@@ -27,17 +27,28 @@
 //!   through bounded shard queues, and batches the hot path end to end
 //!   (`submit`/`submit_batch`/`drain`, per-app throughput counters and
 //!   [`histogram::LatencyHistogram`] p50/p95/p99 latency);
+//! * queries are parsed, fingerprinted, and embedded **once at manager
+//!   ingress**: the [`embed_plane::EmbedPlane`] keys a sharded, bounded
+//!   LRU vector cache by template fingerprint
+//!   (`querc_sql::fingerprint`) and embedder namespace, and the
+//!   resulting `Arc<Vec<f32>>` rides the [`enriched::EnrichedQuery`]
+//!   envelope to every app shard — repeated templates serve with zero
+//!   embedding work, and cache hit-rates surface per app in
+//!   [`service::AppThroughput`];
 //! * every fallible surface reports [`error::QuercError`] instead of
 //!   panicking.
 //!
 //! The only message type between components is a query plus labels —
 //! [`labeled::LabeledQuery`], the `(Q, c1, c2, …)` tuple of the paper's
-//! data model.
+//! data model ([`enriched::EnrichedQuery`] is that tuple plus memoized
+//! derived artifacts on the serving hot path).
 
 #![deny(missing_docs)]
 
 pub mod apps;
 pub mod classifier;
+pub mod embed_plane;
+pub mod enriched;
 pub mod error;
 pub mod histogram;
 pub mod labeled;
@@ -48,6 +59,8 @@ pub mod training;
 
 pub use apps::{AppOutput, AppReport, TrainCorpus, WorkloadApp};
 pub use classifier::{LabelMap, QueryClassifier, TrainedLabeler};
+pub use embed_plane::{EmbedCacheStats, EmbedPlane, EmbedPlaneConfig};
+pub use enriched::EnrichedQuery;
 pub use error::{QuercError, Result};
 pub use histogram::{LatencyHistogram, LatencySnapshot};
 pub use labeled::LabeledQuery;

@@ -14,13 +14,29 @@
 //! (amortizing embedder setup) while a trickle still flows query by
 //! query with no added latency.
 //!
+//! Chunks are [`EnrichedQuery`]s: each query's normalized tokens are
+//! lexed **at most once** (memoized — regression-tested against the
+//! lexer's call counter) and embedding vectors attached upstream (the
+//! manager's ingress embed plane) are reused by every classifier and
+//! the app via [`QueryClassifier::label_vectors_batch`] instead of
+//! re-embedding per consumer.
+//!
+//! Classifiers come in two flavors: a **pinned** list fixed at
+//! construction, and **registry-resolved** labels
+//! ([`Qworker::with_registry`]) that are re-resolved from the
+//! [`crate::registry::ModelRegistry`] once per chunk — a concurrent
+//! `deploy` hot-swaps the model *between* chunks, never mid-chunk, so
+//! every chunk is labeled by exactly one model version.
+//!
 //! Qworkers hold no heavyweight state — classifiers and fitted apps are
 //! `Arc`s — so they can be replicated and load-balanced over one MPMC
 //! stream.
 
 use crate::classifier::QueryClassifier;
+use crate::enriched::EnrichedQuery;
 use crate::histogram::LatencyHistogram;
 use crate::labeled::LabeledQuery;
+use crate::registry::ModelRegistry;
 use crate::service::{AppCounters, FittedApp};
 use crossbeam::channel::{Receiver, Sender};
 use std::sync::atomic::Ordering;
@@ -33,25 +49,34 @@ pub const DEFAULT_BATCH: usize = 32;
 /// A query stamped with its submit time — the message type on sharded
 /// manager streams, letting the consuming worker record client-
 /// perceived submit→labeled latency into the app's
-/// [`LatencyHistogram`].
+/// [`LatencyHistogram`]. Carries an [`EnrichedQuery`] so ingress-derived
+/// artifacts (tokens, fingerprint, cached vectors) ride along to the
+/// shard instead of being recomputed there.
 #[derive(Debug, Clone)]
 pub struct TimedQuery {
-    /// The query being served.
-    pub query: LabeledQuery,
+    /// The query being served, with its derived artifacts.
+    pub query: EnrichedQuery,
     /// When the producer called `submit`/`submit_batch`. Stamped before
-    /// the (possibly blocking) send, so under backpressure the measured
-    /// latency includes the wait for queue space — what a client would
-    /// actually observe, not just time spent inside the queue.
+    /// ingress embedding and the (possibly blocking) send, so under
+    /// backpressure the measured latency includes both the embed work
+    /// and the wait for queue space — what a client would actually
+    /// observe, not just time spent inside the queue.
     pub enqueued_at: Instant,
 }
 
 impl TimedQuery {
     /// Stamp `query` with the current time.
-    pub fn now(query: LabeledQuery) -> TimedQuery {
+    pub fn now(query: impl Into<EnrichedQuery>) -> TimedQuery {
         TimedQuery {
-            query,
+            query: query.into(),
             enqueued_at: Instant::now(),
         }
+    }
+
+    /// Re-stamp an already-enriched query (the manager stamps before
+    /// ingress embedding; see [`TimedQuery::enqueued_at`]).
+    pub fn at(query: EnrichedQuery, enqueued_at: Instant) -> TimedQuery {
+        TimedQuery { query, enqueued_at }
     }
 }
 
@@ -70,6 +95,7 @@ pub struct Qworker {
     /// Application name (e.g. `app-X`), attached as a label.
     pub application: String,
     classifiers: Vec<Arc<QueryClassifier>>,
+    registry: Option<(Arc<ModelRegistry>, Vec<String>)>,
     app: Option<Arc<FittedApp>>,
     mode: QworkerMode,
     batch: usize,
@@ -87,6 +113,7 @@ impl Qworker {
         Qworker {
             application: application.into(),
             classifiers,
+            registry: None,
             app: None,
             mode,
             batch: DEFAULT_BATCH,
@@ -99,6 +126,18 @@ impl Qworker {
     /// chunk (the manager's serving path).
     pub fn with_app(mut self, app: Arc<FittedApp>) -> Self {
         self.app = Some(app);
+        self
+    }
+
+    /// Additionally attach every `labels` classifier resolved from
+    /// `registry`, re-resolved **once per chunk**: a concurrent
+    /// [`ModelRegistry::deploy`] takes effect at the next chunk boundary
+    /// (live hot-swap without re-registering the app), while each chunk
+    /// is labeled by exactly one pinned model version — never a mid-chunk
+    /// mix. A label that is currently undeployed is skipped for the whole
+    /// chunk.
+    pub fn with_registry(mut self, registry: Arc<ModelRegistry>, labels: Vec<String>) -> Self {
+        self.registry = Some((registry, labels));
         self
     }
 
@@ -123,44 +162,71 @@ impl Qworker {
 
     /// Label one query with every classifier (and the app, if any).
     pub fn process(&self, lq: LabeledQuery) -> LabeledQuery {
-        self.process_chunk(vec![lq]).pop().expect("one in, one out")
+        self.process_chunk(vec![EnrichedQuery::new(lq)])
+            .pop()
+            .expect("one in, one out")
     }
 
-    /// Label a chunk: tokenize once per query, run every classifier's
-    /// batched path, then the fitted app's `label_batch`. Output `i`
-    /// corresponds to input `i`.
-    pub fn process_chunk(&self, mut chunk: Vec<LabeledQuery>) -> Vec<LabeledQuery> {
+    /// Label a chunk: each query is lexed at most once (memoized in its
+    /// [`EnrichedQuery`]), each embedder in play embeds a query at most
+    /// once (ingress-cached vectors are reused, worker-computed ones are
+    /// memoized back onto the query), then every classifier and the
+    /// fitted app label from the shared vectors. Output `i` corresponds
+    /// to input `i`.
+    pub fn process_chunk(&self, mut chunk: Vec<EnrichedQuery>) -> Vec<LabeledQuery> {
         if chunk.is_empty() {
-            return chunk;
+            return Vec::new();
         }
-        for lq in &mut chunk {
-            lq.set("application", &self.application);
+        for q in &mut chunk {
+            q.set("application", &self.application);
         }
-        // Tokenize once; classifiers and the app share the streams.
-        let tokens: Vec<Vec<String>> = chunk.iter().map(LabeledQuery::tokens).collect();
         for clf in &self.classifiers {
-            let values = clf.label_tokens_batch(&tokens);
-            for (lq, value) in chunk.iter_mut().zip(values) {
-                lq.set(format!("predicted_{}", clf.label_name), value);
+            Self::apply_classifier(&mut chunk, clf);
+        }
+        if let Some((registry, labels)) = &self.registry {
+            for label in labels {
+                // Resolve once per chunk and hold the Arc until the whole
+                // chunk is labeled: a concurrent deploy swaps model
+                // versions at chunk boundaries, never inside one.
+                if let Some(clf) = registry.get(label) {
+                    Self::apply_classifier(&mut chunk, &clf);
+                }
             }
         }
         if let Some(app) = &self.app {
+            // Pre-fill the app embedder's vectors (memoized) so
+            // `label_batch`, which sees the chunk immutably, finds them.
+            if let Some(embedder) = app.embedder() {
+                let _ = EnrichedQuery::vectors_memo(&mut chunk, embedder.as_ref());
+            }
             match app.label_batch(&chunk) {
                 Ok(outputs) => {
-                    for (lq, out) in chunk.iter_mut().zip(outputs) {
-                        out.apply_to(lq);
+                    for (q, out) in chunk.iter_mut().zip(outputs) {
+                        out.apply_to(q.labeled_mut());
                     }
                 }
                 Err(e) => {
                     // Serving must not die on one bad chunk: surface the
                     // failure as a label and keep the stream moving.
-                    for lq in &mut chunk {
-                        lq.set("app_error", e.to_string());
+                    for q in &mut chunk {
+                        q.set("app_error", e.to_string());
                     }
                 }
             }
         }
-        chunk
+        chunk.into_iter().map(EnrichedQuery::into_labeled).collect()
+    }
+
+    /// Attach one classifier's `predicted_<label>` to every query in the
+    /// chunk, labeling from shared vectors: cached ones are reused, the
+    /// rest are embedded in one batched call and memoized for the next
+    /// consumer of the same embedder.
+    fn apply_classifier(chunk: &mut [EnrichedQuery], clf: &QueryClassifier) {
+        let vectors = EnrichedQuery::vectors_memo(chunk, clf.embedder().as_ref());
+        let values = clf.label_vectors_batch(&vectors);
+        for (q, value) in chunk.iter_mut().zip(values) {
+            q.set(format!("predicted_{}", clf.label_name), value);
+        }
     }
 
     /// Drain a stream until it closes, forwarding per the mode. Returns
@@ -173,7 +239,12 @@ impl Qworker {
         database: Sender<LabeledQuery>,
         trainer: Sender<LabeledQuery>,
     ) -> usize {
-        self.run_loop(input, |lq| (lq, None), database, trainer)
+        self.run_loop(
+            input,
+            |lq| (EnrichedQuery::new(lq), None),
+            database,
+            trainer,
+        )
     }
 
     /// [`Qworker::run`] over a stream of [`TimedQuery`]s — the sharded
@@ -195,7 +266,7 @@ impl Qworker {
     fn run_loop<T>(
         &self,
         input: Receiver<T>,
-        split: impl Fn(T) -> (LabeledQuery, Option<Instant>),
+        split: impl Fn(T) -> (EnrichedQuery, Option<Instant>),
         database: Sender<LabeledQuery>,
         trainer: Sender<LabeledQuery>,
     ) -> usize {
@@ -291,7 +362,7 @@ mod tests {
             "insert into event_log values (9)",
             "select a8 from warehouse_facts",
         ];
-        let chunk: Vec<LabeledQuery> = sqls.iter().map(|s| LabeledQuery::new(*s)).collect();
+        let chunk: Vec<EnrichedQuery> = sqls.iter().map(|s| EnrichedQuery::from_sql(*s)).collect();
         let batched = worker.process_chunk(chunk);
         for (sql, out) in sqls.iter().zip(&batched) {
             let single = worker.process(LabeledQuery::new(*sql));
@@ -381,6 +452,130 @@ mod tests {
         assert_eq!(worker.run(in_rx, db_tx, tr_tx), 7);
         assert_eq!(db_rx.iter().count(), 7);
         assert_eq!(tr_rx.iter().count(), 7);
+    }
+
+    #[test]
+    fn chunk_lexes_each_query_exactly_once() {
+        use crate::apps::{ResourcesApp, TrainCorpus};
+        use crate::service::FittedApp;
+        use querc_workloads::QueryRecord;
+
+        // Two classifiers with *distinct* embedder configs plus a fitted
+        // app: before the EnrichedQuery memoization, each consumer
+        // re-tokenized the chunk (4 lexes per query); now the OnceLock
+        // serves every consumer from one lex.
+        let records: Vec<QueryRecord> = (0..30)
+            .map(|i| QueryRecord {
+                sql: format!("select v from kv_store where k = {i}"),
+                user: "u".into(),
+                account: "a".into(),
+                cluster: "c".into(),
+                dialect: "generic".into(),
+                runtime_ms: (i % 3) as f64 * 400.0,
+                mem_mb: 1.0,
+                error_code: None,
+                timestamp: i,
+            })
+            .collect();
+        let corpus = TrainCorpus::from_records(records, 3);
+        let app = Arc::new(
+            FittedApp::fit(
+                ResourcesApp::new(Arc::new(BagOfTokens::new(32, false))),
+                &corpus,
+            )
+            .unwrap(),
+        );
+        let worker = Qworker::new(
+            "app-X",
+            vec![team_classifier(), team_classifier()],
+            QworkerMode::Inline,
+        )
+        .with_app(app);
+
+        let chunk: Vec<EnrichedQuery> = (0..9)
+            .map(|i| EnrichedQuery::from_sql(format!("select a{i} from warehouse_facts")))
+            .collect();
+        let before = querc_sql::lex_calls_this_thread();
+        let labeled = worker.process_chunk(chunk);
+        let lexes = querc_sql::lex_calls_this_thread() - before;
+        assert_eq!(labeled.len(), 9);
+        assert_eq!(
+            lexes, 9,
+            "2 classifiers + 1 app must share one lex per query, saw {lexes}"
+        );
+        for lq in &labeled {
+            assert!(lq.get("predicted_workload_class").is_some());
+            assert!(lq.get("resource_class").is_some());
+        }
+    }
+
+    #[test]
+    fn registry_hot_swap_is_never_mid_chunk() {
+        use crate::registry::ModelRegistry;
+
+        // A classifier whose every prediction is its version tag: train
+        // a single-class labeler so predict() is constant.
+        fn tagged(tag: &str) -> QueryClassifier {
+            let embedder: Arc<dyn Embedder> = Arc::new(BagOfTokens::new(16, false));
+            let docs: Vec<Vec<String>> = (0..4)
+                .map(|i| querc_embed::sql_tokens(&format!("select {i} from t")))
+                .collect();
+            let vectors = embedder.embed_batch(&docs);
+            let labels: Vec<&str> = vec![tag; 4];
+            let labeler = TrainedLabeler::train(
+                RandomForest::new(ForestConfig::extra_trees(2)),
+                &vectors,
+                &labels,
+                &mut Pcg32::new(9),
+            );
+            QueryClassifier::new("version", embedder, labeler)
+        }
+
+        let registry = Arc::new(ModelRegistry::new());
+        registry.deploy("version", tagged("v0"));
+        let worker = Qworker::new("app-X", Vec::new(), QworkerMode::Forked)
+            .with_registry(Arc::clone(&registry), vec!["version".to_string()]);
+
+        // Deployer thread: hot-swaps (and briefly undeploys) while the
+        // main thread labels chunks.
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let deployer = {
+            let registry = Arc::clone(&registry);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut v = 1u64;
+                while !stop.load(Ordering::SeqCst) {
+                    registry.deploy("version", tagged(&format!("v{v}")));
+                    if v.is_multiple_of(7) {
+                        registry.undeploy("version");
+                        registry.deploy("version", tagged(&format!("v{v}")));
+                    }
+                    v += 1;
+                    std::thread::yield_now();
+                }
+            })
+        };
+
+        for round in 0..300 {
+            let chunk: Vec<EnrichedQuery> = (0..8)
+                .map(|i| EnrichedQuery::from_sql(format!("select {i} from t where x = {round}")))
+                .collect();
+            let labeled = worker.process_chunk(chunk);
+            // Consistency: within one chunk, every query saw the SAME
+            // model version (one pinned Arc) — or, if the label was
+            // undeployed at the chunk boundary, none did.
+            let tags: std::collections::HashSet<Option<&str>> = labeled
+                .iter()
+                .map(|lq| lq.get("predicted_version"))
+                .collect();
+            assert_eq!(
+                tags.len(),
+                1,
+                "round {round}: chunk saw a mid-chunk model swap: {tags:?}"
+            );
+        }
+        stop.store(true, Ordering::SeqCst);
+        deployer.join().unwrap();
     }
 
     #[test]

@@ -47,17 +47,21 @@
 //! ```
 
 use crate::apps::{AppReport, DynWorkloadApp, TrainCorpus, WorkloadApp};
+use crate::embed_plane::{EmbedCacheStats, EmbedPlane, EmbedPlaneConfig};
+use crate::enriched::EnrichedQuery;
 use crate::error::{QuercError, Result};
 use crate::histogram::{LatencyHistogram, LatencySnapshot};
 use crate::labeled::LabeledQuery;
 use crate::qworker::{Qworker, QworkerMode, TimedQuery};
 use crate::registry::ModelRegistry;
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use querc_embed::Embedder;
 use std::any::Any;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// The shard-routing key of a query: the `account` label when present
 /// (the paper's tenant), else the `user` label, else the SQL text
@@ -103,8 +107,15 @@ impl FittedApp {
         self.app.name()
     }
 
+    /// The app's serving embedder, if it declared one (see
+    /// [`WorkloadApp::embedder`]) — what the manager embeds through at
+    /// ingress.
+    pub fn embedder(&self) -> Option<Arc<dyn Embedder>> {
+        self.app.embedder_dyn()
+    }
+
     /// Label a batch through the app.
-    pub fn label_batch(&self, batch: &[LabeledQuery]) -> Result<Vec<crate::apps::AppOutput>> {
+    pub fn label_batch(&self, batch: &[EnrichedQuery]) -> Result<Vec<crate::apps::AppOutput>> {
         self.app.label_batch_dyn(self.model.as_ref(), batch)
     }
 
@@ -133,18 +144,42 @@ pub struct WorkloadManagerConfig {
     /// Inline is the default.
     pub mode: QworkerMode,
     /// Registry classifier names every Qworker additionally attaches
-    /// (as `predicted_<label>`), resolved at registration time.
+    /// (as `predicted_<label>`). Validated against the registry at
+    /// registration time, then re-resolved **once per chunk** while
+    /// serving, so a later [`ModelRegistry::deploy`] hot-swaps the model
+    /// at the next chunk boundary — never mid-chunk.
     pub attach_labels: Vec<String>,
+    /// Capacity (in vectors) of the shared ingress embed cache — the
+    /// template-fingerprint → vector LRU every registered app reads
+    /// from. `0` disables ingress embedding entirely: queries reach the
+    /// shards bare and each app embeds for itself (the pre-embed-plane
+    /// behavior, useful as a benchmark baseline).
+    ///
+    /// **Sizing:** one entry costs ~`dim × 4` bytes; size to the
+    /// workload's *template* cardinality (distinct statement shapes
+    /// after literal stripping — see
+    /// `querc_workloads::ReplaySchedule::distinct_templates`), times the
+    /// number of distinct embedder namespaces your apps use (apps
+    /// sharing one embedder `Arc` share one namespace). Templated cloud
+    /// traces typically have 10²–10⁴ templates, so the 64 Ki default is
+    /// generous; an undersized cache still serves correctly, it just
+    /// evicts (watch [`EmbedCacheStats::evictions`]).
+    pub embed_cache_capacity: usize,
+    /// Lock shards of the embed cache (contention knob; ≥ 1 enforced).
+    pub embed_cache_shards: usize,
 }
 
 impl Default for WorkloadManagerConfig {
     fn default() -> Self {
+        let plane = EmbedPlaneConfig::default();
         WorkloadManagerConfig {
             shards_per_app: 2,
             batch: 32,
             queue_depth: 1024,
             mode: QworkerMode::Inline,
             attach_labels: Vec::new(),
+            embed_cache_capacity: plane.capacity,
+            embed_cache_shards: plane.shards,
         }
     }
 }
@@ -156,6 +191,10 @@ pub struct AppCounters {
     pub submitted: AtomicU64,
     /// Queries fully labeled by a shard worker.
     pub processed: AtomicU64,
+    /// Ingress embed-cache hits attributed to this app's submissions.
+    pub cache_hits: AtomicU64,
+    /// Ingress embed-cache misses attributed to this app's submissions.
+    pub cache_misses: AtomicU64,
 }
 
 /// Snapshot of one app's serving stats.
@@ -167,14 +206,46 @@ pub struct AppThroughput {
     pub submitted: u64,
     /// Queries fully labeled so far.
     pub processed: u64,
+    /// Ingress embed-cache hits for this app's submissions (a hit means
+    /// the query's vector was served from the shared template cache and
+    /// no embedding ran anywhere on its serving path).
+    ///
+    /// Hits and misses count **ingress lookups** — the embedding work
+    /// done or avoided — not accepted submissions: a `submit_batch`
+    /// that fails mid-way on a closed shard has already looked up (and
+    /// embedded) its whole batch, so `cache_hits + cache_misses` can
+    /// exceed `submitted` in that failure case.
+    pub cache_hits: u64,
+    /// Ingress embed-cache misses (the template's first sighting — it
+    /// was embedded once and cached for everyone). See
+    /// [`AppThroughput::cache_hits`] for the lookup-vs-submission
+    /// accounting.
+    pub cache_misses: u64,
     /// Submit→labeled latency quantiles (microseconds). Measured from
-    /// the `submit`/`submit_batch` call, so backpressure wait on a full
-    /// shard queue is included — this is client-perceived latency.
+    /// the `submit`/`submit_batch` call, so ingress embedding and
+    /// backpressure wait on a full shard queue are included — this is
+    /// client-perceived latency.
     pub latency: LatencySnapshot,
+}
+
+impl AppThroughput {
+    /// Cache hits over lookups for this app; `0.0` before any lookup
+    /// (including when the cache is disabled).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
 }
 
 struct AppEntry {
     fitted: Arc<FittedApp>,
+    /// The app's serving embedder — what ingress enrichment embeds
+    /// through. `None` opts the app out of ingress embedding.
+    embedder: Option<Arc<dyn Embedder>>,
     /// One bounded sender per shard, indexed by [`shard_for`].
     shards: Vec<Sender<TimedQuery>>,
     output_rx: Receiver<LabeledQuery>,
@@ -194,6 +265,9 @@ pub struct ServiceDrain {
     pub training_log: Vec<LabeledQuery>,
     /// Final per-app counters.
     pub throughput: Vec<AppThroughput>,
+    /// Final plane-wide embed-cache counters (all zeros when the cache
+    /// was disabled via `embed_cache_capacity: 0`).
+    pub embed_cache: EmbedCacheStats,
 }
 
 /// Labeled queries and counters recovered from a replaced app's
@@ -204,12 +278,16 @@ struct Carryover {
     training: Vec<LabeledQuery>,
     submitted: u64,
     processed: u64,
+    cache_hits: u64,
+    cache_misses: u64,
     latency: LatencyHistogram,
 }
 
 /// The batched, replicated serving façade over all registered apps.
 pub struct WorkloadManager {
     registry: Arc<ModelRegistry>,
+    /// The shared ingress embed plane; `None` when disabled by config.
+    plane: Option<Arc<EmbedPlane>>,
     apps: BTreeMap<String, AppEntry>,
     carryover: BTreeMap<String, Carryover>,
     cfg: WorkloadManagerConfig,
@@ -218,8 +296,15 @@ pub struct WorkloadManager {
 impl WorkloadManager {
     /// An empty manager (no apps registered) with the given knobs.
     pub fn new(cfg: WorkloadManagerConfig) -> WorkloadManager {
+        let plane = (cfg.embed_cache_capacity > 0).then(|| {
+            Arc::new(EmbedPlane::new(&EmbedPlaneConfig {
+                capacity: cfg.embed_cache_capacity,
+                shards: cfg.embed_cache_shards,
+            }))
+        });
         WorkloadManager {
             registry: Arc::new(ModelRegistry::new()),
+            plane,
             apps: BTreeMap::new(),
             carryover: BTreeMap::new(),
             cfg,
@@ -229,6 +314,13 @@ impl WorkloadManager {
     /// The registry this manager deploys generic classifiers through.
     pub fn registry(&self) -> &Arc<ModelRegistry> {
         &self.registry
+    }
+
+    /// Live plane-wide embed-cache counters (all zeros when the cache is
+    /// disabled). Per-app attribution lives in
+    /// [`WorkloadManager::throughput`].
+    pub fn embed_cache_stats(&self) -> EmbedCacheStats {
+        self.plane.as_ref().map(|p| p.stats()).unwrap_or_default()
     }
 
     /// Fit `app` on `corpus`, then spawn its shard workers. Returns the
@@ -255,12 +347,12 @@ impl WorkloadManager {
         let name = fitted.name().to_string();
         let report = fitted.report()?;
 
-        let classifiers = self
-            .cfg
-            .attach_labels
-            .iter()
-            .map(|label| self.registry.resolve(label))
-            .collect::<Result<Vec<_>>>()?;
+        // Fail registration fast if an attach label has no deployment;
+        // while serving, workers re-resolve per chunk so later deploys
+        // hot-swap without re-registering.
+        for label in &self.cfg.attach_labels {
+            self.registry.resolve(label)?;
+        }
 
         // Retire the previous generation (if any) BEFORE spawning the new
         // one, preserving its in-flight work.
@@ -278,6 +370,7 @@ impl WorkloadManager {
         let (tr_tx, tr_rx) = unbounded();
         let counters = Arc::new(AppCounters::default());
         let latency = Arc::new(LatencyHistogram::new());
+        let embedder = fitted.embedder();
         let mut shards = Vec::new();
         let mut workers = Vec::new();
         for _ in 0..self.cfg.shards_per_app.max(1) {
@@ -285,7 +378,8 @@ impl WorkloadManager {
             // shard: FIFO consumption is what makes hash routing an
             // ordering guarantee rather than a load-balancing heuristic.
             let (in_tx, in_rx) = bounded(self.cfg.queue_depth.max(1));
-            let worker = Qworker::new(name.clone(), classifiers.clone(), self.cfg.mode)
+            let worker = Qworker::new(name.clone(), Vec::new(), self.cfg.mode)
+                .with_registry(Arc::clone(&self.registry), self.cfg.attach_labels.clone())
                 .with_app(Arc::clone(&fitted))
                 .with_batch(self.cfg.batch)
                 .with_counter(Arc::clone(&counters))
@@ -300,6 +394,7 @@ impl WorkloadManager {
             name,
             AppEntry {
                 fitted,
+                embedder,
                 shards,
                 output_rx: out_rx,
                 trainer_rx: tr_rx,
@@ -325,6 +420,8 @@ impl WorkloadManager {
             training: entry.trainer_rx.iter().collect(),
             submitted: entry.counters.submitted.load(Ordering::Relaxed),
             processed: entry.counters.processed.load(Ordering::Relaxed),
+            cache_hits: entry.counters.cache_hits.load(Ordering::Relaxed),
+            cache_misses: entry.counters.cache_misses.load(Ordering::Relaxed),
             latency,
         }
     }
@@ -340,23 +437,33 @@ impl WorkloadManager {
         self.apps.keys().cloned().collect()
     }
 
-    /// Enqueue one query for `app` on its tenant's shard. Blocks while
-    /// that shard's bounded queue is full (backpressure).
+    /// Enqueue one query for `app` on its tenant's shard. The query is
+    /// enriched at ingress — fingerprinted and, on a template-cache hit,
+    /// handed its embedding vector for free — before being routed.
+    /// Blocks while that shard's bounded queue is full (backpressure).
     pub fn submit(&self, app: &str, query: LabeledQuery) -> Result<()> {
         let entry = self.entry(app)?;
-        Self::send_routed(entry, query, "manager.submit")
+        let enqueued_at = Instant::now();
+        let mut enriched = [EnrichedQuery::new(query)];
+        self.enrich(entry, &mut enriched);
+        let [q] = enriched;
+        Self::send_routed(entry, TimedQuery::at(q, enqueued_at), "manager.submit")
     }
 
     /// Enqueue a batch for `app`, each query hash-routed to its tenant's
-    /// shard; returns how many were accepted. The `submitted` counter is
+    /// shard; returns how many were accepted. The whole batch is
+    /// enriched through the embed plane first (cache misses are
+    /// deduplicated by template and embedded in **one**
+    /// `embed_batch` call), then routed. The `submitted` counter is
     /// bumped per successful send, so a mid-batch [`QuercError::ChannelClosed`]
     /// leaves the counter equal to what actually reached the queues —
     /// `processed` can never exceed `submitted`.
     ///
     /// On `Err`, some prefix of the batch was already accepted and will
-    /// still be served; the remainder of the iterator is not consumed.
-    /// The error itself doesn't carry the prefix length — reconcile
-    /// against [`WorkloadManager::throughput`] (`submitted` counts every
+    /// still be served; the rest of the batch is dropped (the iterator
+    /// is consumed up front for batched ingress embedding). The error
+    /// itself doesn't carry the prefix length — reconcile against
+    /// [`WorkloadManager::throughput`] (`submitted` counts every
     /// accepted query) before retrying, or a retry will double-submit
     /// the accepted prefix.
     pub fn submit_batch(
@@ -365,20 +472,43 @@ impl WorkloadManager {
         queries: impl IntoIterator<Item = LabeledQuery>,
     ) -> Result<usize> {
         let entry = self.entry(app)?;
+        let enqueued_at = Instant::now();
+        let mut batch: Vec<EnrichedQuery> = queries.into_iter().map(EnrichedQuery::new).collect();
+        self.enrich(entry, &mut batch);
         let mut n = 0usize;
-        for q in queries {
-            Self::send_routed(entry, q, "manager.submit_batch")?;
+        for q in batch {
+            Self::send_routed(
+                entry,
+                TimedQuery::at(q, enqueued_at),
+                "manager.submit_batch",
+            )?;
             n += 1;
         }
         Ok(n)
     }
 
-    /// Route one query to its shard, send (blocking on a full queue),
-    /// and count the accepted submission.
-    fn send_routed(entry: &AppEntry, query: LabeledQuery, context: &'static str) -> Result<()> {
-        let shard = shard_for(routing_key(&query), entry.shards.len());
+    /// Ingress enrichment: embed through the shared plane under the
+    /// app's embedder namespace, attributing hits/misses to the app. A
+    /// disabled plane or an app without a declared embedder skips this —
+    /// the shards then embed for themselves, exactly as before the
+    /// embed plane existed.
+    fn enrich(&self, entry: &AppEntry, batch: &mut [EnrichedQuery]) {
+        if let (Some(plane), Some(embedder)) = (&self.plane, &entry.embedder) {
+            let (hits, misses) = plane.enrich_batch(embedder.as_ref(), batch);
+            entry.counters.cache_hits.fetch_add(hits, Ordering::Relaxed);
+            entry
+                .counters
+                .cache_misses
+                .fetch_add(misses, Ordering::Relaxed);
+        }
+    }
+
+    /// Route one enriched query to its shard, send (blocking on a full
+    /// queue), and count the accepted submission.
+    fn send_routed(entry: &AppEntry, timed: TimedQuery, context: &'static str) -> Result<()> {
+        let shard = shard_for(routing_key(timed.query.labeled()), entry.shards.len());
         entry.shards[shard]
-            .send(TimedQuery::now(query))
+            .send(timed)
             .map_err(|_| QuercError::ChannelClosed { context })?;
         entry.counters.submitted.fetch_add(1, Ordering::Relaxed);
         Ok(())
@@ -393,6 +523,9 @@ impl WorkloadManager {
                 let prev = self.carryover.get(name);
                 let (prev_sub, prev_proc) =
                     prev.map(|c| (c.submitted, c.processed)).unwrap_or((0, 0));
+                let (prev_hits, prev_misses) = prev
+                    .map(|c| (c.cache_hits, c.cache_misses))
+                    .unwrap_or((0, 0));
                 let latency = match prev {
                     // Merge the retired generation's histogram into a
                     // scratch copy so live reads stay allocation-light
@@ -409,6 +542,8 @@ impl WorkloadManager {
                     app: name.clone(),
                     submitted: prev_sub + e.counters.submitted.load(Ordering::Relaxed),
                     processed: prev_proc + e.counters.processed.load(Ordering::Relaxed),
+                    cache_hits: prev_hits + e.counters.cache_hits.load(Ordering::Relaxed),
+                    cache_misses: prev_misses + e.counters.cache_misses.load(Ordering::Relaxed),
                     latency,
                 }
             })
@@ -432,6 +567,7 @@ impl WorkloadManager {
         let WorkloadManager {
             apps,
             mut carryover,
+            plane,
             ..
         } = self;
         let mut outputs = BTreeMap::new();
@@ -446,6 +582,8 @@ impl WorkloadManager {
                 training_log.extend(prev.training);
                 collected.submitted += prev.submitted;
                 collected.processed += prev.processed;
+                collected.cache_hits += prev.cache_hits;
+                collected.cache_misses += prev.cache_misses;
                 collected.latency.absorb(&prev.latency);
             }
             training_log.extend(collected.training);
@@ -454,6 +592,8 @@ impl WorkloadManager {
                 app: name,
                 submitted: collected.submitted,
                 processed: collected.processed,
+                cache_hits: collected.cache_hits,
+                cache_misses: collected.cache_misses,
                 latency: collected.latency.snapshot(),
             });
         }
@@ -461,6 +601,7 @@ impl WorkloadManager {
             outputs,
             training_log,
             throughput,
+            embed_cache: plane.map(|p| p.stats()).unwrap_or_default(),
         }
     }
 }
@@ -716,6 +857,98 @@ mod tests {
         assert!(stats.latency.p50_us <= stats.latency.p95_us);
         assert!(stats.latency.p95_us <= stats.latency.p99_us);
         assert!(stats.latency.p99_us <= stats.latency.max_us.max(1));
+    }
+
+    #[test]
+    fn shared_embedder_fans_one_embedding_out_to_every_app() {
+        let corpus = corpus();
+        // ONE embedder Arc for both apps — the blessed deployment.
+        let shared = embedder();
+        let mut mgr = WorkloadManager::new(WorkloadManagerConfig::default());
+        mgr.register(AuditApp::new(Arc::clone(&shared)).with_trees(10), &corpus)
+            .unwrap();
+        mgr.register(ResourcesApp::new(Arc::clone(&shared)), &corpus)
+            .unwrap();
+
+        // The same template (literals vary) to both apps, repeatedly.
+        for i in 0..10 {
+            let lq = LabeledQuery::new(format!("select v from kv_store where k = {i}"));
+            mgr.submit("audit", lq.clone()).unwrap();
+            mgr.submit("resources", lq).unwrap();
+        }
+        let live = mgr.embed_cache_stats();
+        assert_eq!(live.misses, 1, "one template, embedded exactly once");
+        assert_eq!(live.hits, 19, "all 19 other submissions reused it");
+        assert_eq!(live.entries, 1);
+
+        let drained = mgr.drain();
+        assert_eq!(drained.embed_cache.misses, 1);
+        // Per-app attribution: audit saw the first sighting.
+        let audit = drained
+            .throughput
+            .iter()
+            .find(|t| t.app == "audit")
+            .unwrap();
+        let res = drained
+            .throughput
+            .iter()
+            .find(|t| t.app == "resources")
+            .unwrap();
+        assert_eq!((audit.cache_hits, audit.cache_misses), (9, 1));
+        assert_eq!((res.cache_hits, res.cache_misses), (10, 0));
+        assert_eq!(res.cache_hit_rate(), 1.0);
+        // And the labels are all there despite nobody re-embedding.
+        for lq in &drained.outputs["resources"] {
+            assert!(lq.get("resource_class").is_some());
+        }
+        for lq in &drained.outputs["audit"] {
+            assert!(lq.get("predicted_user").is_some());
+        }
+    }
+
+    #[test]
+    fn disabled_cache_serves_identically_with_zero_counters() {
+        let corpus = corpus();
+        let queries: Vec<LabeledQuery> = (0..12)
+            .map(|i| {
+                let mut lq = LabeledQuery::new(format!(
+                    "select revenue from finance_reports where q = {}",
+                    i % 3
+                ));
+                lq.set("user", "acct/alice");
+                lq
+            })
+            .collect();
+        let run = |capacity: usize| {
+            let shared = embedder();
+            let mut mgr = WorkloadManager::new(WorkloadManagerConfig {
+                embed_cache_capacity: capacity,
+                ..Default::default()
+            });
+            mgr.register(AuditApp::new(shared).with_trees(10), &corpus)
+                .unwrap();
+            mgr.submit_batch("audit", queries.clone()).unwrap();
+            mgr.drain()
+        };
+        let off = run(0);
+        let on = run(1024);
+        assert_eq!(off.embed_cache, EmbedCacheStats::default());
+        assert_eq!(
+            off.throughput[0].cache_hits + off.throughput[0].cache_misses,
+            0
+        );
+        assert!(on.embed_cache.hits > 0);
+        // Bit-identical serving: caching is an amortization, never a
+        // semantic change. Completion order may differ across shard
+        // threads, so compare as multisets.
+        let sort = |mut v: Vec<LabeledQuery>| {
+            v.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+            v
+        };
+        assert_eq!(
+            sort(off.outputs["audit"].clone()),
+            sort(on.outputs["audit"].clone())
+        );
     }
 
     #[test]

@@ -69,6 +69,19 @@ impl Embedder for BagOfTokens {
         "bow"
     }
 
+    /// Folds the bigram flag on top of the (name, dim) default: a
+    /// bigram and a unigram model of the same width embed differently,
+    /// so they must never share cache entries.
+    fn cache_namespace(&self) -> u64 {
+        crate::embedder::namespace_fold(
+            crate::embedder::namespace_fold(
+                crate::embedder::namespace_of(self.name()),
+                self.dim() as u64,
+            ),
+            self.bigrams as u64 + 1,
+        )
+    }
+
     /// Batched path: one bigram scratch buffer amortized over the chunk.
     fn embed_batch(&self, docs: &[Vec<String>]) -> Vec<Vec<f32>> {
         let mut joined = String::new();

@@ -477,6 +477,20 @@ impl Embedder for Doc2Vec {
         "doc2vec"
     }
 
+    /// Folds trained-model identity — seed, vocabulary size, inference
+    /// epochs, and checksums of both inference matrices — on top of the
+    /// (name, dim) default, so two separately-trained Doc2Vec models of
+    /// the same width never share vector-cache entries.
+    fn cache_namespace(&self) -> u64 {
+        use crate::embedder::{namespace_fold, namespace_of, weights_checksum};
+        let mut h = namespace_fold(namespace_of(self.name()), self.cfg.dim as u64);
+        h = namespace_fold(h, self.cfg.seed);
+        h = namespace_fold(h, self.vocab.size() as u64);
+        h = namespace_fold(h, self.cfg.infer_epochs as u64);
+        h = namespace_fold(h, weights_checksum(self.w_in.as_slice()));
+        namespace_fold(h, weights_checksum(self.w_out.as_slice()))
+    }
+
     /// Batched inference: the O(vocab) noise table is built once for the
     /// whole chunk. Each query still gets its own content-seeded RNG, so
     /// results are bit-identical to per-query [`Embedder::embed`].

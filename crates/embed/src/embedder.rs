@@ -52,6 +52,64 @@ pub trait Embedder: Send + Sync {
     fn embed_batch(&self, docs: &[Vec<String>]) -> Vec<Vec<f32>> {
         docs.iter().map(|d| self.embed(d)).collect()
     }
+
+    /// A 64-bit identity for this embedder's *function*, used to
+    /// namespace shared vector caches (the serving layer's embed plane):
+    /// cache entries written under one namespace are only ever served to
+    /// embedders reporting the same namespace. Two embedders that agree
+    /// here promise to embed equal token streams to equal vectors.
+    ///
+    /// The default folds [`Embedder::name`] and [`Embedder::dim`], which
+    /// keeps `bow` / `doc2vec` / `lstm` vectors apart. Embedders with
+    /// extra knobs or trained state override it to also fold that state
+    /// (hash flags, seed, vocabulary size, a weight checksum), so two
+    /// differently-configured or separately-trained models of the same
+    /// architecture and width never serve each other's vectors.
+    fn cache_namespace(&self) -> u64 {
+        namespace_fold(namespace_of(self.name()), self.dim() as u64)
+    }
+}
+
+/// FNV-1a hash of an embedder family name — the starting point for
+/// [`Embedder::cache_namespace`] implementations.
+pub fn namespace_of(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Fold one 64-bit word (a dimension, a seed, a checksum) into a cache
+/// namespace, FNV-1a style over its little-endian bytes.
+pub fn namespace_fold(mut h: u64, word: u64) -> u64 {
+    for b in word.to_le_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Checksum of a weight slice for namespacing trained models: folds the
+/// bit patterns of up to 256 values sampled **evenly across the whole
+/// slice**, plus its length. Strided sampling keeps the per-call cost
+/// flat (cheap enough for the serving hot path) while covering the
+/// entire matrix — a retrain that leaves some region untouched (e.g.
+/// vocabulary slots absent from the new corpus) still almost surely
+/// moves many of the strided samples. This is probabilistic identity,
+/// not a cryptographic digest; callers fold it together with exact
+/// discriminators (dims, seed, vocabulary size).
+pub fn weights_checksum(weights: &[f32]) -> u64 {
+    const SAMPLES: usize = 256;
+    let mut h: u64 = 0xcbf29ce484222325;
+    if !weights.is_empty() {
+        let stride = weights.len().div_ceil(SAMPLES);
+        for w in weights.iter().step_by(stride) {
+            h = namespace_fold(h, w.to_bits() as u64);
+        }
+    }
+    namespace_fold(h, weights.len() as u64)
 }
 
 /// Embed a whole corpus row-by-row into a feature matrix
@@ -106,6 +164,38 @@ mod tests {
         for (doc, v) in docs.iter().zip(&batch) {
             assert_eq!(*v, e.embed(doc));
         }
+    }
+
+    #[test]
+    fn cache_namespaces_separate_families_and_configs() {
+        use crate::BagOfTokens;
+        // Different dims → different namespaces (default impl).
+        assert_ne!(
+            BagOfTokens::new(64, true).cache_namespace(),
+            BagOfTokens::new(128, true).cache_namespace()
+        );
+        // Same params → same namespace, even across instances.
+        assert_eq!(
+            BagOfTokens::new(64, true).cache_namespace(),
+            BagOfTokens::new(64, true).cache_namespace()
+        );
+        // Same (name, dim) but different hashing config → different.
+        assert_ne!(
+            BagOfTokens::new(64, true).cache_namespace(),
+            BagOfTokens::new(64, false).cache_namespace()
+        );
+        // A different family at the same dim → different.
+        assert_ne!(
+            LengthEmbedder.cache_namespace(),
+            BagOfTokens::new(2, false).cache_namespace()
+        );
+    }
+
+    #[test]
+    fn weights_checksum_tracks_content_and_length() {
+        assert_ne!(weights_checksum(&[1.0, 2.0]), weights_checksum(&[1.0, 2.5]));
+        assert_ne!(weights_checksum(&[1.0]), weights_checksum(&[1.0, 1.0]));
+        assert_eq!(weights_checksum(&[]), weights_checksum(&[]));
     }
 
     #[test]

@@ -561,6 +561,21 @@ impl Embedder for LstmAutoencoder {
         "lstm"
     }
 
+    /// Folds trained-model identity — seed, vocabulary size, and
+    /// checksums of every matrix the encoder reads (token embeddings,
+    /// input and recurrent weights) — on top of the (name, dim) default,
+    /// so two separately-trained autoencoders of the same width never
+    /// share vector-cache entries.
+    fn cache_namespace(&self) -> u64 {
+        use crate::embedder::{namespace_fold, namespace_of, weights_checksum};
+        let mut h = namespace_fold(namespace_of(self.name()), self.dim() as u64);
+        h = namespace_fold(h, self.cfg.seed);
+        h = namespace_fold(h, self.vocab.size() as u64);
+        h = namespace_fold(h, weights_checksum(self.emb.as_slice()));
+        h = namespace_fold(h, weights_checksum(self.enc.wx.as_slice()));
+        namespace_fold(h, weights_checksum(self.enc.wh.as_slice()))
+    }
+
     /// Batched path: gate/state scratch buffers are allocated once for
     /// the whole chunk instead of per step per query.
     fn embed_batch(&self, docs: &[Vec<String>]) -> Vec<Vec<f32>> {

@@ -8,14 +8,31 @@
 
 use crate::dialect::{is_keyword, Dialect};
 use crate::token::{Token, TokenKind};
+use std::cell::Cell;
+
+thread_local! {
+    static LEX_CALLS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Number of `tokenize` / [`tokenize_with_comments`] invocations made by
+/// **this thread** since it started. A diagnostic counter for asserting
+/// single-parse invariants on hot paths (e.g. "a serving chunk lexes each
+/// query exactly once") — thread-local so concurrent tests don't see each
+/// other's lexing. Compare two readings; the absolute value is
+/// meaningless.
+pub fn lex_calls_this_thread() -> u64 {
+    LEX_CALLS.with(Cell::get)
+}
 
 /// Tokenize `sql` under `dialect`, dropping whitespace and comments.
 pub fn tokenize(sql: &str, dialect: Dialect) -> Vec<Token> {
+    LEX_CALLS.with(|c| c.set(c.get() + 1));
     Lexer::new(sql, dialect, false).run()
 }
 
 /// Tokenize keeping comment tokens (for auditing / lineage applications).
 pub fn tokenize_with_comments(sql: &str, dialect: Dialect) -> Vec<Token> {
+    LEX_CALLS.with(|c| c.set(c.get() + 1));
     Lexer::new(sql, dialect, true).run()
 }
 

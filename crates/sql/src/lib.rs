@@ -21,6 +21,7 @@
 pub mod ast;
 pub mod dialect;
 pub mod features;
+pub mod fingerprint;
 pub mod lexer;
 pub mod normalize;
 pub mod parser;
@@ -28,7 +29,8 @@ pub mod token;
 
 pub use ast::{JoinEdge, Predicate, QueryShape, StatementKind};
 pub use dialect::Dialect;
-pub use lexer::tokenize;
+pub use fingerprint::{fingerprint_tokens, template_fingerprint};
+pub use lexer::{lex_calls_this_thread, tokenize};
 pub use normalize::{normalize_tokens, normalized_text};
 pub use parser::parse_query;
 pub use token::{Token, TokenKind};

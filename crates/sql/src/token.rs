@@ -58,17 +58,22 @@ impl Token {
         match self.kind {
             TokenKind::Ident => self.text.to_ascii_lowercase(),
             TokenKind::QuotedIdent => {
-                let t = &self.text;
-                if t.len() >= 2 {
-                    let inner = &t[1..t.len() - 1];
-                    match t.as_bytes()[0] {
-                        b'"' => inner.replace("\"\"", "\""),
-                        b'`' => inner.replace("``", "`"),
-                        b'[' => inner.to_string(),
-                        _ => inner.to_string(),
-                    }
-                } else {
-                    t.clone()
+                // Strip the opening quote, then the closing quote only if
+                // it is actually there — an unterminated quoted identifier
+                // (which the total lexer happily emits) may end mid-name,
+                // possibly on a multi-byte character, and byte-slicing it
+                // would panic.
+                let t = self.text.as_str();
+                let Some(open) = t.chars().next() else {
+                    return String::new();
+                };
+                let close = if open == '[' { ']' } else { open };
+                let body = &t[open.len_utf8()..];
+                let inner = body.strip_suffix(close).unwrap_or(body);
+                match open {
+                    '"' => inner.replace("\"\"", "\""),
+                    '`' => inner.replace("``", "`"),
+                    _ => inner.to_string(),
                 }
             }
             _ => self.text.clone(),

@@ -1,7 +1,10 @@
 //! Property tests: the SQL front end is total and deterministic.
 
 use proptest::prelude::*;
-use querc_sql::{normalize::normalized_text, parse_query, tokenize, Dialect};
+use querc_sql::{
+    fingerprint_tokens, normalize::normalize_sql, normalize::normalized_text, parse_query,
+    template_fingerprint, tokenize, Dialect,
+};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
@@ -53,5 +56,82 @@ proptest! {
         for t in tokenize(&s, Dialect::Generic) {
             prop_assert!(s.contains(&t.text), "token {:?} not in {:?}", t.text, s);
         }
+    }
+
+    /// Fingerprinting is total and deterministic on arbitrary input.
+    #[test]
+    fn fingerprint_total_and_deterministic(s in ".{0,200}") {
+        for d in Dialect::all() {
+            prop_assert_eq!(template_fingerprint(&s, d), template_fingerprint(&s, d));
+        }
+    }
+
+    /// The fingerprint is invariant under numeric- and string-literal
+    /// substitution: every instantiation of a template shares one key.
+    #[test]
+    fn fingerprint_literal_invariance(
+        a in 0u64..1_000_000_000,
+        b in 0u64..1_000_000_000,
+        sa in "[a-z0-9 ]{0,12}",
+        sb in "[a-z0-9 ]{0,12}",
+    ) {
+        let qa = format!("select col from t where n = {a} and s = '{sa}'");
+        let qb = format!("select col from t where n = {b} and s = '{sb}'");
+        prop_assert_eq!(
+            template_fingerprint(&qa, Dialect::Generic),
+            template_fingerprint(&qb, Dialect::Generic)
+        );
+    }
+
+    /// …and invariant under whitespace and keyword/identifier case.
+    #[test]
+    fn fingerprint_layout_invariance(
+        ws in prop::collection::vec("[ \t\n]{1,3}", 4..=4),
+        v in 0u32..100_000,
+    ) {
+        let plain = format!("select a_col from big_t where x = {v}");
+        let mangled = format!(
+            "SELECT{}A_Col{}FROM{}Big_T where x = {v}{}",
+            ws[0], ws[1], ws[2], ws[3]
+        );
+        prop_assert_eq!(
+            template_fingerprint(&plain, Dialect::Generic),
+            template_fingerprint(&mangled, Dialect::Generic)
+        );
+    }
+
+    /// Structurally different queries fingerprint differently: if the
+    /// normalized token streams differ, so must the hashes (this is the
+    /// no-accidental-collision property over realistic identifier space).
+    #[test]
+    fn fingerprint_separates_structures(
+        ca in "[a-z]{1,10}",
+        cb in "[a-z]{1,10}",
+    ) {
+        let qa = format!("select {ca} from t where {cb} = 1");
+        let qb = format!("select {cb} from t where {ca} = 1");
+        let na = normalize_sql(&qa, Dialect::Generic);
+        let nb = normalize_sql(&qb, Dialect::Generic);
+        if na == nb {
+            prop_assert_eq!(
+                template_fingerprint(&qa, Dialect::Generic),
+                template_fingerprint(&qb, Dialect::Generic)
+            );
+        } else {
+            prop_assert_ne!(
+                template_fingerprint(&qa, Dialect::Generic),
+                template_fingerprint(&qb, Dialect::Generic)
+            );
+        }
+    }
+
+    /// The SQL-level and token-level entry points agree, so callers
+    /// holding memoized normalized tokens can skip the re-lex safely.
+    #[test]
+    fn fingerprint_token_entry_point_agrees(s in ".{0,160}") {
+        prop_assert_eq!(
+            template_fingerprint(&s, Dialect::Generic),
+            fingerprint_tokens(&normalize_sql(&s, Dialect::Generic))
+        );
     }
 }

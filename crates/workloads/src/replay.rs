@@ -136,6 +136,20 @@ impl ReplaySchedule {
         self.events.last().map(|e| e.offset).unwrap_or_default()
     }
 
+    /// Number of distinct query *templates* in the schedule — fingerprints
+    /// over literal-stripped, case-folded token streams
+    /// (`querc_sql::template_fingerprint`). Cloud traces are overwhelmingly
+    /// templated, and this is the load harness's cache-planning number: an
+    /// ingress vector cache sized at or above this count converges to a
+    /// hit rate of `1 − distinct_templates() / len()` on the replay.
+    pub fn distinct_templates(&self) -> usize {
+        self.events
+            .iter()
+            .map(|e| querc_sql::template_fingerprint(&e.record.sql, querc_sql::Dialect::Generic))
+            .collect::<std::collections::HashSet<_>>()
+            .len()
+    }
+
     /// Drive `sink` open-loop: sleep until each event's offset, then
     /// dispatch. A sink that falls behind is fed back-to-back (the
     /// schedule never waits for it) and the slip shows up in
@@ -275,6 +289,24 @@ mod tests {
             assert_eq!(x.offset, y.offset);
             assert_eq!(x.record, y.record);
         }
+    }
+
+    #[test]
+    fn distinct_templates_collapses_literal_variants() {
+        // `records(n)` varies only the selected literal → one template.
+        let schedule = ReplaySchedule::from_records(&records(50), &ReplayConfig::default());
+        assert_eq!(schedule.distinct_templates(), 1);
+        // Mixing in a structurally different shape adds exactly one.
+        let mut recs = records(20);
+        let mut other = recs[0].clone();
+        other.sql = "insert into logs values (1, 'x')".into();
+        recs.push(other);
+        let schedule = ReplaySchedule::from_records(&recs, &ReplayConfig::default());
+        assert_eq!(schedule.distinct_templates(), 2);
+        assert_eq!(
+            ReplaySchedule::from_records(&[], &ReplayConfig::default()).distinct_templates(),
+            0
+        );
     }
 
     #[test]

@@ -11,6 +11,12 @@
 //! passes per query), so the served rate is 6× the arrival rate. The
 //! replay is open-loop: if the manager can't keep up, arrivals are
 //! dispatched late and the schedule slip is reported as `max lag`.
+//!
+//! All six apps share ONE embedder, so the ingress embed plane turns
+//! the 6× fan-out into at most one embedding per distinct query
+//! template; the table reports each app's cache hit-rate and the run
+//! exits nonzero if the cache never hit (CI runs this as a regression
+//! gate on the ingress plane).
 
 use querc::apps::summarize::SummaryConfig;
 use querc::apps::{
@@ -47,10 +53,11 @@ fn main() {
         },
     );
     println!(
-        "corpus: {} training queries | replay: {} arrivals at {qps:.0} q/s \
-         (bursty), {} shards/app",
+        "corpus: {} training queries | replay: {} arrivals ({} distinct templates) \
+         at {qps:.0} q/s (bursty), {} shards/app",
         corpus.len(),
         schedule.len(),
+        schedule.distinct_templates(),
         shards
     );
 
@@ -103,18 +110,42 @@ fn main() {
         served as f64 / stats.elapsed.as_secs_f64()
     );
     println!(
-        "{:<11} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
-        "app", "processed", "p50 µs", "p95 µs", "p99 µs", "max µs", "mean µs"
+        "{:<11} {:>9} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "app", "processed", "cache", "p50 µs", "p95 µs", "p99 µs", "max µs", "mean µs"
     );
     for tp in &drained.throughput {
         let l = &tp.latency;
         println!(
-            "{:<11} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
-            tp.app, tp.processed, l.p50_us, l.p95_us, l.p99_us, l.max_us, l.mean_us
+            "{:<11} {:>9} {:>7.1}% {:>9} {:>9} {:>9} {:>9} {:>9}",
+            tp.app,
+            tp.processed,
+            100.0 * tp.cache_hit_rate(),
+            l.p50_us,
+            l.p95_us,
+            l.p99_us,
+            l.max_us,
+            l.mean_us
         );
     }
+    let cache = &drained.embed_cache;
     println!(
-        "\ntraining mirror captured {} labeled queries",
+        "\nembed plane: {} hits / {} misses ({:.1}% hit rate), {} cached vectors, \
+         {} evictions — each miss is one template embedded for all six apps",
+        cache.hits,
+        cache.misses,
+        100.0 * cache.hit_rate(),
+        cache.entries,
+        cache.evictions
+    );
+    println!(
+        "training mirror captured {} labeled queries",
         drained.training_log.len()
+    );
+    // CI gate: a templated trace through six apps sharing one embedder
+    // MUST hit the ingress cache; a zero hit-count means the embed-once
+    // plane silently stopped fanning vectors out.
+    assert!(
+        cache.hits > 0,
+        "ingress embed cache never hit on a templated trace"
     );
 }

@@ -1,0 +1,155 @@
+//! Integration: the embed-once ingress plane across all six apps.
+//!
+//! One embedder Arc serves every app; a templated trace goes through a
+//! cache-enabled and a cache-disabled manager. The contract under test:
+//! per-app label outputs are **bit-identical** either way (caching is an
+//! amortization, never a semantic change), misses equal the trace's
+//! template cardinality, and every other submission is a hit.
+
+use querc::apps::summarize::SummaryConfig;
+use querc::apps::{
+    AuditApp, ErrorsApp, RecommendApp, ResourcesApp, RoutingApp, SummarizeApp, TrainCorpus,
+};
+use querc::{LabeledQuery, ServiceDrain, WorkloadManager, WorkloadManagerConfig};
+use querc_embed::{BagOfTokens, Embedder};
+use querc_workloads::{QueryRecord, ReplayConfig, ReplaySchedule};
+use std::sync::Arc;
+
+fn templated_sql(template: usize, literal: usize) -> String {
+    match template % 5 {
+        0 => format!("select v from kv_store where k = {literal}"),
+        1 => format!("select revenue, region from finance_cube where q = {literal} group by region"),
+        2 => format!(
+            "insert into lake_events select * from staging where batch = {}",
+            literal % 3
+        ),
+        3 => format!("select count(*) from web_clicks where day = {literal}"),
+        _ => format!(
+            "select a.g, sum(b.v) from facts a join facts b on a.k = b.k where a.x > {literal} group by a.g"
+        ),
+    }
+}
+
+fn training_records() -> Vec<QueryRecord> {
+    (0..100u64)
+        .map(|i| QueryRecord {
+            sql: templated_sql(i as usize, i as usize),
+            user: format!("acct/u{}", i % 3),
+            account: "acct".into(),
+            cluster: if i % 2 == 0 { "bi" } else { "etl" }.into(),
+            dialect: "generic".into(),
+            runtime_ms: [5.0, 300.0, 2000.0][(i % 3) as usize],
+            mem_mb: 10.0,
+            error_code: (i % 5 == 4 && i % 2 == 0).then_some(604),
+            timestamp: i,
+        })
+        .collect()
+}
+
+/// Register all six apps over ONE embedder Arc and serve `trace`.
+fn serve(corpus: &TrainCorpus, trace: &[LabeledQuery], cache_capacity: usize) -> ServiceDrain {
+    let embedder: Arc<dyn Embedder> = Arc::new(BagOfTokens::new(64, true));
+    let mut mgr = WorkloadManager::new(WorkloadManagerConfig {
+        shards_per_app: 2,
+        batch: 16,
+        embed_cache_capacity: cache_capacity,
+        ..Default::default()
+    });
+    mgr.register(AuditApp::new(embedder.clone()).with_trees(10), corpus)
+        .unwrap();
+    mgr.register(ErrorsApp::new(embedder.clone()), corpus)
+        .unwrap();
+    mgr.register(RecommendApp::new(embedder.clone()).with_clusters(4), corpus)
+        .unwrap();
+    mgr.register(ResourcesApp::new(embedder.clone()), corpus)
+        .unwrap();
+    mgr.register(RoutingApp::new(embedder.clone()), corpus)
+        .unwrap();
+    mgr.register(
+        SummarizeApp::new(embedder.clone()).with_config(SummaryConfig {
+            k: Some(4),
+            ..Default::default()
+        }),
+        corpus,
+    )
+    .unwrap();
+    for app in mgr.app_names() {
+        mgr.submit_batch(&app, trace.iter().cloned()).unwrap();
+    }
+    mgr.drain()
+}
+
+/// Order-independent view of one app's outputs (shards race on
+/// completion order; the label multiset is the invariant).
+fn sorted_labels(drain: &ServiceDrain, app: &str) -> Vec<Vec<(String, String)>> {
+    let mut labels: Vec<Vec<(String, String)>> = drain.outputs[app]
+        .iter()
+        .map(|lq| lq.labels.clone())
+        .collect();
+    labels.sort();
+    labels
+}
+
+#[test]
+fn cached_serving_is_bit_identical_and_embeds_each_template_once() {
+    let corpus = TrainCorpus::from_records(training_records(), 0x2019);
+    let trace: Vec<LabeledQuery> = (0..120)
+        .map(|i| {
+            let mut lq = LabeledQuery::new(templated_sql(i, 7000 + i));
+            lq.set("user", format!("acct/u{}", i % 3));
+            lq.set("cluster", if i % 2 == 0 { "bi" } else { "etl" });
+            lq
+        })
+        .collect();
+    // The trace's template cardinality, as the load harness reports it.
+    let records: Vec<QueryRecord> = training_records()
+        .into_iter()
+        .zip(&trace)
+        .map(|(mut r, lq)| {
+            r.sql = lq.sql.clone();
+            r
+        })
+        .collect();
+    let schedule = ReplaySchedule::from_records(&records, &ReplayConfig::default());
+    let templates = schedule.distinct_templates();
+    assert_eq!(templates, 5, "five templates by construction");
+
+    let off = serve(&corpus, &trace, 0);
+    let on = serve(&corpus, &trace, 4096);
+
+    // 1. Bit-identical labels per app, cache on vs. off.
+    for app in off.outputs.keys() {
+        assert_eq!(
+            sorted_labels(&off, app),
+            sorted_labels(&on, app),
+            "{app}: cache on/off must label identically"
+        );
+    }
+
+    // 2. Each template embedded exactly once across ALL six apps.
+    assert_eq!(on.embed_cache.misses, templates as u64);
+    assert_eq!(on.embed_cache.entries, templates as u64);
+    assert_eq!(on.embed_cache.evictions, 0);
+
+    // 3. Everything else was a hit: 6 apps × 120 queries − 5 embeds.
+    let submissions = 6 * trace.len() as u64;
+    assert_eq!(on.embed_cache.hits, submissions - templates as u64);
+
+    // 4. Per-app attribution adds up, and every app after the first
+    //    sighting of each template served pure hits.
+    let (mut hits, mut misses) = (0u64, 0u64);
+    for tp in &on.throughput {
+        assert_eq!(
+            tp.cache_hits + tp.cache_misses,
+            trace.len() as u64,
+            "{}: every submission is a lookup",
+            tp.app
+        );
+        hits += tp.cache_hits;
+        misses += tp.cache_misses;
+    }
+    assert_eq!((hits, misses), (on.embed_cache.hits, on.embed_cache.misses));
+
+    // 5. The disabled-cache run reports an idle plane.
+    assert_eq!(off.embed_cache.hits + off.embed_cache.misses, 0);
+}

@@ -271,9 +271,9 @@ impl querc::WorkloadApp for PoisonableApp {
     fn label_batch(
         &self,
         _model: &(),
-        batch: &[LabeledQuery],
+        batch: &[querc::EnrichedQuery],
     ) -> querc::Result<Vec<querc::AppOutput>> {
-        if batch.iter().any(|lq| lq.sql == "poison") {
+        if batch.iter().any(|q| q.sql() == "poison") {
             self.tripped
                 .store(true, std::sync::atomic::Ordering::SeqCst);
             panic!("poison query consumed");
