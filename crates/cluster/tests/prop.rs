@@ -1,8 +1,8 @@
 //! Property tests: clustering invariants on arbitrary point clouds.
 
 use proptest::prelude::*;
-use querc_cluster::{kmeans, mean_silhouette, KMeansConfig};
-use querc_linalg::Pcg32;
+use querc_cluster::{kmeans, mean_silhouette, try_nearest_centroid, KMeansConfig};
+use querc_linalg::{ops, Pcg32};
 
 fn points_strategy() -> impl Strategy<Value = Vec<Vec<f32>>> {
     prop::collection::vec(prop::collection::vec(-100.0f32..100.0, 2..5), 2..60).prop_filter(
@@ -51,5 +51,28 @@ proptest! {
         let asg: Vec<usize> = (0..pts.len()).map(|_| rng.below_usize(3)).collect();
         let s = mean_silhouette(&pts, &asg);
         prop_assert!((-1.0..=1.0).contains(&s), "{s}");
+    }
+
+    /// Tie-breaking determinism for centroid assignment: duplicate the
+    /// centroid set (every centroid now has an equal-distance twin) and
+    /// the winner is still the lowest index — the naive argmin over the
+    /// original set — identically across repeated calls.
+    #[test]
+    fn nearest_centroid_ties_resolve_to_lowest_index(pts in points_strategy(), seed in any::<u64>()) {
+        let mut rng = Pcg32::new(seed);
+        let n_cents = 1 + rng.below_usize(4.min(pts.len()));
+        let cents: Vec<Vec<f32>> = pts.iter().take(n_cents).cloned().collect();
+        // Duplicate every centroid: indices n_cents..2*n_cents are twins.
+        let mut doubled = cents.clone();
+        doubled.extend(cents.iter().cloned());
+        for q in pts.iter().take(8) {
+            let dists: Vec<f32> = cents.iter().map(|c| ops::sq_dist(q, c)).collect();
+            let expect = ops::argmin(&dists);
+            let got = try_nearest_centroid(q, &doubled);
+            prop_assert_eq!(got, expect); // twin at i+n_cents never outranks i
+            prop_assert_eq!(try_nearest_centroid(q, &doubled), got); // stable across calls
+            prop_assert!(got.unwrap() < n_cents);
+        }
+        prop_assert_eq!(try_nearest_centroid(&pts[0], &[]), None);
     }
 }

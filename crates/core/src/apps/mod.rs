@@ -224,6 +224,15 @@ pub trait WorkloadApp: Send + Sync {
         None
     }
 
+    /// Live search counters of the fitted model's vector index, if the
+    /// app serves nearest-neighbor lookups through the
+    /// `querc_index::VectorIndex` plane (default `None`). The manager
+    /// surfaces this next to the embed-cache hit-rates in
+    /// [`crate::service::AppThroughput::index`].
+    fn index_stats(&self, _model: &Self::Model) -> Option<querc_index::IndexStats> {
+        None
+    }
+
     /// Describe a fitted model.
     fn report(&self, model: &Self::Model) -> AppReport;
 }
@@ -246,6 +255,9 @@ pub trait DynWorkloadApp: Send + Sync {
     ) -> Result<Vec<AppOutput>>;
     /// Type-erased [`WorkloadApp::embedder`].
     fn embedder_dyn(&self) -> Option<Arc<dyn Embedder>>;
+    /// Type-erased [`WorkloadApp::index_stats`]; `None` for apps without
+    /// an index plane (or on a model-type mismatch).
+    fn index_stats_dyn(&self, model: &(dyn Any + Send + Sync)) -> Option<querc_index::IndexStats>;
     /// Type-erased [`WorkloadApp::report`].
     fn report_dyn(&self, model: &(dyn Any + Send + Sync)) -> Result<AppReport>;
 }
@@ -275,6 +287,10 @@ impl<A: WorkloadApp> DynWorkloadApp for A {
 
     fn embedder_dyn(&self) -> Option<Arc<dyn Embedder>> {
         self.embedder()
+    }
+
+    fn index_stats_dyn(&self, model: &(dyn Any + Send + Sync)) -> Option<querc_index::IndexStats> {
+        self.index_stats(model.downcast_ref::<A::Model>()?)
     }
 
     fn report_dyn(&self, model: &(dyn Any + Send + Sync)) -> Result<AppReport> {

@@ -11,13 +11,16 @@ use crate::enriched::EnrichedQuery;
 use crate::error::{QuercError, Result};
 use querc_cluster::{kmeans, KMeansConfig};
 use querc_embed::Embedder;
+use querc_index::{FlatIndex, IndexStats, Metric, VectorIndex};
 use querc_linalg::Pcg32;
 use std::sync::Arc;
 
 /// A trained next-query recommender.
 pub struct QueryRecommender {
     embedder: Arc<dyn Embedder>,
-    centroids: Vec<Vec<f32>>,
+    /// Exact index over the cluster centroids — every fresh query's
+    /// cluster assignment is a k=1 search through the vector plane.
+    centroids: FlatIndex,
     /// Witness SQL per cluster.
     witnesses: Vec<String>,
     /// `transitions[from][to]` = observed count + 1 (Laplace smoothing).
@@ -88,7 +91,7 @@ impl QueryRecommender {
         }
         Ok(QueryRecommender {
             embedder,
-            centroids: result.centroids,
+            centroids: FlatIndex::from_rows(&result.centroids, Metric::Euclidean),
             witnesses,
             transitions,
             trained_queries: all.len(),
@@ -101,19 +104,34 @@ impl QueryRecommender {
     }
 
     /// Cluster id of a precomputed embedding vector — shared by the
-    /// SQL-level, batched, and serving paths.
+    /// SQL-level, batched, and serving paths. A k=1 search of the
+    /// centroid index, bit-identical to the old `nearest_centroid`
+    /// linear scan (a trained model always has ≥ 1 centroid).
     pub fn cluster_of_vector(&self, v: &[f32]) -> usize {
-        querc_cluster::nearest_centroid(v, &self.centroids)
+        self.centroids.nearest(v).unwrap_or(0) as usize
+    }
+
+    /// Cluster ids for a chunk of precomputed vectors in **one** index
+    /// `search_batch` — the serving hot path.
+    pub fn clusters_of_vectors(&self, vectors: &[&[f32]]) -> Vec<usize> {
+        self.centroids
+            .nearest_batch(vectors)
+            .into_iter()
+            .map(|c| c.unwrap_or(0) as usize)
+            .collect()
     }
 
     /// Cluster ids for a chunk of pre-tokenized queries through the
     /// embedder's batched path.
     pub fn clusters_of_batch(&self, docs: &[Vec<String>]) -> Vec<usize> {
-        self.embedder
-            .embed_batch(docs)
-            .iter()
-            .map(|v| self.cluster_of_vector(v))
-            .collect()
+        let vectors = self.embedder.embed_batch(docs);
+        let refs: Vec<&[f32]> = vectors.iter().map(Vec::as_slice).collect();
+        self.clusters_of_vectors(&refs)
+    }
+
+    /// Search counters of the centroid index.
+    pub fn index_stats(&self) -> IndexStats {
+        self.centroids.stats()
     }
 
     /// Witness of the most likely next cluster after cluster `from`.
@@ -232,10 +250,11 @@ impl WorkloadApp for RecommendApp {
         batch: &[EnrichedQuery],
     ) -> Result<Vec<AppOutput>> {
         let vectors = EnrichedQuery::vectors(batch, model.embedder.as_ref());
-        Ok(vectors
-            .iter()
-            .map(|v| {
-                let cluster = model.cluster_of_vector(v);
+        let refs: Vec<&[f32]> = vectors.iter().map(|v| v.as_slice()).collect();
+        Ok(model
+            .clusters_of_vectors(&refs)
+            .into_iter()
+            .map(|cluster| {
                 let (_, witness) = model.next_witness(cluster);
                 let mut out = AppOutput::new();
                 out.set("query_cluster", cluster.to_string());
@@ -247,6 +266,10 @@ impl WorkloadApp for RecommendApp {
 
     fn embedder(&self) -> Option<Arc<dyn Embedder>> {
         Some(Arc::clone(&self.embedder))
+    }
+
+    fn index_stats(&self, model: &QueryRecommender) -> Option<IndexStats> {
+        Some(model.index_stats())
     }
 
     fn report(&self, model: &QueryRecommender) -> AppReport {

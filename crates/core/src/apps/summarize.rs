@@ -15,6 +15,7 @@ use crate::enriched::EnrichedQuery;
 use crate::error::Result;
 use querc_cluster::{choose_k_elbow, kmeans, KMeansConfig};
 use querc_embed::Embedder;
+use querc_index::{FlatIndex, IndexStats, Metric, VectorIndex};
 use querc_linalg::Pcg32;
 use querc_sql::features::feature_vector;
 use querc_sql::Dialect;
@@ -148,7 +149,9 @@ impl SummarizeApp {
 
 /// A fitted workload summary: cluster centroids plus their witnesses.
 pub struct SummaryModel {
-    centroids: Vec<Vec<f32>>,
+    /// Exact index over the summary centroids; serving assigns each
+    /// incoming query's vector with a k=1 search.
+    centroids: FlatIndex,
     /// Witness SQL per centroid (`witnesses[c]` represents cluster `c`).
     witnesses: Vec<String>,
     /// Indices of the witness queries in the training corpus.
@@ -160,6 +163,16 @@ impl SummaryModel {
     /// The compressed workload: one representative SQL per cluster.
     pub fn witnesses(&self) -> &[String] {
         &self.witnesses
+    }
+
+    /// Summary-cluster id of a precomputed embedding vector.
+    pub fn cluster_of_vector(&self, v: &[f32]) -> usize {
+        self.centroids.nearest(v).unwrap_or(0) as usize
+    }
+
+    /// Search counters of the centroid index.
+    pub fn index_stats(&self) -> IndexStats {
+        self.centroids.stats()
     }
 }
 
@@ -196,7 +209,7 @@ impl WorkloadApp for SummarizeApp {
             .map(|&i| corpus.records[i].sql.clone())
             .collect();
         Ok(SummaryModel {
-            centroids: result.centroids,
+            centroids: FlatIndex::from_rows(&result.centroids, Metric::Euclidean),
             witnesses,
             witness_indices,
             trained_queries: corpus.len(),
@@ -205,10 +218,14 @@ impl WorkloadApp for SummarizeApp {
 
     fn label_batch(&self, model: &SummaryModel, batch: &[EnrichedQuery]) -> Result<Vec<AppOutput>> {
         let vectors = EnrichedQuery::vectors(batch, self.embedder.as_ref());
-        Ok(vectors
-            .iter()
-            .map(|v| {
-                let cluster = querc_cluster::nearest_centroid(v, &model.centroids);
+        let refs: Vec<&[f32]> = vectors.iter().map(|v| v.as_slice()).collect();
+        // One batched k=1 search over the centroid index for the chunk.
+        Ok(model
+            .centroids
+            .nearest_batch(&refs)
+            .into_iter()
+            .map(|c| {
+                let cluster = c.unwrap_or(0) as usize;
                 let mut out = AppOutput::new();
                 out.set("summary_cluster", cluster.to_string());
                 out.set("summary_witness", model.witnesses[cluster].clone());
@@ -219,6 +236,10 @@ impl WorkloadApp for SummarizeApp {
 
     fn embedder(&self) -> Option<Arc<dyn Embedder>> {
         Some(Arc::clone(&self.embedder))
+    }
+
+    fn index_stats(&self, model: &SummaryModel) -> Option<IndexStats> {
+        Some(model.index_stats())
     }
 
     fn report(&self, model: &SummaryModel) -> AppReport {

@@ -139,6 +139,30 @@ impl TrainedLabeler {
         Ok(self.labels.name(id).unwrap_or("<unknown>"))
     }
 
+    /// Predict label names for a chunk of borrowed vectors through the
+    /// model's batched path ([`Classifier::predict_batch_refs`]) — one
+    /// call into the model per chunk, so an index-backed model (kNN
+    /// over a `querc_index::VectorIndex`) amortizes a single
+    /// `search_batch` across the whole chunk. Rejects any vector of the
+    /// wrong dimensionality before touching the model.
+    pub fn try_predict_refs(&self, vectors: &[&[f32]]) -> Result<Vec<&str>> {
+        for v in vectors {
+            if v.len() != self.dim {
+                return Err(QuercError::DimensionMismatch {
+                    context: "labeler.predict",
+                    expected: self.dim,
+                    got: v.len(),
+                });
+            }
+        }
+        Ok(self
+            .model
+            .predict_batch_refs(vectors)
+            .into_iter()
+            .map(|id| self.labels.name(id).unwrap_or("<unknown>"))
+            .collect())
+    }
+
     /// Input dimensionality the labeler was trained on.
     pub fn dim(&self) -> usize {
         self.dim
@@ -200,11 +224,16 @@ impl QueryClassifier {
     /// on the embed-once ingress plane. `vectors[i]` must come from this
     /// classifier's embedder (same [`querc_embed::Embedder::cache_namespace`]);
     /// the output is then identical to embedding and labeling the query
-    /// from scratch.
+    /// from scratch. The whole chunk goes through the labeler's batched
+    /// path in **one** call ([`TrainedLabeler::try_predict_refs`]), so
+    /// index-backed models run a single `search_batch` per chunk.
     pub fn label_vectors_batch(&self, vectors: &[Arc<Vec<f32>>]) -> Vec<String> {
-        vectors
-            .iter()
-            .map(|v| self.labeler.predict(v).to_string())
+        let refs: Vec<&[f32]> = vectors.iter().map(|v| v.as_slice()).collect();
+        self.labeler
+            .try_predict_refs(&refs)
+            .unwrap_or_else(|e| panic!("{e}"))
+            .into_iter()
+            .map(str::to_string)
             .collect()
     }
 
@@ -343,6 +372,44 @@ mod tests {
                 got: 3,
                 ..
             })
+        ));
+    }
+
+    #[test]
+    fn knn_labeler_batches_through_one_index_search() {
+        use querc_learn::{Knn, KnnMetric};
+        let embedder: Arc<dyn Embedder> = Arc::new(BagOfTokens::new(32, false));
+        let sqls = [
+            "select a from sales_orders",
+            "insert into app_logs values (1)",
+            "select b from sales_orders",
+            "insert into app_logs values (2)",
+        ];
+        let labels = ["read", "write", "read", "write"];
+        let docs: Vec<Vec<String>> = sqls.iter().map(|s| querc_embed::sql_tokens(s)).collect();
+        let vectors = embedder.embed_batch(&docs);
+        let labeler = TrainedLabeler::train(
+            Knn::new(1, KnnMetric::Euclidean),
+            &vectors,
+            &labels,
+            &mut Pcg32::new(3),
+        );
+        let clf = QueryClassifier::new("kind", embedder, labeler);
+        let arcs: Vec<Arc<Vec<f32>>> = clf
+            .embedder()
+            .embed_batch(&docs)
+            .into_iter()
+            .map(Arc::new)
+            .collect();
+        assert_eq!(
+            clf.label_vectors_batch(&arcs),
+            vec!["read", "write", "read", "write"]
+        );
+        // Ragged chunk is rejected up front, not deep in the index.
+        let refs = [vectors[0].as_slice(), &vectors[1][..7]];
+        assert!(matches!(
+            clf.labeler.try_predict_refs(&refs),
+            Err(crate::error::QuercError::DimensionMismatch { got: 7, .. })
         ));
     }
 

@@ -119,6 +119,15 @@ impl fmt::Display for QuercError {
 
 impl std::error::Error for QuercError {}
 
+impl From<querc_learn::LearnError> for QuercError {
+    fn from(e: querc_learn::LearnError) -> QuercError {
+        QuercError::Training {
+            context: "learn",
+            message: e.to_string(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -35,6 +35,13 @@
 //!   envelope to every app shard — repeated templates serve with zero
 //!   embedding work, and cache hit-rates surface per app in
 //!   [`service::AppThroughput`];
+//! * every nearest-neighbor lookup behind those labels (kNN labelers,
+//!   centroid assignment in the recommend/summarize apps) goes through
+//!   the `querc-index` **vector search plane** — contiguous stores,
+//!   exact blocked scans, opt-in IVF ANN — and each app's search
+//!   counters (probes, candidates scanned, exact vs ANN) surface in
+//!   [`service::AppThroughput::index`] next to the embed-cache
+//!   hit-rates;
 //! * every fallible surface reports [`error::QuercError`] instead of
 //!   panicking.
 //!

@@ -119,6 +119,14 @@ impl FittedApp {
         self.app.label_batch_dyn(self.model.as_ref(), batch)
     }
 
+    /// Live counters of the fitted model's vector index, if the app
+    /// serves nearest-neighbor lookups through the
+    /// `querc_index::VectorIndex` plane (see
+    /// [`WorkloadApp::index_stats`]).
+    pub fn index_stats(&self) -> Option<querc_index::IndexStats> {
+        self.app.index_stats_dyn(self.model.as_ref())
+    }
+
     /// The fitted model's self-description.
     pub fn report(&self) -> Result<AppReport> {
         self.app.report_dyn(self.model.as_ref())
@@ -226,6 +234,14 @@ pub struct AppThroughput {
     /// backpressure wait on a full shard queue are included — this is
     /// client-perceived latency.
     pub latency: LatencySnapshot,
+    /// Vector-index search counters of the app's fitted model —
+    /// searches served, partitions probed, candidates scanned, and
+    /// whether the index is exact or ANN — when the app serves
+    /// nearest-neighbor lookups through the `querc_index` plane
+    /// (`None` for apps without one). Counters are cumulative over the
+    /// **current model generation**; a re-registration starts a fresh
+    /// index.
+    pub index: Option<querc_index::IndexStats>,
 }
 
 impl AppThroughput {
@@ -545,6 +561,7 @@ impl WorkloadManager {
                     cache_hits: prev_hits + e.counters.cache_hits.load(Ordering::Relaxed),
                     cache_misses: prev_misses + e.counters.cache_misses.load(Ordering::Relaxed),
                     latency,
+                    index: e.fitted.index_stats(),
                 }
             })
             .collect()
@@ -574,7 +591,12 @@ impl WorkloadManager {
         let mut training_log = Vec::new();
         let mut throughput = Vec::new();
         for (name, entry) in apps {
+            // The model (and its atomic index counters) lives in the
+            // FittedApp Arc; snapshot after the workers join so the
+            // stats cover every drained chunk.
+            let fitted = Arc::clone(&entry.fitted);
             let mut collected = Self::shut_down(entry);
+            let index = fitted.index_stats();
             if let Some(prev) = carryover.remove(&name) {
                 let mut merged = prev.outputs;
                 merged.extend(collected.outputs);
@@ -595,6 +617,7 @@ impl WorkloadManager {
                 cache_hits: collected.cache_hits,
                 cache_misses: collected.cache_misses,
                 latency: collected.latency.snapshot(),
+                index,
             });
         }
         ServiceDrain {
@@ -949,6 +972,47 @@ mod tests {
             sort(off.outputs["audit"].clone()),
             sort(on.outputs["audit"].clone())
         );
+    }
+
+    #[test]
+    fn index_backed_apps_surface_search_stats() {
+        use crate::apps::summarize::{SummarizeApp, SummaryConfig};
+        let corpus = corpus();
+        let mut mgr = WorkloadManager::new(WorkloadManagerConfig::default());
+        mgr.register(
+            SummarizeApp::new(embedder()).with_config(SummaryConfig {
+                k: Some(4),
+                ..Default::default()
+            }),
+            &corpus,
+        )
+        .unwrap();
+        mgr.register(ResourcesApp::new(embedder()), &corpus)
+            .unwrap();
+        for i in 0..12 {
+            mgr.submit(
+                "summarize",
+                LabeledQuery::new(format!("select v from kv_store where k = {i}")),
+            )
+            .unwrap();
+        }
+        let drained = mgr.drain();
+        let summarize = drained
+            .throughput
+            .iter()
+            .find(|t| t.app == "summarize")
+            .unwrap();
+        let ix = summarize.index.as_ref().expect("summarize has an index");
+        assert_eq!(ix.searches, 12, "one centroid search per query");
+        assert!(ix.exact && ix.partitions == 1);
+        assert_eq!(ix.candidates, 12 * 4, "k=4 centroids scanned per search");
+        // Apps without a vector index report None, not zeros.
+        let resources = drained
+            .throughput
+            .iter()
+            .find(|t| t.app == "resources")
+            .unwrap();
+        assert!(resources.index.is_none());
     }
 
     #[test]

@@ -1,0 +1,446 @@
+//! Inverted-file (IVF) approximate nearest-neighbor index.
+//!
+//! Classic two-level ANN: a k-means **coarse quantizer**
+//! (`querc_cluster::kmeans`) partitions the corpus into `nlist`
+//! inverted lists; a search ranks the centroids, scans only the
+//! `nprobe` nearest lists exactly, and top-k-selects over those
+//! candidates. Per-query work drops from `O(n)` to roughly
+//! `O(nlist + n·nprobe/nlist)` — minimized around `nlist ≈ √n` — at the
+//! cost of missing neighbors whose list was not probed. `nprobe` is the
+//! recall knob: `nprobe == nlist` degenerates to an exact (if
+//! re-ordered) scan, `nprobe == 1` is the fastest and least recalled.
+
+use crate::metric::Metric;
+use crate::store::VectorStore;
+use crate::{Hit, IndexStats, TopK, VectorIndex};
+use querc_cluster::{kmeans, KMeansConfig};
+use querc_linalg::{ops, Pcg32};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Build/search knobs for an [`IvfIndex`].
+#[derive(Debug, Clone)]
+pub struct IvfConfig {
+    /// Inverted lists (coarse centroids). `0` ⇒ auto: `⌈√n⌉`, clamped
+    /// to `[1, n]` — the classical sweet spot.
+    pub nlist: usize,
+    /// Lists scanned per query, clamped to `[1, nlist]` at search time.
+    /// Higher = better recall, more candidates scanned.
+    pub nprobe: usize,
+    /// Lloyd iterations for the coarse quantizer. IVF needs a rough
+    /// partition, not a converged clustering, so this is kept small.
+    pub train_iters: usize,
+    /// Seed for the quantizer's k-means++ initialization.
+    pub seed: u64,
+}
+
+impl Default for IvfConfig {
+    fn default() -> Self {
+        IvfConfig {
+            nlist: 0,
+            nprobe: 8,
+            train_iters: 10,
+            seed: 0x1df5,
+        }
+    }
+}
+
+/// Inverted-file ANN index over a [`VectorStore`].
+///
+/// Searchable through `&self` (counters are atomic), so one built index
+/// serves many threads behind an `Arc`. Hit ordering follows the
+/// crate-wide `(distance, id)` total order, so for the candidates it
+/// *does* scan an IVF search is exactly as deterministic as the flat
+/// scan — and with `nprobe == nlist` the results are identical to
+/// [`crate::FlatIndex`].
+#[derive(Debug)]
+pub struct IvfIndex {
+    store: VectorStore,
+    metric: Metric,
+    /// Coarse centroids, in the clustering space (unit-normalized when
+    /// the metric is cosine).
+    centroids: VectorStore,
+    /// `lists[c]` = ids of rows whose nearest centroid is `c`.
+    lists: Vec<Vec<u32>>,
+    nprobe: usize,
+    searches: AtomicU64,
+    probes: AtomicU64,
+    candidates: AtomicU64,
+}
+
+impl IvfIndex {
+    /// Build the index: run the coarse quantizer over `store` and
+    /// assign every row to its nearest centroid's list.
+    ///
+    /// For [`Metric::Cosine`] the quantizer clusters unit-normalized
+    /// copies of the rows (angular geometry); the stored vectors and
+    /// all reported distances remain the originals'.
+    pub fn build(store: VectorStore, metric: Metric, cfg: &IvfConfig) -> IvfIndex {
+        let n = store.len();
+        let (centroids, lists) = if n == 0 {
+            (VectorStore::new(store.dim()), Vec::new())
+        } else {
+            let nlist = if cfg.nlist == 0 {
+                (n as f64).sqrt().ceil() as usize
+            } else {
+                cfg.nlist
+            }
+            .clamp(1, n);
+            // Materialize training points for the quantizer (normalized
+            // for cosine so centroids live on the unit sphere).
+            let points: Vec<Vec<f32>> = store
+                .iter()
+                .map(|r| {
+                    let mut v = r.to_vec();
+                    if metric == Metric::Cosine {
+                        ops::normalize(&mut v);
+                    }
+                    v
+                })
+                .collect();
+            let result = kmeans(
+                &points,
+                &KMeansConfig {
+                    k: nlist,
+                    max_iters: cfg.train_iters.max(1),
+                    tol: 1e-3,
+                },
+                &mut Pcg32::with_stream(cfg.seed, 0x1df5),
+            );
+            let mut lists = vec![Vec::new(); result.centroids.len()];
+            for (id, &c) in result.assignments.iter().enumerate() {
+                lists[c].push(id as u32);
+            }
+            (VectorStore::from_rows(&result.centroids), lists)
+        };
+        IvfIndex {
+            centroids,
+            lists,
+            nprobe: cfg.nprobe.max(1),
+            store,
+            metric,
+            searches: AtomicU64::new(0),
+            probes: AtomicU64::new(0),
+            candidates: AtomicU64::new(0),
+        }
+    }
+
+    /// Bulk-build from row data (see [`VectorStore::from_rows`]).
+    ///
+    /// # Panics
+    /// If `rows` is empty or ragged.
+    pub fn from_rows(rows: &[Vec<f32>], metric: Metric, cfg: &IvfConfig) -> IvfIndex {
+        IvfIndex::build(VectorStore::from_rows(rows), metric, cfg)
+    }
+
+    /// Builder-style recall knob (clamped to `[1, nlist]` per search).
+    pub fn with_nprobe(mut self, nprobe: usize) -> IvfIndex {
+        self.set_nprobe(nprobe);
+        self
+    }
+
+    /// Set the recall knob at runtime (≥ 1 enforced).
+    pub fn set_nprobe(&mut self, nprobe: usize) {
+        self.nprobe = nprobe.max(1);
+    }
+
+    /// Current `nprobe` setting.
+    pub fn nprobe(&self) -> usize {
+        self.nprobe
+    }
+
+    /// Number of inverted lists.
+    pub fn nlist(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// The indexed store.
+    pub fn store(&self) -> &VectorStore {
+        &self.store
+    }
+
+    /// The `nprobe` nearest centroid ids to `query`, closest first.
+    fn probe_order(&self, query: &[f32], nprobe: usize) -> Vec<Hit> {
+        let mut top = TopK::new(nprobe);
+        for c in 0..self.centroids.len() {
+            top.push(c as u32, self.metric.distance(query, self.centroids.row(c)));
+        }
+        top.into_sorted()
+    }
+}
+
+impl VectorIndex for IvfIndex {
+    fn search(&self, query: &[f32], k: usize) -> Vec<Hit> {
+        self.searches.fetch_add(1, Ordering::Relaxed);
+        if self.lists.is_empty() {
+            return Vec::new();
+        }
+        let nprobe = self.nprobe.min(self.nlist());
+        let probed = self.probe_order(query, nprobe);
+        self.probes
+            .fetch_add(probed.len() as u64, Ordering::Relaxed);
+        let mut scanned = 0u64;
+        let mut top = TopK::new(k);
+        for (c, _) in probed {
+            let list = &self.lists[c as usize];
+            scanned += list.len() as u64;
+            for &id in list {
+                top.push(id, self.metric.distance(query, self.store.row(id as usize)));
+            }
+        }
+        self.candidates.fetch_add(scanned, Ordering::Relaxed);
+        top.into_sorted()
+    }
+
+    /// Batched IVF search inverts the loop: queries are first grouped
+    /// by probed list, then each inverted list is walked **once** for
+    /// the whole batch — every row is read while hot for all queries
+    /// probing it. The candidate sets (and therefore the results) are
+    /// identical to per-query [`VectorIndex::search`]; only the
+    /// traversal order changes, which the `(distance, id)` total order
+    /// is insensitive to.
+    fn search_batch(&self, queries: &[&[f32]], k: usize) -> Vec<Vec<Hit>> {
+        self.searches
+            .fetch_add(queries.len() as u64, Ordering::Relaxed);
+        if self.lists.is_empty() {
+            return vec![Vec::new(); queries.len()];
+        }
+        let nprobe = self.nprobe.min(self.nlist());
+        let mut probed_total = 0u64;
+        let mut by_list: Vec<Vec<u32>> = vec![Vec::new(); self.lists.len()];
+        for (qi, q) in queries.iter().enumerate() {
+            let probed = self.probe_order(q, nprobe);
+            probed_total += probed.len() as u64;
+            for (c, _) in probed {
+                by_list[c as usize].push(qi as u32);
+            }
+        }
+        self.probes.fetch_add(probed_total, Ordering::Relaxed);
+        let mut scanned = 0u64;
+        let mut tops: Vec<TopK> = queries.iter().map(|_| TopK::new(k)).collect();
+        for (c, probers) in by_list.iter().enumerate() {
+            if probers.is_empty() {
+                continue;
+            }
+            let list = &self.lists[c];
+            scanned += (list.len() * probers.len()) as u64;
+            for &id in list {
+                let row = self.store.row(id as usize);
+                for &qi in probers {
+                    tops[qi as usize].push(id, self.metric.distance(queries[qi as usize], row));
+                }
+            }
+        }
+        self.candidates.fetch_add(scanned, Ordering::Relaxed);
+        tops.into_iter().map(TopK::into_sorted).collect()
+    }
+
+    fn len(&self) -> usize {
+        self.store.len()
+    }
+
+    fn dim(&self) -> usize {
+        self.store.dim()
+    }
+
+    fn stats(&self) -> IndexStats {
+        IndexStats {
+            searches: self.searches.load(Ordering::Relaxed),
+            probes: self.probes.load(Ordering::Relaxed),
+            candidates: self.candidates.load(Ordering::Relaxed),
+            partitions: self.nlist(),
+            // Full probe degenerates to an exact (re-ordered) scan, and
+            // the flag reflects the *current* nprobe setting.
+            exact: self.nprobe >= self.nlist(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FlatIndex;
+
+    /// Well-separated 2-D blobs: IVF's best case, and the shape of an
+    /// embedded templated workload.
+    fn blobs(n_per: usize, centers: &[(f32, f32)], seed: u64) -> Vec<Vec<f32>> {
+        let mut rng = Pcg32::new(seed);
+        let mut pts = Vec::new();
+        for &(cx, cy) in centers {
+            for _ in 0..n_per {
+                pts.push(vec![cx + rng.normal() * 0.3, cy + rng.normal() * 0.3]);
+            }
+        }
+        pts
+    }
+
+    #[test]
+    fn probed_search_finds_in_cluster_neighbors() {
+        let pts = blobs(50, &[(0.0, 0.0), (10.0, 10.0), (0.0, 10.0), (10.0, 0.0)], 1);
+        let ix = IvfIndex::from_rows(
+            &pts,
+            Metric::Euclidean,
+            &IvfConfig {
+                nlist: 4,
+                nprobe: 1,
+                ..Default::default()
+            },
+        );
+        assert_eq!(ix.nlist(), 4);
+        let hits = ix.search(&[10.1, 9.9], 5);
+        assert_eq!(hits.len(), 5);
+        for (id, _) in hits {
+            let p = ix.store().row(id as usize);
+            assert!(
+                p[0] > 5.0 && p[1] > 5.0,
+                "hit {p:?} is not in the (10,10) blob"
+            );
+        }
+        let s = ix.stats();
+        assert_eq!(s.searches, 1);
+        assert_eq!(s.probes, 1, "nprobe=1 scans one list");
+        assert!(s.candidates < 200, "scanned one blob, not the corpus");
+        assert!(!s.exact);
+    }
+
+    #[test]
+    fn full_probe_matches_flat_exactly() {
+        let pts = blobs(40, &[(0.0, 0.0), (6.0, 6.0), (0.0, 7.0)], 2);
+        let flat = FlatIndex::from_rows(&pts, Metric::Euclidean);
+        let ivf = IvfIndex::from_rows(
+            &pts,
+            Metric::Euclidean,
+            &IvfConfig {
+                nlist: 6,
+                nprobe: 6,
+                ..Default::default()
+            },
+        );
+        for q in [[0.2f32, 0.1], [5.9, 6.2], [3.0, 3.0]] {
+            assert_eq!(
+                ivf.search(&q, 7),
+                flat.search(&q, 7),
+                "nprobe==nlist is exact"
+            );
+        }
+        assert!(
+            ivf.stats().exact,
+            "full probe must report itself as exact in stats"
+        );
+    }
+
+    #[test]
+    fn nprobe_is_a_live_recall_knob() {
+        let pts = blobs(30, &[(0.0, 0.0), (8.0, 8.0)], 3);
+        let mut ix = IvfIndex::from_rows(
+            &pts,
+            Metric::Euclidean,
+            &IvfConfig {
+                nlist: 2,
+                nprobe: 1,
+                ..Default::default()
+            },
+        );
+        assert_eq!(ix.nprobe(), 1);
+        ix.set_nprobe(0);
+        assert_eq!(ix.nprobe(), 1, "clamped to ≥ 1");
+        let ix = ix.with_nprobe(2);
+        assert_eq!(ix.nprobe(), 2);
+        // Over-asking is clamped to nlist at search time.
+        let ix = ix.with_nprobe(99);
+        let _ = ix.search(&[1.0, 1.0], 3);
+        assert_eq!(ix.stats().probes, 2);
+    }
+
+    #[test]
+    fn cosine_clusters_on_the_unit_sphere() {
+        // Two angular families with wildly different magnitudes.
+        let mut pts = Vec::new();
+        for i in 1..=40 {
+            let m = i as f32;
+            pts.push(vec![m, 0.1 * m]);
+            pts.push(vec![0.1 * m, m]);
+        }
+        let ix = IvfIndex::from_rows(
+            &pts,
+            Metric::Cosine,
+            &IvfConfig {
+                nlist: 2,
+                nprobe: 1,
+                ..Default::default()
+            },
+        );
+        let hits = ix.search(&[100.0, 8.0], 10);
+        for (id, d) in hits {
+            let p = ix.store().row(id as usize);
+            assert!(p[0] > p[1], "angularly wrong hit {p:?} (d={d})");
+        }
+    }
+
+    #[test]
+    fn empty_and_auto_nlist() {
+        let empty = IvfIndex::build(
+            VectorStore::new(4),
+            Metric::Euclidean,
+            &IvfConfig::default(),
+        );
+        assert!(empty.is_empty());
+        assert!(empty.search(&[0.0; 4], 3).is_empty());
+
+        let pts = blobs(50, &[(0.0, 0.0), (5.0, 5.0)], 4);
+        let auto = IvfIndex::from_rows(&pts, Metric::Euclidean, &IvfConfig::default());
+        assert_eq!(auto.nlist(), 10, "⌈√100⌉");
+        assert_eq!(auto.len(), 100);
+        assert_eq!(auto.dim(), 2);
+    }
+
+    #[test]
+    fn search_batch_matches_single_searches_and_counters() {
+        let pts = blobs(40, &[(0.0, 0.0), (7.0, 7.0), (0.0, 7.0)], 6);
+        let ix = IvfIndex::from_rows(
+            &pts,
+            Metric::Euclidean,
+            &IvfConfig {
+                nlist: 6,
+                nprobe: 2,
+                ..Default::default()
+            },
+        );
+        let queries: Vec<Vec<f32>> = (0..9)
+            .map(|i| vec![i as f32, (i % 3) as f32 * 3.0])
+            .collect();
+        let refs: Vec<&[f32]> = queries.iter().map(Vec::as_slice).collect();
+        let single: Vec<_> = refs.iter().map(|q| ix.search(q, 5)).collect();
+        let after_single = ix.stats();
+        let batched = ix.search_batch(&refs, 5);
+        assert_eq!(
+            batched, single,
+            "list-grouped traversal must not change results"
+        );
+        let after_batch = ix.stats();
+        // The batch accounts exactly like 9 single searches.
+        assert_eq!(after_batch.searches, after_single.searches + 9);
+        assert_eq!(
+            after_batch.probes - after_single.probes,
+            after_single.probes,
+        );
+        assert_eq!(
+            after_batch.candidates - after_single.candidates,
+            after_single.candidates,
+        );
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let pts = blobs(25, &[(0.0, 0.0), (4.0, 4.0), (8.0, 0.0)], 5);
+        let cfg = IvfConfig {
+            nlist: 5,
+            nprobe: 2,
+            ..Default::default()
+        };
+        let a = IvfIndex::from_rows(&pts, Metric::Euclidean, &cfg);
+        let b = IvfIndex::from_rows(&pts, Metric::Euclidean, &cfg);
+        for q in [[1.0f32, 1.0], [7.5, 0.5]] {
+            assert_eq!(a.search(&q, 4), b.search(&q, 4));
+        }
+    }
+}

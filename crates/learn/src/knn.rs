@@ -1,83 +1,183 @@
 //! k-nearest-neighbours — the nonparametric sanity-check labeler.
 //!
-//! Brute force with either Euclidean or cosine distance; fine at the
-//! experiment scales here and useful as a model-free probe of embedding
-//! quality (if kNN over embeddings can't label users, no classifier can).
+//! Useful as a model-free probe of embedding quality (if kNN over
+//! embeddings can't label users, no classifier can). Since the vector
+//! search plane landed, `Knn` is a thin **voting layer** over a
+//! [`querc_index::VectorIndex`]: exact blocked scans by default
+//! ([`querc_index::FlatIndex`], bit-identical distances to the old
+//! brute force), with an opt-in IVF approximate backend
+//! ([`KnnBackend::Ivf`]) for corpora where `O(n)` per query no longer
+//! flies.
+//!
+//! Determinism: neighbor selection follows the index plane's
+//! `(distance, id)` total order (NaN sorts last, equal distances go to
+//! the lower row id) and vote ties resolve to the **lower class id** —
+//! identical across runs and across exact/ANN backends.
 
-use crate::Classifier;
-use querc_linalg::{ops, Pcg32};
+use crate::{Classifier, LearnError};
+use querc_index::{FlatIndex, IvfConfig, IvfIndex, Metric, VectorIndex, VectorStore};
+use querc_linalg::Pcg32;
 
-/// Distance metric for [`Knn`].
+/// Distance metric for [`Knn`] (mapped onto [`querc_index::Metric`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum KnnMetric {
+    /// Squared Euclidean distance.
     Euclidean,
-    /// 1 − cosine similarity.
+    /// 1 − cosine similarity; zero vectors are orthogonal to everything
+    /// (distance exactly 1, never NaN — see [`querc_index::Metric::Cosine`]).
     Cosine,
 }
 
-/// Brute-force k-nearest-neighbours classifier.
-#[derive(Debug, Clone)]
+impl KnnMetric {
+    fn to_metric(self) -> Metric {
+        match self {
+            KnnMetric::Euclidean => Metric::Euclidean,
+            KnnMetric::Cosine => Metric::Cosine,
+        }
+    }
+}
+
+/// Which search backend `fit` builds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KnnBackend {
+    /// Exact blocked scan over a contiguous store (the default; results
+    /// match the historical brute force bit for bit).
+    #[default]
+    Exact,
+    /// Inverted-file ANN: `nlist` k-means partitions (`0` = auto `√n`),
+    /// `nprobe` of them scanned per query. Opt-in recall/latency trade —
+    /// see `querc_index::IvfIndex`.
+    Ivf {
+        /// Inverted lists (`0` = auto `⌈√n⌉`).
+        nlist: usize,
+        /// Lists probed per query (clamped to `[1, nlist]`).
+        nprobe: usize,
+    },
+}
+
+/// k-nearest-neighbours classifier over a vector index.
 pub struct Knn {
     k: usize,
     metric: KnnMetric,
-    x: Vec<Vec<f32>>,
+    backend: KnnBackend,
+    index: Option<Box<dyn VectorIndex>>,
     y: Vec<u32>,
     n_classes: usize,
 }
 
 impl Knn {
+    /// An unfitted kNN voting over the `k` nearest neighbors.
+    ///
+    /// Thin wrapper over [`Knn::try_new`]; panics (with the error
+    /// message) if `k == 0`.
     pub fn new(k: usize, metric: KnnMetric) -> Self {
-        assert!(k > 0);
-        Knn {
-            k,
-            metric,
-            x: Vec::new(),
-            y: Vec::new(),
-            n_classes: 0,
-        }
+        Self::try_new(k, metric).unwrap_or_else(|e| panic!("{e}"))
     }
 
-    fn distance(&self, a: &[f32], b: &[f32]) -> f32 {
-        match self.metric {
-            KnnMetric::Euclidean => ops::sq_dist(a, b),
-            KnnMetric::Cosine => 1.0 - ops::cosine(a, b),
+    /// Fallible constructor: `k == 0` is reported as
+    /// [`LearnError::InvalidK`] instead of panicking.
+    pub fn try_new(k: usize, metric: KnnMetric) -> Result<Self, LearnError> {
+        if k == 0 {
+            return Err(LearnError::InvalidK { k });
         }
+        Ok(Knn {
+            k,
+            metric,
+            backend: KnnBackend::Exact,
+            index: None,
+            y: Vec::new(),
+            n_classes: 0,
+        })
+    }
+
+    /// Choose the search backend `fit` will build (exact by default;
+    /// ANN is opt-in). Refit after changing the backend.
+    pub fn with_backend(mut self, backend: KnnBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// The fitted search index, if `fit` has run (diagnostics: expose
+    /// probe/candidate counters via `VectorIndex::stats`).
+    pub fn index(&self) -> Option<&dyn VectorIndex> {
+        self.index.as_deref()
+    }
+
+    /// Majority vote over neighbor labels; vote ties resolve to the
+    /// lower class id.
+    fn vote(&self, hits: &[(u32, f32)]) -> u32 {
+        let mut votes = vec![0u32; self.n_classes.max(1)];
+        for &(id, _) in hits {
+            votes[self.y[id as usize] as usize] += 1;
+        }
+        let mut best = 0usize;
+        for (c, &v) in votes.iter().enumerate() {
+            if v > votes[best] {
+                best = c;
+            }
+        }
+        best as u32
+    }
+}
+
+impl std::fmt::Debug for Knn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Knn")
+            .field("k", &self.k)
+            .field("metric", &self.metric)
+            .field("backend", &self.backend)
+            .field("fitted", &self.index.is_some())
+            .field("n_classes", &self.n_classes)
+            .finish()
     }
 }
 
 impl Classifier for Knn {
     fn fit(&mut self, x: &[Vec<f32>], y: &[u32], n_classes: usize, _rng: &mut Pcg32) {
         assert_eq!(x.len(), y.len());
-        self.x = x.to_vec();
         self.y = y.to_vec();
         self.n_classes = n_classes;
+        if x.is_empty() {
+            self.index = None;
+            return;
+        }
+        let store = VectorStore::from_rows(x);
+        let metric = self.metric.to_metric();
+        self.index = Some(match self.backend {
+            KnnBackend::Exact => Box::new(FlatIndex::new(store, metric)),
+            KnnBackend::Ivf { nlist, nprobe } => Box::new(IvfIndex::build(
+                store,
+                metric,
+                &IvfConfig {
+                    nlist,
+                    nprobe,
+                    ..Default::default()
+                },
+            )),
+        });
     }
 
     fn predict(&self, q: &[f32]) -> u32 {
-        if self.x.is_empty() {
-            return 0;
+        match &self.index {
+            None => 0,
+            Some(ix) => self.vote(&ix.search(q, self.k)),
         }
-        // Partial selection of the k smallest distances.
-        let mut dists: Vec<(f32, u32)> = self
-            .x
-            .iter()
-            .zip(&self.y)
-            .map(|(xi, &yi)| (self.distance(q, xi), yi))
-            .collect();
-        let k = self.k.min(dists.len());
-        dists.select_nth_unstable_by(k - 1, |a, b| {
-            a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal)
-        });
-        let mut votes = vec![0u32; self.n_classes.max(1)];
-        for &(_, label) in &dists[..k] {
-            votes[label as usize] += 1;
+    }
+
+    fn predict_batch(&self, xs: &[Vec<f32>]) -> Vec<u32> {
+        let refs: Vec<&[f32]> = xs.iter().map(Vec::as_slice).collect();
+        self.predict_batch_refs(&refs)
+    }
+
+    fn predict_batch_refs(&self, xs: &[&[f32]]) -> Vec<u32> {
+        match &self.index {
+            None => vec![0; xs.len()],
+            Some(ix) => ix
+                .search_batch(xs, self.k)
+                .iter()
+                .map(|hits| self.vote(hits))
+                .collect(),
         }
-        votes
-            .iter()
-            .enumerate()
-            .max_by_key(|(_, &v)| v)
-            .map(|(i, _)| i as u32)
-            .unwrap_or(0)
     }
 }
 
@@ -125,6 +225,7 @@ mod tests {
     fn empty_training_set() {
         let knn = Knn::new(3, KnnMetric::Euclidean);
         assert_eq!(knn.predict(&[1.0]), 0);
+        assert_eq!(knn.predict_batch(&[vec![1.0], vec![2.0]]), vec![0, 0]);
     }
 
     #[test]
@@ -133,7 +234,131 @@ mod tests {
         let y = vec![0, 1];
         let mut knn = Knn::new(10, KnnMetric::Euclidean);
         knn.fit(&x, &y, 2, &mut Pcg32::new(4));
-        // Should not panic; ties resolve to the lower class id.
-        let _ = knn.predict(&[0.4]);
+        // The index returns every row; the 1-1 vote tie resolves to the
+        // lower class id.
+        assert_eq!(knn.predict(&[0.4]), 0);
+    }
+
+    #[test]
+    fn try_new_rejects_zero_k() {
+        let err = Knn::try_new(0, KnnMetric::Euclidean).unwrap_err();
+        assert!(matches!(err, LearnError::InvalidK { k: 0 }));
+        assert!(err.to_string().contains("k"));
+        assert!(Knn::try_new(1, KnnMetric::Cosine).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "k")]
+    fn new_panics_on_zero_k_with_the_error_message() {
+        let _ = Knn::new(0, KnnMetric::Euclidean);
+    }
+
+    #[test]
+    fn cosine_zero_vectors_cannot_poison_selection() {
+        // Regression: `1 - cosine` used to go NaN on zero vectors and
+        // `partial_cmp(..).unwrap_or(Equal)` let the NaN corrupt the
+        // k-selection. Zero vectors now sit at distance exactly 1.
+        let x = vec![
+            vec![0.0, 0.0],  // zero vector, class 0
+            vec![1.0, 0.0],  // class 1
+            vec![0.0, 1.0],  // class 1
+            vec![-1.0, 0.0], // class 2 (distance 2 from [1,0] queries)
+        ];
+        let y = vec![0, 1, 1, 2];
+        let mut knn = Knn::new(3, KnnMetric::Cosine);
+        knn.fit(&x, &y, 3, &mut Pcg32::new(5));
+        // Query aligned with [1,0]: the k=3 selection is row 1 (d=0)
+        // plus the d=1 tie broken to the lower ids (rows 0, 2) — class 1
+        // outvotes the zero row 2-to-1. No NaN anywhere.
+        assert_eq!(knn.predict(&[10.0, 0.0]), 1);
+        // A zero-vector *query* is at distance exactly 1 from
+        // everything: the selection is the three lowest row ids
+        // (0, 1, 2) — deterministic, and class 1 wins 2-to-1.
+        assert_eq!(knn.predict(&[0.0, 0.0]), 1);
+    }
+
+    #[test]
+    fn denormal_vectors_are_ordinary_citizens() {
+        let tiny = f32::MIN_POSITIVE / 4.0;
+        let x = vec![vec![tiny, 0.0], vec![0.0, 1.0]];
+        let y = vec![0, 1];
+        let mut knn = Knn::new(1, KnnMetric::Cosine);
+        knn.fit(&x, &y, 2, &mut Pcg32::new(6));
+        // A denormal along axis 0 still encodes direction... unless the
+        // norm underflows to 0, in which case it degrades to the defined
+        // zero-vector behavior — either way: no NaN, no panic.
+        let p = knn.predict(&[1.0, 0.0]);
+        assert!(p < 2);
+        let p = knn.predict(&[tiny, tiny]);
+        assert!(p < 2);
+    }
+
+    #[test]
+    fn nan_training_row_never_wins() {
+        let x = vec![vec![f32::NAN, 0.0], vec![5.0, 5.0]];
+        let y = vec![0, 1];
+        let mut knn = Knn::new(1, KnnMetric::Euclidean);
+        knn.fit(&x, &y, 2, &mut Pcg32::new(7));
+        // NaN distance sorts after every real distance: the finite row
+        // wins even though it is far away.
+        assert_eq!(knn.predict(&[0.0, 0.0]), 1);
+    }
+
+    #[test]
+    fn ivf_backend_agrees_on_clustered_data() {
+        let mut rng = Pcg32::new(8);
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for (c, &(cx, cy)) in [(0.0f32, 0.0f32), (10.0, 10.0), (0.0, 10.0)]
+            .iter()
+            .enumerate()
+        {
+            for _ in 0..40 {
+                x.push(vec![cx + rng.normal() * 0.4, cy + rng.normal() * 0.4]);
+                y.push(c as u32);
+            }
+        }
+        let mut exact = Knn::new(5, KnnMetric::Euclidean);
+        exact.fit(&x, &y, 3, &mut Pcg32::new(9));
+        let mut ann = Knn::new(5, KnnMetric::Euclidean).with_backend(KnnBackend::Ivf {
+            nlist: 3,
+            nprobe: 1,
+        });
+        ann.fit(&x, &y, 3, &mut Pcg32::new(9));
+        for q in [[0.5f32, -0.2], [9.6, 10.3], [0.2, 9.8]] {
+            assert_eq!(exact.predict(&q), ann.predict(&q));
+        }
+        let stats = ann.index().unwrap().stats();
+        assert_eq!(stats.searches, 3);
+        assert!(
+            stats.candidates < 3 * 120,
+            "ANN must scan fewer candidates than exact: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn predict_batch_matches_predict() {
+        let mut rng = Pcg32::new(10);
+        let x: Vec<Vec<f32>> = (0..60)
+            .map(|_| vec![rng.normal(), rng.normal(), rng.normal()])
+            .collect();
+        let y: Vec<u32> = (0..60).map(|i| (i % 4) as u32).collect();
+        for backend in [
+            KnnBackend::Exact,
+            KnnBackend::Ivf {
+                nlist: 4,
+                nprobe: 4,
+            },
+        ] {
+            let mut knn = Knn::new(3, KnnMetric::Euclidean).with_backend(backend);
+            knn.fit(&x, &y, 4, &mut Pcg32::new(11));
+            let queries: Vec<Vec<f32>> = (0..10)
+                .map(|_| vec![rng.normal(), rng.normal(), rng.normal()])
+                .collect();
+            let batched = knn.predict_batch(&queries);
+            for (q, &b) in queries.iter().zip(&batched) {
+                assert_eq!(b, knn.predict(q), "backend {backend:?}");
+            }
+        }
     }
 }

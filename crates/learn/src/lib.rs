@@ -21,12 +21,37 @@ pub mod tree;
 
 pub use cv::{cross_val_accuracy, stratified_folds};
 pub use forest::{ForestConfig, RandomForest};
-pub use knn::Knn;
+pub use knn::{Knn, KnnBackend, KnnMetric};
 pub use linear::SoftmaxRegression;
 pub use metrics::{accuracy, confusion_matrix, macro_f1, ClassMetrics};
 pub use tree::{DecisionTree, SplitStrategy, TreeConfig};
 
 use querc_linalg::Pcg32;
+
+/// Failures the fallible classifier constructors report (the legacy
+/// constructors keep their panicking signatures but panic with these
+/// messages). `querc` converts this into its workspace-wide
+/// `QuercError`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LearnError {
+    /// A neighborhood size of zero was requested (`k` must be ≥ 1).
+    InvalidK {
+        /// The rejected `k`.
+        k: usize,
+    },
+}
+
+impl std::fmt::Display for LearnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LearnError::InvalidK { k } => {
+                write!(f, "knn requires k >= 1, got k = {k}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LearnError {}
 
 /// A trainable multi-class classifier over dense `f32` features.
 ///
@@ -51,6 +76,14 @@ pub trait Classifier: Send + Sync {
 
     /// Predict labels for many rows.
     fn predict_batch(&self, xs: &[Vec<f32>]) -> Vec<u32> {
+        xs.iter().map(|x| self.predict(x)).collect()
+    }
+
+    /// [`Classifier::predict_batch`] over borrowed rows — the serving
+    /// hot path, where vectors arrive as shared `Arc` slices. Models
+    /// with a batched substrate (kNN's `VectorIndex::search_batch`)
+    /// override this to amortize one index pass per chunk.
+    fn predict_batch_refs(&self, xs: &[&[f32]]) -> Vec<u32> {
         xs.iter().map(|x| self.predict(x)).collect()
     }
 }

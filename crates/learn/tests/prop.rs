@@ -1,7 +1,9 @@
 //! Property tests: classifier outputs are always well-formed.
 
 use proptest::prelude::*;
-use querc_learn::{Classifier, ForestConfig, RandomForest, SoftmaxRegression};
+use querc_learn::{
+    Classifier, ForestConfig, Knn, KnnBackend, KnnMetric, RandomForest, SoftmaxRegression,
+};
 use querc_linalg::Pcg32;
 
 fn dataset_strategy() -> impl Strategy<Value = (Vec<Vec<f32>>, Vec<u32>)> {
@@ -61,5 +63,49 @@ proptest! {
         let p = m.proba(&x[0]);
         let sum: f32 = p.iter().sum();
         prop_assert!((sum - 1.0).abs() < 1e-3);
+    }
+
+    /// Tie-breaking determinism: duplicate every training point (forcing
+    /// equal-distance neighbors) and conflict their labels (forcing
+    /// equal-vote classes). Two independently fitted kNNs must still
+    /// agree on every query, across runs AND across the exact / IVF
+    /// backends — the `(distance, id)` total order plus the lower-class-
+    /// id vote rule leave nothing to chance.
+    #[test]
+    fn knn_ties_resolve_identically_across_runs_and_backends(
+        (x, y) in dataset_strategy(),
+        k in 1usize..8,
+        seed in any::<u64>(),
+    ) {
+        let n_classes = (*y.iter().max().unwrap() + 1) as usize;
+        // Duplicated rows with rotated labels: maximal tie pressure.
+        let mut xx = x.clone();
+        xx.extend(x.iter().cloned());
+        let mut yy = y.clone();
+        yy.extend(y.iter().map(|&c| (c + 1) % n_classes as u32));
+
+        let fit = |backend: KnnBackend, seed: u64| {
+            let mut m = Knn::new(k, KnnMetric::Euclidean).with_backend(backend);
+            m.fit(&xx, &yy, n_classes, &mut Pcg32::new(seed));
+            m
+        };
+        let full_probe = KnnBackend::Ivf { nlist: 4, nprobe: 4 };
+        let a = fit(KnnBackend::Exact, seed);
+        let b = fit(KnnBackend::Exact, seed ^ 0xdead);
+        let c = fit(full_probe, seed);
+        let d = fit(full_probe, seed ^ 0xbeef);
+        for q in x.iter().take(8) {
+            let p = a.predict(q);
+            prop_assert!((p as usize) < n_classes);
+            prop_assert_eq!(p, b.predict(q)); // exact backend must ignore the RNG
+            prop_assert_eq!(p, c.predict(q)); // full-probe IVF must equal exact
+            prop_assert_eq!(p, d.predict(q)); // IVF must ignore the fit RNG too
+        }
+        // The batched path is the single path, verbatim.
+        let queries: Vec<Vec<f32>> = x.iter().take(8).cloned().collect();
+        let batched = a.predict_batch(&queries);
+        for (q, &p) in queries.iter().zip(&batched) {
+            prop_assert_eq!(p, a.predict(q));
+        }
     }
 }

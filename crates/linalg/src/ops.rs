@@ -134,6 +134,23 @@ pub fn clip_norm(x: &mut [f32], max_norm: f32) {
     }
 }
 
+/// Index of the smallest value under the `total_cmp` total order —
+/// ties resolve to the lowest index, NaN ranks after every real number
+/// so it can never win while a finite value exists. `None` on empty
+/// input. The shared argmin of every nearest-centroid / nearest-row
+/// scan in the workspace.
+pub fn argmin(values: &[f32]) -> Option<usize> {
+    let mut best: Option<usize> = None;
+    for (i, v) in values.iter().enumerate() {
+        match best {
+            None => best = Some(i),
+            Some(b) if v.total_cmp(&values[b]) == std::cmp::Ordering::Less => best = Some(i),
+            Some(_) => {}
+        }
+    }
+    best
+}
+
 /// Elementwise mean of several equal-length vectors.
 ///
 /// Panics on empty input or ragged rows.
@@ -236,5 +253,23 @@ mod tests {
     fn distances() {
         assert_eq!(sq_dist(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
         assert_eq!(dist(&[0.0, 0.0], &[3.0, 4.0]), 5.0);
+    }
+
+    #[test]
+    fn argmin_total_order() {
+        assert_eq!(argmin(&[]), None);
+        assert_eq!(argmin(&[3.0]), Some(0));
+        assert_eq!(
+            argmin(&[2.0, 1.0, 1.0, 5.0]),
+            Some(1),
+            "ties → lowest index"
+        );
+        assert_eq!(argmin(&[f32::NAN, 7.0]), Some(1), "NaN never beats a real");
+        assert_eq!(
+            argmin(&[f32::NAN, f32::NAN]),
+            Some(0),
+            "all-NaN is still deterministic"
+        );
+        assert_eq!(argmin(&[f32::INFINITY, 1e30]), Some(1));
     }
 }

@@ -38,9 +38,12 @@ pub fn argmax(xs: &[f32]) -> Option<usize> {
     best.map(|(i, _)| i)
 }
 
-/// Index of the minimum element; `None` for empty input.
+/// Index of the minimum element; `None` for empty or all-NaN input.
+/// Delegates to [`crate::ops::argmin`] (the `total_cmp` scan shared
+/// with the vector-index plane), then filters its all-NaN sentinel —
+/// one argmin implementation across the crate, two NaN policies.
 pub fn argmin(xs: &[f32]) -> Option<usize> {
-    argmax(&xs.iter().map(|x| -x).collect::<Vec<_>>())
+    crate::ops::argmin(xs).filter(|&i| !xs[i].is_nan())
 }
 
 /// p-th percentile (0..=100) by linear interpolation on the sorted data.

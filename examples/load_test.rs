@@ -16,7 +16,11 @@
 //! the 6× fan-out into at most one embedding per distinct query
 //! template; the table reports each app's cache hit-rate and the run
 //! exits nonzero if the cache never hit (CI runs this as a regression
-//! gate on the ingress plane).
+//! gate on the ingress plane). A second table reports each index-backed
+//! app's vector-plane search counters (searches, probes, candidates
+//! scanned, exact vs ANN), and the run also exits nonzero if the replay
+//! recorded zero index searches — the same style of gate for the
+//! vector search plane.
 
 use querc::apps::summarize::SummaryConfig;
 use querc::apps::{
@@ -137,6 +141,26 @@ fn main() {
         cache.entries,
         cache.evictions
     );
+    // Vector search plane: per-app index stats, next to the cache rates.
+    println!(
+        "\n{:<11} {:>6} {:>9} {:>8} {:>12} {:>11}",
+        "index", "kind", "searches", "probes", "candidates", "cand/search"
+    );
+    let mut index_searches = 0u64;
+    for tp in &drained.throughput {
+        if let Some(ix) = &tp.index {
+            index_searches += ix.searches;
+            println!(
+                "{:<11} {:>6} {:>9} {:>8} {:>12} {:>11.1}",
+                tp.app,
+                if ix.exact { "exact" } else { "ann" },
+                ix.searches,
+                ix.probes,
+                ix.candidates,
+                ix.candidates_per_search()
+            );
+        }
+    }
     println!(
         "training mirror captured {} labeled queries",
         drained.training_log.len()
@@ -147,5 +171,12 @@ fn main() {
     assert!(
         cache.hits > 0,
         "ingress embed cache never hit on a templated trace"
+    );
+    // CI gate: the recommend/summarize apps serve cluster assignment
+    // through the vector search plane; zero recorded searches after a
+    // replay means the index layer silently fell out of the hot path.
+    assert!(
+        index_searches > 0,
+        "vector index plane recorded zero searches during the replay"
     );
 }
