@@ -1,0 +1,194 @@
+//! Persistence-plane benchmark: checkpoint/restore wall time and
+//! snapshot size as the warm embed cache grows (10k and 100k vectors).
+//!
+//! The snapshot payload is dominated by the cached template vectors
+//! (64 floats each here); models and registry state are a fixed few
+//! kilobytes. Alongside the criterion timings, the harness writes
+//! `BENCH_persist.json` at the repo root — absolute wall-times and
+//! byte counts per cache size — so the perf trajectory is tracked
+//! across PRs. A delta append of 1k fresh vectors is timed too: it
+//! must not scale with the size of the existing snapshot's warm set.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use querc::apps::{ResourcesApp, TrainCorpus};
+use querc::{LabeledQuery, WorkloadManager, WorkloadManagerConfig};
+use querc_embed::{BagOfTokens, Embedder};
+use querc_workloads::QueryRecord;
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn training_corpus() -> TrainCorpus {
+    let records: Vec<QueryRecord> = (0..64u64)
+        .map(|i| QueryRecord {
+            sql: format!("select v from kv_store where k = {i}"),
+            user: format!("acct/u{}", i % 4),
+            account: "acct".into(),
+            cluster: "c0".into(),
+            dialect: "generic".into(),
+            runtime_ms: [5.0, 300.0, 2000.0][(i % 3) as usize],
+            mem_mb: 10.0,
+            error_code: None,
+            timestamp: i,
+        })
+        .collect();
+    TrainCorpus::from_records(records, 0xbe7c)
+}
+
+/// One distinct template per `i` — each lands one vector in the cache.
+fn distinct_template(i: usize) -> LabeledQuery {
+    LabeledQuery::new(format!("select c0, c1 from table_{i} where x = 1"))
+}
+
+/// A manager whose embed cache holds exactly `vectors` warm entries.
+fn warm_manager(corpus: &TrainCorpus, vectors: usize) -> WorkloadManager {
+    let mut mgr = WorkloadManager::new(WorkloadManagerConfig {
+        shards_per_app: 2,
+        batch: 256,
+        embed_cache_capacity: 1 << 17,
+        ..Default::default()
+    });
+    let shared: Arc<dyn Embedder> = Arc::new(BagOfTokens::new(64, true));
+    mgr.register(ResourcesApp::new(shared), corpus).unwrap();
+    let mut i = 0;
+    while i < vectors {
+        let chunk = (vectors - i).min(2048);
+        mgr.submit_batch("resources", (i..i + chunk).map(distinct_template))
+            .unwrap();
+        i += chunk;
+    }
+    mgr
+}
+
+struct Measured {
+    vectors: usize,
+    snapshot_bytes: u64,
+    checkpoint_ms: f64,
+    restore_ms: f64,
+    delta_append_ms: f64,
+    delta_bytes: u64,
+}
+
+fn measure(corpus: &TrainCorpus, vectors: usize, path: &PathBuf) -> Measured {
+    let mgr = warm_manager(corpus, vectors);
+
+    let t = Instant::now();
+    mgr.checkpoint(path).unwrap();
+    let checkpoint_ms = t.elapsed().as_secs_f64() * 1e3;
+    let snapshot_bytes = std::fs::metadata(path).unwrap().len();
+
+    // A tenth of the warm set arrives as fresh templates after the full
+    // snapshot → delta append must cost ~that tenth, not the whole set.
+    let delta_n = (vectors / 10).max(16);
+    mgr.submit_batch(
+        "resources",
+        (0..delta_n).map(|i| distinct_template(vectors + i)),
+    )
+    .unwrap();
+    let t = Instant::now();
+    mgr.checkpoint_delta(path).unwrap();
+    let delta_append_ms = t.elapsed().as_secs_f64() * 1e3;
+    let delta_bytes = std::fs::metadata(path).unwrap().len() - snapshot_bytes;
+    drop(mgr.drain());
+
+    let t = Instant::now();
+    let restored = WorkloadManager::restore(
+        path,
+        WorkloadManagerConfig {
+            embed_cache_capacity: 1 << 17,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let restore_ms = t.elapsed().as_secs_f64() * 1e3;
+    drop(restored.drain());
+
+    Measured {
+        vectors,
+        snapshot_bytes,
+        checkpoint_ms,
+        restore_ms,
+        delta_append_ms,
+        delta_bytes,
+    }
+}
+
+fn write_report(rows: &[Measured]) {
+    let mut out =
+        String::from("{\n  \"bench\": \"persist\",\n  \"unit\": \"ms\",\n  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"vectors\": {}, \"snapshot_bytes\": {}, \"checkpoint_ms\": {:.2}, \"restore_ms\": {:.2}, \"delta_append_ms\": {:.2}, \"delta_bytes\": {}}}{}\n",
+            r.vectors,
+            r.snapshot_bytes,
+            r.checkpoint_ms,
+            r.restore_ms,
+            r.delta_append_ms,
+            r.delta_bytes,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    let dest = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_persist.json");
+    std::fs::write(&dest, out).unwrap();
+    println!("wrote {}", dest.display());
+}
+
+fn bench_persist(c: &mut Criterion) {
+    // Smoke mode covers both `--test` runs and the CI bench-smoke step
+    // (`cargo test --benches` runs harness-less benches under the test
+    // profile, where debug_assertions are on): tiny sizes, and the
+    // committed trajectory report is left alone — only a real
+    // `cargo bench` run may rewrite BENCH_persist.json.
+    let test_mode = std::env::args().any(|a| a == "--test") || cfg!(debug_assertions);
+    let corpus = training_corpus();
+    let snap =
+        std::env::temp_dir().join(format!("querc_bench_persist_{}.snap", std::process::id()));
+
+    let sizes: &[usize] = if test_mode {
+        &[256]
+    } else {
+        &[10_000, 100_000]
+    };
+    let rows: Vec<Measured> = sizes.iter().map(|&n| measure(&corpus, n, &snap)).collect();
+    for r in &rows {
+        assert!(r.snapshot_bytes > 0);
+        assert!(
+            r.delta_bytes < r.snapshot_bytes,
+            "a 1k-vector delta must be smaller than the full snapshot"
+        );
+    }
+    if !test_mode {
+        write_report(&rows);
+    }
+
+    // Criterion timings at the small size: steady-state checkpoint and
+    // restore latency, snapshot reused across iterations.
+    let mgr = warm_manager(&corpus, sizes[0]);
+    let mut g = c.benchmark_group("persist");
+    g.sample_size(10);
+    g.bench_function("checkpoint_10k", |b| {
+        b.iter(|| {
+            mgr.checkpoint(&snap).unwrap();
+            black_box(());
+        })
+    });
+    mgr.checkpoint(&snap).unwrap();
+    g.bench_function("restore_10k", |b| {
+        b.iter(|| {
+            let m = WorkloadManager::restore(&snap, WorkloadManagerConfig::default()).unwrap();
+            black_box(m.app_names().len());
+        })
+    });
+    g.finish();
+    drop(mgr.drain());
+    let _ = std::fs::remove_file(&snap);
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_persist
+}
+criterion_main!(benches);

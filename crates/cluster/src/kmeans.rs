@@ -37,7 +37,7 @@ pub fn try_nearest_centroid(point: &[f32], centroids: &[Vec<f32>]) -> Option<usi
 }
 
 /// K-means parameters.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct KMeansConfig {
     pub k: usize,
     /// Maximum Lloyd iterations.
@@ -57,7 +57,7 @@ impl Default for KMeansConfig {
 }
 
 /// Result of a K-means run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct KMeansResult {
     /// Cluster index per input point.
     pub assignments: Vec<usize>,
@@ -229,6 +229,26 @@ mod tests {
             }
         }
         pts
+    }
+
+    #[test]
+    fn kmeans_result_round_trips_through_json() {
+        let mut rng = Pcg32::new(42);
+        let pts = blobs(&mut rng, &[(0.0, 0.0), (6.0, 6.0)], 25, 0.4);
+        let res = kmeans(
+            &pts,
+            &KMeansConfig {
+                k: 2,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        let json = serde_json::to_string(&res).unwrap();
+        let back: KMeansResult = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.assignments, res.assignments);
+        assert_eq!(back.centroids, res.centroids, "centroids are bit-exact");
+        assert_eq!(back.iterations, res.iterations);
+        assert_eq!(back.witnesses(&pts), res.witnesses(&pts));
     }
 
     #[test]

@@ -209,6 +209,38 @@ impl WorkloadApp for AuditApp {
             ],
         }
     }
+
+    fn save_model(&self, model: &SecurityAuditor) -> Option<String> {
+        crate::persist::to_json(&AuditState {
+            labeler: model.user_model.export_state()?,
+            trained_queries: model.trained_queries,
+        })
+    }
+
+    fn load_model(&self, json: &str) -> Result<SecurityAuditor> {
+        let state: AuditState = crate::persist::from_json(json, "audit model")?;
+        let user_model = TrainedLabeler::from_state(state.labeler)?;
+        if user_model.dim() != self.embedder.dim() {
+            return Err(crate::persist::corrupt(format!(
+                "audit model trained at dim {} but embedder has dim {}",
+                user_model.dim(),
+                self.embedder.dim()
+            )));
+        }
+        Ok(SecurityAuditor {
+            embedder: Arc::clone(&self.embedder),
+            user_model,
+            trained_queries: state.trained_queries,
+        })
+    }
+}
+
+/// Serialized form of a [`SecurityAuditor`] — just the labeler; the
+/// embedder is app state and travels in the snapshot's app header.
+#[derive(serde::Serialize, serde::Deserialize)]
+struct AuditState {
+    labeler: crate::classifier::LabelerState,
+    trained_queries: usize,
 }
 
 /// Per-account user-prediction accuracy over held-out records, sorted by
@@ -348,6 +380,32 @@ mod tests {
         assert_eq!(report.app, "audit");
         assert_eq!(report.trained_queries, 40);
         assert!(app.fit(&TrainCorpus::default()).is_err(), "empty corpus");
+    }
+
+    #[test]
+    fn model_round_trips_through_save_load() {
+        let corpus = TrainCorpus::from_records(records(), 7);
+        let app = AuditApp::new(Arc::new(BagOfTokens::new(64, true))).with_trees(15);
+        let model = app.fit(&corpus).unwrap();
+        let json = app
+            .save_model(&model)
+            .expect("forest labeler is persistable");
+        let restored = app.load_model(&json).unwrap();
+        let mut suspicious = EnrichedQuery::from_sql("insert into sensor_stream values (1, 2)");
+        suspicious.set("user", "acct/alice");
+        let clean = EnrichedQuery::from_sql("select revenue from finance_reports where q = 3");
+        let batch = [suspicious, clean];
+        assert_eq!(
+            app.label_batch(&model, &batch).unwrap(),
+            app.label_batch(&restored, &batch).unwrap()
+        );
+        assert_eq!(restored.known_users(), model.known_users());
+        // A dim-mismatched embedder is rejected, not index-panicked on.
+        let narrow = AuditApp::new(Arc::new(BagOfTokens::new(8, true)));
+        assert!(matches!(
+            narrow.load_model(&json),
+            Err(crate::error::QuercError::Corrupt { .. })
+        ));
     }
 
     #[test]

@@ -185,6 +185,39 @@ impl WorkloadApp for ErrorsApp {
             ],
         }
     }
+
+    fn save_model(&self, model: &ErrorsModel) -> Option<String> {
+        crate::persist::to_json(&ErrorsState {
+            forest: model.predictor.model.to_state(),
+            threshold: model.predictor.threshold,
+            trained_queries: model.trained_queries,
+        })
+    }
+
+    fn load_model(&self, json: &str) -> Result<ErrorsModel> {
+        let state: ErrorsState = crate::persist::from_json(json, "errors model")?;
+        crate::persist::check_forest(&state.forest, self.embedder.dim())?;
+        let model =
+            RandomForest::from_state(state.forest).map_err(crate::persist::bad_learn_state)?;
+        Ok(ErrorsModel {
+            predictor: ErrorPredictor {
+                embedder: Arc::clone(&self.embedder),
+                model,
+                threshold: state.threshold,
+            },
+            trained_queries: state.trained_queries,
+        })
+    }
+}
+
+/// Serialized form of an [`ErrorsModel`]. The threshold travels with
+/// the model (it is a label-time decision rule), so a restored model
+/// flags exactly the queries the saved one did.
+#[derive(serde::Serialize, serde::Deserialize)]
+struct ErrorsState {
+    forest: querc_learn::ForestState,
+    threshold: f64,
+    trained_queries: usize,
 }
 
 #[cfg(test)]
@@ -267,6 +300,45 @@ mod tests {
         let p1: f64 = out[1].get("error_probability").unwrap().parse().unwrap();
         assert!(p0 > p1);
         assert_eq!(app.report(&model).app, "errors");
+    }
+
+    #[test]
+    fn model_round_trips_through_save_load() {
+        let corpus = TrainCorpus::from_records(records(0), 3);
+        let app = ErrorsApp::new(Arc::new(querc_embed::BagOfTokens::new(64, true)));
+        let model = app.fit(&corpus).unwrap();
+        let json = app.save_model(&model).expect("forest is persistable");
+        let restored = app.load_model(&json).unwrap();
+        let batch: Vec<EnrichedQuery> = [
+            "select a.*, b.* from giant_facts a join giant_facts b on a.k = b.k where a.x > 7",
+            "select c from small_dim where id = 7",
+        ]
+        .iter()
+        .map(|s| EnrichedQuery::from_sql(*s))
+        .collect();
+        assert_eq!(
+            app.label_batch(&model, &batch).unwrap(),
+            app.label_batch(&restored, &batch).unwrap()
+        );
+        assert_eq!(app.report(&restored), app.report(&model));
+    }
+
+    #[test]
+    fn load_rejects_forest_wider_than_the_embedder() {
+        let corpus = TrainCorpus::from_records(records(0), 3);
+        let wide = ErrorsApp::new(Arc::new(querc_embed::BagOfTokens::new(64, true)));
+        let json = wide.save_model(&wide.fit(&corpus).unwrap()).unwrap();
+        // Restoring under a narrower embedder would index-panic at
+        // label time; it must be rejected up front.
+        let narrow = ErrorsApp::new(Arc::new(querc_embed::BagOfTokens::new(4, true)));
+        assert!(matches!(
+            narrow.load_model(&json),
+            Err(crate::error::QuercError::Corrupt { .. })
+        ));
+        assert!(matches!(
+            wide.load_model("{broken"),
+            Err(crate::error::QuercError::Corrupt { .. })
+        ));
     }
 
     #[test]

@@ -235,6 +235,27 @@ pub trait WorkloadApp: Send + Sync {
 
     /// Describe a fitted model.
     fn report(&self, model: &Self::Model) -> AppReport;
+
+    /// Serialize a fitted model for a snapshot (the persistence plane's
+    /// checkpoint path). `None` — the default — opts the app out of
+    /// persistence: it is skipped at checkpoint time and refits after a
+    /// restore.
+    fn save_model(&self, _model: &Self::Model) -> Option<String> {
+        None
+    }
+
+    /// Rebuild a fitted model from [`WorkloadApp::save_model`] output.
+    /// Implementations must **validate** everything label-time code
+    /// trusts (matrix shapes, index bounds, the embedder's
+    /// dimensionality) and surface [`QuercError::Corrupt`] on anything
+    /// off — a snapshot section that passed its CRC can still be
+    /// adversarially or bit-rot wrong. The restored model must label
+    /// bit-identically to the saved one.
+    fn load_model(&self, _json: &str) -> Result<Self::Model> {
+        Err(QuercError::Corrupt {
+            detail: format!("app `{}` does not support model restore", self.name()),
+        })
+    }
 }
 
 /// Object-safe erasure of [`WorkloadApp`] — what the manager stores.
@@ -260,6 +281,11 @@ pub trait DynWorkloadApp: Send + Sync {
     fn index_stats_dyn(&self, model: &(dyn Any + Send + Sync)) -> Option<querc_index::IndexStats>;
     /// Type-erased [`WorkloadApp::report`].
     fn report_dyn(&self, model: &(dyn Any + Send + Sync)) -> Result<AppReport>;
+    /// Type-erased [`WorkloadApp::save_model`]; `None` when the app opts
+    /// out of persistence (or on a model-type mismatch).
+    fn save_model_dyn(&self, model: &(dyn Any + Send + Sync)) -> Option<String>;
+    /// Type-erased [`WorkloadApp::load_model`].
+    fn load_model_dyn(&self, json: &str) -> Result<Box<dyn Any + Send + Sync>>;
 }
 
 impl<A: WorkloadApp> DynWorkloadApp for A {
@@ -301,6 +327,14 @@ impl<A: WorkloadApp> DynWorkloadApp for A {
                     app: WorkloadApp::name(self).to_string(),
                 })?;
         Ok(self.report(model))
+    }
+
+    fn save_model_dyn(&self, model: &(dyn Any + Send + Sync)) -> Option<String> {
+        self.save_model(model.downcast_ref::<A::Model>()?)
+    }
+
+    fn load_model_dyn(&self, json: &str) -> Result<Box<dyn Any + Send + Sync>> {
+        Ok(Box::new(self.load_model(json)?))
     }
 }
 

@@ -283,6 +283,64 @@ impl WorkloadApp for RecommendApp {
             ],
         }
     }
+
+    fn save_model(&self, model: &QueryRecommender) -> Option<String> {
+        let store = model.centroids.store();
+        let mut flat = Vec::with_capacity(store.len() * store.dim());
+        for row in store.iter() {
+            flat.extend_from_slice(row);
+        }
+        crate::persist::to_json(&RecommendState {
+            dim: store.dim(),
+            centroids: flat,
+            witnesses: model.witnesses.clone(),
+            transitions: model.transitions.clone(),
+            trained_queries: model.trained_queries,
+        })
+    }
+
+    fn load_model(&self, json: &str) -> Result<QueryRecommender> {
+        let state: RecommendState = crate::persist::from_json(json, "recommend model")?;
+        let rows = crate::apps::summarize::restore_centroids(
+            &state.dim,
+            &state.centroids,
+            self.embedder.dim(),
+            "recommend",
+        )?;
+        let kk = rows.len();
+        // next_witness indexes transitions[from][to] and witnesses[to]
+        // unchecked, so both must be exactly kk-sized.
+        if state.witnesses.len() != kk
+            || state.transitions.len() != kk
+            || state.transitions.iter().any(|row| row.len() != kk)
+        {
+            return Err(crate::persist::corrupt(format!(
+                "recommend model shapes disagree: {} centroids, {} witnesses, {}x? transitions",
+                kk,
+                state.witnesses.len(),
+                state.transitions.len()
+            )));
+        }
+        Ok(QueryRecommender {
+            embedder: Arc::clone(&self.embedder),
+            centroids: FlatIndex::from_rows(&rows, Metric::Euclidean),
+            witnesses: state.witnesses,
+            transitions: state.transitions,
+            trained_queries: state.trained_queries,
+        })
+    }
+}
+
+/// Serialized form of a [`QueryRecommender`]: the centroid matrix
+/// (flattened row-major), the witness table, and the `k×k` smoothed
+/// transition-count matrix.
+#[derive(serde::Serialize, serde::Deserialize)]
+struct RecommendState {
+    dim: usize,
+    centroids: Vec<f32>,
+    witnesses: Vec<String>,
+    transitions: Vec<Vec<f64>>,
+    trained_queries: usize,
 }
 
 #[cfg(test)]
@@ -370,6 +428,40 @@ mod tests {
         assert_eq!(report.trained_queries, 100);
         // No histories at all → EmptyCorpus.
         assert!(app.fit(&TrainCorpus::default()).is_err());
+    }
+
+    #[test]
+    fn model_round_trips_through_save_load() {
+        let corpus = TrainCorpus {
+            records: Vec::new(),
+            histories: histories(5, 20),
+            seed: 7,
+        };
+        let app = RecommendApp::new(Arc::new(BagOfTokens::new(64, true))).with_clusters(2);
+        let model = app.fit(&corpus).unwrap();
+        let json = app.save_model(&model).expect("recommender is persistable");
+        let restored = app.load_model(&json).unwrap();
+        let batch: Vec<EnrichedQuery> = [
+            "select v from point_lookup where k = 999",
+            "select g, sum(v) from rollup_facts group by g -- z",
+        ]
+        .iter()
+        .map(|s| EnrichedQuery::from_sql(*s))
+        .collect();
+        assert_eq!(
+            app.label_batch(&model, &batch).unwrap(),
+            app.label_batch(&restored, &batch).unwrap()
+        );
+        assert_eq!(restored.num_clusters(), model.num_clusters());
+
+        // A ragged transition matrix would index-panic in next_witness.
+        let mut state: RecommendState = crate::persist::from_json(&json, "t").unwrap();
+        state.transitions[0].pop();
+        let ragged = crate::persist::to_json(&state).unwrap();
+        assert!(matches!(
+            app.load_model(&ragged),
+            Err(crate::error::QuercError::Corrupt { .. })
+        ));
     }
 
     #[test]

@@ -242,6 +242,44 @@ impl WorkloadApp for ResourcesApp {
             ],
         }
     }
+
+    fn save_model(&self, model: &ResourcesModel) -> Option<String> {
+        crate::persist::to_json(&ResourcesState {
+            forest: model.predictor.model.to_state(),
+            short_below_ms: model.predictor.buckets.short_below_ms,
+            long_above_ms: model.predictor.buckets.long_above_ms,
+            trained_queries: model.trained_queries,
+        })
+    }
+
+    fn load_model(&self, json: &str) -> Result<ResourcesModel> {
+        let state: ResourcesState = crate::persist::from_json(json, "resources model")?;
+        crate::persist::check_forest(&state.forest, self.embedder.dim())?;
+        let model =
+            RandomForest::from_state(state.forest).map_err(crate::persist::bad_learn_state)?;
+        Ok(ResourcesModel {
+            predictor: ResourcePredictor {
+                embedder: Arc::clone(&self.embedder),
+                model,
+                buckets: ResourceBuckets {
+                    short_below_ms: state.short_below_ms,
+                    long_above_ms: state.long_above_ms,
+                },
+            },
+            trained_queries: state.trained_queries,
+        })
+    }
+}
+
+/// Serialized form of a [`ResourcesModel`]: the forest plus the
+/// thresholds its class ids were derived from (flattened — the derive
+/// shim only handles scalar/Vec/String fields).
+#[derive(serde::Serialize, serde::Deserialize)]
+struct ResourcesState {
+    forest: querc_learn::ForestState,
+    short_below_ms: f64,
+    long_above_ms: f64,
+    trained_queries: usize,
 }
 
 #[cfg(test)]
@@ -338,6 +376,33 @@ mod tests {
         assert_eq!(out[0].get("resource_class"), Some("short"));
         assert_eq!(out[1].get("resource_class"), Some("long"));
         assert_eq!(app.report(&model).app, "resources");
+    }
+
+    #[test]
+    fn model_round_trips_through_save_load() {
+        let corpus = TrainCorpus::from_records(records(0), 4);
+        let app = ResourcesApp::new(Arc::new(querc_embed::BagOfTokens::new(64, true)))
+            .with_buckets(ResourceBuckets {
+                short_below_ms: 50.0,
+                long_above_ms: 900.0,
+            });
+        let model = app.fit(&corpus).unwrap();
+        let json = app.save_model(&model).expect("forest is persistable");
+        let restored = app.load_model(&json).unwrap();
+        let batch: Vec<EnrichedQuery> = [
+            "select v from kv_store where k = 999",
+            "select g, count(*) from mid_table where t > 9 group by g",
+            "select a.g, sum(b.v) from big_facts a join big_facts b on a.k = b.k group by a.g",
+        ]
+        .iter()
+        .map(|s| EnrichedQuery::from_sql(*s))
+        .collect();
+        assert_eq!(
+            app.label_batch(&model, &batch).unwrap(),
+            app.label_batch(&restored, &batch).unwrap()
+        );
+        assert!((restored.predictor.buckets.long_above_ms - 900.0).abs() < 1e-12);
+        assert_eq!(app.report(&restored), app.report(&model));
     }
 
     #[test]

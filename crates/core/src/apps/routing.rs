@@ -227,6 +227,43 @@ impl WorkloadApp for RoutingApp {
             ],
         }
     }
+
+    fn save_model(&self, model: &RoutingModel) -> Option<String> {
+        crate::persist::to_json(&RoutingState {
+            forest: model.checker.model.to_state(),
+            labels: model.checker.labels.names().to_vec(),
+            min_confidence: model.checker.min_confidence,
+            trained_queries: model.trained_queries,
+        })
+    }
+
+    fn load_model(&self, json: &str) -> Result<RoutingModel> {
+        let state: RoutingState = crate::persist::from_json(json, "routing model")?;
+        crate::persist::check_forest(&state.forest, self.embedder.dim())?;
+        let model =
+            RandomForest::from_state(state.forest).map_err(crate::persist::bad_learn_state)?;
+        let labels = crate::classifier::LabelMap::from_names(&state.labels)
+            .ok_or_else(|| crate::persist::corrupt("routing model: duplicate cluster names"))?;
+        Ok(RoutingModel {
+            checker: RoutingChecker {
+                embedder: Arc::clone(&self.embedder),
+                model,
+                labels,
+                min_confidence: state.min_confidence,
+            },
+            trained_queries: state.trained_queries,
+        })
+    }
+}
+
+/// Serialized form of a [`RoutingModel`]: the forest, the cluster
+/// vocabulary in class-id order, and the label-time confidence floor.
+#[derive(serde::Serialize, serde::Deserialize)]
+struct RoutingState {
+    forest: querc_learn::ForestState,
+    labels: Vec<String>,
+    min_confidence: f64,
+    trained_queries: usize,
 }
 
 /// Convenience: a plain (embedder, labeler) cluster classifier for use in
@@ -341,6 +378,27 @@ mod tests {
         let report = app.report(&model);
         assert_eq!(report.app, "routing");
         assert_eq!(report.trained_queries, 60);
+    }
+
+    #[test]
+    fn model_round_trips_through_save_load() {
+        let corpus = TrainCorpus::from_records(records(), 5);
+        let app = RoutingApp::new(Arc::new(BagOfTokens::new(64, true))).with_min_confidence(0.55);
+        let model = app.fit(&corpus).unwrap();
+        let json = app.save_model(&model).expect("forest is persistable");
+        let restored = app.load_model(&json).unwrap();
+        let mut misrouted =
+            EnrichedQuery::from_sql("select sum(x) from finance_cube group by dim1");
+        misrouted.set("cluster", "etl-cluster");
+        let clean = EnrichedQuery::from_sql("insert into lake_events select * from staging_1");
+        let batch = [misrouted, clean];
+        assert_eq!(
+            app.label_batch(&model, &batch).unwrap(),
+            app.label_batch(&restored, &batch).unwrap()
+        );
+        // The confidence floor is model state, not app state.
+        assert!((restored.checker.min_confidence - 0.55).abs() < 1e-12);
+        assert_eq!(restored.checker.known_clusters(), 2);
     }
 
     #[test]

@@ -257,6 +257,79 @@ impl WorkloadApp for SummarizeApp {
             ],
         }
     }
+
+    fn save_model(&self, model: &SummaryModel) -> Option<String> {
+        let store = model.centroids.store();
+        let mut flat = Vec::with_capacity(store.len() * store.dim());
+        for row in store.iter() {
+            flat.extend_from_slice(row);
+        }
+        crate::persist::to_json(&SummaryState {
+            dim: store.dim(),
+            centroids: flat,
+            witnesses: model.witnesses.clone(),
+            witness_indices: model.witness_indices.clone(),
+            trained_queries: model.trained_queries,
+        })
+    }
+
+    fn load_model(&self, json: &str) -> Result<SummaryModel> {
+        let state: SummaryState = crate::persist::from_json(json, "summarize model")?;
+        let rows = restore_centroids(
+            &state.dim,
+            &state.centroids,
+            self.embedder.dim(),
+            "summarize",
+        )?;
+        if state.witnesses.len() != rows.len() {
+            return Err(crate::persist::corrupt(format!(
+                "summarize model has {} witnesses for {} centroids",
+                state.witnesses.len(),
+                rows.len()
+            )));
+        }
+        Ok(SummaryModel {
+            centroids: FlatIndex::from_rows(&rows, Metric::Euclidean),
+            witnesses: state.witnesses,
+            witness_indices: state.witness_indices,
+            trained_queries: state.trained_queries,
+        })
+    }
+}
+
+/// Serialized form of a [`SummaryModel`]: centroid rows flattened
+/// row-major (`dim` floats each) plus the witness table.
+#[derive(serde::Serialize, serde::Deserialize)]
+struct SummaryState {
+    dim: usize,
+    centroids: Vec<f32>,
+    witnesses: Vec<String>,
+    witness_indices: Vec<usize>,
+    trained_queries: usize,
+}
+
+/// Unflatten and validate a serialized centroid matrix against the app
+/// embedder's width. Shared with the recommendation app — both restore
+/// a centroid `FlatIndex` that serving will probe with embedder output.
+pub(crate) fn restore_centroids(
+    dim: &usize,
+    flat: &[f32],
+    embedder_dim: usize,
+    app: &str,
+) -> Result<Vec<Vec<f32>>> {
+    let dim = *dim;
+    if dim == 0 || dim != embedder_dim {
+        return Err(crate::persist::corrupt(format!(
+            "{app} model centroids have dim {dim} but embedder has dim {embedder_dim}"
+        )));
+    }
+    if flat.is_empty() || !flat.len().is_multiple_of(dim) {
+        return Err(crate::persist::corrupt(format!(
+            "{app} model centroid matrix has {} floats, not a positive multiple of dim {dim}",
+            flat.len()
+        )));
+    }
+    Ok(flat.chunks_exact(dim).map(<[f32]>::to_vec).collect())
 }
 
 #[cfg(test)]
@@ -396,6 +469,59 @@ mod tests {
             "insert and lookup should not share a cluster"
         );
         assert_eq!(app.report(&model).app, "summarize");
+    }
+
+    #[test]
+    fn model_round_trips_through_save_load() {
+        use querc_workloads::QueryRecord;
+        let records: Vec<QueryRecord> = mixed_workload()
+            .iter()
+            .enumerate()
+            .map(|(i, sql)| QueryRecord {
+                sql: sql.clone(),
+                user: "u".into(),
+                account: "a".into(),
+                cluster: "c".into(),
+                dialect: "generic".into(),
+                runtime_ms: 1.0,
+                mem_mb: 1.0,
+                error_code: None,
+                timestamp: i as u64,
+            })
+            .collect();
+        let corpus = TrainCorpus::from_records(records, 11);
+        let app =
+            SummarizeApp::new(Arc::new(BagOfTokens::new(128, true))).with_config(SummaryConfig {
+                k: Some(6),
+                ..Default::default()
+            });
+        let model = app.fit(&corpus).unwrap();
+        let json = app.save_model(&model).expect("centroids are persistable");
+        let restored = app.load_model(&json).unwrap();
+        let batch: Vec<EnrichedQuery> = [
+            "insert into raw_events values (99, 'x')",
+            "select * from users where user_id = 99",
+            "select c1, sum(v) from sales_orders where d > 9 group by c1",
+        ]
+        .iter()
+        .map(|s| EnrichedQuery::from_sql(*s))
+        .collect();
+        assert_eq!(
+            app.label_batch(&model, &batch).unwrap(),
+            app.label_batch(&restored, &batch).unwrap()
+        );
+        assert_eq!(restored.witnesses(), model.witnesses());
+        assert_eq!(restored.witness_indices, model.witness_indices);
+
+        // Witness/centroid count mismatch would index-panic at label
+        // time; the restore path must reject it instead.
+        let mut state: SummaryState = crate::persist::from_json(&json, "t").unwrap();
+        state.witnesses.pop();
+        let truncated = crate::persist::to_json(&state).unwrap();
+        assert!(matches!(
+            app.load_model(&truncated),
+            Err(crate::error::QuercError::Corrupt { .. })
+        ));
     }
 
     #[test]

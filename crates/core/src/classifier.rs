@@ -59,6 +59,24 @@ impl LabelMap {
     pub fn is_empty(&self) -> bool {
         self.names.is_empty()
     }
+
+    /// Label names in id order (`names()[id as usize]` is `name(id)`).
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Rebuild a map from names in id order — the inverse of
+    /// [`LabelMap::names`]. Returns `None` when the list repeats a name
+    /// (ids would silently shift), which a well-formed export never does.
+    pub fn from_names(names: &[String]) -> Option<LabelMap> {
+        let mut map = LabelMap::default();
+        for (i, n) in names.iter().enumerate() {
+            if map.intern(n) != i as u32 {
+                return None;
+            }
+        }
+        Some(map)
+    }
 }
 
 /// A trained labeler: a `querc-learn` model plus its label vocabulary.
@@ -172,6 +190,56 @@ impl TrainedLabeler {
     pub fn labels(&self) -> &LabelMap {
         &self.labels
     }
+
+    /// Serialize for a snapshot. `None` when the underlying model has no
+    /// persistence support (it then simply refits after a restore).
+    pub fn export_state(&self) -> Option<LabelerState> {
+        Some(LabelerState {
+            classifier: self.model.export_state()?,
+            labels: self.labels.names().to_vec(),
+            dim: self.dim,
+        })
+    }
+
+    /// Rebuild from [`TrainedLabeler::export_state`] output, validating
+    /// the model's shape against `state.dim` so a corrupt-but-parseable
+    /// snapshot surfaces [`QuercError::Corrupt`] instead of an index
+    /// panic at label time. The restored labeler predicts bit-identically
+    /// to the exported one.
+    pub fn from_state(state: LabelerState) -> Result<TrainedLabeler> {
+        if state.dim == 0 {
+            return Err(QuercError::Corrupt {
+                detail: "labeler state: dim must be positive".to_string(),
+            });
+        }
+        crate::persist::check_classifier_dim(&state.classifier, state.dim)?;
+        let labels = LabelMap::from_names(&state.labels).ok_or_else(|| QuercError::Corrupt {
+            detail: "labeler state: duplicate label names".to_string(),
+        })?;
+        let model = state
+            .classifier
+            .into_classifier()
+            .map_err(|e| QuercError::Corrupt {
+                detail: format!("labeler state: {e}"),
+            })?;
+        Ok(TrainedLabeler {
+            model,
+            labels,
+            dim: state.dim,
+        })
+    }
+}
+
+/// Serializable snapshot of a [`TrainedLabeler`]: the model's exported
+/// state plus the label vocabulary and training dimensionality.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct LabelerState {
+    /// The underlying `querc-learn` model's snapshot.
+    pub classifier: querc_learn::ClassifierState,
+    /// Label names in class-id order.
+    pub labels: Vec<String>,
+    /// Input dimensionality the labeler was trained on.
+    pub dim: usize,
 }
 
 /// A deployable classifier: (embedder, labeler) with the label name it
@@ -240,6 +308,11 @@ impl QueryClassifier {
     /// The embedder half (shared across classifiers).
     pub fn embedder(&self) -> &Arc<dyn Embedder> {
         &self.embedder
+    }
+
+    /// The labeler half — what the persistence plane snapshots.
+    pub fn labeler(&self) -> &TrainedLabeler {
+        &self.labeler
     }
 }
 
@@ -434,6 +507,51 @@ mod tests {
                 got: 7,
                 ..
             })
+        ));
+    }
+
+    #[test]
+    fn labeler_state_round_trips_bit_identically() {
+        let clf = train_demo_classifier();
+        let state = clf.labeler().export_state().expect("forest is persistable");
+        let restored = TrainedLabeler::from_state(state).unwrap();
+        for sql in [
+            "select col2 from sales_orders where x = 11",
+            "insert into app_logs values (3, 'event')",
+        ] {
+            let v = clf.embedder().embed_sql(sql);
+            assert_eq!(clf.labeler().predict(&v), restored.predict(&v));
+        }
+        assert_eq!(restored.dim(), clf.labeler().dim());
+        assert_eq!(restored.labels().names(), clf.labeler().labels().names());
+    }
+
+    #[test]
+    fn labeler_state_rejects_bad_shapes() {
+        let clf = train_demo_classifier();
+        let good = clf.labeler().export_state().unwrap();
+
+        // A forest splitting on features past the advertised dim would
+        // index-panic at predict time; restore must reject it instead.
+        let mut narrow = good.clone();
+        narrow.dim = 1;
+        assert!(matches!(
+            TrainedLabeler::from_state(narrow),
+            Err(QuercError::Corrupt { .. })
+        ));
+
+        let mut dup = good.clone();
+        dup.labels = vec!["x".to_string(), "x".to_string()];
+        assert!(matches!(
+            TrainedLabeler::from_state(dup),
+            Err(QuercError::Corrupt { .. })
+        ));
+
+        let mut zero = good;
+        zero.dim = 0;
+        assert!(matches!(
+            TrainedLabeler::from_state(zero),
+            Err(QuercError::Corrupt { .. })
         ));
     }
 }

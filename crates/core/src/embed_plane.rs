@@ -328,6 +328,36 @@ impl EmbedPlane {
         self.len() == 0
     }
 
+    /// Export every cached entry as `(namespace, fingerprint, vector)`
+    /// triples — the persistence plane's checkpoint source. Within each
+    /// shard entries come out **coldest first**, so feeding the list back
+    /// through [`EmbedPlane::preload`] (which inserts in order) rebuilds
+    /// the same per-shard recency: the hottest entries end up most
+    /// recently inserted and survive any subsequent eviction pressure.
+    pub fn export(&self) -> Vec<(u64, u64, Vec<f32>)> {
+        let mut out = Vec::with_capacity(self.len());
+        for shard in &self.shards {
+            let s = shard.lock();
+            let mut i = s.tail;
+            while i != NIL {
+                let slot = &s.slots[i];
+                out.push((slot.key.0, slot.key.1, slot.value.as_ref().clone()));
+                i = slot.prev;
+            }
+        }
+        out
+    }
+
+    /// Insert exported entries in order (restore path). Counts neither
+    /// hits nor misses, so post-restore hit-rate measurements start
+    /// clean; evictions (a smaller cache than the one exported) still
+    /// count.
+    pub fn preload(&self, entries: &[(u64, u64, Vec<f32>)]) {
+        for (ns, fp, v) in entries {
+            self.insert(*ns, *fp, Arc::new(v.clone()));
+        }
+    }
+
     /// Live counters plus the current entry count.
     pub fn stats(&self) -> EmbedCacheStats {
         EmbedCacheStats {
@@ -488,6 +518,37 @@ mod tests {
             batch[0].vector_for(bow.cache_namespace()).unwrap(),
             &sentinel
         ));
+    }
+
+    #[test]
+    fn export_preload_round_trips_entries_and_recency() {
+        // One shard so the recency order is globally observable.
+        let p = plane(3, 1);
+        for fp in 0..3u64 {
+            p.insert(9, fp, Arc::new(vec![fp as f32, 0.5]));
+        }
+        p.get(9, 0); // 0 hottest; coldest is now 1.
+        let dump = p.export();
+        assert_eq!(dump.len(), 3);
+        assert_eq!(dump[0].1, 1, "coldest first");
+        assert_eq!(dump[2].1, 0, "hottest last");
+
+        let fresh = plane(3, 1);
+        fresh.preload(&dump);
+        assert_eq!(fresh.len(), 3);
+        for fp in 0..3u64 {
+            assert_eq!(*fresh.get(9, fp).unwrap(), vec![fp as f32, 0.5]);
+        }
+        // Preload itself counted no lookups (the three gets above did).
+        assert_eq!(fresh.stats().misses, 0);
+
+        // Restoring into a smaller cache keeps the *hottest* entries.
+        let small = plane(2, 1);
+        small.preload(&dump);
+        assert_eq!(small.len(), 2);
+        assert!(small.get(9, 1).is_none(), "coldest dropped");
+        assert!(small.get(9, 0).is_some());
+        assert!(small.get(9, 2).is_some());
     }
 
     #[test]

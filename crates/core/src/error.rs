@@ -75,6 +75,14 @@ pub enum QuercError {
         /// Human-readable failure description.
         message: String,
     },
+    /// A snapshot failed validation: bad magic, CRC mismatch,
+    /// truncation, or structurally-valid bytes that decode to an
+    /// inconsistent state (e.g. out-of-range tree indices). Restore
+    /// never panics on corrupt input — it reports this.
+    Corrupt {
+        /// What failed to validate, and where.
+        detail: String,
+    },
 }
 
 impl fmt::Display for QuercError {
@@ -113,6 +121,9 @@ impl fmt::Display for QuercError {
             QuercError::Training { context, message } => {
                 write!(f, "{context}: {message}")
             }
+            QuercError::Corrupt { detail } => {
+                write!(f, "corrupt snapshot: {detail}")
+            }
         }
     }
 }
@@ -124,6 +135,18 @@ impl From<querc_learn::LearnError> for QuercError {
         QuercError::Training {
             context: "learn",
             message: e.to_string(),
+        }
+    }
+}
+
+impl From<querc_persist::PersistError> for QuercError {
+    fn from(e: querc_persist::PersistError) -> QuercError {
+        match e {
+            querc_persist::PersistError::Corrupt { detail } => QuercError::Corrupt { detail },
+            querc_persist::PersistError::Io { detail } => QuercError::Training {
+                context: "persist.io",
+                message: detail,
+            },
         }
     }
 }

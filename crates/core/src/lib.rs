@@ -42,8 +42,18 @@
 //!   counters (probes, candidates scanned, exact vs ANN) surface in
 //!   [`service::AppThroughput::index`] next to the embed-cache
 //!   hit-rates;
+//! * the whole serving stack is **restartable**:
+//!   [`service::WorkloadManager::checkpoint`] writes a versioned,
+//!   per-section-checksummed snapshot (`querc-persist`) of every fitted
+//!   app, the registry's pinned versions and history, and the warm
+//!   embed-cache entries; [`service::WorkloadManager::restore`] brings
+//!   it all back — bit-identical labels without refitting, warm cache
+//!   from the first batch — and
+//!   [`service::WorkloadManager::checkpoint_delta`] appends
+//!   newly-cached vectors between full checkpoints;
 //! * every fallible surface reports [`error::QuercError`] instead of
-//!   panicking.
+//!   panicking — a torn or hand-edited snapshot included
+//!   ([`error::QuercError::Corrupt`]).
 //!
 //! The only message type between components is a query plus labels —
 //! [`labeled::LabeledQuery`], the `(Q, c1, c2, …)` tuple of the paper's
@@ -59,20 +69,21 @@ pub mod enriched;
 pub mod error;
 pub mod histogram;
 pub mod labeled;
+mod persist;
 pub mod qworker;
 pub mod registry;
 pub mod service;
 pub mod training;
 
 pub use apps::{AppOutput, AppReport, TrainCorpus, WorkloadApp};
-pub use classifier::{LabelMap, QueryClassifier, TrainedLabeler};
+pub use classifier::{LabelMap, LabelerState, QueryClassifier, TrainedLabeler};
 pub use embed_plane::{EmbedCacheStats, EmbedPlane, EmbedPlaneConfig};
 pub use enriched::EnrichedQuery;
 pub use error::{QuercError, Result};
 pub use histogram::{LatencyHistogram, LatencySnapshot};
 pub use labeled::LabeledQuery;
 pub use qworker::{Qworker, QworkerMode, TimedQuery};
-pub use registry::ModelRegistry;
+pub use registry::{ModelRegistry, RegistryEvent};
 pub use service::{
     routing_key, shard_for, AppThroughput, FittedApp, ServiceDrain, WorkloadManager,
     WorkloadManagerConfig,

@@ -1,0 +1,194 @@
+//! Persistence-plane glue: the JSON section payloads stored inside a
+//! `querc-persist` snapshot, and the shared validation helpers restore
+//! paths use.
+//!
+//! The container (`querc_persist::Snapshot`) guarantees sections arrive
+//! byte-identical or not at all (per-section CRCs); everything *inside*
+//! a section is still untrusted once parsed — a stale or hand-edited
+//! snapshot can carry shapes the serving hot paths would index-panic
+//! on. Every restore helper here therefore validates against the live
+//! configuration (embedder dims, arena bounds, matrix shapes) and
+//! reports [`QuercError::Corrupt`] instead.
+
+use crate::apps::{
+    AuditApp, DynWorkloadApp, ErrorsApp, RecommendApp, ResourcesApp, RoutingApp, SummarizeApp,
+};
+use crate::classifier::LabelerState;
+use crate::error::{QuercError, Result};
+use crate::registry::RegistryEvent;
+use querc_embed::Embedder;
+use querc_learn::{ClassifierState, ForestState, TreeState};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Build a [`QuercError::Corrupt`] with a formatted detail message.
+pub(crate) fn corrupt(detail: impl Into<String>) -> QuercError {
+    QuercError::Corrupt {
+        detail: detail.into(),
+    }
+}
+
+/// Serialize a section payload. `None` only if the shim serializer
+/// fails, which no exported state does.
+pub(crate) fn to_json<T: serde::Serialize>(value: &T) -> Option<String> {
+    serde_json::to_string(value).ok()
+}
+
+/// Parse a section payload, mapping any schema mismatch to
+/// [`QuercError::Corrupt`] tagged with the section being read.
+pub(crate) fn from_json<T: serde::de::DeserializeOwned>(json: &str, what: &str) -> Result<T> {
+    serde_json::from_str(json).map_err(|e| corrupt(format!("{what}: {e}")))
+}
+
+/// Decode a section's bytes as UTF-8 (all payloads are JSON text).
+pub(crate) fn utf8<'a>(bytes: &'a [u8], what: &str) -> Result<&'a str> {
+    std::str::from_utf8(bytes).map_err(|_| corrupt(format!("{what}: payload is not UTF-8")))
+}
+
+/// Map a `querc-learn` restore failure into [`QuercError::Corrupt`].
+pub(crate) fn bad_learn_state(e: querc_learn::LearnError) -> QuercError {
+    corrupt(e.to_string())
+}
+
+/// Reject any tree that splits on a feature column past `dim` — the
+/// inference path indexes `v[feature]` unchecked.
+pub(crate) fn check_tree(tree: &TreeState, dim: usize) -> Result<()> {
+    for n in &tree.nodes {
+        if !n.leaf && n.feature >= dim {
+            return Err(corrupt(format!(
+                "tree splits on feature {} but vectors have dim {dim}",
+                n.feature
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// [`check_tree`] over every tree of a forest.
+pub(crate) fn check_forest(forest: &ForestState, dim: usize) -> Result<()> {
+    forest.trees.iter().try_for_each(|t| check_tree(t, dim))
+}
+
+/// Validate a classifier snapshot against the dimensionality its owner
+/// will feed it. (Shape *consistency* — weight lengths, arena indices —
+/// is `querc-learn`'s job on `from_state`; this checks the one thing
+/// only the owner knows: the input width.)
+pub(crate) fn check_classifier_dim(state: &ClassifierState, dim: usize) -> Result<()> {
+    match state {
+        ClassifierState::Forest(f) => check_forest(f, dim),
+        ClassifierState::Tree(t) => check_tree(t, dim),
+        ClassifierState::Knn(k) => {
+            // dim == 0 marks an empty training set: nothing to scan, any
+            // probe width is safely answered by the majority class.
+            if k.dim == 0 || k.dim == dim {
+                Ok(())
+            } else {
+                Err(corrupt(format!(
+                    "knn trained at dim {} but vectors have dim {dim}",
+                    k.dim
+                )))
+            }
+        }
+        ClassifierState::Softmax(s) => {
+            if s.cols == dim + 1 {
+                Ok(())
+            } else {
+                Err(corrupt(format!(
+                    "softmax has {} columns but vectors have dim {dim} (want dim+1)",
+                    s.cols
+                )))
+            }
+        }
+    }
+}
+
+/// The `manifest` section: what the snapshot claims to contain, used to
+/// detect sections lost to truncation-with-a-rewritten-footer.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub(crate) struct ManifestState {
+    /// Names of the `app:<name>` sections written.
+    pub(crate) apps: Vec<String>,
+    /// Names of the registry deployments serialized.
+    pub(crate) classifiers: Vec<String>,
+}
+
+/// One serialized registry deployment.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub(crate) struct DeploymentState {
+    /// Registry key.
+    pub(crate) name: String,
+    /// Pinned version number at checkpoint time.
+    pub(crate) version: u64,
+    /// The label this classifier attaches.
+    pub(crate) label_name: String,
+    /// Embedder family tag (`querc_embed::io::restore_embedder` input).
+    pub(crate) embedder_kind: String,
+    /// Embedder weights, serialized.
+    pub(crate) embedder_json: String,
+    /// The labeler half.
+    pub(crate) labeler: LabelerState,
+}
+
+/// The `registry` section: deployments plus the event history.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub(crate) struct RegistryState {
+    /// Serializable deployments (non-persistable ones are skipped).
+    pub(crate) deployments: Vec<DeploymentState>,
+    /// Full deploy/undeploy history, oldest first.
+    pub(crate) events: Vec<RegistryEvent>,
+}
+
+/// One `app:<name>` section: the app's embedder spec plus its fitted
+/// model as produced by [`crate::apps::WorkloadApp::save_model`].
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub(crate) struct AppState {
+    /// Registration key; must match the section's name suffix.
+    pub(crate) app: String,
+    /// Embedder family tag.
+    pub(crate) embedder_kind: String,
+    /// Embedder weights, serialized.
+    pub(crate) embedder_json: String,
+    /// The app's model payload (opaque to this layer).
+    pub(crate) model_json: String,
+}
+
+/// Restores embedders from `(kind, json)` specs, deduplicating by spec
+/// so apps and classifiers that shared one embedder at checkpoint time
+/// share one `Arc` (and one cache namespace's memory) after restore.
+#[derive(Default)]
+pub(crate) struct EmbedderCache {
+    map: HashMap<(String, String), Arc<dyn Embedder>>,
+}
+
+impl EmbedderCache {
+    pub(crate) fn restore(&mut self, kind: &str, json: &str) -> Result<Arc<dyn Embedder>> {
+        let key = (kind.to_string(), json.to_string());
+        if let Some(e) = self.map.get(&key) {
+            return Ok(Arc::clone(e));
+        }
+        let e = querc_embed::io::restore_embedder(kind, json)
+            .map_err(|err| corrupt(format!("embedder {kind:?}: {err}")))?;
+        self.map.insert(key, Arc::clone(&e));
+        Ok(e)
+    }
+}
+
+/// Rebuild the app *configuration* for a snapshot section. Label-time
+/// knobs (audit thresholds, routing confidence floors) live inside the
+/// serialized **model**, so the default-constructed app is behaviorally
+/// complete once `load_model` runs; fit-only knobs (tree counts, k)
+/// don't matter to a restored model and stay at their defaults.
+pub(crate) fn restore_app(
+    name: &str,
+    embedder: Arc<dyn Embedder>,
+) -> Result<Box<dyn DynWorkloadApp>> {
+    Ok(match name {
+        "audit" => Box::new(AuditApp::new(embedder)),
+        "errors" => Box::new(ErrorsApp::new(embedder)),
+        "recommend" => Box::new(RecommendApp::new(embedder)),
+        "resources" => Box::new(ResourcesApp::new(embedder)),
+        "routing" => Box::new(RoutingApp::new(embedder)),
+        "summarize" => Box::new(SummarizeApp::new(embedder)),
+        other => return Err(corrupt(format!("unknown app in snapshot: {other:?}"))),
+    })
+}

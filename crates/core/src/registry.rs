@@ -10,10 +10,23 @@ use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::Arc;
 
+/// One entry in the registry's deployment history — what the
+/// persistence plane snapshots so version numbers survive a restore.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct RegistryEvent {
+    /// `"deploy"` or `"undeploy"`.
+    pub action: String,
+    /// Classifier name the event concerns.
+    pub name: String,
+    /// Version deployed, or the last live version for an undeploy.
+    pub version: u64,
+}
+
 /// A named, versioned store of deployed classifiers.
 #[derive(Default)]
 pub struct ModelRegistry {
     inner: RwLock<HashMap<String, (u64, Arc<QueryClassifier>)>>,
+    events: RwLock<Vec<RegistryEvent>>,
 }
 
 impl ModelRegistry {
@@ -25,9 +38,16 @@ impl ModelRegistry {
     /// Deploy (or replace) a classifier under `name`; returns the new
     /// version number (1 for first deployment).
     pub fn deploy(&self, name: &str, classifier: QueryClassifier) -> u64 {
+        // Lock order (inner, then events) is shared by every writer, so
+        // the history's ordering matches the versions handed out.
         let mut inner = self.inner.write();
         let version = inner.get(name).map(|(v, _)| v + 1).unwrap_or(1);
         inner.insert(name.to_string(), (version, Arc::new(classifier)));
+        self.events.write().push(RegistryEvent {
+            action: "deploy".to_string(),
+            name: name.to_string(),
+            version,
+        });
         version
     }
 
@@ -59,7 +79,39 @@ impl ModelRegistry {
 
     /// Remove a deployment.
     pub fn undeploy(&self, name: &str) -> bool {
-        self.inner.write().remove(name).is_some()
+        let mut inner = self.inner.write();
+        match inner.remove(name) {
+            Some((version, _)) => {
+                self.events.write().push(RegistryEvent {
+                    action: "undeploy".to_string(),
+                    name: name.to_string(),
+                    version,
+                });
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The full deploy/undeploy history, oldest first.
+    pub fn history(&self) -> Vec<RegistryEvent> {
+        self.events.read().clone()
+    }
+
+    /// Re-install a deployment at an **explicit** version — the restore
+    /// path, which must pin the version a snapshot recorded rather than
+    /// restart counting at 1. Subsequent [`ModelRegistry::deploy`] calls
+    /// bump from the pinned version. Records no event; the snapshot's
+    /// history comes back through [`ModelRegistry::restore_history`].
+    pub fn restore_deployment(&self, name: &str, version: u64, classifier: QueryClassifier) {
+        self.inner
+            .write()
+            .insert(name.to_string(), (version, Arc::new(classifier)));
+    }
+
+    /// Replace the event log with a snapshot's history (restore path).
+    pub fn restore_history(&self, events: Vec<RegistryEvent>) {
+        *self.events.write() = events;
     }
 }
 
@@ -149,5 +201,47 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(reg.version("user"), Some(21));
+    }
+
+    #[test]
+    fn history_records_deploys_and_undeploys_in_order() {
+        let reg = ModelRegistry::new();
+        reg.deploy("user", dummy_classifier("a"));
+        reg.deploy("user", dummy_classifier("b"));
+        reg.deploy("cluster", dummy_classifier("c"));
+        reg.undeploy("user");
+        reg.undeploy("ghost"); // no-op: must not be recorded
+        let ev = reg.history();
+        let brief: Vec<(String, String, u64)> = ev
+            .into_iter()
+            .map(|e| (e.action, e.name, e.version))
+            .collect();
+        assert_eq!(
+            brief,
+            vec![
+                ("deploy".into(), "user".into(), 1),
+                ("deploy".into(), "user".into(), 2),
+                ("deploy".into(), "cluster".into(), 1),
+                ("undeploy".into(), "user".into(), 2),
+            ]
+        );
+    }
+
+    #[test]
+    fn restore_deployment_pins_the_version() {
+        let reg = ModelRegistry::new();
+        reg.restore_deployment("user", 7, dummy_classifier("a"));
+        assert_eq!(reg.version("user"), Some(7));
+        assert_eq!(reg.get("user").unwrap().label_sql("select 1"), "a");
+        // History restore replaces the log wholesale…
+        reg.restore_history(vec![RegistryEvent {
+            action: "deploy".to_string(),
+            name: "user".to_string(),
+            version: 7,
+        }]);
+        // …and later deploys bump from the pinned version and append.
+        assert_eq!(reg.deploy("user", dummy_classifier("b")), 8);
+        assert_eq!(reg.history().len(), 2);
+        assert_eq!(reg.history()[1].version, 8);
     }
 }

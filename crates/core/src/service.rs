@@ -55,9 +55,11 @@ use crate::labeled::LabeledQuery;
 use crate::qworker::{Qworker, QworkerMode, TimedQuery};
 use crate::registry::ModelRegistry;
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use parking_lot::Mutex;
 use querc_embed::Embedder;
 use std::any::Any;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashSet};
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -130,6 +132,23 @@ impl FittedApp {
     /// The fitted model's self-description.
     pub fn report(&self) -> Result<AppReport> {
         self.app.report_dyn(self.model.as_ref())
+    }
+
+    /// Reassemble a fitted app from restored parts — the
+    /// [`WorkloadManager::restore`] path, where the model comes out of a
+    /// snapshot instead of a fit.
+    pub fn from_parts(
+        app: Box<dyn DynWorkloadApp>,
+        model: Box<dyn Any + Send + Sync>,
+    ) -> FittedApp {
+        FittedApp { app, model }
+    }
+
+    /// Serialize the fitted model for a snapshot, if the app supports
+    /// persistence (see [`WorkloadApp::save_model`]). `None` means the
+    /// app is skipped at checkpoint time and refits after a restore.
+    pub fn save_model(&self) -> Option<String> {
+        self.app.save_model_dyn(self.model.as_ref())
     }
 }
 
@@ -307,6 +326,11 @@ pub struct WorkloadManager {
     apps: BTreeMap<String, AppEntry>,
     carryover: BTreeMap<String, Carryover>,
     cfg: WorkloadManagerConfig,
+    /// `(namespace, fingerprint)` cache keys already captured by the
+    /// last full [`WorkloadManager::checkpoint`] (or appended by a
+    /// [`WorkloadManager::checkpoint_delta`]) — what makes deltas
+    /// incremental instead of rewriting the warm set every time.
+    persisted_keys: Mutex<HashSet<(u64, u64)>>,
 }
 
 impl WorkloadManager {
@@ -324,6 +348,7 @@ impl WorkloadManager {
             apps: BTreeMap::new(),
             carryover: BTreeMap::new(),
             cfg,
+            persisted_keys: Mutex::new(HashSet::new()),
         }
     }
 
@@ -575,6 +600,239 @@ impl WorkloadManager {
     /// Reports for every registered app, sorted by app name.
     pub fn reports(&self) -> Result<Vec<AppReport>> {
         self.apps.values().map(|e| e.fitted.report()).collect()
+    }
+
+    /// Write a full, versioned snapshot of the serving stack to `path`:
+    /// every persistable fitted app (embedder weights + model), the
+    /// registry's deployments **with their pinned version numbers** and
+    /// full deploy/undeploy history, and the warm entries of the shared
+    /// embed cache. The write is atomic (tmp file + rename) and every
+    /// section carries its own CRC, so a crash mid-checkpoint leaves the
+    /// previous snapshot intact and a torn copy reads back as
+    /// [`QuercError::Corrupt`], never as silently-wrong models.
+    ///
+    /// Apps whose embedder doesn't serialize
+    /// ([`querc_embed::Embedder::export_spec`] returns `None`) or whose
+    /// model doesn't ([`WorkloadApp::save_model`] returns `None`) are
+    /// skipped — they simply refit after a restore. Registry
+    /// deployments are skipped on the same terms.
+    ///
+    /// In-flight queries sitting on shard queues are **not** part of a
+    /// snapshot; checkpoint after [`WorkloadManager::drain`] or at a
+    /// quiesced moment if the queue contents matter.
+    pub fn checkpoint(&self, path: impl AsRef<Path>) -> Result<()> {
+        use crate::persist::{self, AppState, DeploymentState, ManifestState, RegistryState};
+        let encode_failed = || persist::corrupt("snapshot payload failed to serialize");
+
+        let mut deployments = Vec::new();
+        for name in self.registry.names() {
+            let Some(classifier) = self.registry.get(&name) else {
+                continue;
+            };
+            let Some(version) = self.registry.version(&name) else {
+                continue;
+            };
+            let Some((kind, embedder_json)) = classifier.embedder().export_spec() else {
+                continue;
+            };
+            let Some(labeler) = classifier.labeler().export_state() else {
+                continue;
+            };
+            deployments.push(DeploymentState {
+                name,
+                version,
+                label_name: classifier.label_name.clone(),
+                embedder_kind: kind.to_string(),
+                embedder_json,
+                labeler,
+            });
+        }
+        let registry = RegistryState {
+            events: self.registry.history(),
+            deployments,
+        };
+
+        let mut app_names = Vec::new();
+        let mut app_sections = Vec::new();
+        for (name, entry) in &self.apps {
+            let Some(embedder) = &entry.embedder else {
+                continue;
+            };
+            let Some((kind, embedder_json)) = embedder.export_spec() else {
+                continue;
+            };
+            let Some(model_json) = entry.fitted.save_model() else {
+                continue;
+            };
+            app_names.push(name.clone());
+            app_sections.push((
+                format!("app:{name}"),
+                AppState {
+                    app: name.clone(),
+                    embedder_kind: kind.to_string(),
+                    embedder_json,
+                    model_json,
+                },
+            ));
+        }
+
+        let manifest = ManifestState {
+            apps: app_names,
+            classifiers: registry
+                .deployments
+                .iter()
+                .map(|d| d.name.clone())
+                .collect(),
+        };
+        let cache_entries = self.plane.as_ref().map(|p| p.export()).unwrap_or_default();
+
+        let mut snap = querc_persist::Snapshot::new();
+        snap.add_section(
+            "manifest",
+            persist::to_json(&manifest).ok_or_else(encode_failed)?,
+        );
+        snap.add_section(
+            "registry",
+            persist::to_json(&registry).ok_or_else(encode_failed)?,
+        );
+        for (section, state) in &app_sections {
+            snap.add_section(section, persist::to_json(state).ok_or_else(encode_failed)?);
+        }
+        snap.add_section(
+            "embed_cache",
+            persist::to_json(&cache_entries).ok_or_else(encode_failed)?,
+        );
+        snap.write_to(path)?;
+
+        // A full snapshot resets the delta baseline: only keys cached
+        // after this point belong in the next checkpoint_delta.
+        let mut keys = self.persisted_keys.lock();
+        keys.clear();
+        keys.extend(cache_entries.iter().map(|(ns, fp, _)| (*ns, *fp)));
+        Ok(())
+    }
+
+    /// Append the embed-cache entries cached **since the last
+    /// [`WorkloadManager::checkpoint`]** (or `checkpoint_delta`) to an
+    /// existing snapshot at `path` — the cheap between-checkpoints way
+    /// to keep the warm set current without rewriting models that
+    /// haven't changed. No-op when nothing new was cached. A restore
+    /// replays deltas in append order on top of the full snapshot's
+    /// entries, so recency survives too.
+    pub fn checkpoint_delta(&self, path: impl AsRef<Path>) -> Result<()> {
+        use crate::persist;
+        let mut keys = self.persisted_keys.lock();
+        let fresh: Vec<(u64, u64, Vec<f32>)> = self
+            .plane
+            .as_ref()
+            .map(|p| p.export())
+            .unwrap_or_default()
+            .into_iter()
+            .filter(|(ns, fp, _)| !keys.contains(&(*ns, *fp)))
+            .collect();
+        if fresh.is_empty() {
+            return Ok(());
+        }
+        let payload = persist::to_json(&fresh)
+            .ok_or_else(|| persist::corrupt("snapshot payload failed to serialize"))?;
+        querc_persist::append_to(
+            path,
+            &[("embed_cache_delta".to_string(), payload.into_bytes())],
+        )?;
+        keys.extend(fresh.iter().map(|(ns, fp, _)| (*ns, *fp)));
+        Ok(())
+    }
+
+    /// Rebuild a serving stack from a snapshot written by
+    /// [`WorkloadManager::checkpoint`] (plus any
+    /// [`WorkloadManager::checkpoint_delta`] appends): restored apps
+    /// serve **bit-identical labels** without refitting, the registry
+    /// resumes at its pinned versions with its history intact, and the
+    /// embed cache comes back warm — the first post-restore batch hits
+    /// on every template the old process had cached.
+    ///
+    /// `cfg` is the *new* process's serving shape (shards, queue depth,
+    /// cache capacity) — topology is deliberately not part of the
+    /// snapshot, so a restore can resize. A smaller cache keeps the
+    /// hottest entries; `embed_cache_capacity: 0` skips cache warming
+    /// entirely. Any mismatch between the snapshot and itself (missing
+    /// sections, torn bytes, shapes that don't fit their embedders)
+    /// reports [`QuercError::Corrupt`].
+    pub fn restore(path: impl AsRef<Path>, cfg: WorkloadManagerConfig) -> Result<WorkloadManager> {
+        use crate::classifier::{QueryClassifier, TrainedLabeler};
+        use crate::persist::{self, AppState, EmbedderCache, ManifestState, RegistryState};
+
+        let reader = querc_persist::SnapshotReader::open(path)?;
+        let manifest: ManifestState = match reader.section("manifest") {
+            Some(bytes) => persist::from_json(persist::utf8(bytes, "manifest")?, "manifest")?,
+            None => return Err(persist::corrupt("snapshot has no manifest section")),
+        };
+
+        let mut mgr = WorkloadManager::new(cfg);
+        let mut embedders = EmbedderCache::default();
+
+        // Registry first: register_fitted validates `attach_labels`
+        // against it, so deployments must be live before any app is.
+        if let Some(bytes) = reader.section("registry") {
+            let state: RegistryState =
+                persist::from_json(persist::utf8(bytes, "registry")?, "registry")?;
+            for d in state.deployments {
+                let embedder = embedders.restore(&d.embedder_kind, &d.embedder_json)?;
+                let labeler = TrainedLabeler::from_state(d.labeler)?;
+                if labeler.dim() != embedder.dim() {
+                    return Err(persist::corrupt(format!(
+                        "classifier {:?}: labeler dim {} but embedder dim {}",
+                        d.name,
+                        labeler.dim(),
+                        embedder.dim()
+                    )));
+                }
+                let classifier = QueryClassifier::new(d.label_name, embedder, labeler);
+                mgr.registry
+                    .restore_deployment(&d.name, d.version, classifier);
+            }
+            mgr.registry.restore_history(state.events);
+        }
+
+        for name in &manifest.apps {
+            let section = format!("app:{name}");
+            let bytes = reader.section(&section).ok_or_else(|| {
+                persist::corrupt(format!(
+                    "manifest lists {section:?} but the section is missing"
+                ))
+            })?;
+            let state: AppState = persist::from_json(persist::utf8(bytes, &section)?, &section)?;
+            if state.app != *name {
+                return Err(persist::corrupt(format!(
+                    "section {section:?} claims to be app {:?}",
+                    state.app
+                )));
+            }
+            let embedder = embedders.restore(&state.embedder_kind, &state.embedder_json)?;
+            let app = persist::restore_app(name, embedder)?;
+            let model = app.load_model_dyn(&state.model_json)?;
+            mgr.register_fitted(Arc::new(FittedApp::from_parts(app, model)))?;
+        }
+
+        // Cache warming last: full-snapshot entries first, then deltas
+        // in append order, so insertion order reproduces recency and an
+        // undersized new cache keeps the hottest tail.
+        if let Some(plane) = &mgr.plane {
+            let mut restored: Vec<(u64, u64, Vec<f32>)> = Vec::new();
+            for bytes in reader
+                .sections("embed_cache")
+                .into_iter()
+                .chain(reader.sections("embed_cache_delta"))
+            {
+                let entries: Vec<(u64, u64, Vec<f32>)> =
+                    persist::from_json(persist::utf8(bytes, "embed_cache")?, "embed_cache")?;
+                restored.extend(entries);
+            }
+            plane.preload(&restored);
+            let mut keys = mgr.persisted_keys.lock();
+            keys.extend(restored.iter().map(|(ns, fp, _)| (*ns, *fp)));
+        }
+        Ok(mgr)
     }
 
     /// Close every shard, join all workers, and collect the labeled

@@ -82,6 +82,10 @@ impl Embedder for BagOfTokens {
         )
     }
 
+    fn export_spec(&self) -> Option<(&'static str, String)> {
+        crate::io::to_json(self).ok().map(|j| (self.name(), j))
+    }
+
     /// Batched path: one bigram scratch buffer amortized over the chunk.
     fn embed_batch(&self, docs: &[Vec<String>]) -> Vec<Vec<f32>> {
         let mut joined = String::new();

@@ -491,6 +491,10 @@ impl Embedder for Doc2Vec {
         namespace_fold(h, weights_checksum(self.w_out.as_slice()))
     }
 
+    fn export_spec(&self) -> Option<(&'static str, String)> {
+        crate::io::to_json(self).ok().map(|j| (self.name(), j))
+    }
+
     /// Batched inference: the O(vocab) noise table is built once for the
     /// whole chunk. Each query still gets its own content-seeded RNG, so
     /// results are bit-identical to per-query [`Embedder::embed`].

@@ -68,6 +68,17 @@ pub trait Embedder: Send + Sync {
     fn cache_namespace(&self) -> u64 {
         namespace_fold(namespace_of(self.name()), self.dim() as u64)
     }
+
+    /// Serialize this embedder for a snapshot: `(kind, json)` such that
+    /// [`crate::io::restore_embedder`]`(kind, &json)` rebuilds an
+    /// embedder with **identical weights** — and therefore an identical
+    /// [`Embedder::cache_namespace`], which is what lets warm cache
+    /// entries survive a checkpoint/restore cycle. The default is
+    /// `None`: embedders without serialization simply opt out of
+    /// persistence (their apps refit after a restore).
+    fn export_spec(&self) -> Option<(&'static str, String)> {
+        None
+    }
 }
 
 /// FNV-1a hash of an embedder family name — the starting point for

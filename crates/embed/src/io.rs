@@ -73,6 +73,27 @@ const _: fn() = || {
     assert_roundtrip::<BagOfTokens>();
 };
 
+/// Rebuild an embedder from the `(kind, json)` pair produced by
+/// [`crate::Embedder::export_spec`]. The restored instance has the
+/// exact weights of the exported one, so its
+/// [`crate::Embedder::cache_namespace`] — and therefore any warm
+/// vector-cache entries keyed under it — carries over unchanged.
+pub fn restore_embedder(
+    kind: &str,
+    json: &str,
+) -> Result<std::sync::Arc<dyn crate::Embedder>, ModelIoError> {
+    Ok(match kind {
+        "bow" => std::sync::Arc::new(from_json::<BagOfTokens>(json)?),
+        "doc2vec" => std::sync::Arc::new(from_json::<Doc2Vec>(json)?),
+        "lstm" => std::sync::Arc::new(from_json::<LstmAutoencoder>(json)?),
+        other => {
+            return Err(ModelIoError::Format(serde_json::Error::msg(format!(
+                "unknown embedder kind: {other:?}"
+            ))))
+        }
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -153,5 +174,39 @@ mod tests {
     fn malformed_json_errors() {
         let r: Result<crate::BagOfTokens, _> = from_json("{not json");
         assert!(matches!(r, Err(ModelIoError::Format(_))));
+    }
+
+    #[test]
+    fn export_spec_restores_with_the_same_namespace() {
+        let cfg = Doc2VecConfig {
+            dim: 8,
+            epochs: 2,
+            vocab: VocabConfig {
+                min_count: 1,
+                max_size: 64,
+                hash_buckets: 8,
+            },
+            ..Default::default()
+        };
+        let model = crate::Doc2Vec::train(&corpus(), cfg);
+        let (kind, json) = model.export_spec().expect("doc2vec is persistable");
+        assert_eq!(kind, "doc2vec");
+        let back = restore_embedder(kind, &json).unwrap();
+        assert_eq!(back.cache_namespace(), model.cache_namespace());
+        let q = toks("select c1 from t");
+        assert_eq!(back.embed(&q), model.embed(&q));
+
+        let bow = crate::BagOfTokens::new(16, true);
+        let (kind, json) = bow.export_spec().unwrap();
+        let back = restore_embedder(kind, &json).unwrap();
+        assert_eq!(back.cache_namespace(), bow.cache_namespace());
+    }
+
+    #[test]
+    fn restore_embedder_rejects_unknown_kind() {
+        assert!(matches!(
+            restore_embedder("word2gm", "{}"),
+            Err(ModelIoError::Format(_))
+        ));
     }
 }

@@ -576,6 +576,10 @@ impl Embedder for LstmAutoencoder {
         namespace_fold(h, weights_checksum(self.enc.wh.as_slice()))
     }
 
+    fn export_spec(&self) -> Option<(&'static str, String)> {
+        crate::io::to_json(self).ok().map(|j| (self.name(), j))
+    }
+
     /// Batched path: gate/state scratch buffers are allocated once for
     /// the whole chunk instead of per step per query.
     fn embed_batch(&self, docs: &[Vec<String>]) -> Vec<Vec<f32>> {

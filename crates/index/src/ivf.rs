@@ -132,6 +132,58 @@ impl IvfIndex {
         IvfIndex::build(VectorStore::from_rows(rows), metric, cfg)
     }
 
+    /// Reassemble an index from previously exported parts — the restore
+    /// path for a persisted snapshot. `centroids`/`lists` must come from
+    /// [`IvfIndex::centroids`]/[`IvfIndex::lists`] of an index built
+    /// over the same `store`; search counters restart at zero.
+    ///
+    /// Returns `None` when the parts are inconsistent (centroid/list
+    /// count mismatch, centroid dimension ≠ store dimension, or a list
+    /// entry referencing a row the store doesn't have) — a corrupt
+    /// snapshot must surface an error, not an index panic at search
+    /// time.
+    pub fn from_parts(
+        store: VectorStore,
+        metric: Metric,
+        centroids: VectorStore,
+        lists: Vec<Vec<u32>>,
+        nprobe: usize,
+    ) -> Option<IvfIndex> {
+        if centroids.len() != lists.len() {
+            return None;
+        }
+        if !centroids.is_empty() && centroids.dim() != store.dim() {
+            return None;
+        }
+        let n = store.len();
+        if lists.iter().flatten().any(|&id| id as usize >= n) {
+            return None;
+        }
+        Some(IvfIndex {
+            store,
+            metric,
+            centroids,
+            lists,
+            nprobe: nprobe.max(1),
+            searches: AtomicU64::new(0),
+            probes: AtomicU64::new(0),
+            candidates: AtomicU64::new(0),
+        })
+    }
+
+    /// The coarse quantizer's centroids (clustering space — unit
+    /// normalized when the metric is cosine). Export half of
+    /// [`IvfIndex::from_parts`].
+    pub fn centroids(&self) -> &VectorStore {
+        &self.centroids
+    }
+
+    /// The inverted lists: `lists()[c]` holds the row ids assigned to
+    /// centroid `c`. Export half of [`IvfIndex::from_parts`].
+    pub fn lists(&self) -> &[Vec<u32>] {
+        &self.lists
+    }
+
     /// Builder-style recall knob (clamped to `[1, nlist]` per search).
     pub fn with_nprobe(mut self, nprobe: usize) -> IvfIndex {
         self.set_nprobe(nprobe);
@@ -426,6 +478,56 @@ mod tests {
         assert_eq!(
             after_batch.candidates - after_single.candidates,
             after_single.candidates,
+        );
+    }
+
+    #[test]
+    fn from_parts_round_trips_and_validates() {
+        let pts = blobs(30, &[(0.0, 0.0), (6.0, 6.0)], 7);
+        let built = IvfIndex::from_rows(
+            &pts,
+            Metric::Euclidean,
+            &IvfConfig {
+                nlist: 4,
+                nprobe: 2,
+                ..Default::default()
+            },
+        );
+        let rebuilt = IvfIndex::from_parts(
+            built.store().clone(),
+            Metric::Euclidean,
+            built.centroids().clone(),
+            built.lists().to_vec(),
+            built.nprobe(),
+        )
+        .expect("exported parts are consistent");
+        for q in [[0.5f32, 0.2], [5.8, 6.1], [3.0, 3.0]] {
+            assert_eq!(rebuilt.search(&q, 5), built.search(&q, 5));
+        }
+        assert_eq!(rebuilt.stats().searches, 3, "counters restart at zero");
+
+        // Inconsistent parts are refused, not deferred to a panic.
+        assert!(
+            IvfIndex::from_parts(
+                built.store().clone(),
+                Metric::Euclidean,
+                built.centroids().clone(),
+                vec![vec![9999u32]; built.nlist()],
+                2,
+            )
+            .is_none(),
+            "out-of-range list entry"
+        );
+        assert!(
+            IvfIndex::from_parts(
+                built.store().clone(),
+                Metric::Euclidean,
+                built.centroids().clone(),
+                vec![Vec::new(); built.nlist() + 1],
+                2,
+            )
+            .is_none(),
+            "centroid/list count mismatch"
         );
     }
 

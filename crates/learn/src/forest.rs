@@ -5,8 +5,9 @@
 //! random thresholds) via [`ForestConfig`]. The paper's §5.2 classifier
 //! ("randomized decision trees") corresponds to [`ForestConfig::extra_trees`].
 
+use crate::state::{bad_state, ClassifierState, ForestState};
 use crate::tree::{DecisionTree, SplitStrategy, TreeConfig};
-use crate::Classifier;
+use crate::{Classifier, LearnError};
 use querc_linalg::Pcg32;
 
 /// Forest hyperparameters.
@@ -73,6 +74,40 @@ impl RandomForest {
         self.trees.is_empty()
     }
 
+    /// Snapshot the fitted ensemble as a [`ForestState`].
+    pub fn to_state(&self) -> ForestState {
+        ForestState {
+            n_classes: self.n_classes,
+            trees: self.trees.iter().map(DecisionTree::to_state).collect(),
+        }
+    }
+
+    /// Rebuild an inference-ready forest from a snapshot; each member
+    /// tree is validated by [`DecisionTree::from_state`], and every
+    /// tree must agree with the forest's class count. Restored forests
+    /// carry a default [`ForestConfig`] (only `fit` reads it).
+    pub fn from_state(state: ForestState) -> Result<RandomForest, LearnError> {
+        let trees = state
+            .trees
+            .into_iter()
+            .enumerate()
+            .map(|(i, ts)| {
+                if ts.n_classes != state.n_classes {
+                    return Err(bad_state(format!(
+                        "tree {i} fitted for {} classes in a {}-class forest",
+                        ts.n_classes, state.n_classes
+                    )));
+                }
+                DecisionTree::from_state(ts)
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(RandomForest {
+            cfg: ForestConfig::default(),
+            trees,
+            n_classes: state.n_classes,
+        })
+    }
+
     /// Mean class-probability vector across trees.
     pub fn proba(&self, x: &[f32]) -> Vec<f32> {
         let mut acc = vec![0.0f32; self.n_classes.max(1)];
@@ -132,6 +167,10 @@ impl Classifier for RandomForest {
         let mut p = self.proba(x);
         p.resize(n_classes, 0.0);
         p
+    }
+
+    fn export_state(&self) -> Option<ClassifierState> {
+        Some(ClassifierState::Forest(self.to_state()))
     }
 }
 

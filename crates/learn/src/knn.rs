@@ -14,6 +14,7 @@
 //! the lower row id) and vote ties resolve to the **lower class id** —
 //! identical across runs and across exact/ANN backends.
 
+use crate::state::{bad_state, ClassifierState, KnnState};
 use crate::{Classifier, LearnError};
 use querc_index::{FlatIndex, IvfConfig, IvfIndex, Metric, VectorIndex, VectorStore};
 use querc_linalg::Pcg32;
@@ -55,12 +56,29 @@ pub enum KnnBackend {
     },
 }
 
+/// The concrete index a fitted [`Knn`] searches. Kept as an enum (not
+/// `Box<dyn VectorIndex>`) so the persistence layer can export the
+/// backend's parts without downcasting.
+enum KnnIndex {
+    Flat(FlatIndex),
+    Ivf(IvfIndex),
+}
+
+impl KnnIndex {
+    fn as_dyn(&self) -> &dyn VectorIndex {
+        match self {
+            KnnIndex::Flat(ix) => ix,
+            KnnIndex::Ivf(ix) => ix,
+        }
+    }
+}
+
 /// k-nearest-neighbours classifier over a vector index.
 pub struct Knn {
     k: usize,
     metric: KnnMetric,
     backend: KnnBackend,
-    index: Option<Box<dyn VectorIndex>>,
+    index: Option<KnnIndex>,
     y: Vec<u32>,
     n_classes: usize,
 }
@@ -100,7 +118,98 @@ impl Knn {
     /// The fitted search index, if `fit` has run (diagnostics: expose
     /// probe/candidate counters via `VectorIndex::stats`).
     pub fn index(&self) -> Option<&dyn VectorIndex> {
-        self.index.as_deref()
+        self.index.as_ref().map(KnnIndex::as_dyn)
+    }
+
+    /// Snapshot the fitted classifier (training set, labels, and the
+    /// search backend's layout) as a [`KnnState`].
+    pub fn to_state(&self) -> KnnState {
+        let mut state = KnnState {
+            k: self.k,
+            cosine: self.metric == KnnMetric::Cosine,
+            n_classes: self.n_classes,
+            y: self.y.clone(),
+            dim: 0,
+            rows: Vec::new(),
+            ivf: false,
+            nprobe: 0,
+            centroids: Vec::new(),
+            lists: Vec::new(),
+        };
+        match &self.index {
+            None => {}
+            Some(KnnIndex::Flat(ix)) => {
+                state.dim = ix.store().dim();
+                state.rows = flatten(ix.store());
+            }
+            Some(KnnIndex::Ivf(ix)) => {
+                state.dim = ix.store().dim();
+                state.rows = flatten(ix.store());
+                state.ivf = true;
+                state.nprobe = ix.nprobe();
+                state.centroids = flatten(ix.centroids());
+                state.lists = ix.lists().to_vec();
+            }
+        }
+        state
+    }
+
+    /// Rebuild a fitted classifier from a snapshot, validating label
+    /// ranges, row shapes, and (for IVF) the list layout, so restored
+    /// predictions are bit-identical to the exported model's and
+    /// corrupt states fail with [`LearnError::BadState`] instead of an
+    /// index panic during voting.
+    pub fn from_state(state: KnnState) -> Result<Knn, LearnError> {
+        let metric = if state.cosine {
+            KnnMetric::Cosine
+        } else {
+            KnnMetric::Euclidean
+        };
+        let mut knn = Knn::try_new(state.k, metric)?;
+        knn.n_classes = state.n_classes;
+        if state.y.is_empty() {
+            return Ok(knn);
+        }
+        if let Some(&bad) = state.y.iter().find(|&&c| c as usize >= state.n_classes) {
+            return Err(bad_state(format!(
+                "label {bad} out of range for {} classes",
+                state.n_classes
+            )));
+        }
+        if state.dim == 0 || state.rows.len() != state.y.len() * state.dim {
+            return Err(bad_state(format!(
+                "{} row floats for {} rows of dim {}",
+                state.rows.len(),
+                state.y.len(),
+                state.dim
+            )));
+        }
+        let store = unflatten(&state.rows, state.dim);
+        let index = if state.ivf {
+            if !state.centroids.len().is_multiple_of(state.dim) {
+                return Err(bad_state("ragged centroid rows"));
+            }
+            let centroids = unflatten(&state.centroids, state.dim);
+            let nlist = centroids.len();
+            let ivf = IvfIndex::from_parts(
+                store,
+                metric.to_metric(),
+                centroids,
+                state.lists.clone(),
+                state.nprobe,
+            )
+            .ok_or_else(|| bad_state("inconsistent IVF centroid/list layout"))?;
+            knn.backend = KnnBackend::Ivf {
+                nlist,
+                nprobe: state.nprobe,
+            };
+            KnnIndex::Ivf(ivf)
+        } else {
+            KnnIndex::Flat(FlatIndex::new(store, metric.to_metric()))
+        };
+        knn.y = state.y;
+        knn.index = Some(index);
+        Ok(knn)
     }
 
     /// Majority vote over neighbor labels; vote ties resolve to the
@@ -144,8 +253,8 @@ impl Classifier for Knn {
         let store = VectorStore::from_rows(x);
         let metric = self.metric.to_metric();
         self.index = Some(match self.backend {
-            KnnBackend::Exact => Box::new(FlatIndex::new(store, metric)),
-            KnnBackend::Ivf { nlist, nprobe } => Box::new(IvfIndex::build(
+            KnnBackend::Exact => KnnIndex::Flat(FlatIndex::new(store, metric)),
+            KnnBackend::Ivf { nlist, nprobe } => KnnIndex::Ivf(IvfIndex::build(
                 store,
                 metric,
                 &IvfConfig {
@@ -160,7 +269,7 @@ impl Classifier for Knn {
     fn predict(&self, q: &[f32]) -> u32 {
         match &self.index {
             None => 0,
-            Some(ix) => self.vote(&ix.search(q, self.k)),
+            Some(ix) => self.vote(&ix.as_dyn().search(q, self.k)),
         }
     }
 
@@ -173,12 +282,36 @@ impl Classifier for Knn {
         match &self.index {
             None => vec![0; xs.len()],
             Some(ix) => ix
+                .as_dyn()
                 .search_batch(xs, self.k)
                 .iter()
                 .map(|hits| self.vote(hits))
                 .collect(),
         }
     }
+
+    fn export_state(&self) -> Option<ClassifierState> {
+        Some(ClassifierState::Knn(self.to_state()))
+    }
+}
+
+/// Row-major copy of a store's vectors.
+fn flatten(store: &VectorStore) -> Vec<f32> {
+    let mut out = Vec::with_capacity(store.len() * store.dim());
+    for row in store.iter() {
+        out.extend_from_slice(row);
+    }
+    out
+}
+
+/// Rebuild a store from a row-major float buffer (caller has validated
+/// that `flat.len()` is a multiple of a nonzero `dim`).
+fn unflatten(flat: &[f32], dim: usize) -> VectorStore {
+    let mut store = VectorStore::with_capacity(dim, flat.len() / dim);
+    for row in flat.chunks_exact(dim) {
+        store.push(row);
+    }
+    store
 }
 
 #[cfg(test)]

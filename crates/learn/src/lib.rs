@@ -17,6 +17,7 @@ pub mod forest;
 pub mod knn;
 pub mod linear;
 pub mod metrics;
+pub mod state;
 pub mod tree;
 
 pub use cv::{cross_val_accuracy, stratified_folds};
@@ -24,6 +25,7 @@ pub use forest::{ForestConfig, RandomForest};
 pub use knn::{Knn, KnnBackend, KnnMetric};
 pub use linear::SoftmaxRegression;
 pub use metrics::{accuracy, confusion_matrix, macro_f1, ClassMetrics};
+pub use state::{ClassifierState, ForestState, KnnState, NodeState, SoftmaxState, TreeState};
 pub use tree::{DecisionTree, SplitStrategy, TreeConfig};
 
 use querc_linalg::Pcg32;
@@ -39,6 +41,13 @@ pub enum LearnError {
         /// The rejected `k`.
         k: usize,
     },
+    /// A persisted classifier state failed validation on restore
+    /// (out-of-range tree indices, mismatched shapes, bad labels) —
+    /// see [`state`].
+    BadState {
+        /// What failed to validate.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for LearnError {
@@ -46,6 +55,9 @@ impl std::fmt::Display for LearnError {
         match self {
             LearnError::InvalidK { k } => {
                 write!(f, "knn requires k >= 1, got k = {k}")
+            }
+            LearnError::BadState { detail } => {
+                write!(f, "invalid classifier state: {detail}")
             }
         }
     }
@@ -85,5 +97,13 @@ pub trait Classifier: Send + Sync {
     /// override this to amortize one index pass per chunk.
     fn predict_batch_refs(&self, xs: &[&[f32]]) -> Vec<u32> {
         xs.iter().map(|x| self.predict(x)).collect()
+    }
+
+    /// Snapshot the trained model as a serializable
+    /// [`state::ClassifierState`], if this classifier supports
+    /// persistence (all the built-in ones do; the default is `None` so
+    /// exotic external impls simply opt out of checkpointing).
+    fn export_state(&self) -> Option<state::ClassifierState> {
+        None
     }
 }

@@ -5,7 +5,8 @@
 //! of the paper's argument that Querc "admits simpler classification
 //! algorithms".
 
-use crate::Classifier;
+use crate::state::{bad_state, ClassifierState, SoftmaxState};
+use crate::{Classifier, LearnError};
 use querc_linalg::{ops, Matrix, Pcg32};
 
 /// Softmax regression trained by mini-batch SGD with L2 regularization.
@@ -44,6 +45,38 @@ impl SoftmaxRegression {
         let mut z = self.logits(x);
         ops::softmax(&mut z);
         z
+    }
+
+    /// Snapshot the fitted weights and SGD hyperparameters as a
+    /// [`SoftmaxState`].
+    pub fn to_state(&self) -> SoftmaxState {
+        SoftmaxState {
+            rows: self.w.rows(),
+            cols: self.w.cols(),
+            w: self.w.as_slice().to_vec(),
+            epochs: self.epochs,
+            lr: self.lr,
+            l2: self.l2,
+        }
+    }
+
+    /// Rebuild the model from a snapshot, validating the weight-matrix
+    /// shape.
+    pub fn from_state(state: SoftmaxState) -> Result<SoftmaxRegression, LearnError> {
+        if state.w.len() != state.rows * state.cols {
+            return Err(bad_state(format!(
+                "{} weights for a {}x{} matrix",
+                state.w.len(),
+                state.rows,
+                state.cols
+            )));
+        }
+        Ok(SoftmaxRegression {
+            w: Matrix::from_vec(state.rows, state.cols, state.w),
+            epochs: state.epochs,
+            lr: state.lr,
+            l2: state.l2,
+        })
     }
 }
 
@@ -90,6 +123,10 @@ impl Classifier for SoftmaxRegression {
         let mut p = self.proba(x);
         p.resize(n_classes, 0.0);
         p
+    }
+
+    fn export_state(&self) -> Option<ClassifierState> {
+        Some(ClassifierState::Softmax(self.to_state()))
     }
 }
 

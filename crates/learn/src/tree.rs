@@ -1,6 +1,7 @@
 //! CART-style decision trees with exact or randomized (extra-trees) splits.
 
-use crate::Classifier;
+use crate::state::{bad_state, ClassifierState, NodeState, TreeState};
+use crate::{Classifier, LearnError};
 use querc_linalg::Pcg32;
 
 /// How split thresholds are chosen at each node.
@@ -106,6 +107,87 @@ impl DecisionTree {
                 }
             }
         }
+    }
+
+    /// Snapshot the fitted arena as a [`TreeState`].
+    pub fn to_state(&self) -> TreeState {
+        TreeState {
+            n_classes: self.n_classes,
+            nodes: self
+                .nodes
+                .iter()
+                .map(|n| match n {
+                    Node::Leaf { counts } => NodeState {
+                        leaf: true,
+                        counts: counts.clone(),
+                        feature: 0,
+                        threshold: 0.0,
+                        left: 0,
+                        right: 0,
+                    },
+                    Node::Split {
+                        feature,
+                        threshold,
+                        left,
+                        right,
+                    } => NodeState {
+                        leaf: false,
+                        counts: Vec::new(),
+                        feature: *feature,
+                        threshold: *threshold,
+                        left: *left,
+                        right: *right,
+                    },
+                })
+                .collect(),
+        }
+    }
+
+    /// Rebuild an inference-ready tree from a snapshot, validating the
+    /// arena so traversal can neither index out of bounds nor loop:
+    /// every split's children must point strictly forward (the invariant
+    /// `build` produces) and leaf histograms must match `n_classes`.
+    /// Restored trees carry a default [`TreeConfig`] (only `fit` reads
+    /// it).
+    pub fn from_state(state: TreeState) -> Result<DecisionTree, LearnError> {
+        let n = state.nodes.len();
+        let nodes = state
+            .nodes
+            .into_iter()
+            .enumerate()
+            .map(|(i, ns)| {
+                if ns.leaf {
+                    if ns.counts.len() != state.n_classes {
+                        return Err(bad_state(format!(
+                            "leaf {i}: {} class counts for {} classes",
+                            ns.counts.len(),
+                            state.n_classes
+                        )));
+                    }
+                    Ok(Node::Leaf { counts: ns.counts })
+                } else {
+                    // Children strictly after the parent ⇒ acyclic and
+                    // in-bounds, so `proba`'s loop always terminates.
+                    if ns.left <= i || ns.right <= i || ns.left >= n || ns.right >= n {
+                        return Err(bad_state(format!(
+                            "split {i}: children ({}, {}) outside the forward arena of {n}",
+                            ns.left, ns.right
+                        )));
+                    }
+                    Ok(Node::Split {
+                        feature: ns.feature,
+                        threshold: ns.threshold,
+                        left: ns.left,
+                        right: ns.right,
+                    })
+                }
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(DecisionTree {
+            cfg: TreeConfig::default(),
+            nodes,
+            n_classes: state.n_classes,
+        })
     }
 
     fn build(
@@ -218,6 +300,10 @@ impl Classifier for DecisionTree {
         let mut p = self.proba(x);
         p.resize(n_classes, 0.0);
         p
+    }
+
+    fn export_state(&self) -> Option<ClassifierState> {
+        Some(ClassifierState::Tree(self.to_state()))
     }
 }
 

@@ -1,0 +1,576 @@
+//! The snapshot container — a versioned, checksummed, appendable file
+//! format for persisting the whole querc serving stack.
+//!
+//! A snapshot is a sequence of named **sections**. Each section's
+//! payload is opaque to this crate (the serving layers put JSON from the
+//! serde shims there), but its integrity is not: every section carries a
+//! CRC-32 over its name and payload, and the file ends with a footer
+//! whose CRC covers every section header — so truncation, bit flips,
+//! splices, and reorderings are all detected up front, before a single
+//! payload byte is interpreted.
+//!
+//! ```text
+//! QUERCSNAP v1\n                          magic + format version
+//! SECTION <name> <len> <crc32hex>\n       per-section header
+//! <len payload bytes>\n                   payload (opaque)
+//! ...more sections...
+//! END <count> <crc32hex>\n                footer: section count +
+//!                                         CRC over all header lines
+//! ```
+//!
+//! **Append semantics.** [`append_to`] validates the whole existing
+//! file, truncates the footer, writes new sections, and writes a fresh
+//! footer. Repeated section names are legal and ordered:
+//! [`SnapshotReader::section`] returns the **last** occurrence (the
+//! newest full state wins) while [`SnapshotReader::sections`] returns
+//! every occurrence in file order (how incremental deltas replay).
+//!
+//! A reader never panics on hostile input: every malformed byte surfaces
+//! as [`PersistError::Corrupt`], which `querc` maps onto
+//! `QuercError::Corrupt`.
+
+#![deny(missing_docs)]
+
+use std::fmt;
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+
+/// File magic + format version, first line of every snapshot.
+pub const MAGIC: &str = "QUERCSNAP v1";
+
+/// Errors surfaced by snapshot reading/writing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PersistError {
+    /// The snapshot bytes fail validation: bad magic, a CRC mismatch,
+    /// truncation, or a malformed header.
+    Corrupt {
+        /// What failed and where.
+        detail: String,
+    },
+    /// The underlying file could not be read or written.
+    Io {
+        /// The OS error message.
+        detail: String,
+    },
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Corrupt { detail } => write!(f, "corrupt snapshot: {detail}"),
+            PersistError::Io { detail } => write!(f, "snapshot io: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> PersistError {
+        PersistError::Io {
+            detail: e.to_string(),
+        }
+    }
+}
+
+fn corrupt(detail: impl Into<String>) -> PersistError {
+    PersistError::Corrupt {
+        detail: detail.into(),
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, PersistError>;
+
+/// CRC-32 (IEEE polynomial, the zlib/`cksum -o3` variant) over `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    // Nibble-driven table: 16 entries, built in const context so the
+    // shim-free crate stays dependency-light.
+    const TABLE: [u32; 16] = {
+        let mut t = [0u32; 16];
+        let mut i = 0;
+        while i < 16 {
+            let mut c = i as u32;
+            let mut k = 0;
+            while k < 4 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+                k += 1;
+            }
+            t[i] = c;
+            i += 1;
+        }
+        t
+    };
+    let mut c = !0u32;
+    for &b in bytes {
+        c = TABLE[((c ^ b as u32) & 0xF) as usize] ^ (c >> 4);
+        c = TABLE[((c ^ (b as u32 >> 4)) & 0xF) as usize] ^ (c >> 4);
+    }
+    !c
+}
+
+/// CRC of one section: over the name bytes, a NUL separator, and the
+/// payload — so a payload swapped between two sections is detected even
+/// when the payloads' own CRCs are individually intact.
+fn section_crc(name: &str, payload: &[u8]) -> u32 {
+    let mut buf = Vec::with_capacity(name.len() + 1 + payload.len());
+    buf.extend_from_slice(name.as_bytes());
+    buf.push(0);
+    buf.extend_from_slice(payload);
+    crc32(&buf)
+}
+
+fn header_line(name: &str, payload: &[u8]) -> String {
+    format!(
+        "SECTION {name} {} {:08x}\n",
+        payload.len(),
+        section_crc(name, payload)
+    )
+}
+
+fn footer_line(headers: &str, count: usize) -> String {
+    format!("END {count} {:08x}\n", crc32(headers.as_bytes()))
+}
+
+/// Strict canonical decimal: ASCII digits only, no sign, no leading zero
+/// (except "0" itself). `usize::from_str` alone would accept `+5` and
+/// `007`, letting byte-level mutations of the footer line go undetected.
+fn parse_count(s: &str) -> Option<usize> {
+    let canonical = !s.is_empty()
+        && s.bytes().all(|b| b.is_ascii_digit())
+        && (s.len() == 1 || !s.starts_with('0'));
+    if canonical {
+        s.parse::<usize>().ok()
+    } else {
+        None
+    }
+}
+
+/// Strict canonical CRC field: exactly 8 **lowercase** hex digits, as the
+/// writer emits. `u32::from_str_radix` alone is case-insensitive, so a
+/// flip of the 0x20 bit in `a`–`f` would parse to the same value and slip
+/// past detection in the one line no CRC covers (the footer itself).
+fn parse_hex8(s: &str) -> Option<u32> {
+    let canonical = s.len() == 8
+        && s.bytes()
+            .all(|b| b.is_ascii_digit() || (b'a'..=b'f').contains(&b));
+    if canonical {
+        u32::from_str_radix(s, 16).ok()
+    } else {
+        None
+    }
+}
+
+/// A snapshot under construction: named sections in insertion order.
+#[derive(Debug, Default)]
+pub struct Snapshot {
+    sections: Vec<(String, Vec<u8>)>,
+}
+
+impl Snapshot {
+    /// An empty snapshot.
+    pub fn new() -> Snapshot {
+        Snapshot::default()
+    }
+
+    /// Append a section. Names may repeat (delta sections); section
+    /// names must be non-empty and contain no whitespace or newlines
+    /// (they live on a space-delimited header line).
+    ///
+    /// # Panics
+    /// If `name` is empty or contains whitespace — a writer-side
+    /// programming error, not a runtime condition.
+    pub fn add_section(&mut self, name: &str, payload: impl Into<Vec<u8>>) -> &mut Self {
+        assert!(
+            !name.is_empty() && !name.contains(char::is_whitespace),
+            "section name must be non-empty and whitespace-free: {name:?}"
+        );
+        self.sections.push((name.to_string(), payload.into()));
+        self
+    }
+
+    /// Number of sections added so far.
+    pub fn len(&self) -> usize {
+        self.sections.len()
+    }
+
+    /// True when no sections have been added.
+    pub fn is_empty(&self) -> bool {
+        self.sections.is_empty()
+    }
+
+    /// Serialize the whole snapshot to bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        let mut headers = String::new();
+        out.extend_from_slice(MAGIC.as_bytes());
+        out.push(b'\n');
+        for (name, payload) in &self.sections {
+            let h = header_line(name, payload);
+            headers.push_str(&h);
+            out.extend_from_slice(h.as_bytes());
+            out.extend_from_slice(payload);
+            out.push(b'\n');
+        }
+        out.extend_from_slice(footer_line(&headers, self.sections.len()).as_bytes());
+        out
+    }
+
+    /// Write the snapshot to `path`, replacing any existing file. The
+    /// write goes through a temporary sibling + rename, so a crash
+    /// mid-write never leaves a half-written snapshot at `path`.
+    pub fn write_to(&self, path: impl AsRef<Path>) -> Result<()> {
+        let path = path.as_ref();
+        let tmp = path.with_extension("tmp-snap");
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(&self.to_bytes())?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, path)?;
+        Ok(())
+    }
+}
+
+/// One parsed, validated section.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Section {
+    name: String,
+    payload: Vec<u8>,
+}
+
+/// A fully-validated snapshot: every CRC checked before any accessor
+/// returns a byte.
+#[derive(Debug)]
+pub struct SnapshotReader {
+    sections: Vec<Section>,
+    /// Byte offset where the footer line starts — where [`append_to`]
+    /// resumes writing.
+    footer_offset: usize,
+    /// Reconstructed header lines (the footer CRC input).
+    headers: String,
+}
+
+impl SnapshotReader {
+    /// Read and validate a snapshot file.
+    pub fn open(path: impl AsRef<Path>) -> Result<SnapshotReader> {
+        SnapshotReader::from_bytes(&fs::read(path.as_ref())?)
+    }
+
+    /// Validate a snapshot held in memory.
+    pub fn from_bytes(bytes: &[u8]) -> Result<SnapshotReader> {
+        let mut pos = 0usize;
+        let magic = read_line(bytes, &mut pos).ok_or_else(|| corrupt("missing magic line"))?;
+        if magic != MAGIC.as_bytes() {
+            return Err(corrupt(format!(
+                "bad magic: expected {MAGIC:?}, got {:?}",
+                String::from_utf8_lossy(&magic[..magic.len().min(24)])
+            )));
+        }
+        let mut sections = Vec::new();
+        let mut headers = String::new();
+        loop {
+            let line_start = pos;
+            let line =
+                read_line(bytes, &mut pos).ok_or_else(|| corrupt("truncated: missing footer"))?;
+            let line = std::str::from_utf8(line).map_err(|_| corrupt("non-utf8 header line"))?;
+            if let Some(rest) = line.strip_prefix("SECTION ") {
+                let mut parts = rest.split(' ');
+                let name = parts.next().filter(|n| !n.is_empty());
+                let len = parts.next().and_then(parse_count);
+                let crc = parts.next().and_then(parse_hex8);
+                let (Some(name), Some(len), Some(crc), None) = (name, len, crc, parts.next())
+                else {
+                    return Err(corrupt(format!("malformed section header: {line:?}")));
+                };
+                let end = pos.checked_add(len).filter(|&e| e < bytes.len());
+                let Some(end) = end else {
+                    return Err(corrupt(format!(
+                        "truncated: section {name:?} claims {len} bytes past end of file"
+                    )));
+                };
+                let payload = &bytes[pos..end];
+                if bytes[end] != b'\n' {
+                    return Err(corrupt(format!(
+                        "section {name:?}: missing payload terminator"
+                    )));
+                }
+                if section_crc(name, payload) != crc {
+                    return Err(corrupt(format!("section {name:?}: CRC mismatch")));
+                }
+                headers.push_str(line);
+                headers.push('\n');
+                sections.push(Section {
+                    name: name.to_string(),
+                    payload: payload.to_vec(),
+                });
+                pos = end + 1;
+            } else if let Some(rest) = line.strip_prefix("END ") {
+                let mut parts = rest.split(' ');
+                let count = parts.next().and_then(parse_count);
+                let crc = parts.next().and_then(parse_hex8);
+                let (Some(count), Some(crc), None) = (count, crc, parts.next()) else {
+                    return Err(corrupt(format!("malformed footer: {line:?}")));
+                };
+                if count != sections.len() {
+                    return Err(corrupt(format!(
+                        "footer claims {count} sections, found {}",
+                        sections.len()
+                    )));
+                }
+                if crc32(headers.as_bytes()) != crc {
+                    return Err(corrupt("footer CRC mismatch (headers tampered)"));
+                }
+                if pos != bytes.len() {
+                    return Err(corrupt("trailing bytes after footer"));
+                }
+                return Ok(SnapshotReader {
+                    sections,
+                    footer_offset: line_start,
+                    headers,
+                });
+            } else {
+                return Err(corrupt(format!(
+                    "expected SECTION or END, got {:?}",
+                    &line[..line.len().min(32)]
+                )));
+            }
+        }
+    }
+
+    /// Payload of the **last** section named `name` — the newest full
+    /// state when a name was re-snapshotted by an append.
+    pub fn section(&self, name: &str) -> Option<&[u8]> {
+        self.sections
+            .iter()
+            .rev()
+            .find(|s| s.name == name)
+            .map(|s| s.payload.as_slice())
+    }
+
+    /// Payloads of **every** section named `name`, in file order — how
+    /// incremental delta sections replay.
+    pub fn sections(&self, name: &str) -> Vec<&[u8]> {
+        self.sections
+            .iter()
+            .filter(|s| s.name == name)
+            .map(|s| s.payload.as_slice())
+            .collect()
+    }
+
+    /// All section names, in file order (repeats preserved).
+    pub fn section_names(&self) -> Vec<&str> {
+        self.sections.iter().map(|s| s.name.as_str()).collect()
+    }
+
+    /// Number of sections in the file.
+    pub fn len(&self) -> usize {
+        self.sections.len()
+    }
+
+    /// True when the snapshot holds no sections.
+    pub fn is_empty(&self) -> bool {
+        self.sections.is_empty()
+    }
+}
+
+/// Append sections to an existing snapshot file **incrementally**: the
+/// existing file is fully validated, its footer is truncated, the new
+/// sections are appended, and a fresh footer covering old + new headers
+/// is written. Existing payload bytes are never rewritten.
+pub fn append_to(path: impl AsRef<Path>, sections: &[(String, Vec<u8>)]) -> Result<()> {
+    let path = path.as_ref();
+    let bytes = fs::read(path)?;
+    let reader = SnapshotReader::from_bytes(&bytes)?;
+    let mut headers = reader.headers.clone();
+    let mut tail = Vec::new();
+    for (name, payload) in sections {
+        assert!(
+            !name.is_empty() && !name.contains(char::is_whitespace),
+            "section name must be non-empty and whitespace-free: {name:?}"
+        );
+        let h = header_line(name, payload);
+        headers.push_str(&h);
+        tail.extend_from_slice(h.as_bytes());
+        tail.extend_from_slice(payload);
+        tail.push(b'\n');
+    }
+    tail.extend_from_slice(footer_line(&headers, reader.len() + sections.len()).as_bytes());
+    let f = fs::OpenOptions::new().write(true).open(path)?;
+    f.set_len(reader.footer_offset as u64)?;
+    let mut f = f;
+    use std::io::Seek as _;
+    f.seek(std::io::SeekFrom::End(0))?;
+    f.write_all(&tail)?;
+    f.sync_all()?;
+    Ok(())
+}
+
+/// Read one `\n`-terminated line starting at `*pos`; advances past the
+/// newline. `None` when no newline remains.
+fn read_line<'a>(bytes: &'a [u8], pos: &mut usize) -> Option<&'a [u8]> {
+    let rest = bytes.get(*pos..)?;
+    let nl = rest.iter().position(|&b| b == b'\n')?;
+    let line = &rest[..nl];
+    *pos += nl + 1;
+    Some(line)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // IEEE CRC-32 check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn roundtrip_in_memory() {
+        let mut s = Snapshot::new();
+        s.add_section("manifest", br#"{"v":1}"#.to_vec());
+        s.add_section("app:audit", b"payload with\nnewlines\x00and nul".to_vec());
+        let bytes = s.to_bytes();
+        let r = SnapshotReader::from_bytes(&bytes).unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.section("manifest"), Some(&br#"{"v":1}"#[..]));
+        assert_eq!(
+            r.section("app:audit"),
+            Some(&b"payload with\nnewlines\x00and nul"[..])
+        );
+        assert_eq!(r.section("ghost"), None);
+        assert_eq!(r.section_names(), vec!["manifest", "app:audit"]);
+    }
+
+    #[test]
+    fn file_roundtrip_and_append() {
+        let dir = std::env::temp_dir().join("querc-persist-test-roundtrip");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap.qsnap");
+        let mut s = Snapshot::new();
+        s.add_section("base", b"one".to_vec());
+        s.write_to(&path).unwrap();
+
+        append_to(&path, &[("delta".to_string(), b"two".to_vec())]).unwrap();
+        append_to(&path, &[("delta".to_string(), b"three".to_vec())]).unwrap();
+
+        let r = SnapshotReader::open(&path).unwrap();
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.section("base"), Some(&b"one"[..]));
+        // Last-wins for `section`, in-order replay for `sections`.
+        assert_eq!(r.section("delta"), Some(&b"three"[..]));
+        assert_eq!(r.sections("delta"), vec![&b"two"[..], &b"three"[..]]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let mut s = Snapshot::new();
+        s.add_section("a", vec![7u8; 100]);
+        let bytes = s.to_bytes();
+        for cut in [0, 1, 10, bytes.len() / 2, bytes.len() - 1] {
+            let err = SnapshotReader::from_bytes(&bytes[..cut]).unwrap_err();
+            assert!(matches!(err, PersistError::Corrupt { .. }), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn bit_flips_are_detected() {
+        let mut s = Snapshot::new();
+        s.add_section("a", b"hello world".to_vec());
+        s.add_section("b", b"goodbye".to_vec());
+        let bytes = s.to_bytes();
+        for i in 0..bytes.len() {
+            let mut evil = bytes.clone();
+            evil[i] ^= 0x40;
+            assert!(
+                SnapshotReader::from_bytes(&evil).is_err(),
+                "flip at byte {i} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn payload_swap_between_sections_is_detected() {
+        // Two sections with equal-length payloads; swap the payload
+        // bytes but keep each header intact.
+        let mut s = Snapshot::new();
+        s.add_section("a", b"AAAA".to_vec());
+        s.add_section("b", b"BBBB".to_vec());
+        let bytes = s.to_bytes();
+        let a_at = bytes.windows(4).position(|w| w == b"AAAA").unwrap();
+        let b_at = bytes.windows(4).position(|w| w == b"BBBB").unwrap();
+        let mut evil = bytes.clone();
+        for i in 0..4 {
+            evil.swap(a_at + i, b_at + i);
+        }
+        assert!(matches!(
+            SnapshotReader::from_bytes(&evil),
+            Err(PersistError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn dropped_section_fails_footer() {
+        let mut s = Snapshot::new();
+        s.add_section("a", b"xx".to_vec());
+        s.add_section("b", b"yy".to_vec());
+        let whole = s.to_bytes();
+        let mut one = Snapshot::new();
+        one.add_section("a", b"xx".to_vec());
+        let _ = one;
+        // Splice: magic + first section of `whole` + footer of `whole`.
+        let footer_at = whole.windows(4).rposition(|w| w == b"END ").unwrap();
+        let second_at = whole
+            .windows(10)
+            .rposition(|w| w.starts_with(b"SECTION b"))
+            .unwrap();
+        let mut evil = whole[..second_at].to_vec();
+        evil.extend_from_slice(&whole[footer_at..]);
+        assert!(matches!(
+            SnapshotReader::from_bytes(&evil),
+            Err(PersistError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_snapshot_roundtrips() {
+        let s = Snapshot::new();
+        let r = SnapshotReader::from_bytes(&s.to_bytes()).unwrap();
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn garbage_is_rejected_not_panicked() {
+        for garbage in [
+            &b""[..],
+            b"\n",
+            b"QUERCSNAP v2\nEND 0 00000000\n",
+            b"QUERCSNAP v1\nSECTION",
+            b"QUERCSNAP v1\nSECTION a 99999999999999999999 0\nEND 0 0\n",
+            b"QUERCSNAP v1\nSECTION a 4 zzzzzzzz\nxxxx\nEND 1 0\n",
+            b"\xff\xfe\x00\x01",
+        ] {
+            assert!(SnapshotReader::from_bytes(garbage).is_err());
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_after_footer_rejected() {
+        let mut s = Snapshot::new();
+        s.add_section("a", b"x".to_vec());
+        let mut bytes = s.to_bytes();
+        bytes.extend_from_slice(b"SECTION sneaky 1 00000000\nz\n");
+        assert!(matches!(
+            SnapshotReader::from_bytes(&bytes),
+            Err(PersistError::Corrupt { .. })
+        ));
+    }
+}

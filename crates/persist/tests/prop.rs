@@ -1,0 +1,99 @@
+//! Property tests: the snapshot reader is total — every corruption of a
+//! valid snapshot surfaces `PersistError::Corrupt`, never a panic, and
+//! every uncorrupted snapshot round-trips its sections bit-exactly.
+
+use proptest::prelude::*;
+use querc_persist::{PersistError, Snapshot, SnapshotReader};
+
+/// Build a snapshot from generated `(name-suffix, payload)` sections.
+fn build(sections: &[(String, Vec<u8>)]) -> Vec<u8> {
+    let mut s = Snapshot::new();
+    for (suffix, payload) in sections {
+        s.add_section(&format!("sec-{suffix}"), payload.clone());
+    }
+    s.to_bytes()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Valid snapshots round-trip: every section's payload comes back
+    /// bit-exact under last-wins lookup.
+    #[test]
+    fn roundtrip_is_exact(
+        sections in prop::collection::vec(
+            ("[a-z0-9]{1,8}", prop::collection::vec(any::<u8>(), 0..200)),
+            0..6,
+        )
+    ) {
+        let bytes = build(&sections);
+        let r = SnapshotReader::from_bytes(&bytes).expect("valid snapshot");
+        prop_assert_eq!(r.len(), sections.len());
+        for (suffix, payload) in &sections {
+            let name = format!("sec-{suffix}");
+            // Last occurrence of the name wins; find it in the input.
+            let expected = sections
+                .iter()
+                .rev()
+                .find(|(s, _)| s == suffix)
+                .map(|(_, p)| p.as_slice());
+            prop_assert_eq!(r.section(&name), expected);
+            let _ = payload;
+        }
+    }
+
+    /// Any strict truncation of a valid snapshot is rejected with
+    /// `Corrupt` — never accepted, never a panic.
+    #[test]
+    fn truncation_never_panics_never_passes(
+        sections in prop::collection::vec(
+            ("[a-z]{1,6}", prop::collection::vec(any::<u8>(), 0..120)),
+            1..5,
+        ),
+        cut_seed in any::<u64>(),
+    ) {
+        let bytes = build(&sections);
+        let cut = (cut_seed % bytes.len() as u64) as usize; // < len: strict prefix
+        match SnapshotReader::from_bytes(&bytes[..cut]) {
+            Err(PersistError::Corrupt { .. }) => {}
+            Err(other) => prop_assert!(false, "wrong error for truncation: {other:?}"),
+            Ok(_) => prop_assert!(false, "truncated snapshot accepted at {cut}/{}", bytes.len()),
+        }
+    }
+
+    /// Any single bit flip in a valid snapshot is rejected with
+    /// `Corrupt` — the per-section CRC, the footer CRC, or the framing
+    /// catches it.
+    #[test]
+    fn bit_flips_never_panic_never_pass(
+        sections in prop::collection::vec(
+            ("[a-z]{1,6}", prop::collection::vec(any::<u8>(), 1..120)),
+            1..5,
+        ),
+        pos_seed in any::<u64>(),
+        bit in 0u32..8,
+    ) {
+        let bytes = build(&sections);
+        let pos = (pos_seed % bytes.len() as u64) as usize;
+        let mut evil = bytes.clone();
+        evil[pos] ^= 1u8 << bit;
+        prop_assert!(evil != bytes);
+        match SnapshotReader::from_bytes(&evil) {
+            Err(PersistError::Corrupt { .. }) => {}
+            Err(other) => prop_assert!(false, "wrong error for bit flip: {other:?}"),
+            Ok(_) => prop_assert!(
+                false,
+                "bit flip at byte {pos} bit {bit} went undetected"
+            ),
+        }
+    }
+
+    /// Arbitrary garbage bytes never panic the reader.
+    #[test]
+    fn arbitrary_bytes_never_panic(
+        garbage in prop::collection::vec(any::<u8>(), 0..400)
+    ) {
+        // Either a (vanishingly unlikely) valid parse or a clean error.
+        let _ = SnapshotReader::from_bytes(&garbage);
+    }
+}

@@ -183,6 +183,32 @@ impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
     }
 }
 
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('[');
+        self.0.serialize_json(out);
+        out.push(',');
+        self.1.serialize_json(out);
+        out.push(',');
+        self.2.serialize_json(out);
+        out.push(']');
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn deserialize_json(v: &json::Value) -> Result<Self, json::Error> {
+        let arr = v.as_array()?;
+        if arr.len() != 3 {
+            return Err(json::Error::msg("expected 3-element array"));
+        }
+        Ok((
+            A::deserialize_json(&arr[0])?,
+            B::deserialize_json(&arr[1])?,
+            C::deserialize_json(&arr[2])?,
+        ))
+    }
+}
+
 impl<V: Serialize> Serialize for HashMap<String, V> {
     fn serialize_json(&self, out: &mut String) {
         // Deterministic key order keeps serialized models diffable.

@@ -1,0 +1,428 @@
+//! Integration: the persistence plane end to end — kill-and-restore.
+//!
+//! A warm `WorkloadManager` (all six apps on one shared embedder, a
+//! registry classifier attached to every query) checkpoints to disk;
+//! a second process-worth of state is rebuilt with
+//! `WorkloadManager::restore` and must serve **bit-identical labels**
+//! to the same probe batch, hit the embed cache on its very first
+//! post-restore lookups, and resume registry version numbering where
+//! the snapshot left off. Torn or flipped bytes must surface as
+//! `QuercError::Corrupt` — never a panic, never silently-wrong models.
+
+use querc::apps::{
+    AuditApp, ErrorsApp, RecommendApp, ResourcesApp, RoutingApp, SummarizeApp, TrainCorpus,
+};
+use querc::{
+    LabeledQuery, ModelRegistry, QuercError, QueryClassifier, TrainedLabeler, WorkloadManager,
+    WorkloadManagerConfig,
+};
+use querc_embed::{BagOfTokens, Embedder};
+use querc_learn::{ForestConfig, RandomForest};
+use querc_linalg::Pcg32;
+use querc_workloads::QueryRecord;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// A synthetic multi-tenant log with structure for every app: two users
+/// with distinct habits, two routing clusters, one flaky join shape,
+/// and three runtime classes.
+fn training_records() -> Vec<QueryRecord> {
+    (0..120u64)
+        .map(|i| {
+            let (user, cluster, sql, ms, err) = match i % 4 {
+                0 => (
+                    "acct/ana",
+                    "bi-cluster",
+                    format!("select revenue, region from finance_cube where q = {i} group by region"),
+                    400.0,
+                    None,
+                ),
+                1 => (
+                    "acct/bo",
+                    "etl-cluster",
+                    format!("insert into lake_events select * from staging_{}", i % 3),
+                    30.0,
+                    None,
+                ),
+                2 => (
+                    "acct/ana",
+                    "bi-cluster",
+                    format!("select v from kv_store where k = {i}"),
+                    5.0,
+                    None,
+                ),
+                _ => (
+                    "acct/bo",
+                    "etl-cluster",
+                    format!(
+                        "select a.*, b.* from giant_facts a join giant_facts b on a.k = b.k where a.x > {i}"
+                    ),
+                    2000.0,
+                    (i % 8 != 3).then_some(604),
+                ),
+            };
+            QueryRecord {
+                sql,
+                user: user.into(),
+                account: "acct".into(),
+                cluster: cluster.into(),
+                dialect: "generic".into(),
+                runtime_ms: ms,
+                mem_mb: ms / 2.0,
+                error_code: err,
+                timestamp: i,
+            }
+        })
+        .collect()
+}
+
+fn snapshot_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "querc_persist_it_{}_{tag}.snap",
+        std::process::id()
+    ))
+}
+
+/// The four template shapes of the workload, with varying literals.
+fn query_for(i: u64) -> LabeledQuery {
+    match i % 4 {
+        0 => LabeledQuery::new(format!(
+            "select revenue, region from finance_cube where q = {i} group by region"
+        )),
+        1 => LabeledQuery::new(format!(
+            "insert into lake_events select * from staging_{}",
+            i % 3
+        )),
+        2 => LabeledQuery::new(format!("select v from kv_store where k = {i}")),
+        _ => LabeledQuery::new(format!(
+            "select a.*, b.* from giant_facts a join giant_facts b on a.k = b.k where a.x > {i}"
+        )),
+    }
+}
+
+const APPS: [&str; 6] = [
+    "audit",
+    "errors",
+    "recommend",
+    "resources",
+    "routing",
+    "summarize",
+];
+
+/// Register all six apps on ONE shared embedder (the blessed deployment
+/// — one cache namespace, one embed per template for everyone).
+fn register_all(mgr: &mut WorkloadManager, corpus: &TrainCorpus) -> Arc<dyn Embedder> {
+    let shared: Arc<dyn Embedder> = Arc::new(BagOfTokens::new(128, true));
+    mgr.register(AuditApp::new(Arc::clone(&shared)).with_trees(20), corpus)
+        .unwrap();
+    mgr.register(ErrorsApp::new(Arc::clone(&shared)), corpus)
+        .unwrap();
+    mgr.register(
+        RecommendApp::new(Arc::clone(&shared)).with_clusters(4),
+        corpus,
+    )
+    .unwrap();
+    mgr.register(ResourcesApp::new(Arc::clone(&shared)), corpus)
+        .unwrap();
+    mgr.register(RoutingApp::new(Arc::clone(&shared)), corpus)
+        .unwrap();
+    let summary_cfg = querc::apps::summarize::SummaryConfig {
+        k: Some(6),
+        ..Default::default()
+    };
+    mgr.register(
+        SummarizeApp::new(Arc::clone(&shared)).with_config(summary_cfg),
+        corpus,
+    )
+    .unwrap();
+    shared
+}
+
+/// Submit the probe batch (same literals both times — label determinism
+/// is the point) tagged so it can be fished out of the drain.
+fn submit_probes(mgr: &WorkloadManager) {
+    for i in 0..48u64 {
+        let app = APPS[(i % 6) as usize];
+        let mut lq = query_for(i);
+        lq.set("user", if i % 2 == 0 { "acct/ana" } else { "acct/bo" });
+        lq.set("probe", i.to_string());
+        mgr.submit(app, lq).unwrap();
+    }
+}
+
+/// One app's probe outputs, sorted by probe id — completion order
+/// varies across shard threads, label content must not.
+fn probe_outputs(drained: &querc::ServiceDrain, app: &str) -> Vec<LabeledQuery> {
+    let mut probes: Vec<LabeledQuery> = drained.outputs[app]
+        .iter()
+        .filter(|lq| lq.get("probe").is_some())
+        .cloned()
+        .collect();
+    probes.sort_by_key(|lq| lq.get("probe").unwrap().parse::<u64>().unwrap());
+    probes
+}
+
+#[test]
+fn kill_and_restore_serves_bit_identical_labels_with_a_warm_cache() {
+    let path = snapshot_path("kill_restore");
+    let corpus = TrainCorpus::from_records(training_records(), 0x2019);
+    let cfg = WorkloadManagerConfig {
+        shards_per_app: 2,
+        batch: 16,
+        attach_labels: vec!["user".to_string()],
+        ..Default::default()
+    };
+
+    // ---- Original process: train, deploy, serve warm traffic. ----
+    let mut mgr = WorkloadManager::new(cfg.clone());
+    // A registry classifier every Qworker attaches — restored managers
+    // must be able to resolve it at registration time.
+    let mut tm = querc::TrainingModule::new(querc::TrainingConfig::default());
+    tm.ingest_records(&corpus.records);
+    let emb = tm.train_embedder(&querc::EmbedderKind::BagOfTokens { dim: 64 });
+    tm.try_train_and_deploy(mgr.registry(), &emb, "user")
+        .unwrap();
+    register_all(&mut mgr, &corpus);
+
+    // Warm traffic covering all four templates fills the embed cache.
+    for i in 0..96u64 {
+        mgr.submit(APPS[(i % 6) as usize], query_for(i)).unwrap();
+    }
+
+    // ---- Checkpoint, then keep serving the probe batch. ----
+    mgr.checkpoint(&path).unwrap();
+    submit_probes(&mgr);
+    let before = mgr.drain();
+
+    // ---- "New process": restore and serve the same probes. ----
+    let restored = WorkloadManager::restore(&path, cfg.clone()).unwrap();
+    assert_eq!(restored.app_names(), APPS, "all six apps came back");
+    assert_eq!(
+        restored.registry().version("user"),
+        Some(1),
+        "registry deployment restored at its pinned version"
+    );
+    for (orig, back) in mgr_reports(&corpus).iter().zip(restored.reports().unwrap()) {
+        assert_eq!(orig.app, back.app);
+        assert_eq!(
+            orig.trained_queries, back.trained_queries,
+            "{}: fitted size survives",
+            back.app
+        );
+    }
+
+    submit_probes(&restored);
+    let cache = restored.embed_cache_stats();
+    assert!(
+        cache.hits > 0,
+        "first post-restore batch must hit the warmed cache"
+    );
+    assert_eq!(
+        cache.misses, 0,
+        "every probe template was cached pre-checkpoint; nothing re-embeds"
+    );
+    let after = restored.drain();
+
+    // Bit-identical labels, app by app, probe by probe.
+    for app in APPS {
+        let b = probe_outputs(&before, app);
+        let a = probe_outputs(&after, app);
+        assert_eq!(b.len(), 8, "{app}: 8 probes each");
+        assert_eq!(b, a, "{app}: restored labels must be bit-identical");
+    }
+    // The restored run attached the registry label too (attach_labels
+    // only works if deployments are live before apps register).
+    for lq in &after.outputs["resources"] {
+        if lq.get("probe").is_some() {
+            assert!(lq.get("predicted_user").is_some());
+        }
+    }
+
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Re-fit reports for comparison without holding the first manager
+/// alive (reports only depend on the corpus and app set).
+fn mgr_reports(corpus: &TrainCorpus) -> Vec<querc::AppReport> {
+    let mut mgr = WorkloadManager::new(WorkloadManagerConfig::default());
+    register_all(&mut mgr, corpus);
+    mgr.reports().unwrap()
+}
+
+#[test]
+fn checkpoint_delta_appends_vectors_cached_since_the_last_snapshot() {
+    let path = snapshot_path("delta");
+    let corpus = TrainCorpus::from_records(training_records(), 7);
+    let mut mgr = WorkloadManager::new(WorkloadManagerConfig::default());
+    let shared: Arc<dyn Embedder> = Arc::new(BagOfTokens::new(64, true));
+    mgr.register(ResourcesApp::new(Arc::clone(&shared)), &corpus)
+        .unwrap();
+
+    // Full snapshot holds only the kv_store template…
+    mgr.submit(
+        "resources",
+        LabeledQuery::new("select v from kv_store where k = 1"),
+    )
+    .unwrap();
+    mgr.checkpoint(&path).unwrap();
+    // …then a brand-new template arrives and a delta captures it.
+    mgr.submit(
+        "resources",
+        LabeledQuery::new("select late, arrival from delta_only_shape where id = 9"),
+    )
+    .unwrap();
+    mgr.checkpoint_delta(&path).unwrap();
+    // A second delta with no new templates appends nothing (no-op).
+    mgr.checkpoint_delta(&path).unwrap();
+    drop(mgr.drain());
+
+    let restored = WorkloadManager::restore(&path, WorkloadManagerConfig::default()).unwrap();
+    restored
+        .submit(
+            "resources",
+            LabeledQuery::new("select late, arrival from delta_only_shape where id = 77"),
+        )
+        .unwrap();
+    restored
+        .submit(
+            "resources",
+            LabeledQuery::new("select v from kv_store where k = 42"),
+        )
+        .unwrap();
+    let stats = restored.embed_cache_stats();
+    assert_eq!(
+        (stats.hits, stats.misses),
+        (2, 0),
+        "both the full-snapshot template and the delta-appended one are warm"
+    );
+    drop(restored.drain());
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn registry_version_history_survives_a_deploy_undeploy_storm() {
+    let path = snapshot_path("registry_storm");
+
+    fn classifier(label_name: &str, tag: &str) -> QueryClassifier {
+        let embedder: Arc<dyn Embedder> = Arc::new(BagOfTokens::new(16, false));
+        let vectors = vec![vec![0.0; 16], vec![1.0; 16]];
+        let labels = vec![tag, tag];
+        let labeler = TrainedLabeler::train(
+            RandomForest::new(ForestConfig::extra_trees(2)),
+            &vectors,
+            &labels,
+            &mut Pcg32::new(1),
+        );
+        QueryClassifier::new(label_name, embedder, labeler)
+    }
+
+    let mgr = WorkloadManager::new(WorkloadManagerConfig::default());
+    let reg: &Arc<ModelRegistry> = mgr.registry();
+    // The storm: user churns to v3, cluster deploys twice then dies,
+    // team deploys once.
+    reg.deploy("user", classifier("user", "u1"));
+    reg.deploy("user", classifier("user", "u2"));
+    reg.deploy("user", classifier("user", "u3"));
+    reg.deploy("cluster", classifier("cluster", "c1"));
+    reg.deploy("cluster", classifier("cluster", "c2"));
+    reg.undeploy("cluster");
+    reg.deploy("team", classifier("team", "t1"));
+    let history_before = reg.history();
+    assert_eq!(history_before.len(), 7);
+
+    mgr.checkpoint(&path).unwrap();
+    drop(mgr.drain());
+
+    // Restore with attach_labels pointing at the snapshot's deployments:
+    // registration-time resolution must succeed purely from the snapshot.
+    let cfg = WorkloadManagerConfig {
+        attach_labels: vec!["user".to_string(), "team".to_string()],
+        ..Default::default()
+    };
+    let mut restored = WorkloadManager::restore(&path, cfg).unwrap();
+    let corpus = TrainCorpus::from_records(training_records(), 7);
+    let shared: Arc<dyn Embedder> = Arc::new(BagOfTokens::new(64, true));
+    restored
+        .register(ResourcesApp::new(shared), &corpus)
+        .unwrap();
+
+    let reg = restored.registry();
+    assert_eq!(reg.version("user"), Some(3), "pinned, not restarted at 1");
+    assert_eq!(reg.version("team"), Some(1));
+    assert_eq!(reg.version("cluster"), None, "undeployed stays undeployed");
+    assert_eq!(reg.get("user").unwrap().label_sql("select 1"), "u3");
+    assert_eq!(reg.history(), history_before, "event log survives verbatim");
+    // Post-restore deploys continue the version sequence.
+    assert_eq!(reg.deploy("user", classifier("user", "u4")), 4);
+
+    // Attached labels resolve through the restored deployments.
+    restored
+        .submit(
+            "resources",
+            LabeledQuery::new("select v from kv_store where k = 1"),
+        )
+        .unwrap();
+    let drained = restored.drain();
+    let lq = &drained.outputs["resources"][0];
+    assert!(lq.get("predicted_user").is_some());
+    assert!(lq.get("predicted_team").is_some());
+
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn corrupted_and_truncated_snapshots_report_corrupt_never_panic() {
+    let path = snapshot_path("corrupt");
+    let corpus = TrainCorpus::from_records(training_records(), 7);
+    let mut mgr = WorkloadManager::new(WorkloadManagerConfig::default());
+    let shared: Arc<dyn Embedder> = Arc::new(BagOfTokens::new(64, true));
+    mgr.register(ResourcesApp::new(Arc::clone(&shared)), &corpus)
+        .unwrap();
+    mgr.submit(
+        "resources",
+        LabeledQuery::new("select v from kv_store where k = 1"),
+    )
+    .unwrap();
+    mgr.checkpoint(&path).unwrap();
+    drop(mgr.drain());
+
+    let pristine = std::fs::read(&path).unwrap();
+    // Sanity: the pristine copy restores.
+    WorkloadManager::restore(&path, WorkloadManagerConfig::default()).unwrap();
+
+    // A single flipped bit anywhere in the body must be caught by a
+    // section CRC (or the header/footer parsers) and reported.
+    for at in [
+        0,
+        pristine.len() / 3,
+        pristine.len() / 2,
+        pristine.len() - 2,
+    ] {
+        let mut torn = pristine.clone();
+        torn[at] ^= 0x40;
+        std::fs::write(&path, &torn).unwrap();
+        let err = match WorkloadManager::restore(&path, WorkloadManagerConfig::default()) {
+            Err(e) => e,
+            Ok(_) => panic!("byte {at}: flipped byte must not restore"),
+        };
+        assert!(
+            matches!(err, QuercError::Corrupt { .. }),
+            "byte {at}: want Corrupt, got {err:?}"
+        );
+    }
+
+    // Truncation at any depth: a torn tail is Corrupt, not a panic.
+    for keep in [1, pristine.len() / 4, pristine.len() - 1] {
+        std::fs::write(&path, &pristine[..keep]).unwrap();
+        let err = match WorkloadManager::restore(&path, WorkloadManagerConfig::default()) {
+            Err(e) => e,
+            Ok(_) => panic!("keep {keep}: truncated snapshot must not restore"),
+        };
+        assert!(
+            matches!(err, QuercError::Corrupt { .. }),
+            "keep {keep}: want Corrupt, got {err:?}"
+        );
+    }
+
+    let _ = std::fs::remove_file(&path);
+}
