@@ -75,6 +75,16 @@ pub enum QuercError {
         /// Human-readable failure description.
         message: String,
     },
+    /// QoS admission control shed this query instead of enqueuing it —
+    /// the tenant exceeded its rate, its backlog cap, or its shard's
+    /// queue was full. An explicit per-tenant outcome, not a failure of
+    /// the serving plane: other tenants proceed unaffected.
+    Rejected {
+        /// The routing key whose budget was exceeded.
+        tenant: String,
+        /// Which admission check shed the query.
+        reason: crate::qos::RejectReason,
+    },
     /// A snapshot failed validation: bad magic, CRC mismatch,
     /// truncation, or structurally-valid bytes that decode to an
     /// inconsistent state (e.g. out-of-range tree indices). Restore
@@ -120,6 +130,9 @@ impl fmt::Display for QuercError {
             }
             QuercError::Training { context, message } => {
                 write!(f, "{context}: {message}")
+            }
+            QuercError::Rejected { tenant, reason } => {
+                write!(f, "query from tenant `{tenant}` rejected: {reason}")
             }
             QuercError::Corrupt { detail } => {
                 write!(f, "corrupt snapshot: {detail}")

@@ -27,6 +27,14 @@
 //!   through bounded shard queues, and batches the hot path end to end
 //!   (`submit`/`submit_batch`/`drain`, per-app throughput counters and
 //!   [`histogram::LatencyHistogram`] p50/p95/p99 latency);
+//! * multi-tenant **QoS** ([`qos`]) isolates tenants on that serving
+//!   path: per-tenant token-bucket admission control at `submit`,
+//!   deficit-round-robin fair dequeue across per-tenant subqueues
+//!   inside every shard worker, and explicit load shedding
+//!   ([`error::QuercError::Rejected`] with per-tenant counts and
+//!   latency quantiles in [`service::ServiceDrain::qos`]) instead of
+//!   blanket backpressure — off by default, enabled via
+//!   [`service::WorkloadManagerConfig::qos`];
 //! * queries are parsed, fingerprinted, and embedded **once at manager
 //!   ingress**: the [`embed_plane::EmbedPlane`] keys a sharded, bounded
 //!   LRU vector cache by template fingerprint
@@ -70,6 +78,7 @@ pub mod error;
 pub mod histogram;
 pub mod labeled;
 mod persist;
+pub mod qos;
 pub mod qworker;
 pub mod registry;
 pub mod service;
@@ -82,6 +91,10 @@ pub use enriched::EnrichedQuery;
 pub use error::{QuercError, Result};
 pub use histogram::{LatencyHistogram, LatencySnapshot};
 pub use labeled::LabeledQuery;
+pub use qos::{
+    DrrScheduler, QosConfig, QosDrain, RateLimit, RejectReason, TenantPolicy, TenantSnapshot,
+    TokenBucket,
+};
 pub use qworker::{Qworker, QworkerMode, TimedQuery};
 pub use registry::{ModelRegistry, RegistryEvent};
 pub use service::{

@@ -152,6 +152,31 @@ pub(crate) struct AppState {
     pub(crate) model_json: String,
 }
 
+/// One persisted per-tenant QoS policy override (see
+/// [`crate::qos::TenantPolicy`]); `rate_per_sec`/`burst` are both
+/// `None` for a tenant with no rate limit.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub(crate) struct QosPolicyState {
+    /// Routing key the policy applies to.
+    pub(crate) tenant: String,
+    /// DRR weight.
+    pub(crate) weight: u32,
+    /// Token-bucket sustained rate, if rate-limited.
+    pub(crate) rate_per_sec: Option<f64>,
+    /// Token-bucket burst capacity, if rate-limited.
+    pub(crate) burst: Option<f64>,
+}
+
+/// The `qos` section: the tenant policy overrides installed at
+/// checkpoint time. **Additive** — written only when QoS is enabled,
+/// ignored by readers that predate it, and absent from pre-QoS
+/// snapshots without failing restore (no format version bump).
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub(crate) struct QosSectionState {
+    /// Explicit per-tenant overrides, sorted by tenant.
+    pub(crate) policies: Vec<QosPolicyState>,
+}
+
 /// Restores embedders from `(kind, json)` specs, deduplicating by spec
 /// so apps and classifiers that shared one embedder at checkpoint time
 /// share one `Arc` (and one cache namespace's memory) after restore.

@@ -36,9 +36,10 @@ use crate::classifier::QueryClassifier;
 use crate::enriched::EnrichedQuery;
 use crate::histogram::LatencyHistogram;
 use crate::labeled::LabeledQuery;
+use crate::qos::{DrrScheduler, QosState};
 use crate::registry::ModelRegistry;
-use crate::service::{AppCounters, FittedApp};
-use crossbeam::channel::{Receiver, Sender};
+use crate::service::{routing_key, AppCounters, FittedApp};
+use crossbeam::channel::{Receiver, Sender, TryRecvError};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Instant;
@@ -101,6 +102,7 @@ pub struct Qworker {
     batch: usize,
     counters: Option<Arc<AppCounters>>,
     histogram: Option<Arc<LatencyHistogram>>,
+    qos: Option<Arc<QosState>>,
 }
 
 impl Qworker {
@@ -119,6 +121,7 @@ impl Qworker {
             batch: DEFAULT_BATCH,
             counters: None,
             histogram: None,
+            qos: None,
         }
     }
 
@@ -157,6 +160,15 @@ impl Qworker {
     /// query's enqueue→labeled latency into it.
     pub fn with_histogram(mut self, histogram: Arc<LatencyHistogram>) -> Self {
         self.histogram = Some(histogram);
+        self
+    }
+
+    /// Attach the manager's QoS state: [`Qworker::run_timed`] then
+    /// drains its shard through a per-tenant [`DrrScheduler`] (weights
+    /// and quantum from `qos`) instead of the raw channel FIFO, and
+    /// reports per-query completions into the per-tenant accounting.
+    pub fn with_qos(mut self, qos: Arc<QosState>) -> Self {
+        self.qos = Some(qos);
         self
     }
 
@@ -250,14 +262,98 @@ impl Qworker {
     /// [`Qworker::run`] over a stream of [`TimedQuery`]s — the sharded
     /// manager's per-shard loop. Each query's enqueue→labeled latency is
     /// recorded into the histogram installed by
-    /// [`Qworker::with_histogram`].
+    /// [`Qworker::with_histogram`]. With [`Qworker::with_qos`] attached,
+    /// the shard is drained fairly: arrivals are parked in per-tenant
+    /// subqueues and chunks are assembled by deficit round robin, so one
+    /// tenant's backlog cannot monopolize the shard.
     pub fn run_timed(
         &self,
         input: Receiver<TimedQuery>,
         database: Sender<LabeledQuery>,
         trainer: Sender<LabeledQuery>,
     ) -> usize {
+        if let Some(qos) = &self.qos {
+            return self.run_drr(Arc::clone(qos), input, database, trainer);
+        }
         self.run_loop(input, |t| (t.query, Some(t.enqueued_at)), database, trainer)
+    }
+
+    /// The QoS drain loop: pull every available arrival off the bounded
+    /// channel into the per-tenant [`DrrScheduler`] (the channel stays
+    /// short — the per-tenant admission cap is what bounds scheduler
+    /// memory), then dequeue one fair chunk and label it. Per-tenant
+    /// FIFO still holds end to end: the channel preserves arrival order
+    /// and the scheduler only ever pops a tenant's subqueue from the
+    /// front.
+    fn run_drr(
+        &self,
+        qos: Arc<QosState>,
+        input: Receiver<TimedQuery>,
+        database: Sender<LabeledQuery>,
+        trainer: Sender<LabeledQuery>,
+    ) -> usize {
+        let mut sched: DrrScheduler<TimedQuery> = DrrScheduler::new(qos.quantum());
+        let mut open = true;
+        let mut processed = 0usize;
+        let enqueue = |sched: &mut DrrScheduler<TimedQuery>, t: TimedQuery| {
+            let tenant = routing_key(t.query.labeled()).to_string();
+            let weight = qos.weight_of(&tenant);
+            sched.enqueue(&tenant, weight, t);
+        };
+        while open || !sched.is_empty() {
+            if open && sched.is_empty() {
+                // Nothing parked: block for the next arrival (or close).
+                match input.recv() {
+                    Ok(t) => enqueue(&mut sched, t),
+                    Err(_) => {
+                        open = false;
+                        continue;
+                    }
+                }
+            }
+            // Greedily absorb everything already queued so the scheduler
+            // sees the full cross-tenant picture before picking a chunk.
+            while open {
+                match input.try_recv() {
+                    Ok(t) => enqueue(&mut sched, t),
+                    Err(TryRecvError::Empty) => break,
+                    Err(TryRecvError::Disconnected) => open = false,
+                }
+            }
+            let timed = sched.dequeue_chunk(self.batch);
+            if timed.is_empty() {
+                continue;
+            }
+            let mut chunk = Vec::with_capacity(timed.len());
+            let mut stamps = Vec::with_capacity(timed.len());
+            let mut tenants = Vec::with_capacity(timed.len());
+            for t in timed {
+                tenants.push(routing_key(t.query.labeled()).to_string());
+                stamps.push(t.enqueued_at);
+                chunk.push(t.query);
+            }
+            let n = chunk.len();
+            let labeled_chunk = self.process_chunk(chunk);
+            let done = Instant::now();
+            for (tenant, at) in tenants.iter().zip(&stamps) {
+                let elapsed = done.duration_since(*at);
+                if let Some(histogram) = &self.histogram {
+                    histogram.record(elapsed);
+                }
+                qos.complete(tenant, Some(elapsed));
+            }
+            for labeled in labeled_chunk {
+                if self.mode == QworkerMode::Inline {
+                    let _ = database.send(labeled.clone());
+                }
+                let _ = trainer.send(labeled);
+            }
+            processed += n;
+            if let Some(counters) = &self.counters {
+                counters.processed.fetch_add(n as u64, Ordering::Relaxed);
+            }
+        }
+        processed
     }
 
     /// The chunked drain loop shared by [`Qworker::run`] and

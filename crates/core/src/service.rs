@@ -52,9 +52,10 @@ use crate::enriched::EnrichedQuery;
 use crate::error::{QuercError, Result};
 use crate::histogram::{LatencyHistogram, LatencySnapshot};
 use crate::labeled::LabeledQuery;
+use crate::qos::{QosConfig, QosDrain, QosState, RejectReason, TenantPolicy};
 use crate::qworker::{Qworker, QworkerMode, TimedQuery};
 use crate::registry::ModelRegistry;
-use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
 use parking_lot::Mutex;
 use querc_embed::Embedder;
 use std::any::Any;
@@ -194,6 +195,12 @@ pub struct WorkloadManagerConfig {
     pub embed_cache_capacity: usize,
     /// Lock shards of the embed cache (contention knob; ≥ 1 enforced).
     pub embed_cache_shards: usize,
+    /// Multi-tenant QoS knobs (see [`crate::qos`]). Disabled by default;
+    /// when enabled, submissions pass per-tenant token-bucket admission
+    /// control, shard workers dequeue by deficit round robin across
+    /// per-tenant subqueues, and overload sheds with
+    /// [`QuercError::Rejected`] instead of blocking the producer.
+    pub qos: QosConfig,
 }
 
 impl Default for WorkloadManagerConfig {
@@ -207,6 +214,7 @@ impl Default for WorkloadManagerConfig {
             attach_labels: Vec::new(),
             embed_cache_capacity: plane.capacity,
             embed_cache_shards: plane.shards,
+            qos: QosConfig::default(),
         }
     }
 }
@@ -214,10 +222,15 @@ impl Default for WorkloadManagerConfig {
 /// Per-app throughput counters (live — readable while serving).
 #[derive(Debug, Default)]
 pub struct AppCounters {
-    /// Queries accepted onto a shard queue.
+    /// Queries offered to this app. Without QoS this counts queries
+    /// accepted onto a shard queue; with QoS enabled it counts every
+    /// offered query — admitted **and** rejected — so that after a
+    /// drain `submitted == processed + rejected`.
     pub submitted: AtomicU64,
     /// Queries fully labeled by a shard worker.
     pub processed: AtomicU64,
+    /// Queries shed by QoS admission control (always 0 without QoS).
+    pub rejected: AtomicU64,
     /// Ingress embed-cache hits attributed to this app's submissions.
     pub cache_hits: AtomicU64,
     /// Ingress embed-cache misses attributed to this app's submissions.
@@ -229,10 +242,18 @@ pub struct AppCounters {
 pub struct AppThroughput {
     /// Application name.
     pub app: String,
-    /// Queries accepted onto the app's shard queues so far.
+    /// Queries offered to this app so far. Without QoS: accepted onto
+    /// the shard queues. With QoS enabled: admitted **and** rejected, so
+    /// a fully-drained app satisfies `submitted == processed + rejected`
+    /// (see [`AppCounters::submitted`]).
     pub submitted: u64,
     /// Queries fully labeled so far.
     pub processed: u64,
+    /// Queries shed by QoS admission control — an explicit per-tenant
+    /// outcome ([`QuercError::Rejected`]), never a silent drop. Always 0
+    /// when QoS is disabled; per-tenant breakdowns live in
+    /// [`ServiceDrain::qos`] / [`WorkloadManager::qos_stats`].
+    pub rejected: u64,
     /// Ingress embed-cache hits for this app's submissions (a hit means
     /// the query's vector was served from the shared template cache and
     /// no embedding ran anywhere on its serving path).
@@ -303,6 +324,10 @@ pub struct ServiceDrain {
     /// Final plane-wide embed-cache counters (all zeros when the cache
     /// was disabled via `embed_cache_capacity: 0`).
     pub embed_cache: EmbedCacheStats,
+    /// Final per-tenant QoS accounting (empty when QoS was disabled):
+    /// per-tenant submitted/processed/rejected counts and latency
+    /// quantiles — what the tenant-isolation tests gate on.
+    pub qos: QosDrain,
 }
 
 /// Labeled queries and counters recovered from a replaced app's
@@ -313,6 +338,7 @@ struct Carryover {
     training: Vec<LabeledQuery>,
     submitted: u64,
     processed: u64,
+    rejected: u64,
     cache_hits: u64,
     cache_misses: u64,
     latency: LatencyHistogram,
@@ -323,6 +349,9 @@ pub struct WorkloadManager {
     registry: Arc<ModelRegistry>,
     /// The shared ingress embed plane; `None` when disabled by config.
     plane: Option<Arc<EmbedPlane>>,
+    /// Per-tenant QoS state shared with every shard worker; `None` when
+    /// QoS is disabled by config.
+    qos: Option<Arc<QosState>>,
     apps: BTreeMap<String, AppEntry>,
     carryover: BTreeMap<String, Carryover>,
     cfg: WorkloadManagerConfig,
@@ -342,9 +371,11 @@ impl WorkloadManager {
                 shards: cfg.embed_cache_shards,
             }))
         });
+        let qos = cfg.qos.enabled.then(|| Arc::new(QosState::new(&cfg.qos)));
         WorkloadManager {
             registry: Arc::new(ModelRegistry::new()),
             plane,
+            qos,
             apps: BTreeMap::new(),
             carryover: BTreeMap::new(),
             cfg,
@@ -404,6 +435,9 @@ impl WorkloadManager {
             slot.training.extend(retired.training);
             slot.submitted += retired.submitted;
             slot.processed += retired.processed;
+            slot.rejected += retired.rejected;
+            slot.cache_hits += retired.cache_hits;
+            slot.cache_misses += retired.cache_misses;
             slot.latency.absorb(&retired.latency);
         }
 
@@ -419,12 +453,15 @@ impl WorkloadManager {
             // shard: FIFO consumption is what makes hash routing an
             // ordering guarantee rather than a load-balancing heuristic.
             let (in_tx, in_rx) = bounded(self.cfg.queue_depth.max(1));
-            let worker = Qworker::new(name.clone(), Vec::new(), self.cfg.mode)
+            let mut worker = Qworker::new(name.clone(), Vec::new(), self.cfg.mode)
                 .with_registry(Arc::clone(&self.registry), self.cfg.attach_labels.clone())
                 .with_app(Arc::clone(&fitted))
                 .with_batch(self.cfg.batch)
                 .with_counter(Arc::clone(&counters))
                 .with_histogram(Arc::clone(&latency));
+            if let Some(qos) = &self.qos {
+                worker = worker.with_qos(Arc::clone(qos));
+            }
             let db = out_tx.clone();
             let tr = tr_tx.clone();
             shards.push(in_tx);
@@ -461,6 +498,7 @@ impl WorkloadManager {
             training: entry.trainer_rx.iter().collect(),
             submitted: entry.counters.submitted.load(Ordering::Relaxed),
             processed: entry.counters.processed.load(Ordering::Relaxed),
+            rejected: entry.counters.rejected.load(Ordering::Relaxed),
             cache_hits: entry.counters.cache_hits.load(Ordering::Relaxed),
             cache_misses: entry.counters.cache_misses.load(Ordering::Relaxed),
             latency,
@@ -481,14 +519,27 @@ impl WorkloadManager {
     /// Enqueue one query for `app` on its tenant's shard. The query is
     /// enriched at ingress — fingerprinted and, on a template-cache hit,
     /// handed its embedding vector for free — before being routed.
-    /// Blocks while that shard's bounded queue is full (backpressure).
+    ///
+    /// Without QoS, blocks while that shard's bounded queue is full
+    /// (backpressure). With QoS enabled
+    /// ([`WorkloadManagerConfig::qos`]), the query first passes the
+    /// tenant's token bucket and backlog cap, and a full shard queue
+    /// **sheds instead of blocking** — all three produce
+    /// [`QuercError::Rejected`] naming the tenant and reason, counted in
+    /// [`AppThroughput::rejected`] and the tenant's
+    /// [`crate::qos::TenantSnapshot`].
     pub fn submit(&self, app: &str, query: LabeledQuery) -> Result<()> {
         let entry = self.entry(app)?;
         let enqueued_at = Instant::now();
         let mut enriched = [EnrichedQuery::new(query)];
         self.enrich(entry, &mut enriched);
         let [q] = enriched;
-        Self::send_routed(entry, TimedQuery::at(q, enqueued_at), "manager.submit")
+        match &self.qos {
+            Some(qos) => {
+                Self::send_admitted(entry, qos, TimedQuery::at(q, enqueued_at), "manager.submit")
+            }
+            None => Self::send_routed(entry, TimedQuery::at(q, enqueued_at), "manager.submit"),
+        }
     }
 
     /// Enqueue a batch for `app`, each query hash-routed to its tenant's
@@ -507,6 +558,12 @@ impl WorkloadManager {
     /// [`WorkloadManager::throughput`] (`submitted` counts every
     /// accepted query) before retrying, or a retry will double-submit
     /// the accepted prefix.
+    /// With QoS enabled, a shed query does **not** abort the batch: it
+    /// is counted against its tenant (and in
+    /// [`AppThroughput::rejected`]) and the rest of the batch proceeds,
+    /// so the returned count is the *admitted* subset and after a drain
+    /// `submitted == processed + rejected` still holds. Only
+    /// [`QuercError::ChannelClosed`] (a dead shard) aborts.
     pub fn submit_batch(
         &self,
         app: &str,
@@ -518,12 +575,28 @@ impl WorkloadManager {
         self.enrich(entry, &mut batch);
         let mut n = 0usize;
         for q in batch {
-            Self::send_routed(
-                entry,
-                TimedQuery::at(q, enqueued_at),
-                "manager.submit_batch",
-            )?;
-            n += 1;
+            match &self.qos {
+                Some(qos) => {
+                    match Self::send_admitted(
+                        entry,
+                        qos,
+                        TimedQuery::at(q, enqueued_at),
+                        "manager.submit_batch",
+                    ) {
+                        Ok(()) => n += 1,
+                        Err(QuercError::Rejected { .. }) => {}
+                        Err(e) => return Err(e),
+                    }
+                }
+                None => {
+                    Self::send_routed(
+                        entry,
+                        TimedQuery::at(q, enqueued_at),
+                        "manager.submit_batch",
+                    )?;
+                    n += 1;
+                }
+            }
         }
         Ok(n)
     }
@@ -555,6 +628,68 @@ impl WorkloadManager {
         Ok(())
     }
 
+    /// The QoS ingress path: per-tenant admission (token bucket, then
+    /// backlog cap), then a **non-blocking** send to the tenant's shard
+    /// — a full queue sheds with [`RejectReason::ShardFull`] instead of
+    /// blocking the producer. Every offer is counted in `submitted`;
+    /// every shed in `rejected` (app-level and per-tenant), so the two
+    /// reconcile with `processed` after a drain. A dead shard
+    /// ([`QuercError::ChannelClosed`]) rolls the offer back instead:
+    /// the query had no outcome.
+    fn send_admitted(
+        entry: &AppEntry,
+        qos: &QosState,
+        timed: TimedQuery,
+        context: &'static str,
+    ) -> Result<()> {
+        let tenant = routing_key(timed.query.labeled()).to_string();
+        entry.counters.submitted.fetch_add(1, Ordering::Relaxed);
+        let state = match qos.admit_at(&tenant, Instant::now()) {
+            Ok(state) => state,
+            Err(reason) => {
+                entry.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                return Err(QuercError::Rejected { tenant, reason });
+            }
+        };
+        let shard = shard_for(&tenant, entry.shards.len());
+        // Reserve the pending slot BEFORE the send: once the query is in
+        // the queue a shard worker may complete it immediately, and the
+        // completion must observe the reservation (see `committed`).
+        QosState::committed(&state);
+        match entry.shards[shard].try_send(timed) {
+            Ok(()) => Ok(()),
+            Err(TrySendError::Full(_)) => {
+                QosState::shed_shard_full(&state);
+                entry.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                Err(QuercError::Rejected {
+                    tenant,
+                    reason: RejectReason::ShardFull,
+                })
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                QosState::unsubmit(&state);
+                entry.counters.submitted.fetch_sub(1, Ordering::Relaxed);
+                Err(QuercError::ChannelClosed { context })
+            }
+        }
+    }
+
+    /// Live per-tenant QoS accounting (empty when QoS is disabled).
+    pub fn qos_stats(&self) -> QosDrain {
+        self.qos
+            .as_ref()
+            .map(|q| q.drain_snapshot())
+            .unwrap_or_default()
+    }
+
+    /// Install (or replace) a tenant's QoS policy — DRR weight and rate
+    /// limit — live, while serving. No-op when QoS is disabled.
+    pub fn set_tenant_policy(&self, tenant: &str, policy: TenantPolicy) {
+        if let Some(qos) = &self.qos {
+            qos.set_policy(tenant, policy);
+        }
+    }
+
     /// Live per-app stats — counters plus latency quantiles, including
     /// retired generations after a re-registration — sorted by app name.
     pub fn throughput(&self) -> Vec<AppThroughput> {
@@ -583,6 +718,8 @@ impl WorkloadManager {
                     app: name.clone(),
                     submitted: prev_sub + e.counters.submitted.load(Ordering::Relaxed),
                     processed: prev_proc + e.counters.processed.load(Ordering::Relaxed),
+                    rejected: prev.map(|c| c.rejected).unwrap_or(0)
+                        + e.counters.rejected.load(Ordering::Relaxed),
                     cache_hits: prev_hits + e.counters.cache_hits.load(Ordering::Relaxed),
                     cache_misses: prev_misses + e.counters.cache_misses.load(Ordering::Relaxed),
                     latency,
@@ -686,6 +823,25 @@ impl WorkloadManager {
         };
         let cache_entries = self.plane.as_ref().map(|p| p.export()).unwrap_or_default();
 
+        // Tenant policy overrides, written only when QoS is live — an
+        // additive section, so pre-QoS readers and snapshots interop
+        // without a format version bump.
+        let qos_section = self
+            .qos
+            .as_ref()
+            .map(|qos| crate::persist::QosSectionState {
+                policies: qos
+                    .policies()
+                    .into_iter()
+                    .map(|(tenant, p)| crate::persist::QosPolicyState {
+                        tenant,
+                        weight: p.weight,
+                        rate_per_sec: p.rate.map(|r| r.rate_per_sec),
+                        burst: p.rate.map(|r| r.burst),
+                    })
+                    .collect(),
+            });
+
         let mut snap = querc_persist::Snapshot::new();
         snap.add_section(
             "manifest",
@@ -702,6 +858,9 @@ impl WorkloadManager {
             "embed_cache",
             persist::to_json(&cache_entries).ok_or_else(encode_failed)?,
         );
+        if let Some(state) = &qos_section {
+            snap.add_section("qos", persist::to_json(state).ok_or_else(encode_failed)?);
+        }
         snap.write_to(path)?;
 
         // A full snapshot resets the delta baseline: only keys cached
@@ -770,6 +929,38 @@ impl WorkloadManager {
 
         let mut mgr = WorkloadManager::new(cfg);
         let mut embedders = EmbedderCache::default();
+
+        // Tenant QoS policies, when the new process runs with QoS on and
+        // the snapshot carries the (additive) section. A pre-QoS
+        // snapshot simply has none to apply; a QoS snapshot restored
+        // into a QoS-disabled config ignores them — both directions
+        // interop.
+        if let (Some(qos), Some(bytes)) = (&mgr.qos, reader.section("qos")) {
+            let state: crate::persist::QosSectionState =
+                persist::from_json(persist::utf8(bytes, "qos")?, "qos")?;
+            for p in state.policies {
+                let rate = match (p.rate_per_sec, p.burst) {
+                    (Some(rate_per_sec), Some(burst)) => Some(crate::qos::RateLimit {
+                        rate_per_sec,
+                        burst,
+                    }),
+                    (None, None) => None,
+                    _ => {
+                        return Err(persist::corrupt(format!(
+                            "qos policy for {:?} has half a rate limit",
+                            p.tenant
+                        )))
+                    }
+                };
+                qos.set_policy(
+                    &p.tenant,
+                    TenantPolicy {
+                        weight: p.weight,
+                        rate,
+                    },
+                );
+            }
+        }
 
         // Registry first: register_fitted validates `attach_labels`
         // against it, so deployments must be live before any app is.
@@ -843,6 +1034,7 @@ impl WorkloadManager {
             apps,
             mut carryover,
             plane,
+            qos,
             ..
         } = self;
         let mut outputs = BTreeMap::new();
@@ -862,6 +1054,7 @@ impl WorkloadManager {
                 training_log.extend(prev.training);
                 collected.submitted += prev.submitted;
                 collected.processed += prev.processed;
+                collected.rejected += prev.rejected;
                 collected.cache_hits += prev.cache_hits;
                 collected.cache_misses += prev.cache_misses;
                 collected.latency.absorb(&prev.latency);
@@ -872,6 +1065,7 @@ impl WorkloadManager {
                 app: name,
                 submitted: collected.submitted,
                 processed: collected.processed,
+                rejected: collected.rejected,
                 cache_hits: collected.cache_hits,
                 cache_misses: collected.cache_misses,
                 latency: collected.latency.snapshot(),
@@ -883,6 +1077,7 @@ impl WorkloadManager {
             training_log,
             throughput,
             embed_cache: plane.map(|p| p.stats()).unwrap_or_default(),
+            qos: qos.map(|q| q.drain_snapshot()).unwrap_or_default(),
         }
     }
 }
@@ -1281,6 +1476,153 @@ mod tests {
             .unwrap_err();
         assert!(matches!(err, QuercError::UnknownApp { .. }));
         assert!(mgr.report("ghost").is_err());
+    }
+
+    #[test]
+    fn qos_submit_surfaces_rejected_with_tenant_and_reason() {
+        use crate::qos::{QosConfig, RateLimit, RejectReason, TenantPolicy};
+        let corpus = corpus();
+        let mut mgr = WorkloadManager::new(WorkloadManagerConfig {
+            qos: QosConfig::enabled(),
+            ..Default::default()
+        });
+        mgr.register(ResourcesApp::new(embedder()), &corpus)
+            .unwrap();
+        mgr.set_tenant_policy(
+            "cutoff",
+            TenantPolicy {
+                weight: 1,
+                rate: Some(RateLimit {
+                    rate_per_sec: 0.0,
+                    burst: 0.0,
+                }),
+            },
+        );
+        let mut lq = LabeledQuery::new("select v from kv_store where k = 1");
+        lq.set("account", "cutoff");
+        let err = mgr.submit("resources", lq).unwrap_err();
+        match err {
+            QuercError::Rejected { tenant, reason } => {
+                assert_eq!(tenant, "cutoff");
+                assert_eq!(reason, RejectReason::RateLimited);
+            }
+            other => panic!("expected Rejected, got {other}"),
+        }
+        // Unlimited tenants proceed untouched on the same manager.
+        let mut ok = LabeledQuery::new("select v from kv_store where k = 2");
+        ok.set("account", "open");
+        mgr.submit("resources", ok).unwrap();
+        let drained = mgr.drain();
+        let tp = &drained.throughput[0];
+        assert_eq!((tp.submitted, tp.processed, tp.rejected), (2, 1, 1));
+        assert_eq!(drained.outputs["resources"].len(), 1);
+    }
+
+    #[test]
+    fn qos_drain_accounts_submitted_as_processed_plus_rejected_mid_batch() {
+        use crate::qos::{QosConfig, RateLimit, TenantPolicy};
+        let corpus = corpus();
+        let mut mgr = WorkloadManager::new(WorkloadManagerConfig {
+            qos: QosConfig::enabled(),
+            ..Default::default()
+        });
+        mgr.register(ResourcesApp::new(embedder()), &corpus)
+            .unwrap();
+        // One tenant is cut off entirely; sheds land mid-batch,
+        // interleaved with admitted queries from the open tenant.
+        mgr.set_tenant_policy(
+            "cutoff",
+            TenantPolicy {
+                weight: 1,
+                rate: Some(RateLimit {
+                    rate_per_sec: 0.0,
+                    burst: 0.0,
+                }),
+            },
+        );
+        let batch: Vec<LabeledQuery> = (0..40)
+            .map(|i| {
+                let mut lq = LabeledQuery::new(format!("select v from kv_store where k = {i}"));
+                lq.set("account", if i % 2 == 0 { "cutoff" } else { "open" });
+                lq
+            })
+            .collect();
+        let accepted = mgr.submit_batch("resources", batch).unwrap();
+        assert_eq!(accepted, 20, "the admitted subset, not the whole batch");
+        let drained = mgr.drain();
+        let tp = &drained.throughput[0];
+        assert_eq!(tp.submitted, 40, "offers counted, admitted or not");
+        assert_eq!(
+            tp.processed + tp.rejected,
+            tp.submitted,
+            "every offer has exactly one outcome"
+        );
+        assert_eq!((tp.processed, tp.rejected), (20, 20));
+        let cutoff = &drained.qos.tenants["cutoff"];
+        assert_eq!(cutoff.rejected_rate_limited, 20);
+        assert_eq!((cutoff.processed, cutoff.pending), (0, 0));
+        let open = &drained.qos.tenants["open"];
+        assert_eq!(
+            (open.submitted, open.processed, open.rejected()),
+            (20, 20, 0)
+        );
+        assert_eq!(open.latency.count, 20, "per-tenant quantiles recorded");
+        assert!(open.latency.p50_us <= open.latency.p99_us);
+        assert_eq!(drained.outputs["resources"].len(), 20);
+        assert_eq!(drained.qos.total_rejected(), 20);
+    }
+
+    #[test]
+    fn qos_preserves_per_tenant_order_and_drains_everything() {
+        use crate::qos::QosConfig;
+        let corpus = corpus();
+        let mut mgr = WorkloadManager::new(WorkloadManagerConfig {
+            shards_per_app: 4,
+            batch: 4,
+            qos: QosConfig {
+                enabled: true,
+                quantum: 2,
+                ..Default::default()
+            },
+            ..Default::default()
+        });
+        mgr.register(ResourcesApp::new(embedder()), &corpus)
+            .unwrap();
+        // Same shape as per_tenant_order_is_preserved_across_shards, but
+        // through the DRR dequeue path: fairness must not break FIFO.
+        let tenants: Vec<String> = (0..8).map(|t| format!("tenant{t:02}")).collect();
+        let mut next_seq = vec![0u32; tenants.len()];
+        for i in 0..240 {
+            let t = i % tenants.len();
+            let mut lq = LabeledQuery::new(format!("select v from kv_store where k = {i}"));
+            lq.set("account", &tenants[t]);
+            lq.set("seq", next_seq[t].to_string());
+            next_seq[t] += 1;
+            mgr.submit("resources", lq).unwrap();
+        }
+        let drained = mgr.drain();
+        let outputs = &drained.outputs["resources"];
+        assert_eq!(outputs.len(), 240, "nothing lost, nothing shed");
+        let mut last_seen = vec![-1i64; tenants.len()];
+        for lq in outputs {
+            let t = tenants
+                .iter()
+                .position(|name| Some(name.as_str()) == lq.get("account"))
+                .unwrap();
+            let seq: i64 = lq.get("seq").unwrap().parse().unwrap();
+            assert!(
+                seq > last_seen[t],
+                "tenant {t} replayed out of order under DRR: {seq} after {}",
+                last_seen[t]
+            );
+            last_seen[t] = seq;
+        }
+        assert_eq!(drained.qos.tenants.len(), 8);
+        for (name, snap) in &drained.qos.tenants {
+            assert_eq!(snap.submitted, 30, "{name}");
+            assert_eq!(snap.processed, 30, "{name}");
+            assert_eq!(snap.rejected(), 0, "{name}");
+        }
     }
 
     #[test]

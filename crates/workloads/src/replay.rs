@@ -32,6 +32,23 @@ use crate::record::QueryRecord;
 use querc_linalg::Pcg32;
 use std::time::{Duration, Instant};
 
+/// Heavy-tailed tenant popularity for a replay: each scheduled query is
+/// reassigned to one of `tenants` synthetic tenants drawn from a Zipf
+/// distribution with the given exponent — rank 0 (`tenant000000`, the
+/// **whale**) dominates while the long tail of **minnows** trickles.
+/// This is the multi-tenant traffic shape the QoS scheduler is built
+/// for; cloud query logs are famously Zipf-like in per-tenant volume.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TenantMix {
+    /// Number of synthetic tenants (≥ 1); names are `tenant{rank:06}`
+    /// in popularity order (rank 0 is hottest).
+    pub tenants: usize,
+    /// Zipf exponent `s` — tenant rank `i` gets weight `1/(i+1)^s`.
+    /// `0.0` is uniform; `1.0` is the classic heavy tail; higher values
+    /// concentrate even harder on the whale.
+    pub exponent: f64,
+}
+
 /// Knobs for rewriting a corpus into a timed arrival process.
 #[derive(Debug, Clone)]
 pub struct ReplayConfig {
@@ -45,6 +62,14 @@ pub struct ReplayConfig {
     pub seed: u64,
     /// Replay at most this many queries (`None` = the whole corpus).
     pub limit: Option<usize>,
+    /// Overwrite each record's tenant (`account`/`user`) with a draw
+    /// from a Zipf popularity distribution — the whales-and-minnows
+    /// traffic shape for tenant-isolation testing. `None` keeps the
+    /// corpus's original tenants. The tenant sampler runs on its own
+    /// deterministic RNG stream, so enabling a mix does **not** perturb
+    /// the arrival-gap schedule: offsets are identical with and without
+    /// it for the same seed.
+    pub tenant_mix: Option<TenantMix>,
 }
 
 impl Default for ReplayConfig {
@@ -54,6 +79,7 @@ impl Default for ReplayConfig {
             burstiness: 0.5,
             seed: 0x4e9a,
             limit: None,
+            tenant_mix: None,
         }
     }
 }
@@ -81,6 +107,36 @@ pub struct ReplayStats {
     pub max_lag: Duration,
 }
 
+/// Inverse-CDF Zipf sampler over tenant ranks: weight `1/(i+1)^s`,
+/// normalized partial sums, binary search per draw. Deterministic in
+/// the RNG handed to [`ZipfSampler::sample`].
+struct ZipfSampler {
+    /// Cumulative distribution over ranks, ending at 1.0.
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    fn new(mix: TenantMix) -> ZipfSampler {
+        let n = mix.tenants.max(1);
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0f64;
+        for i in 0..n {
+            total += 1.0 / ((i + 1) as f64).powf(mix.exponent);
+            cdf.push(total);
+        }
+        for c in &mut cdf {
+            *c /= total;
+        }
+        ZipfSampler { cdf }
+    }
+
+    /// Draw a rank in `0..tenants` (0 = most popular).
+    fn sample(&self, rng: &mut Pcg32) -> usize {
+        let u = rng.f64();
+        self.cdf.partition_point(|c| *c < u).min(self.cdf.len() - 1)
+    }
+}
+
 /// A corpus rewritten into a deterministic timed arrival sequence.
 #[derive(Debug, Clone)]
 pub struct ReplaySchedule {
@@ -95,6 +151,11 @@ impl ReplaySchedule {
         let mean_gap = 1.0 / cfg.qps.max(1e-6);
         let burst = cfg.burstiness.clamp(0.0, 1.0);
         let mut rng = Pcg32::with_stream(cfg.seed, 0x4e9b);
+        // The tenant sampler gets its own stream off the same seed:
+        // adding/removing a tenant mix never shifts the gap schedule.
+        let mut tenant_sampler = cfg
+            .tenant_mix
+            .map(|mix| (ZipfSampler::new(mix), Pcg32::with_stream(cfg.seed, 0x4e9c)));
         let mut at = 0.0f64;
         let events = records[..n]
             .iter()
@@ -105,9 +166,15 @@ impl ReplaySchedule {
                 let u: f64 = (1.0 - rng.f64()).max(1e-12);
                 let exp_gap = -u.ln();
                 let gap = mean_gap * ((1.0 - burst) + burst * exp_gap);
+                let mut record = r.clone();
+                if let Some((zipf, trng)) = &mut tenant_sampler {
+                    let rank = zipf.sample(trng);
+                    record.account = format!("tenant{rank:06}");
+                    record.user = format!("tenant{rank:06}/u0");
+                }
                 let event = ReplayEvent {
                     offset: Duration::from_secs_f64(at),
-                    record: r.clone(),
+                    record,
                 };
                 at += gap;
                 event
@@ -146,6 +213,21 @@ impl ReplaySchedule {
         self.events
             .iter()
             .map(|e| querc_sql::template_fingerprint(&e.record.sql, querc_sql::Dialect::Generic))
+            .collect::<std::collections::HashSet<_>>()
+            .len()
+    }
+
+    /// Number of distinct *tenants* (by `account`) in the schedule — the
+    /// tenant-cardinality companion to
+    /// [`ReplaySchedule::distinct_templates`], and the QoS-planning
+    /// number: per-tenant scheduler memory and fair-share math both
+    /// scale with the tenants actually present, not with
+    /// [`TenantMix::tenants`] (a heavy-tailed draw routinely leaves cold
+    /// ranks unsampled).
+    pub fn distinct_tenants(&self) -> usize {
+        self.events
+            .iter()
+            .map(|e| e.record.account.as_str())
             .collect::<std::collections::HashSet<_>>()
             .len()
     }
@@ -244,7 +326,7 @@ mod tests {
                 qps: 1000.0,
                 burstiness,
                 seed: 42,
-                limit: None,
+                ..Default::default()
             };
             let schedule = ReplaySchedule::from_records(&records(2000), &cfg);
             let secs = schedule.duration().as_secs_f64();
@@ -307,6 +389,86 @@ mod tests {
             ReplaySchedule::from_records(&[], &ReplayConfig::default()).distinct_templates(),
             0
         );
+    }
+
+    #[test]
+    fn tenant_mix_is_deterministic_per_seed() {
+        let cfg = |seed| ReplayConfig {
+            seed,
+            tenant_mix: Some(TenantMix {
+                tenants: 50,
+                exponent: 1.1,
+            }),
+            ..Default::default()
+        };
+        let a = ReplaySchedule::from_records(&records(400), &cfg(7));
+        let b = ReplaySchedule::from_records(&records(400), &cfg(7));
+        for (x, y) in a.events().iter().zip(b.events()) {
+            assert_eq!(x.record.account, y.record.account, "same seed, same draw");
+            assert_eq!(x.offset, y.offset);
+        }
+        // A different seed draws a different tenant sequence.
+        let c = ReplaySchedule::from_records(&records(400), &cfg(8));
+        assert!(
+            a.events()
+                .iter()
+                .zip(c.events())
+                .any(|(x, y)| x.record.account != y.record.account),
+            "different seeds should diverge somewhere in 400 draws"
+        );
+    }
+
+    #[test]
+    fn tenant_mix_does_not_perturb_the_gap_schedule() {
+        let base = ReplayConfig::default();
+        let mixed = ReplayConfig {
+            tenant_mix: Some(TenantMix {
+                tenants: 20,
+                exponent: 1.0,
+            }),
+            ..Default::default()
+        };
+        let plain = ReplaySchedule::from_records(&records(200), &base);
+        let zipf = ReplaySchedule::from_records(&records(200), &mixed);
+        for (p, z) in plain.events().iter().zip(zipf.events()) {
+            assert_eq!(
+                p.offset, z.offset,
+                "tenant sampling must ride a separate RNG stream"
+            );
+            assert_eq!(p.record.sql, z.record.sql, "only tenancy is rewritten");
+        }
+    }
+
+    #[test]
+    fn tenant_mix_is_heavy_tailed_with_rank_zero_whale() {
+        let cfg = ReplayConfig {
+            tenant_mix: Some(TenantMix {
+                tenants: 40,
+                exponent: 1.2,
+            }),
+            ..Default::default()
+        };
+        let schedule = ReplaySchedule::from_records(&records(2000), &cfg);
+        let mut counts = std::collections::HashMap::new();
+        for e in schedule.events() {
+            *counts.entry(e.record.account.clone()).or_insert(0usize) += 1;
+            assert!(e.record.account.starts_with("tenant"));
+            assert_eq!(e.record.user, format!("{}/u0", e.record.account));
+        }
+        let whale = counts.get("tenant000000").copied().unwrap_or(0);
+        let max = counts.values().copied().max().unwrap();
+        assert_eq!(whale, max, "rank 0 is the most popular tenant");
+        assert!(
+            whale > 2000 / 40 * 4,
+            "whale far exceeds the uniform share: {whale}"
+        );
+        // Cardinality surfaces next to distinct_templates().
+        assert!(schedule.distinct_tenants() > 10);
+        assert!(schedule.distinct_tenants() <= 40);
+        assert_eq!(schedule.distinct_templates(), 1);
+        // Without a mix, the corpus's own 3 accounts survive.
+        let plain = ReplaySchedule::from_records(&records(100), &ReplayConfig::default());
+        assert_eq!(plain.distinct_tenants(), 3);
     }
 
     #[test]

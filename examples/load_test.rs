@@ -21,14 +21,28 @@
 //! scanned, exact vs ANN), and the run also exits nonzero if the replay
 //! recorded zero index searches — the same style of gate for the
 //! vector search plane.
+//!
+//! The replay uses the heavy-tailed Zipf tenant mix (a few whales, many
+//! minnows — the paper's multi-tenant shape), and after the main replay
+//! a **QoS isolation gate** runs a whale/minnow scenario twice through
+//! a QoS-enabled manager: eight minnows alone, then the same minnow
+//! schedule with a whale flooding at 10× their aggregate volume. The
+//! gate asserts the whale's overload surfaces as `Rejected` (never
+//! minnow sheds) and that the worst minnow p99 degrades ≤3× (plus 10ms
+//! slack), writing both p99s and the shed counts to `BENCH_qos.json`
+//! at the repo root for cross-PR tracking.
 
 use querc::apps::summarize::SummaryConfig;
 use querc::apps::{
     AuditApp, ErrorsApp, RecommendApp, ResourcesApp, RoutingApp, SummarizeApp, TrainCorpus,
 };
-use querc::{LabeledQuery, WorkloadManager, WorkloadManagerConfig};
+use querc::{
+    LabeledQuery, QosConfig, QuercError, RateLimit, ServiceDrain, TenantPolicy, WorkloadManager,
+    WorkloadManagerConfig,
+};
 use querc_embed::{BagOfTokens, Embedder};
-use querc_workloads::{ReplayConfig, ReplaySchedule, SnowCloud, SnowCloudConfig};
+use querc_workloads::{ReplayConfig, ReplaySchedule, SnowCloud, SnowCloudConfig, TenantMix};
+use std::path::PathBuf;
 use std::sync::Arc;
 
 fn arg(n: usize, default: f64) -> f64 {
@@ -54,14 +68,20 @@ fn main() {
             burstiness: 0.7,
             seed: 0x10ad,
             limit: Some(queries),
+            // Heavy-tailed tenant popularity: rank 0 is the whale.
+            tenant_mix: Some(TenantMix {
+                tenants: 12,
+                exponent: 1.1,
+            }),
         },
     );
     println!(
-        "corpus: {} training queries | replay: {} arrivals ({} distinct templates) \
-         at {qps:.0} q/s (bursty), {} shards/app",
+        "corpus: {} training queries | replay: {} arrivals ({} distinct templates, \
+         {} distinct tenants, Zipf s=1.1) at {qps:.0} q/s (bursty), {} shards/app",
         corpus.len(),
         schedule.len(),
         schedule.distinct_templates(),
+        schedule.distinct_tenants(),
         shards
     );
 
@@ -178,5 +198,161 @@ fn main() {
     assert!(
         index_searches > 0,
         "vector index plane recorded zero searches during the replay"
+    );
+
+    qos_isolation_gate(&corpus, shards);
+}
+
+// ---------------------------------------------------------------------
+// QoS isolation gate: whale at 10× minnow aggregate volume.
+// ---------------------------------------------------------------------
+
+const QOS_APPS: [&str; 6] = [
+    "audit",
+    "errors",
+    "recommend",
+    "resources",
+    "routing",
+    "summarize",
+];
+const MINNOWS: usize = 8;
+const PER_MINNOW: usize = 60;
+const WHALE_TOTAL: usize = 10 * MINNOWS * PER_MINNOW;
+/// Whale admissions before its zero-refill bucket runs dry — the rest
+/// of its flood is `Rejected`, deterministically.
+const WHALE_BURST: usize = 120;
+
+fn register_six(mgr: &mut WorkloadManager, corpus: &TrainCorpus) {
+    let shared: Arc<dyn Embedder> = Arc::new(BagOfTokens::new(128, true));
+    mgr.register(AuditApp::new(Arc::clone(&shared)).with_trees(20), corpus)
+        .unwrap();
+    mgr.register(ErrorsApp::new(Arc::clone(&shared)), corpus)
+        .unwrap();
+    mgr.register(
+        RecommendApp::new(Arc::clone(&shared)).with_clusters(6),
+        corpus,
+    )
+    .unwrap();
+    mgr.register(ResourcesApp::new(Arc::clone(&shared)), corpus)
+        .unwrap();
+    mgr.register(RoutingApp::new(Arc::clone(&shared)), corpus)
+        .unwrap();
+    mgr.register(
+        SummarizeApp::new(Arc::clone(&shared)).with_config(SummaryConfig {
+            k: Some(8),
+            ..Default::default()
+        }),
+        corpus,
+    )
+    .unwrap();
+}
+
+/// One scenario run: `PER_MINNOW` rounds of one query per minnow (apps
+/// round-robin, so every minnow crosses all six), with ten whale
+/// queries per minnow query interleaved when the whale is on.
+fn qos_run(corpus: &TrainCorpus, shards: usize, with_whale: bool) -> ServiceDrain {
+    let mut mgr = WorkloadManager::new(WorkloadManagerConfig {
+        shards_per_app: shards.max(1),
+        batch: 16,
+        queue_depth: 4096,
+        qos: QosConfig {
+            enabled: true,
+            quantum: 4,
+            ..Default::default()
+        },
+        ..Default::default()
+    });
+    register_six(&mut mgr, corpus);
+    mgr.set_tenant_policy(
+        "whale",
+        TenantPolicy {
+            weight: 1,
+            rate: Some(RateLimit {
+                rate_per_sec: 0.0,
+                burst: WHALE_BURST as f64,
+            }),
+        },
+    );
+    let whale_per_round = WHALE_TOTAL / PER_MINNOW;
+    let mut whale_i = 0usize;
+    for round in 0..PER_MINNOW {
+        for m in 0..MINNOWS {
+            let app = QOS_APPS[(round + m) % QOS_APPS.len()];
+            let mut lq = LabeledQuery::new(format!("select v from kv_store where k = {round}"));
+            lq.set("account", format!("minnow{m:02}"));
+            mgr.submit(app, lq)
+                .unwrap_or_else(|e| panic!("minnow {m} shed in round {round}: {e}"));
+        }
+        if with_whale {
+            for _ in 0..whale_per_round {
+                let app = QOS_APPS[whale_i % QOS_APPS.len()];
+                let mut lq =
+                    LabeledQuery::new(format!("select v from kv_store where k = {whale_i}"));
+                lq.set("account", "whale");
+                whale_i += 1;
+                match mgr.submit(app, lq) {
+                    Ok(()) | Err(QuercError::Rejected { .. }) => {}
+                    Err(other) => panic!("unexpected submit error: {other}"),
+                }
+            }
+        }
+    }
+    mgr.drain()
+}
+
+fn worst_minnow_p99(drained: &ServiceDrain) -> u64 {
+    (0..MINNOWS)
+        .map(|m| drained.qos.tenants[&format!("minnow{m:02}")].latency.p99_us)
+        .max()
+        .unwrap()
+}
+
+fn qos_isolation_gate(corpus: &TrainCorpus, shards: usize) {
+    let baseline = qos_run(corpus, shards, false);
+    let p99_without = worst_minnow_p99(&baseline);
+    let flooded = qos_run(corpus, shards, true);
+    let p99_with = worst_minnow_p99(&flooded);
+    let whale = &flooded.qos.tenants["whale"];
+    println!(
+        "\nqos isolation gate: {MINNOWS} minnows × {PER_MINNOW} queries, \
+         whale at 10× their aggregate ({WHALE_TOTAL} offers)\n\
+         worst minnow p99: {p99_without}µs alone, {p99_with}µs under the whale\n\
+         whale: {} processed, {} rejected ({} rate-limited)",
+        whale.processed,
+        whale.rejected(),
+        whale.rejected_rate_limited
+    );
+    for m in 0..MINNOWS {
+        let snap = &flooded.qos.tenants[&format!("minnow{m:02}")];
+        assert_eq!(
+            (snap.processed, snap.rejected()),
+            (PER_MINNOW as u64, 0),
+            "minnow {m} must be served whole under the whale"
+        );
+    }
+    assert_eq!(
+        whale.rejected_rate_limited,
+        (WHALE_TOTAL - WHALE_BURST) as u64,
+        "whale overload must surface as Rejected"
+    );
+    assert!(
+        p99_with <= 3 * p99_without + 10_000,
+        "minnow p99 degraded more than 3x under the whale: \
+         {p99_with}µs with vs {p99_without}µs without"
+    );
+    let out = format!(
+        "{{\n  \"bench\": \"qos\",\n  \"unit\": \"us\",\n  \"results\": [\n    \
+         {{\"minnows\": {MINNOWS}, \"per_minnow\": {PER_MINNOW}, \"whale_offers\": {WHALE_TOTAL}, \
+         \"minnow_p99_us_whale_absent\": {p99_without}, \
+         \"minnow_p99_us_whale_present\": {p99_with}, \
+         \"whale_processed\": {}, \"whale_rejected\": {}}}\n  ]\n}}\n",
+        whale.processed,
+        whale.rejected()
+    );
+    let dest = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("BENCH_qos.json");
+    std::fs::write(&dest, out).unwrap();
+    println!(
+        "gate passed (p99 ≤ 3× + 10ms slack); wrote {}",
+        dest.display()
     );
 }

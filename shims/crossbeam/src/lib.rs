@@ -73,6 +73,34 @@ pub mod channel {
         }
     }
 
+    /// Error returned by `try_send`; carries the unsent message back to
+    /// the caller, distinguishing a full bounded queue from a channel
+    /// whose receivers are all gone.
+    pub enum TrySendError<T> {
+        /// The bounded queue is at capacity.
+        Full(T),
+        /// All receivers have disconnected.
+        Disconnected(T),
+    }
+
+    impl<T> std::fmt::Debug for TrySendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(match self {
+                TrySendError::Full(_) => "Full(..)",
+                TrySendError::Disconnected(_) => "Disconnected(..)",
+            })
+        }
+    }
+
+    impl<T> std::fmt::Display for TrySendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(match self {
+                TrySendError::Full(_) => "sending on a full channel",
+                TrySendError::Disconnected(_) => "sending on a disconnected channel",
+            })
+        }
+    }
+
     /// Error returned by `recv` when the channel is drained and closed.
     #[derive(Debug, PartialEq, Eq)]
     pub struct RecvError;
@@ -104,6 +132,24 @@ pub mod channel {
                 // All receivers may have hung up while we slept.
                 if self.inner.receivers.load(Ordering::Acquire) == 0 {
                     return Err(SendError(msg));
+                }
+            }
+            queue.push_back(msg);
+            drop(queue);
+            self.inner.ready.notify_one();
+            Ok(())
+        }
+
+        /// Non-blocking send: fails with [`TrySendError::Full`] instead
+        /// of blocking when a bounded queue is at capacity.
+        pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+            if self.inner.receivers.load(Ordering::Acquire) == 0 {
+                return Err(TrySendError::Disconnected(msg));
+            }
+            let mut queue = self.inner.queue.lock().unwrap();
+            if let Some(cap) = self.inner.capacity {
+                if queue.len() >= cap {
+                    return Err(TrySendError::Full(msg));
                 }
             }
             queue.push_back(msg);
@@ -289,6 +335,23 @@ mod tests {
             blocked.join().unwrap().is_err(),
             "blocked send must fail once all receivers are gone"
         );
+    }
+
+    #[test]
+    fn try_send_distinguishes_full_and_disconnected() {
+        let (tx, rx) = bounded(1);
+        assert!(tx.try_send(0).is_ok());
+        assert!(matches!(tx.try_send(1), Err(TrySendError::Full(1))));
+        assert_eq!(rx.recv(), Ok(0));
+        assert!(tx.try_send(2).is_ok());
+        drop(rx);
+        assert!(matches!(tx.try_send(3), Err(TrySendError::Disconnected(3))));
+        // Unbounded channels are never Full.
+        let (utx, urx) = unbounded();
+        for i in 0..100 {
+            assert!(utx.try_send(i).is_ok());
+        }
+        assert_eq!(urx.len(), 100);
     }
 
     #[test]

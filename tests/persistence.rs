@@ -426,3 +426,111 @@ fn corrupted_and_truncated_snapshots_report_corrupt_never_panic() {
 
     let _ = std::fs::remove_file(&path);
 }
+
+#[test]
+fn qos_policies_round_trip_and_pre_qos_snapshots_still_restore() {
+    use querc::{QosConfig, QuercError, RateLimit, RejectReason, TenantPolicy};
+    let corpus = TrainCorpus::from_records(training_records(), 0x2019);
+    let qos_cfg = WorkloadManagerConfig {
+        shards_per_app: 2,
+        batch: 16,
+        qos: QosConfig::enabled(),
+        ..Default::default()
+    };
+
+    // ---- QoS-active manager: serve, install a policy, checkpoint. ----
+    let path = snapshot_path("qos_roundtrip");
+    let mut mgr = WorkloadManager::new(qos_cfg.clone());
+    register_all(&mut mgr, &corpus);
+    mgr.set_tenant_policy(
+        "whale",
+        TenantPolicy {
+            weight: 3,
+            rate: Some(RateLimit {
+                rate_per_sec: 0.0,
+                burst: 2.0,
+            }),
+        },
+    );
+    for i in 0..24u64 {
+        let mut lq = query_for(i);
+        lq.set("account", "acct");
+        mgr.submit(APPS[(i % 6) as usize], lq).unwrap();
+    }
+    mgr.checkpoint(&path).unwrap();
+    drop(mgr.drain());
+
+    // ---- Restore with QoS on: the policy must be back in force. ----
+    let restored = WorkloadManager::restore(&path, qos_cfg.clone()).unwrap();
+    assert_eq!(restored.app_names(), APPS);
+    // The whale's zero-refill bucket was restored with burst 2: exactly
+    // two admits, then RateLimited — proof the policy survived the trip.
+    for i in 0..4u64 {
+        let mut lq = query_for(i);
+        lq.set("account", "whale");
+        let got = restored.submit("resources", lq);
+        if i < 2 {
+            got.unwrap_or_else(|e| panic!("whale admit {i} within burst: {e}"));
+        } else {
+            match got {
+                Err(QuercError::Rejected { tenant, reason }) => {
+                    assert_eq!(tenant, "whale");
+                    assert_eq!(reason, RejectReason::RateLimited);
+                }
+                other => panic!("whale over burst must be Rejected, got {other:?}"),
+            }
+        }
+    }
+    let drained = restored.drain();
+    let whale = &drained.qos.tenants["whale"];
+    assert_eq!(whale.weight, 3, "DRR weight restored");
+    assert_eq!((whale.processed, whale.rejected_rate_limited), (2, 2));
+
+    // ---- A QoS snapshot also restores into a QoS-disabled manager
+    //      (the section is simply ignored — additive, no version bump).
+    let plain = WorkloadManager::restore(&path, WorkloadManagerConfig::default()).unwrap();
+    assert_eq!(plain.app_names(), APPS);
+    let mut lq = query_for(0);
+    lq.set("account", "whale");
+    plain.submit("resources", lq).unwrap();
+    plain.submit("resources", query_for(1)).unwrap();
+    plain.submit("resources", query_for(2)).unwrap();
+    let plain_drained = plain.drain();
+    assert_eq!(plain_drained.outputs["resources"].len(), 3);
+    assert!(
+        plain_drained.qos.tenants.is_empty(),
+        "QoS accounting stays off when the config says off"
+    );
+    let _ = std::fs::remove_file(&path);
+
+    // ---- Pre-QoS-shaped snapshot (written with QoS off, so no "qos"
+    //      section) restores into a QoS-enabled manager cleanly. ----
+    let old_path = snapshot_path("qos_pre");
+    let mut old = WorkloadManager::new(WorkloadManagerConfig {
+        shards_per_app: 2,
+        batch: 16,
+        ..Default::default()
+    });
+    register_all(&mut old, &corpus);
+    for i in 0..12u64 {
+        old.submit(APPS[(i % 6) as usize], query_for(i)).unwrap();
+    }
+    old.checkpoint(&old_path).unwrap();
+    drop(old.drain());
+
+    let upgraded = WorkloadManager::restore(&old_path, qos_cfg).unwrap();
+    assert_eq!(upgraded.app_names(), APPS, "pre-QoS snapshot restores");
+    for i in 0..12u64 {
+        let mut lq = query_for(i);
+        lq.set("account", "acct");
+        upgraded.submit(APPS[(i % 6) as usize], lq).unwrap();
+    }
+    let up = upgraded.drain();
+    let acct = &up.qos.tenants["acct"];
+    assert_eq!(
+        (acct.submitted, acct.processed, acct.rejected()),
+        (12, 12, 0),
+        "QoS accounting live on a restored pre-QoS stack"
+    );
+    let _ = std::fs::remove_file(&old_path);
+}

@@ -1,0 +1,292 @@
+//! Integration: the tenant-isolation gate for the QoS scheduler.
+//!
+//! A whale tenant floods the serving plane at 10× the minnows'
+//! aggregate volume while eight minnow tenants run their ordinary
+//! trickle through **all six apps**. With QoS enabled the plane must
+//! (a) keep every minnow whole — zero sheds, every query labeled,
+//! per-tenant FIFO intact; (b) convert the whale's overload into
+//! explicit `Rejected` outcomes instead of wedging a shard or starving
+//! whoever hashes next to it; and (c) bound the collateral damage: the
+//! worst minnow p99 with the whale present stays within 3× of the
+//! whale-absent baseline (plus a small absolute slack so µs-scale
+//! baselines don't make the ratio degenerate).
+//!
+//! The whale's admission verdicts are deterministic — its token bucket
+//! has a fixed burst and zero refill, so exactly `WHALE_BURST` queries
+//! are admitted and every later one is `RateLimited` — which keeps the
+//! shed-count assertions exact rather than timing-dependent.
+
+use querc::apps::{
+    AuditApp, ErrorsApp, RecommendApp, ResourcesApp, RoutingApp, SummarizeApp, TrainCorpus,
+};
+use querc::{
+    LabeledQuery, QosConfig, QuercError, RateLimit, RejectReason, ServiceDrain, TenantPolicy,
+    WorkloadManager, WorkloadManagerConfig,
+};
+use querc_embed::{BagOfTokens, Embedder};
+use querc_workloads::QueryRecord;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+const APPS: [&str; 6] = [
+    "audit",
+    "errors",
+    "recommend",
+    "resources",
+    "routing",
+    "summarize",
+];
+
+const MINNOWS: usize = 8;
+/// Queries each minnow submits over the run (spread across all six apps).
+const PER_MINNOW: usize = 60;
+/// Whale volume: 10× the minnows' aggregate.
+const WHALE_TOTAL: usize = 10 * MINNOWS * PER_MINNOW;
+/// Whale queries admitted before its zero-refill bucket runs dry.
+const WHALE_BURST: usize = 120;
+
+/// Four template shapes with rotating literals — enough structure for
+/// every app to label, enough repetition for the embed cache to matter.
+fn sql_for(i: u64) -> String {
+    match i % 4 {
+        0 => format!("select revenue, region from finance_cube where q = {i} group by region"),
+        1 => format!("insert into lake_events select * from staging_{}", i % 3),
+        2 => format!("select v from kv_store where k = {i}"),
+        _ => format!(
+            "select a.*, b.* from giant_facts a join giant_facts b on a.k = b.k where a.x > {i}"
+        ),
+    }
+}
+
+fn training_corpus() -> TrainCorpus {
+    let records: Vec<QueryRecord> = (0..120u64)
+        .map(|i| {
+            let (ms, err) = match i % 4 {
+                0 => (400.0, None),
+                1 => (30.0, None),
+                2 => (5.0, None),
+                _ => (2000.0, (i % 8 != 3).then_some(604)),
+            };
+            QueryRecord {
+                sql: sql_for(i),
+                user: format!("acct/u{}", i % 2),
+                account: "acct".into(),
+                cluster: if i % 2 == 0 {
+                    "bi-cluster"
+                } else {
+                    "etl-cluster"
+                }
+                .into(),
+                dialect: "generic".into(),
+                runtime_ms: ms,
+                mem_mb: ms / 2.0,
+                error_code: err,
+                timestamp: i,
+            }
+        })
+        .collect();
+    TrainCorpus::from_records(records, 0x1507)
+}
+
+fn register_all(mgr: &mut WorkloadManager, corpus: &TrainCorpus) {
+    let shared: Arc<dyn Embedder> = Arc::new(BagOfTokens::new(128, true));
+    mgr.register(AuditApp::new(Arc::clone(&shared)).with_trees(20), corpus)
+        .unwrap();
+    mgr.register(ErrorsApp::new(Arc::clone(&shared)), corpus)
+        .unwrap();
+    mgr.register(
+        RecommendApp::new(Arc::clone(&shared)).with_clusters(4),
+        corpus,
+    )
+    .unwrap();
+    mgr.register(ResourcesApp::new(Arc::clone(&shared)), corpus)
+        .unwrap();
+    mgr.register(RoutingApp::new(Arc::clone(&shared)), corpus)
+        .unwrap();
+    mgr.register(
+        SummarizeApp::new(Arc::clone(&shared)).with_config(querc::apps::summarize::SummaryConfig {
+            k: Some(6),
+            ..Default::default()
+        }),
+        corpus,
+    )
+    .unwrap();
+}
+
+fn minnow_name(m: usize) -> String {
+    format!("minnow{m:02}")
+}
+
+/// One full run of the scenario. The minnow schedule is identical with
+/// and without the whale: `PER_MINNOW` rounds, one query per minnow per
+/// round, apps visited round-robin so every minnow exercises all six.
+/// With the whale on, ten whale queries ride along per round —
+/// interleaved, not appended, so contention happens *while* minnows are
+/// in flight.
+fn run_scenario(with_whale: bool) -> ServiceDrain {
+    let mut mgr = WorkloadManager::new(WorkloadManagerConfig {
+        shards_per_app: 2,
+        batch: 16,
+        queue_depth: 4096,
+        qos: QosConfig {
+            enabled: true,
+            quantum: 4,
+            ..Default::default()
+        },
+        ..Default::default()
+    });
+    let corpus = training_corpus();
+    register_all(&mut mgr, &corpus);
+    // Deterministic overload: the whale spends a fixed burst and then
+    // every admission fails — no wall-clock in the verdict.
+    mgr.set_tenant_policy(
+        "whale",
+        TenantPolicy {
+            weight: 1,
+            rate: Some(RateLimit {
+                rate_per_sec: 0.0,
+                burst: WHALE_BURST as f64,
+            }),
+        },
+    );
+
+    let whale_per_round = WHALE_TOTAL / PER_MINNOW;
+    let mut seq = [0u64; MINNOWS];
+    let mut whale_i = 0u64;
+    for round in 0..PER_MINNOW {
+        for m in 0..MINNOWS {
+            let app = APPS[(round + m) % APPS.len()];
+            let i = seq[m];
+            seq[m] += 1;
+            let mut lq = LabeledQuery::new(sql_for(i));
+            lq.set("account", minnow_name(m));
+            lq.set("seq", i.to_string());
+            mgr.submit(app, lq).unwrap_or_else(|e| {
+                panic!("minnow {m} shed in round {round}: {e}");
+            });
+        }
+        if with_whale {
+            for _ in 0..whale_per_round {
+                let app = APPS[(whale_i as usize) % APPS.len()];
+                let mut lq = LabeledQuery::new(sql_for(whale_i));
+                lq.set("account", "whale");
+                whale_i += 1;
+                match mgr.submit(app, lq) {
+                    Ok(()) => {}
+                    Err(QuercError::Rejected { tenant, reason }) => {
+                        assert_eq!(tenant, "whale", "only the whale may be shed");
+                        assert_eq!(reason, RejectReason::RateLimited);
+                    }
+                    Err(other) => panic!("unexpected submit error: {other}"),
+                }
+            }
+        }
+    }
+    mgr.drain()
+}
+
+/// Worst per-tenant p99 across the minnows, in µs.
+fn worst_minnow_p99(drained: &ServiceDrain) -> u64 {
+    (0..MINNOWS)
+        .map(|m| drained.qos.tenants[&minnow_name(m)].latency.p99_us)
+        .max()
+        .unwrap()
+}
+
+fn assert_minnows_whole(drained: &ServiceDrain) {
+    for m in 0..MINNOWS {
+        let snap = &drained.qos.tenants[&minnow_name(m)];
+        assert_eq!(snap.submitted, PER_MINNOW as u64, "minnow {m} submitted");
+        assert_eq!(snap.processed, PER_MINNOW as u64, "minnow {m} processed");
+        assert_eq!(snap.rejected(), 0, "minnow {m} must never be shed");
+        assert_eq!(snap.pending, 0, "minnow {m} fully drained");
+        assert_eq!(snap.latency.count, PER_MINNOW as u64);
+    }
+}
+
+/// Every app drained: per-app counters balance and every output is
+/// accounted for — a wedged shard would strand queries and fail here.
+fn assert_nothing_wedged(drained: &ServiceDrain) {
+    let mut outputs = 0usize;
+    for tp in &drained.throughput {
+        assert_eq!(
+            tp.processed + tp.rejected,
+            tp.submitted,
+            "app {} leaked offers",
+            tp.app
+        );
+        outputs += drained.outputs[&tp.app].len();
+        assert_eq!(drained.outputs[&tp.app].len() as u64, tp.processed);
+    }
+    let processed: u64 = drained.throughput.iter().map(|t| t.processed).sum();
+    assert_eq!(outputs as u64, processed);
+}
+
+/// Per-tenant FIFO must survive the flood: for each minnow, outputs
+/// within each app appear in strictly increasing `seq` order (queries
+/// hash-route by tenant, so one app's stream for one tenant is serial).
+fn assert_minnow_fifo(drained: &ServiceDrain) {
+    for app in APPS {
+        let mut last: HashMap<&str, i64> = HashMap::new();
+        for lq in &drained.outputs[app] {
+            let Some(acct) = lq.get("account") else {
+                continue;
+            };
+            if !acct.starts_with("minnow") {
+                continue;
+            }
+            let seq: i64 = lq.get("seq").unwrap().parse().unwrap();
+            let prev = last.insert(acct, seq).unwrap_or(-1);
+            assert!(
+                seq > prev,
+                "tenant {acct} out of order in {app}: {seq} after {prev}"
+            );
+        }
+    }
+}
+
+#[test]
+fn whale_absent_baseline_serves_every_minnow() {
+    let drained = run_scenario(false);
+    assert_minnows_whole(&drained);
+    assert_nothing_wedged(&drained);
+    assert_minnow_fifo(&drained);
+    assert_eq!(drained.qos.total_rejected(), 0);
+    assert_eq!(drained.qos.tenants.len(), MINNOWS, "no whale in sight");
+}
+
+#[test]
+fn whale_flood_is_shed_explicitly_and_minnow_p99_stays_bounded() {
+    // Whale-absent baseline first: the reference p99 for the gate.
+    let baseline = run_scenario(false);
+    assert_minnows_whole(&baseline);
+    let p99_without = worst_minnow_p99(&baseline);
+
+    let flooded = run_scenario(true);
+    assert_minnows_whole(&flooded);
+    assert_nothing_wedged(&flooded);
+    assert_minnow_fifo(&flooded);
+
+    // The whale's overload is explicit: exactly its burst admitted (and
+    // labeled — admitted work is never dropped), the rest Rejected.
+    let whale = &flooded.qos.tenants["whale"];
+    assert_eq!(whale.submitted, WHALE_TOTAL as u64);
+    assert_eq!(whale.processed, WHALE_BURST as u64);
+    assert_eq!(
+        whale.rejected_rate_limited,
+        (WHALE_TOTAL - WHALE_BURST) as u64,
+        "overload surfaces as Rejected, not as backpressure"
+    );
+    assert_eq!(whale.pending, 0);
+    assert_eq!(flooded.qos.total_rejected(), whale.rejected_rate_limited);
+
+    // Isolation gate: worst minnow p99 with the whale ≤ 3× without it,
+    // plus 10ms absolute slack so a µs-scale baseline (fast CI machine,
+    // warm cache) doesn't turn the ratio into a coin flip.
+    let p99_with = worst_minnow_p99(&flooded);
+    assert!(
+        p99_with <= 3 * p99_without + 10_000,
+        "minnow p99 degraded more than 3x under the whale: \
+         {p99_with}µs with vs {p99_without}µs without"
+    );
+}
