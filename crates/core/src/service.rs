@@ -201,6 +201,45 @@ pub struct WorkloadManagerConfig {
     /// per-tenant subqueues, and overload sheds with
     /// [`QuercError::Rejected`] instead of blocking the producer.
     pub qos: QosConfig,
+    /// Distance-kernel arm policy for the vector search plane. Applied
+    /// **process-wide** at [`WorkloadManager::new`] (the `querc_index`
+    /// kernel dispatch is a process global); safe even with other
+    /// managers alive because the arms are bit-identical — the knob
+    /// changes throughput, never results.
+    pub kernel: KernelPolicy,
+}
+
+/// Which [`querc_index`] distance-kernel arm a manager's process runs.
+///
+/// `Auto` is right for serving; `ForceScalar` exists for benchmarking
+/// the SIMD speedup and for ruling the AVX2 arm out when debugging
+/// (results are bit-identical either way, by the index plane's parity
+/// contract).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KernelPolicy {
+    /// CPU detection, honoring a `QUERC_SIMD` env override: AVX2 when
+    /// the CPU has it, the scalar reference otherwise.
+    #[default]
+    Auto,
+    /// Pin the scalar reference loops, ignoring CPU and env.
+    ForceScalar,
+    /// Request the AVX2 arm regardless of `QUERC_SIMD`; still falls
+    /// back to scalar on a CPU without AVX2.
+    ForceAvx2,
+}
+
+impl KernelPolicy {
+    /// Apply this policy to the process-wide kernel dispatch and return
+    /// the name of the now-active arm (`"avx2"` / `"scalar"`).
+    pub fn apply(self) -> &'static str {
+        use querc_index::simd;
+        let kernel = match self {
+            KernelPolicy::Auto => None,
+            KernelPolicy::ForceScalar => Some(querc_index::Kernel::Scalar),
+            KernelPolicy::ForceAvx2 => Some(querc_index::Kernel::Avx2),
+        };
+        simd::set_kernel_override(kernel).name()
+    }
 }
 
 impl Default for WorkloadManagerConfig {
@@ -215,6 +254,7 @@ impl Default for WorkloadManagerConfig {
             embed_cache_capacity: plane.capacity,
             embed_cache_shards: plane.shards,
             qos: QosConfig::default(),
+            kernel: KernelPolicy::default(),
         }
     }
 }
@@ -365,6 +405,7 @@ pub struct WorkloadManager {
 impl WorkloadManager {
     /// An empty manager (no apps registered) with the given knobs.
     pub fn new(cfg: WorkloadManagerConfig) -> WorkloadManager {
+        cfg.kernel.apply();
         let plane = (cfg.embed_cache_capacity > 0).then(|| {
             Arc::new(EmbedPlane::new(&EmbedPlaneConfig {
                 capacity: cfg.embed_cache_capacity,

@@ -2,7 +2,7 @@
 
 use crate::metric::Metric;
 use crate::store::VectorStore;
-use crate::{Hit, IndexStats, TopK, VectorIndex};
+use crate::{simd, Hit, IndexStats, TopK, VectorIndex};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Rows per scan block. Batched queries revisit each block while it is
@@ -14,11 +14,13 @@ const SCAN_BLOCK: usize = 256;
 /// Exact k-NN over a [`VectorStore`] — the correctness baseline every
 /// approximate index is measured against.
 ///
-/// Distances are computed row-by-row with the same `querc_linalg::ops`
-/// kernels the historical brute-force paths used, so results (values
-/// *and* bits) match the pre-index code; only the selection rule is
-/// newly deterministic (`(distance, id)` total order, see the crate
-/// docs).
+/// Distances are computed by the fused [`crate::simd`] block kernels
+/// (one query against a whole contiguous block, no per-row call
+/// overhead), dispatched at runtime between the AVX2 arm and the
+/// `querc_linalg::ops` scalar reference. The arms are bit-identical, so
+/// results (values *and* bits) still match the historical row-by-row
+/// brute force; only the selection rule is newly deterministic
+/// (`(distance, id)` total order, see the crate docs).
 #[derive(Debug)]
 pub struct FlatIndex {
     store: VectorStore,
@@ -55,6 +57,16 @@ impl FlatIndex {
     pub fn metric(&self) -> Metric {
         self.metric
     }
+
+    /// Distances from `query` to rows `[block_start, block_end)`,
+    /// written to `buf[..block_end - block_start]`.
+    #[inline]
+    fn scan_block(&self, query: &[f32], block_start: usize, block_end: usize, buf: &mut [f32]) {
+        let stride = self.store.stride();
+        let data = &self.store.data()[block_start * stride..block_end * stride];
+        self.metric
+            .distance_block(query, data, stride, &mut buf[..block_end - block_start]);
+    }
 }
 
 impl VectorIndex for FlatIndex {
@@ -62,9 +74,15 @@ impl VectorIndex for FlatIndex {
         self.searches.fetch_add(1, Ordering::Relaxed);
         self.candidates
             .fetch_add(self.store.len() as u64, Ordering::Relaxed);
+        let n = self.store.len();
         let mut top = TopK::new(k);
-        for i in 0..self.store.len() {
-            top.push(i as u32, self.metric.distance(query, self.store.row(i)));
+        let mut buf = [0.0f32; SCAN_BLOCK];
+        let mut block_start = 0usize;
+        while block_start < n {
+            let block_end = (block_start + SCAN_BLOCK).min(n);
+            self.scan_block(query, block_start, block_end, &mut buf);
+            top.push_block(block_start as u32, &buf[..block_end - block_start]);
+            block_start = block_end;
         }
         top.into_sorted()
     }
@@ -76,13 +94,13 @@ impl VectorIndex for FlatIndex {
             .fetch_add((queries.len() * self.store.len()) as u64, Ordering::Relaxed);
         let mut tops: Vec<TopK> = queries.iter().map(|_| TopK::new(k)).collect();
         let n = self.store.len();
+        let mut buf = [0.0f32; SCAN_BLOCK];
         let mut block_start = 0usize;
         while block_start < n {
             let block_end = (block_start + SCAN_BLOCK).min(n);
             for (q, top) in queries.iter().zip(tops.iter_mut()) {
-                for i in block_start..block_end {
-                    top.push(i as u32, self.metric.distance(q, self.store.row(i)));
-                }
+                self.scan_block(q, block_start, block_end, &mut buf);
+                top.push_block(block_start as u32, &buf[..block_end - block_start]);
             }
             block_start = block_end;
         }
@@ -105,6 +123,9 @@ impl VectorIndex for FlatIndex {
             candidates: self.candidates.load(Ordering::Relaxed),
             partitions: 1,
             exact: true,
+            backend: "flat",
+            kernel: simd::kernel_name(),
+            resident_bytes: self.store.memory_bytes(),
         }
     }
 }
@@ -161,6 +182,9 @@ mod tests {
         assert!(s.exact);
         assert_eq!(s.partitions, 1);
         assert_eq!(s.candidates_per_search(), 20.0);
+        assert_eq!(s.backend, "flat");
+        assert_eq!(s.kernel, simd::kernel_name());
+        assert_eq!(s.resident_bytes, ix.store().memory_bytes());
     }
 
     #[test]

@@ -29,7 +29,15 @@ pub struct IvfConfig {
     /// Lloyd iterations for the coarse quantizer. IVF needs a rough
     /// partition, not a converged clustering, so this is kept small.
     pub train_iters: usize,
-    /// Seed for the quantizer's k-means++ initialization.
+    /// Rows the coarse quantizer trains on. `0` ⇒ all rows. When the
+    /// corpus is larger, a deterministic sample of this size is
+    /// clustered instead and the *full* corpus is then assigned to the
+    /// trained centroids through the fused SIMD scan — k-means over
+    /// 1M×`nlist` points is minutes of work for a partition whose
+    /// quality a 100k sample already saturates.
+    pub train_sample: usize,
+    /// Seed for the quantizer's k-means++ initialization (and the
+    /// training-row sample).
     pub seed: u64,
 }
 
@@ -39,9 +47,97 @@ impl Default for IvfConfig {
             nlist: 0,
             nprobe: 8,
             train_iters: 10,
+            train_sample: 100_000,
             seed: 0x1df5,
         }
     }
+}
+
+/// Shared coarse-quantization step for [`IvfIndex`] and
+/// [`crate::Sq8Index`]: k-means the (possibly sampled) rows, then
+/// assign **every** row to its nearest centroid. Returns the centroids
+/// (in clustering space — unit-normalized for cosine) and the inverted
+/// lists. Empty store ⇒ `(empty, [])`.
+pub(crate) fn coarse_partition(
+    store: &VectorStore,
+    metric: Metric,
+    nlist: usize,
+    train_iters: usize,
+    train_sample: usize,
+    seed: u64,
+) -> (VectorStore, Vec<Vec<u32>>) {
+    let n = store.len();
+    if n == 0 {
+        return (VectorStore::new(store.dim()), Vec::new());
+    }
+    let nlist = if nlist == 0 {
+        (n as f64).sqrt().ceil() as usize
+    } else {
+        nlist
+    }
+    .clamp(1, n);
+    let mut rng = Pcg32::with_stream(seed, 0x1df5);
+    let sampled = train_sample > 0 && train_sample < n;
+    let train_ids: Vec<usize> = if sampled {
+        // Partial Fisher–Yates: the first `train_sample` slots of a
+        // uniformly shuffled 0..n, deterministic under the seed.
+        let mut ids: Vec<u32> = (0..n as u32).collect();
+        for i in 0..train_sample {
+            let j = i + rng.below_usize(n - i);
+            ids.swap(i, j);
+        }
+        ids.truncate(train_sample);
+        ids.into_iter().map(|i| i as usize).collect()
+    } else {
+        (0..n).collect()
+    };
+    // Materialize training points for the quantizer (normalized for
+    // cosine so centroids live on the unit sphere).
+    let points: Vec<Vec<f32>> = train_ids
+        .iter()
+        .map(|&i| {
+            let mut v = store.row_vec(i);
+            if metric == Metric::Cosine {
+                ops::normalize(&mut v);
+            }
+            v
+        })
+        .collect();
+    let result = kmeans(
+        &points,
+        &KMeansConfig {
+            k: nlist.min(points.len()),
+            max_iters: train_iters.max(1),
+            tol: 1e-3,
+        },
+        &mut rng,
+    );
+    let mut lists = vec![Vec::new(); result.centroids.len()];
+    if sampled {
+        // Assign the full corpus to the trained centroids with the
+        // fused block kernels. Cosine distance is magnitude-invariant,
+        // so original (un-normalized) rows assign identically to their
+        // normalized copies.
+        let assigner = crate::FlatIndex::from_rows(&result.centroids, metric);
+        const CHUNK: usize = 1024;
+        let mut start = 0usize;
+        while start < n {
+            let end = (start + CHUNK).min(n);
+            let rows: Vec<&[f32]> = (start..end).map(|i| store.row(i)).collect();
+            for (i, best) in assigner.nearest_batch(&rows).into_iter().enumerate() {
+                // A built index over ≥1 centroids always yields a hit.
+                if let Some(c) = best {
+                    lists[c as usize].push((start + i) as u32);
+                }
+            }
+            start = end;
+        }
+    } else {
+        for (id, &c) in result.assignments.iter().enumerate() {
+            lists[c].push(id as u32);
+        }
+    }
+    (VectorStore::from_rows(&result.centroids), lists)
 }
 
 /// Inverted-file ANN index over a [`VectorStore`].
@@ -75,43 +171,14 @@ impl IvfIndex {
     /// copies of the rows (angular geometry); the stored vectors and
     /// all reported distances remain the originals'.
     pub fn build(store: VectorStore, metric: Metric, cfg: &IvfConfig) -> IvfIndex {
-        let n = store.len();
-        let (centroids, lists) = if n == 0 {
-            (VectorStore::new(store.dim()), Vec::new())
-        } else {
-            let nlist = if cfg.nlist == 0 {
-                (n as f64).sqrt().ceil() as usize
-            } else {
-                cfg.nlist
-            }
-            .clamp(1, n);
-            // Materialize training points for the quantizer (normalized
-            // for cosine so centroids live on the unit sphere).
-            let points: Vec<Vec<f32>> = store
-                .iter()
-                .map(|r| {
-                    let mut v = r.to_vec();
-                    if metric == Metric::Cosine {
-                        ops::normalize(&mut v);
-                    }
-                    v
-                })
-                .collect();
-            let result = kmeans(
-                &points,
-                &KMeansConfig {
-                    k: nlist,
-                    max_iters: cfg.train_iters.max(1),
-                    tol: 1e-3,
-                },
-                &mut Pcg32::with_stream(cfg.seed, 0x1df5),
-            );
-            let mut lists = vec![Vec::new(); result.centroids.len()];
-            for (id, &c) in result.assignments.iter().enumerate() {
-                lists[c].push(id as u32);
-            }
-            (VectorStore::from_rows(&result.centroids), lists)
-        };
+        let (centroids, lists) = coarse_partition(
+            &store,
+            metric,
+            cfg.nlist,
+            cfg.train_iters,
+            cfg.train_sample,
+            cfg.seed,
+        );
         IvfIndex {
             centroids,
             lists,
@@ -295,6 +362,11 @@ impl VectorIndex for IvfIndex {
     }
 
     fn stats(&self) -> IndexStats {
+        let lists_bytes = self
+            .lists
+            .iter()
+            .map(|l| l.len() * std::mem::size_of::<u32>())
+            .sum::<usize>();
         IndexStats {
             searches: self.searches.load(Ordering::Relaxed),
             probes: self.probes.load(Ordering::Relaxed),
@@ -303,6 +375,9 @@ impl VectorIndex for IvfIndex {
             // Full probe degenerates to an exact (re-ordered) scan, and
             // the flag reflects the *current* nprobe setting.
             exact: self.nprobe >= self.nlist(),
+            backend: "ivf",
+            kernel: crate::simd::kernel_name(),
+            resident_bytes: self.store.memory_bytes() + self.centroids.memory_bytes() + lists_bytes,
         }
     }
 }

@@ -32,11 +32,15 @@
 pub mod flat;
 pub mod ivf;
 pub mod metric;
+pub mod simd;
+pub mod sq8;
 pub mod store;
 
 pub use flat::FlatIndex;
 pub use ivf::{IvfConfig, IvfIndex};
 pub use metric::Metric;
+pub use simd::Kernel;
+pub use sq8::{Sq8Config, Sq8Index};
 pub use store::VectorStore;
 
 use std::collections::BinaryHeap;
@@ -64,6 +68,18 @@ pub struct IndexStats {
     /// Whether results are exact (`FlatIndex`) or approximate
     /// (`IvfIndex` with `nprobe < nlist`).
     pub exact: bool,
+    /// Index implementation: `"flat"`, `"ivf"`, `"sq8"` or
+    /// `"ivf+sq8"` (`""` on a default-constructed stats value).
+    pub backend: &'static str,
+    /// Distance-kernel arm the process is dispatching to — `"avx2"` or
+    /// `"scalar"` (`""` on a default-constructed stats value). See
+    /// [`simd::kernel_name`].
+    pub kernel: &'static str,
+    /// Bytes resident for search: vectors/codes plus index structure.
+    /// The SQ8 backends report roughly a quarter of flat's footprint
+    /// (an eighth of the vector payload, plus quantizer and list
+    /// overhead); re-ranking adds the exact store back on top.
+    pub resident_bytes: usize,
 }
 
 impl IndexStats {
@@ -193,6 +209,35 @@ impl TopK {
                 self.heap.pop();
                 self.heap.push(hit);
             }
+        }
+    }
+
+    /// Offer a block of consecutive-id candidates: `dists[j]` is the
+    /// distance of id `start_id + j`. Semantically identical to calling
+    /// [`TopK::push`] per element, but once `k` hits are held the scan
+    /// skips candidates strictly above the current bound with one
+    /// predictable compare — the hot path of a full-corpus scan, where
+    /// almost nothing beats the running top-k. Candidates at or below
+    /// the bound (and everything, while the bound is `NaN` or the heap
+    /// underfilled) still go through `push`, which enforces the exact
+    /// `(distance, id)` total order.
+    #[inline]
+    // `!(d <= b)` is deliberate, not a misspelled `d > b`: the negation
+    // must also be true for NaN `d` so NaN candidates are skipped here
+    // instead of round-tripping through `push` (which would reject them
+    // against a non-NaN bound anyway — NaN sorts after every real
+    // distance in the total order).
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    pub fn push_block(&mut self, start_id: u32, dists: &[f32]) {
+        let mut bound = self.bound();
+        for (j, &d) in dists.iter().enumerate() {
+            if let Some(b) = bound {
+                if !b.is_nan() && !(d <= b) {
+                    continue;
+                }
+            }
+            self.push(start_id + j as u32, d);
+            bound = self.bound();
         }
     }
 

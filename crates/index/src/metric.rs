@@ -4,13 +4,13 @@
 //! comparison — `partial_cmp(..).unwrap_or(Equal)` in the kNN labeler
 //! silently corrupted the k-selection whenever a zero vector pushed
 //! `1 − cosine` to NaN. Here the distance definitions and the ordering
-//! rule live in one place: distances are computed by the same
-//! `querc_linalg::ops` kernels as before (bit-identical values), and
-//! every comparison goes through [`f32::total_cmp`], under which NaN
-//! sorts after every real number and therefore can never win a
+//! rule live in one place: distances are semantically defined by the
+//! `querc_linalg::ops` reference kernels and computed by the
+//! runtime-dispatched [`crate::simd`] twins (bit-identical on every
+//! arm, so values still match the historical scans), and every
+//! comparison goes through [`f32::total_cmp`], under which NaN sorts
+//! after every real number and therefore can never win a
 //! nearest-neighbor slot.
-
-use querc_linalg::ops;
 
 /// How two vectors' distance is measured.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -34,11 +34,27 @@ impl Metric {
     /// Distance between `a` and `b`. Finite for all finite inputs;
     /// inputs containing NaN/∞ may yield NaN, which the total order
     /// ranks after every real distance.
+    /// Both arms dispatch through [`crate::simd`]: an AVX2 kernel when
+    /// the CPU has it (bit-identical to the scalar reference — see the
+    /// parity suite), the `querc_linalg::ops` reference loops otherwise.
     #[inline]
     pub fn distance(&self, a: &[f32], b: &[f32]) -> f32 {
         match self {
-            Metric::Euclidean => ops::sq_dist(a, b),
-            Metric::Cosine => 1.0 - ops::cosine(a, b),
+            Metric::Euclidean => crate::simd::sq_dist(a, b),
+            Metric::Cosine => crate::simd::cosine_dist(a, b),
+        }
+    }
+
+    /// Distances from `query` to `out.len()` consecutive rows of
+    /// `data` — padded row-major storage as produced by
+    /// [`crate::VectorStore::data`], row `r` at `r * stride`. Each
+    /// `out[r]` is bit-identical to `self.distance(query, row_r)`; the
+    /// fused kernels only remove per-row call overhead.
+    #[inline]
+    pub fn distance_block(&self, query: &[f32], data: &[f32], stride: usize, out: &mut [f32]) {
+        match self {
+            Metric::Euclidean => crate::simd::sq_dist_block(query, data, stride, out),
+            Metric::Cosine => crate::simd::cosine_dist_block(query, data, stride, out),
         }
     }
 

@@ -124,6 +124,14 @@ impl VectorStore {
         self.stride
     }
 
+    /// The raw padded backing buffer (`len() * stride()` floats, row
+    /// `i` at `i * stride()`, padding zero-filled) — the operand the
+    /// fused [`crate::simd`] block kernels scan without per-row slicing.
+    #[inline]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
     /// Bytes held by the backing buffer.
     pub fn memory_bytes(&self) -> usize {
         self.data.len() * std::mem::size_of::<f32>()

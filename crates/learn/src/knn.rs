@@ -7,7 +7,9 @@
 //! ([`querc_index::FlatIndex`], bit-identical distances to the old
 //! brute force), with an opt-in IVF approximate backend
 //! ([`KnnBackend::Ivf`]) for corpora where `O(n)` per query no longer
-//! flies.
+//! flies, and an SQ8 quantized backend ([`KnnBackend::Sq8`]) for
+//! corpora where the f32 training rows themselves are the problem
+//! (4× smaller codes, optional exact re-rank).
 //!
 //! Determinism: neighbor selection follows the index plane's
 //! `(distance, id)` total order (NaN sorts last, equal distances go to
@@ -16,7 +18,9 @@
 
 use crate::state::{bad_state, ClassifierState, KnnState};
 use crate::{Classifier, LearnError};
-use querc_index::{FlatIndex, IvfConfig, IvfIndex, Metric, VectorIndex, VectorStore};
+use querc_index::{
+    FlatIndex, IvfConfig, IvfIndex, Metric, Sq8Config, Sq8Index, VectorIndex, VectorStore,
+};
 use querc_linalg::Pcg32;
 
 /// Distance metric for [`Knn`] (mapped onto [`querc_index::Metric`]).
@@ -54,6 +58,20 @@ pub enum KnnBackend {
         /// Lists probed per query (clamped to `[1, nlist]`).
         nprobe: usize,
     },
+    /// 8-bit scalar-quantized index (`querc_index::Sq8Index`): 4×
+    /// smaller code storage, asymmetric-distance scans, optional exact
+    /// re-rank. The memory/recall trade for corpora where even the f32
+    /// rows no longer fit comfortably.
+    Sq8 {
+        /// Coarse inverted lists over the codes. `0` = none (flat ADC
+        /// scan); `querc_index::Sq8Config::AUTO_NLIST` = auto `⌈√n⌉`.
+        nlist: usize,
+        /// Lists probed per query when a coarse layer exists.
+        nprobe: usize,
+        /// Top `rerank_factor × k` ADC candidates re-scored against
+        /// retained f32 rows; `0` drops the f32 rows entirely.
+        rerank_factor: usize,
+    },
 }
 
 /// The concrete index a fitted [`Knn`] searches. Kept as an enum (not
@@ -62,6 +80,7 @@ pub enum KnnBackend {
 enum KnnIndex {
     Flat(FlatIndex),
     Ivf(IvfIndex),
+    Sq8(Sq8Index),
 }
 
 impl KnnIndex {
@@ -69,6 +88,7 @@ impl KnnIndex {
         match self {
             KnnIndex::Flat(ix) => ix,
             KnnIndex::Ivf(ix) => ix,
+            KnnIndex::Sq8(ix) => ix,
         }
     }
 }
@@ -135,6 +155,11 @@ impl Knn {
             nprobe: 0,
             centroids: Vec::new(),
             lists: Vec::new(),
+            sq8: false,
+            rerank: 0,
+            qmin: Vec::new(),
+            qstep: Vec::new(),
+            codes: Vec::new(),
         };
         match &self.index {
             None => {}
@@ -149,6 +174,24 @@ impl Knn {
                 state.nprobe = ix.nprobe();
                 state.centroids = flatten(ix.centroids());
                 state.lists = ix.lists().to_vec();
+            }
+            Some(KnnIndex::Sq8(ix)) => {
+                state.dim = ix.dim();
+                state.sq8 = true;
+                state.rerank = ix.rerank_factor();
+                let (qmin, qstep) = ix.quantizer();
+                state.qmin = qmin.to_vec();
+                state.qstep = qstep.to_vec();
+                state.codes = ix.codes_by_row();
+                state.nprobe = ix.nprobe();
+                if let Some(exact) = ix.exact_store() {
+                    state.rows = flatten(exact);
+                }
+                if ix.nlist() > 0 {
+                    state.ivf = true;
+                    state.centroids = flatten(ix.centroids());
+                    state.lists = ix.lists();
+                }
             }
         }
         state
@@ -175,6 +218,9 @@ impl Knn {
                 "label {bad} out of range for {} classes",
                 state.n_classes
             )));
+        }
+        if state.sq8 {
+            return Self::from_sq8_state(knn, state);
         }
         if state.dim == 0 || state.rows.len() != state.y.len() * state.dim {
             return Err(bad_state(format!(
@@ -209,6 +255,62 @@ impl Knn {
         };
         knn.y = state.y;
         knn.index = Some(index);
+        Ok(knn)
+    }
+
+    /// [`Knn::from_state`] continued for the SQ8 backend: rebuild an
+    /// [`Sq8Index`] from exported codes + quantizer params (+ optional
+    /// coarse layer and re-rank rows), with the same corrupt-state
+    /// guarantees. Label range and non-emptiness are already checked by
+    /// the caller.
+    fn from_sq8_state(mut knn: Knn, state: KnnState) -> Result<Knn, LearnError> {
+        if state.dim == 0 || state.codes.len() != state.y.len() * state.dim {
+            return Err(bad_state(format!(
+                "{} SQ8 codes for {} rows of dim {}",
+                state.codes.len(),
+                state.y.len(),
+                state.dim
+            )));
+        }
+        // Re-rank rows are optional (dropped when `rerank == 0`), but
+        // when present they must cover every row.
+        let exact = if state.rows.is_empty() {
+            None
+        } else if state.rows.len() == state.y.len() * state.dim {
+            Some(unflatten(&state.rows, state.dim))
+        } else {
+            return Err(bad_state(format!(
+                "{} re-rank floats for {} rows of dim {}",
+                state.rows.len(),
+                state.y.len(),
+                state.dim
+            )));
+        };
+        if !state.centroids.len().is_multiple_of(state.dim) {
+            return Err(bad_state("ragged centroid rows"));
+        }
+        let centroids = unflatten(&state.centroids, state.dim);
+        let nlist = centroids.len();
+        let index = Sq8Index::from_parts(
+            knn.metric.to_metric(),
+            state.dim,
+            state.qmin,
+            state.qstep,
+            &state.codes,
+            centroids,
+            state.lists,
+            exact,
+            state.nprobe,
+            state.rerank,
+        )
+        .ok_or_else(|| bad_state("inconsistent SQ8 quantizer/code/list layout"))?;
+        knn.backend = KnnBackend::Sq8 {
+            nlist,
+            nprobe: state.nprobe,
+            rerank_factor: state.rerank,
+        };
+        knn.y = state.y;
+        knn.index = Some(KnnIndex::Sq8(index));
         Ok(knn)
     }
 
@@ -260,6 +362,20 @@ impl Classifier for Knn {
                 &IvfConfig {
                     nlist,
                     nprobe,
+                    ..Default::default()
+                },
+            )),
+            KnnBackend::Sq8 {
+                nlist,
+                nprobe,
+                rerank_factor,
+            } => KnnIndex::Sq8(Sq8Index::build(
+                store,
+                metric,
+                &Sq8Config {
+                    nlist,
+                    nprobe,
+                    rerank_factor,
                     ..Default::default()
                 },
             )),
@@ -470,6 +586,41 @@ mod tests {
     }
 
     #[test]
+    fn sq8_backend_agrees_on_clustered_data() {
+        let mut rng = Pcg32::new(12);
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for (c, &(cx, cy)) in [(0.0f32, 0.0f32), (10.0, 10.0), (0.0, 10.0)]
+            .iter()
+            .enumerate()
+        {
+            for _ in 0..40 {
+                x.push(vec![cx + rng.normal() * 0.4, cy + rng.normal() * 0.4]);
+                y.push(c as u32);
+            }
+        }
+        let mut exact = Knn::new(5, KnnMetric::Euclidean);
+        exact.fit(&x, &y, 3, &mut Pcg32::new(13));
+        // Flat SQ8 with re-ranking: the exact re-score makes the final
+        // neighbor set match the exact scan on separated clusters.
+        let mut quant = Knn::new(5, KnnMetric::Euclidean).with_backend(KnnBackend::Sq8 {
+            nlist: 0,
+            nprobe: 1,
+            rerank_factor: 4,
+        });
+        quant.fit(&x, &y, 3, &mut Pcg32::new(13));
+        for q in [[0.5f32, -0.2], [9.6, 10.3], [0.2, 9.8]] {
+            assert_eq!(exact.predict(&q), quant.predict(&q));
+        }
+        let stats = quant.index().unwrap().stats();
+        assert_eq!(stats.backend, "sq8");
+        let flat_bytes = exact.index().unwrap().stats().resident_bytes;
+        // Codes + quantizer + retained f32 rows still undercut… nothing
+        // at dim 2 — just sanity-check the field is populated.
+        assert!(stats.resident_bytes > 0 && flat_bytes > 0);
+    }
+
+    #[test]
     fn predict_batch_matches_predict() {
         let mut rng = Pcg32::new(10);
         let x: Vec<Vec<f32>> = (0..60)
@@ -481,6 +632,16 @@ mod tests {
             KnnBackend::Ivf {
                 nlist: 4,
                 nprobe: 4,
+            },
+            KnnBackend::Sq8 {
+                nlist: 4,
+                nprobe: 4,
+                rerank_factor: 2,
+            },
+            KnnBackend::Sq8 {
+                nlist: 0,
+                nprobe: 1,
+                rerank_factor: 0,
             },
         ] {
             let mut knn = Knn::new(3, KnnMetric::Euclidean).with_backend(backend);

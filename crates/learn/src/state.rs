@@ -61,7 +61,12 @@ pub struct ForestState {
 }
 
 /// Snapshot of a [`Knn`] classifier (training set + index layout).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Serde is hand-written (not derived) so the SQ8 fields added after
+/// the first release are **additive**: a pre-SQ8 snapshot simply lacks
+/// them and deserializes with their defaults (`sq8 == false`, empty
+/// codes), whereas the derive shim rejects any missing field.
+#[derive(Debug, Clone, PartialEq)]
 pub struct KnnState {
     /// Neighborhood size.
     pub k: usize,
@@ -73,17 +78,89 @@ pub struct KnnState {
     pub y: Vec<u32>,
     /// Row dimensionality (`0` only when the training set is empty).
     pub dim: usize,
-    /// Training vectors, row-major (`y.len() * dim` floats).
+    /// Training vectors, row-major (`y.len() * dim` floats). Empty for
+    /// an SQ8 backend persisted without a re-rank store (`sq8` true,
+    /// `rerank == 0`): the codes then carry the whole training set.
     pub rows: Vec<f32>,
-    /// `true` = IVF backend (`nprobe`/`centroids`/`lists` valid),
-    /// `false` = exact flat scan.
+    /// `true` = a coarse IVF layer exists (`nprobe`/`centroids`/`lists`
+    /// valid) — over f32 rows ([`crate::KnnBackend::Ivf`]) or over SQ8
+    /// codes when `sq8` is also set. `false` = single-partition scan.
     pub ivf: bool,
-    /// IVF: lists probed per query.
+    /// Coarse layer: lists probed per query.
     pub nprobe: usize,
-    /// IVF: coarse centroids, row-major (`dim` floats each).
+    /// Coarse layer: centroids, row-major (`dim` floats each).
     pub centroids: Vec<f32>,
-    /// IVF: `lists[c]` = row ids assigned to centroid `c`.
+    /// Coarse layer: `lists[c]` = row ids assigned to centroid `c`.
     pub lists: Vec<Vec<u32>>,
+    /// `true` = SQ8 quantized backend ([`crate::KnnBackend::Sq8`]):
+    /// `qmin`/`qstep`/`codes` valid. Added after the first snapshot
+    /// release; missing in old JSON ⇒ defaults to `false`.
+    pub sq8: bool,
+    /// SQ8: exact re-rank breadth (`0` = ADC-only, no f32 rows kept).
+    pub rerank: usize,
+    /// SQ8: per-dimension quantizer offsets (`dim` floats).
+    pub qmin: Vec<f32>,
+    /// SQ8: per-dimension quantizer steps (`dim` floats).
+    pub qstep: Vec<f32>,
+    /// SQ8: codes in original row order (`y.len() * dim` bytes).
+    pub codes: Vec<u8>,
+}
+
+/// Deserialize `name` from `v` if present, else its default — the
+/// additive-field rule [`KnnState`]'s hand-written serde relies on.
+fn field_or_default<T: Deserialize + Default>(
+    v: &json::Value,
+    name: &str,
+) -> Result<T, json::Error> {
+    match v.as_object()?.iter().find(|(key, _)| key == name) {
+        Some((_, f)) => T::deserialize_json(f),
+        None => Ok(T::default()),
+    }
+}
+
+impl Serialize for KnnState {
+    fn serialize_json(&self, out: &mut String) {
+        macro_rules! fields {
+            ($first:ident $(, $f:ident)*) => {{
+                out.push_str(concat!("\"", stringify!($first), "\":"));
+                self.$first.serialize_json(out);
+                $(
+                    out.push_str(concat!(",\"", stringify!($f), "\":"));
+                    self.$f.serialize_json(out);
+                )*
+            }};
+        }
+        out.push('{');
+        fields!(
+            k, cosine, n_classes, y, dim, rows, ivf, nprobe, centroids, lists, sq8, rerank, qmin,
+            qstep, codes
+        );
+        out.push('}');
+    }
+}
+
+impl Deserialize for KnnState {
+    fn deserialize_json(v: &json::Value) -> Result<Self, json::Error> {
+        Ok(KnnState {
+            // Present in every snapshot generation: required.
+            k: Deserialize::deserialize_json(v.field("k")?)?,
+            cosine: Deserialize::deserialize_json(v.field("cosine")?)?,
+            n_classes: Deserialize::deserialize_json(v.field("n_classes")?)?,
+            y: Deserialize::deserialize_json(v.field("y")?)?,
+            dim: Deserialize::deserialize_json(v.field("dim")?)?,
+            rows: Deserialize::deserialize_json(v.field("rows")?)?,
+            ivf: Deserialize::deserialize_json(v.field("ivf")?)?,
+            nprobe: Deserialize::deserialize_json(v.field("nprobe")?)?,
+            centroids: Deserialize::deserialize_json(v.field("centroids")?)?,
+            lists: Deserialize::deserialize_json(v.field("lists")?)?,
+            // Additive (SQ8 generation): default when absent.
+            sq8: field_or_default(v, "sq8")?,
+            rerank: field_or_default(v, "rerank")?,
+            qmin: field_or_default(v, "qmin")?,
+            qstep: field_or_default(v, "qstep")?,
+            codes: field_or_default(v, "codes")?,
+        })
+    }
 }
 
 /// Snapshot of a [`SoftmaxRegression`].
@@ -257,6 +334,16 @@ mod tests {
                 nlist: 3,
                 nprobe: 2,
             },
+            KnnBackend::Sq8 {
+                nlist: 0,
+                nprobe: 1,
+                rerank_factor: 4,
+            },
+            KnnBackend::Sq8 {
+                nlist: 3,
+                nprobe: 2,
+                rerank_factor: 0,
+            },
         ] {
             let mut knn = Knn::new(3, KnnMetric::Euclidean).with_backend(backend);
             knn.fit(&x, &y, 3, &mut Pcg32::new(6));
@@ -267,6 +354,49 @@ mod tests {
                 assert_eq!(knn.predict(&p), restored.predict(&p), "{backend:?}");
             }
         }
+    }
+
+    #[test]
+    fn pre_sq8_knn_json_still_deserializes() {
+        // A snapshot written before the SQ8 fields existed: no `sq8`,
+        // `rerank`, `qmin`, `qstep`, or `codes` keys anywhere. The
+        // additive-field rule must fill their defaults instead of
+        // failing on a missing field.
+        let old = r#"{"kind":"knn","state":{"k":1,"cosine":false,"n_classes":2,
+            "y":[0,1],"dim":2,"rows":[0.0,0.0,3.0,4.0],"ivf":false,"nprobe":0,
+            "centroids":[],"lists":[]}}"#;
+        let v = json::parse(old).expect("old snapshot parses");
+        let state = ClassifierState::deserialize_json(&v).expect("old snapshot deserializes");
+        let ClassifierState::Knn(ref k) = state else {
+            panic!("expected knn state");
+        };
+        assert!(!k.sq8);
+        assert_eq!(k.rerank, 0);
+        assert!(k.qmin.is_empty() && k.qstep.is_empty() && k.codes.is_empty());
+        let clf = state.into_classifier().expect("old snapshot restores");
+        assert_eq!(clf.predict(&[3.1, 3.9]), 1);
+        assert_eq!(clf.predict(&[0.2, -0.1]), 0);
+    }
+
+    #[test]
+    fn sq8_knn_state_round_trips_codes_and_quantizer_exactly() {
+        let (x, y) = blobs(11, 30);
+        let mut knn = Knn::new(3, KnnMetric::Euclidean).with_backend(KnnBackend::Sq8 {
+            nlist: 3,
+            nprobe: 3,
+            rerank_factor: 2,
+        });
+        knn.fit(&x, &y, 3, &mut Pcg32::new(12));
+        let state = knn.to_state();
+        let round = json_round_trip(&ClassifierState::Knn(state.clone()));
+        let ClassifierState::Knn(restored) = round else {
+            panic!("expected knn state");
+        };
+        // f32 JSON text is shortest-round-trip, so the quantizer params
+        // and codes come back bit-for-bit.
+        assert_eq!(state, restored);
+        assert!(restored.sq8 && restored.ivf);
+        assert_eq!(restored.codes.len(), restored.y.len() * restored.dim);
     }
 
     #[test]
@@ -340,6 +470,11 @@ mod tests {
             nprobe: 0,
             centroids: Vec::new(),
             lists: Vec::new(),
+            sq8: false,
+            rerank: 0,
+            qmin: Vec::new(),
+            qstep: Vec::new(),
+            codes: Vec::new(),
         };
         let mut label_oob = base.clone();
         label_oob.y[1] = 9; // would index past the vote histogram

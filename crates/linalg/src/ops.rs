@@ -1,19 +1,51 @@
 //! Vector kernels shared by the embedding models and classifiers.
 //!
-//! These are deliberately plain loops over slices: at the sizes used in
-//! this workspace (dims 32–256) they auto-vectorize well and profiling the
-//! training loops shows the bottleneck is elsewhere (sampling and memory
-//! traffic), matching the perf-book advice to measure before optimizing.
+//! The reduction kernels (`dot`, `sq_dist`, and everything built on
+//! them: `norm`, `cosine`, `dist`) are **lane-strided**: element `i`
+//! accumulates into lane `i % LANES` and the eight lanes collapse
+//! through the fixed [`lane_sum`] tree. This is the workspace's
+//! *canonical* floating-point summation order — `querc_index::simd`
+//! implements the same kernels with AVX2 intrinsics (one lane per
+//! register slot, the identical reduction tree) and is bit-for-bit
+//! interchangeable with these reference loops, which is what lets the
+//! index plane dispatch between scalar and SIMD at runtime without the
+//! choice ever being observable in results. Change a kernel here and
+//! the SIMD twin (and its parity suite) must change with it.
 
-/// Dot product. Panics in debug builds if lengths differ.
+/// Accumulator lanes of the lane-strided reduction kernels: 8 `f32`s =
+/// one AVX2 register, so the scalar loops and the SIMD kernels share
+/// one summation order.
+pub const LANES: usize = 8;
+
+/// Collapse the eight accumulator lanes in the canonical order: 128-bit
+/// halves first (`l[k] + l[k+4]`), then pairwise — exactly the
+/// extract/movehl/shuffle reduction an AVX2 kernel performs, so scalar
+/// and SIMD totals agree bit for bit.
+#[inline]
+pub fn lane_sum(l: [f32; LANES]) -> f32 {
+    let s0 = l[0] + l[4];
+    let s1 = l[1] + l[5];
+    let s2 = l[2] + l[6];
+    let s3 = l[3] + l[7];
+    (s0 + s2) + (s1 + s3)
+}
+
+/// Dot product (lane-strided — see the module docs). Panics in debug
+/// builds if lengths differ.
 #[inline]
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len());
-    let mut acc = 0.0;
-    for i in 0..a.len() {
-        acc += a[i] * b[i];
+    let mut l = [0.0f32; LANES];
+    for (ca, cb) in a.chunks_exact(LANES).zip(b.chunks_exact(LANES)) {
+        for k in 0..LANES {
+            l[k] += ca[k] * cb[k];
+        }
     }
-    acc
+    let head = a.len() - a.len() % LANES;
+    for k in 0..a.len() - head {
+        l[k] += a[head + k] * b[head + k];
+    }
+    lane_sum(l)
 }
 
 /// `y += alpha * x`.
@@ -39,16 +71,24 @@ pub fn norm(x: &[f32]) -> f32 {
     dot(x, x).sqrt()
 }
 
-/// Squared Euclidean distance between two vectors.
+/// Squared Euclidean distance between two vectors (lane-strided — see
+/// the module docs).
 #[inline]
 pub fn sq_dist(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len());
-    let mut acc = 0.0;
-    for i in 0..a.len() {
-        let d = a[i] - b[i];
-        acc += d * d;
+    let mut l = [0.0f32; LANES];
+    for (ca, cb) in a.chunks_exact(LANES).zip(b.chunks_exact(LANES)) {
+        for k in 0..LANES {
+            let d = ca[k] - cb[k];
+            l[k] += d * d;
+        }
     }
-    acc
+    let head = a.len() - a.len() % LANES;
+    for k in 0..a.len() - head {
+        let d = a[head + k] - b[head + k];
+        l[k] += d * d;
+    }
+    lane_sum(l)
 }
 
 /// Euclidean distance.
@@ -57,7 +97,14 @@ pub fn dist(a: &[f32], b: &[f32]) -> f32 {
     sq_dist(a, b).sqrt()
 }
 
-/// Cosine similarity in `[-1, 1]`; zero vectors are treated as orthogonal.
+/// Cosine similarity in `[-1, 1]`; zero vectors are treated as
+/// orthogonal to everything (similarity exactly `0.0`, never NaN).
+///
+/// This is the *single* cosine definition in the workspace —
+/// `querc_index::Metric::Cosine` and every embedder test route through
+/// it (as [`cosine_dist`]), and the SIMD kernels in `querc_index::simd`
+/// are bit-for-bit twins of this exact sequence: `norm(a)`, `norm(b)`,
+/// `dot(a, b)`, one divide, one clamp.
 pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
     let na = norm(a);
     let nb = norm(b);
@@ -65,6 +112,15 @@ pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
         return 0.0;
     }
     (dot(a, b) / (na * nb)).clamp(-1.0, 1.0)
+}
+
+/// Cosine **distance** `1 − cosine(a, b)`, in `[0, 2]` — the canonical
+/// form the index plane scans with. Zero vectors (either side, or
+/// both) are at distance exactly `1.0` from everything, never NaN;
+/// denormal components behave like any other finite value.
+#[inline]
+pub fn cosine_dist(a: &[f32], b: &[f32]) -> f32 {
+    1.0 - cosine(a, b)
 }
 
 /// Normalize `x` to unit L2 norm in place; leaves zero vectors untouched.

@@ -163,21 +163,32 @@ fn main() {
     );
     // Vector search plane: per-app index stats, next to the cache rates.
     println!(
-        "\n{:<11} {:>6} {:>9} {:>8} {:>12} {:>11}",
-        "index", "kind", "searches", "probes", "candidates", "cand/search"
+        "\n{:<11} {:>8} {:>7} {:>6} {:>9} {:>8} {:>12} {:>11} {:>10}",
+        "index",
+        "backend",
+        "kernel",
+        "kind",
+        "searches",
+        "probes",
+        "candidates",
+        "cand/search",
+        "bytes"
     );
     let mut index_searches = 0u64;
     for tp in &drained.throughput {
         if let Some(ix) = &tp.index {
             index_searches += ix.searches;
             println!(
-                "{:<11} {:>6} {:>9} {:>8} {:>12} {:>11.1}",
+                "{:<11} {:>8} {:>7} {:>6} {:>9} {:>8} {:>12} {:>11.1} {:>10}",
                 tp.app,
+                ix.backend,
+                ix.kernel,
                 if ix.exact { "exact" } else { "ann" },
                 ix.searches,
                 ix.probes,
                 ix.candidates,
-                ix.candidates_per_search()
+                ix.candidates_per_search(),
+                ix.resident_bytes
             );
         }
     }
@@ -200,7 +211,83 @@ fn main() {
         "vector index plane recorded zero searches during the replay"
     );
 
+    sq8_recall_gate(&corpus, &embedder);
     qos_isolation_gate(&corpus, shards);
+}
+
+// ---------------------------------------------------------------------
+// SQ8 recall gate: quantized search over this trace's real embeddings.
+// ---------------------------------------------------------------------
+
+/// Recall floor the quantized index must hold against exact search.
+const SQ8_RECALL_FLOOR: f64 = 0.95;
+
+/// Build exact and SQ8 indexes over the corpus's actual embeddings and
+/// fail the run if quantized recall@10 drops below the floor — the
+/// serving-shaped regression gate for the quantization plane (property
+/// tests bound the per-distance error; this checks end-to-end ranking
+/// on real embedded SQL).
+fn sq8_recall_gate(corpus: &TrainCorpus, embedder: &Arc<dyn Embedder>) {
+    use querc_index::{simd, FlatIndex, Metric, Sq8Config, Sq8Index, VectorIndex};
+    const K: usize = 10;
+
+    let vectors: Vec<Vec<f32>> = corpus
+        .records
+        .iter()
+        .map(|r| embedder.embed_sql(&r.sql))
+        .collect();
+    let flat = FlatIndex::from_rows(&vectors, Metric::Euclidean);
+    let probes: Vec<&[f32]> = vectors.iter().step_by(7).map(Vec::as_slice).collect();
+
+    let report = |tag: &str, ix: &dyn VectorIndex| {
+        let mut total = 0.0;
+        for q in &probes {
+            let truth: Vec<u32> = flat.search(q, K).iter().map(|h| h.0).collect();
+            let got = ix.search(q, K);
+            total += got.iter().filter(|h| truth.contains(&h.0)).count() as f64
+                / truth.len().max(1) as f64;
+        }
+        let recall = total / probes.len() as f64;
+        let s = ix.stats();
+        println!(
+            "  {tag:<9} recall@{K}={recall:.3}  bytes {} ({:.2}× of flat)",
+            s.resident_bytes,
+            s.resident_bytes as f64 / flat.stats().resident_bytes as f64
+        );
+        assert!(
+            recall >= SQ8_RECALL_FLOOR,
+            "{tag}: quantized recall@{K} {recall:.3} fell below the {SQ8_RECALL_FLOOR} gate"
+        );
+    };
+
+    println!(
+        "\nsq8 recall gate: {} embedded templates, {} probes, kernel={}",
+        vectors.len(),
+        probes.len(),
+        simd::kernel_name()
+    );
+    let reranked = Sq8Index::from_rows(
+        &vectors,
+        Metric::Euclidean,
+        &Sq8Config {
+            nlist: 0,
+            rerank_factor: 4,
+            ..Default::default()
+        },
+    );
+    report("sq8", &reranked);
+    let memory_parity = Sq8Index::from_rows(
+        &vectors,
+        Metric::Euclidean,
+        &Sq8Config {
+            nlist: Sq8Config::AUTO_NLIST,
+            nprobe: 8,
+            rerank_factor: 0,
+            ..Default::default()
+        },
+    );
+    report("ivf+sq8", &memory_parity);
+    println!("gate passed (recall ≥ {SQ8_RECALL_FLOOR})");
 }
 
 // ---------------------------------------------------------------------

@@ -371,6 +371,64 @@ fn registry_version_history_survives_a_deploy_undeploy_storm() {
 }
 
 #[test]
+fn sq8_knn_deployments_round_trip_bit_identical() {
+    use querc_learn::{Knn, KnnBackend, KnnMetric};
+
+    let path = snapshot_path("sq8_knn");
+    let records = training_records();
+    let embedder: Arc<dyn Embedder> = Arc::new(BagOfTokens::new(64, true));
+    let vectors: Vec<Vec<f32>> = records.iter().map(|r| embedder.embed_sql(&r.sql)).collect();
+    let labels: Vec<&str> = records.iter().map(|r| r.user.as_str()).collect();
+
+    // Two SQ8 flavors: re-ranked (exact f32 rows retained) and
+    // memory-parity (rerank 0 — only codes survive the snapshot).
+    let reranked = Knn::new(3, KnnMetric::Cosine).with_backend(KnnBackend::Sq8 {
+        nlist: 4,
+        nprobe: 4,
+        rerank_factor: 2,
+    });
+    let codes_only = Knn::new(3, KnnMetric::Euclidean).with_backend(KnnBackend::Sq8 {
+        nlist: 0,
+        nprobe: 1,
+        rerank_factor: 0,
+    });
+
+    let mgr = WorkloadManager::new(WorkloadManagerConfig::default());
+    for (name, knn) in [("sq8_rerank", reranked), ("sq8_codes", codes_only)] {
+        let labeler = TrainedLabeler::train(knn, &vectors, &labels, &mut Pcg32::new(0x508));
+        mgr.registry().deploy(
+            name,
+            QueryClassifier::new(name, Arc::clone(&embedder), labeler),
+        );
+    }
+    mgr.checkpoint(&path).unwrap();
+
+    let probe_labels = |m: &WorkloadManager, name: &str| -> Vec<String> {
+        let clf = m.registry().get(name).unwrap();
+        (0..32u64)
+            .map(|i| clf.label_sql(&query_for(i).sql))
+            .collect()
+    };
+    let before_rerank = probe_labels(&mgr, "sq8_rerank");
+    let before_codes = probe_labels(&mgr, "sq8_codes");
+    drop(mgr.drain());
+
+    let restored = WorkloadManager::restore(&path, WorkloadManagerConfig::default()).unwrap();
+    assert_eq!(
+        probe_labels(&restored, "sq8_rerank"),
+        before_rerank,
+        "re-ranked SQ8 deployment must label bit-identically after restore"
+    );
+    assert_eq!(
+        probe_labels(&restored, "sq8_codes"),
+        before_codes,
+        "codes-only SQ8 deployment must label bit-identically after restore"
+    );
+    drop(restored.drain());
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
 fn corrupted_and_truncated_snapshots_report_corrupt_never_panic() {
     let path = snapshot_path("corrupt");
     let corpus = TrainCorpus::from_records(training_records(), 7);

@@ -11,8 +11,17 @@
 //! * `IvfIndex` holds recall@10 ≥ 0.95 on clustered data — the shape
 //!   of an embedded templated workload — while scanning a fraction of
 //!   the corpus.
+//! * The scalar and AVX2 kernel arms return **identical top-k
+//!   orderings with bit-identical distances** across the whole index
+//!   plane — forcing either arm through the dispatch override changes
+//!   nothing observable.
+//! * `Sq8Index` with re-ranking holds recall@10 ≥ 0.95 on the same
+//!   clustered regime at a fraction of flat's resident bytes.
 
-use querc_index::{FlatIndex, IvfConfig, IvfIndex, Metric, VectorIndex, VectorStore};
+use querc_index::simd::{self, Kernel};
+use querc_index::{
+    FlatIndex, IvfConfig, IvfIndex, Metric, Sq8Config, Sq8Index, VectorIndex, VectorStore,
+};
 use querc_learn::{Classifier, Knn, KnnMetric};
 use querc_linalg::{ops, Pcg32};
 
@@ -206,4 +215,129 @@ fn full_probe_ivf_equals_flat_on_every_query() {
         let q: Vec<f32> = (0..8).map(|_| rng.normal() * 10.0).collect();
         assert_eq!(ivf.search(&q, 10), flat.search(&q, 10));
     }
+}
+
+/// Every backend, forced through each kernel arm in turn, returns the
+/// same `(id, distance)` sequences bit for bit. The override is
+/// process-global, but because the arms are bit-identical by contract,
+/// flipping it under concurrently running tests is unobservable — that
+/// invariance is exactly what this test pins.
+#[test]
+fn kernel_arms_agree_on_every_backend_top_k() {
+    let corpus = blobs(100, 8, 20, 0x51d3); // dim 20: tail residue 4
+    let store = VectorStore::from_rows(&corpus);
+    let mut arms = vec![Kernel::Scalar];
+    if matches!(simd::active_kernel(), Kernel::Avx2) {
+        arms.push(Kernel::Avx2);
+    }
+    let mut rng = Pcg32::new(11);
+    let queries: Vec<Vec<f32>> = (0..30)
+        .map(|_| (0..20).map(|_| rng.normal() * 8.0).collect())
+        .collect();
+
+    for metric in [Metric::Euclidean, Metric::Cosine] {
+        let flat = FlatIndex::new(store.clone(), metric);
+        let ivf = IvfIndex::build(
+            store.clone(),
+            metric,
+            &IvfConfig {
+                nlist: 12,
+                nprobe: 4,
+                ..Default::default()
+            },
+        );
+        let sq8 = Sq8Index::build(
+            store.clone(),
+            metric,
+            &Sq8Config {
+                nlist: 0,
+                rerank_factor: 4,
+                ..Default::default()
+            },
+        );
+        let indexes: [(&str, &dyn VectorIndex); 3] =
+            [("flat", &flat), ("ivf", &ivf), ("sq8", &sq8)];
+        for (tag, ix) in indexes {
+            let mut per_arm: Vec<Vec<Vec<(u32, u32)>>> = Vec::new();
+            for &arm in &arms {
+                let prev = simd::set_kernel_override(Some(arm));
+                assert_eq!(prev, arm, "override must force the requested arm");
+                per_arm.push(
+                    queries
+                        .iter()
+                        .map(|q| {
+                            ix.search(q, 10)
+                                .into_iter()
+                                .map(|(id, d)| (id, d.to_bits()))
+                                .collect()
+                        })
+                        .collect(),
+                );
+                simd::set_kernel_override(None);
+            }
+            for other in &per_arm[1..] {
+                assert_eq!(
+                    &per_arm[0], other,
+                    "{metric:?}/{tag}: kernel arms must return identical top-k \
+                     orderings with bit-identical distances"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn sq8_rerank_recall_at_10_on_clustered_data() {
+    let corpus = blobs(125, 40, 16, 0x1ecf); // same regime as the IVF gate
+    let store = VectorStore::from_rows(&corpus);
+    let flat = FlatIndex::new(store.clone(), Metric::Euclidean);
+    let sq8 = Sq8Index::build(
+        store.clone(),
+        Metric::Euclidean,
+        &Sq8Config {
+            nlist: Sq8Config::AUTO_NLIST,
+            nprobe: 8,
+            rerank_factor: 4,
+            ..Default::default()
+        },
+    );
+    let mut rng = Pcg32::new(3);
+    let queries: Vec<Vec<f32>> = (0..200)
+        .map(|_| {
+            let base = &corpus[rng.below_usize(corpus.len())];
+            base.iter().map(|v| v + rng.normal() * 0.3).collect()
+        })
+        .collect();
+    let mut total_recall = 0.0;
+    for q in &queries {
+        total_recall += recall(&sq8.search(q, 10), &flat.search(q, 10));
+    }
+    let mean_recall = total_recall / queries.len() as f64;
+    assert!(
+        mean_recall >= 0.95,
+        "IVF+SQ8 recall@10 must hold ≥ 0.95 with re-ranking, got {mean_recall:.3}"
+    );
+    // The memory story is the point: quantized codes + coarse structure
+    // must undercut the flat store even with the re-rank rows resident.
+    let (flat_bytes, sq8_bytes) = (flat.stats().resident_bytes, sq8.stats().resident_bytes);
+    assert!(
+        sq8_bytes < flat_bytes * 3 / 2,
+        "sq8-with-rerank resident bytes {sq8_bytes} vs flat {flat_bytes}"
+    );
+    // Without the exact rows (rerank_factor 0) it must be far below.
+    let codes_only = Sq8Index::build(
+        store,
+        Metric::Euclidean,
+        &Sq8Config {
+            nlist: Sq8Config::AUTO_NLIST,
+            nprobe: 8,
+            rerank_factor: 0,
+            ..Default::default()
+        },
+    );
+    assert!(
+        codes_only.stats().resident_bytes * 3 <= flat_bytes,
+        "codes-only sq8 must hold ≤ ⅓ of flat's bytes, got {} vs {flat_bytes}",
+        codes_only.stats().resident_bytes
+    );
 }
