@@ -1,0 +1,265 @@
+//! Compute-plane determinism suite: the `training_threads` knob and
+//! the kernel arm must never change a model, only its wall-clock.
+//!
+//! Every learner in the workspace fits through `querc_linalg`'s
+//! `ComputePool` + kernel plane, whose contract is *fixed-order
+//! reduction over a thread-count-independent decomposition*. These
+//! tests witness the contract end to end: each learner is fitted under
+//! `training_threads ∈ {1, 2, 4}` across fuzzed corpus sizes
+//! (including the empty and one-document edges) and the exported model
+//! state is compared bit for bit. The serialized form compares floats
+//! through their shortest-roundtrip decimal rendering, which is
+//! injective on f32 — equal strings ⇔ equal bits.
+//!
+//! The thread override is process-global, so every sweep holds a
+//! mutex; the arm tests piggyback on the same lock.
+
+use querc_cluster::{kmeans, KMeansConfig};
+use querc_embed::{
+    BagOfTokens, Doc2Vec, Doc2VecConfig, Embedder, LstmAutoencoder, LstmConfig, VocabConfig,
+};
+use querc_learn::{Classifier, ForestConfig, Knn, KnnMetric, RandomForest, SoftmaxRegression};
+use querc_linalg::{pool, Pcg32};
+use std::sync::Mutex;
+
+static THREAD_KNOB: Mutex<()> = Mutex::new(());
+
+const SWEEP: [usize; 3] = [1, 2, 4];
+
+/// Run `f` with the process-wide training-thread count pinned to `n`,
+/// restoring the ambient setting afterwards.
+fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    pool::set_training_threads(Some(n));
+    let out = f();
+    pool::set_training_threads(None);
+    out
+}
+
+/// Pseudo-random token documents: sizes fuzz the sharding/chunking
+/// boundaries, content fuzzes vocabulary shape.
+fn synth_docs(n: usize, seed: u64) -> Vec<Vec<String>> {
+    let mut rng = Pcg32::new(seed);
+    (0..n)
+        .map(|_| {
+            let len = 3 + rng.below_usize(12);
+            (0..len)
+                .map(|_| format!("tok{}", rng.below_usize(40)))
+                .collect()
+        })
+        .collect()
+}
+
+fn blobs(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
+    let mut rng = Pcg32::new(seed);
+    (0..n)
+        .map(|_| (0..dim).map(|_| rng.normal()).collect())
+        .collect()
+}
+
+fn labels(n: usize, classes: usize) -> Vec<u32> {
+    (0..n).map(|i| (i % classes) as u32).collect()
+}
+
+#[test]
+fn doc2vec_fit_is_thread_count_invariant() {
+    let _g = THREAD_KNOB.lock().unwrap();
+    // 700 documents split into many shards; 0/1 exercise the no-work
+    // and single-shard edges.
+    for n in [0usize, 1, 5, 37, 130, 700] {
+        let docs = synth_docs(n, 0xd0c + n as u64);
+        let cfg = Doc2VecConfig {
+            dim: 16,
+            epochs: 2,
+            negative: 3,
+            vocab: VocabConfig {
+                min_count: 1,
+                max_size: 500,
+                hash_buckets: 32,
+            },
+            ..Default::default()
+        };
+        let want = with_threads(1, || {
+            serde_json::to_string(&Doc2Vec::train(&docs, cfg.clone())).unwrap()
+        });
+        for t in [2usize, 4] {
+            let got = with_threads(t, || {
+                serde_json::to_string(&Doc2Vec::train(&docs, cfg.clone())).unwrap()
+            });
+            assert_eq!(
+                got, want,
+                "doc2vec n={n} threads={t} diverged from 1-thread"
+            );
+        }
+    }
+}
+
+#[test]
+fn lstm_fit_is_thread_count_invariant() {
+    let _g = THREAD_KNOB.lock().unwrap();
+    for n in [0usize, 1, 9] {
+        let docs = synth_docs(n, 0x157 + n as u64);
+        let cfg = LstmConfig {
+            embed_dim: 8,
+            hidden: 16,
+            max_len: 12,
+            epochs: 1,
+            vocab: VocabConfig {
+                min_count: 1,
+                max_size: 200,
+                hash_buckets: 16,
+            },
+            ..Default::default()
+        };
+        let want = with_threads(1, || {
+            serde_json::to_string(&LstmAutoencoder::train(&docs, cfg.clone())).unwrap()
+        });
+        for t in [2usize, 4] {
+            let got = with_threads(t, || {
+                serde_json::to_string(&LstmAutoencoder::train(&docs, cfg.clone())).unwrap()
+            });
+            assert_eq!(got, want, "lstm n={n} threads={t} diverged from 1-thread");
+        }
+    }
+}
+
+#[test]
+fn kmeans_fit_is_thread_count_invariant() {
+    let _g = THREAD_KNOB.lock().unwrap();
+    // 1500 points crosses the fixed 1024-point assignment chunk; 1/2
+    // exercise the degenerate ends (k clamps to n).
+    for n in [1usize, 2, 65, 1500] {
+        let points = blobs(n, 24, 0x1237 + n as u64);
+        let cfg = KMeansConfig {
+            k: 8,
+            max_iters: 6,
+            ..Default::default()
+        };
+        let (want_assign, want_centroids) = with_threads(1, || {
+            let r = kmeans(&points, &cfg, &mut Pcg32::new(5));
+            (r.assignments, r.centroids)
+        });
+        for t in [2usize, 4] {
+            let (assign, centroids) = with_threads(t, || {
+                let r = kmeans(&points, &cfg, &mut Pcg32::new(5));
+                (r.assignments, r.centroids)
+            });
+            assert_eq!(assign, want_assign, "kmeans n={n} threads={t} assignments");
+            assert_eq!(centroids.len(), want_centroids.len());
+            for (c, w) in centroids.iter().zip(&want_centroids) {
+                for (a, b) in c.iter().zip(w) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "kmeans n={n} threads={t}");
+                }
+            }
+        }
+    }
+}
+
+/// Fit a classifier at a given thread count and export its serialized
+/// state.
+fn fit_state<C: Classifier>(
+    mut model: C,
+    threads: usize,
+    x: &[Vec<f32>],
+    y: &[u32],
+    classes: usize,
+) -> String {
+    with_threads(threads, || {
+        model.fit(x, y, classes, &mut Pcg32::new(0xf17));
+        serde_json::to_string(&model.export_state().expect("state-exporting classifier")).unwrap()
+    })
+}
+
+#[test]
+fn forest_fit_is_thread_count_invariant() {
+    let _g = THREAD_KNOB.lock().unwrap();
+    for n in [1usize, 2, 40, 300] {
+        let classes = 3.min(n);
+        let x = blobs(n, 8, 0xf0f + n as u64);
+        let y = labels(n, classes);
+        let mk = || RandomForest::new(ForestConfig::extra_trees(9));
+        let want = fit_state(mk(), 1, &x, &y, classes);
+        for t in [2usize, 4] {
+            let got = fit_state(mk(), t, &x, &y, classes);
+            assert_eq!(got, want, "forest n={n} threads={t} diverged from 1-thread");
+        }
+    }
+}
+
+#[test]
+fn softmax_and_knn_fit_are_thread_count_invariant() {
+    let _g = THREAD_KNOB.lock().unwrap();
+    for n in [1usize, 2, 120] {
+        let classes = 3.min(n);
+        let x = blobs(n, 8, 0x50f + n as u64);
+        let y = labels(n, classes);
+        let want_s = fit_state(SoftmaxRegression::new(4, 0.1, 1e-4), 1, &x, &y, classes);
+        let want_k = fit_state(Knn::new(3, KnnMetric::Euclidean), 1, &x, &y, classes);
+        for t in [2usize, 4] {
+            let got_s = fit_state(SoftmaxRegression::new(4, 0.1, 1e-4), t, &x, &y, classes);
+            let got_k = fit_state(Knn::new(3, KnnMetric::Euclidean), t, &x, &y, classes);
+            assert_eq!(got_s, want_s, "softmax n={n} threads={t}");
+            assert_eq!(got_k, want_k, "knn n={n} threads={t}");
+        }
+    }
+}
+
+/// The serving miss path (`embed_batch`) must be bit-identical to
+/// per-query `embed`, at every thread count, for every embedder — the
+/// EmbedPlane caches whichever one ran first, so a mismatch would make
+/// cache state depend on arrival batching.
+#[test]
+fn embed_batch_matches_per_query_embed_at_every_thread_count() {
+    let _g = THREAD_KNOB.lock().unwrap();
+    let train = synth_docs(24, 0xe3bed);
+    let vocab = VocabConfig {
+        min_count: 1,
+        max_size: 300,
+        hash_buckets: 32,
+    };
+    let d2v = Doc2Vec::train(
+        &train,
+        Doc2VecConfig {
+            dim: 16,
+            epochs: 1,
+            vocab: vocab.clone(),
+            ..Default::default()
+        },
+    );
+    let lstm = LstmAutoencoder::train(
+        &train,
+        LstmConfig {
+            embed_dim: 8,
+            hidden: 16,
+            max_len: 12,
+            epochs: 1,
+            vocab,
+            ..Default::default()
+        },
+    );
+    let bow = BagOfTokens::new(32, true);
+    let embedders: [&dyn Embedder; 3] = [&bow, &d2v, &lstm];
+    // 70 queries: spans two parallel chunks plus a partial third;
+    // empty and single-query batches cover the edges.
+    for batch in [0usize, 1, 70] {
+        let docs = synth_docs(batch, 0xba7c4 + batch as u64);
+        for e in embedders {
+            let per_query: Vec<Vec<f32>> =
+                with_threads(1, || docs.iter().map(|d| e.embed(d)).collect());
+            for t in SWEEP {
+                let batched = with_threads(t, || e.embed_batch(&docs));
+                assert_eq!(batched.len(), docs.len());
+                for (j, (b, w)) in batched.iter().zip(&per_query).enumerate() {
+                    assert_eq!(b.len(), w.len());
+                    for (x, y) in b.iter().zip(w) {
+                        assert_eq!(
+                            x.to_bits(),
+                            y.to_bits(),
+                            "{} batch={batch} threads={t} doc={j}",
+                            e.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

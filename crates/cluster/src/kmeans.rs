@@ -1,6 +1,16 @@
 //! Lloyd's K-means with k-means++ seeding and empty-cluster repair.
+//!
+//! The assignment step — the O(n·k·dim) heart of every Lloyd iteration
+//! — runs on the compute plane: centroids are packed once per iteration
+//! into a padded row-major block and each point is scored with the
+//! fused `kernel::sq_dist_block` scan (scalar/AVX2, bit-identical
+//! arms), with points processed in fixed-size chunks distributed over a
+//! [`ComputePool`]. Per-chunk partial sums, counts and SSE are reduced
+//! **in chunk order**, so the fit is bit-identical for every
+//! `training_threads` value; corpora up to one chunk (1024 points)
+//! reduce in exactly the historical single-pass point order.
 
-use querc_linalg::{ops, Pcg32};
+use querc_linalg::{kernel, ops, ComputePool, Pcg32};
 
 /// Index of the centroid nearest `point` (squared Euclidean distance) —
 /// the assignment step shared by every serving path that maps a fresh
@@ -25,9 +35,10 @@ pub fn nearest_centroid(point: &[f32], centroids: &[Vec<f32>]) -> usize {
 /// per-point assignment primitive, called in a loop by every serving
 /// path.
 pub fn try_nearest_centroid(point: &[f32], centroids: &[Vec<f32>]) -> Option<usize> {
+    let kern = kernel::active_kernel();
     let mut best: Option<(usize, f32)> = None;
     for (c, centroid) in centroids.iter().enumerate() {
-        let d = ops::sq_dist(point, centroid);
+        let d = kernel::sq_dist_with(kern, point, centroid);
         match best {
             Some((_, bd)) if d.total_cmp(&bd) != std::cmp::Ordering::Less => {}
             _ => best = Some((c, d)),
@@ -73,13 +84,14 @@ impl KMeansResult {
     /// Index of the input point nearest each centroid — the "witness"
     /// queries used as the workload summary.
     pub fn witnesses(&self, points: &[Vec<f32>]) -> Vec<usize> {
+        let kern = kernel::active_kernel();
         self.centroids
             .iter()
             .map(|c| {
                 let mut best = 0usize;
                 let mut best_d = f32::INFINITY;
                 for (i, p) in points.iter().enumerate() {
-                    let d = ops::sq_dist(p, c);
+                    let d = kernel::sq_dist_with(kern, p, c);
                     if d < best_d {
                         best_d = d;
                         best = i;
@@ -100,33 +112,105 @@ impl KMeansResult {
     }
 }
 
+/// Fixed chunk width for the parallel assignment step. The
+/// decomposition depends only on the corpus size — never on the thread
+/// count — which is half of the determinism argument; the other half is
+/// that the per-chunk partials are folded in chunk order.
+const ASSIGN_CHUNK: usize = 1024;
+
+/// Per-chunk partial results of one assignment pass.
+struct ChunkStats {
+    assignments: Vec<usize>,
+    sse: f64,
+    /// `k × dim` row-major per-cluster sums, accumulated in point order.
+    sums: Vec<f32>,
+    counts: Vec<usize>,
+}
+
+/// Padded row-major copy of the centroids (stride rounded to the SIMD
+/// lane width, padding zeroed) so assignment can use the fused block
+/// scan. Rebuilt once per Lloyd iteration — O(k·dim), noise next to
+/// the O(n·k·dim) scan it accelerates.
+fn pack_centroids(centroids: &[Vec<f32>], dim: usize) -> (Vec<f32>, usize) {
+    let stride = dim.div_ceil(ops::LANES) * ops::LANES;
+    let mut buf = vec![0.0f32; centroids.len() * stride];
+    for (c, cent) in centroids.iter().enumerate() {
+        buf[c * stride..c * stride + dim].copy_from_slice(cent);
+    }
+    (buf, stride)
+}
+
+/// One full assignment pass: nearest centroid, SSE, per-cluster sums
+/// and counts, chunk-parallel over `pool`. Ties resolve to the lowest
+/// centroid index and NaN distances rank last (`ops::argmin` total
+/// order) — the same winner the historical `d < best_d` scan picked.
+fn assign_pass(
+    points: &[Vec<f32>],
+    centroids: &[Vec<f32>],
+    dim: usize,
+    pool: &ComputePool,
+) -> (Vec<usize>, f64, Vec<f32>, Vec<usize>) {
+    let k = centroids.len();
+    let (cent_buf, stride) = pack_centroids(centroids, dim);
+    let kern = kernel::active_kernel();
+    let n_chunks = points.len().div_ceil(ASSIGN_CHUNK);
+    let parts = pool.map(n_chunks, |ci| {
+        let lo = ci * ASSIGN_CHUNK;
+        let hi = (lo + ASSIGN_CHUNK).min(points.len());
+        let mut stats = ChunkStats {
+            assignments: Vec::with_capacity(hi - lo),
+            sse: 0.0,
+            sums: vec![0.0f32; k * dim],
+            counts: vec![0usize; k],
+        };
+        let mut dists = vec![0.0f32; k];
+        for p in &points[lo..hi] {
+            kernel::sq_dist_block_with(kern, p, &cent_buf, stride, &mut dists);
+            let best = ops::argmin(&dists).expect("k >= 1");
+            stats.assignments.push(best);
+            stats.sse += dists[best] as f64;
+            ops::axpy(1.0, p, &mut stats.sums[best * dim..(best + 1) * dim]);
+            stats.counts[best] += 1;
+        }
+        stats
+    });
+    // Fixed-order reduce: chunk 0, then 1, … — identical for every
+    // thread count, and identical to the historical single-pass point
+    // order whenever there is one chunk.
+    let mut assignments = Vec::with_capacity(points.len());
+    let mut sse = 0.0f64;
+    let mut sums = vec![0.0f32; k * dim];
+    let mut counts = vec![0usize; k];
+    for part in parts {
+        assignments.extend_from_slice(&part.assignments);
+        sse += part.sse;
+        ops::axpy(1.0, &part.sums, &mut sums);
+        for (c, n) in counts.iter_mut().zip(&part.counts) {
+            *c += n;
+        }
+    }
+    (assignments, sse, sums, counts)
+}
+
 /// Run K-means over `points`. Panics if `points` is empty or `k == 0`;
 /// `k` larger than the number of points is clamped.
+///
+/// Runs on the compute plane: the result is bit-identical for every
+/// kernel arm and every `training_threads` value.
 pub fn kmeans(points: &[Vec<f32>], cfg: &KMeansConfig, rng: &mut Pcg32) -> KMeansResult {
     assert!(!points.is_empty(), "kmeans on empty input");
     assert!(cfg.k > 0, "k must be positive");
     let k = cfg.k.min(points.len());
+    let dim = points[0].len();
+    let pool = ComputePool::current();
     let mut centroids = plus_plus_init(points, k, rng);
-    let mut assignments = vec![0usize; points.len()];
     let mut prev_sse = f64::INFINITY;
     let mut iterations = 0;
     for iter in 0..cfg.max_iters {
         iterations = iter + 1;
-        // Assign.
-        let mut sse = 0.0f64;
-        for (i, p) in points.iter().enumerate() {
-            let (best, d) = nearest(p, &centroids);
-            assignments[i] = best;
-            sse += d as f64;
-        }
+        // Assign + accumulate (one fused chunk-parallel pass).
+        let (_, sse, sums, counts) = assign_pass(points, &centroids, dim, &pool);
         // Update.
-        let dim = points[0].len();
-        let mut sums = vec![vec![0.0f32; dim]; k];
-        let mut counts = vec![0usize; k];
-        for (i, p) in points.iter().enumerate() {
-            ops::axpy(1.0, p, &mut sums[assignments[i]]);
-            counts[assignments[i]] += 1;
-        }
         for c in 0..k {
             if counts[c] == 0 {
                 // Empty cluster: reseed at the point farthest from its
@@ -144,7 +228,7 @@ pub fn kmeans(points: &[Vec<f32>], cfg: &KMeansConfig, rng: &mut Pcg32) -> KMean
                 centroids[c] = points[far].clone();
             } else {
                 let inv = 1.0 / counts[c] as f32;
-                for (dst, s) in centroids[c].iter_mut().zip(&sums[c]) {
+                for (dst, s) in centroids[c].iter_mut().zip(&sums[c * dim..(c + 1) * dim]) {
                     *dst = s * inv;
                 }
             }
@@ -158,12 +242,7 @@ pub fn kmeans(points: &[Vec<f32>], cfg: &KMeansConfig, rng: &mut Pcg32) -> KMean
         }
     }
     // Final assignment + SSE against the last centroids.
-    let mut sse = 0.0f64;
-    for (i, p) in points.iter().enumerate() {
-        let (best, d) = nearest(p, &centroids);
-        assignments[i] = best;
-        sse += d as f64;
-    }
+    let (assignments, sse, _, _) = assign_pass(points, &centroids, dim, &pool);
     KMeansResult {
         assignments,
         centroids,
@@ -177,10 +256,11 @@ fn assignments_of(p: &[f32], centroids: &[Vec<f32>]) -> usize {
 }
 
 fn nearest(p: &[f32], centroids: &[Vec<f32>]) -> (usize, f32) {
+    let kern = kernel::active_kernel();
     let mut best = 0usize;
     let mut best_d = f32::INFINITY;
     for (c, cent) in centroids.iter().enumerate() {
-        let d = ops::sq_dist(p, cent);
+        let d = kernel::sq_dist_with(kern, p, cent);
         if d < best_d {
             best_d = d;
             best = c;
@@ -192,11 +272,12 @@ fn nearest(p: &[f32], centroids: &[Vec<f32>]) -> (usize, f32) {
 /// k-means++ seeding: first centroid uniform, then proportional to the
 /// squared distance to the nearest chosen centroid.
 fn plus_plus_init(points: &[Vec<f32>], k: usize, rng: &mut Pcg32) -> Vec<Vec<f32>> {
+    let kern = kernel::active_kernel();
     let mut centroids = Vec::with_capacity(k);
     centroids.push(points[rng.below_usize(points.len())].clone());
     let mut d2: Vec<f64> = points
         .iter()
-        .map(|p| ops::sq_dist(p, &centroids[0]) as f64)
+        .map(|p| kernel::sq_dist_with(kern, p, &centroids[0]) as f64)
         .collect();
     while centroids.len() < k {
         let total: f64 = d2.iter().sum();
@@ -208,7 +289,7 @@ fn plus_plus_init(points: &[Vec<f32>], k: usize, rng: &mut Pcg32) -> Vec<Vec<f32
         };
         centroids.push(points[next].clone());
         for (i, p) in points.iter().enumerate() {
-            let d = ops::sq_dist(p, centroids.last().expect("just pushed")) as f64;
+            let d = kernel::sq_dist_with(kern, p, centroids.last().expect("just pushed")) as f64;
             if d < d2[i] {
                 d2[i] = d;
             }

@@ -348,13 +348,15 @@ impl EmbedPlane {
         out
     }
 
-    /// Insert exported entries in order (restore path). Counts neither
-    /// hits nor misses, so post-restore hit-rate measurements start
-    /// clean; evictions (a smaller cache than the one exported) still
-    /// count.
-    pub fn preload(&self, entries: &[(u64, u64, Vec<f32>)]) {
+    /// Insert exported entries in order (restore path). Takes the
+    /// entries by value so each restored vector moves into its cache
+    /// `Arc` instead of being re-cloned (the warm set is tens of MB).
+    /// Counts neither hits nor misses, so post-restore hit-rate
+    /// measurements start clean; evictions (a smaller cache than the
+    /// one exported) still count.
+    pub fn preload(&self, entries: Vec<(u64, u64, Vec<f32>)>) {
         for (ns, fp, v) in entries {
-            self.insert(*ns, *fp, Arc::new(v.clone()));
+            self.insert(ns, fp, Arc::new(v));
         }
     }
 
@@ -534,7 +536,7 @@ mod tests {
         assert_eq!(dump[2].1, 0, "hottest last");
 
         let fresh = plane(3, 1);
-        fresh.preload(&dump);
+        fresh.preload(dump.clone());
         assert_eq!(fresh.len(), 3);
         for fp in 0..3u64 {
             assert_eq!(*fresh.get(9, fp).unwrap(), vec![fp as f32, 0.5]);
@@ -544,7 +546,7 @@ mod tests {
 
         // Restoring into a smaller cache keeps the *hottest* entries.
         let small = plane(2, 1);
-        small.preload(&dump);
+        small.preload(dump);
         assert_eq!(small.len(), 2);
         assert!(small.get(9, 1).is_none(), "coldest dropped");
         assert!(small.get(9, 0).is_some());

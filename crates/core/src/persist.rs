@@ -40,6 +40,106 @@ pub(crate) fn from_json<T: serde::de::DeserializeOwned>(json: &str, what: &str) 
     serde_json::from_str(json).map_err(|e| corrupt(format!("{what}: {e}")))
 }
 
+/// Decode an embed-cache section — `[[ns, fp, [f32, ...]], ...]` — with
+/// a single-pass streaming parser instead of the generic shim path.
+///
+/// The warm set dominates snapshot bytes (100k × 64-float vectors ≈
+/// 30 MB), and the generic path pays for it twice: a `json::Value` tree
+/// with one heap `String` per number (~6.6M allocations), then a second
+/// walk parsing each. This decoder goes straight from payload bytes to
+/// `(u64, u64, Vec<f32>)` triples. It accepts exactly what the shim
+/// serializer emits (plus interstitial whitespace and `null` → NaN, the
+/// shim's float convention); on *any* shape surprise it falls back to
+/// [`from_json`], so error reporting and schema tolerance are unchanged.
+pub(crate) fn parse_embed_cache(json: &str, what: &str) -> Result<Vec<(u64, u64, Vec<f32>)>> {
+    match fast_embed_cache(json) {
+        Some(entries) => Ok(entries),
+        None => from_json(json, what),
+    }
+}
+
+fn fast_embed_cache(json: &str) -> Option<Vec<(u64, u64, Vec<f32>)>> {
+    let b = json.as_bytes();
+    let mut p = 0usize;
+    let skip_ws = |p: &mut usize| {
+        while matches!(b.get(*p), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            *p += 1;
+        }
+    };
+    let eat = |p: &mut usize, c: u8| -> Option<()> { (b.get(*p) == Some(&c)).then(|| *p += 1) };
+    // Scan one number token; boundaries are ASCII so the str slice is
+    // always valid.
+    fn number<'a>(json: &'a str, p: &mut usize) -> Option<&'a str> {
+        let b = json.as_bytes();
+        let start = *p;
+        while matches!(
+            b.get(*p),
+            Some(b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+        ) {
+            *p += 1;
+        }
+        (*p > start).then(|| &json[start..*p])
+    }
+
+    skip_ws(&mut p);
+    eat(&mut p, b'[')?;
+    skip_ws(&mut p);
+    // Size the output from the entry-open count so the big Vec never
+    // reallocates mid-parse.
+    let mut out = Vec::with_capacity(json.matches("[[").count().max(1));
+    if eat(&mut p, b']').is_none() {
+        loop {
+            skip_ws(&mut p);
+            eat(&mut p, b'[')?;
+            skip_ws(&mut p);
+            let ns = number(json, &mut p)?.parse::<u64>().ok()?;
+            skip_ws(&mut p);
+            eat(&mut p, b',')?;
+            skip_ws(&mut p);
+            let fp = number(json, &mut p)?.parse::<u64>().ok()?;
+            skip_ws(&mut p);
+            eat(&mut p, b',')?;
+            skip_ws(&mut p);
+            eat(&mut p, b'[')?;
+            // Vectors in one section share a dim; reuse the last length
+            // as the capacity hint.
+            let mut v: Vec<f32> = Vec::with_capacity(
+                out.last()
+                    .map_or(0, |(_, _, prev): &(_, _, Vec<f32>)| prev.len()),
+            );
+            skip_ws(&mut p);
+            if eat(&mut p, b']').is_none() {
+                loop {
+                    skip_ws(&mut p);
+                    if b[p..].starts_with(b"null") {
+                        p += 4;
+                        v.push(f32::NAN);
+                    } else {
+                        v.push(number(json, &mut p)?.parse::<f32>().ok()?);
+                    }
+                    skip_ws(&mut p);
+                    if eat(&mut p, b',').is_some() {
+                        continue;
+                    }
+                    eat(&mut p, b']')?;
+                    break;
+                }
+            }
+            skip_ws(&mut p);
+            eat(&mut p, b']')?;
+            out.push((ns, fp, v));
+            skip_ws(&mut p);
+            if eat(&mut p, b',').is_some() {
+                continue;
+            }
+            eat(&mut p, b']')?;
+            break;
+        }
+    }
+    skip_ws(&mut p);
+    (p == b.len()).then_some(out)
+}
+
 /// Decode a section's bytes as UTF-8 (all payloads are JSON text).
 pub(crate) fn utf8<'a>(bytes: &'a [u8], what: &str) -> Result<&'a str> {
     std::str::from_utf8(bytes).map_err(|_| corrupt(format!("{what}: payload is not UTF-8")))
@@ -216,4 +316,56 @@ pub(crate) fn restore_app(
         "summarize" => Box::new(SummarizeApp::new(embedder)),
         other => return Err(corrupt(format!("unknown app in snapshot: {other:?}"))),
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(entries: &Vec<(u64, u64, Vec<f32>)>) {
+        let json = to_json(entries).unwrap();
+        let fast = fast_embed_cache(&json).expect("writer output takes the fast path");
+        let generic: Vec<(u64, u64, Vec<f32>)> = from_json(&json, "t").unwrap();
+        assert_eq!(fast.len(), generic.len());
+        for ((fa, fb, fv), (ga, gb, gv)) in fast.iter().zip(&generic) {
+            assert_eq!((fa, fb), (ga, gb));
+            // Bit-compare so NaN round-trips count as equal too.
+            let f_bits: Vec<u32> = fv.iter().map(|x| x.to_bits()).collect();
+            let g_bits: Vec<u32> = gv.iter().map(|x| x.to_bits()).collect();
+            assert_eq!(f_bits, g_bits);
+        }
+    }
+
+    #[test]
+    fn fast_embed_cache_matches_generic_parser() {
+        roundtrip(&vec![]);
+        roundtrip(&vec![(0, u64::MAX, vec![])]);
+        roundtrip(&vec![
+            (1, 2, vec![0.0, -0.0, 1.5, -3.25e-7, f32::MIN, f32::MAX]),
+            (u64::MAX, 0, vec![f32::NAN, 0.3]),
+            (42, 7, (0..64).map(|i| (i as f32 * 0.1).sin()).collect()),
+        ]);
+    }
+
+    #[test]
+    fn fast_embed_cache_accepts_whitespace_and_rejects_junk() {
+        let spaced = " [ [1 , 2 , [0.5, null] ] ,\n[3,4,[]] ] ";
+        let v = fast_embed_cache(spaced).expect("whitespace tolerated");
+        assert_eq!(v.len(), 2);
+        assert_eq!((v[0].0, v[0].1), (1, 2));
+        assert!(v[0].2[1].is_nan());
+        // Shape surprises must decline (→ generic fallback), not panic.
+        for junk in [
+            "",
+            "{}",
+            "[[1,2,[0.5]]",
+            "[[1,2,[0.5]]] trailing",
+            r#"[["a",2,[0.5]]]"#,
+            "[[1,2,[true]]]",
+            "[[1,2,0.5]]",
+            "[[1,2,[0.5],9]]",
+        ] {
+            assert!(fast_embed_cache(junk).is_none(), "accepted {junk:?}");
+        }
+    }
 }

@@ -207,6 +207,14 @@ pub struct WorkloadManagerConfig {
     /// managers alive because the arms are bit-identical — the knob
     /// changes throughput, never results.
     pub kernel: KernelPolicy,
+    /// Worker threads for the training/fit compute pool
+    /// (`querc_linalg::ComputePool`). `None` keeps the ambient
+    /// resolution — a `QUERC_THREADS` env override if set, otherwise the
+    /// detected core count; `Some(n)` pins `n` **process-wide** at
+    /// [`WorkloadManager::new`], like [`KernelPolicy`]. Every fit path
+    /// folds parallel work in a fixed order, so this knob changes
+    /// wall-clock, never model bits.
+    pub training_threads: Option<usize>,
 }
 
 /// Which [`querc_index`] distance-kernel arm a manager's process runs.
@@ -226,6 +234,9 @@ pub enum KernelPolicy {
     /// Request the AVX2 arm regardless of `QUERC_SIMD`; still falls
     /// back to scalar on a CPU without AVX2.
     ForceAvx2,
+    /// Request the AVX-512 row-pair arm regardless of `QUERC_SIMD`;
+    /// still degrades to AVX2 / scalar on a CPU without it.
+    ForceAvx512,
 }
 
 impl KernelPolicy {
@@ -237,6 +248,7 @@ impl KernelPolicy {
             KernelPolicy::Auto => None,
             KernelPolicy::ForceScalar => Some(querc_index::Kernel::Scalar),
             KernelPolicy::ForceAvx2 => Some(querc_index::Kernel::Avx2),
+            KernelPolicy::ForceAvx512 => Some(querc_index::Kernel::Avx512),
         };
         simd::set_kernel_override(kernel).name()
     }
@@ -255,6 +267,7 @@ impl Default for WorkloadManagerConfig {
             embed_cache_shards: plane.shards,
             qos: QosConfig::default(),
             kernel: KernelPolicy::default(),
+            training_threads: None,
         }
     }
 }
@@ -406,6 +419,9 @@ impl WorkloadManager {
     /// An empty manager (no apps registered) with the given knobs.
     pub fn new(cfg: WorkloadManagerConfig) -> WorkloadManager {
         cfg.kernel.apply();
+        if cfg.training_threads.is_some() {
+            querc_linalg::pool::set_training_threads(cfg.training_threads);
+        }
         let plane = (cfg.embed_cache_capacity > 0).then(|| {
             Arc::new(EmbedPlane::new(&EmbedPlaneConfig {
                 capacity: cfg.embed_cache_capacity,
@@ -1056,13 +1072,17 @@ impl WorkloadManager {
                 .into_iter()
                 .chain(reader.sections("embed_cache_delta"))
             {
-                let entries: Vec<(u64, u64, Vec<f32>)> =
-                    persist::from_json(persist::utf8(bytes, "embed_cache")?, "embed_cache")?;
+                let entries = persist::parse_embed_cache(
+                    persist::utf8(bytes, "embed_cache")?,
+                    "embed_cache",
+                )?;
                 restored.extend(entries);
             }
-            plane.preload(&restored);
-            let mut keys = mgr.persisted_keys.lock();
-            keys.extend(restored.iter().map(|(ns, fp, _)| (*ns, *fp)));
+            {
+                let mut keys = mgr.persisted_keys.lock();
+                keys.extend(restored.iter().map(|(ns, fp, _)| (*ns, *fp)));
+            }
+            plane.preload(restored);
         }
         Ok(mgr)
     }

@@ -86,16 +86,27 @@ impl Embedder for BagOfTokens {
         crate::io::to_json(self).ok().map(|j| (self.name(), j))
     }
 
-    /// Batched path: one bigram scratch buffer amortized over the chunk.
+    /// Batched path: fixed-size chunks fan out across the compute pool,
+    /// each amortizing one bigram scratch buffer. Signed hashing is a
+    /// pure per-document function, so the merged batch is bit-identical
+    /// to the sequential loop at any thread count.
     fn embed_batch(&self, docs: &[Vec<String>]) -> Vec<Vec<f32>> {
-        let mut joined = String::new();
-        docs.iter()
-            .map(|doc| {
-                let mut out = vec![0.0f32; self.dim];
-                self.embed_into(doc, &mut out, &mut joined);
-                out
-            })
-            .collect()
+        const CHUNK: usize = 32;
+        let n_chunks = docs.len().div_ceil(CHUNK);
+        let parts = querc_linalg::ComputePool::current().map(n_chunks, |chunk| {
+            let lo = chunk * CHUNK;
+            let hi = (lo + CHUNK).min(docs.len());
+            let mut joined = String::new();
+            docs[lo..hi]
+                .iter()
+                .map(|doc| {
+                    let mut out = vec![0.0f32; self.dim];
+                    self.embed_into(doc, &mut out, &mut joined);
+                    out
+                })
+                .collect::<Vec<_>>()
+        });
+        parts.into_iter().flatten().collect()
     }
 }
 

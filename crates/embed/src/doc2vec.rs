@@ -14,11 +14,46 @@
 //! `crate::vocab`. Unseen queries are embedded by *inference*: gradient
 //! steps on a fresh document vector with all token vectors frozen — seeded
 //! from a hash of the tokens so [`Embedder::embed`] is deterministic.
+//!
+//! ## Parallel fit
+//!
+//! Training runs on the compute plane. Each epoch the shuffled document
+//! order is cut into **fixed shards** (at most `MAX_SHARDS`, at least
+//! `MIN_SHARD_DOCS` documents each — a function of the corpus size
+//! only, never of the thread count) distributed over a [`ComputePool`].
+//! Every document draws its own RNG stream
+//! (`Pcg32::with_stream(seed ^ epoch_salt, doc_id)`), so subsampling,
+//! window radii and negative draws are identical no matter which worker
+//! processes the document. Shards train against shard-local copies of
+//! the token matrices (documents inside a shard see each other's
+//! updates, exactly like the sequential loop); the per-shard deltas
+//! against the epoch-start weights are then applied **in shard order**.
+//! A single-shard corpus skips the delta round-trip entirely and keeps
+//! the shard's matrices verbatim. Either way the fitted model is
+//! bit-identical for every `training_threads` value. The learning-rate
+//! schedule is precomputed sequentially from the shuffle (it depends
+//! only on raw token counts), so it matches the classical global decay.
+//!
+//! Negative-sampling scores go through `kernel::dot_gather` — the
+//! positive and negative output rows are gathered and dotted against
+//! the hidden vector in one fused scalar/AVX2 call (rows read as of
+//! call entry; a duplicate negative inside one call no longer sees the
+//! update of its twin, which changes nothing statistically).
 
 use crate::embedder::Embedder;
 use crate::vocab::{Vocab, VocabConfig};
-use querc_linalg::{ops, AliasTable, Matrix, Pcg32};
+use querc_linalg::{kernel, ops, AliasTable, ComputePool, Matrix, Pcg32};
 use serde::{Deserialize, Serialize};
+
+/// Upper bound on per-epoch training shards. Epoch deltas cost one
+/// matrix pair per shard, so this caps the reduction memory at 8×
+/// model size regardless of corpus scale.
+const MAX_SHARDS: usize = 8;
+
+/// Minimum documents per shard: corpora smaller than this train in one
+/// shard (pure sequential semantics) rather than paying delta staleness
+/// for no parallel win.
+const MIN_SHARD_DOCS: usize = 64;
 
 /// Which paragraph-vector variant to train.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -121,47 +156,66 @@ impl Doc2Vec {
         let total_count = vocab.total_count().max(1) as f64;
 
         let mut order: Vec<usize> = (0..encoded.len()).collect();
+        let pool = ComputePool::current();
+        let shard_docs = order.len().div_ceil(MAX_SHARDS).max(MIN_SHARD_DOCS);
+        let n_shards = order.len().div_ceil(shard_docs);
         let mut step = 0usize;
-        for _epoch in 0..cfg.epochs {
+        for epoch in 0..cfg.epochs {
             rng.shuffle(&mut order);
-            for &doc_id in &order {
-                let ids = &encoded[doc_id];
-                if ids.is_empty() {
+            // The lr schedule decays on raw token counts (subsampling
+            // does not slow it), so it is a pure function of the shuffle
+            // — precomputed here, sequentially, per position in `order`.
+            let mut lrs = vec![0.0f32; order.len()];
+            for (pos, &doc_id) in order.iter().enumerate() {
+                let n = encoded[doc_id].len();
+                if n == 0 {
                     continue;
                 }
-                // Frequent-token subsampling decides which positions train.
-                let kept: Vec<usize> = ids
-                    .iter()
-                    .copied()
-                    .filter(|&w| keep_token(&vocab, w, cfg.subsample, total_count, &mut rng))
-                    .collect();
-                step += ids.len();
-                if kept.is_empty() {
-                    continue;
+                step += n;
+                lrs[pos] = (cfg.initial_lr * (1.0 - step as f32 / total_steps)).max(cfg.min_lr);
+            }
+            // Per-document RNG streams: the epoch goes into the seed,
+            // the document id into the stream, so draws are independent
+            // of worker scheduling *and* of every other document.
+            let epoch_salt = 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(epoch as u64 + 1);
+            let updates = pool.map(n_shards, |s| {
+                let lo = s * shard_docs;
+                let hi = (lo + shard_docs).min(order.len());
+                train_shard(
+                    &order[lo..hi],
+                    &lrs[lo..hi],
+                    &encoded,
+                    &w_in,
+                    &w_out,
+                    &doc_vecs,
+                    &vocab,
+                    &noise,
+                    &cfg,
+                    total_count,
+                    epoch_salt,
+                    n_shards > 1,
+                )
+            });
+            if n_shards == 1 {
+                // One shard = the sequential loop verbatim; keep its
+                // matrices instead of round-tripping through a delta.
+                for sh in updates {
+                    w_in = sh.w_in;
+                    w_out = sh.w_out;
+                    for (doc_id, v) in sh.docs {
+                        doc_vecs.row_mut(doc_id).copy_from_slice(&v);
+                    }
                 }
-                let lr = (cfg.initial_lr * (1.0 - step as f32 / total_steps)).max(cfg.min_lr);
-                match cfg.mode {
-                    Doc2VecMode::DistributedMemory => train_dm_doc(
-                        &kept,
-                        doc_id,
-                        &mut w_in,
-                        &mut w_out,
-                        &mut doc_vecs,
-                        &noise,
-                        &cfg,
-                        lr,
-                        &mut rng,
-                    ),
-                    Doc2VecMode::Dbow => train_dbow_doc(
-                        &kept,
-                        doc_id,
-                        &mut w_out,
-                        &mut doc_vecs,
-                        &noise,
-                        &cfg,
-                        lr,
-                        &mut rng,
-                    ),
+            } else {
+                // Fixed-order tree reduction: shard 0's delta lands
+                // first, then shard 1's, … — identical for every thread
+                // count. Document rows are exclusive per shard.
+                for sh in updates {
+                    w_in.add_scaled(1.0, &sh.w_in);
+                    w_out.add_scaled(1.0, &sh.w_out);
+                    for (doc_id, v) in sh.docs {
+                        doc_vecs.row_mut(doc_id).copy_from_slice(&v);
+                    }
                 }
             }
         }
@@ -242,16 +296,22 @@ impl Doc2Vec {
     /// The gradient epochs of inference.
     fn infer_passes(&self, ids: &[usize], doc: &mut [f32], noise: &AliasTable, rng: &mut Pcg32) {
         let epochs = self.cfg.infer_epochs.max(1);
+        let kern = kernel::active_kernel();
+        let mut scratch = NegScratch::default();
         for e in 0..epochs {
             let lr = (self.cfg.initial_lr * (1.0 - e as f32 / epochs as f32)).max(self.cfg.min_lr);
             match self.cfg.mode {
-                Doc2VecMode::DistributedMemory => self.infer_dm_pass(ids, doc, noise, lr, rng),
-                Doc2VecMode::Dbow => self.infer_dbow_pass(ids, doc, noise, lr, rng),
+                Doc2VecMode::DistributedMemory => {
+                    self.infer_dm_pass(ids, doc, noise, lr, rng, &mut scratch, kern)
+                }
+                Doc2VecMode::Dbow => {
+                    self.infer_dbow_pass(ids, doc, noise, lr, rng, &mut scratch, kern)
+                }
             }
         }
     }
 
-    #[allow(clippy::needless_range_loop)] // window loop skips position t
+    #[allow(clippy::too_many_arguments, clippy::needless_range_loop)] // window loop skips position t
     fn infer_dm_pass(
         &self,
         ids: &[usize],
@@ -259,6 +319,8 @@ impl Doc2Vec {
         noise: &AliasTable,
         lr: f32,
         rng: &mut Pcg32,
+        scratch: &mut NegScratch,
+        kern: kernel::Kernel,
     ) {
         let dim = self.cfg.dim;
         let mut h = vec![0.0f32; dim];
@@ -272,17 +334,18 @@ impl Doc2Vec {
                 if c == t {
                     continue;
                 }
-                ops::axpy(1.0, self.w_in.row(ids[c]), &mut h);
+                kernel::axpy_with(kern, 1.0, self.w_in.row(ids[c]), &mut h);
                 n_ctx += 1.0;
             }
             ops::scale(1.0 / n_ctx, &mut h);
             let mut neu1e = vec![0.0f32; dim];
-            self.neg_sample_frozen(ids[t], &h, &mut neu1e, noise, lr, rng);
+            self.neg_sample_frozen(ids[t], &h, &mut neu1e, noise, lr, rng, scratch, kern);
             // Only the document vector learns during inference.
-            ops::axpy(1.0 / n_ctx, &neu1e, doc);
+            kernel::axpy_with(kern, 1.0 / n_ctx, &neu1e, doc);
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn infer_dbow_pass(
         &self,
         ids: &[usize],
@@ -290,18 +353,27 @@ impl Doc2Vec {
         noise: &AliasTable,
         lr: f32,
         rng: &mut Pcg32,
+        scratch: &mut NegScratch,
+        kern: kernel::Kernel,
     ) {
         let mut neu1e = vec![0.0f32; self.cfg.dim];
         for &target in ids {
             neu1e.iter_mut().for_each(|v| *v = 0.0);
             let h = doc.to_vec();
-            self.neg_sample_frozen(target, &h, &mut neu1e, noise, lr, rng);
-            ops::axpy(1.0, &neu1e, doc);
+            self.neg_sample_frozen(target, &h, &mut neu1e, noise, lr, rng, scratch, kern);
+            kernel::axpy_with(kern, 1.0, &neu1e, doc);
         }
     }
 
     /// Negative-sampling gradient with frozen output vectors: accumulates
     /// the input-side gradient into `neu1e` without touching `w_out`.
+    ///
+    /// Draws every output row first, then scores them with one gathered-
+    /// dot kernel call. Because `w_out` is frozen during inference, this
+    /// is **bit-identical** to the historical draw-dot-interleaved loop:
+    /// the draws consume the same RNG sequence and each dot reads the
+    /// same rows, in the same lane-strided canon, on every kernel arm.
+    #[allow(clippy::too_many_arguments)]
     fn neg_sample_frozen(
         &self,
         target: usize,
@@ -310,25 +382,39 @@ impl Doc2Vec {
         noise: &AliasTable,
         lr: f32,
         rng: &mut Pcg32,
+        scratch: &mut NegScratch,
+        kern: kernel::Kernel,
     ) {
-        for k in 0..=self.cfg.negative {
-            let (label, j) = if k == 0 {
-                (1.0, target)
-            } else {
-                let mut j = noise.sample(rng);
-                let mut tries = 0;
-                while j == target && tries < 4 {
-                    j = noise.sample(rng);
-                    tries += 1;
-                }
-                if j == target {
-                    continue;
-                }
-                (0.0, j)
-            };
-            let f = ops::sigmoid(ops::dot(h, self.w_out.row(j)));
+        scratch.pairs.clear();
+        scratch.pairs.push((1.0, target));
+        for _ in 0..self.cfg.negative {
+            let mut j = noise.sample(rng);
+            let mut tries = 0;
+            while j == target && tries < 4 {
+                j = noise.sample(rng);
+                tries += 1;
+            }
+            if j == target {
+                continue;
+            }
+            scratch.pairs.push((0.0, j));
+        }
+        scratch.ids.clear();
+        scratch.ids.extend(scratch.pairs.iter().map(|&(_, j)| j));
+        scratch.scores.clear();
+        scratch.scores.resize(scratch.ids.len(), 0.0);
+        kernel::dot_gather_with(
+            kern,
+            h,
+            self.w_out.as_slice(),
+            self.w_out.cols(),
+            &scratch.ids,
+            &mut scratch.scores,
+        );
+        for (&(label, j), &raw) in scratch.pairs.iter().zip(&scratch.scores) {
+            let f = ops::sigmoid(raw);
             let g = (label - f) * lr;
-            ops::axpy(g, self.w_out.row(j), neu1e);
+            kernel::axpy_with(kern, g, self.w_out.row(j), neu1e);
         }
     }
 }
@@ -347,17 +433,122 @@ fn keep_token(vocab: &Vocab, id: usize, subsample: f64, total: f64, rng: &mut Pc
     rng.chance(p.min(1.0))
 }
 
+/// One shard's epoch result: updated (or delta) token matrices plus the
+/// new vectors of the documents the shard owns.
+struct ShardUpdate {
+    /// Shard-local `w_in` — the full matrix when the epoch ran in one
+    /// shard, otherwise the delta against the epoch-start weights.
+    w_in: Matrix,
+    /// Shard-local `w_out`, same convention as `w_in`.
+    w_out: Matrix,
+    /// `(doc_id, new document vector)` — rows exclusive to this shard.
+    docs: Vec<(usize, Vec<f32>)>,
+}
+
+/// Train one shard of the epoch's document order against local copies
+/// of the token matrices. With `as_delta`, the returned matrices hold
+/// `local − epoch_start` (applied by the caller in shard order);
+/// otherwise they are the updated matrices themselves. Documents inside
+/// the shard run sequentially and see each other's updates, exactly
+/// like the classical loop.
+#[allow(clippy::too_many_arguments)]
+fn train_shard(
+    order: &[usize],
+    lrs: &[f32],
+    encoded: &[Vec<usize>],
+    w_in: &Matrix,
+    w_out: &Matrix,
+    doc_vecs: &Matrix,
+    vocab: &Vocab,
+    noise: &AliasTable,
+    cfg: &Doc2VecConfig,
+    total_count: f64,
+    epoch_salt: u64,
+    as_delta: bool,
+) -> ShardUpdate {
+    let kern = kernel::active_kernel();
+    let mut lw_in = w_in.clone();
+    let mut lw_out = w_out.clone();
+    let mut docs = Vec::with_capacity(order.len());
+    let mut scratch = NegScratch::default();
+    for (&doc_id, &lr) in order.iter().zip(lrs) {
+        let ids = &encoded[doc_id];
+        if ids.is_empty() {
+            continue;
+        }
+        let mut drng = Pcg32::with_stream(cfg.seed ^ epoch_salt, doc_id as u64);
+        // Frequent-token subsampling decides which positions train.
+        let kept: Vec<usize> = ids
+            .iter()
+            .copied()
+            .filter(|&w| keep_token(vocab, w, cfg.subsample, total_count, &mut drng))
+            .collect();
+        if kept.is_empty() {
+            continue;
+        }
+        let mut doc = doc_vecs.row(doc_id).to_vec();
+        match cfg.mode {
+            Doc2VecMode::DistributedMemory => train_dm_doc(
+                &kept,
+                &mut doc,
+                &mut lw_in,
+                &mut lw_out,
+                noise,
+                cfg,
+                lr,
+                &mut drng,
+                &mut scratch,
+                kern,
+            ),
+            Doc2VecMode::Dbow => train_dbow_doc(
+                &kept,
+                &mut doc,
+                &mut lw_out,
+                noise,
+                cfg,
+                lr,
+                &mut drng,
+                &mut scratch,
+                kern,
+            ),
+        }
+        docs.push((doc_id, doc));
+    }
+    if as_delta {
+        lw_in.add_scaled(-1.0, w_in);
+        lw_out.add_scaled(-1.0, w_out);
+    }
+    ShardUpdate {
+        w_in: lw_in,
+        w_out: lw_out,
+        docs,
+    }
+}
+
+/// Scratch buffers for one negative-sampling call, reused across every
+/// position of a document (and every document of a shard).
+#[derive(Default)]
+struct NegScratch {
+    /// `(label, output row)` pairs: the positive then the kept negatives.
+    pairs: Vec<(f32, usize)>,
+    /// Row ids of `pairs`, in order, for the gather kernel.
+    ids: Vec<usize>,
+    /// Pre-sigmoid gathered dot products, aligned with `pairs`.
+    scores: Vec<f32>,
+}
+
 #[allow(clippy::too_many_arguments, clippy::needless_range_loop)] // window loop skips position t
 fn train_dm_doc(
     ids: &[usize],
-    doc_id: usize,
+    doc: &mut [f32],
     w_in: &mut Matrix,
     w_out: &mut Matrix,
-    doc_vecs: &mut Matrix,
     noise: &AliasTable,
     cfg: &Doc2VecConfig,
     lr: f32,
     rng: &mut Pcg32,
+    scratch: &mut NegScratch,
+    kern: kernel::Kernel,
 ) {
     let dim = cfg.dim;
     let mut h = vec![0.0f32; dim];
@@ -366,27 +557,38 @@ fn train_dm_doc(
         let b = 1 + rng.below_usize(cfg.window.max(1));
         let lo = t.saturating_sub(b);
         let hi = (t + b).min(ids.len() - 1);
-        h.copy_from_slice(doc_vecs.row(doc_id));
+        h.copy_from_slice(doc);
         let mut n_ctx = 1.0f32;
         for c in lo..=hi {
             if c == t {
                 continue;
             }
-            ops::axpy(1.0, w_in.row(ids[c]), &mut h);
+            kernel::axpy_with(kern, 1.0, w_in.row(ids[c]), &mut h);
             n_ctx += 1.0;
         }
         ops::scale(1.0 / n_ctx, &mut h);
         neu1e.iter_mut().for_each(|v| *v = 0.0);
-        neg_sample_update(ids[t], &h, &mut neu1e, w_out, noise, cfg.negative, lr, rng);
+        neg_sample_update(
+            ids[t],
+            &h,
+            &mut neu1e,
+            w_out,
+            noise,
+            cfg.negative,
+            lr,
+            rng,
+            scratch,
+            kern,
+        );
         // Distribute the projection gradient to every contributor of the
         // mean: ∂h/∂v = 1/n_ctx for each input vector.
         let share = 1.0 / n_ctx;
-        ops::axpy(share, &neu1e, doc_vecs.row_mut(doc_id));
+        kernel::axpy_with(kern, share, &neu1e, doc);
         for c in lo..=hi {
             if c == t {
                 continue;
             }
-            ops::axpy(share, &neu1e, w_in.row_mut(ids[c]));
+            kernel::axpy_with(kern, share, &neu1e, w_in.row_mut(ids[c]));
         }
     }
 }
@@ -394,25 +596,45 @@ fn train_dm_doc(
 #[allow(clippy::too_many_arguments)]
 fn train_dbow_doc(
     ids: &[usize],
-    doc_id: usize,
+    doc: &mut [f32],
     w_out: &mut Matrix,
-    doc_vecs: &mut Matrix,
     noise: &AliasTable,
     cfg: &Doc2VecConfig,
     lr: f32,
     rng: &mut Pcg32,
+    scratch: &mut NegScratch,
+    kern: kernel::Kernel,
 ) {
     let mut neu1e = vec![0.0f32; cfg.dim];
+    let mut h = vec![0.0f32; cfg.dim];
     for &target in ids {
         neu1e.iter_mut().for_each(|v| *v = 0.0);
-        let h = doc_vecs.row(doc_id).to_vec();
-        neg_sample_update(target, &h, &mut neu1e, w_out, noise, cfg.negative, lr, rng);
-        ops::axpy(1.0, &neu1e, doc_vecs.row_mut(doc_id));
+        h.copy_from_slice(doc);
+        neg_sample_update(
+            target,
+            &h,
+            &mut neu1e,
+            w_out,
+            noise,
+            cfg.negative,
+            lr,
+            rng,
+            scratch,
+            kern,
+        );
+        kernel::axpy_with(kern, 1.0, &neu1e, doc);
     }
 }
 
 /// One negative-sampling update: adjusts `w_out` rows and accumulates the
 /// input-side gradient into `neu1e`.
+///
+/// The positive and negative rows are drawn first, then scored with one
+/// gathered-dot kernel call against the rows **as of call entry**; the
+/// axpy updates then apply in draw order. (The historical loop
+/// interleaved dot and update, so a negative drawn twice in one call saw
+/// its twin's update — a vanishing-probability event with no
+/// statistical weight.)
 #[allow(clippy::too_many_arguments)]
 fn neg_sample_update(
     target: usize,
@@ -423,27 +645,40 @@ fn neg_sample_update(
     negative: usize,
     lr: f32,
     rng: &mut Pcg32,
+    scratch: &mut NegScratch,
+    kern: kernel::Kernel,
 ) {
-    for k in 0..=negative {
-        let (label, j) = if k == 0 {
-            (1.0, target)
-        } else {
-            let mut j = noise.sample(rng);
-            let mut tries = 0;
-            while j == target && tries < 4 {
-                j = noise.sample(rng);
-                tries += 1;
-            }
-            if j == target {
-                continue;
-            }
-            (0.0, j)
-        };
-        let out_row = w_out.row(j);
-        let f = ops::sigmoid(ops::dot(h, out_row));
+    scratch.pairs.clear();
+    scratch.pairs.push((1.0, target));
+    for _ in 0..negative {
+        let mut j = noise.sample(rng);
+        let mut tries = 0;
+        while j == target && tries < 4 {
+            j = noise.sample(rng);
+            tries += 1;
+        }
+        if j == target {
+            continue;
+        }
+        scratch.pairs.push((0.0, j));
+    }
+    scratch.ids.clear();
+    scratch.ids.extend(scratch.pairs.iter().map(|&(_, j)| j));
+    scratch.scores.clear();
+    scratch.scores.resize(scratch.ids.len(), 0.0);
+    kernel::dot_gather_with(
+        kern,
+        h,
+        w_out.as_slice(),
+        w_out.cols(),
+        &scratch.ids,
+        &mut scratch.scores,
+    );
+    for (&(label, j), &raw) in scratch.pairs.iter().zip(&scratch.scores) {
+        let f = ops::sigmoid(raw);
         let g = (label - f) * lr;
-        ops::axpy(g, out_row, neu1e);
-        ops::axpy(g, h, w_out.row_mut(j));
+        kernel::axpy_with(kern, g, w_out.row(j), neu1e);
+        kernel::axpy_with(kern, g, h, w_out.row_mut(j));
     }
 }
 
@@ -496,19 +731,19 @@ impl Embedder for Doc2Vec {
     }
 
     /// Batched inference: the O(vocab) noise table is built once for the
-    /// whole chunk. Each query still gets its own content-seeded RNG, so
-    /// results are bit-identical to per-query [`Embedder::embed`].
+    /// whole batch, and documents run chunk-parallel on the compute
+    /// pool. Each query still gets its own content-seeded RNG and the
+    /// chunks are merged in input order, so results are bit-identical to
+    /// per-query [`Embedder::embed`] at every thread count.
     fn embed_batch(&self, docs: &[Vec<String>]) -> Vec<Vec<f32>> {
         if docs.is_empty() {
             return Vec::new();
         }
         let noise = self.noise_table();
-        docs.iter()
-            .map(|tokens| {
-                let mut rng = Pcg32::with_stream(token_hash(tokens) ^ self.cfg.seed, 0x1fe2);
-                self.infer_with_noise(tokens, &noise, &mut rng)
-            })
-            .collect()
+        crate::embedder::batch_chunks(docs, |tokens| {
+            let mut rng = Pcg32::with_stream(token_hash(tokens) ^ self.cfg.seed, 0x1fe2);
+            self.infer_with_noise(tokens, &noise, &mut rng)
+        })
     }
 }
 

@@ -81,6 +81,31 @@ pub trait Embedder: Send + Sync {
     }
 }
 
+/// Chunk width for [`batch_chunks`]. Fixed — the decomposition depends
+/// only on the batch size, so parallel batches merge identically for
+/// every thread count.
+const BATCH_CHUNK: usize = 32;
+
+/// Run `f` over every document of `docs` with fixed-size chunks
+/// distributed across the compute pool, returning results in input
+/// order — the shared skeleton of the `embed_batch` overrides. Because
+/// each document's result is a pure function of that document (the
+/// `Embedder` determinism contract), the output is bit-identical to a
+/// sequential `docs.iter().map(f)` at every thread count.
+pub fn batch_chunks<T, F>(docs: &[T], f: F) -> Vec<Vec<f32>>
+where
+    T: Sync,
+    F: Fn(&T) -> Vec<f32> + Sync,
+{
+    let n_chunks = docs.len().div_ceil(BATCH_CHUNK);
+    let parts = querc_linalg::ComputePool::current().map(n_chunks, |c| {
+        let lo = c * BATCH_CHUNK;
+        let hi = (lo + BATCH_CHUNK).min(docs.len());
+        docs[lo..hi].iter().map(&f).collect::<Vec<_>>()
+    });
+    parts.into_iter().flatten().collect()
+}
+
 /// FNV-1a hash of an embedder family name — the starting point for
 /// [`Embedder::cache_namespace`] implementations.
 pub fn namespace_of(name: &str) -> u64 {

@@ -15,7 +15,7 @@
 
 use crate::embedder::Embedder;
 use crate::vocab::{Vocab, VocabConfig};
-use querc_linalg::{ops, AliasTable, Matrix, Optimizer, Pcg32};
+use querc_linalg::{kernel, ops, AliasTable, ComputePool, Matrix, Optimizer, Pcg32};
 use serde::{Deserialize, Serialize};
 
 /// LSTM autoencoder hyperparameters.
@@ -223,11 +223,11 @@ impl LstmAutoencoder {
                 adam.step(s_dec_b, &mut self.dec.b, &grads.dec.b);
                 for (row, mut g) in grads.emb {
                     ops::clip_norm(&mut g, cfg.clip);
-                    ops::axpy(-cfg.lr, &g, self.emb.row_mut(row));
+                    kernel::axpy(-cfg.lr, &g, self.emb.row_mut(row));
                 }
                 for (row, mut g) in grads.out {
                     ops::clip_norm(&mut g, cfg.clip);
-                    ops::axpy(-cfg.lr, &g, self.out.row_mut(row));
+                    kernel::axpy(-cfg.lr, &g, self.out.row_mut(row));
                 }
             }
         }
@@ -324,29 +324,44 @@ impl LstmAutoencoder {
             emb: Vec::new(),
             out: Vec::new(),
         };
-        // dh per decoder step from the sampled softmax.
+        // dh per decoder step from the sampled softmax. `self.out` is
+        // frozen for the whole backward pass, so the target + negative
+        // logits of a step batch into one gathered-dot kernel call; the
+        // per-pair updates then run in the historical order, which keeps
+        // loss accumulation and gradients bit-identical to the
+        // interleaved loop.
+        let kern = kernel::active_kernel();
         let mut dh_steps: Vec<Vec<f32>> = vec![vec![0.0; hdim]; n];
+        let mut gather_ids: Vec<usize> = Vec::new();
+        let mut gather_scores: Vec<f32> = Vec::new();
         for t in 0..n {
             let h_t = &dec_caches[t].h;
             let target = ids[t];
-            let f_pos = ops::sigmoid(ops::dot(h_t, self.out.row(target)));
-            loss -= (f_pos.max(1e-7)).ln();
-            let g_pos = f_pos - 1.0; // d loss / d (o_target · h)
-            ops::axpy(g_pos, self.out.row(target), &mut dh_steps[t]);
-            let mut d_out_row = vec![0.0f32; hdim];
-            ops::axpy(g_pos, h_t, &mut d_out_row);
-            grads.out.push((target, d_out_row));
-            for &neg in &negs[t] {
-                if neg == target {
-                    continue;
-                }
-                let f_neg = ops::sigmoid(ops::dot(h_t, self.out.row(neg)));
-                loss -= (1.0 - f_neg).max(1e-7).ln();
-                let g_neg = f_neg; // label 0
-                ops::axpy(g_neg, self.out.row(neg), &mut dh_steps[t]);
+            gather_ids.clear();
+            gather_ids.push(target);
+            gather_ids.extend(negs[t].iter().copied().filter(|&neg| neg != target));
+            gather_scores.resize(gather_ids.len(), 0.0);
+            kernel::dot_gather_with(
+                kern,
+                h_t,
+                self.out.as_slice(),
+                self.out.cols(),
+                &gather_ids,
+                &mut gather_scores,
+            );
+            for (slot, (&row, &raw)) in gather_ids.iter().zip(&gather_scores).enumerate() {
+                let f = ops::sigmoid(raw);
+                let g = if slot == 0 {
+                    loss -= (f.max(1e-7)).ln();
+                    f - 1.0 // d loss / d (o_target · h)
+                } else {
+                    loss -= (1.0 - f).max(1e-7).ln();
+                    f // label 0
+                };
+                kernel::axpy_with(kern, g, self.out.row(row), &mut dh_steps[t]);
                 let mut d_out_row = vec![0.0f32; hdim];
-                ops::axpy(g_neg, h_t, &mut d_out_row);
-                grads.out.push((neg, d_out_row));
+                kernel::axpy_with(kern, g, h_t, &mut d_out_row);
+                grads.out.push((row, d_out_row));
             }
         }
 
@@ -354,7 +369,7 @@ impl LstmAutoencoder {
         let mut dh = vec![0.0f32; hdim];
         let mut dc = vec![0.0f32; hdim];
         for t in (0..n).rev() {
-            ops::axpy(1.0, &dh_steps[t], &mut dh);
+            kernel::axpy_with(kern, 1.0, &dh_steps[t], &mut dh);
             let (dx, dh_prev, dc_prev) = cell_backward(
                 &self.dec,
                 &dec_caches[t],
@@ -506,10 +521,11 @@ fn cell_backward(
         dz[3 * hdim + k] = do_ * cache.o[k] * (1.0 - cache.o[k]);
     }
     // Parameter gradients: dWx += dz ⊗ x, dWh += dz ⊗ h_prev, db += dz.
+    let kern = kernel::active_kernel();
     for (r, &dzr) in dz.iter().enumerate() {
         if dzr != 0.0 {
-            ops::axpy(dzr, x, grads.wx.row_mut(r));
-            ops::axpy(dzr, &cache.h_prev, grads.wh.row_mut(r));
+            kernel::axpy_with(kern, dzr, x, grads.wx.row_mut(r));
+            kernel::axpy_with(kern, dzr, &cache.h_prev, grads.wh.row_mut(r));
         }
         grads.b[r] += dzr;
     }
@@ -580,13 +596,24 @@ impl Embedder for LstmAutoencoder {
         crate::io::to_json(self).ok().map(|j| (self.name(), j))
     }
 
-    /// Batched path: gate/state scratch buffers are allocated once for
-    /// the whole chunk instead of per step per query.
+    /// Batched path: fixed-size chunks fan out across the compute pool,
+    /// each with its own gate/state scratch (allocated once per chunk
+    /// instead of per step per query). Every embedding is a pure
+    /// function of its document, so the merged output is bit-identical
+    /// to the sequential loop at any thread count.
     fn embed_batch(&self, docs: &[Vec<String>]) -> Vec<Vec<f32>> {
-        let mut scratch = EncodeScratch::new(self.cfg.hidden);
-        docs.iter()
-            .map(|doc| self.embed_with_scratch(doc, &mut scratch))
-            .collect()
+        const CHUNK: usize = 32;
+        let n_chunks = docs.len().div_ceil(CHUNK);
+        let parts = ComputePool::current().map(n_chunks, |chunk| {
+            let lo = chunk * CHUNK;
+            let hi = (lo + CHUNK).min(docs.len());
+            let mut scratch = EncodeScratch::new(self.cfg.hidden);
+            docs[lo..hi]
+                .iter()
+                .map(|doc| self.embed_with_scratch(doc, &mut scratch))
+                .collect::<Vec<_>>()
+        });
+        parts.into_iter().flatten().collect()
     }
 }
 

@@ -1,838 +1,39 @@
-//! Runtime-dispatched SIMD distance kernels.
+//! Runtime-dispatched scalar/AVX2 distance kernels — re-exported from
+//! [`querc_linalg::kernel`], where the machinery moved when it became
+//! the workspace-wide compute plane (the training stack now runs on
+//! the same kernels the index plane does).
 //!
-//! Every distance the index plane computes flows through this module.
-//! Two arms exist for each kernel:
-//!
-//! * **scalar** — the `querc_linalg::ops` lane-strided reference loops
-//!   (element `i` accumulates into lane `i % 8`, lanes collapse through
-//!   `ops::lane_sum`). This is the semantic definition.
-//! * **avx2** — hand-written `std::arch` intrinsics performing the
-//!   *identical* IEEE-754 operation sequence: one `vsubps`/`vmulps`/
-//!   `vaddps` chain per 8-element chunk, scalar remainder folded into
-//!   the same lanes, the same `lane_sum` reduction tree. No FMA is used
-//!   in the accumulation (fusing changes rounding), so **both arms are
-//!   bit-for-bit identical** — for squared-Euclidean, cosine, and the
-//!   SQ8 asymmetric-distance kernels alike. The cosine ulp bound
-//!   between arms is therefore 0.
-//!
-//! The active arm is picked once per process: the `QUERC_SIMD`
-//! environment variable (`scalar`/`off`/`0` forces the reference path,
-//! `avx2`/`on`/`1` requests AVX2) wins over CPU detection
-//! (`is_x86_feature_detected!("avx2")`), and a programmatic
-//! [`set_kernel_override`] (the `WorkloadManagerConfig` knob) wins over
-//! both. Requesting AVX2 on a CPU without it falls back to scalar.
-//! Because the arms are bit-identical, flipping the kernel mid-process
-//! is benign — only throughput changes, never a result.
-//!
-//! The `*_with` variants take an explicit [`Kernel`] and exist for the
-//! parity suite and the benchmarks (timing one arm against the other
-//! without touching process-global state).
+//! This module keeps the historical `querc_index::simd` paths alive:
+//! [`Kernel`], [`set_kernel_override`], [`active_kernel`] /
+//! [`kernel_name`], the row kernels (`sq_dist`, `cosine_dist`,
+//! `dot_with`), the fused block kernels (`sq_dist_block`,
+//! `cosine_dist_block`) and the SQ8 ADC kernels (`adc_sq_block`,
+//! `adc_dot_block`) all resolve here exactly as before — there is one
+//! canonical implementation per op, and it lives in `querc-linalg`.
+//! See `querc_linalg::kernel` for the dispatch rules (`QUERC_SIMD`,
+//! CPU detection, programmatic override) and the bit-identical-arms
+//! contract; the parity suite lives next to the implementation.
 
-use querc_linalg::ops;
-use std::sync::atomic::{AtomicU8, Ordering};
-
-/// A distance-kernel implementation arm.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Kernel {
-    /// The `querc_linalg::ops` lane-strided reference loops.
-    Scalar,
-    /// Hand-vectorized AVX2 intrinsics (x86-64 only), bit-identical to
-    /// [`Kernel::Scalar`].
-    Avx2,
-}
-
-impl Kernel {
-    /// Short lowercase name (`"scalar"` / `"avx2"`), for reports.
-    pub fn name(&self) -> &'static str {
-        match self {
-            Kernel::Scalar => "scalar",
-            Kernel::Avx2 => "avx2",
-        }
-    }
-}
-
-/// 0 = unset, 1 = force scalar, 2 = force avx2 (if available).
-static OVERRIDE: AtomicU8 = AtomicU8::new(0);
-
-#[cfg(target_arch = "x86_64")]
-fn avx2_available() -> bool {
-    use std::sync::OnceLock;
-    static AVX2: OnceLock<bool> = OnceLock::new();
-    *AVX2.get_or_init(|| is_x86_feature_detected!("avx2"))
-}
-
-#[cfg(not(target_arch = "x86_64"))]
-fn avx2_available() -> bool {
-    false
-}
-
-fn env_kernel() -> Option<Kernel> {
-    use std::sync::OnceLock;
-    static ENV: OnceLock<Option<Kernel>> = OnceLock::new();
-    *ENV.get_or_init(|| match std::env::var("QUERC_SIMD") {
-        Ok(v) => match v.to_ascii_lowercase().as_str() {
-            "scalar" | "off" | "0" => Some(Kernel::Scalar),
-            "avx2" | "on" | "1" => Some(Kernel::Avx2),
-            _ => None,
-        },
-        Err(_) => None,
-    })
-}
-
-/// Force (or clear, with `None`) the kernel arm for the whole process,
-/// overriding both `QUERC_SIMD` and CPU detection. Requesting
-/// [`Kernel::Avx2`] on a CPU without AVX2 still runs scalar. Returns
-/// the now-active kernel. Safe to call at any time: the arms are
-/// bit-identical, so in-flight searches are unaffected.
-pub fn set_kernel_override(kernel: Option<Kernel>) -> Kernel {
-    let code = match kernel {
-        None => 0,
-        Some(Kernel::Scalar) => 1,
-        Some(Kernel::Avx2) => 2,
-    };
-    OVERRIDE.store(code, Ordering::Relaxed);
-    active_kernel()
-}
-
-/// The kernel arm distances are currently computed with.
-pub fn active_kernel() -> Kernel {
-    let requested = match OVERRIDE.load(Ordering::Relaxed) {
-        1 => Some(Kernel::Scalar),
-        2 => Some(Kernel::Avx2),
-        _ => env_kernel(),
-    };
-    match requested {
-        Some(Kernel::Scalar) => Kernel::Scalar,
-        Some(Kernel::Avx2) if avx2_available() => Kernel::Avx2,
-        Some(Kernel::Avx2) => Kernel::Scalar,
-        None if avx2_available() => Kernel::Avx2,
-        None => Kernel::Scalar,
-    }
-}
-
-/// Name of the active kernel arm (`"avx2"` / `"scalar"`), as surfaced
-/// in [`crate::IndexStats`] and the serving-layer throughput reports.
-pub fn kernel_name() -> &'static str {
-    active_kernel().name()
-}
-
-// ---------------------------------------------------------------------
-// Row kernels (one query × one row).
-// ---------------------------------------------------------------------
-
-/// Squared Euclidean distance, on the active kernel. Bit-identical to
-/// `ops::sq_dist` on every arm.
-#[inline]
-pub fn sq_dist(a: &[f32], b: &[f32]) -> f32 {
-    sq_dist_with(active_kernel(), a, b)
-}
-
-/// [`sq_dist`] on an explicit arm (parity tests / benchmarks).
-#[inline]
-pub fn sq_dist_with(kernel: Kernel, a: &[f32], b: &[f32]) -> f32 {
-    debug_assert_eq!(a.len(), b.len());
-    match kernel {
-        Kernel::Scalar => ops::sq_dist(a, b),
-        #[cfg(target_arch = "x86_64")]
-        Kernel::Avx2 => unsafe { avx2::sq_dist(a, b) },
-        #[cfg(not(target_arch = "x86_64"))]
-        Kernel::Avx2 => ops::sq_dist(a, b),
-    }
-}
-
-/// Cosine distance `1 − cosine(a, b)`, on the active kernel.
-/// Bit-identical to `ops::cosine_dist` on every arm (zero vectors →
-/// exactly `1.0`, never NaN).
-#[inline]
-pub fn cosine_dist(a: &[f32], b: &[f32]) -> f32 {
-    cosine_dist_with(active_kernel(), a, b)
-}
-
-/// [`cosine_dist`] on an explicit arm (parity tests / benchmarks).
-#[inline]
-pub fn cosine_dist_with(kernel: Kernel, a: &[f32], b: &[f32]) -> f32 {
-    debug_assert_eq!(a.len(), b.len());
-    match kernel {
-        Kernel::Scalar => ops::cosine_dist(a, b),
-        #[cfg(target_arch = "x86_64")]
-        Kernel::Avx2 => unsafe { avx2::cosine_dist(a, b) },
-        #[cfg(not(target_arch = "x86_64"))]
-        Kernel::Avx2 => ops::cosine_dist(a, b),
-    }
-}
-
-/// Dot product, on an explicit arm. Bit-identical to `ops::dot`.
-#[inline]
-pub fn dot_with(kernel: Kernel, a: &[f32], b: &[f32]) -> f32 {
-    debug_assert_eq!(a.len(), b.len());
-    match kernel {
-        Kernel::Scalar => ops::dot(a, b),
-        #[cfg(target_arch = "x86_64")]
-        Kernel::Avx2 => unsafe { avx2::dot(a, b) },
-        #[cfg(not(target_arch = "x86_64"))]
-        Kernel::Avx2 => ops::dot(a, b),
-    }
-}
-
-// ---------------------------------------------------------------------
-// Fused block kernels (one query × a contiguous row-major block).
-//
-// `data` is padded row-major storage (`VectorStore::data`): row `r`
-// starts at `r * stride` and its first `q.len()` components are real;
-// `data.len() >= out.len() * stride` must hold. The fused kernels keep
-// the query hot in registers across rows and unroll rows in quads
-// (pairs on tail-carrying dims), reducing four accumulators at once
-// through a transposed copy of the `lane_sum` tree — which is where
-// the flat-scan speedup over per-row calls comes from.
-// ---------------------------------------------------------------------
-
-/// Squared Euclidean distances from `q` to `out.len()` consecutive
-/// rows of `data`, on the active kernel. `out[r]` is bit-identical to
-/// `ops::sq_dist(q, row_r)`.
-#[inline]
-pub fn sq_dist_block(q: &[f32], data: &[f32], stride: usize, out: &mut [f32]) {
-    sq_dist_block_with(active_kernel(), q, data, stride, out)
-}
-
-/// [`sq_dist_block`] on an explicit arm.
-pub fn sq_dist_block_with(kernel: Kernel, q: &[f32], data: &[f32], stride: usize, out: &mut [f32]) {
-    assert!(q.len() <= stride && data.len() >= out.len() * stride);
-    match kernel {
-        Kernel::Scalar => {
-            for (r, o) in out.iter_mut().enumerate() {
-                *o = ops::sq_dist(q, &data[r * stride..r * stride + q.len()]);
-            }
-        }
-        #[cfg(target_arch = "x86_64")]
-        Kernel::Avx2 => unsafe { avx2::sq_dist_block(q, data, stride, out) },
-        #[cfg(not(target_arch = "x86_64"))]
-        Kernel::Avx2 => sq_dist_block_with(Kernel::Scalar, q, data, stride, out),
-    }
-}
-
-/// Cosine distances from `q` to `out.len()` consecutive rows of
-/// `data`, on the active kernel. `out[r]` is bit-identical to
-/// `ops::cosine_dist(q, row_r)`.
-#[inline]
-pub fn cosine_dist_block(q: &[f32], data: &[f32], stride: usize, out: &mut [f32]) {
-    cosine_dist_block_with(active_kernel(), q, data, stride, out)
-}
-
-/// [`cosine_dist_block`] on an explicit arm.
-pub fn cosine_dist_block_with(
-    kernel: Kernel,
-    q: &[f32],
-    data: &[f32],
-    stride: usize,
-    out: &mut [f32],
-) {
-    assert!(q.len() <= stride && data.len() >= out.len() * stride);
-    match kernel {
-        Kernel::Scalar => {
-            for (r, o) in out.iter_mut().enumerate() {
-                *o = ops::cosine_dist(q, &data[r * stride..r * stride + q.len()]);
-            }
-        }
-        #[cfg(target_arch = "x86_64")]
-        Kernel::Avx2 => unsafe { avx2::cosine_dist_block(q, data, stride, out) },
-        #[cfg(not(target_arch = "x86_64"))]
-        Kernel::Avx2 => cosine_dist_block_with(Kernel::Scalar, q, data, stride, out),
-    }
-}
-
-// ---------------------------------------------------------------------
-// SQ8 asymmetric-distance (ADC) kernels: f32 query vs u8 codes.
-//
-// `codes` is padded row-major u8 storage (`CodeStore::data`): row `r`
-// starts at `r * stride`. The caller pre-folds the quantizer into the
-// query — see `sq8.rs` for the algebra — so these kernels only ever
-// see `t` (translated query) and `step` / `w` (per-dim weights).
-// ---------------------------------------------------------------------
-
-/// ADC squared distances: `out[r] = Σ_d (t[d] − codes[r][d]·step[d])²`
-/// with lane-strided accumulation, on the active kernel.
-#[inline]
-pub fn adc_sq_block(t: &[f32], step: &[f32], codes: &[u8], stride: usize, out: &mut [f32]) {
-    adc_sq_block_with(active_kernel(), t, step, codes, stride, out)
-}
-
-/// [`adc_sq_block`] on an explicit arm.
-pub fn adc_sq_block_with(
-    kernel: Kernel,
-    t: &[f32],
-    step: &[f32],
-    codes: &[u8],
-    stride: usize,
-    out: &mut [f32],
-) {
-    assert!(t.len() == step.len() && t.len() <= stride && codes.len() >= out.len() * stride);
-    match kernel {
-        Kernel::Scalar => {
-            for (r, o) in out.iter_mut().enumerate() {
-                *o = adc_sq_row_scalar(t, step, &codes[r * stride..r * stride + t.len()]);
-            }
-        }
-        #[cfg(target_arch = "x86_64")]
-        Kernel::Avx2 => unsafe { avx2::adc_sq_block(t, step, codes, stride, out) },
-        #[cfg(not(target_arch = "x86_64"))]
-        Kernel::Avx2 => adc_sq_block_with(Kernel::Scalar, t, step, codes, stride, out),
-    }
-}
-
-/// ADC weighted code sums: `out[r] = Σ_d w[d]·codes[r][d]` with
-/// lane-strided accumulation, on the active kernel — the data-dependent
-/// half of an SQ8 cosine dot product.
-#[inline]
-pub fn adc_dot_block(w: &[f32], codes: &[u8], stride: usize, out: &mut [f32]) {
-    adc_dot_block_with(active_kernel(), w, codes, stride, out)
-}
-
-/// [`adc_dot_block`] on an explicit arm.
-pub fn adc_dot_block_with(kernel: Kernel, w: &[f32], codes: &[u8], stride: usize, out: &mut [f32]) {
-    assert!(w.len() <= stride && codes.len() >= out.len() * stride);
-    match kernel {
-        Kernel::Scalar => {
-            for (r, o) in out.iter_mut().enumerate() {
-                *o = adc_dot_row_scalar(w, &codes[r * stride..r * stride + w.len()]);
-            }
-        }
-        #[cfg(target_arch = "x86_64")]
-        Kernel::Avx2 => unsafe { avx2::adc_dot_block(w, codes, stride, out) },
-        #[cfg(not(target_arch = "x86_64"))]
-        Kernel::Avx2 => adc_dot_block_with(Kernel::Scalar, w, codes, stride, out),
-    }
-}
-
-/// Scalar ADC squared-distance reference: lane-strided like
-/// `ops::sq_dist`, with the subtrahend decoded from `codes` on the fly.
-#[inline]
-fn adc_sq_row_scalar(t: &[f32], step: &[f32], codes: &[u8]) -> f32 {
-    let mut l = [0.0f32; ops::LANES];
-    let n = t.len();
-    let head = n - n % ops::LANES;
-    let mut i = 0;
-    while i < head {
-        for k in 0..ops::LANES {
-            let d = t[i + k] - codes[i + k] as f32 * step[i + k];
-            l[k] += d * d;
-        }
-        i += ops::LANES;
-    }
-    for k in 0..n - head {
-        let d = t[head + k] - codes[head + k] as f32 * step[head + k];
-        l[k] += d * d;
-    }
-    ops::lane_sum(l)
-}
-
-/// Scalar ADC weighted-code-sum reference, lane-strided like `ops::dot`.
-#[inline]
-fn adc_dot_row_scalar(w: &[f32], codes: &[u8]) -> f32 {
-    let mut l = [0.0f32; ops::LANES];
-    let n = w.len();
-    let head = n - n % ops::LANES;
-    let mut i = 0;
-    while i < head {
-        for k in 0..ops::LANES {
-            l[k] += w[i + k] * codes[i + k] as f32;
-        }
-        i += ops::LANES;
-    }
-    for k in 0..n - head {
-        l[k] += w[head + k] * codes[head + k] as f32;
-    }
-    ops::lane_sum(l)
-}
-
-// ---------------------------------------------------------------------
-// AVX2 arm.
-// ---------------------------------------------------------------------
-
-#[cfg(target_arch = "x86_64")]
-mod avx2 {
-    //! Bit-parity twins of the scalar reference kernels.
-    //!
-    //! Safety: every function is `#[target_feature(enable = "avx2")]`
-    //! and must only be reached through the dispatcher above, which has
-    //! either verified `is_x86_feature_detected!("avx2")` or been
-    //! explicitly handed [`Kernel::Avx2`] by the parity suite (which
-    //! performs the same check). All loads are unaligned (`loadu`) —
-    //! `VectorStore` pads row *strides* to 32 bytes but `Vec<f32>` does
-    //! not guarantee a 32-byte base address, and query slices are
-    //! arbitrary.
-
-    use super::Kernel;
-    use querc_linalg::ops::{lane_sum, LANES};
-    use std::arch::x86_64::*;
-
-    /// Collapse one AVX2 accumulator plus the scalar-tail lanes.
-    ///
-    /// # Safety
-    /// AVX2 must be available.
-    #[inline]
-    #[target_feature(enable = "avx2")]
-    unsafe fn reduce(acc: __m256, tail: impl FnOnce(&mut [f32; LANES])) -> f32 {
-        let mut l = [0.0f32; LANES];
-        _mm256_storeu_ps(l.as_mut_ptr(), acc);
-        tail(&mut l);
-        lane_sum(l)
-    }
-
-    /// # Safety
-    /// AVX2 must be available; `a.len() == b.len()`.
-    #[target_feature(enable = "avx2")]
-    pub unsafe fn sq_dist(a: &[f32], b: &[f32]) -> f32 {
-        let n = a.len();
-        let head = n - n % LANES;
-        let (pa, pb) = (a.as_ptr(), b.as_ptr());
-        let mut acc = _mm256_setzero_ps();
-        let mut i = 0;
-        while i < head {
-            let d = _mm256_sub_ps(_mm256_loadu_ps(pa.add(i)), _mm256_loadu_ps(pb.add(i)));
-            acc = _mm256_add_ps(acc, _mm256_mul_ps(d, d));
-            i += LANES;
-        }
-        reduce(acc, |l| {
-            for k in 0..n - head {
-                let d = a[head + k] - b[head + k];
-                l[k] += d * d;
-            }
-        })
-    }
-
-    /// # Safety
-    /// AVX2 must be available; `a.len() == b.len()`.
-    #[target_feature(enable = "avx2")]
-    pub unsafe fn dot(a: &[f32], b: &[f32]) -> f32 {
-        let n = a.len();
-        let head = n - n % LANES;
-        let (pa, pb) = (a.as_ptr(), b.as_ptr());
-        let mut acc = _mm256_setzero_ps();
-        let mut i = 0;
-        while i < head {
-            let p = _mm256_mul_ps(_mm256_loadu_ps(pa.add(i)), _mm256_loadu_ps(pb.add(i)));
-            acc = _mm256_add_ps(acc, p);
-            i += LANES;
-        }
-        reduce(acc, |l| {
-            for k in 0..n - head {
-                l[k] += a[head + k] * b[head + k];
-            }
-        })
-    }
-
-    /// Mirrors `ops::cosine_dist` exactly: `norm(a)`, `norm(b)`,
-    /// `dot(a, b)`, divide, clamp, `1 −`.
-    ///
-    /// # Safety
-    /// AVX2 must be available; `a.len() == b.len()`.
-    #[target_feature(enable = "avx2")]
-    pub unsafe fn cosine_dist(a: &[f32], b: &[f32]) -> f32 {
-        let na = dot(a, a).sqrt();
-        let nb = dot(b, b).sqrt();
-        if na == 0.0 || nb == 0.0 {
-            return 1.0;
-        }
-        1.0 - (dot(a, b) / (na * nb)).clamp(-1.0, 1.0)
-    }
-
-    /// Collapse four AVX2 accumulators into four results at once: the
-    /// 128-bit halves are added (`s_i = l[i] + l[i+4]`), the four
-    /// `[s0..s3]` vectors are transposed, and the vertical adds
-    /// `(c0+c2)+(c1+c3)` perform, per lane, exactly the
-    /// `(s0+s2)+(s1+s3)` tree of [`lane_sum`] — same operands, same
-    /// order, so the results are bit-identical to reducing each row
-    /// alone.
-    ///
-    /// # Safety
-    /// AVX2 must be available.
-    #[inline]
-    #[target_feature(enable = "avx2")]
-    unsafe fn reduce4(a0: __m256, a1: __m256, a2: __m256, a3: __m256) -> __m128 {
-        let s0 = _mm_add_ps(_mm256_castps256_ps128(a0), _mm256_extractf128_ps(a0, 1));
-        let s1 = _mm_add_ps(_mm256_castps256_ps128(a1), _mm256_extractf128_ps(a1, 1));
-        let s2 = _mm_add_ps(_mm256_castps256_ps128(a2), _mm256_extractf128_ps(a2, 1));
-        let s3 = _mm_add_ps(_mm256_castps256_ps128(a3), _mm256_extractf128_ps(a3, 1));
-        // 4×4 transpose: c_j[r] = s_r[j].
-        let t0 = _mm_unpacklo_ps(s0, s1);
-        let t1 = _mm_unpacklo_ps(s2, s3);
-        let t2 = _mm_unpackhi_ps(s0, s1);
-        let t3 = _mm_unpackhi_ps(s2, s3);
-        let c0 = _mm_movelh_ps(t0, t1);
-        let c1 = _mm_movehl_ps(t1, t0);
-        let c2 = _mm_movelh_ps(t2, t3);
-        let c3 = _mm_movehl_ps(t3, t2);
-        _mm_add_ps(_mm_add_ps(c0, c2), _mm_add_ps(c1, c3))
-    }
-
-    /// Fused flat scan: query held in registers; rows unrolled in
-    /// quads (tail-free dims) with a transposed SIMD reduce, in pairs
-    /// otherwise.
-    ///
-    /// # Safety
-    /// AVX2 must be available; `q.len() <= stride`,
-    /// `data.len() >= out.len() * stride`.
-    #[target_feature(enable = "avx2")]
-    pub unsafe fn sq_dist_block(q: &[f32], data: &[f32], stride: usize, out: &mut [f32]) {
-        let dim = q.len();
-        let head = dim - dim % LANES;
-        let pq = q.as_ptr();
-        let pd = data.as_ptr();
-        let rows = out.len();
-        let mut r = 0;
-        // Quad-row fast path: the per-row horizontal reduce is the
-        // bottleneck once the block is cache-hot, and `reduce4` retires
-        // it at ~4 ops/row instead of a store + scalar tree. Only valid
-        // tail-free (`dim % 8 == 0`) — tail lanes must be folded before
-        // the tree, which the pair path below handles.
-        if dim.is_multiple_of(LANES) && dim > 0 {
-            while r + 4 <= rows {
-                let p0 = pd.add(r * stride);
-                let p1 = pd.add((r + 1) * stride);
-                let p2 = pd.add((r + 2) * stride);
-                let p3 = pd.add((r + 3) * stride);
-                let mut a0 = _mm256_setzero_ps();
-                let mut a1 = _mm256_setzero_ps();
-                let mut a2 = _mm256_setzero_ps();
-                let mut a3 = _mm256_setzero_ps();
-                let mut i = 0;
-                while i < head {
-                    let vq = _mm256_loadu_ps(pq.add(i));
-                    let d0 = _mm256_sub_ps(vq, _mm256_loadu_ps(p0.add(i)));
-                    let d1 = _mm256_sub_ps(vq, _mm256_loadu_ps(p1.add(i)));
-                    let d2 = _mm256_sub_ps(vq, _mm256_loadu_ps(p2.add(i)));
-                    let d3 = _mm256_sub_ps(vq, _mm256_loadu_ps(p3.add(i)));
-                    a0 = _mm256_add_ps(a0, _mm256_mul_ps(d0, d0));
-                    a1 = _mm256_add_ps(a1, _mm256_mul_ps(d1, d1));
-                    a2 = _mm256_add_ps(a2, _mm256_mul_ps(d2, d2));
-                    a3 = _mm256_add_ps(a3, _mm256_mul_ps(d3, d3));
-                    i += LANES;
-                }
-                _mm_storeu_ps(out.as_mut_ptr().add(r), reduce4(a0, a1, a2, a3));
-                r += 4;
-            }
-        }
-        while r + 2 <= rows {
-            let p0 = pd.add(r * stride);
-            let p1 = pd.add((r + 1) * stride);
-            let mut a0 = _mm256_setzero_ps();
-            let mut a1 = _mm256_setzero_ps();
-            let mut i = 0;
-            while i < head {
-                let vq = _mm256_loadu_ps(pq.add(i));
-                let d0 = _mm256_sub_ps(vq, _mm256_loadu_ps(p0.add(i)));
-                let d1 = _mm256_sub_ps(vq, _mm256_loadu_ps(p1.add(i)));
-                a0 = _mm256_add_ps(a0, _mm256_mul_ps(d0, d0));
-                a1 = _mm256_add_ps(a1, _mm256_mul_ps(d1, d1));
-                i += LANES;
-            }
-            out[r] = reduce(a0, |l| {
-                for k in 0..dim - head {
-                    let d = q[head + k] - *p0.add(head + k);
-                    l[k] += d * d;
-                }
-            });
-            out[r + 1] = reduce(a1, |l| {
-                for k in 0..dim - head {
-                    let d = q[head + k] - *p1.add(head + k);
-                    l[k] += d * d;
-                }
-            });
-            r += 2;
-        }
-        if r < rows {
-            let row = std::slice::from_raw_parts(pd.add(r * stride), dim);
-            out[r] = sq_dist(q, row);
-        }
-    }
-
-    /// Fused cosine scan: one pass accumulates `dot(q, row)` and
-    /// `dot(row, row)` together; `norm(q)` hoisted (bit-identical to
-    /// recomputing it — it is a pure function of `q`).
-    ///
-    /// # Safety
-    /// AVX2 must be available; `q.len() <= stride`,
-    /// `data.len() >= out.len() * stride`.
-    #[target_feature(enable = "avx2")]
-    pub unsafe fn cosine_dist_block(q: &[f32], data: &[f32], stride: usize, out: &mut [f32]) {
-        let dim = q.len();
-        let head = dim - dim % LANES;
-        let nq = dot(q, q).sqrt();
-        let pq = q.as_ptr();
-        let pd = data.as_ptr();
-        let rows = out.len();
-        let mut r = 0;
-        // Quad-row fast path (see `sq_dist_block`): both accumulators
-        // of four rows reduce through the same transposed tree; the
-        // sqrt/divide/clamp finish stays scalar per row, identical to
-        // the single-row path below.
-        if dim.is_multiple_of(LANES) && dim > 0 {
-            while r + 4 <= rows {
-                let p0 = pd.add(r * stride);
-                let p1 = pd.add((r + 1) * stride);
-                let p2 = pd.add((r + 2) * stride);
-                let p3 = pd.add((r + 3) * stride);
-                let mut dot0 = _mm256_setzero_ps();
-                let mut dot1 = _mm256_setzero_ps();
-                let mut dot2 = _mm256_setzero_ps();
-                let mut dot3 = _mm256_setzero_ps();
-                let mut rr0 = _mm256_setzero_ps();
-                let mut rr1 = _mm256_setzero_ps();
-                let mut rr2 = _mm256_setzero_ps();
-                let mut rr3 = _mm256_setzero_ps();
-                let mut i = 0;
-                while i < head {
-                    let vq = _mm256_loadu_ps(pq.add(i));
-                    let v0 = _mm256_loadu_ps(p0.add(i));
-                    let v1 = _mm256_loadu_ps(p1.add(i));
-                    let v2 = _mm256_loadu_ps(p2.add(i));
-                    let v3 = _mm256_loadu_ps(p3.add(i));
-                    dot0 = _mm256_add_ps(dot0, _mm256_mul_ps(vq, v0));
-                    dot1 = _mm256_add_ps(dot1, _mm256_mul_ps(vq, v1));
-                    dot2 = _mm256_add_ps(dot2, _mm256_mul_ps(vq, v2));
-                    dot3 = _mm256_add_ps(dot3, _mm256_mul_ps(vq, v3));
-                    rr0 = _mm256_add_ps(rr0, _mm256_mul_ps(v0, v0));
-                    rr1 = _mm256_add_ps(rr1, _mm256_mul_ps(v1, v1));
-                    rr2 = _mm256_add_ps(rr2, _mm256_mul_ps(v2, v2));
-                    rr3 = _mm256_add_ps(rr3, _mm256_mul_ps(v3, v3));
-                    i += LANES;
-                }
-                let mut dd = [0.0f32; 4];
-                let mut nn = [0.0f32; 4];
-                _mm_storeu_ps(dd.as_mut_ptr(), reduce4(dot0, dot1, dot2, dot3));
-                _mm_storeu_ps(nn.as_mut_ptr(), reduce4(rr0, rr1, rr2, rr3));
-                for (j, (&d, &rr)) in dd.iter().zip(&nn).enumerate() {
-                    let nr = rr.sqrt();
-                    out[r + j] = if nq == 0.0 || nr == 0.0 {
-                        1.0
-                    } else {
-                        1.0 - (d / (nq * nr)).clamp(-1.0, 1.0)
-                    };
-                }
-                r += 4;
-            }
-        }
-        for (r, o) in out.iter_mut().enumerate().skip(r) {
-            let p = pd.add(r * stride);
-            let mut adot = _mm256_setzero_ps();
-            let mut arr = _mm256_setzero_ps();
-            let mut i = 0;
-            while i < head {
-                let vq = _mm256_loadu_ps(pq.add(i));
-                let vr = _mm256_loadu_ps(p.add(i));
-                adot = _mm256_add_ps(adot, _mm256_mul_ps(vq, vr));
-                arr = _mm256_add_ps(arr, _mm256_mul_ps(vr, vr));
-                i += LANES;
-            }
-            let d = reduce(adot, |l| {
-                for k in 0..dim - head {
-                    l[k] += q[head + k] * *p.add(head + k);
-                }
-            });
-            let nr = reduce(arr, |l| {
-                for (k, lane) in l.iter_mut().enumerate().take(dim - head) {
-                    let v = *p.add(head + k);
-                    *lane += v * v;
-                }
-            })
-            .sqrt();
-            *o = if nq == 0.0 || nr == 0.0 {
-                1.0
-            } else {
-                1.0 - (d / (nq * nr)).clamp(-1.0, 1.0)
-            };
-        }
-    }
-
-    /// Widen 8 `u8` codes to 8 `f32` lanes (exact — every `u8` is
-    /// representable).
-    ///
-    /// # Safety
-    /// AVX2 must be available; at least 8 bytes readable at `p`.
-    #[inline]
-    #[target_feature(enable = "avx2")]
-    unsafe fn load_codes8(p: *const u8) -> __m256 {
-        let lo = _mm_loadl_epi64(p as *const __m128i);
-        _mm256_cvtepi32_ps(_mm256_cvtepu8_epi32(lo))
-    }
-
-    /// # Safety
-    /// AVX2 must be available; `t.len() == step.len() <= stride`,
-    /// `codes.len() >= out.len() * stride`.
-    #[target_feature(enable = "avx2")]
-    pub unsafe fn adc_sq_block(
-        t: &[f32],
-        step: &[f32],
-        codes: &[u8],
-        stride: usize,
-        out: &mut [f32],
-    ) {
-        let dim = t.len();
-        let head = dim - dim % LANES;
-        let pt = t.as_ptr();
-        let ps = step.as_ptr();
-        let pc = codes.as_ptr();
-        for (r, o) in out.iter_mut().enumerate() {
-            let row = pc.add(r * stride);
-            let mut acc = _mm256_setzero_ps();
-            let mut i = 0;
-            while i < head {
-                let c = load_codes8(row.add(i));
-                let d = _mm256_sub_ps(
-                    _mm256_loadu_ps(pt.add(i)),
-                    _mm256_mul_ps(c, _mm256_loadu_ps(ps.add(i))),
-                );
-                acc = _mm256_add_ps(acc, _mm256_mul_ps(d, d));
-                i += LANES;
-            }
-            *o = reduce(acc, |l| {
-                for k in 0..dim - head {
-                    let d = t[head + k] - *row.add(head + k) as f32 * step[head + k];
-                    l[k] += d * d;
-                }
-            });
-        }
-    }
-
-    /// # Safety
-    /// AVX2 must be available; `w.len() <= stride`,
-    /// `codes.len() >= out.len() * stride`.
-    #[target_feature(enable = "avx2")]
-    pub unsafe fn adc_dot_block(w: &[f32], codes: &[u8], stride: usize, out: &mut [f32]) {
-        let dim = w.len();
-        let head = dim - dim % LANES;
-        let pw = w.as_ptr();
-        let pc = codes.as_ptr();
-        for (r, o) in out.iter_mut().enumerate() {
-            let row = pc.add(r * stride);
-            let mut acc = _mm256_setzero_ps();
-            let mut i = 0;
-            while i < head {
-                let c = load_codes8(row.add(i));
-                acc = _mm256_add_ps(acc, _mm256_mul_ps(_mm256_loadu_ps(pw.add(i)), c));
-                i += LANES;
-            }
-            *o = reduce(acc, |l| {
-                for k in 0..dim - head {
-                    l[k] += w[head + k] * *row.add(head + k) as f32;
-                }
-            });
-        }
-    }
-
-    /// Compile-time guard: this module is only ever entered through the
-    /// [`Kernel`] dispatcher.
-    #[allow(dead_code)]
-    const _ARM: Kernel = Kernel::Avx2;
-}
+pub use querc_linalg::kernel::*;
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn both_arms() -> Vec<Kernel> {
-        let mut arms = vec![Kernel::Scalar];
-        if avx2_available() {
-            arms.push(Kernel::Avx2);
-        }
-        arms
-    }
-
-    fn pseudo(seed: u64, n: usize) -> Vec<f32> {
-        let mut rng = querc_linalg::rng::Pcg32::with_stream(seed, 7);
-        (0..n).map(|_| rng.normal()).collect()
-    }
-
     #[test]
-    fn dispatch_resolves_and_reports() {
-        let k = active_kernel();
-        assert_eq!(kernel_name(), k.name());
-        assert_eq!(set_kernel_override(Some(Kernel::Scalar)), Kernel::Scalar);
-        let back = set_kernel_override(None);
-        assert_eq!(back, active_kernel());
-    }
-
-    #[test]
-    fn row_kernels_bit_identical_across_arms() {
-        for n in [0usize, 1, 5, 8, 13, 16, 31, 32, 100] {
-            let a = pseudo(n as u64 + 1, n);
-            let b = pseudo(n as u64 + 1000, n);
-            let sq = ops::sq_dist(&a, &b);
-            let cd = ops::cosine_dist(&a, &b);
-            let d = ops::dot(&a, &b);
-            for arm in both_arms() {
-                assert_eq!(sq_dist_with(arm, &a, &b).to_bits(), sq.to_bits(), "n={n}");
-                assert_eq!(
-                    cosine_dist_with(arm, &a, &b).to_bits(),
-                    cd.to_bits(),
-                    "n={n}"
-                );
-                assert_eq!(dot_with(arm, &a, &b).to_bits(), d.to_bits(), "n={n}");
-            }
-        }
-    }
-
-    #[test]
-    fn block_kernels_match_row_kernels() {
-        let dim = 13; // forces a 5-element scalar tail
-        let stride = 16;
-        let rows = 7; // odd: exercises the unpaired trailing row
-        let q = pseudo(42, dim);
-        let mut data = pseudo(43, rows * stride);
-        // Zero the padding like VectorStore does.
-        for r in 0..rows {
-            for p in dim..stride {
-                data[r * stride + p] = 0.0;
-            }
-        }
-        for arm in both_arms() {
-            let mut sq = vec![0.0f32; rows];
-            let mut co = vec![0.0f32; rows];
-            sq_dist_block_with(arm, &q, &data, stride, &mut sq);
-            cosine_dist_block_with(arm, &q, &data, stride, &mut co);
-            for r in 0..rows {
-                let row = &data[r * stride..r * stride + dim];
-                assert_eq!(sq[r].to_bits(), ops::sq_dist(&q, row).to_bits());
-                assert_eq!(co[r].to_bits(), ops::cosine_dist(&q, row).to_bits());
-            }
-        }
-    }
-
-    #[test]
-    fn adc_kernels_bit_identical_across_arms() {
-        let dim = 21;
-        let stride = 24;
-        let rows = 5;
-        let t = pseudo(7, dim);
-        let step: Vec<f32> = pseudo(8, dim).iter().map(|v| v.abs() / 100.0).collect();
-        let mut rng = querc_linalg::rng::Pcg32::with_stream(9, 7);
-        let codes: Vec<u8> = (0..rows * stride)
-            .map(|_| rng.below_usize(256) as u8)
-            .collect();
-        let mut want_sq = vec![0.0f32; rows];
-        let mut want_dot = vec![0.0f32; rows];
-        adc_sq_block_with(Kernel::Scalar, &t, &step, &codes, stride, &mut want_sq);
-        adc_dot_block_with(Kernel::Scalar, &t, &codes, stride, &mut want_dot);
-        for arm in both_arms() {
-            let mut got_sq = vec![0.0f32; rows];
-            let mut got_dot = vec![0.0f32; rows];
-            adc_sq_block_with(arm, &t, &step, &codes, stride, &mut got_sq);
-            adc_dot_block_with(arm, &t, &codes, stride, &mut got_dot);
-            for r in 0..rows {
-                assert_eq!(got_sq[r].to_bits(), want_sq[r].to_bits());
-                assert_eq!(got_dot[r].to_bits(), want_dot[r].to_bits());
-            }
-        }
-    }
-
-    #[test]
-    fn zero_vector_cosine_is_exactly_one_on_every_arm() {
-        let z = vec![0.0f32; 16];
-        let x = pseudo(1, 16);
-        for arm in both_arms() {
-            assert_eq!(cosine_dist_with(arm, &z, &x), 1.0);
-            assert_eq!(cosine_dist_with(arm, &x, &z), 1.0);
-            assert_eq!(cosine_dist_with(arm, &z, &z), 1.0);
-        }
+    fn reexport_resolves_historical_paths() {
+        // The index-plane API surface: enum, override, dispatch report,
+        // row/block/ADC kernels — all reachable via `querc_index::simd`.
+        let q = [1.0f32, 2.0, 3.0, 4.0];
+        let row = [4.0f32, 3.0, 2.0, 1.0];
+        assert_eq!(
+            sq_dist(&q, &row).to_bits(),
+            querc_linalg::ops::sq_dist(&q, &row).to_bits()
+        );
+        let mut out = [0.0f32; 1];
+        sq_dist_block(&q, &row, 4, &mut out);
+        assert_eq!(out[0].to_bits(), sq_dist(&q, &row).to_bits());
+        assert_eq!(kernel_name(), active_kernel().name());
+        let _ = Kernel::Scalar.name();
     }
 }

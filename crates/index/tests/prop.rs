@@ -19,15 +19,16 @@ use querc_index::{Metric, Sq8Config, Sq8Index, VectorIndex, VectorStore};
 use querc_linalg::ops;
 
 /// Kernels whose parity this machine can witness: always the scalar
-/// reference; the AVX2 arm when the CPU has it.
+/// reference; the AVX2 / AVX-512 arms when the CPU has them.
 fn arms() -> Vec<Kernel> {
-    #[cfg(target_arch = "x86_64")]
-    {
-        if std::arch::is_x86_feature_detected!("avx2") {
-            return vec![Kernel::Scalar, Kernel::Avx2];
-        }
+    let mut arms = vec![Kernel::Scalar];
+    if querc_index::simd::avx2_available() {
+        arms.push(Kernel::Avx2);
     }
-    vec![Kernel::Scalar]
+    if querc_index::simd::avx512_available() {
+        arms.push(Kernel::Avx512);
+    }
+    arms
 }
 
 /// Mix denormals and a huge spread of magnitudes into a fuzzed vector:

@@ -8,7 +8,7 @@
 use crate::state::{bad_state, ClassifierState, ForestState};
 use crate::tree::{DecisionTree, SplitStrategy, TreeConfig};
 use crate::{Classifier, LearnError};
-use querc_linalg::Pcg32;
+use querc_linalg::{ComputePool, Pcg32};
 
 /// Forest hyperparameters.
 #[derive(Debug, Clone)]
@@ -141,8 +141,16 @@ impl Classifier for RandomForest {
         if tree_cfg.max_features.is_none() {
             tree_cfg.max_features = Some(((d as f32).sqrt().ceil() as usize).max(1));
         }
-        for t in 0..self.cfg.n_trees {
-            let mut tree_rng = rng.split(t as u64 + 1);
+        // Pre-draw every tree's RNG from the parent sequentially (split
+        // mutates the parent), then fit the independent trees across the
+        // compute pool. `map` returns trees in index order, so the
+        // ensemble is bit-identical to the sequential loop at any
+        // thread count.
+        let tree_rngs: Vec<Pcg32> = (0..self.cfg.n_trees)
+            .map(|t| rng.split(t as u64 + 1))
+            .collect();
+        self.trees = ComputePool::current().map(self.cfg.n_trees, |t| {
+            let mut tree_rng = tree_rngs[t].clone();
             let mut tree = DecisionTree::new(tree_cfg.clone());
             if self.cfg.bootstrap {
                 let idx: Vec<usize> = (0..x.len())
@@ -154,8 +162,8 @@ impl Classifier for RandomForest {
             } else {
                 tree.fit(x, y, n_classes, &mut tree_rng);
             }
-            self.trees.push(tree);
-        }
+            tree
+        });
     }
 
     fn predict(&self, x: &[f32]) -> u32 {

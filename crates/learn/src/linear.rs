@@ -7,7 +7,7 @@
 
 use crate::state::{bad_state, ClassifierState, SoftmaxState};
 use crate::{Classifier, LearnError};
-use querc_linalg::{ops, Matrix, Pcg32};
+use querc_linalg::{kernel, ops, Matrix, Pcg32};
 
 /// Softmax regression trained by mini-batch SGD with L2 regularization.
 #[derive(Debug, Clone)]
@@ -29,13 +29,14 @@ impl SoftmaxRegression {
         }
     }
 
-    /// Class scores (pre-softmax logits).
+    /// Class scores (pre-softmax logits), on the active compute kernel.
     fn logits(&self, x: &[f32]) -> Vec<f32> {
+        let kern = kernel::active_kernel();
         let d = self.w.cols().saturating_sub(1);
         (0..self.w.rows())
             .map(|c| {
                 let row = self.w.row(c);
-                ops::dot(&row[..d.min(x.len())], &x[..d.min(x.len())]) + row[d]
+                kernel::dot_with(kern, &row[..d.min(x.len())], &x[..d.min(x.len())]) + row[d]
             })
             .collect()
     }

@@ -1,0 +1,72 @@
+//! Per-kernel throughput ratios on an L1-resident (compute-bound)
+//! working set — the kmeans/doc2vec inner-loop shape.
+//!
+//! The committed `BENCH_train.json` reports end-to-end fit times; this
+//! probe isolates the kernel layer so a regression (or a new arm) can
+//! be attributed to `sq_dist_block` / `dot_gather` / `axpy` directly,
+//! free of tokenizing and RNG overhead. Rows × dim is kept ≤ 32 KiB so
+//! every arm is measured at compute bound, not memory bandwidth.
+//!
+//! Run with `cargo run --release -p querc-linalg --example kernel_ratio`.
+
+use querc_linalg::kernel::{self, Kernel};
+use querc_linalg::Pcg32;
+use std::hint::black_box;
+use std::time::Instant;
+
+fn main() {
+    let mut arms = vec![Kernel::Scalar];
+    if kernel::avx2_available() {
+        arms.push(Kernel::Avx2);
+    }
+    if kernel::avx512_available() {
+        arms.push(Kernel::Avx512);
+    }
+
+    let mut rng = Pcg32::new(1);
+    for dim in [64usize, 128] {
+        let rows = 64usize; // centroid-block shape: rows*dim*4 ≤ 32 KiB
+        let data: Vec<f32> = (0..rows * dim).map(|_| rng.normal()).collect();
+        let q: Vec<f32> = (0..dim).map(|_| rng.normal()).collect();
+        let ids: Vec<usize> = (0..rows).collect();
+        let mut out = vec![0.0f32; rows];
+        let iters = 100_000usize;
+
+        for &arm in &arms {
+            let k = kernel::set_kernel_override(Some(arm));
+
+            let t = Instant::now();
+            for _ in 0..iters {
+                kernel::sq_dist_block_with(k, &q, &data, dim, &mut out);
+            }
+            let sq_ms = t.elapsed().as_secs_f64() * 1e3;
+            black_box(&out);
+
+            let t = Instant::now();
+            for _ in 0..iters {
+                kernel::dot_gather_with(k, &q, &data, dim, &ids, &mut out);
+            }
+            let gather_ms = t.elapsed().as_secs_f64() * 1e3;
+            black_box(&out);
+
+            let t = Instant::now();
+            let mut v = vec![0.0f32; dim];
+            for _ in 0..iters {
+                for r in 0..rows {
+                    kernel::axpy_with(k, 0.001, &data[r * dim..(r + 1) * dim], &mut v);
+                }
+            }
+            let axpy_ms = t.elapsed().as_secs_f64() * 1e3;
+            black_box(&v);
+
+            println!(
+                "dim {dim:>3} {:>6}: sq_block {:7.1}ms  gather {:7.1}ms  axpy {:7.1}ms",
+                k.name(),
+                sq_ms,
+                gather_ms,
+                axpy_ms
+            );
+            kernel::set_kernel_override(None);
+        }
+    }
+}

@@ -23,16 +23,27 @@
 //! * [`optim`] — SGD (+momentum), Adagrad and Adam over named parameter
 //!   slots.
 //! * [`stats`] — small statistics helpers (mean, variance, argmax, …).
+//! * [`kernel`] — the shared **compute plane**: runtime-dispatched
+//!   scalar/AVX2 twins of the hot kernels (distances, dot/axpy,
+//!   gathered dots, blocked GEMM, SQ8 ADC), bit-identical across arms.
+//! * [`pool`] — [`ComputePool`], deterministic fork/join over scoped
+//!   std threads; `map` results are index-ordered so N-thread training
+//!   folds reductions in a fixed order and stays bit-identical to
+//!   1-thread.
 
 pub mod alias;
 pub mod init;
+pub mod kernel;
 pub mod matrix;
 pub mod ops;
 pub mod optim;
+pub mod pool;
 pub mod rng;
 pub mod stats;
 
 pub use alias::AliasTable;
+pub use kernel::Kernel;
 pub use matrix::Matrix;
 pub use optim::{Adagrad, Adam, Optimizer, Sgd};
+pub use pool::ComputePool;
 pub use rng::Pcg32;

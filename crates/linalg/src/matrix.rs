@@ -1,10 +1,13 @@
 //! Row-major dense `f32` matrices.
 //!
 //! The models in this workspace are small (embedding tables up to a few MB,
-//! LSTM weights of a few hundred KB), so the kernels favour clarity and
-//! cache-friendly row-major traversal over blocking/SIMD heroics. The GEMM
-//! loop order (i, k, j) keeps the innermost loop a contiguous axpy, which
-//! the compiler auto-vectorizes.
+//! LSTM weights of a few hundred KB), but their fit loops are hot, so the
+//! GEMV/GEMM entry points route through the [`crate::kernel`] compute plane:
+//! runtime-dispatched scalar/AVX2 dot and axpy arms that are bit-identical
+//! to the `crate::ops` reference loops, and a k-blocked GEMM that keeps the
+//! canonical (i, k, j) accumulation order (the innermost loop stays a
+//! contiguous axpy). Whatever `QUERC_SIMD` / the kernel override selects,
+//! every method here returns bit-identical results.
 
 use crate::rng::Pcg32;
 
@@ -116,13 +119,11 @@ impl Matrix {
         (0..self.rows).map(|r| self[(r, c)]).collect()
     }
 
-    /// `y = self * x` (GEMV). `x.len()` must equal `cols`.
+    /// `y = self * x` (GEMV), on the active compute kernel.
+    /// `x.len()` must equal `cols`.
     pub fn matvec(&self, x: &[f32]) -> Vec<f32> {
-        assert_eq!(x.len(), self.cols, "gemv shape mismatch");
         let mut y = vec![0.0; self.rows];
-        for (r, out) in y.iter_mut().enumerate() {
-            *out = crate::ops::dot(self.row(r), x);
-        }
+        self.matvec_into(x, &mut y);
         y
     }
 
@@ -131,38 +132,41 @@ impl Matrix {
     pub fn matvec_into(&self, x: &[f32], y: &mut [f32]) {
         assert_eq!(x.len(), self.cols, "gemv shape mismatch");
         assert_eq!(y.len(), self.rows, "gemv output shape mismatch");
+        let kern = crate::kernel::active_kernel();
         for (r, out) in y.iter_mut().enumerate() {
-            *out = crate::ops::dot(self.row(r), x);
+            *out = crate::kernel::dot_with(kern, self.row(r), x);
         }
     }
 
-    /// `y = selfᵀ * x` (GEMV with the transpose, without materializing it).
+    /// `y = selfᵀ * x` (GEMV with the transpose, without materializing it),
+    /// on the active compute kernel. Zero `x[r]` rows are skipped, so
+    /// sparse one-hot activations stay cheap.
     pub fn matvec_t(&self, x: &[f32]) -> Vec<f32> {
         assert_eq!(x.len(), self.rows, "gemv-t shape mismatch");
         let mut y = vec![0.0; self.cols];
+        let kern = crate::kernel::active_kernel();
         for (r, &xr) in x.iter().enumerate() {
             if xr != 0.0 {
-                crate::ops::axpy(xr, self.row(r), &mut y);
+                crate::kernel::axpy_with(kern, xr, self.row(r), &mut y);
             }
         }
         y
     }
 
-    /// Dense `self * other` (GEMM).
+    /// Dense `self * other` (GEMM) through the compute plane's k-blocked
+    /// kernel — bit-identical to the historical (i, k, j) axpy loop on
+    /// every arm and block size.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.cols, other.rows, "gemm shape mismatch");
         let mut out = Matrix::zeros(self.rows, other.cols);
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self[(i, k)];
-                if a == 0.0 {
-                    continue;
-                }
-                let brow = other.row(k);
-                let orow = out.row_mut(i);
-                crate::ops::axpy(a, brow, orow);
-            }
-        }
+        crate::kernel::gemm(
+            &self.data,
+            &other.data,
+            &mut out.data,
+            self.rows,
+            self.cols,
+            other.cols,
+        );
         out
     }
 
@@ -177,10 +181,11 @@ impl Matrix {
         out
     }
 
-    /// Elementwise in-place `self += alpha * other`.
+    /// Elementwise in-place `self += alpha * other`, on the active
+    /// compute kernel.
     pub fn add_scaled(&mut self, alpha: f32, other: &Matrix) {
         assert_eq!(self.shape(), other.shape());
-        crate::ops::axpy(alpha, &other.data, &mut self.data);
+        crate::kernel::axpy(alpha, &other.data, &mut self.data);
     }
 
     /// In-place scalar multiply.

@@ -83,46 +83,51 @@ fn corrupt(detail: impl Into<String>) -> PersistError {
 /// Result alias for this crate.
 pub type Result<T> = std::result::Result<T, PersistError>;
 
+// Byte-driven CRC-32 table (256 entries), built in const context so the
+// shim-free crate stays dependency-light. One lookup per byte — restore
+// validates every payload byte, so this sits on the snapshot-open path.
+const CRC_TABLE: [u32; 256] = {
+    let mut t = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        t[i] = c;
+        i += 1;
+    }
+    t
+};
+
+/// Fold `bytes` into a running (pre-inverted) CRC state.
+fn crc32_update(mut c: u32, bytes: &[u8]) -> u32 {
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c
+}
+
 /// CRC-32 (IEEE polynomial, the zlib/`cksum -o3` variant) over `bytes`.
 pub fn crc32(bytes: &[u8]) -> u32 {
-    // Nibble-driven table: 16 entries, built in const context so the
-    // shim-free crate stays dependency-light.
-    const TABLE: [u32; 16] = {
-        let mut t = [0u32; 16];
-        let mut i = 0;
-        while i < 16 {
-            let mut c = i as u32;
-            let mut k = 0;
-            while k < 4 {
-                c = if c & 1 != 0 {
-                    0xEDB8_8320 ^ (c >> 1)
-                } else {
-                    c >> 1
-                };
-                k += 1;
-            }
-            t[i] = c;
-            i += 1;
-        }
-        t
-    };
-    let mut c = !0u32;
-    for &b in bytes {
-        c = TABLE[((c ^ b as u32) & 0xF) as usize] ^ (c >> 4);
-        c = TABLE[((c ^ (b as u32 >> 4)) & 0xF) as usize] ^ (c >> 4);
-    }
-    !c
+    !crc32_update(!0u32, bytes)
 }
 
 /// CRC of one section: over the name bytes, a NUL separator, and the
 /// payload — so a payload swapped between two sections is detected even
-/// when the payloads' own CRCs are individually intact.
+/// when the payloads' own CRCs are individually intact. Streamed
+/// through [`crc32_update`]: no concatenation buffer, which matters
+/// when the payload is a multi-MB warm cache section.
 fn section_crc(name: &str, payload: &[u8]) -> u32 {
-    let mut buf = Vec::with_capacity(name.len() + 1 + payload.len());
-    buf.extend_from_slice(name.as_bytes());
-    buf.push(0);
-    buf.extend_from_slice(payload);
-    crc32(&buf)
+    let mut c = crc32_update(!0u32, name.as_bytes());
+    c = crc32_update(c, &[0]);
+    !crc32_update(c, payload)
 }
 
 fn header_line(name: &str, payload: &[u8]) -> String {

@@ -38,7 +38,10 @@ macro_rules! impl_integer {
     ($($t:ty),+) => {$(
         impl Serialize for $t {
             fn serialize_json(&self, out: &mut String) {
-                out.push_str(&self.to_string());
+                use std::fmt::Write as _;
+                // Same text as `to_string` (both go through `Display`)
+                // without the intermediate heap String per number.
+                let _ = write!(out, "{self}");
             }
         }
         impl Deserialize for $t {
@@ -58,7 +61,9 @@ macro_rules! impl_float {
         impl Serialize for $t {
             fn serialize_json(&self, out: &mut String) {
                 if self.is_finite() {
-                    out.push_str(&self.to_string());
+                    use std::fmt::Write as _;
+                    // Shortest-round-trip `Display`, appended in place.
+                    let _ = write!(out, "{self}");
                 } else {
                     // JSON has no NaN/∞; null round-trips to NaN.
                     out.push_str("null");
