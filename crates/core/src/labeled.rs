@@ -31,6 +31,7 @@ impl LabeledQuery {
         lq.set("user", &r.user);
         lq.set("account", &r.account);
         lq.set("cluster", &r.cluster);
+        lq.set("dialect", &r.dialect);
         lq.set("timestamp", r.timestamp.to_string());
         if let Some(code) = r.error_code {
             lq.set("error", code.to_string());

@@ -76,6 +76,47 @@ pub fn routing_key(lq: &LabeledQuery) -> &str {
         .unwrap_or(&lq.sql)
 }
 
+/// How the manager picks a shard for an incoming query.
+///
+/// Shard choice is the manager's locality lever: everything that hashes
+/// to one key drains through one Qworker in FIFO order, sharing that
+/// worker's warm state (embed cache lines, app model pages).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RoutingPolicy {
+    /// Hash the tenant key ([`routing_key`]): account, else user, else
+    /// SQL text. Preserves per-tenant ordering — the default, and the
+    /// paper's serving layout.
+    #[default]
+    Tenant,
+    /// Hash the query's *table lineage* ([`lineage_routing_key`]):
+    /// queries touching the same base tables co-locate on one shard
+    /// regardless of tenant, so per-table working sets (index pages,
+    /// cached embeddings of that table's templates) stay hot on one
+    /// worker. Queries whose lineage is empty (`SHOW`, `SET`, garbage)
+    /// fall back to the tenant key. QoS admission is **unaffected** —
+    /// token buckets and backlog caps stay per-tenant.
+    Lineage,
+}
+
+/// The lineage-routing key of a query: the canonical
+/// [`querc_sql::ast::Lineage::key`] of its parsed table dependency set
+/// (read set joined `,`, or `w:<target>` for pure writes), in the
+/// dialect named by the query's `dialect` label (`Generic` when
+/// unlabeled). Falls back to [`routing_key`] when the statement touches
+/// no tables at all, so every query still routes deterministically.
+pub fn lineage_routing_key(lq: &LabeledQuery) -> String {
+    let dialect = lq
+        .get("dialect")
+        .map(querc_sql::Dialect::from_name)
+        .unwrap_or(querc_sql::Dialect::Generic);
+    let key = querc_sql::parse_query(&lq.sql, dialect).lineage().key();
+    if key.is_empty() {
+        routing_key(lq).to_string()
+    } else {
+        key
+    }
+}
+
 /// Deterministic shard assignment: FNV-1a hash of `key`, reduced modulo
 /// `shards`. Pure function of its arguments — stable across processes,
 /// runs, and manager instances with the same shard count.
@@ -157,10 +198,18 @@ impl FittedApp {
 #[derive(Debug, Clone)]
 pub struct WorkloadManagerConfig {
     /// Shards (single-consumer Qworker threads) per registered app.
-    /// Queries are hash-routed to shards by [`routing_key`]; more shards
-    /// means more serving parallelism while per-tenant order still
-    /// holds, because one tenant always maps to one shard.
+    /// Queries are hash-routed to shards by the configured [`routing`]
+    /// policy key; more shards means more serving parallelism while
+    /// per-key order still holds, because one key always maps to one
+    /// shard.
+    ///
+    /// [`routing`]: WorkloadManagerConfig::routing
     pub shards_per_app: usize,
+    /// Shard-selection policy: per-tenant (default) or per-table-lineage
+    /// (see [`RoutingPolicy`]). Lineage routing changes *only* which
+    /// shard a query lands on; QoS admission control remains keyed by
+    /// tenant either way.
+    pub routing: RoutingPolicy,
     /// Maximum queries a worker drains per chunk (embed_batch size).
     pub batch: usize,
     /// Capacity of each shard's bounded input queue. A full queue makes
@@ -259,6 +308,7 @@ impl Default for WorkloadManagerConfig {
         let plane = EmbedPlaneConfig::default();
         WorkloadManagerConfig {
             shards_per_app: 2,
+            routing: RoutingPolicy::default(),
             batch: 32,
             queue_depth: 1024,
             mode: QworkerMode::Inline,
@@ -355,8 +405,12 @@ struct AppEntry {
     /// The app's serving embedder — what ingress enrichment embeds
     /// through. `None` opts the app out of ingress embedding.
     embedder: Option<Arc<dyn Embedder>>,
-    /// One bounded sender per shard, indexed by [`shard_for`].
+    /// One bounded sender per shard, indexed by [`shard_for`] of the
+    /// entry's routing-policy key.
     shards: Vec<Sender<TimedQuery>>,
+    /// Shard-selection policy, frozen from the manager config at
+    /// registration time.
+    routing: RoutingPolicy,
     output_rx: Receiver<LabeledQuery>,
     trainer_rx: Receiver<LabeledQuery>,
     workers: Vec<JoinHandle<usize>>,
@@ -531,6 +585,7 @@ impl WorkloadManager {
                 fitted,
                 embedder,
                 shards,
+                routing: self.cfg.routing,
                 output_rx: out_rx,
                 trainer_rx: tr_rx,
                 workers,
@@ -674,10 +729,18 @@ impl WorkloadManager {
         }
     }
 
+    /// The shard index for a query under the entry's routing policy.
+    fn shard_index(entry: &AppEntry, lq: &LabeledQuery) -> usize {
+        match entry.routing {
+            RoutingPolicy::Tenant => shard_for(routing_key(lq), entry.shards.len()),
+            RoutingPolicy::Lineage => shard_for(&lineage_routing_key(lq), entry.shards.len()),
+        }
+    }
+
     /// Route one enriched query to its shard, send (blocking on a full
     /// queue), and count the accepted submission.
     fn send_routed(entry: &AppEntry, timed: TimedQuery, context: &'static str) -> Result<()> {
-        let shard = shard_for(routing_key(timed.query.labeled()), entry.shards.len());
+        let shard = Self::shard_index(entry, timed.query.labeled());
         entry.shards[shard]
             .send(timed)
             .map_err(|_| QuercError::ChannelClosed { context })?;
@@ -708,7 +771,7 @@ impl WorkloadManager {
                 return Err(QuercError::Rejected { tenant, reason });
             }
         };
-        let shard = shard_for(&tenant, entry.shards.len());
+        let shard = Self::shard_index(entry, timed.query.labeled());
         // Reserve the pending slot BEFORE the send: once the query is in
         // the queue a shard worker may complete it immediately, and the
         // completion must observe the reservation (see `committed`).
@@ -1349,6 +1412,77 @@ mod tests {
         assert_eq!(routing_key(&lq), "acct/alice");
         lq.set("account", "acct");
         assert_eq!(routing_key(&lq), "acct");
+    }
+
+    #[test]
+    fn lineage_key_is_the_sorted_read_set() {
+        let lq = LabeledQuery::new("select * from orders o join customer c on c.id = o.cid");
+        assert_eq!(lineage_routing_key(&lq), "customer,orders");
+        // Same tables, different tenant, different dialect casing — one key.
+        let mut other = LabeledQuery::new("SELECT * FROM customer, orders WHERE 1 = 1");
+        other.set("account", "someone_else");
+        assert_eq!(lineage_routing_key(&other), "customer,orders");
+    }
+
+    #[test]
+    fn lineage_key_uses_write_target_and_tenant_fallback() {
+        let lq = LabeledQuery::new("insert into audit_log values (1)");
+        assert_eq!(lineage_routing_key(&lq), "w:audit_log");
+        // No tables at all: fall back to the tenant key.
+        let mut bare = LabeledQuery::new("SET warehouse = 'XL'");
+        bare.set("account", "acct07");
+        assert_eq!(lineage_routing_key(&bare), "acct07");
+    }
+
+    #[test]
+    fn lineage_key_honors_dialect_label() {
+        let mut lq = LabeledQuery::new("select * from `proj.ds.events`");
+        lq.set("dialect", "bigquery");
+        assert_eq!(lineage_routing_key(&lq), "proj.ds.events");
+        // Same text under the generic lexer reads backticks differently,
+        // which is exactly why the label matters.
+        let generic = LabeledQuery::new("select * from `proj.ds.events`");
+        assert_ne!(lineage_routing_key(&generic), "");
+    }
+
+    /// Queries from many tenants over one table share a single lineage
+    /// key — so under [`RoutingPolicy::Lineage`] they all land on one
+    /// shard while their tenant keys would have spread them — and a
+    /// manager configured with the policy still drains every query.
+    #[test]
+    fn lineage_policy_co_locates_same_table_queries() {
+        // Pure-function half: one lineage key (hence one shard) where
+        // tenant keys scatter.
+        let tenants: Vec<String> = (0..8).map(|i| format!("acct{i:03}")).collect();
+        let tenant_shards: std::collections::HashSet<usize> =
+            tenants.iter().map(|t| shard_for(t, 8)).collect();
+        assert!(tenant_shards.len() > 1, "tenant keys must spread");
+        let lineage_shards: std::collections::HashSet<usize> = tenants
+            .iter()
+            .map(|t| {
+                let mut lq = LabeledQuery::new("select v from kv_store where k = 9");
+                lq.set("account", t);
+                shard_for(&lineage_routing_key(&lq), 8)
+            })
+            .collect();
+        assert_eq!(lineage_shards.len(), 1, "one table → one shard");
+
+        // Serving half: the policy end-to-end, every query labeled once.
+        let corpus = corpus();
+        let mut mgr = WorkloadManager::new(WorkloadManagerConfig {
+            shards_per_app: 8,
+            routing: RoutingPolicy::Lineage,
+            ..Default::default()
+        });
+        mgr.register(ResourcesApp::new(embedder()), &corpus)
+            .unwrap();
+        for t in &tenants {
+            let mut lq = LabeledQuery::new("select v from kv_store where k = 9");
+            lq.set("account", t);
+            mgr.submit("resources", lq).unwrap();
+        }
+        let drained = mgr.drain();
+        assert_eq!(drained.outputs["resources"].len(), 8);
     }
 
     #[test]

@@ -7,6 +7,7 @@
 
 /// Top-level statement class.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // variant names are the documentation
 pub enum StatementKind {
     Select,
     Insert,
@@ -28,6 +29,7 @@ pub struct TableRef {
     pub name: String,
     /// Full dotted path as written, lowercase (e.g. `tpch.public.orders`).
     pub path: String,
+    /// Alias bound in the FROM clause, lowercase, if any.
     pub alias: Option<String>,
 }
 
@@ -36,10 +38,12 @@ pub struct TableRef {
 pub struct ColumnRef {
     /// Table name or alias qualifier if written.
     pub qualifier: Option<String>,
+    /// Column name, lowercase.
     pub column: String,
 }
 
 impl ColumnRef {
+    /// Build a reference, lowercasing both parts.
     pub fn new(qualifier: Option<&str>, column: &str) -> Self {
         ColumnRef {
             qualifier: qualifier.map(|q| q.to_ascii_lowercase()),
@@ -58,6 +62,7 @@ impl ColumnRef {
 
 /// Comparison operator of a predicate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // operator names are the documentation
 pub enum CmpOp {
     Eq,
     Ne,
@@ -129,10 +134,13 @@ pub fn date_to_days(s: &str) -> Option<f64> {
 /// What the predicate's left-hand side refers to.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Lhs {
+    /// A plain (possibly qualified) column.
     Column(ColumnRef),
     /// An aggregate call, e.g. HAVING sum(l_quantity) > 300.
     Agg {
+        /// Lowercase aggregate function name.
         func: String,
+        /// Aggregated column, when the argument is a plain column.
         column: Option<ColumnRef>,
     },
 }
@@ -140,8 +148,11 @@ pub enum Lhs {
 /// One atomic filter condition.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Predicate {
+    /// What the condition constrains (column or aggregate call).
     pub lhs: Lhs,
+    /// The comparison operator.
     pub op: CmpOp,
+    /// Right-hand side value.
     pub rhs: Rhs,
     /// Second bound for BETWEEN.
     pub rhs2: Option<Rhs>,
@@ -184,7 +195,9 @@ impl Predicate {
 /// An equi-join edge between two column references.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct JoinEdge {
+    /// Left side of the equi-join condition.
     pub left: ColumnRef,
+    /// Right side of the equi-join condition.
     pub right: ColumnRef,
 }
 
@@ -193,33 +206,98 @@ pub struct JoinEdge {
 pub struct AggCall {
     /// Lowercase function name (`sum`, `count`, `avg`, `min`, `max`).
     pub func: String,
+    /// Aggregated column, when the argument is a plain column.
     pub column: Option<ColumnRef>,
+    /// `DISTINCT` inside the call.
     pub distinct: bool,
 }
 
 /// Structural summary of one SQL statement.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct QueryShape {
+    /// Statement class, `None` until the parser has seen a first keyword.
     pub kind: Option<StatementKind>,
+    /// Every table reference encountered, subqueries and CTE bodies
+    /// included (CTE *names* referenced in FROM appear here too — use
+    /// [`QueryShape::lineage`] for the base-table view).
     pub tables: Vec<TableRef>,
+    /// Equi-join edges from ON/USING clauses and WHERE col=col conditions.
     pub joins: Vec<JoinEdge>,
     /// WHERE-clause conditions (conjunction members, OR members flagged).
     pub predicates: Vec<Predicate>,
     /// HAVING-clause conditions.
     pub having: Vec<Predicate>,
+    /// QUALIFY-clause conditions (Snowflake / BigQuery window filters).
+    pub qualify: Vec<Predicate>,
+    /// GROUP BY columns.
     pub group_by: Vec<ColumnRef>,
+    /// ORDER BY columns.
     pub order_by: Vec<ColumnRef>,
+    /// Aggregate calls observed in select lists and HAVING.
     pub aggregates: Vec<AggCall>,
     /// Number of select-list items (0 for `*`-only lists counts as 1).
     pub projections: usize,
+    /// SELECT DISTINCT seen.
     pub distinct: bool,
+    /// LIMIT / TOP / FETCH FIRST row bound.
     pub limit: Option<u64>,
     /// Count of UNION/INTERSECT/EXCEPT operators at the top level.
     pub set_ops: usize,
     /// Maximum subquery nesting depth below this statement.
     pub subquery_depth: usize,
+    /// Count of derived tables (`FROM (SELECT …) alias`) at any depth.
+    pub derived_tables: usize,
+    /// Names introduced by WITH — referenced in FROM they are *not*
+    /// base tables; [`QueryShape::lineage`] excludes them.
+    pub cte_names: Vec<String>,
+    /// The table a DML/DDL statement writes: INSERT/UPDATE/DELETE target,
+    /// CREATE TABLE/VIEW name. `None` for pure reads.
+    pub write_target: Option<String>,
     /// Total token count of the statement (cheap length signal).
     pub token_count: usize,
+}
+
+/// Table dependency sets of one statement — the first-class lineage
+/// feature: which **base tables** a query reads, which table it writes,
+/// and which view it defines. CTE names are excluded from `reads`
+/// because they are query-local bindings, not stored tables.
+///
+/// All vectors are lowercase, sorted, and deduplicated, so lineage sets
+/// compare and hash stably — [`Lineage::key`] is usable directly as a
+/// routing or audit key.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Lineage {
+    /// Base tables read (FROM/JOIN/subqueries), CTE names and the write
+    /// target excluded.
+    pub reads: Vec<String>,
+    /// Table written by INSERT/UPDATE/DELETE/CREATE TABLE, if any.
+    pub writes: Vec<String>,
+    /// View defined by CREATE VIEW, if any.
+    pub views: Vec<String>,
+    /// CTE names bound by WITH (for audit visibility; never in `reads`).
+    pub ctes: Vec<String>,
+}
+
+impl Lineage {
+    /// Canonical routing key: the sorted read set joined with `,`, or the
+    /// write target prefixed `w:` when the statement only writes. Empty
+    /// when the statement touches no tables at all.
+    pub fn key(&self) -> String {
+        if !self.reads.is_empty() {
+            self.reads.join(",")
+        } else if let Some(w) = self.writes.first() {
+            format!("w:{w}")
+        } else if let Some(v) = self.views.first() {
+            format!("v:{v}")
+        } else {
+            String::new()
+        }
+    }
+
+    /// True when the statement touches no stored tables at all.
+    pub fn is_empty(&self) -> bool {
+        self.reads.is_empty() && self.writes.is_empty() && self.views.is_empty()
+    }
 }
 
 impl QueryShape {
@@ -240,6 +318,57 @@ impl QueryShape {
         names.sort_unstable();
         names.dedup();
         names
+    }
+
+    /// Distinct table names as owned strings, sorted and deduplicated —
+    /// the self-join-safe counterpart of iterating [`QueryShape::tables`]
+    /// (which keeps one entry per reference).
+    pub fn distinct_tables(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.tables.iter().map(|t| t.name.clone()).collect();
+        names.sort_unstable();
+        names.dedup();
+        names
+    }
+
+    /// Extract the statement's table dependency sets. Base tables read
+    /// are every referenced table minus CTE names and the write target;
+    /// the write target lands in `writes` (or `views` for CREATE VIEW).
+    pub fn lineage(&self) -> Lineage {
+        let mut ctes: Vec<String> = self
+            .cte_names
+            .iter()
+            .map(|c| c.to_ascii_lowercase())
+            .collect();
+        ctes.sort_unstable();
+        ctes.dedup();
+        let mut writes = Vec::new();
+        let mut views = Vec::new();
+        if let Some(target) = &self.write_target {
+            match self.kind {
+                Some(StatementKind::CreateView) => views.push(target.clone()),
+                Some(
+                    StatementKind::Insert
+                    | StatementKind::Update
+                    | StatementKind::Delete
+                    | StatementKind::CreateTable
+                    | StatementKind::Copy
+                    | StatementKind::Drop,
+                ) => writes.push(target.clone()),
+                _ => {}
+            }
+        }
+        let mut reads = self.distinct_tables();
+        reads.retain(|t| {
+            ctes.binary_search(t).is_err()
+                && !writes.iter().any(|w| w == t)
+                && !views.iter().any(|v| v == t)
+        });
+        Lineage {
+            reads,
+            writes,
+            views,
+            ctes,
+        }
     }
 
     /// Does the statement mention this keyword-level feature (convenience

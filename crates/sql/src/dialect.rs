@@ -78,6 +78,20 @@ impl Dialect {
             Dialect::BigQuery => "bigquery",
         }
     }
+
+    /// Inverse of [`Dialect::name`]: resolve a workload log's dialect
+    /// string. Unknown names fall back to `Generic`, matching the
+    /// lexer's accept-everything posture.
+    pub fn from_name(name: &str) -> Dialect {
+        match name.to_ascii_lowercase().as_str() {
+            "tsql" => Dialect::TSql,
+            "snowflake" => Dialect::Snowflake,
+            "postgres" => Dialect::Postgres,
+            "mysql" => Dialect::MySql,
+            "bigquery" => Dialect::BigQuery,
+            _ => Dialect::Generic,
+        }
+    }
 }
 
 /// Shared SQL keyword list (uppercase). Deliberately broad: a workload
@@ -172,6 +186,7 @@ pub const KEYWORDS: &[&str] = &[
     "SET",
     "SHOW",
     "SOME",
+    "STRAIGHT_JOIN",
     "TABLE",
     "TABLESAMPLE",
     "THEN",
@@ -227,6 +242,15 @@ mod tests {
         // Generic accepts everything.
         let g = Dialect::Generic;
         assert!(g.bracket_idents() && g.backtick_idents() && g.hash_comments());
+    }
+
+    #[test]
+    fn name_roundtrips_through_from_name() {
+        for d in Dialect::all() {
+            assert_eq!(Dialect::from_name(d.name()), d);
+        }
+        assert_eq!(Dialect::from_name("SNOWFLAKE"), Dialect::Snowflake);
+        assert_eq!(Dialect::from_name("???"), Dialect::Generic);
     }
 
     #[test]

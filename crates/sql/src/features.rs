@@ -12,7 +12,12 @@ use crate::dialect::Dialect;
 use crate::parser::parse_query;
 
 /// Dimensionality of [`feature_vector`]'s output.
-pub const FEATURE_DIM: usize = 32;
+///
+/// Grown 32 → 40 when lineage features landed; the first 32 positions
+/// keep their historical meaning (pinned by a golden-vector test) so
+/// persisted embeddings degrade gracefully instead of silently
+/// reshuffling.
+pub const FEATURE_DIM: usize = 40;
 
 /// Number of hash buckets used for table-name features.
 const TABLE_BUCKETS: usize = 8;
@@ -46,6 +51,13 @@ const TABLE_BUCKETS: usize = 8;
 /// | 19      | predicates under OR                         |
 /// | 20..23  | reserved aggregate kinds (sum/count/avg/minmax) |
 /// | 24..31  | table-name hash buckets                     |
+/// | 32      | lineage: distinct base tables read          |
+/// | 33      | lineage: CTEs defined                       |
+/// | 34      | lineage: writes a table (flag)              |
+/// | 35      | lineage: defines a view (flag)              |
+/// | 36      | QUALIFY predicates                          |
+/// | 37      | derived tables in FROM                      |
+/// | 38..39  | lineage read-set hash buckets               |
 pub fn feature_vector(sql: &str, dialect: Dialect) -> Vec<f32> {
     let shape = parse_query(sql, dialect);
     features_from_shape(&shape)
@@ -112,6 +124,23 @@ pub fn features_from_shape(shape: &QueryShape) -> Vec<f32> {
     for v in &mut f[24..24 + TABLE_BUCKETS] {
         *v = (1.0 + *v).ln();
     }
+    // Lineage block (32..): what the query *depends on* rather than how
+    // it is phrased — base tables read, CTE scaffolding, write/view
+    // targets. This is the signal lineage-aware routing keys off.
+    let lin = shape.lineage();
+    f[32] = ln1p(lin.reads.len());
+    f[33] = ln1p(lin.ctes.len());
+    f[34] = if lin.writes.is_empty() { 0.0 } else { 1.0 };
+    f[35] = if lin.views.is_empty() { 0.0 } else { 1.0 };
+    f[36] = ln1p(shape.qualify.len());
+    f[37] = ln1p(shape.derived_tables);
+    for r in &lin.reads {
+        let b = 38 + (fnv1a(r) as usize % 2);
+        f[b] += 1.0;
+    }
+    for v in &mut f[38..40] {
+        *v = (1.0 + *v).ln();
+    }
     f
 }
 
@@ -147,6 +176,69 @@ fn fnv1a(s: &str) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Golden layout test: every index of the feature vector is pinned to
+    /// its documented meaning for one fully hand-derived query. Adding
+    /// features must *append* (and bump `FEATURE_DIM`); any reshuffle of
+    /// existing positions fails here before it can corrupt persisted
+    /// embedding inputs.
+    #[test]
+    fn golden_vector_pins_layout() {
+        let sql = "WITH c AS (SELECT k FROM t2) \
+                   SELECT DISTINCT a, sum(b) FROM t1, c \
+                   WHERE t1.k = c.k AND a = 1 \
+                   GROUP BY a ORDER BY a LIMIT 5";
+        let got = feature_vector(sql, Dialect::Generic);
+
+        let mut want = vec![0.0f32; FEATURE_DIM];
+        want[0] = 0.1; // Select ordinal 1 / 10
+        want[1] = ln1p(3); // tables: t2 (cte body), t1, c
+        want[2] = ln1p(1); // join edge t1.k = c.k
+        want[3] = ln1p(1); // predicate a = 1
+        want[4] = ln1p(1); // ... which is an equality
+        want[9] = ln1p(1); // group-by width
+        want[10] = ln1p(1); // order-by width
+        want[11] = ln1p(1); // sum(b)
+        want[13] = ln1p(2); // projections a, sum(b)
+        want[14] = 1.0; // DISTINCT
+        want[15] = 1.0; // LIMIT present
+        want[17] = ln1p(1); // CTE body counts one subquery level
+        want[18] = ln1p(crate::lexer::tokenize(sql, Dialect::Generic).len());
+        want[20] = ln1p(1); // one sum()
+        for t in ["t2", "t1", "c"] {
+            want[24 + (fnv1a(t) as usize % TABLE_BUCKETS)] += 1.0;
+        }
+        for v in &mut want[24..24 + TABLE_BUCKETS] {
+            *v = (1.0 + *v).ln();
+        }
+        want[32] = ln1p(2); // lineage reads: t1, t2 (c excluded as CTE)
+        want[33] = ln1p(1); // one CTE defined
+        for t in ["t1", "t2"] {
+            want[38 + (fnv1a(t) as usize % 2)] += 1.0;
+        }
+        for v in &mut want[38..40] {
+            *v = (1.0 + *v).ln();
+        }
+
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn lineage_flags_set_for_writes_and_views() {
+        let ins = feature_vector("INSERT INTO sink SELECT * FROM src", Dialect::Generic);
+        assert_eq!(ins[34], 1.0, "write flag");
+        assert_eq!(ins[35], 0.0);
+        let view = feature_vector("CREATE VIEW v AS SELECT * FROM base", Dialect::Generic);
+        assert_eq!(view[34], 0.0);
+        assert_eq!(view[35], 1.0, "view flag");
+        let q = feature_vector(
+            "SELECT a FROM t QUALIFY row_number() OVER (PARTITION BY a ORDER BY b) = 1",
+            Dialect::Snowflake,
+        );
+        assert!(q[36] > 0.0, "qualify predicates counted");
+        let d = feature_vector("SELECT * FROM (SELECT a FROM t) sub", Dialect::Generic);
+        assert!(d[37] > 0.0, "derived tables counted");
+    }
 
     #[test]
     fn dimension_is_fixed() {

@@ -18,6 +18,8 @@
 //!   against — join/group-by structure counts à la Chaudhuri et al. — kept
 //!   as an ablation baseline.
 
+#![deny(missing_docs)]
+
 pub mod ast;
 pub mod dialect;
 pub mod features;

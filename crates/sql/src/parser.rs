@@ -7,11 +7,21 @@
 //! and (b) the simulator's optimizer only consumes the recovered facts.
 //!
 //! The grammar subset understood precisely covers the TPC-H templates and
-//! the synthetic SnowCloud workloads: SELECT with joined/comma FROM lists,
-//! WHERE conjunctions (ORs detected and flagged), BETWEEN/IN/LIKE/IS NULL,
-//! date and interval arithmetic on literals, GROUP BY / HAVING with
-//! aggregate comparisons, ORDER BY, LIMIT/TOP/FETCH, set operations, CTEs,
-//! and the DML/DDL statement kinds.
+//! the synthetic SnowCloud workloads: SELECT with joined/comma FROM lists
+//! (nested join groups and derived tables included), WHERE conjunctions
+//! (ORs detected and flagged), BETWEEN/IN/LIKE/IS NULL, date and interval
+//! arithmetic on literals, GROUP BY / HAVING with aggregate comparisons,
+//! QUALIFY, ORDER BY, LIMIT/TOP/FETCH, chained and parenthesized set
+//! operations, chained/nested CTEs, the BigQuery `SELECT * EXCEPT(…)`
+//! modifier, MySQL `STRAIGHT_JOIN`, and the DML/DDL statement kinds.
+//!
+//! Recursion is bounded by [`MAX_PARSE_DEPTH`]: beyond it the parser
+//! skips balanced token groups instead of descending, so adversarial
+//! nesting degrades recovered detail, never the stack.
+//!
+//! Under `cfg(test)` or the `coverage` feature, every grammar production
+//! the parser takes bumps a counter in the `coverage` module, which is how the
+//! conformance corpus proves what it exercises.
 
 use crate::ast::{
     AggCall, CmpOp, ColumnRef, JoinEdge, Lhs, Predicate, QueryShape, Rhs, StatementKind, TableRef,
@@ -19,6 +29,12 @@ use crate::ast::{
 use crate::dialect::Dialect;
 use crate::lexer::tokenize;
 use crate::token::{Token, TokenKind};
+
+/// Maximum statement/condition nesting the parser descends into. Deeper
+/// structure is skipped as an opaque balanced group — parsing stays
+/// total and the stack stays bounded on adversarial input like
+/// `"(".repeat(1 << 20)`.
+pub const MAX_PARSE_DEPTH: usize = 32;
 
 /// Parse one SQL statement into its structural shape. Never fails.
 pub fn parse_query(sql: &str, dialect: Dialect) -> QueryShape {
@@ -33,6 +49,154 @@ pub fn parse_query(sql: &str, dialect: Dialect) -> QueryShape {
     };
     p.parse_statement(&mut shape, 0);
     shape
+}
+
+/// Per-production hit counters: which grammar paths a test corpus
+/// actually exercises. Compiled only for tests and the `coverage`
+/// feature; the production build carries no counters.
+#[cfg(any(test, feature = "coverage"))]
+pub mod coverage {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    macro_rules! productions {
+        ($($name:ident,)*) => {
+            /// One grammar production the parser can take.
+            #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+            #[allow(non_camel_case_types, missing_docs)]
+            pub enum Production { $($name,)* }
+
+            /// Names of all productions, index-aligned with the counters.
+            pub const NAMES: &[&str] = &[$(stringify!($name),)*];
+
+            /// Number of productions.
+            pub const COUNT: usize = NAMES.len();
+        };
+    }
+
+    productions! {
+        stmt_wrapped,
+        stmt_with,
+        stmt_select,
+        stmt_insert,
+        stmt_update,
+        stmt_delete,
+        stmt_create_table,
+        stmt_create_view,
+        stmt_create_other,
+        stmt_drop,
+        stmt_copy,
+        stmt_show,
+        stmt_set,
+        stmt_other,
+        cte_def,
+        cte_chain,
+        cte_recursive,
+        select_distinct,
+        select_top,
+        select_except_modifier,
+        select_scalar_subquery,
+        select_agg,
+        from_clause,
+        from_table,
+        from_comma,
+        from_derived,
+        from_nested_join,
+        join_inner,
+        join_outer,
+        join_cross,
+        join_natural,
+        join_straight,
+        join_on,
+        join_using,
+        where_clause,
+        group_by,
+        group_rollup,
+        having_clause,
+        qualify_clause,
+        order_by,
+        limit_clause,
+        offset_clause,
+        fetch_clause,
+        setop_union,
+        setop_intersect,
+        setop_except,
+        setop_paren_operand,
+        cond_group,
+        cond_exists,
+        cond_is_null,
+        cond_between,
+        cond_in_list,
+        cond_in_subquery,
+        cond_like,
+        cond_cmp_join_edge,
+        cond_cmp_literal,
+        cond_cmp_flipped,
+        cond_cmp_subquery,
+        cond_recover,
+        cond_or,
+        term_case,
+        term_cast,
+        term_interval,
+        term_date_literal,
+        term_interval_arith,
+        term_numeric_fold,
+        term_param,
+        term_string,
+        term_number,
+        term_neg_number,
+        term_func_call,
+        term_column,
+        term_null,
+        term_bool,
+        term_agg,
+        term_paren_expr,
+        term_subquery,
+        depth_limit,
+    }
+
+    static HITS: [AtomicU64; COUNT] = [const { AtomicU64::new(0) }; COUNT];
+
+    /// Record one hit of `p` (relaxed; counters are process-global).
+    pub fn hit(p: Production) {
+        HITS[p as usize].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot of `(production name, hit count)` pairs.
+    pub fn snapshot() -> Vec<(&'static str, u64)> {
+        NAMES
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (*n, HITS[i].load(Ordering::Relaxed)))
+            .collect()
+    }
+
+    /// Fraction of productions with at least one hit, plus the names of
+    /// the ones never taken.
+    pub fn coverage() -> (f64, Vec<&'static str>) {
+        let snap = snapshot();
+        let missed: Vec<&'static str> = snap
+            .iter()
+            .filter(|(_, c)| *c == 0)
+            .map(|(n, _)| *n)
+            .collect();
+        let frac = (COUNT - missed.len()) as f64 / COUNT as f64;
+        (frac, missed)
+    }
+
+    /// Zero every counter (tests that need an isolated measurement).
+    pub fn reset() {
+        for h in &HITS {
+            h.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Bump a production counter in test/coverage builds; free otherwise.
+macro_rules! prod {
+    ($p:ident) => {
+        #[cfg(any(test, feature = "coverage"))]
+        coverage::hit(coverage::Production::$p);
+    };
 }
 
 const AGG_FUNCS: &[&str] = &["avg", "count", "max", "min", "stddev", "sum", "variance"];
@@ -112,9 +276,14 @@ impl<'a> Parser<'a> {
         }
     }
 
-    /// Skip a balanced parenthesized group; assumes current token is `(`.
+    /// Skip a balanced parenthesized group. A no-op unless the current
+    /// token is `(`, so a misplaced call can never underflow the depth
+    /// counter.
     fn skip_balanced(&mut self) {
-        let mut depth = 0usize;
+        if !self.eat_punct('(') {
+            return;
+        }
+        let mut depth = 1usize;
         while let Some(t) = self.bump() {
             if t.is_punct('(') {
                 depth += 1;
@@ -128,31 +297,53 @@ impl<'a> Parser<'a> {
     }
 
     fn parse_statement(&mut self, shape: &mut QueryShape, depth: usize) {
-        // Leading parens around the whole statement.
-        while self.eat_punct('(') {}
+        if depth > MAX_PARSE_DEPTH {
+            // Caller consumes the enclosing balanced group; we record that
+            // detail was given up rather than descending further.
+            prod!(depth_limit);
+            if shape.kind.is_none() {
+                shape.kind = Some(StatementKind::Other);
+            }
+            return;
+        }
+        // Leading parens around the whole statement: remember how many so
+        // their closers — and any set operation chained after them, as in
+        // `(SELECT ..) UNION SELECT ..` — are still consumed.
+        let mut wrapped = 0usize;
+        while self.eat_punct('(') {
+            wrapped += 1;
+        }
+        if wrapped > 0 {
+            prod!(stmt_wrapped);
+        }
         let Some(first) = self.peek() else {
             return;
         };
         if first.kind != TokenKind::Keyword {
             shape.kind = Some(StatementKind::Other);
+            prod!(stmt_other);
             return;
         }
         let word = first.text.to_ascii_lowercase();
         match word.as_str() {
             "with" => {
+                prod!(stmt_with);
                 self.pos += 1;
                 self.parse_ctes(shape, depth);
-                self.parse_statement(shape, depth);
+                self.parse_statement(shape, depth + 1);
             }
             "select" => {
+                prod!(stmt_select);
                 shape.kind = Some(StatementKind::Select);
                 self.parse_select_body(shape, depth);
             }
             "insert" => {
+                prod!(stmt_insert);
                 shape.kind = Some(StatementKind::Insert);
                 self.pos += 1;
                 self.eat_kw("into");
                 if let Some(tref) = self.parse_table_ref() {
+                    shape.write_target = Some(tref.name.clone());
                     shape.tables.push(tref);
                 }
                 // INSERT ... SELECT captures the select's structure too.
@@ -163,9 +354,11 @@ impl<'a> Parser<'a> {
                 }
             }
             "update" => {
+                prod!(stmt_update);
                 shape.kind = Some(StatementKind::Update);
                 self.pos += 1;
                 if let Some(tref) = self.parse_table_ref() {
+                    shape.write_target = Some(tref.name.clone());
                     shape.tables.push(tref);
                 }
                 self.skip_until_kw_depth0(&["where"]);
@@ -176,10 +369,12 @@ impl<'a> Parser<'a> {
                 }
             }
             "delete" => {
+                prod!(stmt_delete);
                 shape.kind = Some(StatementKind::Delete);
                 self.pos += 1;
                 self.eat_kw("from");
                 if let Some(tref) = self.parse_table_ref() {
+                    shape.write_target = Some(tref.name.clone());
                     shape.tables.push(tref);
                 }
                 self.skip_until_kw_depth0(&["where"]);
@@ -213,57 +408,95 @@ impl<'a> Parser<'a> {
                     }
                     self.pos += 1;
                 }
+                match shape.kind {
+                    Some(StatementKind::CreateTable) => {
+                        prod!(stmt_create_table);
+                    }
+                    Some(StatementKind::CreateView) => {
+                        prod!(stmt_create_view);
+                    }
+                    _ => {
+                        prod!(stmt_create_other);
+                    }
+                }
                 if shape.kind.is_none() {
                     shape.kind = Some(StatementKind::Other);
                 }
                 if let Some(tref) = self.parse_table_ref() {
+                    shape.write_target = Some(tref.name.clone());
                     shape.tables.push(tref);
                 }
-                // CREATE TABLE ... AS SELECT keeps the inner structure.
-                self.skip_until_kw_depth0(&["select"]);
-                if self.peek().is_some_and(|t| t.is_kw("select")) {
+                // CREATE TABLE/VIEW ... AS SELECT keeps the inner structure.
+                self.skip_until_kw_depth0(&["select", "with"]);
+                if self
+                    .peek()
+                    .is_some_and(|t| t.is_kw("select") || t.is_kw("with"))
+                {
                     let kind = shape.kind;
-                    self.parse_select_body(shape, depth);
+                    self.parse_statement(shape, depth + 1);
                     shape.kind = kind;
                 }
             }
             "drop" => {
+                prod!(stmt_drop);
                 shape.kind = Some(StatementKind::Drop);
                 self.pos += 1;
                 self.bump(); // object class
                 if let Some(tref) = self.parse_table_ref() {
+                    shape.write_target = Some(tref.name.clone());
                     shape.tables.push(tref);
                 }
             }
             "copy" => {
+                prod!(stmt_copy);
                 shape.kind = Some(StatementKind::Copy);
                 self.pos += 1;
                 if let Some(tref) = self.parse_table_ref() {
+                    shape.write_target = Some(tref.name.clone());
                     shape.tables.push(tref);
                 }
             }
             "show" => {
+                prod!(stmt_show);
                 shape.kind = Some(StatementKind::Show);
             }
             "set" | "use" => {
+                prod!(stmt_set);
                 shape.kind = Some(StatementKind::Set);
             }
             _ => {
+                prod!(stmt_other);
                 shape.kind = Some(StatementKind::Other);
+            }
+        }
+        // Unwind statement-level parens, picking up set operations that
+        // chain after a parenthesized operand. Progress is required each
+        // round so unbalanced input can't loop.
+        while wrapped > 0 {
+            let before = self.pos;
+            while wrapped > 0 && self.eat_punct(')') {
+                wrapped -= 1;
+            }
+            if matches!(shape.kind, Some(StatementKind::Select)) {
+                self.parse_set_ops(shape, depth);
+            }
+            if self.pos == before {
+                break;
             }
         }
     }
 
     fn parse_ctes(&mut self, shape: &mut QueryShape, depth: usize) {
-        self.eat_kw("recursive");
-        loop {
-            // name [ (cols) ] AS ( select )
-            if self
-                .peek()
-                .is_none_or(|t| !matches!(t.kind, TokenKind::Ident | TokenKind::QuotedIdent))
-            {
+        if self.eat_kw("recursive") {
+            prod!(cte_recursive);
+        }
+        let mut defined = 0usize;
+        // name [ (cols) ] AS ( select )
+        while let Some(t) = self.peek() {
+            if !matches!(t.kind, TokenKind::Ident | TokenKind::QuotedIdent) {
                 break;
             }
+            let name = t.ident_name().to_ascii_lowercase();
             self.pos += 1;
             if self.peek().is_some_and(|t| t.is_punct('(')) {
                 self.skip_balanced();
@@ -271,12 +504,18 @@ impl<'a> Parser<'a> {
             if !self.eat_kw("as") {
                 break;
             }
+            shape.cte_names.push(name);
+            defined += 1;
+            prod!(cte_def);
+            if defined > 1 {
+                prod!(cte_chain);
+            }
             if self.peek().is_some_and(|t| t.is_punct('(')) {
                 // Parse the CTE body as a subquery for structure.
                 self.pos += 1;
                 let mut inner = QueryShape::default();
                 self.parse_statement(&mut inner, depth + 1);
-                merge_subquery(shape, inner, depth + 1);
+                merge_subquery(shape, inner);
                 // Consume up to the matching close paren.
                 let mut d = 1usize;
                 while let Some(t) = self.bump() {
@@ -320,15 +559,73 @@ impl<'a> Parser<'a> {
     }
 
     fn parse_select_body(&mut self, shape: &mut QueryShape, depth: usize) {
+        self.parse_select_core(shape, depth);
+        self.parse_set_ops(shape, depth);
+    }
+
+    /// Chain of UNION/INTERSECT/EXCEPT operands after a select body. Bare
+    /// operands are parsed iteratively so arbitrarily long chains never
+    /// grow the stack; parenthesized operands recurse with a depth bump.
+    fn parse_set_ops(&mut self, shape: &mut QueryShape, depth: usize) {
+        loop {
+            let Some(t) = self.peek() else { return };
+            if t.is_kw("union") {
+                prod!(setop_union);
+            } else if t.is_kw("intersect") {
+                prod!(setop_intersect);
+            } else if t.is_kw("except") {
+                prod!(setop_except);
+            } else {
+                return;
+            }
+            self.pos += 1;
+            self.eat_kw("all");
+            self.eat_kw("distinct");
+            shape.set_ops += 1;
+            if self.peek().is_some_and(|t| t.is_punct('(')) {
+                // Parenthesized operand — may nest further set ops.
+                prod!(setop_paren_operand);
+                self.pos += 1;
+                let mut rhs = QueryShape::default();
+                self.parse_statement(&mut rhs, depth + 1);
+                merge_sibling(shape, rhs);
+                let mut d = 1usize;
+                while let Some(t) = self.bump() {
+                    if t.is_punct('(') {
+                        d += 1;
+                    } else if t.is_punct(')') {
+                        d -= 1;
+                        if d == 0 {
+                            break;
+                        }
+                    }
+                }
+            } else if self.peek().is_some_and(|t| t.is_kw("select")) {
+                let mut rhs = QueryShape {
+                    kind: Some(StatementKind::Select),
+                    ..Default::default()
+                };
+                self.parse_select_core(&mut rhs, depth);
+                merge_sibling(shape, rhs);
+            } else {
+                return;
+            }
+        }
+    }
+
+    /// One SELECT block, excluding any trailing set operations.
+    fn parse_select_core(&mut self, shape: &mut QueryShape, depth: usize) {
         if !self.eat_kw("select") {
             return;
         }
         if self.eat_kw("distinct") {
+            prod!(select_distinct);
             shape.distinct = true;
         } else {
             self.eat_kw("all");
         }
         if self.eat_kw("top") {
+            prod!(select_top);
             if let Some(t) = self.peek() {
                 if t.kind == TokenKind::Number {
                     shape.limit = t.text.parse().ok();
@@ -338,29 +635,56 @@ impl<'a> Parser<'a> {
         }
         self.parse_select_list(shape, depth);
         if self.eat_kw("from") {
+            prod!(from_clause);
             self.parse_from(shape, depth);
         }
         if self.eat_kw("where") {
+            prod!(where_clause);
             let mut ctx = CondCtx::default();
             self.parse_or(shape, &mut ctx, depth);
             shape.predicates.extend(ctx.predicates);
         }
         if self.eat_kw("group") {
+            prod!(group_by);
             self.eat_kw("by");
             self.parse_column_list(&mut shape.group_by);
         }
         if self.eat_kw("having") {
+            prod!(having_clause);
             let mut ctx = CondCtx::default();
             self.parse_or(shape, &mut ctx, depth);
             shape.having.extend(ctx.predicates);
         }
+        if self.eat_kw("qualify") {
+            // Snowflake/BigQuery window filter. The condition usually
+            // involves a window call; when nothing sargable survives we
+            // still record a sentinel so the clause is visible in the
+            // shape (and its count in the feature vector).
+            prod!(qualify_clause);
+            let before = self.pos;
+            let mut ctx = CondCtx::default();
+            self.parse_or(shape, &mut ctx, depth);
+            if ctx.predicates.is_empty() && self.pos > before {
+                ctx.predicates.push(Predicate {
+                    lhs: Lhs::Column(ColumnRef::new(None, "<window>")),
+                    op: CmpOp::Eq,
+                    rhs: Rhs::None,
+                    rhs2: None,
+                    negated: false,
+                    in_or: false,
+                });
+            }
+            shape.qualify.extend(ctx.predicates);
+        }
         if self.eat_kw("order") {
+            prod!(order_by);
             self.eat_kw("by");
             self.parse_column_list(&mut shape.order_by);
             // ASC/DESC/NULLS handled inside parse_column_list skips.
         }
         loop {
             if self.eat_kw("limit") {
+                prod!(limit_clause);
                 if let Some(t) = self.peek() {
                     if t.kind == TokenKind::Number {
                         shape.limit = t.text.parse().ok();
@@ -368,12 +692,14 @@ impl<'a> Parser<'a> {
                     }
                 }
             } else if self.eat_kw("offset") {
+                prod!(offset_clause);
                 if self.peek().is_some_and(|t| t.kind == TokenKind::Number) {
                     self.pos += 1;
                 }
                 self.eat_kw("rows");
                 self.eat_kw("row");
             } else if self.eat_kw("fetch") {
+                prod!(fetch_clause);
                 // FETCH FIRST n ROWS ONLY
                 self.eat_kw("first");
                 self.eat_kw("next");
@@ -396,29 +722,6 @@ impl<'a> Parser<'a> {
                 break;
             }
         }
-        // Set operations chain further SELECTs.
-        while self
-            .peek()
-            .is_some_and(|t| t.is_kw("union") || t.is_kw("intersect") || t.is_kw("except"))
-        {
-            self.pos += 1;
-            self.eat_kw("all");
-            self.eat_kw("distinct");
-            shape.set_ops += 1;
-            while self.eat_punct('(') {}
-            if self.peek().is_some_and(|t| t.is_kw("select")) {
-                let mut rhs = QueryShape {
-                    kind: Some(StatementKind::Select),
-                    ..Default::default()
-                };
-                self.parse_select_body(&mut rhs, depth);
-                let rhs_set_ops = rhs.set_ops;
-                merge_subquery(shape, rhs, depth); // same depth: siblings
-                shape.set_ops += rhs_set_ops;
-            } else {
-                break;
-            }
-        }
     }
 
     /// Count select-list items and record aggregate calls.
@@ -431,6 +734,25 @@ impl<'a> Parser<'a> {
                 if t.is_kw("from") || t.is_punct(';') {
                     break;
                 }
+                if t.is_kw("union") || t.is_kw("intersect") {
+                    // FROM-less select followed by a set operation.
+                    break;
+                }
+                if t.is_kw("except") {
+                    if self.peek_at(1).is_some_and(|n| n.is_punct('('))
+                        && !self
+                            .peek_at(2)
+                            .is_some_and(|n| n.is_kw("select") || n.is_kw("with"))
+                    {
+                        // BigQuery `SELECT * EXCEPT(cols)` projection
+                        // modifier — drop the excluded column list.
+                        prod!(select_except_modifier);
+                        self.pos += 1;
+                        self.skip_balanced();
+                        continue;
+                    }
+                    break;
+                }
                 if t.is_punct(',') {
                     items += 1;
                     self.pos += 1;
@@ -441,10 +763,11 @@ impl<'a> Parser<'a> {
             if t.is_punct('(') {
                 // Could be a scalar subquery in the select list.
                 if self.peek_at(1).is_some_and(|n| n.is_kw("select")) {
+                    prod!(select_scalar_subquery);
                     self.pos += 1;
                     let mut inner = QueryShape::default();
                     self.parse_statement(&mut inner, depth + 1);
-                    merge_subquery(shape, inner, depth + 1);
+                    merge_subquery(shape, inner);
                     let mut d = 1usize;
                     while let Some(t) = self.bump() {
                         if t.is_punct('(') {
@@ -472,6 +795,7 @@ impl<'a> Parser<'a> {
                 && is_agg(&t.text)
                 && self.peek_at(1).is_some_and(|n| n.is_punct('('))
             {
+                prod!(select_agg);
                 let func = t.text.to_ascii_lowercase();
                 self.pos += 2; // func (
                 let distinct = self.eat_kw("distinct");
@@ -546,97 +870,55 @@ impl<'a> Parser<'a> {
 
     fn parse_from(&mut self, shape: &mut QueryShape, depth: usize) {
         loop {
-            // One table factor.
-            if self.peek().is_some_and(|t| t.is_punct('(')) {
-                if self
-                    .peek_at(1)
-                    .is_some_and(|n| n.is_kw("select") || n.is_kw("with"))
-                {
-                    // Derived table.
-                    self.pos += 1;
-                    let mut inner = QueryShape::default();
-                    self.parse_statement(&mut inner, depth + 1);
-                    merge_subquery(shape, inner, depth + 1);
-                    let mut d = 1usize;
-                    while let Some(t) = self.bump() {
-                        if t.is_punct('(') {
-                            d += 1;
-                        } else if t.is_punct(')') {
-                            d -= 1;
-                            if d == 0 {
-                                break;
-                            }
-                        }
-                    }
-                    // Optional alias.
-                    self.eat_kw("as");
-                    if self.peek().is_some_and(|t| t.kind == TokenKind::Ident) {
-                        self.pos += 1;
-                    }
-                } else {
-                    self.skip_balanced();
-                }
-            } else if let Some(tref) = self.parse_table_ref() {
-                shape.tables.push(tref);
-            } else {
-                break;
-            }
+            self.parse_table_factor(shape, depth);
 
             // Continuations: comma, or JOIN chains.
             if self.eat_punct(',') {
+                prod!(from_comma);
                 continue;
             }
             let mut joined = false;
             loop {
                 let save = self.pos;
-                self.eat_kw("natural");
+                let natural = self.eat_kw("natural");
                 self.eat_kw("inner");
                 let outerish = self.eat_kw("left") | self.eat_kw("right") | self.eat_kw("full");
                 if outerish {
                     self.eat_kw("outer");
                 }
                 let cross = self.eat_kw("cross");
-                if !self.eat_kw("join") {
+                // MySQL STRAIGHT_JOIN is a join keyword of its own.
+                let straight = self.peek().is_some_and(|t| t.is_kw("straight_join"));
+                if straight {
+                    self.pos += 1;
+                } else if !self.eat_kw("join") {
                     self.pos = save;
                     break;
                 }
                 joined = true;
-                let _ = cross;
-                // Join target.
-                if self.peek().is_some_and(|t| t.is_punct('(')) {
-                    if self.peek_at(1).is_some_and(|n| n.is_kw("select")) {
-                        self.pos += 1;
-                        let mut inner = QueryShape::default();
-                        self.parse_statement(&mut inner, depth + 1);
-                        merge_subquery(shape, inner, depth + 1);
-                        let mut d = 1usize;
-                        while let Some(t) = self.bump() {
-                            if t.is_punct('(') {
-                                d += 1;
-                            } else if t.is_punct(')') {
-                                d -= 1;
-                                if d == 0 {
-                                    break;
-                                }
-                            }
-                        }
-                        self.eat_kw("as");
-                        if self.peek().is_some_and(|t| t.kind == TokenKind::Ident) {
-                            self.pos += 1;
-                        }
-                    } else {
-                        self.skip_balanced();
-                    }
-                } else if let Some(tref) = self.parse_table_ref() {
-                    shape.tables.push(tref);
+                if straight {
+                    prod!(join_straight);
+                } else if natural {
+                    prod!(join_natural);
+                } else if cross {
+                    prod!(join_cross);
+                } else if outerish {
+                    prod!(join_outer);
+                } else {
+                    prod!(join_inner);
                 }
+                // Join target: any table factor, including derived tables
+                // and parenthesized join groups.
+                self.parse_table_factor(shape, depth);
                 if self.eat_kw("on") {
+                    prod!(join_on);
                     let mut ctx = CondCtx::default();
                     self.parse_or(shape, &mut ctx, depth);
                     // ON-clause column=column conditions became join edges
                     // already; residual filters belong to predicates.
                     shape.predicates.extend(ctx.predicates);
                 } else if self.eat_kw("using") && self.peek().is_some_and(|t| t.is_punct('(')) {
+                    prod!(join_using);
                     self.pos += 1;
                     while let Some(t) = self.peek() {
                         if t.is_punct(')') {
@@ -655,6 +937,7 @@ impl<'a> Parser<'a> {
                 }
             }
             if joined && self.eat_punct(',') {
+                prod!(from_comma);
                 continue;
             }
             if !joined {
@@ -662,6 +945,56 @@ impl<'a> Parser<'a> {
             }
             if self.at_clause_boundary() {
                 break;
+            }
+        }
+    }
+
+    /// One relation in a FROM clause: a base table, a derived table
+    /// (`(SELECT …) alias`), or a parenthesized join group
+    /// (`(a JOIN b ON …) alias`).
+    fn parse_table_factor(&mut self, shape: &mut QueryShape, depth: usize) {
+        if self.peek().is_some_and(|t| t.is_punct('(')) {
+            if self
+                .peek_at(1)
+                .is_some_and(|n| n.is_kw("select") || n.is_kw("with"))
+            {
+                prod!(from_derived);
+                shape.derived_tables += 1;
+                self.parse_subquery_parens(shape, depth);
+                self.eat_table_alias();
+            } else if depth < MAX_PARSE_DEPTH
+                && self.peek_at(1).is_some_and(|n| {
+                    matches!(n.kind, TokenKind::Ident | TokenKind::QuotedIdent) || n.is_punct('(')
+                })
+            {
+                // Nested join group.
+                prod!(from_nested_join);
+                self.pos += 1;
+                self.parse_from(shape, depth + 1);
+                self.eat_punct(')');
+                self.eat_table_alias();
+            } else {
+                // VALUES lists, expressions, or nesting past the depth
+                // cap: skip as an opaque balanced group.
+                self.skip_balanced();
+                self.eat_table_alias();
+            }
+        } else if let Some(tref) = self.parse_table_ref() {
+            prod!(from_table);
+            shape.tables.push(tref);
+        }
+    }
+
+    /// `[AS] alias [(col, …)]` after a derived table or join group.
+    fn eat_table_alias(&mut self) {
+        self.eat_kw("as");
+        if self
+            .peek()
+            .is_some_and(|t| matches!(t.kind, TokenKind::Ident | TokenKind::QuotedIdent))
+        {
+            self.pos += 1;
+            if self.peek().is_some_and(|t| t.is_punct('(')) {
+                self.skip_balanced();
             }
         }
     }
@@ -676,6 +1009,7 @@ impl<'a> Parser<'a> {
                 .peek()
                 .is_some_and(|t| t.is_kw("rollup") || t.is_kw("cube"))
             {
+                prod!(group_rollup);
                 self.pos += 1;
                 if self.peek().is_some_and(|t| t.is_punct('(')) {
                     self.pos += 1; // descend into the list
@@ -780,6 +1114,7 @@ impl<'a> Parser<'a> {
             self.parse_and(shape, ctx, depth);
         }
         if branches > 1 {
+            prod!(cond_or);
             for p in &mut ctx.predicates[start_preds..] {
                 p.in_or = true;
             }
@@ -797,6 +1132,7 @@ impl<'a> Parser<'a> {
         let negated = self.eat_kw("not");
         // EXISTS (subquery)
         if self.eat_kw("exists") {
+            prod!(cond_exists);
             if self.peek().is_some_and(|t| t.is_punct('(')) {
                 self.parse_subquery_parens(shape, depth);
             }
@@ -816,8 +1152,16 @@ impl<'a> Parser<'a> {
                 // Scalar subquery as a bare condition LHS — rare; record it.
                 self.parse_subquery_parens(shape, depth);
             } else {
+                if depth >= MAX_PARSE_DEPTH {
+                    // Bounded recursion: beyond the cap the group is
+                    // skipped opaquely instead of descending.
+                    prod!(depth_limit);
+                    self.skip_balanced();
+                    return;
+                }
+                prod!(cond_group);
                 self.pos += 1;
-                self.parse_or(shape, ctx, depth);
+                self.parse_or(shape, ctx, depth + 1);
                 self.eat_punct(')');
                 if negated {
                     // NOT over a group: conservatively mark members non-sargable.
@@ -840,6 +1184,7 @@ impl<'a> Parser<'a> {
 
         // IS [NOT] NULL
         if self.eat_kw("is") {
+            prod!(cond_is_null);
             let is_not = self.eat_kw("not");
             self.eat_kw("null");
             if let Term::Col(c) = lhs {
@@ -864,6 +1209,7 @@ impl<'a> Parser<'a> {
 
         // BETWEEN a AND b
         if self.eat_kw("between") {
+            prod!(cond_between);
             let lo = self.parse_value_expr(shape, depth);
             self.eat_kw("and");
             let hi = self.parse_value_expr(shape, depth);
@@ -884,9 +1230,11 @@ impl<'a> Parser<'a> {
         if self.eat_kw("in") {
             let rhs = if self.peek().is_some_and(|t| t.is_punct('(')) {
                 if self.peek_at(1).is_some_and(|n| n.is_kw("select")) {
+                    prod!(cond_in_subquery);
                     self.parse_subquery_parens(shape, depth);
                     Rhs::Subquery
                 } else {
+                    prod!(cond_in_list);
                     // Count commas at depth 1.
                     let mut count = 1usize;
                     let mut d = 0usize;
@@ -924,8 +1272,9 @@ impl<'a> Parser<'a> {
             return;
         }
 
-        // LIKE / ILIKE
+        // LIKE / ILIKE (Snowflake's case-insensitive form).
         if self.eat_kw("like") || self.eat_kw("ilike") {
+            prod!(cond_like);
             let rhs = self.parse_value_expr(shape, depth).unwrap_or(Rhs::None);
             // Optional ESCAPE 'c'.
             if self.eat_kw("escape") {
@@ -971,11 +1320,13 @@ impl<'a> Parser<'a> {
                 // a col=col within one table is recorded as a join edge too —
                 // the optimizer resolves qualifiers later and discards
                 // self-edges.
+                prod!(cond_cmp_join_edge);
                 shape.joins.push(JoinEdge { left: l, right: r });
             }
             (lhs_t, Some(Term::Col(r))) => {
                 // value-op-column (e.g. 5 < x): flip where possible.
                 if let Term::Lit(v) = lhs_t {
+                    prod!(cond_cmp_flipped);
                     ctx.predicates.push(Predicate {
                         lhs: Lhs::Column(r),
                         op: flip(op),
@@ -998,6 +1349,7 @@ impl<'a> Parser<'a> {
             }
             (lhs_t, Some(Term::Lit(v))) => {
                 if let Some(l) = term_to_lhs(&lhs_t) {
+                    prod!(cond_cmp_literal);
                     ctx.predicates.push(Predicate {
                         lhs: l,
                         op,
@@ -1010,6 +1362,7 @@ impl<'a> Parser<'a> {
             }
             (lhs_t, Some(Term::Subquery)) => {
                 if let Some(l) = term_to_lhs(&lhs_t) {
+                    prod!(cond_cmp_subquery);
                     ctx.predicates.push(Predicate {
                         lhs: l,
                         op,
@@ -1047,6 +1400,7 @@ impl<'a> Parser<'a> {
 
     /// Skip an unparseable condition up to AND/OR or a clause boundary.
     fn recover_condition(&mut self) {
+        prod!(cond_recover);
         let mut depth = 0usize;
         while let Some(t) = self.peek() {
             if depth == 0 && (t.is_kw("and") || t.is_kw("or") || self.at_clause_boundary()) {
@@ -1069,7 +1423,7 @@ impl<'a> Parser<'a> {
         self.pos += 1;
         let mut inner = QueryShape::default();
         self.parse_statement(&mut inner, depth + 1);
-        merge_subquery(shape, inner, depth + 1);
+        merge_subquery(shape, inner);
         let mut d = 1usize;
         while let Some(t) = self.bump() {
             if t.is_punct('(') {
@@ -1089,10 +1443,12 @@ impl<'a> Parser<'a> {
         // Subquery.
         if t.is_punct('(') {
             if self.peek_at(1).is_some_and(|n| n.is_kw("select")) {
+                prod!(term_subquery);
                 self.parse_subquery_parens(shape, depth);
                 return Some(Term::Subquery);
             }
             // Parenthesized expression — treat as opaque.
+            prod!(term_paren_expr);
             self.skip_balanced();
             return Some(Term::Expr);
         }
@@ -1101,6 +1457,7 @@ impl<'a> Parser<'a> {
             && is_agg(&t.text)
             && self.peek_at(1).is_some_and(|n| n.is_punct('('))
         {
+            prod!(term_agg);
             let func = t.text.to_ascii_lowercase();
             self.pos += 2;
             self.eat_kw("distinct");
@@ -1118,6 +1475,7 @@ impl<'a> Parser<'a> {
                 }
                 self.pos += 1;
             }
+            self.skip_over_window();
             return Some(Term::Agg { func, column });
         }
         // `date '1995-01-01'` / `timestamp '...'` style typed literal, plus
@@ -1128,6 +1486,7 @@ impl<'a> Parser<'a> {
                 .peek_at(1)
                 .is_some_and(|n| n.kind == TokenKind::StringLit)
         {
+            prod!(term_date_literal);
             self.pos += 1;
             let lit = self.bump().expect("peeked");
             let inner = strip_str(&lit.text);
@@ -1138,6 +1497,7 @@ impl<'a> Parser<'a> {
         }
         // interval literal itself.
         if t.kind == TokenKind::Keyword && t.is_kw("interval") {
+            prod!(term_interval);
             self.pos += 1;
             if let Some(n) = self.peek() {
                 if n.kind == TokenKind::StringLit || n.kind == TokenKind::Number {
@@ -1154,6 +1514,7 @@ impl<'a> Parser<'a> {
         }
         match t.kind {
             TokenKind::Number => {
+                prod!(term_number);
                 let v: f64 = t.text.parse().unwrap_or(0.0);
                 self.pos += 1;
                 // Tolerate simple literal arithmetic (e.g. 0.06 - 0.01).
@@ -1164,6 +1525,7 @@ impl<'a> Parser<'a> {
                 // negative literal
                 if let Some(n) = self.peek_at(1) {
                     if n.kind == TokenKind::Number {
+                        prod!(term_neg_number);
                         let v: f64 = n.text.parse().unwrap_or(0.0);
                         self.pos += 2;
                         return Some(Term::Lit(Rhs::Number(-v)));
@@ -1173,34 +1535,43 @@ impl<'a> Parser<'a> {
                 Some(Term::Expr)
             }
             TokenKind::StringLit => {
+                prod!(term_string);
                 let s = strip_str(&t.text);
                 self.pos += 1;
                 Some(Term::Lit(Rhs::Str(s)))
             }
             TokenKind::Param => {
+                prod!(term_param);
                 self.pos += 1;
                 Some(Term::Lit(Rhs::Param))
             }
             TokenKind::Ident | TokenKind::QuotedIdent => {
-                // Function call that is not an aggregate → opaque expr.
+                // Function call that is not an aggregate → opaque expr
+                // (window calls also swallow their OVER clause).
                 if self.peek_at(1).is_some_and(|n| n.is_punct('(')) {
+                    prod!(term_func_call);
                     self.pos += 1;
                     self.skip_balanced();
+                    self.skip_over_window();
                     return Some(Term::Expr);
                 }
                 let col = self.try_column_ref()?;
+                prod!(term_column);
                 Some(Term::Col(col))
             }
             TokenKind::Keyword if t.is_kw("null") => {
+                prod!(term_null);
                 self.pos += 1;
                 Some(Term::Lit(Rhs::None))
             }
             TokenKind::Keyword if t.is_kw("true") || t.is_kw("false") => {
+                prod!(term_bool);
                 let v = if t.is_kw("true") { 1.0 } else { 0.0 };
                 self.pos += 1;
                 Some(Term::Lit(Rhs::Number(v)))
             }
             TokenKind::Keyword if t.is_kw("case") => {
+                prod!(term_case);
                 // Skip to END.
                 while let Some(t) = self.bump() {
                     if t.is_kw("end") {
@@ -1210,6 +1581,7 @@ impl<'a> Parser<'a> {
                 Some(Term::Expr)
             }
             TokenKind::Keyword if t.is_kw("cast") || t.is_kw("extract") => {
+                prod!(term_cast);
                 self.pos += 1;
                 if self.peek().is_some_and(|t| t.is_punct('(')) {
                     self.skip_balanced();
@@ -1217,6 +1589,20 @@ impl<'a> Parser<'a> {
                 Some(Term::Expr)
             }
             _ => None,
+        }
+    }
+
+    /// After a call's argument list: swallow `OVER ( … )` so window
+    /// functions (QUALIFY conditions, ranked projections) read as one
+    /// opaque term instead of derailing the condition parser.
+    fn skip_over_window(&mut self) {
+        if self
+            .peek()
+            .is_some_and(|t| t.text.eq_ignore_ascii_case("over"))
+            && self.peek_at(1).is_some_and(|n| n.is_punct('('))
+        {
+            self.pos += 1;
+            self.skip_balanced();
         }
     }
 
@@ -1230,6 +1616,7 @@ impl<'a> Parser<'a> {
         if !self.peek_at(1).is_some_and(|t| t.is_kw("interval")) {
             return base;
         }
+        prod!(term_interval_arith);
         self.pos += 2; // sign, interval
         let mut days = 0.0;
         if let Some(n) = self.peek() {
@@ -1267,6 +1654,7 @@ impl<'a> Parser<'a> {
             }
             let v: f64 = n.text.parse().unwrap_or(0.0);
             self.pos += 2;
+            prod!(term_numeric_fold);
             acc = match op.as_str() {
                 "+" => acc + v,
                 "-" => acc - v,
@@ -1345,14 +1733,35 @@ struct CondCtx {
 }
 
 /// Fold a subquery's discovered structure into the parent shape.
-fn merge_subquery(parent: &mut QueryShape, child: QueryShape, _child_depth: usize) {
+fn merge_subquery(parent: &mut QueryShape, child: QueryShape) {
     // A direct subquery adds one level plus whatever the child nested.
     parent.subquery_depth = parent.subquery_depth.max(1 + child.subquery_depth);
     parent.tables.extend(child.tables);
     parent.joins.extend(child.joins);
     parent.predicates.extend(child.predicates);
     parent.having.extend(child.having);
+    parent.qualify.extend(child.qualify);
     parent.aggregates.extend(child.aggregates);
+    parent.cte_names.extend(child.cte_names);
+    parent.derived_tables += child.derived_tables;
+}
+
+/// Fold a set-operation operand into the left operand's shape. Unlike a
+/// subquery, a sibling sits at the *same* nesting level, so subquery
+/// depth takes the max without adding one.
+fn merge_sibling(parent: &mut QueryShape, child: QueryShape) {
+    parent.subquery_depth = parent.subquery_depth.max(child.subquery_depth);
+    parent.set_ops += child.set_ops;
+    parent.tables.extend(child.tables);
+    parent.joins.extend(child.joins);
+    parent.predicates.extend(child.predicates);
+    parent.having.extend(child.having);
+    parent.qualify.extend(child.qualify);
+    parent.aggregates.extend(child.aggregates);
+    parent.cte_names.extend(child.cte_names);
+    parent.derived_tables += child.derived_tables;
+    parent.projections = parent.projections.max(child.projections);
+    parent.distinct |= child.distinct;
 }
 
 #[cfg(test)]
@@ -1361,6 +1770,187 @@ mod tests {
 
     fn parse(sql: &str) -> QueryShape {
         parse_query(sql, Dialect::Generic)
+    }
+
+    // ----- regression tests: recursion/termination findings -------------
+
+    /// Deep paren nesting in WHERE used to recurse once per paren with no
+    /// depth bump — stack overflow on adversarial input.
+    #[test]
+    fn deep_condition_parens_bounded() {
+        let sql = format!(
+            "SELECT * FROM t WHERE {}a = 1{}",
+            "(".repeat(20_000),
+            ")".repeat(20_000)
+        );
+        let s = parse(&sql);
+        assert_eq!(s.kind, Some(StatementKind::Select));
+    }
+
+    /// Deeply nested derived tables / subqueries must hit the depth cap,
+    /// not the stack.
+    #[test]
+    fn deep_subquery_nesting_bounded() {
+        let mut sql = String::from("SELECT 1");
+        for _ in 0..5_000 {
+            sql = format!("SELECT * FROM ({sql}) x");
+        }
+        let s = parse(&sql);
+        assert_eq!(s.kind, Some(StatementKind::Select));
+        assert!(s.subquery_depth <= MAX_PARSE_DEPTH + 1);
+    }
+
+    /// Set-op chains used to recurse once per operand; 50k operands must
+    /// now parse iteratively.
+    #[test]
+    fn long_union_chain_is_iterative() {
+        let mut sql = String::from("SELECT a FROM t0");
+        for i in 1..50_000 {
+            sql.push_str(&format!(" UNION ALL SELECT a FROM t{i}"));
+        }
+        let s = parse(&sql);
+        assert_eq!(s.set_ops, 49_999);
+        assert_eq!(s.tables.len(), 50_000);
+    }
+
+    /// UNION operands are siblings, not subqueries: depth must not grow.
+    #[test]
+    fn set_op_does_not_bump_subquery_depth() {
+        let s = parse("SELECT a FROM t UNION SELECT b FROM u");
+        assert_eq!(s.set_ops, 1);
+        assert_eq!(s.subquery_depth, 0);
+        assert_eq!(s.tables.len(), 2);
+    }
+
+    /// A parenthesized left operand used to swallow the whole set
+    /// operation: `(SELECT ..) UNION SELECT ..` lost its UNION.
+    #[test]
+    fn wrapped_select_keeps_trailing_set_op() {
+        let s = parse("(SELECT a FROM t) UNION SELECT b FROM u");
+        assert_eq!(s.kind, Some(StatementKind::Select));
+        assert_eq!(s.set_ops, 1);
+        assert_eq!(s.tables.len(), 2);
+        let nested =
+            parse("((SELECT a FROM t) UNION ALL (SELECT b FROM u)) EXCEPT SELECT c FROM v");
+        assert_eq!(nested.set_ops, 2);
+        assert_eq!(nested.tables.len(), 3);
+    }
+
+    /// `skip_balanced` used to underflow its depth counter when invoked
+    /// off a non-paren token; now it is a no-op there.
+    #[test]
+    fn skip_balanced_never_underflows() {
+        for sql in [") ) )", "SELECT * FROM t WHERE )))", "SELECT (a))))"] {
+            let _ = parse(sql); // must not panic in debug builds
+        }
+    }
+
+    /// A keyword flood like `WITH WITH WITH …` must not recurse
+    /// unboundedly through the statement dispatcher.
+    #[test]
+    fn keyword_flood_bounded() {
+        let s = parse(&"WITH ".repeat(100_000));
+        assert!(s.kind.is_some() || s.token_count > 0);
+    }
+
+    // ----- new grammar surface ------------------------------------------
+
+    #[test]
+    fn cte_names_captured_and_excluded_from_lineage() {
+        let s = parse(
+            "WITH stage1 AS (SELECT * FROM base1), stage2 AS (SELECT * FROM stage1 JOIN base2 ON stage1.k = base2.k) SELECT * FROM stage2",
+        );
+        assert_eq!(s.cte_names, vec!["stage1", "stage2"]);
+        let lin = s.lineage();
+        assert_eq!(lin.reads, vec!["base1", "base2"]);
+        assert_eq!(lin.ctes, vec!["stage1", "stage2"]);
+        assert!(lin.writes.is_empty() && lin.views.is_empty());
+    }
+
+    #[test]
+    fn nested_cte_names_merge_into_parent() {
+        let s = parse(
+            "WITH outer1 AS (WITH inner1 AS (SELECT * FROM t) SELECT * FROM inner1) SELECT * FROM outer1",
+        );
+        let lin = s.lineage();
+        assert_eq!(lin.reads, vec!["t"]);
+        assert_eq!(lin.ctes, vec!["inner1", "outer1"]);
+    }
+
+    #[test]
+    fn qualify_clause_recorded() {
+        let s = parse(
+            "SELECT a, row_number() OVER (PARTITION BY a ORDER BY b DESC) rn FROM t QUALIFY rn = 1",
+        );
+        assert_eq!(s.qualify.len(), 1);
+        // Window-call conditions leave a sentinel rather than nothing.
+        let w = parse("SELECT a FROM t QUALIFY row_number() OVER (PARTITION BY a ORDER BY b) <= 3");
+        assert_eq!(w.qualify.len(), 1);
+        assert_eq!(w.tables.len(), 1);
+    }
+
+    #[test]
+    fn bigquery_except_modifier_is_not_a_set_op() {
+        let s = parse_query(
+            "SELECT * EXCEPT(secret_col) FROM ds.events",
+            Dialect::BigQuery,
+        );
+        assert_eq!(s.set_ops, 0);
+        assert_eq!(s.tables.len(), 1);
+        assert_eq!(s.tables[0].name, "events");
+        // ... while a real EXCEPT with a paren operand still counts.
+        let e = parse("SELECT a FROM t EXCEPT (SELECT a FROM u)");
+        assert_eq!(e.set_ops, 1);
+        assert_eq!(e.tables.len(), 2);
+    }
+
+    #[test]
+    fn straight_join_parses_as_join() {
+        let s = parse_query(
+            "SELECT * FROM a STRAIGHT_JOIN b ON a.k = b.k",
+            Dialect::MySql,
+        );
+        assert_eq!(s.tables.len(), 2);
+        assert_eq!(s.joins.len(), 1);
+    }
+
+    #[test]
+    fn nested_join_group_in_from() {
+        let s = parse("SELECT * FROM (a JOIN b ON a.k = b.k) g JOIN c ON a.j = c.j");
+        assert_eq!(s.tables.len(), 3);
+        assert_eq!(s.joins.len(), 2);
+    }
+
+    #[test]
+    fn derived_tables_counted() {
+        let s = parse("SELECT * FROM (SELECT a FROM t) x JOIN (SELECT b FROM u) y ON x.a = y.b");
+        assert_eq!(s.derived_tables, 2);
+        assert_eq!(s.tables.len(), 2);
+        assert_eq!(s.subquery_depth, 1);
+    }
+
+    #[test]
+    fn write_targets_feed_lineage() {
+        let ins = parse("INSERT INTO sink SELECT * FROM src1 JOIN src2 ON src1.k = src2.k");
+        let lin = ins.lineage();
+        assert_eq!(lin.writes, vec!["sink"]);
+        assert_eq!(lin.reads, vec!["src1", "src2"]);
+
+        let view = parse("CREATE VIEW recent AS SELECT * FROM events WHERE ts > 0");
+        let vlin = view.lineage();
+        assert_eq!(vlin.views, vec!["recent"]);
+        assert_eq!(vlin.reads, vec!["events"]);
+
+        let ctas = parse("CREATE TABLE copy1 AS WITH c AS (SELECT * FROM base) SELECT * FROM c");
+        let clin = ctas.lineage();
+        assert_eq!(clin.writes, vec!["copy1"]);
+        assert_eq!(clin.reads, vec!["base"]);
+    }
+
+    #[test]
+    fn tsql_top_sets_limit() {
+        let s = parse_query("SELECT TOP 10 * FROM t ORDER BY a", Dialect::TSql);
+        assert_eq!(s.limit, Some(10));
     }
 
     #[test]

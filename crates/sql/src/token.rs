@@ -28,6 +28,7 @@ pub enum TokenKind {
 /// One lexed token: its class and the exact source text.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Token {
+    /// Token class assigned by the lexer.
     pub kind: TokenKind,
     /// Raw text as it appeared in the query (quotes included for quoted
     /// identifiers and string literals).
@@ -35,6 +36,7 @@ pub struct Token {
 }
 
 impl Token {
+    /// Construct a token from its class and source text.
     pub fn new(kind: TokenKind, text: impl Into<String>) -> Self {
         Token {
             kind,

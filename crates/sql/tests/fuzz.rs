@@ -1,0 +1,250 @@
+//! Coverage-guided fuzz plane for the parser.
+//!
+//! Two generators feed the parser:
+//!
+//! 1. A *grammar-directed* builder that consumes a random decision-byte
+//!    stream and emits syntactically plausible SQL (CTEs, joins, derived
+//!    tables, set operations, subquery predicates, window QUALIFY). Every
+//!    emitted query must parse to a `Select` shape whose base-table reads
+//!    stay inside the generator's table pool — CTE names must never leak
+//!    into lineage.
+//! 2. Raw token-soup and byte-soup streams that exercise recovery paths.
+//!
+//! All inputs are parsed under all six dialects and must uphold parser
+//! totality: no panics, `subquery_depth` bounded by [`MAX_PARSE_DEPTH`],
+//! deterministic output, and (for dialect-neutral text) identical
+//! template fingerprints in every dialect.
+
+use proptest::prelude::*;
+use querc_sql::parser::MAX_PARSE_DEPTH;
+use querc_sql::{parse_query, template_fingerprint, Dialect, StatementKind};
+
+const TABLES: [&str; 6] = ["t0", "t1", "t2", "t3", "t4", "t5"];
+const COLS: [&str; 6] = ["a", "b", "k", "v", "ts", "region"];
+/// Token soup pool: SQL fragments in hostile orders.
+const SOUP: [&str; 24] = [
+    "SELECT", "FROM", "WHERE", "JOIN", "ON", "GROUP", "BY", "UNION", "ALL", "WITH", "AS", "(", ")",
+    ",", "=", "<", "'x'", "42", "t0", "a", "*", "QUALIFY", "EXCEPT", "TOP",
+];
+
+/// Deterministic decision stream: yields the next byte, 0 once exhausted.
+struct Decisions<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decisions<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Decisions { bytes, pos: 0 }
+    }
+    fn next(&mut self) -> usize {
+        let v = self.bytes.get(self.pos).copied().unwrap_or(0);
+        self.pos += 1;
+        v as usize
+    }
+    fn table(&mut self) -> &'static str {
+        TABLES[self.next() % TABLES.len()]
+    }
+    fn col(&mut self) -> &'static str {
+        COLS[self.next() % COLS.len()]
+    }
+}
+
+fn gen_predicate(g: &mut Decisions, depth: usize) -> String {
+    match g.next() % 7 {
+        0 => format!("{} = {}", g.col(), g.next()),
+        1 => format!("{} > {}", g.col(), g.next() % 100),
+        2 => format!("{} = 'v{}'", g.col(), g.next() % 10),
+        3 => format!(
+            "{} BETWEEN {} AND {}",
+            g.col(),
+            g.next() % 50,
+            50 + g.next() % 50
+        ),
+        4 => format!("{} IN ({}, {})", g.col(), g.next() % 9, g.next() % 9),
+        5 if depth < 4 => format!("EXISTS ({})", gen_select(g, depth + 1)),
+        _ => format!("{} IS NOT NULL", g.col()),
+    }
+}
+
+fn gen_from_item(g: &mut Decisions, depth: usize, cte: Option<&str>) -> String {
+    match g.next() % 5 {
+        0 | 1 => g.table().to_string(),
+        2 => format!("{} x{}", g.table(), g.next() % 4),
+        3 if depth < 4 => format!("({}) d{}", gen_select(g, depth + 1), g.next() % 4),
+        _ => cte.unwrap_or_else(|| g.table()).to_string(),
+    }
+}
+
+fn gen_select(g: &mut Decisions, depth: usize) -> String {
+    gen_select_with(g, depth, None)
+}
+
+fn gen_select_with(g: &mut Decisions, depth: usize, cte: Option<&str>) -> String {
+    let mut s = String::from("SELECT ");
+    if g.next().is_multiple_of(4) {
+        s.push_str("DISTINCT ");
+    }
+    for i in 0..1 + g.next() % 3 {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        match g.next() % 4 {
+            0 => s.push_str(&format!("sum({})", g.col())),
+            1 => s.push_str("count(*)"),
+            _ => s.push_str(g.col()),
+        }
+    }
+    s.push_str(" FROM ");
+    s.push_str(&gen_from_item(g, depth, cte));
+    if g.next().is_multiple_of(3) {
+        let join = ["JOIN", "LEFT JOIN", "CROSS JOIN"][g.next() % 3];
+        s.push_str(&format!(" {join} {}", gen_from_item(g, depth, cte)));
+        if !join.starts_with("CROSS") {
+            s.push_str(&format!(" ON {} = {}", g.col(), g.col()));
+        }
+    }
+    if g.next().is_multiple_of(2) {
+        s.push_str(" WHERE ");
+        s.push_str(&gen_predicate(g, depth));
+        if g.next().is_multiple_of(3) {
+            let conj = if g.next().is_multiple_of(2) {
+                "AND"
+            } else {
+                "OR"
+            };
+            s.push_str(&format!(" {conj} {}", gen_predicate(g, depth)));
+        }
+    }
+    if g.next().is_multiple_of(4) {
+        s.push_str(&format!(" GROUP BY {}", g.col()));
+        if g.next().is_multiple_of(2) {
+            s.push_str(&format!(" HAVING count(*) > {}", g.next() % 10));
+        }
+    }
+    if depth == 0 && g.next().is_multiple_of(5) {
+        s.push_str(&format!(
+            " QUALIFY row_number() OVER (PARTITION BY {} ORDER BY {}) = 1",
+            g.col(),
+            g.col()
+        ));
+    }
+    if depth == 0 && g.next().is_multiple_of(3) {
+        s.push_str(&format!(
+            " ORDER BY {} LIMIT {}",
+            g.col(),
+            1 + g.next() % 100
+        ));
+    }
+    s
+}
+
+/// Top-level statement: optional CTE prelude, select core, set-op tail.
+fn build_query(bytes: &[u8]) -> String {
+    let g = &mut Decisions::new(bytes);
+    let mut s = String::new();
+    let cte = if g.next().is_multiple_of(3) {
+        s.push_str(&format!("WITH c0 AS ({}) ", gen_select(g, 1)));
+        Some("c0")
+    } else {
+        None
+    };
+    s.push_str(&gen_select_with(g, 0, cte));
+    let mut ops = 0;
+    while ops < 3 && g.next().is_multiple_of(4) {
+        let op = ["UNION", "UNION ALL", "INTERSECT", "EXCEPT"][g.next() % 4];
+        s.push_str(&format!(" {op} {}", gen_select(g, 1)));
+        ops += 1;
+    }
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Grammar-directed fuzz: every generated query parses as a Select in
+    /// every dialect, stays depth-bounded, keeps `distinct_tables` sorted
+    /// and unique, and never leaks a CTE name into lineage reads.
+    #[test]
+    fn grammar_fuzz_totality(bytes in prop::collection::vec(any::<u8>(), 0..96)) {
+        let sql = build_query(&bytes);
+        for d in Dialect::all() {
+            let shape = parse_query(&sql, d);
+            prop_assert!(shape.kind == Some(StatementKind::Select), "{}", sql);
+            prop_assert!(
+                shape.subquery_depth <= MAX_PARSE_DEPTH + 1,
+                "depth {} for {}", shape.subquery_depth, sql
+            );
+            let dt = shape.distinct_tables();
+            prop_assert!(dt.windows(2).all(|w| w[0] < w[1]), "{:?} from {}", dt, sql);
+            let lin = shape.lineage();
+            for r in &lin.reads {
+                prop_assert!(
+                    TABLES.contains(&r.as_str()),
+                    "read {:?} outside table pool for {}", r, sql
+                );
+            }
+            prop_assert!(lin.writes.is_empty() && lin.views.is_empty(), "{}", sql);
+        }
+    }
+
+    /// Generated SQL is dialect-neutral text, so its template fingerprint
+    /// must be identical under all six dialects (cross-dialect routing
+    /// stability: the same workload hashes to the same template).
+    #[test]
+    fn grammar_fuzz_cross_dialect_fingerprint(bytes in prop::collection::vec(any::<u8>(), 0..96)) {
+        let sql = build_query(&bytes);
+        let expect = template_fingerprint(&sql, Dialect::Generic);
+        for d in Dialect::all() {
+            prop_assert!(expect == template_fingerprint(&sql, d), "{}", sql);
+        }
+    }
+
+    /// Parsing is a pure function of (sql, dialect).
+    #[test]
+    fn grammar_fuzz_deterministic(bytes in prop::collection::vec(any::<u8>(), 0..96)) {
+        let sql = build_query(&bytes);
+        for d in Dialect::all() {
+            prop_assert_eq!(parse_query(&sql, d), parse_query(&sql, d));
+        }
+    }
+
+    /// Token soup: valid SQL fragments in arbitrary order must never
+    /// panic or blow the depth bound, in any dialect.
+    #[test]
+    fn token_soup_fuzz(picks in prop::collection::vec(0usize..SOUP.len(), 0..48)) {
+        let sql = picks.iter().map(|&i| SOUP[i]).collect::<Vec<_>>().join(" ");
+        for d in Dialect::all() {
+            let shape = parse_query(&sql, d);
+            prop_assert!(shape.subquery_depth <= MAX_PARSE_DEPTH + 1, "{}", sql);
+            let dt = shape.distinct_tables();
+            prop_assert!(dt.windows(2).all(|w| w[0] < w[1]), "{:?} from {}", dt, sql);
+        }
+    }
+
+    /// Byte soup: totally arbitrary text is handled by every dialect,
+    /// deterministically and depth-bounded.
+    #[test]
+    fn byte_soup_fuzz(s in ".{0,240}") {
+        for d in Dialect::all() {
+            let shape = parse_query(&s, d);
+            prop_assert!(shape.subquery_depth <= MAX_PARSE_DEPTH + 1);
+            prop_assert_eq!(&shape, &parse_query(&s, d));
+        }
+    }
+
+    /// `distinct_tables` equals the sorted, deduplicated table list for a
+    /// FROM clause built from arbitrary picks out of the table pool.
+    #[test]
+    fn distinct_tables_matches_sorted_dedup(
+        picks in prop::collection::vec(0usize..TABLES.len(), 1..8),
+    ) {
+        let from = picks.iter().map(|&i| TABLES[i]).collect::<Vec<_>>().join(", ");
+        let sql = format!("SELECT a FROM {from}");
+        let shape = parse_query(&sql, Dialect::Generic);
+        let mut expect: Vec<String> = picks.iter().map(|&i| TABLES[i].to_string()).collect();
+        expect.sort();
+        expect.dedup();
+        prop_assert_eq!(shape.distinct_tables(), expect);
+    }
+}

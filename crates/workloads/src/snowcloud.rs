@@ -283,7 +283,7 @@ impl AccountGen {
                     cols: vec![rng.below_usize(tables[0].cols.len().max(1)), 0, 1],
                     flaky: false,
                 };
-                render(&t, &tables, rng)
+                render(&t, &tables, rng, &spec.dialect)
             })
             .collect();
 
@@ -314,11 +314,17 @@ impl AccountGen {
             } else {
                 let u = rng.below_usize(self.user_templates.len());
                 let t = rng.choose(&self.user_templates[u]);
-                (u, render(t, &self.tables, rng), t.flaky, t.archetype)
+                (
+                    u,
+                    render(t, &self.tables, rng, &spec.dialect),
+                    t.flaky,
+                    t.archetype,
+                )
             };
             // Runtime/memory model: archetype base cost × noise.
             let (base_ms, base_mb) = match archetype {
                 2 | 3 => (900.0, 800.0),      // joins / ETL
+                8..=10 => (500.0, 450.0),     // CTE / set-op / derived rollups
                 0 | 7 => (350.0, 300.0),      // aggregations
                 usize::MAX => (200.0, 150.0), // dashboards from the pool
                 _ => (60.0, 80.0),            // lookups / top-k
@@ -346,7 +352,7 @@ impl AccountGen {
     }
 }
 
-const N_ARCHETYPES: usize = 8;
+const N_ARCHETYPES: usize = 12;
 
 fn fnv1a(s: &str) -> u64 {
     let mut h: u64 = 0xcbf29ce484222325;
@@ -369,7 +375,7 @@ fn name_tag(name: &str) -> String {
 /// two instances of one template rarely share a normalized skeleton. That
 /// forces labeling models to generalize from token-level signal instead of
 /// memorizing shapes — the regime the paper's §5.2 numbers live in.
-fn render(t: &Template, tables: &[Table], rng: &mut Pcg32) -> String {
+fn render(t: &Template, tables: &[Table], rng: &mut Pcg32, dialect: &str) -> String {
     let tab = &tables[t.table];
     let tab2 = &tables[t.table2];
     let col = |i: usize| -> &str { &tab.cols[t.cols[i % t.cols.len()] % tab.cols.len()] };
@@ -454,12 +460,81 @@ fn render(t: &Template, tables: &[Table], rng: &mut Pcg32) -> String {
             c1 = col(1),
             c2 = col(0),
         ),
-        _ => format!(
+        7 => format!(
             "select {g}, sum({v}) from {t} group by {g} having sum({v}) > {n1}{suffix}",
             t = tab.name,
             g = col(0),
             v = col(1),
         ),
+        // CTE rollup: the staple "materialize then filter" dashboard shape.
+        8 => format!(
+            "with rollup_cte as (select {g}, sum({v}) as total from {t} \
+             where {ts} > {n2}{extra_preds} group by {g}) \
+             select * from rollup_cte where total > {n1}{suffix}",
+            t = tab.name,
+            g = col(0),
+            v = col(1),
+            ts = col(2),
+        ),
+        // Set operation across two tables of the tenant's schema.
+        9 => format!(
+            "select {c1} from {t1} where {c2} > {n2} union all select {c3} from {t2} where {c4} > {n2}",
+            t1 = tab.name,
+            t2 = tab2.name,
+            c1 = col(0),
+            c2 = col(1),
+            c3 = tab2.cols[t.cols[0] % tab2.cols.len()],
+            c4 = tab2.cols[t.cols[1] % tab2.cols.len()],
+        ),
+        // Derived-table aggregation.
+        10 => format!(
+            "select d.{c1}, count(*) from (select {c1}, {c2} from {t} \
+             where {c3} > {n2}{extra_preds}) d group by d.{c1}",
+            t = tab.name,
+            c1 = col(0),
+            c2 = col(1),
+            c3 = col(2),
+        ),
+        // Dialect-flavored form matching the tenant's declared dialect, so
+        // multi-dialect parsing is exercised end-to-end by the workload.
+        _ => match dialect {
+            "snowflake" => format!(
+                "select {c1}, {c2} from {t} where {c1} ilike '{p}%' \
+                 qualify row_number() over (partition by {c1} order by {c2} desc) = 1",
+                t = tab.name,
+                c1 = col(0),
+                c2 = col(1),
+                p = ["a", "be", "co"][rng.below_usize(3)],
+            ),
+            "bigquery" => format!(
+                "select * except({c1}) from `{t}` where {c2} > {n2}",
+                t = tab.name,
+                c1 = col(0),
+                c2 = col(1),
+            ),
+            "mysql" => format!(
+                "select a.{c1} from {t1} a straight_join {t2} b on a.{c1} = b.{c3} where a.{c2} > {n2}",
+                t1 = tab.name,
+                t2 = tab2.name,
+                c1 = col(0),
+                c2 = col(1),
+                c3 = tab2.cols[t.cols[0] % tab2.cols.len()],
+            ),
+            "tsql" => format!(
+                "select top {k} {c1}, {c2} from {t} order by {c2} desc",
+                t = tab.name,
+                c1 = col(0),
+                c2 = col(1),
+                k = 5 + rng.below(95),
+            ),
+            _ => format!(
+                "select {c1}, {c2} from {t} where {c3} between {n2} and {n1}{suffix}",
+                t = tab.name,
+                c1 = col(0),
+                c2 = col(1),
+                c3 = col(2),
+            ),
+        },
     }
 }
 
@@ -589,6 +664,40 @@ mod tests {
             assert!(!r.tokens().is_empty(), "query should tokenize: {}", r.sql);
             let _ = querc_sql::parse_query(&r.sql, querc_sql::Dialect::Generic);
         }
+    }
+
+    /// Every generated query — parsed under the *tenant's own dialect* —
+    /// yields lineage confined to the tenant's schema: base-table reads
+    /// and write targets resolve to known nouns (or their `_staging`
+    /// variants), and the new CTE / set-op / dialect-flavored archetypes
+    /// actually show up in the stream.
+    #[test]
+    fn rendered_queries_have_known_lineage() {
+        let cfg = SnowCloudConfig::paper_table2(0.02, 9);
+        let wl = SnowCloud::generate(&cfg);
+        let (mut ctes, mut set_ops, mut qualifies, mut derived) = (0usize, 0usize, 0usize, 0usize);
+        for r in &wl.records {
+            let d = querc_sql::Dialect::from_name(&r.dialect);
+            let shape = querc_sql::parse_query(&r.sql, d);
+            let lin = shape.lineage();
+            for t in lin.reads.iter().chain(lin.writes.iter()) {
+                let last = t.rsplit('.').next().unwrap();
+                let base = last.strip_suffix("_staging").unwrap_or(last);
+                assert!(
+                    NOUNS.contains(&base),
+                    "table {t:?} outside tenant schema in {:?}",
+                    r.sql
+                );
+            }
+            ctes += usize::from(!lin.ctes.is_empty());
+            set_ops += usize::from(shape.set_ops > 0);
+            qualifies += usize::from(!shape.qualify.is_empty());
+            derived += usize::from(shape.derived_tables > 0);
+        }
+        assert!(ctes > 0, "no CTE archetype instances generated");
+        assert!(set_ops > 0, "no set-op archetype instances generated");
+        assert!(qualifies > 0, "no QUALIFY instances generated");
+        assert!(derived > 0, "no derived-table instances generated");
     }
 
     #[test]

@@ -223,6 +223,39 @@ fn ptype(rng: &mut Pcg32) -> String {
     )
 }
 
+/// The base tables each template reads, sorted ascending — the ground
+/// truth the parser's [`querc_sql::ast::QueryShape::lineage`] extraction
+/// is checked against, and the key space lineage-aware routing sees when
+/// serving a TPC-H workload. CTEs (Q15's `revenue`) are not base tables
+/// and are deliberately absent.
+pub fn lineage_tables(template: u8) -> &'static [&'static str] {
+    match template {
+        1 | 6 => &["lineitem"],
+        2 => &["nation", "part", "partsupp", "region", "supplier"],
+        3 | 18 => &["customer", "lineitem", "orders"],
+        4 | 12 => &["lineitem", "orders"],
+        5 => &[
+            "customer", "lineitem", "nation", "orders", "region", "supplier",
+        ],
+        7 => &["customer", "lineitem", "nation", "orders", "supplier"],
+        8 => &[
+            "customer", "lineitem", "nation", "orders", "part", "region", "supplier",
+        ],
+        9 => &[
+            "lineitem", "nation", "orders", "part", "partsupp", "supplier",
+        ],
+        10 => &["customer", "lineitem", "nation", "orders"],
+        11 => &["nation", "partsupp", "supplier"],
+        13 | 22 => &["customer", "orders"],
+        14 | 17 | 19 => &["lineitem", "part"],
+        15 => &["lineitem", "supplier"],
+        16 => &["part", "partsupp", "supplier"],
+        20 => &["lineitem", "nation", "part", "partsupp", "supplier"],
+        21 => &["lineitem", "nation", "orders", "supplier"],
+        other => panic!("TPC-H has 22 templates, got {other}"),
+    }
+}
+
 /// Instantiate one template with spec-range parameters.
 pub fn instantiate(template: u8, rng: &mut Pcg32) -> String {
     match template {
@@ -650,6 +683,31 @@ mod tests {
                 !shape.tables.is_empty(),
                 "template {t} should reference tables"
             );
+        }
+    }
+
+    /// The parser's extracted lineage agrees with the spec-derived table
+    /// sets for every template, across several instantiations: reads are
+    /// exactly [`lineage_tables`], nothing is written, and Q15's CTE is
+    /// captured by name without leaking into the read set.
+    #[test]
+    fn lineage_matches_known_tables_for_all_templates() {
+        for seed in [21u64, 22, 23] {
+            let mut rng = Pcg32::new(seed);
+            for t in 1..=22u8 {
+                let sql = instantiate(t, &mut rng);
+                let lin = parse_query(&sql, Dialect::Generic).lineage();
+                assert_eq!(lin.reads, lineage_tables(t), "template {t}: {sql}");
+                assert!(
+                    lin.writes.is_empty() && lin.views.is_empty(),
+                    "template {t}"
+                );
+                if t == 15 {
+                    assert_eq!(lin.ctes, vec!["revenue"], "Q15's CTE must be captured");
+                } else {
+                    assert!(lin.ctes.is_empty(), "template {t} has no CTEs");
+                }
+            }
         }
     }
 
